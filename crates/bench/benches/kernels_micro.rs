@@ -1,0 +1,135 @@
+//! Kernel microbenchmarks:
+//!
+//! * slice-height sweep (C = 1/4/8/16) — §5.1's trade-off;
+//! * CSR remainder-loop sensitivity: row lengths straddling the SIMD
+//!   width (§2.3 drawback 1 / §3.3);
+//! * BAIJ 2×2 block kernel vs scalar CSR on the natural-block matrix.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sellkit_core::{Baij, Isa, MatShape, Sell, SpMv};
+use sellkit_solvers::ts::OdeProblem;
+use sellkit_workloads::generators::banded;
+use sellkit_workloads::{GrayScott, GrayScottParams};
+
+fn bench_slice_heights(c: &mut Criterion) {
+    let a = banded(100_000, 4, 3);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let mut g = c.benchmark_group("kernels_micro/slice_height");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    let s1 = Sell::<1>::from_csr(&a);
+    let s4 = Sell::<4>::from_csr(&a);
+    let s8 = Sell::<8>::from_csr(&a);
+    let s16 = Sell::<16>::from_csr(&a);
+    g.bench_function("C=1 (scalar, = CSR storage)", |b| b.iter(|| s1.spmv(&x, &mut y)));
+    g.bench_function("C=4 (scalar)", |b| b.iter(|| s4.spmv(&x, &mut y)));
+    g.bench_function("C=8 (vectorized)", |b| b.iter(|| s8.spmv(&x, &mut y)));
+    g.bench_function("C=16 (scalar)", |b| b.iter(|| s16.spmv(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_csr_remainder(c: &mut Criterion) {
+    // Row lengths chosen around the 8-wide SIMD boundary: 8 (no
+    // remainder), 9 (worst remainder), 7 (remainder-only rows).
+    let mut g = c.benchmark_group("kernels_micro/csr_remainder");
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    for band in [3usize, 4, 7] {
+        let rowlen = 2 * band + 1;
+        let a = banded(50_000, band, 5);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| i as f64 * 1e-4).collect();
+        let mut y = vec![0.0; a.nrows()];
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        for isa in Isa::available_tiers() {
+            if isa == Isa::Scalar {
+                continue;
+            }
+            let m = a.clone().with_isa(isa);
+            g.bench_with_input(
+                BenchmarkId::new(format!("rowlen{rowlen}"), isa),
+                &band,
+                |b, _| b.iter(|| m.spmv(&x, &mut y)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_baij(c: &mut Criterion) {
+    let gs = GrayScott::new(128, GrayScottParams::default());
+    let w = gs.initial_condition(1);
+    let a = gs.rhs_jacobian(0.0, &w);
+    let baij = Baij::from_csr(&a, 2);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.01).cos()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let mut g = c.benchmark_group("kernels_micro/baij_vs_csr");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    g.bench_function("CSR", |b| b.iter(|| a.spmv(&x, &mut y)));
+    g.bench_function("BAIJ bs=2", |b| b.iter(|| baij.spmv(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_tuned_kernel(c: &mut Criterion) {
+    // §5.5: "we have manually unrolled the outer loop and performed a
+    // prefetch operation ... these classic optimization techniques do not
+    // affect the performance significantly."  Re-measure that claim.
+    let gs = GrayScott::new(192, GrayScottParams::default());
+    let w = gs.initial_condition(1);
+    let a = gs.rhs_jacobian(0.0, &w);
+    let sell = sellkit_core::Sell8::from_csr(&a);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.003).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let mut g = c.benchmark_group("kernels_micro/tuned_vs_plain");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    g.bench_function("plain AVX-512", |b| b.iter(|| sell.spmv(&x, &mut y)));
+    g.bench_function("unroll+prefetch", |b| b.iter(|| sell.spmv_tuned(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    // Blocked right-hand sides: SELL's spmm streams the matrix once for k
+    // vectors, multiplying effective arithmetic intensity by ~k (§6).
+    let a = banded(60_000, 4, 9);
+    let sell = sellkit_core::Sell8::from_csr(&a);
+    let k = 4;
+    let x: Vec<f64> = (0..k * a.ncols()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let mut y = vec![0.0; k * a.nrows()];
+    let mut g = c.benchmark_group("kernels_micro/spmm_k4");
+    g.throughput(Throughput::Elements((k * a.nnz()) as u64));
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    g.bench_function("blocked spmm (matrix once)", |b| b.iter(|| sell.spmm(&x, k, &mut y)));
+    g.bench_function("k separate spmv (matrix k times)", |b| {
+        b.iter(|| {
+            for v in 0..k {
+                let xv = &x[v * a.ncols()..(v + 1) * a.ncols()];
+                let yv = &mut y[v * a.nrows()..(v + 1) * a.nrows()];
+                sell.spmv(xv, yv);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slice_heights,
+    bench_csr_remainder,
+    bench_baij,
+    bench_tuned_kernel,
+    bench_spmm
+);
+criterion_main!(benches);

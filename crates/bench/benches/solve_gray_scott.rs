@@ -1,0 +1,57 @@
+//! The §7 end-to-end experiment at bench scale: one Crank-Nicolson step
+//! of Gray-Scott (Newton + GMRES + multigrid-Jacobi), with the linear
+//! solve's SpMVs running in CSR vs SELL.
+//!
+//! The paper's point: "the savings in SpMV translate directly into
+//! significant drops in the total wall time because the portion for other
+//! parts of the code remain almost the same for the two matrix formats."
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sellkit_core::{Csr, Sell8};
+use sellkit_solvers::ksp::KspConfig;
+use sellkit_solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
+use sellkit_solvers::snes::NewtonConfig;
+use sellkit_solvers::ts::{ThetaConfig, ThetaStepper};
+use sellkit_grid::interpolation_chain;
+use sellkit_workloads::{GrayScott, GrayScottParams};
+
+fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
+    gs: &GrayScott,
+    u0: &[f64],
+) -> Vec<f64> {
+    let grid = *gs.grid();
+    let interps = interpolation_chain(&grid, 3);
+    let cfg = ThetaConfig {
+        theta: 0.5,
+        dt: 1.0,
+        newton: NewtonConfig {
+            rtol: 1e-8,
+            ksp: KspConfig { rtol: 1e-5, restart: 30, ..Default::default() },
+            ..Default::default()
+        },
+    };
+    let mut u = u0.to_vec();
+    let mut ts = ThetaStepper::new(cfg);
+    let mg_cfg = MultigridConfig { coarse: CoarseSolve::Jacobi(8), ..Default::default() };
+    let res = ts.step::<M, _, _>(gs, &mut u, |j| Multigrid::<M>::new(j, &interps, mg_cfg));
+    assert!(res.converged(), "Newton failed in bench: {:?}", res.reason);
+    u
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let gs = GrayScott::new(64, GrayScottParams::default());
+    let u0 = gs.initial_condition(1);
+
+    let mut g = c.benchmark_group("solve_gray_scott/cn_step_64x64");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("CSR", |b| b.iter(|| one_cn_step::<Csr>(&gs, &u0)));
+    g.bench_function("SELL", |b| b.iter(|| one_cn_step::<Sell8>(&gs, &u0)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 8 measured on the host: every kernel variant on the Gray-Scott
+//! Jacobian, identical input, Criterion statistics.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sellkit_bench::measure::build_variants;
+use sellkit_core::MatShape;
+use sellkit_solvers::ts::OdeProblem;
+use sellkit_workloads::{GrayScott, GrayScottParams};
+
+fn bench_formats(c: &mut Criterion) {
+    let gs = GrayScott::new(256, GrayScottParams::default());
+    let w = gs.initial_condition(1);
+    let a = gs.rhs_jacobian(0.0, &w);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+
+    let mut g = c.benchmark_group("spmv_formats/gray_scott_256");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(1200));
+    for v in build_variants(&a) {
+        g.bench_function(&v.label, |b| b.iter(|| (v.run)(&x, &mut y)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

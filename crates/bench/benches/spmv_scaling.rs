@@ -1,0 +1,36 @@
+//! Problem-size sweep (the Figure 7 "grid size insensitivity" check):
+//! SELL-AVX512 vs the CSR baseline across grid sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sellkit_core::{Isa, MatShape, Sell8, SpMv};
+use sellkit_solvers::ts::OdeProblem;
+use sellkit_workloads::{GrayScott, GrayScottParams};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv_scaling");
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(1000));
+    for grid in [64usize, 128, 256, 512] {
+        let gs = GrayScott::new(grid, GrayScottParams::default());
+        let w = gs.initial_condition(1);
+        let a = gs.rhs_jacobian(0.0, &w);
+        let sell = Sell8::from_csr(&a);
+        let base = a.clone().with_isa(Isa::Scalar);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 97) as f64 * 0.01).collect();
+        let mut y = vec![0.0; a.nrows()];
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("SELL-best", grid), &grid, |b, _| {
+            b.iter(|| sell.spmv(&x, &mut y))
+        });
+        g.bench_with_input(BenchmarkId::new("CSR-baseline", grid), &grid, |b, _| {
+            b.iter(|| base.spmv(&x, &mut y))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

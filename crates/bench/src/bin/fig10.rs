@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (multinode wall time, CSR vs SELL).
+//! Pass `--no-measure` to skip the mpisim measurement.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    print!("{}", sellkit_bench::figures::fig10(measure));
+}

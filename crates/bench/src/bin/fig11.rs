@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 (nine kernels across four processors).
+//! Pass `--no-measure` to skip the host measurement.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    print!("{}", sellkit_bench::figures::fig11(measure));
+}

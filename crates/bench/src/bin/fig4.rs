@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (STREAM bandwidth vs process count on KNL).
+//! Pass `--no-measure` to skip the host measurement.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    print!("{}", sellkit_bench::figures::fig4(measure));
+}

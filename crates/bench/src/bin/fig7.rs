@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (out-of-box CSR SpMV across grids and memory
+//! modes).  Pass `--no-measure` to skip the host measurement.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    print!("{}", sellkit_bench::figures::fig7(measure));
+}

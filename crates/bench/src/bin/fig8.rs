@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (nine SpMV kernels on one KNL node).
+//! Pass `--no-measure` to skip the host measurement.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    print!("{}", sellkit_bench::figures::fig8(measure));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (roofline analysis on Theta).
+fn main() {
+    print!("{}", sellkit_bench::figures::fig9());
+}

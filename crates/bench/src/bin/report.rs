@@ -1,0 +1,18 @@
+//! Regenerates every exhibit in sequence — the one-shot reproduction run.
+//! Pass `--no-measure` to print only the modeled sections.
+fn main() {
+    let measure = !std::env::args().any(|a| a == "--no-measure");
+    use sellkit_bench::figures as f;
+    let divider = "\n".to_string() + &"=".repeat(78) + "\n\n";
+    let sections = [
+        f::table1(),
+        f::fig4(measure),
+        f::fig7(measure),
+        f::fig8(measure),
+        f::fig9(),
+        f::fig10(measure),
+        f::fig11(false),
+        f::traffic_model(),
+    ];
+    print!("{}", sections.join(&divider));
+}

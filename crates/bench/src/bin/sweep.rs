@@ -1,0 +1,60 @@
+//! Design-choice ablation sweep (DESIGN.md §4): how slice height C and
+//! matrix irregularity interact — padding ratio and measured SpMV
+//! throughput for every combination, printed as a table.
+//!
+//! ```sh
+//! cargo run --release -p sellkit-bench --bin sweep
+//! ```
+
+use sellkit_bench::measure::{gflops, time_spmv};
+use sellkit_bench::table::render;
+use sellkit_core::{MatShape, Sell, SpMv};
+use sellkit_workloads::generators;
+
+fn main() {
+    let cases = [
+        ("stencil5 (regular)", generators::stencil5(160)),
+        ("banded b=4", generators::banded(25_000, 4, 1)),
+        ("random 9/row", generators::random_uniform(25_000, 9, 2)),
+        ("power-law (irregular)", generators::power_law(25_000, 2, 96, 1.3, 3)),
+    ];
+
+    println!("slice-height ablation: padding %% / measured Gflop/s\n");
+    let mut rows = Vec::new();
+    for (name, a) in &cases {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        let mut cells = vec![name.to_string()];
+
+        macro_rules! cell {
+            ($c:literal) => {{
+                let s = Sell::<$c>::from_csr(a);
+                let t = time_spmv(&|xv, yv| s.spmv(xv, yv), &x, &mut y, 7);
+                cells.push(format!(
+                    "{:.1}% / {:.2}",
+                    s.padding_ratio() * 100.0,
+                    gflops(a.nnz(), t)
+                ));
+            }};
+        }
+        cell!(1);
+        cell!(4);
+        cell!(8);
+        cell!(16);
+
+        // σ-sorted SELL-8 for the irregular side of the trade-off.
+        let sorted = Sell::<8>::from_csr_sigma(a, a.nrows().div_ceil(8) * 8);
+        let t = time_spmv(&|xv, yv| sorted.spmv(xv, yv), &x, &mut y, 7);
+        cells.push(format!("{:.1}% / {:.2}", sorted.padding_ratio() * 100.0, gflops(a.nnz(), t)));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render(&["matrix", "C=1", "C=4", "C=8", "C=16", "C=8 sigma=global"], &rows)
+    );
+    println!(
+        "Reading: regular matrices pad almost nothing at any C (the paper's\n\
+         PDE case, §7); padding grows with C on irregular matrices (§5.1),\n\
+         and global sigma-sorting recovers it at a permutation cost (§5.4)."
+    );
+}

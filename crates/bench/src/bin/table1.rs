@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (processor specifications).
+fn main() {
+    print!("{}", sellkit_bench::figures::table1());
+}

@@ -1,0 +1,4 @@
+//! Prints the §6 memory-traffic model evaluated on the paper's shapes.
+fn main() {
+    print!("{}", sellkit_bench::figures::traffic_model());
+}

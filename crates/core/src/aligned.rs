@@ -1,0 +1,225 @@
+//! 64-byte-aligned heap storage for kernel data.
+//!
+//! §3.1 of the paper: on KNL, data that is not aligned to the cache-line
+//! size forces the compiler to emit *peel* code at the start of a vectorized
+//! loop, and PETSc's default 16-byte alignment even caused hangs with
+//! AVX-512 builds.  All matrix value/index arrays in this crate are therefore
+//! allocated on 64-byte boundaries, matching `--with-mem-align=64`.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+use std::slice;
+
+/// The alignment (bytes) used for every [`AVec`] allocation: one cache line,
+/// which is also the width of a ZMM register.
+pub const ALIGN: usize = 64;
+
+/// A fixed-capacity, 64-byte-aligned vector of plain-old-data elements.
+///
+/// Unlike `Vec<T>`, an `AVec` is created at its final length (zero-filled or
+/// copied from a slice) and never reallocates, so the base pointer — and
+/// hence the alignment guarantee the SIMD kernels rely on — is stable for
+/// the lifetime of the container.
+pub struct AVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: AVec owns its allocation exclusively and T: Copy has no interior
+// mutability, so sending or sharing it across threads is sound.
+unsafe impl<T: Copy + Send> Send for AVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AVec<T> {}
+
+impl<T: Copy> AVec<T> {
+    fn layout(len: usize) -> Layout {
+        let size = len.checked_mul(std::mem::size_of::<T>()).expect("AVec size overflow");
+        Layout::from_size_align(size.max(1), ALIGN.max(std::mem::align_of::<T>()))
+            .expect("invalid AVec layout")
+    }
+
+    /// Allocates a zero-initialized aligned vector of `len` elements.
+    ///
+    /// Zero-initialization is exactly what the padded entries of SELL and
+    /// ELLPACK formats require, so construction doubles as padding.
+    pub fn zeroed(len: usize) -> Self {
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (max(1)) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates an aligned vector holding a copy of `src`.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer; guaranteed 64-byte aligned.
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// Mutable base pointer; guaranteed 64-byte aligned.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr is valid for len elements by construction.
+        unsafe { slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// View as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr is valid for len elements and we hold &mut self.
+        unsafe { slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Heap bytes held by this vector.
+    pub fn bytes(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Copy> Drop for AVec<T> {
+    fn drop(&mut self) {
+        // SAFETY: allocated with the identical layout in `zeroed`.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) }
+    }
+}
+
+impl<T: Copy> Clone for AVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy> Deref for AVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for AVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for AVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        Self::from_slice(&items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v: AVec<f64> = AVec::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<u32> = (0..257).collect();
+        let v = AVec::from_slice(&data);
+        assert_eq!(v.as_slice(), data.as_slice());
+        assert_eq!(v.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn empty_vec_is_fine() {
+        let v: AVec<f64> = AVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+        let w: AVec<f64> = AVec::from_slice(&[]);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AVec::from_slice(&[1.0f64, 2.0, 3.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+        assert_eq!(a[0], 9.0);
+        assert_eq!(b.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn mutation_via_slice() {
+        let mut v: AVec<f64> = AVec::zeroed(8);
+        v.as_mut_slice().copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(v[7], 8.0);
+        v[7] = -1.0;
+        assert_eq!(v.as_slice()[7], -1.0);
+    }
+
+    #[test]
+    fn many_allocations_stay_aligned() {
+        // Exercise several sizes around cache-line multiples.
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 511, 512, 513] {
+            let v: AVec<u32> = AVec::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % ALIGN, 0, "len={len}");
+            assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn bytes_reports_payload() {
+        let v: AVec<f64> = AVec::zeroed(10);
+        assert_eq!(v.bytes(), 80);
+        let w: AVec<u32> = AVec::zeroed(10);
+        assert_eq!(w.bytes(), 40);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: AVec<f64> = (0..5).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

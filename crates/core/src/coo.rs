@@ -1,0 +1,159 @@
+//! Coordinate-format builder: the assembly front door for every format.
+//!
+//! PETSc applications assemble matrices entry-by-entry (`MatSetValues`);
+//! [`CooBuilder`] plays that role here.  Duplicate insertions are summed, as
+//! with PETSc's default `ADD_VALUES` assembly.
+
+use crate::csr::Csr;
+
+/// An unsorted triplet (COO) accumulation buffer.
+#[derive(Clone, Debug, Default)]
+pub struct CooBuilder {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooBuilder {
+    /// Creates an empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "matrix dimensions exceed 32-bit index space");
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates a builder with preallocated space for `nnz_estimate` entries
+    /// (PETSc's `MatXAIJSetPreallocation` analogue — §5.2 notes `rlen` is
+    /// used for preallocation and assembly).
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz_estimate: usize) -> Self {
+        let mut b = Self::new(nrows, ncols);
+        b.rows.reserve(nnz_estimate);
+        b.cols.reserve(nnz_estimate);
+        b.vals.reserve(nnz_estimate);
+        b
+    }
+
+    /// Adds `v` to entry `(i, j)`.  Duplicates accumulate.
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows, "row {i} out of bounds ({})", self.nrows);
+        debug_assert!(j < self.ncols, "col {j} out of bounds ({})", self.ncols);
+        self.rows.push(i as u32);
+        self.cols.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Number of raw (pre-deduplication) entries pushed so far.
+    pub fn raw_len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Assembles into CSR: sorts by (row, col), sums duplicates, and keeps
+    /// explicit zeros (PETSc keeps them too — they hold the sparsity pattern
+    /// for later `MatSetValues` calls with the same nonzero structure).
+    pub fn to_csr(&self) -> Csr {
+        let n = self.vals.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&k| {
+            (self.rows[k as usize], self.cols[k as usize])
+        });
+
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        let mut colidx: Vec<u32> = Vec::with_capacity(n);
+        let mut vals: Vec<f64> = Vec::with_capacity(n);
+
+        let mut last: Option<(u32, u32)> = None;
+        for &k in &order {
+            let (r, c, v) = (self.rows[k as usize], self.cols[k as usize], self.vals[k as usize]);
+            if last == Some((r, c)) {
+                *vals.last_mut().expect("last coordinate implies an entry") += v;
+                continue;
+            }
+            colidx.push(c);
+            vals.push(v);
+            rowptr[r as usize + 1] += 1;
+            last = Some((r, c));
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        Csr::from_parts(self.nrows, self.ncols, rowptr, colidx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{MatShape, SpMv};
+
+    #[test]
+    fn empty_matrix_assembles() {
+        let b = CooBuilder::new(3, 5);
+        let a = b.to_csr();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 5);
+        assert_eq!(a.nnz(), 0);
+        let mut y = vec![1.0; 3];
+        a.spmv(&[0.0; 5], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 1, 1.5);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, -1.0);
+        let a = b.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), Some(4.0));
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert_eq!(a.get(0, 0), None);
+    }
+
+    #[test]
+    fn out_of_order_insertion_sorts() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(2, 2, 9.0);
+        b.push(0, 2, 3.0);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 5.0);
+        let a = b.to_csr();
+        assert_eq!(a.row_cols(0), &[0, 2]);
+        assert_eq!(a.row_vals(0), &[1.0, 3.0]);
+        assert_eq!(a.row_cols(2), &[2]);
+    }
+
+    #[test]
+    fn explicit_zeros_are_kept() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 0, 0.0);
+        b.push(0, 1, 2.0);
+        let a = b.to_csr();
+        assert_eq!(a.nnz(), 2, "explicit zero must stay in the pattern");
+    }
+
+    #[test]
+    fn duplicate_merge_respects_row_boundaries() {
+        // Same column index in consecutive rows must NOT merge.
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(1, 1, 1.0);
+        let a = b.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), Some(1.0));
+        assert_eq!(a.get(1, 1), Some(1.0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Compressed sparse row storage (PETSc `AIJ`), the baseline format.
+//!
+//! Three arrays (Figure 3 of the paper): `val` stores nonzeros row-wise,
+//! `rowptr[i]` is the position of row `i`'s first nonzero, and `colidx`
+//! holds the column index of each nonzero.  Column indices are 4-byte
+//! integers, matching the traffic model of §6 (`12·nnz` counts 8 bytes of
+//! value + 4 bytes of index per nonzero).
+
+use crate::aligned::AVec;
+use crate::isa::Isa;
+use crate::kernels;
+use crate::traits::{check_spmv_dims, MatShape, SpMv};
+
+/// A CSR matrix with 64-byte-aligned value and index arrays.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: AVec<u32>,
+    val: AVec<f64>,
+    isa: Isa,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts, validating the invariants.
+    ///
+    /// Panics if `rowptr` is not monotone of length `nrows + 1`, if array
+    /// lengths disagree, or if a column index is out of range.  Column
+    /// indices within each row must be strictly increasing (sorted rows are
+    /// assumed by the off-diagonal splitting and the SELL conversion).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<u32>,
+        val: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1, "rowptr must have nrows+1 entries");
+        assert_eq!(rowptr[0], 0, "rowptr must start at 0");
+        assert_eq!(*rowptr.last().expect("nonempty rowptr"), colidx.len());
+        assert_eq!(colidx.len(), val.len(), "colidx/val length mismatch");
+        for i in 0..nrows {
+            assert!(rowptr[i] <= rowptr[i + 1], "rowptr not monotone at row {i}");
+            let row = &colidx[rowptr[i]..rowptr[i + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {i} columns not strictly increasing");
+            }
+            if let Some(&c) = row.last() {
+                assert!((c as usize) < ncols, "column {c} out of range in row {i}");
+            }
+        }
+        Self {
+            nrows,
+            ncols,
+            rowptr,
+            colidx: AVec::from_slice(&colidx),
+            val: AVec::from_slice(&val),
+            isa: Isa::detect(),
+        }
+    }
+
+    /// Builds a dense `nrows × ncols` matrix given row-major entries,
+    /// dropping exact zeros.  Convenience for tests and examples.
+    pub fn from_dense(nrows: usize, ncols: usize, dense: &[f64]) -> Self {
+        assert_eq!(dense.len(), nrows * ncols);
+        let mut rowptr = vec![0usize; nrows + 1];
+        let mut colidx = Vec::new();
+        let mut val = Vec::new();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let v = dense[i * ncols + j];
+                if v != 0.0 {
+                    colidx.push(j as u32);
+                    val.push(v);
+                }
+            }
+            rowptr[i + 1] = val.len();
+        }
+        Self::from_parts(nrows, ncols, rowptr, colidx, val)
+    }
+
+    /// Returns a dense row-major copy (tests/examples only).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for i in 0..self.nrows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                d[i * self.ncols + self.colidx[k] as usize] = self.val[k];
+            }
+        }
+        d
+    }
+
+    /// Overrides the ISA used by [`SpMv::spmv`] (panics if unavailable on
+    /// this CPU).  Benches use this to compare tiers on one machine.
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        assert!(isa.available(), "ISA {isa} not available on this CPU");
+        self.isa = isa;
+        self
+    }
+
+    /// The ISA this matrix dispatches to.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array.
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// Mutable value array (same sparsity pattern; used by Jacobian
+    /// re-assembly to overwrite values in place).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        self.val.as_mut_slice()
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[u32] {
+        &self.colidx[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.val[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// The stored value at `(i, j)`, or `None` if outside the pattern.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let cols = self.row_cols(i);
+        cols.binary_search(&(j as u32)).ok().map(|k| self.row_vals(i)[k])
+    }
+
+    /// Maximum nonzeros in any row (the ELLPACK width `L`).
+    pub fn max_row_len(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_len(i)).max().unwrap_or(0)
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Csr {
+        let mut cnt = vec![0usize; self.ncols + 1];
+        for &c in self.colidx.iter() {
+            cnt[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            cnt[j + 1] += cnt[j];
+        }
+        let rowptr_t = cnt.clone();
+        let mut colidx_t = vec![0u32; self.colidx.len()];
+        let mut val_t = vec![0.0; self.val.len()];
+        let mut next = cnt;
+        for i in 0..self.nrows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                let j = self.colidx[k] as usize;
+                let p = next[j];
+                colidx_t[p] = i as u32;
+                val_t[p] = self.val[k];
+                next[j] += 1;
+            }
+        }
+        Csr::from_parts(self.ncols, self.nrows, rowptr_t, colidx_t, val_t)
+    }
+
+    /// Computes `y = Aᵀ·x` without forming the transpose (scatter-style
+    /// column updates; inherently harder to vectorize than the row-wise
+    /// product, which is why PETSc pairs it with explicit transposes for
+    /// performance-critical paths like multigrid restriction).
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "x length must equal nrows for Aᵀx");
+        assert_eq!(y.len(), self.ncols, "y length must equal ncols for Aᵀx");
+        y.fill(0.0);
+        self.spmv_transpose_add(x, y);
+    }
+
+    /// Computes `y += Aᵀ·x`.
+    pub fn spmv_transpose_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                y[self.colidx[k] as usize] += self.val[k] * xi;
+            }
+        }
+    }
+
+    /// SpMV with an explicit ISA (ignores the default set by `with_isa`).
+    pub fn spmv_isa(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        kernels::dispatch::csr_spmv(isa, &self.rowptr, &self.colidx, &self.val, x, y);
+    }
+}
+
+impl MatShape for Csr {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.val.len()
+    }
+}
+
+impl SpMv for Csr {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_isa(self.isa, x, y);
+    }
+
+    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        kernels::dispatch::csr_spmv_add(self.isa, &self.rowptr, &self.colidx, &self.val, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplace1d(n: usize) -> Csr {
+        let mut b = crate::coo::CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 4.0, 5.0, 0.0, 0.0, 0.0, 6.0];
+        let a = Csr::from_dense(3, 4, &d);
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.to_dense(), d);
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let a = laplace1d(17);
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; 17];
+        a.spmv(&x, &mut y);
+        let d = a.to_dense();
+        for i in 0..17 {
+            let want: f64 = (0..17).map(|j| d[i * 17 + j] * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-12, "row {i}: {} vs {}", y[i], want);
+        }
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = laplace1d(5);
+        let x = vec![1.0; 5];
+        let mut y = vec![10.0; 5];
+        a.spmv_add(&x, &mut y);
+        assert_eq!(y, vec![11.0, 10.0, 10.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let d = vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0];
+        let a = Csr::from_dense(2, 3, &d);
+        let att = a.transpose().transpose();
+        assert_eq!(att.to_dense(), d);
+        assert_eq!(a.transpose().nrows(), 3);
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let a = laplace1d(4);
+        assert_eq!(a.get(1, 0), Some(-1.0));
+        assert_eq!(a.get(1, 1), Some(2.0));
+        assert_eq!(a.get(1, 3), None);
+        assert_eq!(a.row_len(0), 2);
+        assert_eq!(a.row_len(1), 3);
+        assert_eq!(a.max_row_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn unsorted_rows_rejected() {
+        Csr::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_out_of_range_rejected() {
+        Csr::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit_transpose() {
+        let d = vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0];
+        let a = Csr::from_dense(2, 3, &d);
+        let x = vec![2.0, -1.0];
+        let mut y1 = vec![0.0; 3];
+        a.spmv_transpose(&x, &mut y1);
+        let mut y2 = vec![0.0; 3];
+        a.transpose().spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+        // Accumulating variant.
+        let mut y3 = vec![10.0; 3];
+        a.spmv_transpose_add(&x, &mut y3);
+        for i in 0..3 {
+            assert!((y3[i] - (10.0 + y1[i])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn all_isa_tiers_agree() {
+        let a = laplace1d(40);
+        let x: Vec<f64> = (0..40).map(|i| 0.1 * i as f64).collect();
+        let mut want = vec![0.0; 40];
+        a.spmv_isa(Isa::Scalar, &x, &mut want);
+        for isa in Isa::available_tiers() {
+            let mut got = vec![0.0; 40];
+            a.spmv_isa(isa, &x, &mut got);
+            for i in 0..40 {
+                assert!((got[i] - want[i]).abs() < 1e-12, "{isa} row {i}");
+            }
+        }
+    }
+}

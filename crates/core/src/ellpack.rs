@@ -1,0 +1,209 @@
+//! Classic (unsliced) ELLPACK and ELLPACK-R (§2.5).
+//!
+//! ELLPACK shifts the nonzeros of every row left into a dense `m × L`
+//! array, `L` being the *global* maximum row length; short rows are padded.
+//! The storage is column-major so a vector lane can sweep `m` consecutive
+//! rows — great for GPUs/vector machines, but the padding explodes when one
+//! row is much longer than the rest, which is exactly what slicing fixes.
+//! ELLPACK-R (Vázquez et al.) adds a row-length array so the kernel can
+//! stop early instead of multiplying padded zeros.
+
+use crate::aligned::AVec;
+use crate::csr::Csr;
+use crate::traits::{check_spmv_dims, MatShape, SpMv};
+
+/// Unsliced ELLPACK: one `m × L` dense block, column-major.
+#[derive(Clone, Debug)]
+pub struct Ellpack {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    width: usize,
+    /// `val[j * nrows + i]` is the `j`-th stored entry of row `i`.
+    val: AVec<f64>,
+    colidx: AVec<u32>,
+}
+
+impl Ellpack {
+    /// Converts from CSR; width becomes the global maximum row length.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let nrows = csr.nrows();
+        let width = csr.max_row_len();
+        let mut val: AVec<f64> = AVec::zeroed(nrows * width);
+        let mut colidx: AVec<u32> = AVec::zeroed(nrows * width);
+        for i in 0..nrows {
+            let cols = csr.row_cols(i);
+            let vals = csr.row_vals(i);
+            let pad = cols.last().copied().unwrap_or(0);
+            for j in 0..width {
+                let at = j * nrows + i;
+                if j < cols.len() {
+                    colidx[at] = cols[j];
+                    val[at] = vals[j];
+                } else {
+                    colidx[at] = pad;
+                }
+            }
+        }
+        Self { nrows, ncols: csr.ncols(), nnz: csr.nnz(), width, val, colidx }
+    }
+
+    /// The padded width `L` (global maximum row length).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Stored elements including padding (`m × L`).
+    pub fn stored_elems(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Number of padding entries.
+    pub fn padded_elems(&self) -> usize {
+        self.stored_elems() - self.nnz
+    }
+}
+
+impl MatShape for Ellpack {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+impl SpMv for Ellpack {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        y.fill(0.0);
+        for j in 0..self.width {
+            let base = j * self.nrows;
+            for i in 0..self.nrows {
+                y[i] += self.val[base + i] * x[self.colidx[base + i] as usize];
+            }
+        }
+    }
+}
+
+/// ELLPACK-R: ELLPACK plus a row-length array bounding each row's loop.
+#[derive(Clone, Debug)]
+pub struct EllpackR {
+    ell: Ellpack,
+    rlen: Vec<u32>,
+}
+
+impl EllpackR {
+    /// Converts from CSR.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let rlen = (0..csr.nrows()).map(|i| csr.row_len(i) as u32).collect();
+        Self { ell: Ellpack::from_csr(csr), rlen }
+    }
+
+    /// Row length array.
+    pub fn rlen(&self) -> &[u32] {
+        &self.rlen
+    }
+
+    /// The padded width `L`.
+    pub fn width(&self) -> usize {
+        self.ell.width()
+    }
+}
+
+impl MatShape for EllpackR {
+    fn nrows(&self) -> usize {
+        self.ell.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.ell.ncols()
+    }
+    fn nnz(&self) -> usize {
+        self.ell.nnz()
+    }
+}
+
+impl SpMv for EllpackR {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.ell.nrows, self.ell.ncols, x, y);
+        // Row-major traversal bounded by rlen: skips padded work entirely.
+        for i in 0..self.ell.nrows {
+            let mut sum = 0.0;
+            for j in 0..self.rlen[i] as usize {
+                let at = j * self.ell.nrows + i;
+                sum += self.ell.val[at] * x[self.ell.colidx[at] as usize];
+            }
+            y[i] = sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_dense(
+            4,
+            4,
+            &[
+                2.0, -1.0, 0.0, 0.0, //
+                -1.0, 2.0, -1.0, 0.0, //
+                0.0, -1.0, 2.0, -1.0, //
+                5.0, 0.0, -1.0, 2.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn width_is_max_row_len() {
+        let e = Ellpack::from_csr(&sample());
+        assert_eq!(e.width(), 3);
+        assert_eq!(e.stored_elems(), 12);
+        assert_eq!(e.padded_elems(), 12 - 11);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = sample();
+        let e = Ellpack::from_csr(&a);
+        let r = EllpackR::from_csr(&a);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut want = vec![0.0; 4];
+        a.spmv(&x, &mut want);
+        let mut y1 = vec![0.0; 4];
+        let mut y2 = vec![0.0; 4];
+        e.spmv(&x, &mut y1);
+        r.spmv(&x, &mut y2);
+        assert_eq!(y1, want);
+        assert_eq!(y2, want);
+    }
+
+    #[test]
+    fn one_long_row_blows_up_ellpack_padding() {
+        // The pathology motivating slicing: one dense row forces L = n.
+        let n = 64;
+        let mut b = crate::coo::CooBuilder::new(n, n);
+        for j in 0..n {
+            b.push(0, j, 1.0);
+        }
+        for i in 1..n {
+            b.push(i, i, 1.0);
+        }
+        let a = b.to_csr();
+        let e = Ellpack::from_csr(&a);
+        let s = crate::sell::Sell8::from_csr(&a);
+        assert_eq!(e.stored_elems(), n * n);
+        assert!(s.stored_elems() < e.stored_elems() / 4,
+            "slicing must drastically cut padding: {} vs {}", s.stored_elems(), e.stored_elems());
+    }
+
+    #[test]
+    fn ellpack_r_rlen_matches() {
+        let r = EllpackR::from_csr(&sample());
+        assert_eq!(r.rlen(), &[2, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! CSR SpMV with AVX (no gather, no FMA) — the §5.5 instruction
+//! substitution: gathers become `load_sd`/`loadh_pd` pairs merged with a
+//! 128-bit insert, and the fused multiply-add becomes separate multiply and
+//! add instructions.
+//!
+//! The paper observes that on KNL this AVX kernel can even *beat* the AVX2
+//! one for CSR, speculating that the separate multiply breaks the FMA
+//! dependency chain between iterations (§7.2).
+
+use std::arch::x86_64::*;
+
+#[inline]
+unsafe fn hsum256(v: __m256d) -> f64 {
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let lo = _mm256_castpd256_pd128(v);
+    let s = _mm_add_pd(lo, hi);
+    let hi64 = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, hi64))
+}
+
+/// Emulated 4-lane gather of `x` at `colidx[idx..idx+4]` (§5.5: two SSE2
+/// loads form each 128-bit half, then an insert forms the 256-bit vector).
+#[inline]
+unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
+    let i0 = *ci as usize;
+    let i1 = *ci.add(1) as usize;
+    let i2 = *ci.add(2) as usize;
+    let i3 = *ci.add(3) as usize;
+    let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
+    let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
+    _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) for CSR using first-generation AVX.
+///
+/// # Safety
+///
+/// * The CPU must support `avx`.
+/// * Array invariants as for [`super::csr_avx512::spmv`].
+#[target_feature(enable = "avx")]
+pub unsafe fn spmv<const ADD: bool>(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nrows = y.len();
+    let xp = x.as_ptr();
+    for i in 0..nrows {
+        let lo = rowptr[i];
+        let hi = rowptr[i + 1];
+        let mut idx = lo;
+        let mut acc = _mm256_setzero_pd();
+        while idx + 4 <= hi {
+            let v = _mm256_loadu_pd(val.as_ptr().add(idx));
+            let xv = gather4_emulated(xp, colidx.as_ptr().add(idx));
+            // Separate multiply and add: AVX has no FMA.
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            idx += 4;
+        }
+        let mut tail = 0.0;
+        for k in idx..hi {
+            tail += *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize);
+        }
+        let sum = hsum256(acc) + tail;
+        if ADD {
+            *y.get_unchecked_mut(i) += sum;
+        } else {
+            *y.get_unchecked_mut(i) = sum;
+        }
+    }
+}

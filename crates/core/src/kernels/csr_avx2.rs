@@ -1,0 +1,56 @@
+//! CSR SpMV with AVX2 intrinsics: 4-wide gather + FMA, scalar remainder.
+//!
+//! Same structure as the AVX-512 kernel but with 256-bit YMM registers and
+//! no masked memory operations, so remainders shorter than 4 run scalar.
+
+use std::arch::x86_64::*;
+
+#[inline]
+unsafe fn hsum256(v: __m256d) -> f64 {
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let lo = _mm256_castpd256_pd128(v);
+    let s = _mm_add_pd(lo, hi);
+    let hi64 = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, hi64))
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) for CSR using AVX2 + FMA.
+///
+/// # Safety
+///
+/// * The CPU must support `avx2` and `fma`.
+/// * Array invariants as for [`super::csr_avx512::spmv`].
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmv<const ADD: bool>(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nrows = y.len();
+    let xp = x.as_ptr();
+    for i in 0..nrows {
+        let lo = rowptr[i];
+        let hi = rowptr[i + 1];
+        let mut idx = lo;
+        let mut acc = _mm256_setzero_pd();
+        while idx + 4 <= hi {
+            let v = _mm256_loadu_pd(val.as_ptr().add(idx));
+            let ci = _mm_loadu_si128(colidx.as_ptr().add(idx) as *const __m128i);
+            let xv = _mm256_i32gather_pd::<8>(xp, ci);
+            acc = _mm256_fmadd_pd(v, xv, acc);
+            idx += 4;
+        }
+        let mut tail = 0.0;
+        for k in idx..hi {
+            tail += *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize);
+        }
+        let sum = hsum256(acc) + tail;
+        if ADD {
+            *y.get_unchecked_mut(i) += sum;
+        } else {
+            *y.get_unchecked_mut(i) = sum;
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Safe runtime dispatch from [`Isa`] to the matching unsafe kernel.
+//!
+//! Each wrapper asserts (in debug builds) the invariants the intrinsic
+//! kernels rely on, checks the requested feature set is actually present on
+//! the CPU, and falls back to scalar on non-x86 targets.
+
+use crate::isa::Isa;
+
+use super::{csr_scalar, sell_scalar};
+
+/// CSR `y = A·x` at the requested ISA tier.
+///
+/// Panics if `isa` is not available on the running CPU.
+pub fn csr_spmv(isa: Isa, rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &mut [f64]) {
+    csr_dispatch::<false>(isa, rowptr, colidx, val, x, y);
+}
+
+/// CSR `y += A·x` at the requested ISA tier.
+pub fn csr_spmv_add(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    csr_dispatch::<true>(isa, rowptr, colidx, val, x, y);
+}
+
+fn csr_dispatch<const ADD: bool>(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(rowptr.len(), y.len() + 1);
+    debug_assert_eq!(colidx.len(), val.len());
+    debug_assert!(colidx.iter().all(|&c| (c as usize) < x.len()));
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature availability checked above; slice invariants
+        // asserted above and guaranteed by `Csr::from_parts`.
+        Isa::Avx => unsafe { super::csr_avx::spmv::<ADD>(rowptr, colidx, val, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { super::csr_avx2::spmv::<ADD>(rowptr, colidx, val, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { super::csr_avx512::spmv::<ADD>(rowptr, colidx, val, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
+    }
+}
+
+/// SELL-8 `y = A·x` at the requested ISA tier.
+pub fn sell8_spmv(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    sell8_dispatch::<false>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+/// SELL-8 `y += A·x` at the requested ISA tier.
+pub fn sell8_spmv_add(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    sell8_dispatch::<true>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+/// SELL-4 `y = A·x` (or `+=`) at the requested ISA tier.  AVX-512 hosts
+/// run the AVX2 kernel (a 4-lane slice cannot fill a ZMM register).
+pub fn sell4_spmv<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(y.len(), nrows);
+    debug_assert!(sliceptr.iter().all(|&p| p % 4 == 0));
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => sell_scalar::spmv::<4, ADD>(sliceptr, colidx, val, nrows, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked above; layout invariants guaranteed by
+        // Sell::<4>::from_csr (aligned AVec + 4-aligned sliceptr).
+        Isa::Avx => unsafe { super::sell4_simd::spmv_avx::<ADD>(sliceptr, colidx, val, nrows, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => unsafe {
+            super::sell4_simd::spmv_avx2::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sell_scalar::spmv::<4, ADD>(sliceptr, colidx, val, nrows, x, y),
+    }
+}
+
+/// SELL-16 `y = A·x` (or `+=`) at the requested ISA tier.  Only AVX-512
+/// has a dedicated kernel (two ZMM accumulators); other tiers run scalar.
+pub fn sell16_spmv<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(y.len(), nrows);
+    debug_assert!(sliceptr.iter().all(|&p| p % 16 == 0));
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked above; layout invariants guaranteed by
+        // Sell::<16>::from_csr (aligned AVec + 16-aligned sliceptr).
+        Isa::Avx512 => unsafe {
+            super::sell16_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        _ => sell_scalar::spmv::<16, ADD>(sliceptr, colidx, val, nrows, x, y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_csr() -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        // 3x3: [[1,2,0],[0,3,0],[4,0,5]]
+        (vec![0, 2, 3, 5], vec![0, 1, 1, 0, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+    }
+
+    #[test]
+    fn csr_dispatch_every_available_tier() {
+        let (rp, ci, v) = tiny_csr();
+        let x = vec![1.0, 10.0, 100.0];
+        for isa in Isa::available_tiers() {
+            let mut y = vec![0.0; 3];
+            csr_spmv(isa, &rp, &ci, &v, &x, &mut y);
+            assert_eq!(y, vec![21.0, 30.0, 504.0], "{isa}");
+            let mut ya = vec![1.0; 3];
+            csr_spmv_add(isa, &rp, &ci, &v, &x, &mut ya);
+            assert_eq!(ya, vec![22.0, 31.0, 505.0], "{isa} add");
+        }
+    }
+
+    #[test]
+    fn sell_dispatch_every_height_and_tier() {
+        use crate::csr::Csr;
+        use crate::sell::Sell;
+        let a = Csr::from_dense(5, 5, &[
+            1.0, 0.0, 0.0, 2.0, 0.0,
+            0.0, 3.0, 0.0, 0.0, 0.0,
+            0.0, 0.0, 0.0, 0.0, 0.0,
+            4.0, 0.0, 5.0, 0.0, 6.0,
+            0.0, 0.0, 0.0, 0.0, 7.0,
+        ]);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let want = vec![9.0, 6.0, 0.0, 49.0, 35.0];
+        for isa in Isa::available_tiers() {
+            let s4 = Sell::<4>::from_csr(&a);
+            let mut y = vec![0.0; 5];
+            sell4_spmv::<false>(isa, s4.sliceptr(), s4.colidx(), s4.values(), 5, &x, &mut y);
+            assert_eq!(y, want, "C=4 {isa}");
+            let s16 = Sell::<16>::from_csr(&a);
+            let mut y = vec![0.0; 5];
+            sell16_spmv::<false>(isa, s16.sliceptr(), s16.colidx(), s16.values(), 5, &x, &mut y);
+            assert_eq!(y, want, "C=16 {isa}");
+            let s8 = Sell::<8>::from_csr(&a);
+            let mut y = vec![0.0; 5];
+            sell8_spmv(isa, s8.sliceptr(), s8.colidx(), s8.values(), 5, &x, &mut y);
+            assert_eq!(y, want, "C=8 {isa}");
+        }
+    }
+
+    #[test]
+    fn add_mode_accumulates_for_all_heights() {
+        use crate::csr::Csr;
+        use crate::sell::Sell;
+        let a = Csr::from_dense(2, 2, &[1.0, 0.0, 0.0, 2.0]);
+        let x = vec![3.0, 4.0];
+        let isa = Isa::detect();
+        let s4 = Sell::<4>::from_csr(&a);
+        let mut y = vec![10.0, 10.0];
+        sell4_spmv::<true>(isa, s4.sliceptr(), s4.colidx(), s4.values(), 2, &x, &mut y);
+        assert_eq!(y, vec![13.0, 18.0]);
+        let s16 = Sell::<16>::from_csr(&a);
+        let mut y = vec![10.0, 10.0];
+        sell16_spmv::<true>(isa, s16.sliceptr(), s16.colidx(), s16.values(), 2, &x, &mut y);
+        assert_eq!(y, vec![13.0, 18.0]);
+    }
+}
+
+fn sell8_dispatch<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(y.len(), nrows);
+    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(8) + 1);
+    debug_assert!(sliceptr.iter().all(|&p| p % 8 == 0), "slice offsets must be 8-element aligned");
+    debug_assert_eq!(colidx.len(), val.len());
+    debug_assert!(colidx.iter().all(|&c| (c as usize) < x.len() || x.is_empty()));
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked; layout/alignment invariants guaranteed
+        // by `Sell::from_csr` (64-byte aligned AVec + 8-aligned sliceptr)
+        // and asserted above in debug builds.
+        Isa::Avx => unsafe { super::sell_avx::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { super::sell_avx2::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            super::sell_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
+    }
+}

@@ -1,0 +1,55 @@
+//! Hand-written SpMV kernels for every ISA tier.
+//!
+//! Two kernel families, straight from the paper:
+//!
+//! * **CSR** (Algorithm 1): vectorize the inner product of one matrix row
+//!   with `x`.  The row length is rarely a multiple of the SIMD width, so a
+//!   *remainder loop* is unavoidable — the drawback motivating SELL (§2.3).
+//! * **SELL** (Algorithm 2): process one slice of `C` adjacent rows per
+//!   outer iteration; values and indices stream in exactly storage order,
+//!   and `C` output entries are produced per slice with *no remainder loop*
+//!   (padding absorbs it).
+//!
+//! Each family has `scalar`, `avx`, `avx2`, and `avx512` implementations:
+//!
+//! | tier | width | gather | FMA | notes |
+//! |---|---|---|---|---|
+//! | scalar | 1 | – | – | what LLVM auto-vectorizes; the "CSR baseline" |
+//! | AVX    | 4 | emulated (`load_sd`/`loadh_pd`/insert) | mul+add | §5.5 |
+//! | AVX2   | 4 | hardware | yes | |
+//! | AVX-512| 8 | hardware | yes | masked remainder/store where needed |
+//!
+//! SELL additionally ships kernels for slice heights 4
+//! ([`sell4_simd`]) and 16 ([`sell16_avx512`]) and the §5.5 manually
+//! tuned unroll+prefetch variant
+//! ([`sell_avx512::spmv_unrolled`]).
+//!
+//! # Safety
+//!
+//! The `avx*` functions are `unsafe`: the caller must guarantee the CPU
+//! supports the corresponding target features (checked by
+//! [`dispatch`]) and that the array invariants documented on each function
+//! hold.  All column indices must be in-bounds for `x` — for SELL this
+//! includes *padding* indices, which the format guarantees by copying them
+//! from local nonzeros (§5.5).
+
+pub mod csr_scalar;
+pub mod dispatch;
+pub mod sell_scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub mod csr_avx;
+#[cfg(target_arch = "x86_64")]
+pub mod csr_avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod csr_avx512;
+#[cfg(target_arch = "x86_64")]
+pub mod sell16_avx512;
+#[cfg(target_arch = "x86_64")]
+pub mod sell4_simd;
+#[cfg(target_arch = "x86_64")]
+pub mod sell_avx;
+#[cfg(target_arch = "x86_64")]
+pub mod sell_avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod sell_avx512;

@@ -1,0 +1,69 @@
+//! SELL (C = 16) SpMV with AVX-512: two ZMM accumulators per slice.
+//!
+//! Twice the slice height of the paper's default trades more padding for
+//! fewer slice boundaries and two independent FMA chains per column —
+//! occasionally a win on very regular matrices (see `kernels_micro`).
+
+use std::arch::x86_64::*;
+
+/// `y = A·x` (or `+=` when `ADD`) for SELL-16 using AVX-512F/VL.
+///
+/// # Safety
+///
+/// * CPU must support `avx512f` and `avx512vl`.
+/// * Layout as documented on [`crate::Sell`] with `C = 16`: slice offsets
+///   are multiples of 16 elements (so both 64-byte halves of each column
+///   are aligned); all indices in bounds for `x`; `y.len() == nrows`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmv<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    for s in 0..nslices {
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v0 = _mm512_load_pd(val.as_ptr().add(idx));
+            let v1 = _mm512_load_pd(val.as_ptr().add(idx + 8));
+            let c0 = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+            let c1 = _mm256_load_si256(colidx.as_ptr().add(idx + 8) as *const __m256i);
+            let x0 = _mm512_i32gather_pd::<8>(c0, xp);
+            let x1 = _mm512_i32gather_pd::<8>(c1, xp);
+            acc0 = _mm512_fmadd_pd(v0, x0, acc0);
+            acc1 = _mm512_fmadd_pd(v1, x1, acc1);
+            idx += 16;
+        }
+        let base = s * 16;
+        let lanes = 16.min(nrows - base);
+        let yp = y.as_mut_ptr().add(base);
+        if lanes == 16 {
+            if ADD {
+                acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
+                acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+            }
+            _mm512_storeu_pd(yp, acc0);
+            _mm512_storeu_pd(yp.add(8), acc1);
+        } else {
+            let lo = lanes.min(8);
+            let k0: __mmask8 = if lo == 8 { 0xff } else { (1u8 << lo) - 1 };
+            let hi = lanes.saturating_sub(8);
+            let k1: __mmask8 = if hi == 8 { 0xff } else { (1u8 << hi) - 1 };
+            if ADD {
+                acc0 = _mm512_add_pd(acc0, _mm512_maskz_loadu_pd(k0, yp));
+                acc1 = _mm512_add_pd(acc1, _mm512_maskz_loadu_pd(k1, yp.add(8)));
+            }
+            _mm512_mask_storeu_pd(yp, k0, acc0);
+            if hi > 0 {
+                _mm512_mask_storeu_pd(yp.add(8), k1, acc1);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! SELL (C = 4) SIMD kernels: one YMM register spans a whole slice column.
+//!
+//! C = 4 matches the AVX/AVX2 lane count (§5.1: "the slice height should
+//! be a multiple of the vector length").  Half the padding pressure of
+//! C = 8, half the register utilization on AVX-512 hardware — the
+//! trade-off the `kernels_micro` bench quantifies.
+
+use std::arch::x86_64::*;
+
+/// `y = A·x` (or `+=` when `ADD`) for SELL-4 using AVX2 + FMA.
+///
+/// # Safety
+///
+/// * CPU must support `avx2` and `fma`.
+/// * Layout as documented on [`crate::Sell`] with `C = 4`: slice offsets
+///   are multiples of 4 elements, so `val` loads are 32-byte aligned and
+///   `colidx` loads 16-byte aligned; all indices (padding included) are
+///   in bounds for `x`; `y.len() == nrows`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmv_avx2<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    for s in 0..nslices {
+        let mut acc = _mm256_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v = _mm256_load_pd(val.as_ptr().add(idx));
+            let ci = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
+            let xv = _mm256_i32gather_pd::<8>(xp, ci);
+            acc = _mm256_fmadd_pd(v, xv, acc);
+            idx += 4;
+        }
+        store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+    }
+}
+
+/// `y = A·x` (or `+=` when `ADD`) for SELL-4 using AVX only (emulated
+/// gather, separate multiply and add — §5.5).
+///
+/// # Safety
+///
+/// Same contract as [`spmv_avx2`] with only `avx` required.
+#[target_feature(enable = "avx")]
+pub unsafe fn spmv_avx<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    for s in 0..nslices {
+        let mut acc = _mm256_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v = _mm256_load_pd(val.as_ptr().add(idx));
+            let ci = colidx.as_ptr().add(idx);
+            let lo = _mm_loadh_pd(_mm_load_sd(xp.add(*ci as usize)), xp.add(*ci.add(1) as usize));
+            let hi =
+                _mm_loadh_pd(_mm_load_sd(xp.add(*ci.add(2) as usize)), xp.add(*ci.add(3) as usize));
+            let xv = _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            idx += 4;
+        }
+        store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+    }
+}
+
+/// Stores up to 4 lanes into `y[base..base+lanes]`.
+///
+/// # Safety
+///
+/// `base + lanes <= y.len()`; caller runs under `avx`.
+#[target_feature(enable = "avx")]
+unsafe fn store4<const ADD: bool>(y: &mut [f64], base: usize, lanes: usize, acc: __m256d) {
+    let yp = y.as_mut_ptr().add(base);
+    if lanes == 4 {
+        if ADD {
+            let prev = _mm256_loadu_pd(yp);
+            _mm256_storeu_pd(yp, _mm256_add_pd(acc, prev));
+        } else {
+            _mm256_storeu_pd(yp, acc);
+        }
+    } else {
+        let mut buf = [0.0f64; 4];
+        _mm256_storeu_pd(buf.as_mut_ptr(), acc);
+        for r in 0..lanes {
+            if ADD {
+                *yp.add(r) += buf[r];
+            } else {
+                *yp.add(r) = buf[r];
+            }
+        }
+    }
+}

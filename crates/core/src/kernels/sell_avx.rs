@@ -1,0 +1,85 @@
+//! SELL (C = 8) SpMV with first-generation AVX: no gather, no FMA.
+//!
+//! §5.5: "We use two SSE2 load instructions to load two 64-bit floating
+//! point values into a packed vector and then insert two packed 128-bit
+//! vectors to form a 256-bit AVX vector", and multiply/add are issued
+//! separately.  This kernel targets pre-Haswell CPUs — the reason the paper
+//! keeps an AVX path at all (§5.3: "also older CPUs with support for AVX
+//! can be targeted").
+
+use std::arch::x86_64::*;
+
+/// Emulated 4-lane gather (two `load_sd`/`loadh_pd` pairs + insert).
+#[inline]
+unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
+    let i0 = *ci as usize;
+    let i1 = *ci.add(1) as usize;
+    let i2 = *ci.add(2) as usize;
+    let i3 = *ci.add(3) as usize;
+    let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
+    let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
+    _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX only.
+///
+/// # Safety
+///
+/// Same contract as [`super::sell_avx512::spmv`], with only `avx` required.
+#[target_feature(enable = "avx")]
+pub unsafe fn spmv<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    if nslices == 0 {
+        return;
+    }
+    let xp = x.as_ptr();
+
+    for s in 0..nslices {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v0 = _mm256_load_pd(val.as_ptr().add(idx));
+            let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
+            let x0 = gather4_emulated(xp, colidx.as_ptr().add(idx));
+            let x1 = gather4_emulated(xp, colidx.as_ptr().add(idx + 4));
+            // Separate multiply and add: AVX has no FMA (§5.5).
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+            idx += 8;
+        }
+        let base = s * 8;
+        let lanes = 8.min(nrows - base);
+        let yp = y.as_mut_ptr().add(base);
+        if lanes == 8 {
+            if ADD {
+                let p0 = _mm256_loadu_pd(yp);
+                let p1 = _mm256_loadu_pd(yp.add(4));
+                _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
+                _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
+            } else {
+                _mm256_storeu_pd(yp, acc0);
+                _mm256_storeu_pd(yp.add(4), acc1);
+            }
+        } else {
+            let mut buf = [0.0f64; 8];
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
+            for r in 0..lanes {
+                if ADD {
+                    *yp.add(r) += buf[r];
+                } else {
+                    *yp.add(r) = buf[r];
+                }
+            }
+        }
+    }
+}

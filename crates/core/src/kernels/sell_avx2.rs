@@ -1,0 +1,89 @@
+//! SELL (C = 8) SpMV with AVX2: each 8-row slice column is processed as two
+//! 4-lane halves with hardware gather and FMA.  Twice the instruction count
+//! of the AVX-512 kernel for the same work (§5.5: "the total number of
+//! instructions executed is doubled with AVX2").
+
+use std::arch::x86_64::*;
+
+/// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX2 + FMA.
+///
+/// # Safety
+///
+/// Same contract as [`super::sell_avx512::spmv`], with `avx2` and `fma`
+/// required instead of AVX-512.  Alignment: slice starts are multiples of 8
+/// doubles (64 B), so both 32-byte halves are 32-byte aligned.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmv<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    if nslices == 0 {
+        return;
+    }
+    let xp = x.as_ptr();
+
+    for s in 0..nslices {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v0 = _mm256_load_pd(val.as_ptr().add(idx));
+            let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
+            let ci0 = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
+            let ci1 = _mm_load_si128(colidx.as_ptr().add(idx + 4) as *const __m128i);
+            let x0 = _mm256_i32gather_pd::<8>(xp, ci0);
+            let x1 = _mm256_i32gather_pd::<8>(xp, ci1);
+            acc0 = _mm256_fmadd_pd(v0, x0, acc0);
+            acc1 = _mm256_fmadd_pd(v1, x1, acc1);
+            idx += 8;
+        }
+        let base = s * 8;
+        let lanes = 8.min(nrows - base);
+        store_lanes::<ADD>(y, base, lanes, acc0, acc1);
+    }
+}
+
+/// Stores up to 8 accumulated lanes into `y[base..base+lanes]`.
+///
+/// # Safety
+///
+/// `base + lanes <= y.len()`; caller runs under `avx2`.
+#[target_feature(enable = "avx2")]
+unsafe fn store_lanes<const ADD: bool>(
+    y: &mut [f64],
+    base: usize,
+    lanes: usize,
+    acc0: __m256d,
+    acc1: __m256d,
+) {
+    let yp = y.as_mut_ptr().add(base);
+    if lanes == 8 {
+        if ADD {
+            let p0 = _mm256_loadu_pd(yp);
+            let p1 = _mm256_loadu_pd(yp.add(4));
+            _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
+            _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
+        } else {
+            _mm256_storeu_pd(yp, acc0);
+            _mm256_storeu_pd(yp.add(4), acc1);
+        }
+    } else {
+        // Partial last slice: spill and copy the valid lanes.
+        let mut buf = [0.0f64; 8];
+        _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
+        _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
+        for r in 0..lanes {
+            if ADD {
+                *yp.add(r) += buf[r];
+            } else {
+                *yp.add(r) = buf[r];
+            }
+        }
+    }
+}

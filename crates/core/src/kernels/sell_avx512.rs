@@ -1,0 +1,193 @@
+//! SELL (C = 8) SpMV with AVX-512 intrinsics — Algorithm 2 of the paper,
+//! the headline kernel.
+//!
+//! One slice of 8 adjacent rows is processed per outer iteration.  Values
+//! and column indices stream through memory in exactly the order they are
+//! stored (column-by-column within the slice), so *every* load is a full,
+//! aligned vector load; the gather collects the 8 needed entries of `x`,
+//! and one FMA per column updates all 8 rows.  Only the final slice — when
+//! `nrows` is not a multiple of 8 — needs a masked store (§5.5).
+
+use std::arch::x86_64::*;
+
+/// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX-512F/VL.
+///
+/// # Safety
+///
+/// * The CPU must support `avx512f` and `avx512vl`.
+/// * `val`/`colidx` must be 64-byte aligned (they are [`crate::AVec`]s) and
+///   laid out as described in [`crate::Sell`]; every slice offset in
+///   `sliceptr` must be a multiple of 8 so the aligned loads are legal.
+/// * Every column index — including padding — must be `< x.len()`.
+/// * `y.len() == nrows` and `sliceptr.len() == ceil(nrows/8) + 1`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmv<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    if nslices == 0 {
+        return;
+    }
+    let xp = x.as_ptr();
+    let full = if nrows.is_multiple_of(8) { nslices } else { nslices - 1 };
+
+    for s in 0..full {
+        let mut acc = _mm512_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            // Aligned 64-byte load of one slice column of values…
+            let v = _mm512_load_pd(val.as_ptr().add(idx));
+            // …and the matching 32-byte aligned load of 8 column indices.
+            let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(ci, xp);
+            acc = _mm512_fmadd_pd(v, xv, acc);
+            idx += 8;
+        }
+        let yp = y.as_mut_ptr().add(s * 8);
+        if ADD {
+            let prev = _mm512_loadu_pd(yp);
+            acc = _mm512_add_pd(acc, prev);
+        }
+        _mm512_storeu_pd(yp, acc);
+    }
+
+    finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+}
+
+/// SELL-8 AVX-512 kernel with the §5.5 manual tuning applied: the outer
+/// loop is unrolled two slices at a time and each slice's value/index
+/// streams are software-prefetched one column ahead.
+///
+/// The paper's finding — "these classic optimization techniques do not
+/// affect the performance significantly" — can be re-measured against the
+/// plain kernel with `benches/kernels_micro.rs`.
+///
+/// # Safety
+///
+/// Identical contract to [`spmv`].
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmv_unrolled<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    if nslices == 0 {
+        return;
+    }
+    let xp = x.as_ptr();
+    let full = if nrows.is_multiple_of(8) { nslices } else { nslices - 1 };
+
+    let mut s = 0usize;
+    // Two-slice unroll: independent accumulators hide gather latency.
+    while s + 2 <= full {
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let (mut i0, e0) = (sliceptr[s], sliceptr[s + 1]);
+        let (mut i1, e1) = (sliceptr[s + 1], sliceptr[s + 2]);
+        while i0 < e0 && i1 < e1 {
+            _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i0 + 8) as *const i8);
+            _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i1 + 8) as *const i8);
+            let v0 = _mm512_load_pd(val.as_ptr().add(i0));
+            let c0 = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
+            acc0 = _mm512_fmadd_pd(v0, _mm512_i32gather_pd::<8>(c0, xp), acc0);
+            let v1 = _mm512_load_pd(val.as_ptr().add(i1));
+            let c1 = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
+            acc1 = _mm512_fmadd_pd(v1, _mm512_i32gather_pd::<8>(c1, xp), acc1);
+            i0 += 8;
+            i1 += 8;
+        }
+        // Ragged tails of the pair (slices have independent widths).
+        while i0 < e0 {
+            let v = _mm512_load_pd(val.as_ptr().add(i0));
+            let c = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
+            acc0 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc0);
+            i0 += 8;
+        }
+        while i1 < e1 {
+            let v = _mm512_load_pd(val.as_ptr().add(i1));
+            let c = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
+            acc1 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc1);
+            i1 += 8;
+        }
+        let yp = y.as_mut_ptr().add(s * 8);
+        if ADD {
+            acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
+            acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+        }
+        _mm512_storeu_pd(yp, acc0);
+        _mm512_storeu_pd(yp.add(8), acc1);
+        s += 2;
+    }
+    // Odd full slice.
+    if s < full {
+        let mut acc = _mm512_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v = _mm512_load_pd(val.as_ptr().add(idx));
+            let c = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+            acc = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc);
+            idx += 8;
+        }
+        let yp = y.as_mut_ptr().add(s * 8);
+        if ADD {
+            acc = _mm512_add_pd(acc, _mm512_loadu_pd(yp));
+        }
+        _mm512_storeu_pd(yp, acc);
+    }
+
+    finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+}
+
+/// Handles the final partial slice (masked store), shared by the plain
+/// and unrolled kernels.
+///
+/// # Safety
+///
+/// Same contract as [`spmv`]; caller runs under `avx512f,avx512vl`.
+#[target_feature(enable = "avx512f,avx512vl")]
+unsafe fn finish_partial_slice<const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    full: usize,
+    nslices: usize,
+) {
+    let xp = x.as_ptr();
+    // Final partial slice: full-width arithmetic (padding rows compute
+    // garbage-free zeros), masked store of the valid lanes only.
+    if full < nslices {
+        let s = full;
+        let lanes = nrows - s * 8;
+        let k: __mmask8 = (1u8 << lanes) - 1;
+        let mut acc = _mm512_setzero_pd();
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            let v = _mm512_load_pd(val.as_ptr().add(idx));
+            let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(ci, xp);
+            acc = _mm512_fmadd_pd(v, xv, acc);
+            idx += 8;
+        }
+        let yp = y.as_mut_ptr().add(s * 8);
+        if ADD {
+            let prev = _mm512_maskz_loadu_pd(k, yp);
+            acc = _mm512_add_pd(acc, prev);
+        }
+        _mm512_mask_storeu_pd(yp, k, acc);
+    }
+}

@@ -1,0 +1,739 @@
+//! Sliced ELLPACK storage (PETSc `SELL`) — the paper's contribution (§5).
+//!
+//! The matrix is partitioned into slices of `C` adjacent rows.  Within a
+//! slice, nonzeros are shifted left and stored **column by column** in a
+//! dense `C × width` block, where `width` is the longest row of that slice;
+//! shorter rows are padded with explicit zeros.  Four arrays describe the
+//! matrix (Figure 6):
+//!
+//! * `val` — values, padded, slice-column-major;
+//! * `colidx` — column indices, same layout; padding indices are **copied
+//!   from local nonzero elements** so gathers never touch nonlocal entries
+//!   (§5.5);
+//! * `rlen` — the true length of every row (§5.2: not needed by SpMV, but
+//!   used for assembly, preallocation, and identifying padding);
+//! * `sliceptr` — the element offset where each slice begins.
+//!
+//! Design choices reproduced from the paper:
+//!
+//! * slice height `C` is a multiple of the SIMD width; **8** for AVX-512
+//!   doubles ([`Sell8`], fixed on KNL);
+//! * **no bit array** (§5.3) — contrast [`crate::SellEsb`];
+//! * **no sorting** by default (§5.4) — σ-sorting is available explicitly
+//!   via [`Sell::from_csr_sigma`] for the SELL-C-σ ablation;
+//! * the final partial slice is padded to full height so only its *store*
+//!   is masked (§5.5).
+
+use crate::aligned::AVec;
+use crate::csr::Csr;
+use crate::isa::Isa;
+use crate::kernels::{dispatch, sell_scalar};
+use crate::traits::{check_spmv_dims, MatShape, SpMv};
+
+/// A sliced-ELLPACK matrix with compile-time slice height `C`.
+///
+/// ```
+/// use sellkit_core::{Csr, Sell8, SpMv, MatShape};
+///
+/// let csr = Csr::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+/// let sell = Sell8::from_csr(&csr);
+/// assert_eq!(sell.nnz(), csr.nnz());
+/// // 3 rows pad up to one slice of 8 lanes, 3 columns wide.
+/// assert_eq!(sell.stored_elems(), 8 * 3);
+///
+/// let mut y = vec![0.0; 3];
+/// sell.spmv(&[1.0, 2.0, 3.0], &mut y);
+/// assert_eq!(y, vec![0.0, 0.0, 4.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sell<const C: usize> {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    sliceptr: Vec<usize>,
+    colidx: AVec<u32>,
+    val: AVec<f64>,
+    rlen: Vec<u32>,
+    /// σ-sorting permutation: storage lane `k` holds logical row `perm[k]`.
+    /// `None` for the paper's default unsorted format.
+    perm: Option<Vec<u32>>,
+    isa: Isa,
+}
+
+/// SELL with slice height 4 (AVX/AVX2 lane count).
+pub type Sell4 = Sell<4>;
+/// SELL with slice height 8 — the paper's KNL/AVX-512 configuration.
+pub type Sell8 = Sell<8>;
+/// SELL with slice height 16 (two ZMM registers per slice column).
+pub type Sell16 = Sell<16>;
+
+impl<const C: usize> Sell<C> {
+    /// Converts a CSR matrix without any row reordering (the default, §5.4).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let ident: Vec<u32> = (0..csr.nrows() as u32).collect();
+        Self::build(csr, &ident, false)
+    }
+
+    /// Converts with SELL-C-σ row sorting: rows are sorted by descending
+    /// length within windows of `sigma` rows (σ must be a positive multiple
+    /// of `C`; σ = nrows gives full pJDS-style sorting).
+    pub fn from_csr_sigma(csr: &Csr, sigma: usize) -> Self {
+        assert!(sigma > 0 && sigma.is_multiple_of(C), "sigma must be a positive multiple of C");
+        let nrows = csr.nrows();
+        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&i| std::cmp::Reverse(csr.row_len(i as usize)));
+        }
+        Self::build(csr, &perm, true)
+    }
+
+    /// Core conversion: storage lane `k` takes logical row `perm[k]`.
+    fn build(csr: &Csr, perm: &[u32], keep_perm: bool) -> Self {
+        assert!(C > 0 && C.is_multiple_of(4) || C == 1 || C == 2, "unsupported slice height {C}");
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nslices = nrows.div_ceil(C);
+        let mut sliceptr = vec![0usize; nslices + 1];
+        let mut widths = vec![0usize; nslices];
+        for s in 0..nslices {
+            let mut w = 0usize;
+            for r in 0..C {
+                let k = s * C + r;
+                if k < nrows {
+                    w = w.max(csr.row_len(perm[k] as usize));
+                }
+            }
+            widths[s] = w;
+            sliceptr[s + 1] = sliceptr[s] + C * w;
+        }
+        let total = sliceptr[nslices];
+        let mut val: AVec<f64> = AVec::zeroed(total);
+        let mut colidx: AVec<u32> = AVec::zeroed(total);
+        let mut rlen = vec![0u32; nrows];
+
+        for s in 0..nslices {
+            let base = sliceptr[s];
+            let w = widths[s];
+            for r in 0..C {
+                let k = s * C + r;
+                let (cols, vals, len) = if k < nrows {
+                    let row = perm[k] as usize;
+                    rlen[row] = csr.row_len(row) as u32;
+                    (csr.row_cols(row), csr.row_vals(row), csr.row_len(row))
+                } else {
+                    (&[] as &[u32], &[] as &[f64], 0)
+                };
+                // Padding gathers re-read a local column (§5.5): the last
+                // nonzero of this row if any, else column 0 (valid whenever
+                // the slice has any nonzero at all, hence whenever w > 0).
+                let pad_col = cols.last().copied().unwrap_or(0);
+                for j in 0..w {
+                    let at = base + j * C + r;
+                    if j < len {
+                        colidx[at] = cols[j];
+                        val[at] = vals[j];
+                    } else {
+                        colidx[at] = pad_col;
+                        // val stays 0.0 from zeroed allocation.
+                    }
+                }
+            }
+        }
+
+        Self {
+            nrows,
+            ncols,
+            nnz: csr.nnz(),
+            sliceptr,
+            colidx,
+            val,
+            rlen,
+            perm: keep_perm.then(|| perm.to_vec()),
+            isa: Isa::detect(),
+        }
+    }
+
+    /// Overrides the dispatch ISA (panics if unavailable on this CPU).
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        assert!(isa.available(), "ISA {isa} not available on this CPU");
+        self.isa = isa;
+        self
+    }
+
+    /// The ISA this matrix dispatches to.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Slice height.
+    pub const fn slice_height(&self) -> usize {
+        C
+    }
+
+    /// Number of slices.
+    pub fn nslices(&self) -> usize {
+        self.sliceptr.len() - 1
+    }
+
+    /// Slice offsets in elements (length `nslices + 1`).
+    pub fn sliceptr(&self) -> &[usize] {
+        &self.sliceptr
+    }
+
+    /// Column indices, padded, slice-column-major.
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Values, padded, slice-column-major.
+    pub fn values(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// True row lengths (the `rlen` array of §5.2).
+    pub fn rlen(&self) -> &[u32] {
+        &self.rlen
+    }
+
+    /// σ-sorting permutation if this matrix was built with
+    /// [`Sell::from_csr_sigma`].
+    pub fn perm(&self) -> Option<&[u32]> {
+        self.perm.as_deref()
+    }
+
+    /// Total stored elements including padding.
+    pub fn stored_elems(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Number of explicit padding entries.
+    pub fn padded_elems(&self) -> usize {
+        self.stored_elems() - self.nnz
+    }
+
+    /// Fraction of stored elements that are padding (0 for a perfectly
+    /// regular matrix; the quantity slicing/sorting minimize).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.stored_elems() == 0 {
+            0.0
+        } else {
+            self.padded_elems() as f64 / self.stored_elems() as f64
+        }
+    }
+
+    /// The stored value at logical position `(i, j)`, or `None`.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let k = match &self.perm {
+            None => i,
+            Some(p) => p.iter().position(|&r| r as usize == i).expect("perm covers all rows"),
+        };
+        let (s, r) = (k / C, k % C);
+        let base = self.sliceptr[s];
+        let w = (self.sliceptr[s + 1] - base) / C;
+        let len = self.rlen[i] as usize;
+        for col in 0..w.min(len) {
+            if self.colidx[base + col * C + r] as usize == j {
+                return Some(self.val[base + col * C + r]);
+            }
+        }
+        None
+    }
+
+    /// Converts back to CSR, dropping padding (and undoing σ-sorting).
+    pub fn to_csr(&self) -> Csr {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for i in 0..self.nrows {
+            rowptr[i + 1] = rowptr[i] + self.rlen[i] as usize;
+        }
+        let mut colidx = vec![0u32; self.nnz];
+        let mut vals = vec![0.0f64; self.nnz];
+        for k in 0..self.nrows {
+            let row = match &self.perm {
+                None => k,
+                Some(p) => p[k] as usize,
+            };
+            let (s, r) = (k / C, k % C);
+            let base = self.sliceptr[s];
+            let len = self.rlen[row] as usize;
+            let at = rowptr[row];
+            for j in 0..len {
+                colidx[at + j] = self.colidx[base + j * C + r];
+                vals[at + j] = self.val[base + j * C + r];
+            }
+        }
+        Csr::from_parts(self.nrows, self.ncols, rowptr, colidx, vals)
+    }
+
+    /// Overwrites values in place from a CSR matrix with the **same
+    /// sparsity pattern** (the Jacobian-refresh path: TS/SNES re-assemble
+    /// values every Newton step without changing the pattern).
+    pub fn set_values_from_csr(&mut self, csr: &Csr) {
+        assert_eq!(csr.nrows(), self.nrows, "pattern mismatch: nrows");
+        assert_eq!(csr.nnz(), self.nnz, "pattern mismatch: nnz");
+        for k in 0..self.nrows {
+            let row = match &self.perm {
+                None => k,
+                Some(p) => p[k] as usize,
+            };
+            assert_eq!(csr.row_len(row), self.rlen[row] as usize, "pattern mismatch: row {row}");
+            let (s, r) = (k / C, k % C);
+            let base = self.sliceptr[s];
+            let vals = csr.row_vals(row);
+            for (j, &v) in vals.iter().enumerate() {
+                debug_assert_eq!(self.colidx[base + j * C + r], csr.row_cols(row)[j]);
+                self.val[base + j * C + r] = v;
+            }
+        }
+    }
+
+    /// SpMV with an explicit ISA.  Slice heights other than 8 currently run
+    /// the scalar kernel regardless of `isa` (the paper fixes C = 8 on KNL).
+    pub fn spmv_isa(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        match &self.perm {
+            None => self.spmv_raw::<false>(isa, x, y),
+            Some(p) => {
+                let mut scratch = vec![0.0f64; self.nrows];
+                self.spmv_raw::<false>(isa, x, &mut scratch);
+                for (k, &row) in p.iter().enumerate() {
+                    y[row as usize] = scratch[k];
+                }
+            }
+        }
+    }
+
+    /// SpMV through the §5.5 manually-tuned AVX-512 kernel (two-slice
+    /// unroll + software prefetch) when the CPU supports it and `C == 8`;
+    /// falls back to the regular dispatch otherwise.  σ-sorted matrices
+    /// also fall back (the tuned kernel has no permutation path).
+    ///
+    /// The paper notes these classic tunings "do not affect the
+    /// performance significantly" — benchmark them with `kernels_micro`.
+    pub fn spmv_tuned(&self, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        #[cfg(target_arch = "x86_64")]
+        if C == 8 && self.perm.is_none() && Isa::Avx512.available() {
+            // SAFETY: AVX-512 availability checked; layout invariants are
+            // guaranteed by `from_csr` (aligned AVec, 8-aligned sliceptr,
+            // in-bounds padding indices).
+            unsafe {
+                crate::kernels::sell_avx512::spmv_unrolled::<false>(
+                    &self.sliceptr,
+                    &self.colidx,
+                    &self.val,
+                    self.nrows,
+                    x,
+                    y,
+                );
+            }
+            return;
+        }
+        self.spmv(x, y);
+    }
+
+    fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
+        match C {
+            4 => dispatch::sell4_spmv::<ADD>(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
+            8 => {
+                if ADD {
+                    dispatch::sell8_spmv_add(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y);
+                } else {
+                    dispatch::sell8_spmv(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y);
+                }
+            }
+            16 => dispatch::sell16_spmv::<ADD>(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
+            _ => sell_scalar::spmv::<C, ADD>(&self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
+        }
+    }
+}
+
+impl<const C: usize> MatShape for Sell<C> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+impl<const C: usize> SpMv for Sell<C> {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_isa(self.isa, x, y);
+    }
+
+    /// Multi-vector product streaming the matrix **once**: each slice
+    /// column is loaded a single time and multiplied against all `k`
+    /// input vectors — the blocked-RHS optimization that matters exactly
+    /// because SpMV is bandwidth-bound (§6): matrix bytes dominate, so
+    /// amortizing them across vectors multiplies the arithmetic intensity
+    /// by nearly `k`.
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert_eq!(x.len(), k * self.ncols, "X must hold k column-major vectors");
+        assert_eq!(y.len(), k * self.nrows, "Y must hold k column-major vectors");
+        if self.perm.is_some() || k == 0 {
+            // σ-sorted matrices take the per-vector path (scatter per call).
+            for v in 0..k {
+                let (xv, yv) = (
+                    &x[v * self.ncols..(v + 1) * self.ncols],
+                    &mut y[v * self.nrows..(v + 1) * self.nrows],
+                );
+                self.spmv(xv, yv);
+            }
+            return;
+        }
+        debug_assert!(C <= 16, "spmm fast path supports C ≤ 16");
+        let nslices = self.nslices();
+        let mut acc = vec![[0.0f64; 8]; k];
+        // Lanes 8..16 when C = 16 (empty otherwise); hoisted out of the
+        // slice loop to keep the hot path allocation-free.
+        let mut extra = vec![[0.0f64; 8]; if C > 8 { k } else { 0 }];
+        for s in 0..nslices {
+            let base_row = s * C;
+            let lanes = C.min(self.nrows - base_row);
+            // Column-major walk over the slice; every (val, colidx) pair is
+            // touched once and used k times.
+            for a in acc.iter_mut() {
+                a.fill(0.0);
+            }
+            for a in extra.iter_mut() {
+                a.fill(0.0);
+            }
+            let mut idx = self.sliceptr[s];
+            let end = self.sliceptr[s + 1];
+            while idx < end {
+                for r in 0..C {
+                    let val = self.val[idx + r];
+                    if val == 0.0 {
+                        continue;
+                    }
+                    let col = self.colidx[idx + r] as usize;
+                    for (v, a) in acc.iter_mut().enumerate() {
+                        let xval = x[v * self.ncols + col];
+                        if r < 8 {
+                            a[r] += val * xval;
+                        } else {
+                            extra[v][r - 8] += val * xval;
+                        }
+                    }
+                }
+                idx += C;
+            }
+            for v in 0..k {
+                for r in 0..lanes {
+                    let contrib = if r < 8 { acc[v][r] } else { extra[v][r - 8] };
+                    y[v * self.nrows + base_row + r] = contrib;
+                }
+            }
+        }
+    }
+
+    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        match &self.perm {
+            None => self.spmv_raw::<true>(self.isa, x, y),
+            Some(p) => {
+                let mut scratch = vec![0.0f64; self.nrows];
+                self.spmv_raw::<false>(self.isa, x, &mut scratch);
+                for (k, &row) in p.iter().enumerate() {
+                    y[row as usize] += scratch[k];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+
+    fn random_csr(nrows: usize, ncols: usize, seed: u64) -> Csr {
+        // Small deterministic LCG so we don't need rand here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut b = CooBuilder::new(nrows, ncols);
+        for i in 0..nrows {
+            let len = next() % 12; // irregular rows, some empty
+            let mut cols: Vec<usize> = (0..len).map(|_| next() % ncols).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                b.push(i, c, (next() % 1000) as f64 / 100.0 - 5.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let a = random_csr(53, 47, 7);
+        let s = Sell8::from_csr(&a);
+        assert_eq!(s.to_csr().to_dense(), a.to_dense());
+        assert_eq!(s.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn round_trip_with_sigma_sorting() {
+        let a = random_csr(64, 64, 3);
+        let s = Sell8::from_csr_sigma(&a, 16);
+        assert!(s.perm().is_some());
+        assert_eq!(s.to_csr().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_padding_on_irregular_matrix() {
+        let a = random_csr(512, 512, 11);
+        let plain = Sell8::from_csr(&a);
+        let sorted = Sell8::from_csr_sigma(&a, 64);
+        assert!(
+            sorted.padded_elems() <= plain.padded_elems(),
+            "sorting must not increase padding: {} vs {}",
+            sorted.padded_elems(),
+            plain.padded_elems()
+        );
+    }
+
+    #[test]
+    fn spmv_matches_csr_all_isas() {
+        let a = random_csr(100, 90, 42);
+        let x: Vec<f64> = (0..90).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut want = vec![0.0; 100];
+        a.spmv_isa(Isa::Scalar, &x, &mut want);
+        let s = Sell8::from_csr(&a);
+        for isa in Isa::available_tiers() {
+            let mut got = vec![0.0; 100];
+            s.spmv_isa(isa, &x, &mut got);
+            for i in 0..100 {
+                assert!((got[i] - want[i]).abs() < 1e-12, "{isa} row {i}: {} vs {}", got[i], want[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_with_sigma_matches_csr() {
+        let a = random_csr(77, 77, 5);
+        let x: Vec<f64> = (0..77).map(|i| i as f64 + 0.5).collect();
+        let mut want = vec![0.0; 77];
+        a.spmv(&x, &mut want);
+        let s = Sell8::from_csr_sigma(&a, 8);
+        for isa in Isa::available_tiers() {
+            let mut got = vec![0.0; 77];
+            s.spmv_isa(isa, &x, &mut got);
+            for i in 0..77 {
+                assert!((got[i] - want[i]).abs() < 1e-10, "{isa} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_add_matches() {
+        let a = random_csr(40, 40, 9);
+        let s = Sell8::from_csr(&a);
+        let x = vec![1.0; 40];
+        let mut y1 = vec![2.0; 40];
+        let mut y2 = vec![2.0; 40];
+        a.spmv_add(&x, &mut y1);
+        s.spmv_add(&x, &mut y2);
+        for i in 0..40 {
+            assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn slice_offsets_are_simd_aligned() {
+        let a = random_csr(100, 100, 13);
+        let s = Sell8::from_csr(&a);
+        assert!(s.sliceptr().iter().all(|&p| p % 8 == 0));
+        assert_eq!(s.nslices(), 13);
+    }
+
+    #[test]
+    fn padding_indices_are_in_bounds_and_local() {
+        let a = random_csr(30, 25, 17);
+        let s = Sell8::from_csr(&a);
+        for &c in s.colidx() {
+            assert!((c as usize) < 25 || s.stored_elems() == 0);
+        }
+    }
+
+    #[test]
+    fn other_slice_heights_work_scalar() {
+        let a = random_csr(33, 33, 23);
+        let x: Vec<f64> = (0..33).map(|i| i as f64).collect();
+        let mut want = vec![0.0; 33];
+        a.spmv(&x, &mut want);
+        let s4 = Sell4::from_csr(&a);
+        let s16 = Sell16::from_csr(&a);
+        let mut y4 = vec![0.0; 33];
+        let mut y16 = vec![0.0; 33];
+        s4.spmv(&x, &mut y4);
+        s16.spmv(&x, &mut y16);
+        for i in 0..33 {
+            assert!((y4[i] - want[i]).abs() < 1e-12);
+            assert!((y16[i] - want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn c1_sell_is_csr_storage_sized() {
+        // §2.5: "If the slice height C is chosen as 1, the sliced ELLPACK
+        // format becomes identical to the CSR format" — zero padding.
+        let a = random_csr(60, 60, 31);
+        let s = Sell::<1>::from_csr(&a);
+        assert_eq!(s.padded_elems(), 0);
+        assert_eq!(s.stored_elems(), a.nnz());
+    }
+
+    #[test]
+    fn set_values_refresh() {
+        let a = random_csr(50, 50, 19);
+        let mut s = Sell8::from_csr(&a);
+        // Scale all values by 3 in CSR, refresh SELL in place.
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= 3.0;
+        }
+        s.set_values_from_csr(&a2);
+        let x = vec![1.0; 50];
+        let mut y1 = vec![0.0; 50];
+        let mut y2 = vec![0.0; 50];
+        a2.spmv(&x, &mut y1);
+        s.spmv(&x, &mut y2);
+        for i in 0..50 {
+            assert!((y1[i] - y2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let a = random_csr(45, 38, 61);
+        let s = Sell8::from_csr(&a);
+        let k = 3;
+        let x: Vec<f64> = (0..k * 38).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut y_block = vec![0.0; k * 45];
+        s.spmm(&x, k, &mut y_block);
+        for v in 0..k {
+            let mut y_single = vec![0.0; 45];
+            s.spmv(&x[v * 38..(v + 1) * 38], &mut y_single);
+            for i in 0..45 {
+                assert!((y_block[v * 45 + i] - y_single[i]).abs() < 1e-12, "v={v} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_with_sigma_and_c16() {
+        let a = random_csr(30, 30, 71);
+        let k = 2;
+        let x: Vec<f64> = (0..k * 30).map(|i| i as f64 * 0.05).collect();
+        let mut want = vec![0.0; k * 30];
+        a.spmm(&x, k, &mut want); // CSR default path
+        let sigma = Sell8::from_csr_sigma(&a, 16);
+        let mut y1 = vec![0.0; k * 30];
+        sigma.spmm(&x, k, &mut y1);
+        let s16 = Sell16::from_csr(&a);
+        let mut y2 = vec![0.0; k * 30];
+        s16.spmm(&x, k, &mut y2);
+        for i in 0..k * 30 {
+            assert!((y1[i] - want[i]).abs() < 1e-12, "sigma i={i}");
+            assert!((y2[i] - want[i]).abs() < 1e-12, "C=16 i={i}");
+        }
+    }
+
+    #[test]
+    fn spmm_k_zero_is_noop() {
+        let a = random_csr(10, 10, 81);
+        let s = Sell8::from_csr(&a);
+        let mut y: Vec<f64> = vec![];
+        s.spmm(&[], 0, &mut y);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::from_dense(0, 0, &[]);
+        let s = Sell8::from_csr(&a);
+        let mut y: Vec<f64> = vec![];
+        s.spmv(&[], &mut y);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.nslices(), 0);
+    }
+
+    #[test]
+    fn sell4_and_sell16_simd_match_scalar() {
+        let a = random_csr(121, 121, 29);
+        let x: Vec<f64> = (0..121).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut want = vec![0.0; 121];
+        a.spmv_isa(Isa::Scalar, &x, &mut want);
+        for isa in Isa::available_tiers() {
+            let mut y4 = vec![0.0; 121];
+            Sell4::from_csr(&a).spmv_isa(isa, &x, &mut y4);
+            let mut y16 = vec![0.0; 121];
+            Sell16::from_csr(&a).spmv_isa(isa, &x, &mut y16);
+            for i in 0..121 {
+                assert!((y4[i] - want[i]).abs() < 1e-12, "C=4 {isa} row {i}");
+                assert!((y16[i] - want[i]).abs() < 1e-12, "C=16 {isa} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sell4_and_sell16_spmv_add() {
+        let a = random_csr(37, 37, 31);
+        let x = vec![0.5; 37];
+        let mut want = vec![1.0; 37];
+        a.spmv_add(&x, &mut want);
+        let mut y4 = vec![1.0; 37];
+        Sell4::from_csr(&a).spmv_add(&x, &mut y4);
+        let mut y16 = vec![1.0; 37];
+        Sell16::from_csr(&a).spmv_add(&x, &mut y16);
+        for i in 0..37 {
+            assert!((y4[i] - want[i]).abs() < 1e-12, "C=4 row {i}");
+            assert!((y16[i] - want[i]).abs() < 1e-12, "C=16 row {i}");
+        }
+    }
+
+    #[test]
+    fn tuned_kernel_matches_plain() {
+        // Odd and even slice counts, ragged widths, partial last slice.
+        for n in [8usize, 16, 24, 25, 39, 40, 41, 100] {
+            let a = random_csr(n, n, n as u64 + 3);
+            let s = Sell8::from_csr(&a);
+            let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+            let mut plain = vec![0.0; n];
+            let mut tuned = vec![0.0; n];
+            s.spmv(&x, &mut plain);
+            s.spmv_tuned(&x, &mut tuned);
+            for i in 0..n {
+                assert!((plain[i] - tuned[i]).abs() < 1e-12, "n={n} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_kernel_falls_back_for_sigma() {
+        let a = random_csr(50, 50, 77);
+        let s = Sell8::from_csr_sigma(&a, 16);
+        let x = vec![1.0; 50];
+        let mut y1 = vec![0.0; 50];
+        let mut y2 = vec![0.0; 50];
+        s.spmv(&x, &mut y1);
+        s.spmv_tuned(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let a = Csr::from_dense(1, 3, &[1.0, 0.0, 2.0]);
+        let s = Sell8::from_csr(&a);
+        let mut y = vec![0.0];
+        s.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0]);
+        assert_eq!(s.padded_elems(), 7 * 2); // 7 padded lanes × width 2
+    }
+}

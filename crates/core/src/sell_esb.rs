@@ -1,0 +1,227 @@
+//! SELL with an ESB-style **bit array** (Liu et al., §5.3) — kept as an
+//! ablation.
+//!
+//! The ESB format attaches a bitmask to every slice column marking which
+//! lanes hold real nonzeros, so masked vector operations skip the padded
+//! zeros entirely.  The paper rejects this for PETSc: the bit array costs
+//! ~1/64 of the value-array storage plus extra memory traffic, masked
+//! instructions need newer hardware, and skipping padding makes the value
+//! loads unaligned.  Their measurement: **not** using the bit array is
+//! ~10 % faster (§5.3).  This type exists so that comparison can be
+//! re-measured (`benches/ablation_bitarray.rs`).
+
+use crate::aligned::AVec;
+use crate::csr::Csr;
+use crate::isa::Isa;
+use crate::sell::Sell8;
+use crate::traits::{check_spmv_dims, MatShape, SpMv};
+
+/// SELL-8 plus a per-column lane mask (ESB-style).
+#[derive(Clone, Debug)]
+pub struct SellEsb {
+    sell: Sell8,
+    /// One 8-bit mask per slice column: bit `r` set ⇔ lane `r` is a real
+    /// nonzero of its row (not padding).
+    bits: AVec<u8>,
+}
+
+impl SellEsb {
+    /// Converts from CSR via SELL-8, computing the lane masks.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let sell = Sell8::from_csr(csr);
+        let sliceptr = sell.sliceptr();
+        let nslices = sell.nslices();
+        let ncolumns = sell.stored_elems() / 8;
+        let mut bits: AVec<u8> = AVec::zeroed(ncolumns);
+        let mut col_at = 0usize;
+        for s in 0..nslices {
+            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+            for j in 0..w {
+                let mut m = 0u8;
+                for r in 0..8 {
+                    let row = s * 8 + r;
+                    if row < sell.nrows() && (j as u32) < sell.rlen()[row] {
+                        m |= 1 << r;
+                    }
+                }
+                bits[col_at + j] = m;
+            }
+            col_at += w;
+        }
+        Self { sell, bits }
+    }
+
+    /// The underlying SELL-8 matrix.
+    pub fn sell(&self) -> &Sell8 {
+        &self.sell
+    }
+
+    /// The bit array (one mask byte per slice column).
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Extra storage for the bit array, in bytes (≈ `val` bytes / 64).
+    pub fn bit_array_bytes(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// SpMV with an explicit ISA.
+    pub fn spmv_isa(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.sell.nrows(), self.sell.ncols(), x, y);
+        match isa {
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => {
+                assert!(isa.available(), "AVX-512 not available");
+                // SAFETY: features checked; layout invariants guaranteed by
+                // Sell8::from_csr (aligned AVec, 8-aligned sliceptr) and the
+                // bit array built to match above.
+                unsafe { self.spmv_avx512(x, y) }
+            }
+            _ => self.spmv_scalar(x, y),
+        }
+    }
+
+    /// Scalar masked kernel: skips padded lanes via the bit array.
+    fn spmv_scalar(&self, x: &[f64], y: &mut [f64]) {
+        let sliceptr = self.sell.sliceptr();
+        let colidx = self.sell.colidx();
+        let val = self.sell.values();
+        let nrows = self.sell.nrows();
+        let mut col_at = 0usize;
+        for s in 0..self.sell.nslices() {
+            let mut acc = [0.0f64; 8];
+            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+            for j in 0..w {
+                let m = self.bits[col_at + j];
+                let base = sliceptr[s] + j * 8;
+                for r in 0..8 {
+                    if m & (1 << r) != 0 {
+                        acc[r] += val[base + r] * x[colidx[base + r] as usize];
+                    }
+                }
+            }
+            col_at += w;
+            let lanes = 8.min(nrows - s * 8);
+            y[s * 8..s * 8 + lanes].copy_from_slice(&acc[..lanes]);
+        }
+    }
+
+    /// AVX-512 masked kernel: masked gather + masked FMA per column.
+    ///
+    /// # Safety
+    ///
+    /// CPU must support `avx512f`/`avx512vl`; invariants as documented on
+    /// [`crate::kernels::sell_avx512::spmv`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512vl")]
+    unsafe fn spmv_avx512(&self, x: &[f64], y: &mut [f64]) {
+        use std::arch::x86_64::*;
+        let sliceptr = self.sell.sliceptr();
+        let colidx = self.sell.colidx();
+        let val = self.sell.values();
+        let nrows = self.sell.nrows();
+        let xp = x.as_ptr();
+        let mut col_at = 0usize;
+        for s in 0..self.sell.nslices() {
+            let mut acc = _mm512_setzero_pd();
+            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+            for j in 0..w {
+                // The ESB overhead the paper measures: a mask load and
+                // masked forms of every operation, per column.
+                let k: __mmask8 = *self.bits.as_ptr().add(col_at + j);
+                let base = sliceptr[s] + j * 8;
+                let v = _mm512_maskz_load_pd(k, val.as_ptr().add(base));
+                let ci = _mm256_load_si256(colidx.as_ptr().add(base) as *const __m256i);
+                let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp);
+                acc = _mm512_mask3_fmadd_pd(v, xv, acc, k);
+            }
+            col_at += w;
+            let lanes = 8.min(nrows - s * 8);
+            let km: __mmask8 = if lanes == 8 { 0xff } else { (1u8 << lanes) - 1 };
+            _mm512_mask_storeu_pd(y.as_mut_ptr().add(s * 8), km, acc);
+        }
+    }
+}
+
+impl MatShape for SellEsb {
+    fn nrows(&self) -> usize {
+        self.sell.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.sell.ncols()
+    }
+    fn nnz(&self) -> usize {
+        self.sell.nnz()
+    }
+}
+
+impl SpMv for SellEsb {
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_isa(self.sell.isa(), x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+
+    fn irregular(n: usize) -> Csr {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            let len = i % 7 + 1;
+            for j in 0..len {
+                b.push(i, (i + j * 5) % n, ((i + j) as f64).sin() + 2.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn bit_count_equals_nnz() {
+        let a = irregular(50);
+        let e = SellEsb::from_csr(&a);
+        let set: u32 = e.bits().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(set as usize, a.nnz());
+    }
+
+    #[test]
+    fn scalar_matches_csr() {
+        let a = irregular(61);
+        let e = SellEsb::from_csr(&a);
+        let x: Vec<f64> = (0..61).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut want = vec![0.0; 61];
+        a.spmv(&x, &mut want);
+        let mut got = vec![0.0; 61];
+        e.spmv_isa(Isa::Scalar, &x, &mut got);
+        for i in 0..61 {
+            assert!((got[i] - want[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn avx512_matches_scalar_if_available() {
+        if !Isa::Avx512.available() {
+            return;
+        }
+        let a = irregular(100);
+        let e = SellEsb::from_csr(&a);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).cos()).collect();
+        let mut want = vec![0.0; 100];
+        e.spmv_isa(Isa::Scalar, &x, &mut want);
+        let mut got = vec![0.0; 100];
+        e.spmv_isa(Isa::Avx512, &x, &mut got);
+        for i in 0..100 {
+            assert!((got[i] - want[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn bit_array_storage_overhead_is_small() {
+        let a = irregular(1000);
+        let e = SellEsb::from_csr(&a);
+        // One byte per 8 doubles = 1/64 of the value array (§5.3).
+        assert_eq!(e.bit_array_bytes() * 64, e.sell().stored_elems() * 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Common traits implemented by every sparse-matrix format.
+
+/// Basic shape and population queries shared by all formats.
+pub trait MatShape {
+    /// Number of rows of the logical (unpadded) matrix.
+    fn nrows(&self) -> usize;
+    /// Number of columns of the logical matrix.
+    fn ncols(&self) -> usize;
+    /// Number of stored *logical* nonzeros (excluding format padding).
+    fn nnz(&self) -> usize;
+}
+
+/// Sparse matrix-vector product `y = A·x` (and `y += A·x`).
+///
+/// Implementations must accept `x.len() == ncols()` and
+/// `y.len() == nrows()` and must not read `y` in [`SpMv::spmv`].
+pub trait SpMv: MatShape {
+    /// Computes `y = A·x`, overwriting `y`.
+    fn spmv(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `y += A·x`.
+    ///
+    /// The default implementation allocates a scratch vector; formats
+    /// override it with a fused kernel where it matters.
+    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        let mut tmp = vec![0.0; y.len()];
+        self.spmv(x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
+            *yi += ti;
+        }
+    }
+
+    /// Floating-point operations performed by one product (2 per nonzero),
+    /// the flop count used for the paper's Gflop/s figures.
+    fn spmv_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+
+    /// Multi-vector product `Y = A·X` (sparse × dense-block, the level-3
+    /// analogue): `X` holds `k` column-major input vectors
+    /// (`x_v = X[v*ncols..(v+1)*ncols]`), `Y` likewise with `nrows`.
+    ///
+    /// The default streams the matrix once per vector; formats override it
+    /// to amortize matrix traffic across vectors (the whole point of
+    /// blocking multiple right-hand sides).
+    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert_eq!(x.len(), k * self.ncols(), "X must hold k column-major vectors");
+        assert_eq!(y.len(), k * self.nrows(), "Y must hold k column-major vectors");
+        for v in 0..k {
+            let xv = &x[v * self.ncols()..(v + 1) * self.ncols()];
+            let yv = &mut y[v * self.nrows()..(v + 1) * self.nrows()];
+            self.spmv(xv, yv);
+        }
+    }
+}
+
+/// Conversion from CSR — every format can be built from assembled CSR,
+/// which is how PETSc's `MatConvert` reaches `SELL`, `AIJPERM`, etc.
+/// Lets distributed matrices and solvers be generic over the local format.
+pub trait FromCsr: Sized {
+    /// Builds this format from a CSR matrix.
+    fn from_csr(csr: &crate::csr::Csr) -> Self;
+}
+
+impl FromCsr for crate::csr::Csr {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        csr.clone()
+    }
+}
+
+impl<const C: usize> FromCsr for crate::sell::Sell<C> {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::sell::Sell::<C>::from_csr(csr)
+    }
+}
+
+impl FromCsr for crate::csr_perm::CsrPerm {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::csr_perm::CsrPerm::from_csr(csr)
+    }
+}
+
+impl FromCsr for crate::ellpack::Ellpack {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::ellpack::Ellpack::from_csr(csr)
+    }
+}
+
+impl FromCsr for crate::ellpack::EllpackR {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::ellpack::EllpackR::from_csr(csr)
+    }
+}
+
+impl FromCsr for crate::sell_esb::SellEsb {
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::sell_esb::SellEsb::from_csr(csr)
+    }
+}
+
+/// Checks SpMV argument shapes; shared by all format implementations.
+#[inline]
+pub(crate) fn check_spmv_dims(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), ncols, "x length {} != ncols {}", x.len(), ncols);
+    assert_eq!(y.len(), nrows, "y length {} != nrows {}", y.len(), nrows);
+}

@@ -1,0 +1,316 @@
+//! Distributed Newton's method: the multinode solve path of the paper's
+//! §7.3 experiments, where every rank owns a block of unknowns, assembles
+//! only its own Jacobian rows, and all reductions cross ranks.
+//!
+//! The single-rank [`sellkit_solvers::snes::newton`] and this function run
+//! the *same algorithm*; only the vector space changes — which is why the
+//! paper's iteration counts are identical across node counts.
+
+use sellkit_core::{Csr, FromCsr, MatShape, SpMv};
+use sellkit_mpisim::Comm;
+use sellkit_solvers::ksp::gmres;
+use sellkit_solvers::pc::Precond;
+use sellkit_solvers::snes::newton::{NewtonConfig, NewtonResult, NewtonStopReason};
+use sellkit_solvers::snes::LineSearch;
+
+use crate::dmat::DistMat;
+use crate::solve::{DistDot, DistOp};
+
+/// A nonlinear system distributed by rows: each rank evaluates the
+/// residual entries and Jacobian rows it owns (fetching whatever remote
+/// state it needs internally, e.g. through a halo [`crate::VecScatter`]).
+pub trait DistNonlinearProblem {
+    /// Global number of unknowns.
+    fn global_dim(&self) -> usize;
+    /// This rank's owned rows (must match `split_rows` partitioning).
+    fn local_rows(&self, comm: &Comm) -> std::ops::Range<usize>;
+    /// Evaluates the owned block of `F(x)`.  Collective (halo exchange).
+    fn residual(&self, comm: &Comm, x_local: &[f64], f_local: &mut [f64]);
+    /// Assembles the owned Jacobian rows with **global** column indices.
+    /// Collective if the rows need remote state.
+    fn local_jacobian(&self, comm: &Comm, x_local: &[f64]) -> Csr;
+}
+
+/// Distributed Newton-GMRES: solves `F(x) = 0` over the communicator,
+/// with the Jacobian applied in format `M` and `pc_factory` building a
+/// *local* preconditioner from each rank's diagonal block (block-Jacobi
+/// globally — PETSc's parallel default).
+///
+/// `tag_base` reserves a tag range for this solve's scatters; each Newton
+/// iteration uses a fresh tag.
+pub fn dist_newton<M, Prob, Pc>(
+    comm: &Comm,
+    problem: &Prob,
+    x_local: &mut [f64],
+    cfg: &NewtonConfig,
+    tag_base: u64,
+    pc_factory: impl Fn(&Csr) -> Pc,
+) -> NewtonResult
+where
+    M: SpMv + FromCsr,
+    Prob: DistNonlinearProblem,
+    Pc: Precond,
+{
+    let rows = problem.local_rows(comm);
+    assert_eq!(x_local.len(), rows.len(), "x block does not match owned rows");
+    let nglobal = problem.global_dim();
+    let nl = rows.len();
+    let ip = DistDot { comm };
+
+    let global_norm = |v: &[f64]| -> f64 {
+        let local: f64 = v.iter().map(|a| a * a).sum();
+        comm.allreduce_sum(local).sqrt()
+    };
+
+    let mut f = vec![0.0; nl];
+    let mut trial = vec![0.0; nl];
+    let mut ftrial = vec![0.0; nl];
+    problem.residual(comm, x_local, &mut f);
+    let f0 = global_norm(&f);
+    let mut fnorm = f0;
+    let mut history = vec![f0];
+    let mut linear_iterations = 0usize;
+
+    let check = |fnorm: f64| -> Option<NewtonStopReason> {
+        if fnorm <= cfg.atol {
+            Some(NewtonStopReason::AbsoluteTolerance)
+        } else if fnorm <= cfg.rtol * f0 {
+            Some(NewtonStopReason::RelativeTolerance)
+        } else {
+            None
+        }
+    };
+    if let Some(reason) = check(f0) {
+        return NewtonResult { iterations: 0, fnorm: f0, reason, linear_iterations, history };
+    }
+
+    for it in 1..=cfg.max_it {
+        let j_local = problem.local_jacobian(comm, x_local);
+        let pc = pc_factory(&diag_block_of(comm, &j_local, nglobal, &rows));
+        let dm =
+            DistMat::<M>::from_local_rows(comm, nglobal, nglobal, &j_local, tag_base + it as u64);
+
+        let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
+        let mut d = vec![0.0; nl];
+        let lin = gmres(&DistOp { comm, mat: &dm }, &pc, &ip, &rhs, &mut d, &cfg.ksp);
+        linear_iterations += lin.iterations;
+
+        // Globalize with *global* norms so every rank picks the same λ.
+        let (lambda, new_fnorm) = match cfg.line_search {
+            LineSearch::Full => {
+                for i in 0..nl {
+                    trial[i] = x_local[i] + d[i];
+                }
+                problem.residual(comm, &trial, &mut ftrial);
+                (1.0, global_norm(&ftrial))
+            }
+            LineSearch::Backtracking(ls) => {
+                let mut lambda = 1.0;
+                loop {
+                    for i in 0..nl {
+                        trial[i] = x_local[i] + lambda * d[i];
+                    }
+                    problem.residual(comm, &trial, &mut ftrial);
+                    let fn_trial = global_norm(&ftrial);
+                    if fn_trial <= (1.0 - ls.alpha * lambda) * fnorm {
+                        break (lambda, fn_trial);
+                    }
+                    lambda *= ls.shrink;
+                    if lambda < ls.min_lambda {
+                        break (0.0, fnorm);
+                    }
+                }
+            }
+        };
+        if lambda == 0.0 {
+            return NewtonResult {
+                iterations: it,
+                fnorm,
+                reason: NewtonStopReason::LineSearchFailed,
+                linear_iterations,
+                history,
+            };
+        }
+        for i in 0..nl {
+            x_local[i] += lambda * d[i];
+        }
+        problem.residual(comm, x_local, &mut f);
+        fnorm = new_fnorm;
+        history.push(fnorm);
+        if let Some(reason) = check(fnorm) {
+            return NewtonResult { iterations: it, fnorm, reason, linear_iterations, history };
+        }
+    }
+
+    NewtonResult {
+        iterations: cfg.max_it,
+        fnorm,
+        reason: NewtonStopReason::MaxIterations,
+        linear_iterations,
+        history,
+    }
+}
+
+/// Extracts the square diagonal block of a local-rows matrix (global
+/// columns) for building the rank-local preconditioner.
+fn diag_block_of(
+    comm: &Comm,
+    local: &Csr,
+    nglobal: usize,
+    rows: &std::ops::Range<usize>,
+) -> Csr {
+    let _ = comm;
+    let _ = nglobal;
+    sellkit_core::matops::submatrix(
+        local,
+        0..local.nrows(),
+        rows.start..rows.end,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::split_rows;
+    use sellkit_core::CooBuilder;
+    use sellkit_mpisim::run;
+    use sellkit_solvers::pc::JacobiPc;
+    use sellkit_solvers::snes::newton::{newton, NonlinearProblem};
+
+    /// 1D nonlinear problem: F_i = 2x_i - x_{i-1} - x_{i+1} + x_i³ - g_i
+    /// (periodic) — every rank needs one neighbour value from each side,
+    /// exchanged here by simple sends (a hand-rolled halo).
+    struct Ring {
+        n: usize,
+        g: Vec<f64>,
+    }
+
+    impl Ring {
+        fn full_state(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
+            // Test-scale halo: gather everything (the production path in
+            // workloads::dist_gray_scott uses a proper VecScatter).
+            comm.allgather(x_local.to_vec()).concat()
+        }
+    }
+
+    impl DistNonlinearProblem for Ring {
+        fn global_dim(&self) -> usize {
+            self.n
+        }
+        fn local_rows(&self, comm: &Comm) -> std::ops::Range<usize> {
+            let r = split_rows(self.n, comm.size())[comm.rank()];
+            r.start..r.end
+        }
+        fn residual(&self, comm: &Comm, x_local: &[f64], f_local: &mut [f64]) {
+            let x = self.full_state(comm, x_local);
+            let rows = self.local_rows(comm);
+            for (li, i) in rows.enumerate() {
+                let prev = x[(i + self.n - 1) % self.n];
+                let next = x[(i + 1) % self.n];
+                f_local[li] = 2.0 * x[i] - prev - next + x[i].powi(3) - self.g[i];
+            }
+        }
+        fn local_jacobian(&self, comm: &Comm, x_local: &[f64]) -> Csr {
+            let x = self.full_state(comm, x_local);
+            let rows = self.local_rows(comm);
+            let mut b = CooBuilder::new(rows.len(), self.n);
+            for (li, i) in rows.enumerate() {
+                b.push(li, i, 2.0 + 3.0 * x[i] * x[i]);
+                b.push(li, (i + self.n - 1) % self.n, -1.0);
+                b.push(li, (i + 1) % self.n, -1.0);
+            }
+            b.to_csr()
+        }
+    }
+
+    /// The sequential twin of `Ring` for cross-checking.
+    struct SeqRing {
+        n: usize,
+        g: Vec<f64>,
+    }
+
+    impl NonlinearProblem for SeqRing {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn residual(&self, x: &[f64], f: &mut [f64]) {
+            for i in 0..self.n {
+                let prev = x[(i + self.n - 1) % self.n];
+                let next = x[(i + 1) % self.n];
+                f[i] = 2.0 * x[i] - prev - next + x[i].powi(3) - self.g[i];
+            }
+        }
+        fn jacobian(&self, x: &[f64]) -> Csr {
+            let mut b = CooBuilder::new(self.n, self.n);
+            for i in 0..self.n {
+                b.push(i, i, 2.0 + 3.0 * x[i] * x[i]);
+                b.push(i, (i + self.n - 1) % self.n, -1.0);
+                b.push(i, (i + 1) % self.n, -1.0);
+            }
+            b.to_csr()
+        }
+    }
+
+    #[test]
+    fn distributed_newton_matches_sequential() {
+        let n = 48;
+        let g: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.3).sin() + 0.8).collect();
+        let cfg = NewtonConfig { rtol: 1e-10, ..Default::default() };
+
+        let mut x_seq = vec![0.4; n];
+        let seq = newton::<Csr, _, _>(
+            &SeqRing { n, g: g.clone() },
+            &mut x_seq,
+            &cfg,
+            JacobiPc::from_csr,
+        );
+        assert!(seq.converged());
+
+        for ranks in [1usize, 3, 4] {
+            let g2 = g.clone();
+            let out = run(ranks, move |comm| {
+                let p = Ring { n, g: g2.clone() };
+                let rows = p.local_rows(comm);
+                let mut x = vec![0.4; rows.len()];
+                let res = dist_newton::<sellkit_core::Sell8, _, _>(
+                    comm,
+                    &p,
+                    &mut x,
+                    &NewtonConfig { rtol: 1e-10, ..Default::default() },
+                    100,
+                    JacobiPc::from_csr,
+                );
+                assert!(res.converged(), "{:?}", res.reason);
+                (res.iterations, comm.allgather(x).concat())
+            });
+            for (its, x) in out {
+                assert_eq!(its, seq.iterations, "{ranks} ranks: same Newton path");
+                for i in 0..n {
+                    assert!((x[i] - x_seq[i]).abs() < 1e-7, "{ranks} ranks row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backtracking_line_search_is_rank_consistent() {
+        let n = 24;
+        // Far initial guess to force backtracking.
+        let g: Vec<f64> = vec![1.0; n];
+        let out = run(3, move |comm| {
+            let p = Ring { n, g: g.clone() };
+            let rows = p.local_rows(comm);
+            let mut x = vec![10.0; rows.len()];
+            let cfg = NewtonConfig {
+                rtol: 1e-9,
+                max_it: 200,
+                line_search: LineSearch::Backtracking(Default::default()),
+                ..Default::default()
+            };
+            let res = dist_newton::<Csr, _, _>(comm, &p, &mut x, &cfg, 300, JacobiPc::from_csr);
+            assert!(res.converged(), "{:?} fnorm {}", res.reason, res.fnorm);
+            res.iterations
+        });
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "all ranks agree on iterations: {out:?}");
+    }
+}

@@ -1,0 +1,43 @@
+//! KNL memory configuration modes (§2.6).
+
+use std::fmt;
+
+/// How MCDRAM is configured — §2.6: flat (a separate NUMA node), cache
+/// (direct-mapped L3), or bypassed entirely (allocations forced to DDR via
+/// `numactl`, the paper's "flat mode using DRAM only" bars in Figure 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemoryMode {
+    /// Flat mode, allocations placed in MCDRAM (`numactl -m 1`).
+    FlatMcdram,
+    /// Flat mode, allocations in DDR only.
+    FlatDdr,
+    /// Cache mode: MCDRAM as a transparent direct-mapped cache.
+    Cache,
+}
+
+impl MemoryMode {
+    /// All three modes, in the order Figure 7 plots them.
+    pub const ALL: [MemoryMode; 3] = [MemoryMode::FlatMcdram, MemoryMode::FlatDdr, MemoryMode::Cache];
+}
+
+impl fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryMode::FlatMcdram => "flat mode, MCDRAM",
+            MemoryMode::FlatDdr => "flat mode, DRAM",
+            MemoryMode::Cache => "cache mode",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(MemoryMode::FlatMcdram.to_string(), "flat mode, MCDRAM");
+        assert_eq!(MemoryMode::ALL.len(), 3);
+    }
+}

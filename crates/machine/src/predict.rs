@@ -1,0 +1,236 @@
+//! The SpMV performance predictor: two-roof roofline driven by the §6
+//! traffic model and the calibrated kernel rates.
+
+use sellkit_core::traffic::{csr_traffic, sell_traffic};
+
+use crate::calibrate::KernelKind;
+use crate::modes::MemoryMode;
+use crate::specs::{Family, ProcessorSpec};
+use crate::stream_model::{knl_stream_curve, xeon_stream_curve};
+
+/// Shape of the matrix being multiplied (global, per node).
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixShape {
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+}
+
+impl MatrixShape {
+    /// The Gray-Scott Jacobian on an `g × g` grid: `2g²` unknowns, 10
+    /// nonzeros per row (§7).
+    pub fn gray_scott(g: usize) -> Self {
+        let m = 2 * g * g;
+        Self { m, n: m, nnz: 10 * m }
+    }
+}
+
+/// Achieved memory bandwidth for `p` processes on `spec` in `mode`
+/// (GB/s).  Conventional Xeons ignore `mode` (they have only DDR).
+pub fn bandwidth_gbs(spec: &ProcessorSpec, mode: MemoryMode, p: usize, vectorized: bool) -> f64 {
+    match spec.family {
+        Family::Knl => knl_stream_curve(mode, vectorized).at(p),
+        Family::Xeon => xeon_stream_curve(spec).at(p),
+    }
+}
+
+/// Predicted SpMV throughput in Gflop/s.
+///
+/// ```
+/// use sellkit_machine::{predict_gflops, KernelKind, MatrixShape, MemoryMode};
+/// use sellkit_machine::specs::knl_7230;
+///
+/// let shape = MatrixShape::gray_scott(2048);
+/// let sell = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram,
+///     KernelKind::SellAvx512, 64, shape);
+/// let base = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram,
+///     KernelKind::CsrBaseline, 64, shape);
+/// assert!(sell / base > 1.9, "the paper's headline 2x on KNL");
+/// ```
+///
+/// `perf = min(memory roof, instruction roof)` with
+/// * memory roof = `AI(format) × B(mode, p) × η` — `η = 0.93` accounts for
+///   the gap between STREAM and SpMV access patterns (gathers never
+///   achieve pure-stream bandwidth; Fig. 9 shows SELL-AVX512 *close to*
+///   but not on the MCDRAM roofline);
+/// * instruction roof = `2 flops × rate × p × f_eff`.
+pub fn predict_gflops(
+    spec: &ProcessorSpec,
+    mode: MemoryMode,
+    kernel: KernelKind,
+    p: usize,
+    shape: MatrixShape,
+) -> f64 {
+    assert!(p >= 1 && p <= spec.cores, "process count {p} exceeds {} cores", spec.cores);
+    let traffic = if kernel.is_sell() {
+        sell_traffic(shape.m, shape.n, shape.nnz)
+    } else {
+        csr_traffic(shape.m, shape.n, shape.nnz)
+    };
+    let ai = traffic.arithmetic_intensity();
+
+    let bw = bandwidth_gbs(spec, mode, p, kernel.is_avx_heavy());
+    let mem_roof = ai * bw * 0.93;
+
+    let freq = if kernel.is_avx_heavy() { spec.avx_ghz() } else { spec.base_ghz };
+    let inst_roof = 2.0 * kernel.elems_per_cycle(spec) * p as f64 * freq;
+
+    mem_roof.min(inst_roof) * kernel.overhead_factor()
+}
+
+/// Predicted wall time (seconds) for one SpMV of `shape` at the predicted
+/// throughput.
+pub fn predict_spmv_seconds(
+    spec: &ProcessorSpec,
+    mode: MemoryMode,
+    kernel: KernelKind,
+    p: usize,
+    shape: MatrixShape,
+) -> f64 {
+    let gflops = predict_gflops(spec, mode, kernel, p, shape);
+    (2.0 * shape.nnz as f64) / (gflops * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, skylake_8180m};
+
+    fn knl_fig8(kernel: KernelKind) -> f64 {
+        predict_gflops(
+            &knl_7230(),
+            MemoryMode::FlatMcdram,
+            kernel,
+            64,
+            MatrixShape::gray_scott(2048),
+        )
+    }
+
+    /// The paper's headline: SELL-AVX512 ≈ 2× the CSR baseline on KNL.
+    #[test]
+    fn sell_avx512_is_twofold_over_baseline() {
+        let ratio = knl_fig8(KernelKind::SellAvx512) / knl_fig8(KernelKind::CsrBaseline);
+        assert!((1.8..=2.2).contains(&ratio), "SELL-AVX512 / baseline = {ratio}");
+    }
+
+    /// §7.2: hand-vectorized CSR gains 54 % over the compiler baseline.
+    #[test]
+    fn csr_avx512_gains_fiftyfour_percent() {
+        let ratio = knl_fig8(KernelKind::CsrAvx512) / knl_fig8(KernelKind::CsrBaseline);
+        assert!((1.4..=1.7).contains(&ratio), "CSR-AVX512 / baseline = {ratio}");
+    }
+
+    /// §7.2: SELL-AVX ≈ 1.8×, SELL-AVX2 ≈ 1.7× baseline.
+    #[test]
+    fn sell_avx_tiers() {
+        let base = knl_fig8(KernelKind::CsrBaseline);
+        let avx = knl_fig8(KernelKind::SellAvx) / base;
+        let avx2 = knl_fig8(KernelKind::SellAvx2) / base;
+        assert!((1.6..=2.0).contains(&avx), "SELL-AVX ratio {avx}");
+        assert!((1.5..=1.9).contains(&avx2), "SELL-AVX2 ratio {avx2}");
+        assert!(avx > avx2, "AVX edges out AVX2 for SELL on KNL");
+    }
+
+    /// §7.2: CSR-AVX2 regresses below CSR-AVX; CSRPerm no better than
+    /// baseline; MKL 10–20 % slower.
+    #[test]
+    fn the_odd_findings() {
+        assert!(knl_fig8(KernelKind::CsrAvx2) < knl_fig8(KernelKind::CsrAvx));
+        let perm = knl_fig8(KernelKind::CsrPerm) / knl_fig8(KernelKind::CsrBaseline);
+        assert!((0.95..=1.05).contains(&perm));
+        let mkl = knl_fig8(KernelKind::MklCsr) / knl_fig8(KernelKind::CsrBaseline);
+        assert!((0.75..=0.92).contains(&mkl), "MKL ratio {mkl}");
+    }
+
+    /// Figure 8: good strong scalability up to 64 cores for all formats.
+    #[test]
+    fn strong_scaling_on_knl() {
+        for kernel in KernelKind::FIG8 {
+            let p16 = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, kernel, 16,
+                MatrixShape::gray_scott(2048));
+            let p64 = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, kernel, 64,
+                MatrixShape::gray_scott(2048));
+            let speedup = p64 / p16;
+            assert!(speedup > 2.4, "{kernel}: 16→64 procs speedup {speedup}");
+        }
+    }
+
+    /// Figure 7: MCDRAM vs DRAM gap appears only at full core count.
+    #[test]
+    fn mcdram_gap_only_when_cores_filled() {
+        let shape = MatrixShape::gray_scott(2048);
+        let knl = knl_7230();
+        let k = KernelKind::CsrBaseline;
+        let at = |mode, p| predict_gflops(&knl, mode, k, p, shape);
+        let gap16 = at(MemoryMode::FlatMcdram, 16) / at(MemoryMode::FlatDdr, 16);
+        let gap64 = at(MemoryMode::FlatMcdram, 64) / at(MemoryMode::FlatDdr, 64);
+        assert!(gap16 < 1.05, "no gap at 16 procs: {gap16}");
+        assert!(gap64 > 1.3, "clear gap at 64 procs: {gap64}");
+    }
+
+    /// Figure 7: performance is insensitive to grid size (constant nnz/row).
+    #[test]
+    fn grid_size_insensitivity() {
+        let knl = knl_7230();
+        let g1 = predict_gflops(&knl, MemoryMode::Cache, KernelKind::CsrBaseline, 64,
+            MatrixShape::gray_scott(1024));
+        let g2 = predict_gflops(&knl, MemoryMode::Cache, KernelKind::CsrBaseline, 64,
+            MatrixShape::gray_scott(4096));
+        assert!((g1 / g2 - 1.0).abs() < 0.02);
+    }
+
+    /// Figure 11: SELL's edge is marginal on Xeons, dramatic on KNL.
+    #[test]
+    fn sell_gain_by_architecture() {
+        let shape = MatrixShape::gray_scott(2048);
+        for spec in [haswell_e5_2699v3(), broadwell_e5_2699v4(), skylake_8180m()] {
+            let sell = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::SellAvx512,
+                spec.cores, shape);
+            let csr = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::CsrBaseline,
+                spec.cores, shape);
+            let gain = sell / csr;
+            assert!(gain < 1.25, "{}: SELL gain must be marginal, got {gain}", spec.name);
+        }
+        let knl = knl_7230();
+        let sell = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::SellAvx512, 64, shape);
+        let csr = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::CsrBaseline, 64, shape);
+        assert!(sell / csr > 1.8, "KNL gain {}", sell / csr);
+    }
+
+    /// Figure 11 / §7.4: Skylake roughly doubles Broadwell and Haswell.
+    #[test]
+    fn skylake_leads_conventional_xeons() {
+        let shape = MatrixShape::gray_scott(2048);
+        let perf = |spec: &crate::specs::ProcessorSpec| {
+            predict_gflops(spec, MemoryMode::FlatDdr, KernelKind::SellAvx512, spec.cores, shape)
+        };
+        let skl = perf(&skylake_8180m());
+        let bdw = perf(&broadwell_e5_2699v4());
+        let hsw = perf(&haswell_e5_2699v3());
+        assert!(skl / bdw > 1.4, "Skylake/Broadwell {}", skl / bdw);
+        assert!(skl / hsw > 1.5, "Skylake/Haswell {}", skl / hsw);
+    }
+
+    /// KNL beats every Xeon for the vectorized SELL kernel.
+    #[test]
+    fn knl_wins_overall() {
+        let shape = MatrixShape::gray_scott(2048);
+        let knl = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, KernelKind::SellAvx512, 64, shape);
+        for spec in [haswell_e5_2699v3(), broadwell_e5_2699v4(), skylake_8180m()] {
+            let x = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::SellAvx512, spec.cores, shape);
+            assert!(knl > 1.5 * x, "KNL {knl} vs {} {x}", spec.name);
+        }
+    }
+
+    #[test]
+    fn time_is_inverse_of_gflops() {
+        let shape = MatrixShape::gray_scott(1024);
+        let g = predict_gflops(&knl_7230(), MemoryMode::Cache, KernelKind::SellAvx512, 64, shape);
+        let t = predict_spmv_seconds(&knl_7230(), MemoryMode::Cache, KernelKind::SellAvx512, 64, shape);
+        let flops = 2.0 * shape.nnz as f64;
+        assert!((t - flops / (g * 1e9)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,185 @@
+//! Processor specifications — Table 1 of the paper, plus the
+//! microarchitectural constants the model needs.
+
+/// Processor family, which selects the calibration table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Knights Landing (many weak cores, MCDRAM, 2×512-bit VPUs).
+    Knl,
+    /// Conventional Xeon (few fat cores, large L3).
+    Xeon,
+}
+
+/// One processor of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessorSpec {
+    /// Marketing name as printed in the paper.
+    pub name: &'static str,
+    /// Family (selects kernel calibration).
+    pub family: Family,
+    /// Physical cores.
+    pub cores: usize,
+    /// Base frequency (GHz).
+    pub base_ghz: f64,
+    /// Turbo frequency (GHz).
+    pub turbo_ghz: f64,
+    /// Frequency drop under heavy AVX use (GHz) — §2.6: KNL "drops by
+    /// 0.2 GHz if there is a high proportion of AVX instructions".
+    pub avx_drop_ghz: f64,
+    /// L3 cache (MiB); KNL has none (MCDRAM in cache mode plays the role).
+    pub l3_mib: Option<f64>,
+    /// Peak DDR4 bandwidth (GB/s).
+    pub ddr_gbs: f64,
+    /// On-package high-bandwidth memory (GB/s), if any.  For KNL the
+    /// sustained STREAM value is ~490 GB/s (Fig. 4) while the roofline
+    /// tool reports 419.7 GB/s (Fig. 9); we store the roofline value and
+    /// let the STREAM curve overshoot it slightly, as the paper's own
+    /// figures do.
+    pub hbm_gbs: Option<f64>,
+    /// Peak double-precision Gflop/s of the whole chip (for the compute
+    /// roofline; Fig. 9 reports 1018.4 for KNL 7250).
+    pub peak_gflops: f64,
+}
+
+impl ProcessorSpec {
+    /// Effective frequency for AVX-heavy kernels.
+    pub fn avx_ghz(&self) -> f64 {
+        self.base_ghz - self.avx_drop_ghz
+    }
+
+    /// The best memory bandwidth available on this chip.
+    pub fn best_bandwidth_gbs(&self) -> f64 {
+        self.hbm_gbs.unwrap_or(self.ddr_gbs)
+    }
+}
+
+/// KNL 7230 (Theta): 64 cores @ 1.3 (1.5) GHz, 16 GiB MCDRAM.
+pub fn knl_7230() -> ProcessorSpec {
+    ProcessorSpec {
+        name: "KNL 7230",
+        family: Family::Knl,
+        cores: 64,
+        base_ghz: 1.3,
+        turbo_ghz: 1.5,
+        avx_drop_ghz: 0.2,
+        l3_mib: None,
+        ddr_gbs: 115.2,
+        hbm_gbs: Some(419.7),
+        // 64 cores × 1.3 GHz × 2 VPUs × 8 lanes × 2 (FMA) ≈ 2662 peak;
+        // the empirical roofline max on Theta is 1018.4 (Fig. 9).
+        peak_gflops: 1018.4,
+    }
+}
+
+/// KNL 7250 (Cori): 68 cores @ 1.4 GHz (used for the Figure 4 STREAM run).
+pub fn knl_7250() -> ProcessorSpec {
+    ProcessorSpec {
+        name: "KNL 7250",
+        family: Family::Knl,
+        cores: 68,
+        base_ghz: 1.4,
+        turbo_ghz: 1.6,
+        avx_drop_ghz: 0.2,
+        l3_mib: None,
+        ddr_gbs: 115.2,
+        hbm_gbs: Some(419.7),
+        peak_gflops: 1018.4,
+    }
+}
+
+/// Haswell E5-2699v3: 18 cores @ 2.3 (2.6) GHz, 45 MiB L3, 68 GB/s.
+pub fn haswell_e5_2699v3() -> ProcessorSpec {
+    ProcessorSpec {
+        name: "Haswell E5-2699v3",
+        family: Family::Xeon,
+        cores: 18,
+        base_ghz: 2.3,
+        turbo_ghz: 2.6,
+        avx_drop_ghz: 0.2,
+        l3_mib: Some(45.0),
+        ddr_gbs: 68.0,
+        hbm_gbs: None,
+        peak_gflops: 18.0 * 2.3 * 16.0,
+    }
+}
+
+/// Broadwell E5-2699v4: 22 cores @ 2.2 (3.6) GHz, 55 MiB L3, 76.8 GB/s.
+pub fn broadwell_e5_2699v4() -> ProcessorSpec {
+    ProcessorSpec {
+        name: "Broadwell E5-2699v4",
+        family: Family::Xeon,
+        cores: 22,
+        base_ghz: 2.2,
+        turbo_ghz: 3.6,
+        avx_drop_ghz: 0.2,
+        l3_mib: Some(55.0),
+        ddr_gbs: 76.8,
+        hbm_gbs: None,
+        peak_gflops: 22.0 * 2.2 * 16.0,
+    }
+}
+
+/// Skylake 8180M: 28 cores @ 2.5 (3.6) GHz, 38.5 MiB L3, 119.2 GB/s
+/// (six DDR4 channels per socket — the §7.4 explanation for its lead).
+pub fn skylake_8180m() -> ProcessorSpec {
+    ProcessorSpec {
+        name: "Skylake 8180M",
+        family: Family::Xeon,
+        cores: 28,
+        base_ghz: 2.5,
+        turbo_ghz: 3.6,
+        avx_drop_ghz: 0.3,
+        l3_mib: Some(38.5),
+        ddr_gbs: 119.2,
+        hbm_gbs: None,
+        peak_gflops: 28.0 * 2.5 * 32.0,
+    }
+}
+
+/// All four processors of Table 1, in the paper's column order.
+pub fn table1() -> Vec<ProcessorSpec> {
+    vec![knl_7230(), broadwell_e5_2699v4(), haswell_e5_2699v3(), skylake_8180m()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        let knl = &t[0];
+        assert_eq!(knl.cores, 64);
+        assert_eq!(knl.ddr_gbs, 115.2);
+        assert!(knl.hbm_gbs.unwrap() > 400.0);
+        let skl = &t[3];
+        assert_eq!(skl.cores, 28);
+        assert_eq!(skl.ddr_gbs, 119.2);
+        assert_eq!(skl.l3_mib, Some(38.5));
+    }
+
+    #[test]
+    fn knl_bandwidth_is_4_to_6x_xeon() {
+        // §7.4: KNL's MCDRAM "is about 4-6 times larger" than Xeon DDR.
+        let knl = knl_7230();
+        for x in [haswell_e5_2699v3(), broadwell_e5_2699v4()] {
+            let ratio = knl.best_bandwidth_gbs() / x.best_bandwidth_gbs();
+            assert!((4.0..7.0).contains(&ratio), "{}: {ratio}", x.name);
+        }
+    }
+
+    #[test]
+    fn avx_frequency_drop() {
+        assert!((knl_7230().avx_ghz() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skylake_has_more_bandwidth_less_l3() {
+        // §7.4's observation about Skylake vs Broadwell/Haswell.
+        let skl = skylake_8180m();
+        let bdw = broadwell_e5_2699v4();
+        assert!(skl.ddr_gbs > bdw.ddr_gbs);
+        assert!(skl.l3_mib.unwrap() < bdw.l3_mib.unwrap());
+    }
+}

@@ -1,0 +1,93 @@
+//! Nonblocking receive requests (`MPI_Irecv`/`MPI_Wait` analogue).
+
+use std::marker::PhantomData;
+
+use crate::comm::Comm;
+
+/// A posted receive waiting to be completed.
+///
+/// Created by [`Comm::irecv`]; redeem it with [`RecvRequest::wait`] after
+/// the overlapped computation.  `#[must_use]`: dropping a request without
+/// waiting leaves the message in the unexpected queue, which is almost
+/// always a bug in the communication protocol.
+#[must_use = "a posted receive must be waited on"]
+#[derive(Debug)]
+pub struct RecvRequest<T> {
+    src: usize,
+    tag: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> RecvRequest<T> {
+    pub(crate) fn new(src: usize, tag: u64) -> Self {
+        Self { src, tag, _marker: PhantomData }
+    }
+
+    /// The source rank this request matches.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request matches.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Blocks until the matching message arrives and returns its payload
+    /// (`MPI_Wait`).
+    pub fn wait(self, comm: &Comm) -> T {
+        comm.recv::<T>(self.src, self.tag)
+    }
+
+    /// Completes the request only if the message has already arrived
+    /// (`MPI_Test`); otherwise hands the request back.
+    pub fn test(self, comm: &Comm) -> Result<T, Self> {
+        if comm.probe(self.src, self.tag) {
+            Ok(comm.recv::<T>(self.src, self.tag))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::run;
+
+    #[test]
+    fn irecv_wait_round_trip() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, 42, vec![3.5f64; 8]);
+            } else {
+                let req = comm.irecv::<Vec<f64>>(0, 42);
+                assert_eq!(req.source(), 0);
+                assert_eq!(req.tag(), 42);
+                let v = req.wait(comm);
+                assert_eq!(v, vec![3.5; 8]);
+            }
+        });
+    }
+
+    #[test]
+    fn test_polls_until_ready() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                comm.isend(1, 1, 99u64);
+            } else {
+                let mut req = comm.irecv::<u64>(0, 1);
+                let v = loop {
+                    match req.test(comm) {
+                        Ok(v) => break v,
+                        Err(r) => {
+                            req = r;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                assert_eq!(v, 99);
+            }
+        });
+    }
+}

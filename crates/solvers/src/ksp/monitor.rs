@@ -1,0 +1,109 @@
+//! Convergence monitoring utilities (`-ksp_monitor` analogues): inspect a
+//! solve's residual history after the fact, the way PETSc users read their
+//! monitor output — the paper's published artifacts are exactly such logs.
+
+use super::KspResult;
+
+/// Summary statistics of a residual history.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceSummary {
+    /// Initial residual norm.
+    pub r0: f64,
+    /// Final residual norm.
+    pub rfinal: f64,
+    /// Total reduction factor `r0 / rfinal`.
+    pub reduction: f64,
+    /// Geometric-mean contraction per iteration.
+    pub mean_rate: f64,
+    /// Worst single-iteration ratio (`> 1` means a stagnating step).
+    pub worst_rate: f64,
+}
+
+/// Computes a [`ConvergenceSummary`] from a solve result.
+///
+/// Returns `None` when fewer than two residuals were recorded.
+pub fn summarize(result: &KspResult) -> Option<ConvergenceSummary> {
+    let h = &result.history;
+    if h.len() < 2 || h[0] <= 0.0 {
+        return None;
+    }
+    let r0 = h[0];
+    let rfinal = *h.last().expect("nonempty");
+    let iters = (h.len() - 1) as f64;
+    let mean_rate = if rfinal > 0.0 { (rfinal / r0).powf(1.0 / iters) } else { 0.0 };
+    let worst_rate = h
+        .windows(2)
+        .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { 0.0 })
+        .fold(0.0f64, f64::max);
+    Some(ConvergenceSummary {
+        r0,
+        rfinal,
+        reduction: if rfinal > 0.0 { r0 / rfinal } else { f64::INFINITY },
+        mean_rate,
+        worst_rate,
+    })
+}
+
+/// Renders the history as `-ksp_monitor`-style lines:
+/// `  k KSP Residual norm 1.234e-05`.
+pub fn format_monitor(result: &KspResult) -> String {
+    let mut out = String::new();
+    for (k, r) in result.history.iter().enumerate() {
+        out.push_str(&format!("{k:>4} KSP Residual norm {r:.12e}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testmat::laplace2d;
+    use super::super::{gmres, KspConfig};
+    use super::*;
+    use crate::operator::{MatOperator, SeqDot};
+    use crate::pc::IdentityPc;
+
+    fn solve() -> KspResult {
+        let a = laplace2d(8);
+        let b = vec![1.0; 64];
+        let mut x = vec![0.0; 64];
+        gmres(
+            &MatOperator(&a),
+            &IdentityPc,
+            &SeqDot,
+            &b,
+            &mut x,
+            &KspConfig { rtol: 1e-8, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let res = solve();
+        let s = summarize(&res).expect("history recorded");
+        assert!(s.r0 > s.rfinal);
+        assert!(s.reduction >= 1e7, "rtol 1e-8 ⇒ big reduction: {}", s.reduction);
+        assert!(s.mean_rate < 1.0);
+        // GMRES is monotone: no step may increase the residual estimate.
+        assert!(s.worst_rate <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn monitor_lines_match_history_length() {
+        let res = solve();
+        let text = format_monitor(&res);
+        assert_eq!(text.lines().count(), res.history.len());
+        assert!(text.contains("KSP Residual norm"));
+        assert!(text.starts_with("   0 KSP Residual norm"));
+    }
+
+    #[test]
+    fn empty_history_gives_none() {
+        let res = KspResult {
+            iterations: 0,
+            residual: 0.0,
+            reason: super::super::StopReason::AbsoluteTolerance,
+            history: vec![0.0],
+        };
+        assert!(summarize(&res).is_none());
+    }
+}

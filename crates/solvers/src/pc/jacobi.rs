@@ -1,0 +1,81 @@
+//! Point Jacobi (diagonal) preconditioning — the smoother and coarse
+//! solver of the paper's multigrid setup (`-mg_levels_pc_type jacobi`,
+//! `-mg_coarse_pc_type jacobi`, §7.2).
+
+use sellkit_core::{Csr, MatShape};
+
+use super::Precond;
+
+/// `z = D⁻¹ r` where `D = diag(A)`.
+#[derive(Clone, Debug)]
+pub struct JacobiPc {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPc {
+    /// Extracts the inverse diagonal from a CSR matrix.
+    ///
+    /// Zero diagonal entries are treated as 1 (PETSc's
+    /// `PCJacobiSetUseAbs`-adjacent fallback keeps the solver running on
+    /// structurally deficient rows).
+    pub fn from_csr(a: &Csr) -> Self {
+        let n = a.nrows().min(a.ncols());
+        let mut inv_diag = vec![1.0; a.nrows()];
+        for (i, d) in inv_diag.iter_mut().enumerate().take(n) {
+            if let Some(v) = a.get(i, i) {
+                if v != 0.0 {
+                    *d = 1.0 / v;
+                }
+            }
+        }
+        Self { inv_diag }
+    }
+
+    /// Builds directly from a diagonal.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        Self { inv_diag: diag.iter().map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 }).collect() }
+    }
+
+    /// The stored inverse diagonal.
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+}
+
+impl Precond for JacobiPc {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        for i in 0..r.len() {
+            z[i] = self.inv_diag[i] * r[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverts_diagonal_matrix_exactly() {
+        let a = Csr::from_dense(3, 3, &[2.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 8.0]);
+        let pc = JacobiPc::from_csr(&a);
+        let mut z = vec![0.0; 3];
+        pc.apply(&[2.0, 4.0, 8.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_diagonal_falls_back_to_identity() {
+        let a = Csr::from_dense(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let pc = JacobiPc::from_csr(&a);
+        assert_eq!(pc.inv_diag(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_diagonal_matches_from_csr() {
+        let a = Csr::from_dense(2, 2, &[5.0, 1.0, 1.0, 10.0]);
+        let p1 = JacobiPc::from_csr(&a);
+        let p2 = JacobiPc::from_diagonal(&[5.0, 10.0]);
+        assert_eq!(p1.inv_diag(), p2.inv_diag());
+    }
+}

@@ -1,0 +1,100 @@
+//! Preconditioners (PETSc `PC`).
+//!
+//! All preconditioners implement [`Precond`]: an approximate inverse
+//! applied as `z = M⁻¹ r`.  The Gray-Scott experiment uses multigrid with
+//! Jacobi smoothers and a Jacobi coarse solve (§7.2); ILU(0) with sparse
+//! triangular solves implements the paper's stated future work (§8).
+
+pub mod asm;
+pub mod bjacobi;
+pub mod ilu;
+pub mod jacobi;
+pub mod mg;
+pub mod sor;
+pub mod spgemm;
+pub mod tri_solve;
+
+pub use asm::{AsmPc, SubSolve};
+pub use bjacobi::BlockJacobiPc;
+pub use ilu::Ilu0;
+pub use jacobi::JacobiPc;
+pub use mg::{CoarseSolve, Multigrid, MultigridConfig, Smoother};
+pub use sor::SorPc;
+
+/// An approximate inverse: `z = M⁻¹ r`.
+pub trait Precond {
+    /// Applies the preconditioner, overwriting `z`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner (`PCNONE`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPc;
+
+impl Precond for IdentityPc {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Composition of two preconditioners: applies `first`, then `second` on
+/// what remains — multiplicative composition `z = M₂⁻¹ r + M₁⁻¹ (r - A M₂⁻¹ r)`
+/// is overkill here; this additive chain is sufficient for experiments.
+pub struct ChainPc<P1, P2> {
+    /// First stage.
+    pub first: P1,
+    /// Second stage, applied to the first stage's output.
+    pub second: P2,
+}
+
+impl<P1: Precond, P2: Precond> Precond for ChainPc<P1, P2> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let mut mid = vec![0.0; r.len()];
+        self.first.apply(r, &mut mid);
+        self.second.apply(&mid, z);
+    }
+}
+
+/// Boxed preconditioners compose too.
+impl Precond for Box<dyn Precond> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z);
+    }
+}
+
+/// References to preconditioners (including trait objects) are
+/// preconditioners, so solvers can take `&dyn Precond` directly.
+impl<P: Precond + ?Sized> Precond for &P {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (**self).apply(r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let pc = IdentityPc;
+        let mut z = vec![0.0; 3];
+        pc.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn chain_composes() {
+        struct Scale(f64);
+        impl Precond for Scale {
+            fn apply(&self, r: &[f64], z: &mut [f64]) {
+                for (zi, ri) in z.iter_mut().zip(r) {
+                    *zi = self.0 * ri;
+                }
+            }
+        }
+        let pc = ChainPc { first: Scale(2.0), second: Scale(5.0) };
+        let mut z = vec![0.0];
+        pc.apply(&[1.0], &mut z);
+        assert_eq!(z, vec![10.0]);
+    }
+}

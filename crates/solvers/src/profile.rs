@@ -1,0 +1,186 @@
+//! Lightweight event profiling, in the spirit of PETSc's `-log_view`.
+//!
+//! The paper's analysis hinges on knowing where time goes ("the Jacobian
+//! evaluation and its multiplication with input vectors dominate the
+//! simulation, accounting for about half of the total running time", §7);
+//! [`Profiler`] produces that breakdown for the solves in this workspace.
+//! The paper's published artifacts are PETSc log files — this is the
+//! equivalent facility.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Accumulated statistics for one named event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EventStats {
+    /// Number of times the event ran.
+    pub count: u64,
+    /// Total wall time (seconds).
+    pub seconds: f64,
+    /// Flops attributed to the event (optional).
+    pub flops: u64,
+}
+
+impl EventStats {
+    /// Gflop/s over the event's accumulated time (0 if no flops logged).
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.flops as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An event profiler: time named regions, attribute flops, report.
+///
+/// ```
+/// use sellkit_solvers::Profiler;
+///
+/// let mut p = Profiler::new();
+/// let answer = p.time("compute", || 6 * 7);
+/// assert_eq!(answer, 42);
+/// p.add_flops("compute", 1);
+/// p.stop();
+/// assert_eq!(p.event("compute").unwrap().count, 1);
+/// assert!(p.to_string().contains("compute"));
+/// ```
+#[derive(Default, Debug)]
+pub struct Profiler {
+    events: HashMap<&'static str, EventStats>,
+    order: Vec<&'static str>,
+    started: Option<Instant>,
+    total: f64,
+}
+
+impl Profiler {
+    /// Creates an empty profiler and starts its global clock.
+    pub fn new() -> Self {
+        Self { started: Some(Instant::now()), ..Default::default() }
+    }
+
+    /// Times `f` under `name` (nested events are attributed to both).
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let out = f();
+        self.record(name, t.elapsed().as_secs_f64(), 0);
+        out
+    }
+
+    /// Adds a manual record (seconds + flops) to `name`.
+    pub fn record(&mut self, name: &'static str, seconds: f64, flops: u64) {
+        if !self.events.contains_key(name) {
+            self.order.push(name);
+        }
+        let e = self.events.entry(name).or_default();
+        e.count += 1;
+        e.seconds += seconds;
+        e.flops += flops;
+    }
+
+    /// Attributes additional flops to an existing event.
+    pub fn add_flops(&mut self, name: &'static str, flops: u64) {
+        if !self.events.contains_key(name) {
+            self.order.push(name);
+        }
+        self.events.entry(name).or_default().flops += flops;
+    }
+
+    /// Stats for one event.
+    pub fn event(&self, name: &str) -> Option<EventStats> {
+        self.events.get(name).copied()
+    }
+
+    /// Stops the global clock (idempotent) and returns total elapsed time.
+    pub fn stop(&mut self) -> f64 {
+        if let Some(t) = self.started.take() {
+            self.total = t.elapsed().as_secs_f64();
+        }
+        self.total
+    }
+
+    /// Fraction of total runtime spent in `name` (requires [`Profiler::stop`]).
+    pub fn fraction(&self, name: &str) -> f64 {
+        match (self.events.get(name), self.total > 0.0) {
+            (Some(e), true) => e.seconds / self.total,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>12} {:>8} {:>10}",
+            "event", "count", "time [s]", "%total", "Gflop/s"
+        )?;
+        for name in &self.order {
+            let e = self.events[name];
+            let pct = if self.total > 0.0 { 100.0 * e.seconds / self.total } else { 0.0 };
+            writeln!(
+                f,
+                "{:<24} {:>8} {:>12.6} {:>7.1}% {:>10.2}",
+                name,
+                e.count,
+                e.seconds,
+                pct,
+                e.gflops()
+            )?;
+        }
+        if self.total > 0.0 {
+            writeln!(f, "total: {:.6} s", self.total)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_and_counts() {
+        let mut p = Profiler::new();
+        for _ in 0..3 {
+            p.time("work", || std::hint::black_box((0..2000).sum::<u64>()));
+        }
+        let e = p.event("work").expect("recorded");
+        assert_eq!(e.count, 3);
+        assert!(e.seconds >= 0.0);
+        let total = p.stop();
+        assert!(total >= e.seconds * 0.5);
+    }
+
+    #[test]
+    fn flops_and_gflops() {
+        let mut p = Profiler::new();
+        p.record("spmv", 0.5, 1_000_000_000);
+        p.add_flops("spmv", 1_000_000_000);
+        let e = p.event("spmv").expect("recorded");
+        assert_eq!(e.flops, 2_000_000_000);
+        assert!((e.gflops() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_lists_events_in_insertion_order() {
+        let mut p = Profiler::new();
+        p.record("b_second", 0.1, 0);
+        p.record("a_first", 0.1, 0);
+        p.stop();
+        let s = p.to_string();
+        let pos_b = s.find("b_second").expect("listed");
+        let pos_a = s.find("a_first").expect("listed");
+        assert!(pos_b < pos_a, "insertion order preserved");
+    }
+
+    #[test]
+    fn fraction_requires_stop() {
+        let mut p = Profiler::new();
+        p.record("x", 0.2, 0);
+        assert_eq!(p.fraction("x"), 0.0);
+        p.stop();
+        assert!(p.fraction("x") >= 0.0);
+    }
+}

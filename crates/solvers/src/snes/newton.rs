@@ -1,0 +1,403 @@
+//! Newton's method with line search (PETSc `SNESNEWTONLS`).
+//!
+//! Each iteration assembles the Jacobian in CSR (the assembly format),
+//! converts it to the experiment's matrix format `M` (SELL or CSR — §7:
+//! "the Jacobian evaluation and its multiplication with input vectors
+//! dominate the simulation"), and solves the Newton system with GMRES.
+
+use sellkit_core::{Csr, FromCsr, SpMv};
+
+use crate::ksp::{gmres, KspConfig};
+use crate::operator::{MatOperator, SeqDot};
+use crate::pc::Precond;
+use crate::vecops;
+
+use super::line_search::LineSearch;
+
+/// A nonlinear system `F(x) = 0` with an analytic Jacobian.
+pub trait NonlinearProblem {
+    /// Number of unknowns.
+    fn dim(&self) -> usize;
+    /// Evaluates `f = F(x)`.
+    fn residual(&self, x: &[f64], f: &mut [f64]);
+    /// Assembles the Jacobian `∂F/∂x` at `x` in CSR.
+    fn jacobian(&self, x: &[f64]) -> Csr;
+}
+
+/// Newton configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NewtonConfig {
+    /// Absolute tolerance on `‖F‖`.
+    pub atol: f64,
+    /// Relative tolerance on `‖F‖ / ‖F₀‖`.
+    pub rtol: f64,
+    /// Maximum Newton iterations.
+    pub max_it: usize,
+    /// Inner linear-solver settings.
+    pub ksp: KspConfig,
+    /// Globalization strategy.
+    pub line_search: LineSearch,
+    /// Inner-tolerance strategy: fixed `ksp.rtol`, or Eisenstat-Walker
+    /// adaptive forcing (loose early, tight near the root — saves the
+    /// GMRES iterations that dominate runtime, §7).
+    pub forcing: Forcing,
+}
+
+/// How the inner linear tolerance is chosen each Newton iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Forcing {
+    /// Use `ksp.rtol` unchanged every iteration.
+    Fixed,
+    /// Eisenstat-Walker choice 2: `η_k = γ·(‖F_k‖/‖F_{k−1}‖)^α`, clamped
+    /// to `[eta_min, eta_max]` (PETSc `SNESKSPSetUseEW`).
+    EisenstatWalker {
+        /// Scaling γ (default 0.9).
+        gamma: f64,
+        /// Exponent α (default 2).
+        alpha: f64,
+        /// Lower clamp for the forcing term.
+        eta_min: f64,
+        /// Upper clamp for the forcing term.
+        eta_max: f64,
+    },
+}
+
+impl Forcing {
+    /// The PETSc-like default Eisenstat-Walker parameters.
+    pub fn eisenstat_walker() -> Self {
+        Forcing::EisenstatWalker { gamma: 0.9, alpha: 2.0, eta_min: 1e-8, eta_max: 0.5 }
+    }
+
+    fn eta(&self, base: f64, fnorm: f64, fnorm_prev: Option<f64>) -> f64 {
+        match *self {
+            Forcing::Fixed => base,
+            Forcing::EisenstatWalker { gamma, alpha, eta_min, eta_max } => match fnorm_prev {
+                None => eta_max, // first iteration: loose
+                Some(prev) if prev > 0.0 => {
+                    (gamma * (fnorm / prev).powf(alpha)).clamp(eta_min, eta_max)
+                }
+                Some(_) => eta_min,
+            },
+        }
+    }
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        Self {
+            atol: 1e-50,
+            rtol: 1e-8,
+            max_it: 50,
+            ksp: KspConfig { rtol: 1e-5, ..Default::default() },
+            line_search: LineSearch::Full,
+            forcing: Forcing::Fixed,
+        }
+    }
+}
+
+/// Why Newton stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NewtonStopReason {
+    /// `‖F‖ ≤ atol`.
+    AbsoluteTolerance,
+    /// `‖F‖ ≤ rtol · ‖F₀‖`.
+    RelativeTolerance,
+    /// Iteration limit reached.
+    MaxIterations,
+    /// Line search found no acceptable step.
+    LineSearchFailed,
+}
+
+/// Outcome of a Newton solve.
+#[derive(Clone, Debug)]
+pub struct NewtonResult {
+    /// Newton iterations performed.
+    pub iterations: usize,
+    /// Final `‖F‖`.
+    pub fnorm: f64,
+    /// Stop reason.
+    pub reason: NewtonStopReason,
+    /// Total linear iterations across all Newton steps.
+    pub linear_iterations: usize,
+    /// `‖F‖` after each Newton iteration (starting with the initial one).
+    pub history: Vec<f64>,
+}
+
+impl NewtonResult {
+    /// Whether the nonlinear solve converged.
+    pub fn converged(&self) -> bool {
+        matches!(
+            self.reason,
+            NewtonStopReason::AbsoluteTolerance | NewtonStopReason::RelativeTolerance
+        )
+    }
+}
+
+/// Solves `F(x) = 0` by Newton-GMRES with the Jacobian applied in format
+/// `M`; `pc_factory` builds a preconditioner from each assembled Jacobian.
+pub fn newton<M, Prob, Pc>(
+    problem: &Prob,
+    x: &mut [f64],
+    cfg: &NewtonConfig,
+    pc_factory: impl Fn(&Csr) -> Pc,
+) -> NewtonResult
+where
+    M: SpMv + FromCsr,
+    Prob: NonlinearProblem,
+    Pc: Precond,
+{
+    let n = problem.dim();
+    assert_eq!(x.len(), n);
+    let mut f = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut ftrial = vec![0.0; n];
+
+    problem.residual(x, &mut f);
+    let f0 = vecops::norm2(&f);
+    let mut fnorm = f0;
+    let mut history = vec![f0];
+    let mut linear_iterations = 0;
+
+    let check = |fnorm: f64| -> Option<NewtonStopReason> {
+        if fnorm <= cfg.atol {
+            Some(NewtonStopReason::AbsoluteTolerance)
+        } else if fnorm <= cfg.rtol * f0 {
+            Some(NewtonStopReason::RelativeTolerance)
+        } else {
+            None
+        }
+    };
+
+    if let Some(reason) = check(f0) {
+        return NewtonResult { iterations: 0, fnorm: f0, reason, linear_iterations, history };
+    }
+
+    let mut fnorm_prev: Option<f64> = None;
+    for it in 1..=cfg.max_it {
+        // Assemble in CSR, run the linear solve in format M (as the paper's
+        // experiments do: SELL carries every SpMV of the Newton systems).
+        let j_csr = problem.jacobian(x);
+        let pc = pc_factory(&j_csr);
+        let j_m = M::from_csr(&j_csr);
+
+        // Solve J d = -F to the (possibly adaptive) inner tolerance.
+        let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
+        let mut d = vec![0.0; n];
+        let ksp_cfg = KspConfig {
+            rtol: cfg.forcing.eta(cfg.ksp.rtol, fnorm, fnorm_prev),
+            ..cfg.ksp
+        };
+        let lin = gmres(&MatOperator(&j_m), &pc, &SeqDot, &rhs, &mut d, &ksp_cfg);
+        linear_iterations += lin.iterations;
+        fnorm_prev = Some(fnorm);
+
+        // Globalize.
+        let (lambda, new_fnorm) = cfg.line_search.search(fnorm, |lam| {
+            for i in 0..n {
+                trial[i] = x[i] + lam * d[i];
+            }
+            problem.residual(&trial, &mut ftrial);
+            vecops::norm2(&ftrial)
+        });
+        if lambda == 0.0 {
+            return NewtonResult {
+                iterations: it,
+                fnorm,
+                reason: NewtonStopReason::LineSearchFailed,
+                linear_iterations,
+                history,
+            };
+        }
+        vecops::axpy(lambda, &d, x);
+        problem.residual(x, &mut f);
+        fnorm = new_fnorm;
+        history.push(fnorm);
+
+        if let Some(reason) = check(fnorm) {
+            return NewtonResult { iterations: it, fnorm, reason, linear_iterations, history };
+        }
+    }
+
+    NewtonResult {
+        iterations: cfg.max_it,
+        fnorm,
+        reason: NewtonStopReason::MaxIterations,
+        linear_iterations,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pc::JacobiPc;
+    use crate::snes::line_search::{LineSearchConfig, LineSearch};
+    use sellkit_core::{CooBuilder, Sell8};
+
+    /// F(x)_i = x_i² - a_i  (decoupled quadratics; root = sqrt(a_i)).
+    struct Quadratics {
+        a: Vec<f64>,
+    }
+
+    impl NonlinearProblem for Quadratics {
+        fn dim(&self) -> usize {
+            self.a.len()
+        }
+        fn residual(&self, x: &[f64], f: &mut [f64]) {
+            for i in 0..x.len() {
+                f[i] = x[i] * x[i] - self.a[i];
+            }
+        }
+        fn jacobian(&self, x: &[f64]) -> Csr {
+            let n = x.len();
+            let mut b = CooBuilder::new(n, n);
+            for i in 0..n {
+                b.push(i, i, 2.0 * x[i]);
+            }
+            b.to_csr()
+        }
+    }
+
+    /// 1D nonlinear reaction-diffusion: -u'' + u³ = g, Dirichlet.
+    struct Bratu1d {
+        n: usize,
+        g: Vec<f64>,
+    }
+
+    impl NonlinearProblem for Bratu1d {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn residual(&self, x: &[f64], f: &mut [f64]) {
+            let n = self.n;
+            for i in 0..n {
+                let left = if i > 0 { x[i - 1] } else { 0.0 };
+                let right = if i + 1 < n { x[i + 1] } else { 0.0 };
+                f[i] = 2.0 * x[i] - left - right + x[i] * x[i] * x[i] - self.g[i];
+            }
+        }
+        fn jacobian(&self, x: &[f64]) -> Csr {
+            let n = self.n;
+            let mut b = CooBuilder::new(n, n);
+            for i in 0..n {
+                b.push(i, i, 2.0 + 3.0 * x[i] * x[i]);
+                if i > 0 {
+                    b.push(i, i - 1, -1.0);
+                }
+                if i + 1 < n {
+                    b.push(i, i + 1, -1.0);
+                }
+            }
+            b.to_csr()
+        }
+    }
+
+    #[test]
+    fn quadratic_convergence_on_smooth_problem() {
+        let p = Quadratics { a: vec![4.0, 9.0, 16.0] };
+        let mut x = vec![3.0, 3.0, 3.0];
+        let res = newton::<Csr, _, _>(
+            &p,
+            &mut x,
+            &NewtonConfig { rtol: 1e-12, ..Default::default() },
+            JacobiPc::from_csr,
+        );
+        assert!(res.converged());
+        assert!((x[0] - 2.0).abs() < 1e-8);
+        assert!((x[1] - 3.0).abs() < 1e-8);
+        assert!((x[2] - 4.0).abs() < 1e-8);
+        // Quadratic convergence: ratio of successive errors shrinks fast —
+        // the history should collapse in ≤ 8 iterations from O(1).
+        assert!(res.iterations <= 8, "{} its", res.iterations);
+    }
+
+    #[test]
+    fn sell_format_newton_matches_csr_newton() {
+        let n = 40;
+        let g: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.2).sin() + 1.0).collect();
+        let p = Bratu1d { n, g };
+        let cfg = NewtonConfig { rtol: 1e-10, ..Default::default() };
+        let mut x1 = vec![0.5; n];
+        let mut x2 = vec![0.5; n];
+        let r1 = newton::<Csr, _, _>(&p, &mut x1, &cfg, JacobiPc::from_csr);
+        let r2 = newton::<Sell8, _, _>(&p, &mut x2, &cfg, JacobiPc::from_csr);
+        assert!(r1.converged() && r2.converged());
+        assert_eq!(r1.iterations, r2.iterations, "format must not change the algorithm");
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn line_search_rescues_overshooting() {
+        // From a far initial guess, full steps overshoot on x² - a;
+        // backtracking still converges.
+        let p = Quadratics { a: vec![1.0] };
+        let cfg = NewtonConfig {
+            rtol: 1e-10,
+            max_it: 100,
+            line_search: LineSearch::Backtracking(LineSearchConfig::default()),
+            ..Default::default()
+        };
+        let mut x = vec![100.0];
+        let res = newton::<Csr, _, _>(&p, &mut x, &cfg, JacobiPc::from_csr);
+        assert!(res.converged());
+        assert!((x[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eisenstat_walker_saves_linear_iterations() {
+        let n = 60;
+        let g: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.15).cos() + 1.2).collect();
+        let p = Bratu1d { n, g };
+        let fixed_cfg = NewtonConfig {
+            rtol: 1e-10,
+            ksp: KspConfig { rtol: 1e-10, ..Default::default() },
+            ..Default::default()
+        };
+        let ew_cfg = NewtonConfig {
+            rtol: 1e-10,
+            ksp: KspConfig { rtol: 1e-10, ..Default::default() },
+            forcing: Forcing::eisenstat_walker(),
+            ..Default::default()
+        };
+        let mut x1 = vec![0.5; n];
+        let r_fixed = newton::<Csr, _, _>(&p, &mut x1, &fixed_cfg, JacobiPc::from_csr);
+        let mut x2 = vec![0.5; n];
+        let r_ew = newton::<Csr, _, _>(&p, &mut x2, &ew_cfg, JacobiPc::from_csr);
+        assert!(r_fixed.converged() && r_ew.converged());
+        assert!(
+            r_ew.linear_iterations < r_fixed.linear_iterations,
+            "EW {} !< fixed {}",
+            r_ew.linear_iterations,
+            r_fixed.linear_iterations
+        );
+        // Both converge to the same root.
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-7, "row {i}");
+        }
+    }
+
+    #[test]
+    fn forcing_eta_clamps() {
+        let f = Forcing::eisenstat_walker();
+        assert_eq!(f.eta(1e-5, 1.0, None), 0.5, "first iteration is loose");
+        let tight = f.eta(1e-5, 1e-6, Some(1.0));
+        assert!(tight <= 1e-8 * 1.0001, "near convergence it clamps to eta_min: {tight}");
+        assert_eq!(Forcing::Fixed.eta(1e-5, 1.0, Some(2.0)), 1e-5);
+    }
+
+    #[test]
+    fn already_converged_returns_zero_iterations() {
+        let p = Quadratics { a: vec![4.0] };
+        let mut x = vec![2.0];
+        let res = newton::<Csr, _, _>(
+            &p,
+            &mut x,
+            &NewtonConfig { atol: 1e-12, ..Default::default() },
+            JacobiPc::from_csr,
+        );
+        assert_eq!(res.iterations, 0);
+        assert!(res.converged());
+    }
+}

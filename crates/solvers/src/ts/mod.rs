@@ -1,0 +1,7 @@
+//! Timestepping solvers (PETSc `TS`).
+
+pub mod adapt;
+pub mod theta;
+
+pub use adapt::{AdaptConfig, AdaptStep, AdaptiveTheta};
+pub use theta::{OdeProblem, StepStats, ThetaConfig, ThetaStepper};

@@ -1,0 +1,114 @@
+//! BLAS-1 style vector kernels used throughout the solver stack.
+//!
+//! Written as plain slice loops so LLVM vectorizes them; these are the
+//! "other core operations" of §7.3 that must not regress when the matrix
+//! format changes (they never touch the matrix).
+
+/// Sequential dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * y + x` (PETSc `VecAYPX`).
+#[inline]
+pub fn aypx(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * *yi + xi;
+    }
+}
+
+/// `w = alpha * x + y` (PETSc `VecWAXPY`).
+#[inline]
+pub fn waxpy(w: &mut [f64], alpha: f64, x: &[f64], y: &[f64]) {
+    debug_assert_eq!(w.len(), x.len());
+    debug_assert_eq!(w.len(), y.len());
+    for i in 0..w.len() {
+        w[i] = alpha * x[i] + y[i];
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `y = x`.
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Pointwise `w = a ⊙ b` (PETSc `VecPointwiseMult`), used by Jacobi.
+#[inline]
+pub fn pointwise_mult(w: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(w.len(), a.len());
+    debug_assert_eq!(w.len(), b.len());
+    for i in 0..w.len() {
+        w[i] = a[i] * b[i];
+    }
+}
+
+/// Maximum absolute entry (∞-norm).
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn axpy_family() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+        aypx(0.5, &x, &mut y);
+        assert_eq!(y, vec![7.0, 14.0]);
+        let mut w = vec![0.0; 2];
+        waxpy(&mut w, -1.0, &x, &y);
+        assert_eq!(w, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn scale_copy_pointwise() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+        let mut y = vec![0.0; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        let mut w = vec![0.0; 2];
+        pointwise_mult(&mut w, &x, &y);
+        assert_eq!(w, vec![9.0, 36.0]);
+    }
+}

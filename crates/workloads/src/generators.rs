@@ -1,0 +1,226 @@
+//! Synthetic sparse-matrix generators spanning the regularity spectrum.
+//!
+//! The paper's matrices are highly regular (banded stencils, constant
+//! row length) — SELL's best case.  The generators here also produce the
+//! irregular cases (random, power-law) where padding and σ-sorting
+//! trade-offs appear (§2.5, §5.4), so the ablation benches can show both
+//! regimes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sellkit_core::{CooBuilder, Csr};
+
+/// 2D 5-point Laplacian stencil (Dirichlet), `nx × nx` grid.
+pub fn stencil5(nx: usize) -> Csr {
+    let n = nx * nx;
+    let mut b = CooBuilder::with_capacity(n, n, 5 * n);
+    for y in 0..nx {
+        for x in 0..nx {
+            let i = y * nx + x;
+            b.push(i, i, 4.0);
+            if x > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if x + 1 < nx {
+                b.push(i, i + 1, -1.0);
+            }
+            if y > 0 {
+                b.push(i, i - nx, -1.0);
+            }
+            if y + 1 < nx {
+                b.push(i, i + nx, -1.0);
+            }
+        }
+    }
+    b.to_csr()
+}
+
+/// 2D 9-point stencil (Dirichlet), `nx × nx` grid.
+pub fn stencil9(nx: usize) -> Csr {
+    let n = nx * nx;
+    let mut b = CooBuilder::with_capacity(n, n, 9 * n);
+    for y in 0..nx as isize {
+        for x in 0..nx as isize {
+            let i = (y * nx as isize + x) as usize;
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let (xx, yy) = (x + dx, y + dy);
+                    if xx >= 0 && yy >= 0 && xx < nx as isize && yy < nx as isize {
+                        let j = (yy * nx as isize + xx) as usize;
+                        let v = if dx == 0 && dy == 0 { 8.0 } else { -1.0 };
+                        b.push(i, j, v);
+                    }
+                }
+            }
+        }
+    }
+    b.to_csr()
+}
+
+/// 3D 7-point Laplacian stencil (Dirichlet), `nx³` grid.
+pub fn stencil7_3d(nx: usize) -> Csr {
+    let n = nx * nx * nx;
+    let mut b = CooBuilder::with_capacity(n, n, 7 * n);
+    let at = |x: usize, y: usize, z: usize| (z * nx + y) * nx + x;
+    for z in 0..nx {
+        for y in 0..nx {
+            for x in 0..nx {
+                let i = at(x, y, z);
+                b.push(i, i, 6.0);
+                if x > 0 {
+                    b.push(i, at(x - 1, y, z), -1.0);
+                }
+                if x + 1 < nx {
+                    b.push(i, at(x + 1, y, z), -1.0);
+                }
+                if y > 0 {
+                    b.push(i, at(x, y - 1, z), -1.0);
+                }
+                if y + 1 < nx {
+                    b.push(i, at(x, y + 1, z), -1.0);
+                }
+                if z > 0 {
+                    b.push(i, at(x, y, z - 1), -1.0);
+                }
+                if z + 1 < nx {
+                    b.push(i, at(x, y, z + 1), -1.0);
+                }
+            }
+        }
+    }
+    b.to_csr()
+}
+
+/// Banded matrix: diagonals at offsets `0, ±1, …, ±band` with wraparound —
+/// the regular structure "such as banded matrices resulting from finite
+/// difference or finite element discretization" (§2.3).
+pub fn banded(n: usize, band: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(n, n, (2 * band + 1) * n);
+    for i in 0..n as isize {
+        for d in -(band as isize)..=band as isize {
+            let j = (i + d).rem_euclid(n as isize) as usize;
+            b.push(i as usize, j, rng.gen_range(-1.0..1.0) + if d == 0 { 4.0 } else { 0.0 });
+        }
+    }
+    b.to_csr()
+}
+
+/// Random matrix with a fixed number of nonzeros per row (uniform column
+/// placement) — regular lengths, scattered accesses.
+pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(n, n, nnz_per_row * n);
+    for i in 0..n {
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(i); // keep a diagonal
+        while cols.len() < nnz_per_row.min(n) {
+            cols.insert(rng.gen_range(0..n));
+        }
+        for j in cols {
+            b.push(i, j, rng.gen_range(-1.0..1.0) + if i == j { nnz_per_row as f64 } else { 0.0 });
+        }
+    }
+    b.to_csr()
+}
+
+/// Random matrix with power-law distributed row lengths — the irregular
+/// case where plain ELLPACK explodes and σ-sorting pays off (§2.5).
+///
+/// Row lengths follow `len ~ min_len / U^(1/alpha)` capped at `max_len`.
+pub fn power_law(n: usize, min_len: usize, max_len: usize, alpha: f64, seed: u64) -> Csr {
+    assert!(min_len >= 1 && max_len >= min_len && alpha > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::new(n, n);
+    for i in 0..n {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let len = ((min_len as f64 / u.powf(1.0 / alpha)) as usize).clamp(min_len, max_len.min(n));
+        let mut cols = std::collections::BTreeSet::new();
+        cols.insert(i);
+        while cols.len() < len {
+            cols.insert(rng.gen_range(0..n));
+        }
+        for j in cols {
+            b.push(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    b.to_csr()
+}
+
+/// Diagonal matrix (1 nnz/row) — the extreme short-row case where CSR's
+/// remainder handling is pure overhead (§2.3 drawback 1).
+pub fn diagonal(n: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(n, n, n);
+    for i in 0..n {
+        b.push(i, i, rng.gen_range(1.0..2.0));
+    }
+    b.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sellkit_core::{MatShape, Sell8, SpMv};
+
+    #[test]
+    fn stencil_shapes() {
+        let a5 = stencil5(10);
+        assert_eq!(a5.nrows(), 100);
+        assert_eq!(a5.max_row_len(), 5);
+        let a9 = stencil9(10);
+        assert_eq!(a9.max_row_len(), 9);
+        let a7 = stencil7_3d(5);
+        assert_eq!(a7.nrows(), 125);
+        assert_eq!(a7.max_row_len(), 7);
+    }
+
+    #[test]
+    fn banded_has_constant_row_length() {
+        let a = banded(50, 3, 1);
+        for i in 0..50 {
+            assert_eq!(a.row_len(i), 7);
+        }
+    }
+
+    #[test]
+    fn random_uniform_has_fixed_row_length() {
+        let a = random_uniform(64, 9, 2);
+        for i in 0..64 {
+            assert_eq!(a.row_len(i), 9);
+        }
+    }
+
+    #[test]
+    fn power_law_is_irregular() {
+        let a = power_law(512, 2, 128, 1.2, 3);
+        let lens: Vec<usize> = (0..512).map(|i| a.row_len(i)).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(max >= 4 * min, "expected heavy spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = banded(30, 2, 7);
+        let b = banded(30, 2, 7);
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.colidx(), b.colidx());
+    }
+
+    #[test]
+    fn all_generated_matrices_spmv_consistently_in_sell() {
+        for a in [stencil5(8), stencil9(6), banded(40, 2, 1), random_uniform(40, 5, 2),
+                  power_law(60, 1, 20, 1.5, 3), diagonal(33, 4), stencil7_3d(4)] {
+            let n = a.ncols();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+            let mut y1 = vec![0.0; a.nrows()];
+            let mut y2 = vec![0.0; a.nrows()];
+            a.spmv(&x, &mut y1);
+            Sell8::from_csr(&a).spmv(&x, &mut y2);
+            for i in 0..a.nrows() {
+                assert!((y1[i] - y2[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

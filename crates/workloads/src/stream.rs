@@ -1,0 +1,114 @@
+//! STREAM memory-bandwidth kernels (McCalpin), behind Figure 4.
+//!
+//! The four canonical kernels measured over arrays far larger than cache.
+//! On this host they give the *measured* bandwidth point; the KNL curves
+//! of Figure 4 come from `sellkit-machine`'s calibrated model.
+
+use std::time::Instant;
+
+/// Result of one STREAM kernel measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamResult {
+    /// Best (maximum) achieved bandwidth over the repetitions, in GB/s.
+    pub best_gbs: f64,
+    /// Bytes moved per kernel execution.
+    pub bytes: usize,
+}
+
+/// The four STREAM kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]` — 16 B/element.
+    Copy,
+    /// `b[i] = s·c[i]` — 16 B/element.
+    Scale,
+    /// `c[i] = a[i] + b[i]` — 24 B/element.
+    Add,
+    /// `a[i] = b[i] + s·c[i]` — 24 B/element.
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes moved per element (STREAM counting: read + write streams).
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+}
+
+/// Runs one STREAM kernel on `n`-element arrays, `reps` repetitions,
+/// reporting the best bandwidth (the standard STREAM methodology).
+pub fn run_stream(kernel: StreamKernel, n: usize, reps: usize) -> StreamResult {
+    assert!(n >= 1024, "arrays must dwarf the cache to measure bandwidth");
+    assert!(reps >= 1);
+    let s = 3.0f64;
+    let mut a: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let mut b: Vec<f64> = vec![2.0; n];
+    let mut c: Vec<f64> = vec![0.0; n];
+
+    let bytes = n * kernel.bytes_per_elem();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        match kernel {
+            StreamKernel::Copy => {
+                c.copy_from_slice(&a);
+            }
+            StreamKernel::Scale => {
+                for i in 0..n {
+                    b[i] = s * c[i];
+                }
+            }
+            StreamKernel::Add => {
+                for i in 0..n {
+                    c[i] = a[i] + b[i];
+                }
+            }
+            StreamKernel::Triad => {
+                for i in 0..n {
+                    a[i] = b[i] + s * c[i];
+                }
+            }
+        }
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        // Defeat dead-code elimination.
+        std::hint::black_box((&a, &b, &c));
+    }
+    StreamResult { best_gbs: bytes as f64 / best / 1e9, bytes }
+}
+
+/// Runs all four kernels, returning `(kernel, result)` pairs — one row of
+/// the classic STREAM report.
+pub fn run_all(n: usize, reps: usize) -> Vec<(StreamKernel, StreamResult)> {
+    [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
+        .into_iter()
+        .map(|k| (k, run_stream(k, n, reps)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_produce_positive_bandwidth() {
+        for (k, r) in run_all(1 << 16, 3) {
+            assert!(r.best_gbs > 0.0, "{k:?}");
+            assert_eq!(r.bytes, (1 << 16) * k.bytes_per_elem());
+        }
+    }
+
+    #[test]
+    fn triad_moves_more_bytes_than_copy() {
+        assert!(StreamKernel::Triad.bytes_per_elem() > StreamKernel::Copy.bytes_per_elem());
+    }
+
+    #[test]
+    #[should_panic(expected = "dwarf the cache")]
+    fn tiny_arrays_rejected() {
+        run_stream(StreamKernel::Triad, 16, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Mini SpMV benchmark over a Matrix Market file: load (or generate) a
+//! matrix, convert it to every format, and time `y = A·x` per kernel —
+//! sellkit as the downstream user of a SuiteSparse-style matrix would
+//! drive it.
+//!
+//! ```sh
+//! cargo run --release -p sellkit --example mtx_bench -- path/to/matrix.mtx
+//! cargo run --release -p sellkit --example mtx_bench            # built-in demo matrix
+//! ```
+
+use std::time::Instant;
+
+use sellkit::core::{stats::FormatStats, Isa, MatShape, Sell8, SellEsb, SpMv};
+use sellkit::workloads::{generators, matrix_market};
+
+fn time_best(mut f: impl FnMut(), reps: usize) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let a = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("loading {path} ...");
+            matrix_market::read_mtx_file(&path).expect("failed to read .mtx file")
+        }
+        None => {
+            println!("no file given — generating a 200x200 5-point stencil");
+            generators::stencil5(200)
+        }
+    };
+    println!(
+        "matrix: {} x {}, {} nonzeros, max row length {}\n",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        a.max_row_len()
+    );
+
+    let sell = Sell8::from_csr(&a);
+    println!("{}", FormatStats::for_csr(&a));
+    println!("{}", FormatStats::for_sell(&sell));
+    println!("{}\n", FormatStats::for_sell_esb(&SellEsb::from_csr(&a)));
+
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let flops = 2.0 * a.nnz() as f64;
+    let reps = 9;
+
+    println!("{:<22} {:>12} {:>10}", "kernel", "time [µs]", "Gflop/s");
+    for isa in Isa::available_tiers() {
+        let m = a.clone().with_isa(isa);
+        let mut y = vec![0.0; a.nrows()];
+        let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
+        println!("{:<22} {:>12.1} {:>10.2}", format!("CSR {isa}"), t * 1e6, flops / t / 1e9);
+    }
+    for isa in Isa::available_tiers() {
+        let m = Sell8::from_csr(&a).with_isa(isa);
+        let mut y = vec![0.0; a.nrows()];
+        let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
+        println!("{:<22} {:>12.1} {:>10.2}", format!("SELL {isa}"), t * 1e6, flops / t / 1e9);
+    }
+    {
+        let mut y = vec![0.0; a.nrows()];
+        let t = time_best(|| sell.spmv_tuned(&x, std::hint::black_box(&mut y)), reps);
+        println!("{:<22} {:>12.1} {:>10.2}", "SELL tuned (§5.5)", t * 1e6, flops / t / 1e9);
+    }
+
+    // Round-trip the matrix through .mtx to prove the writer works too.
+    let mut buf = Vec::new();
+    matrix_market::write_mtx(&a, &mut buf).expect("serialize");
+    let back = matrix_market::read_mtx(buf.as_slice()).expect("reparse");
+    assert_eq!(back.nnz(), a.nnz());
+    println!("\n.mtx round-trip OK ({} bytes)", buf.len());
+}

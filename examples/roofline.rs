@@ -1,0 +1,36 @@
+//! Roofline walk-through (Figure 9): ceilings of the Theta KNL machine and
+//! where each SpMV kernel lands, from the calibrated machine model.
+//!
+//! ```sh
+//! cargo run --release --example roofline
+//! ```
+
+use sellkit::machine::specs::knl_7230;
+use sellkit::machine::Roofline;
+
+fn main() {
+    let r = Roofline::theta_knl();
+    println!("Roofline on {} — {:.1} Gflop/s (maximum)\n", r.name, r.peak_gflops);
+    for (label, bw) in &r.ceilings {
+        println!("  {label:>7} ceiling: {bw:>7.1} GB/s");
+    }
+
+    println!("\nkernels (2048x2048 Gray-Scott, 64 procs, flat MCDRAM):\n");
+    println!("{:<20} {:>8} {:>10} {:>14}", "kernel", "AI", "Gflop/s", "% of MCDRAM");
+    for p in r.place_kernels(&knl_7230()) {
+        println!(
+            "{:<20} {:>8.3} {:>10.2} {:>13.0}%",
+            p.kernel.to_string(),
+            p.ai,
+            p.gflops,
+            p.roof_fraction * 100.0
+        );
+    }
+
+    println!(
+        "\nReading: SpMV sits at AI ≈ 0.13 flops/byte, far left of the\n\
+         ridge point — bandwidth-bound.  SELL+AVX-512 approaches the MCDRAM\n\
+         roof; the compiler-vectorized CSR baseline reaches barely half of\n\
+         it, which is the 2x the paper reports."
+    );
+}

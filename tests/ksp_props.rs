@@ -1,0 +1,122 @@
+//! Property-based solver tests: every Krylov method must solve every
+//! randomly generated well-conditioned system, and methods must agree
+//! with each other on the solution.
+
+use proptest::prelude::*;
+use sellkit::core::{CooBuilder, Csr, Sell8, SpMv};
+use sellkit::solvers::ksp::{bicgstab, cg, fgmres, gmres, KspConfig};
+use sellkit::solvers::operator::{MatOperator, SeqDot};
+use sellkit::solvers::pc::{Ilu0, JacobiPc};
+
+/// Builds a strictly diagonally dominant (hence nonsingular) matrix; when
+/// `symmetric`, also SPD.
+fn dominant(n: usize, entries: &[(usize, usize, f64)], symmetric: bool) -> Csr {
+    let mut b = CooBuilder::new(n, n);
+    let mut rowsum = vec![0.0f64; n];
+    for &(i, j, v) in entries {
+        let (i, j) = (i % n, j % n);
+        if i == j {
+            continue;
+        }
+        b.push(i, j, v);
+        rowsum[i] += v.abs();
+        if symmetric {
+            b.push(j, i, v);
+            rowsum[j] += v.abs();
+        }
+    }
+    for (i, rs) in rowsum.iter().enumerate() {
+        b.push(i, i, rs + 1.0);
+    }
+    b.to_csr()
+}
+
+fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; b.len()];
+    a.spmv(x, &mut ax);
+    ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GMRES solves every diagonally dominant system (through SELL).
+    #[test]
+    fn gmres_solves_random_dominant(
+        n in 2usize..30,
+        entries in prop::collection::vec((0usize..30, 0usize..30, -1.0f64..1.0), 0..90),
+        rhs_seed in 0u64..1000,
+    ) {
+        let a = dominant(n, &entries, false);
+        let b: Vec<f64> = (0..n).map(|i| (((i as u64 + rhs_seed) % 13) as f64) - 6.0).collect();
+        let sell = Sell8::from_csr(&a);
+        let mut x = vec![0.0; n];
+        let res = gmres(
+            &MatOperator(&sell),
+            &JacobiPc::from_csr(&a),
+            &SeqDot,
+            &b,
+            &mut x,
+            &KspConfig { rtol: 1e-10, ..Default::default() },
+        );
+        prop_assert!(res.converged(), "{:?}", res.reason);
+        prop_assert!(residual(&a, &x, &b) < 1e-6 * (1.0 + residual(&a, &vec![0.0; n], &b)));
+    }
+
+    /// CG and GMRES agree on SPD systems.
+    #[test]
+    fn cg_agrees_with_gmres_on_spd(
+        n in 2usize..24,
+        entries in prop::collection::vec((0usize..24, 0usize..24, -1.0f64..1.0), 0..60),
+    ) {
+        let a = dominant(n, &entries, true);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let cfg = KspConfig { rtol: 1e-12, ..Default::default() };
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let r1 = cg(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x1, &cfg);
+        let r2 = gmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x2, &cfg);
+        prop_assert!(r1.converged() && r2.converged());
+        for i in 0..n {
+            prop_assert!((x1[i] - x2[i]).abs() < 1e-6, "row {i}: {} vs {}", x1[i], x2[i]);
+        }
+    }
+
+    /// BiCGStab and FGMRES also land on the same solution.
+    #[test]
+    fn bicgstab_and_fgmres_agree(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -0.8f64..0.8), 0..50),
+    ) {
+        let a = dominant(n, &entries, false);
+        let b = vec![1.0; n];
+        let cfg = KspConfig { rtol: 1e-12, max_it: 2000, ..Default::default() };
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let r1 = bicgstab(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x1, &cfg);
+        let r2 = fgmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x2, &cfg);
+        prop_assert!(r1.converged() && r2.converged());
+        for i in 0..n {
+            prop_assert!((x1[i] - x2[i]).abs() < 1e-5, "row {i}");
+        }
+    }
+
+    /// ILU(0)-preconditioned GMRES never needs more iterations than
+    /// unpreconditioned GMRES on dominant systems.
+    #[test]
+    fn ilu_never_hurts(
+        n in 3usize..22,
+        entries in prop::collection::vec((0usize..22, 0usize..22, -1.0f64..1.0), 1..60),
+    ) {
+        let a = dominant(n, &entries, false);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let cfg = KspConfig { rtol: 1e-9, ..Default::default() };
+        let mut x1 = vec![0.0; n];
+        let r_plain = gmres(&MatOperator(&a), &sellkit::solvers::pc::IdentityPc, &SeqDot, &b, &mut x1, &cfg);
+        let mut x2 = vec![0.0; n];
+        let r_ilu = gmres(&MatOperator(&a), &Ilu0::factor(&a), &SeqDot, &b, &mut x2, &cfg);
+        prop_assert!(r_ilu.converged());
+        prop_assert!(r_ilu.iterations <= r_plain.iterations + 1,
+            "ILU {} vs plain {}", r_ilu.iterations, r_plain.iterations);
+    }
+}
