@@ -11,7 +11,10 @@ fn bench_bitarray(c: &mut Criterion) {
     let isa = Isa::detect();
     for (name, a) in [
         ("stencil5_256", generators::stencil5(256)),
-        ("power_law_20k", generators::power_law(20_000, 2, 64, 1.3, 11)),
+        (
+            "power_law_20k",
+            generators::power_law(20_000, 2, 64, 1.3, 11),
+        ),
     ] {
         let sell = Sell8::from_csr(&a).with_isa(isa);
         let esb = SellEsb::from_csr(&a);

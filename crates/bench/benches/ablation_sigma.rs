@@ -11,7 +11,10 @@ use sellkit_workloads::generators;
 fn bench_sigma(c: &mut Criterion) {
     for (name, a) in [
         ("stencil5_256", generators::stencil5(256)),
-        ("power_law_20k", generators::power_law(20_000, 2, 64, 1.3, 11)),
+        (
+            "power_law_20k",
+            generators::power_law(20_000, 2, 64, 1.3, 11),
+        ),
     ] {
         let plain = Sell8::from_csr(&a);
         let sigma32 = Sell8::from_csr_sigma(&a, 32);
@@ -33,7 +36,10 @@ fn bench_sigma(c: &mut Criterion) {
             |b| b.iter(|| sigma32.spmv(&x, &mut y)),
         );
         g.bench_function(
-            format!("sigma=global (padding {:.1}%)", sigma_global.padding_ratio() * 100.0),
+            format!(
+                "sigma=global (padding {:.1}%)",
+                sigma_global.padding_ratio() * 100.0
+            ),
             |b| b.iter(|| sigma_global.spmv(&x, &mut y)),
         );
         g.finish();

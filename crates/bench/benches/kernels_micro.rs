@@ -26,7 +26,9 @@ fn bench_slice_heights(c: &mut Criterion) {
     let s4 = Sell::<4>::from_csr(&a);
     let s8 = Sell::<8>::from_csr(&a);
     let s16 = Sell::<16>::from_csr(&a);
-    g.bench_function("C=1 (scalar, = CSR storage)", |b| b.iter(|| s1.spmv(&x, &mut y)));
+    g.bench_function("C=1 (scalar, = CSR storage)", |b| {
+        b.iter(|| s1.spmv(&x, &mut y))
+    });
     g.bench_function("C=4 (scalar)", |b| b.iter(|| s4.spmv(&x, &mut y)));
     g.bench_function("C=8 (vectorized)", |b| b.iter(|| s8.spmv(&x, &mut y)));
     g.bench_function("C=16 (scalar)", |b| b.iter(|| s16.spmv(&x, &mut y)));
@@ -94,7 +96,9 @@ fn bench_tuned_kernel(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(200));
     g.measurement_time(Duration::from_millis(800));
     g.bench_function("plain AVX-512", |b| b.iter(|| sell.spmv(&x, &mut y)));
-    g.bench_function("unroll+prefetch", |b| b.iter(|| sell.spmv_tuned(&x, &mut y)));
+    g.bench_function("unroll+prefetch", |b| {
+        b.iter(|| sell.spmv_tuned(&x, &mut y))
+    });
     g.finish();
 }
 
@@ -104,14 +108,18 @@ fn bench_spmm(c: &mut Criterion) {
     let a = banded(60_000, 4, 9);
     let sell = sellkit_core::Sell8::from_csr(&a);
     let k = 4;
-    let x: Vec<f64> = (0..k * a.ncols()).map(|i| (i as f64 * 0.001).sin()).collect();
+    let x: Vec<f64> = (0..k * a.ncols())
+        .map(|i| (i as f64 * 0.001).sin())
+        .collect();
     let mut y = vec![0.0; k * a.nrows()];
     let mut g = c.benchmark_group("kernels_micro/spmm_k4");
     g.throughput(Throughput::Elements((k * a.nnz()) as u64));
     g.sample_size(15);
     g.warm_up_time(Duration::from_millis(200));
     g.measurement_time(Duration::from_millis(800));
-    g.bench_function("blocked spmm (matrix once)", |b| b.iter(|| sell.spmm(&x, k, &mut y)));
+    g.bench_function("blocked spmm (matrix once)", |b| {
+        b.iter(|| sell.spmm(&x, k, &mut y))
+    });
     g.bench_function("k separate spmv (matrix k times)", |b| {
         b.iter(|| {
             for v in 0..k {

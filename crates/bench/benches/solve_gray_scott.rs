@@ -10,11 +10,11 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sellkit_core::{Csr, Sell8};
+use sellkit_grid::interpolation_chain;
 use sellkit_solvers::ksp::KspConfig;
 use sellkit_solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
 use sellkit_solvers::snes::NewtonConfig;
 use sellkit_solvers::ts::{ThetaConfig, ThetaStepper};
-use sellkit_grid::interpolation_chain;
 use sellkit_workloads::{GrayScott, GrayScottParams};
 
 fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
@@ -28,13 +28,20 @@ fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
         dt: 1.0,
         newton: NewtonConfig {
             rtol: 1e-8,
-            ksp: KspConfig { rtol: 1e-5, restart: 30, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-5,
+                restart: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
     };
     let mut u = u0.to_vec();
     let mut ts = ThetaStepper::new(cfg);
-    let mg_cfg = MultigridConfig { coarse: CoarseSolve::Jacobi(8), ..Default::default() };
+    let mg_cfg = MultigridConfig {
+        coarse: CoarseSolve::Jacobi(8),
+        ..Default::default()
+    };
     let res = ts.step::<M, _, _>(gs, &mut u, |j| Multigrid::<M>::new(j, &interps, mg_cfg));
     assert!(res.converged(), "Newton failed in bench: {:?}", res.reason);
     u

@@ -16,7 +16,10 @@ fn main() {
         ("stencil5 (regular)", generators::stencil5(160)),
         ("banded b=4", generators::banded(25_000, 4, 1)),
         ("random 9/row", generators::random_uniform(25_000, 9, 2)),
-        ("power-law (irregular)", generators::power_law(25_000, 2, 96, 1.3, 3)),
+        (
+            "power-law (irregular)",
+            generators::power_law(25_000, 2, 96, 1.3, 3),
+        ),
     ];
 
     println!("slice-height ablation: padding %% / measured Gflop/s\n");
@@ -45,12 +48,19 @@ fn main() {
         // σ-sorted SELL-8 for the irregular side of the trade-off.
         let sorted = Sell::<8>::from_csr_sigma(a, a.nrows().div_ceil(8) * 8);
         let t = time_spmv(&|xv, yv| sorted.spmv(xv, yv), &x, &mut y, 7);
-        cells.push(format!("{:.1}% / {:.2}", sorted.padding_ratio() * 100.0, gflops(a.nnz(), t)));
+        cells.push(format!(
+            "{:.1}% / {:.2}",
+            sorted.padding_ratio() * 100.0,
+            gflops(a.nnz(), t)
+        ));
         rows.push(cells);
     }
     println!(
         "{}",
-        render(&["matrix", "C=1", "C=4", "C=8", "C=16", "C=8 sigma=global"], &rows)
+        render(
+            &["matrix", "C=1", "C=4", "C=8", "C=16", "C=8 sigma=global"],
+            &rows
+        )
     );
     println!(
         "Reading: regular matrices pad almost nothing at any C (the paper's\n\

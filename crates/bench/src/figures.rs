@@ -5,14 +5,12 @@
 //! model — DESIGN.md §3 explains why) or `[measured]` (real kernels timed
 //! on this host, real mpisim ranks).
 
-use sellkit_core::{Isa, MatShape, Sell8, SpMv};
 use sellkit_core::traffic::{csr_traffic, sell_traffic};
+use sellkit_core::{Isa, MatShape, Sell8, SpMv};
 use sellkit_dist::{DistMat, DistVec};
-use sellkit_machine::{
-    predict_gflops, KernelKind, MatrixShape, MemoryMode, Roofline,
-};
 use sellkit_machine::specs::{self, ProcessorSpec};
 use sellkit_machine::stream_model::knl_stream_curve;
+use sellkit_machine::{predict_gflops, KernelKind, MatrixShape, MemoryMode, Roofline};
 use sellkit_mpisim::run as mpirun;
 use sellkit_solvers::ts::OdeProblem;
 use sellkit_workloads::stream::{run_all, StreamKernel};
@@ -36,9 +34,17 @@ pub fn table1() -> String {
             ]
         })
         .collect();
-    let mut out = String::from("Table 1: Intel processors used for evaluating SpMV performance\n\n");
+    let mut out =
+        String::from("Table 1: Intel processors used for evaluating SpMV performance\n\n");
     out.push_str(&render(
-        &["Processor", "Cores", "Base(Turbo) Freq", "L3 Cache", "Max DDR4 BW", "HBM BW"],
+        &[
+            "Processor",
+            "Cores",
+            "Base(Turbo) Freq",
+            "L3 Cache",
+            "Max DDR4 BW",
+            "HBM BW",
+        ],
         &rows,
     ));
     out
@@ -46,7 +52,8 @@ pub fn table1() -> String {
 
 /// Figure 4: STREAM bandwidth vs MPI processes on KNL.
 pub fn fig4(measure: bool) -> String {
-    let mut out = String::from("Figure 4: STREAM tests on KNL (triad bandwidth, GB/s)\n\n[model]\n");
+    let mut out =
+        String::from("Figure 4: STREAM tests on KNL (triad bandwidth, GB/s)\n\n[model]\n");
     let series = [
         ("Flat:AVX512", MemoryMode::FlatMcdram, true),
         ("Flat:novec", MemoryMode::FlatMcdram, false),
@@ -114,7 +121,12 @@ pub fn fig7(measure: bool) -> String {
             })
             .collect();
         out.push_str(&render(
-            &["procs", "1024x1024 grid", "2048x2048 grid", "4096x4096 grid"],
+            &[
+                "procs",
+                "1024x1024 grid",
+                "2048x2048 grid",
+                "4096x4096 grid",
+            ],
             &rows,
         ));
     }
@@ -128,7 +140,10 @@ pub fn fig7(measure: bool) -> String {
             let x = vec![1.0; a.ncols()];
             let mut y = vec![0.0; a.nrows()];
             let t = time_spmv(&|x, y| a.spmv(x, y), &x, &mut y, 5);
-            out.push_str(&format!("  {g}x{g} grid: {:.2} Gflop/s\n", gflops(a.nnz(), t)));
+            out.push_str(&format!(
+                "  {g}x{g} grid: {:.2} Gflop/s\n",
+                gflops(a.nnz(), t)
+            ));
         }
     }
     out
@@ -146,13 +161,25 @@ pub fn fig8(measure: bool) -> String {
     let mut headers = vec!["kernel".to_string()];
     headers.extend(procs.iter().map(|p| format!("p={p}")));
     headers.push("vs baseline @64".into());
-    let base64 = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::CsrBaseline, 64, shape);
+    let base64 = predict_gflops(
+        &knl,
+        MemoryMode::FlatMcdram,
+        KernelKind::CsrBaseline,
+        64,
+        shape,
+    );
     let rows: Vec<Vec<String>> = KernelKind::FIG8
         .iter()
         .map(|&k| {
             let mut row = vec![k.to_string()];
             for &p in &procs {
-                row.push(f2(predict_gflops(&knl, MemoryMode::FlatMcdram, k, p, shape)));
+                row.push(f2(predict_gflops(
+                    &knl,
+                    MemoryMode::FlatMcdram,
+                    k,
+                    p,
+                    shape,
+                )));
             }
             let r = predict_gflops(&knl, MemoryMode::FlatMcdram, k, 64, shape) / base64;
             row.push(format!("{:.2}x", r));
@@ -216,7 +243,10 @@ pub fn fig9() -> String {
             ]
         })
         .collect();
-    out.push_str(&render(&["kernel", "AI (flops/byte)", "Gflop/s", "% of MCDRAM roof"], &rows));
+    out.push_str(&render(
+        &["kernel", "AI (flops/byte)", "Gflop/s", "% of MCDRAM roof"],
+        &rows,
+    ));
     out
 }
 
@@ -235,7 +265,7 @@ pub fn fig10(measure: bool) -> String {
     );
     let knl = specs::knl_7230();
     let shape = MatrixShape::gray_scott(2048); // per-node working shape for ratio purposes
-    // 64-node total wall time anchors (seconds), read off the figure.
+                                               // 64-node total wall time anchors (seconds), read off the figure.
     let anchors = [
         (MemoryMode::FlatDdr, 2450.0, 0.35),
         (MemoryMode::Cache, 1500.0, 0.45),
@@ -266,7 +296,15 @@ pub fn fig10(measure: bool) -> String {
         }
     }
     out.push_str(&render(
-        &["nodes", "memory mode", "CSR total [s]", "CSR MatMult", "SELL total [s]", "SELL MatMult", "MatMult speedup"],
+        &[
+            "nodes",
+            "memory mode",
+            "CSR total [s]",
+            "CSR MatMult",
+            "SELL total [s]",
+            "SELL MatMult",
+            "MatMult speedup",
+        ],
         &rows,
     ));
 
@@ -336,10 +374,19 @@ pub fn fig11(measure: bool) -> String {
             row
         })
         .collect();
-    out.push_str(&render(&["kernel", "Haswell", "Broadwell", "Skylake", "KNL"], &rows));
+    out.push_str(&render(
+        &["kernel", "Haswell", "Broadwell", "Skylake", "KNL"],
+        &rows,
+    ));
 
     if measure {
-        out.push_str(&fig8(true).split("[measured]").nth(1).map(|s| format!("\n[measured]{s}")).unwrap_or_default());
+        out.push_str(
+            &fig8(true)
+                .split("[measured]")
+                .nth(1)
+                .map(|s| format!("\n[measured]{s}"))
+                .unwrap_or_default(),
+        );
     }
     out
 }
@@ -369,7 +416,15 @@ pub fn traffic_model() -> String {
         })
         .collect();
     out.push_str(&render(
-        &["grid", "rows", "nnz", "CSR bytes", "SELL bytes", "CSR AI", "SELL AI"],
+        &[
+            "grid",
+            "rows",
+            "nnz",
+            "CSR bytes",
+            "SELL bytes",
+            "CSR AI",
+            "SELL AI",
+        ],
         &rows,
     ));
 

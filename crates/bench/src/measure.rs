@@ -33,7 +33,10 @@ impl MklLikeCsr {
             }
             s
         }
-        Self { a: a.clone(), row_kernel: dot_row }
+        Self {
+            a: a.clone(),
+            row_kernel: dot_row,
+        }
     }
 
     /// `y = A·x` through the per-row function pointer (defeats inlining,
@@ -72,14 +75,20 @@ pub fn build_variants(a: &Csr) -> Vec<Variant> {
         });
     }
     let perm = CsrPerm::from_csr(a);
-    out.push(Variant { label: "CSRPerm".into(), run: Box::new(move |x, y| perm.spmv(x, y)) });
+    out.push(Variant {
+        label: "CSRPerm".into(),
+        run: Box::new(move |x, y| perm.spmv(x, y)),
+    });
     let base = a.clone().with_isa(Isa::Scalar);
     out.push(Variant {
         label: "CSR baseline".into(),
         run: Box::new(move |x, y| base.spmv(x, y)),
     });
     let mkl = MklLikeCsr::new(a);
-    out.push(Variant { label: "MKL-like".into(), run: Box::new(move |x, y| mkl.spmv(x, y)) });
+    out.push(Variant {
+        label: "MKL-like".into(),
+        run: Box::new(move |x, y| mkl.spmv(x, y)),
+    });
     let sell_novec = Sell8::from_csr(a).with_isa(Isa::Scalar);
     out.push(Variant {
         label: "SELL using novec".into(),
@@ -99,9 +108,15 @@ pub fn build_extended_variants(a: &Csr) -> Vec<Variant> {
         run: Box::new(move |x, y| tuned.spmv_tuned(x, y)),
     });
     let s4 = Sell::<4>::from_csr(a);
-    out.push(Variant { label: "SELL C=4".into(), run: Box::new(move |x, y| s4.spmv(x, y)) });
+    out.push(Variant {
+        label: "SELL C=4".into(),
+        run: Box::new(move |x, y| s4.spmv(x, y)),
+    });
     let s16 = Sell::<16>::from_csr(a);
-    out.push(Variant { label: "SELL C=16".into(), run: Box::new(move |x, y| s16.spmv(x, y)) });
+    out.push(Variant {
+        label: "SELL C=16".into(),
+        run: Box::new(move |x, y| s16.spmv(x, y)),
+    });
     let sigma = Sell8::from_csr_sigma(a, a.nrows().div_ceil(8) * 8);
     out.push(Variant {
         label: "SELL sigma=global".into(),
@@ -155,7 +170,10 @@ mod tests {
 
     #[test]
     fn variant_labels_cover_figure8_roles() {
-        let labels: Vec<String> = build_variants(&sample()).into_iter().map(|v| v.label).collect();
+        let labels: Vec<String> = build_variants(&sample())
+            .into_iter()
+            .map(|v| v.label)
+            .collect();
         assert!(labels.iter().any(|l| l == "CSR baseline"));
         assert!(labels.iter().any(|l| l == "CSRPerm"));
         assert!(labels.iter().any(|l| l == "MKL-like"));

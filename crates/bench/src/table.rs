@@ -23,7 +23,10 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -56,7 +59,10 @@ mod tests {
     fn renders_aligned_columns() {
         let s = render(
             &["name", "value"],
-            &[vec!["a".into(), "1.0".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,1171 @@
+//! `sellkit-check` — structural-invariant verification for every matrix
+//! format in `sellkit-core`.
+//!
+//! The SIMD kernels (§5 of the paper) are only sound under unwritten
+//! structural invariants: monotone row/slice pointers, in-bounds column
+//! indices, padding indices copied from *local* nonzeros so gathers never
+//! touch nonlocal entries (§5.5), `rlen` consistent with the slice width,
+//! and 64-byte-aligned value/index arrays (§3.1).  A conversion bug that
+//! breaks one of these produces silently wrong numerics — or, with aligned
+//! loads, a crash.  This crate makes the invariants explicit and checkable:
+//!
+//! * [`Validate`] is implemented by every format (`COO`, `CSR`, `CSR-perm`,
+//!   `ELLPACK`, `ELLPACK-R`, `SELL<4/8/16>`, `SELL-ESB`, `BAIJ`, `SBAIJ`);
+//! * violations come back as structured [`Violation`] values carrying
+//!   row/slice coordinates, so tests can assert the exact defect and
+//!   diagnostics can point at the offending entry;
+//! * the `check_*_parts` functions operate on raw slices, so tests can
+//!   corrupt individual arrays and verify each invariant is actually
+//!   enforced (see `tests/mutations.rs`).
+//!
+//! Validation is `O(stored elements)` and allocates only small per-row
+//! scratch; it is meant for debug builds, tests, and post-assembly audits,
+//! not the SpMV hot path (the kernels' `debug_assert!` preconditions in
+//! `sellkit_core::kernels::dispatch` cover that).
+
+use sellkit_core::aligned::ALIGN;
+use sellkit_core::{
+    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb,
+};
+use std::fmt;
+
+/// Location of an offending entry inside a format's flat storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Loc {
+    /// Index into the flat `colidx`/`val` array.
+    pub at: usize,
+    /// Logical matrix row the entry belongs to (for padded lanes past the
+    /// end of the matrix, the storage row `slice * C + lane`).
+    pub row: usize,
+    /// Slice index for sliced formats; 0 for unsliced formats.
+    pub slice: usize,
+}
+
+/// One structural-invariant violation, with coordinates.
+///
+/// [`Violation::kind`] strips the payload for easy matching in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A pointer array (`rowptr`/`sliceptr`/`browptr`/`group`) has the
+    /// wrong length.
+    PtrLen {
+        array: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// A pointer array does not start at 0.
+    PtrStart { array: &'static str, found: usize },
+    /// `array[at + 1] < array[at]` — the pointer array decreases.
+    PtrNonMonotone {
+        array: &'static str,
+        at: usize,
+        prev: usize,
+        next: usize,
+    },
+    /// The final pointer entry disagrees with the data-array length.
+    PtrEnd {
+        array: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// Two arrays that must be parallel have different lengths.
+    ArrLen {
+        array: &'static str,
+        expected: usize,
+        found: usize,
+    },
+    /// A slice's extent is not a multiple of the lane count `C`.
+    SliceNotLaneAligned {
+        slice: usize,
+        elems: usize,
+        lanes: usize,
+    },
+    /// A column index is out of range for the matrix width.
+    ColOutOfBounds { loc: Loc, col: u32, ncols: usize },
+    /// Column indices within a row are not strictly increasing.
+    ColsNotSorted { loc: Loc, prev: u32, next: u32 },
+    /// A padding entry's column index is not one of the row's own nonzero
+    /// columns (§5.5 locality: gathers through padding must re-read a
+    /// local element).
+    PaddingNotLocal { loc: Loc, col: u32 },
+    /// A padding entry stores a nonzero value (would corrupt the product).
+    PaddingValueNonzero { loc: Loc, value: f64 },
+    /// `rlen[row]` exceeds the width available to that row.
+    RlenExceedsWidth {
+        row: usize,
+        rlen: usize,
+        width: usize,
+    },
+    /// Nonzero accounting failed (e.g. `sum(rlen) != nnz`).
+    NnzMismatch { claimed: usize, found: usize },
+    /// An array the kernels load with aligned SIMD instructions is not
+    /// 64-byte aligned (§3.1).
+    Misaligned { array: &'static str, rem: usize },
+    /// A permutation entry is out of range.
+    PermOutOfRange { at: usize, row: usize, n: usize },
+    /// A permutation maps two lanes to the same row.
+    PermDuplicate {
+        row: usize,
+        first: usize,
+        second: usize,
+    },
+    /// A row's length disagrees with its group's common length (AIJPERM).
+    GroupLenMismatch {
+        group: usize,
+        row: usize,
+        expected: usize,
+        found: usize,
+    },
+    /// An SBAIJ block lies below the diagonal (only the upper triangle may
+    /// be stored).
+    NotUpperTriangular { brow: usize, at: usize, bcol: u32 },
+    /// An ESB bit-array byte disagrees with `rlen` (bit `r` must be set iff
+    /// lane `r` holds a real nonzero at that slice column).
+    BitMaskMismatch {
+        slice: usize,
+        j: usize,
+        expected: u8,
+        found: u8,
+    },
+}
+
+/// Payload-free discriminant of [`Violation`], for assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    PtrLen,
+    PtrStart,
+    PtrNonMonotone,
+    PtrEnd,
+    ArrLen,
+    SliceNotLaneAligned,
+    ColOutOfBounds,
+    ColsNotSorted,
+    PaddingNotLocal,
+    PaddingValueNonzero,
+    RlenExceedsWidth,
+    NnzMismatch,
+    Misaligned,
+    PermOutOfRange,
+    PermDuplicate,
+    GroupLenMismatch,
+    NotUpperTriangular,
+    BitMaskMismatch,
+}
+
+impl Violation {
+    /// The payload-free kind of this violation.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::PtrLen { .. } => ViolationKind::PtrLen,
+            Violation::PtrStart { .. } => ViolationKind::PtrStart,
+            Violation::PtrNonMonotone { .. } => ViolationKind::PtrNonMonotone,
+            Violation::PtrEnd { .. } => ViolationKind::PtrEnd,
+            Violation::ArrLen { .. } => ViolationKind::ArrLen,
+            Violation::SliceNotLaneAligned { .. } => ViolationKind::SliceNotLaneAligned,
+            Violation::ColOutOfBounds { .. } => ViolationKind::ColOutOfBounds,
+            Violation::ColsNotSorted { .. } => ViolationKind::ColsNotSorted,
+            Violation::PaddingNotLocal { .. } => ViolationKind::PaddingNotLocal,
+            Violation::PaddingValueNonzero { .. } => ViolationKind::PaddingValueNonzero,
+            Violation::RlenExceedsWidth { .. } => ViolationKind::RlenExceedsWidth,
+            Violation::NnzMismatch { .. } => ViolationKind::NnzMismatch,
+            Violation::Misaligned { .. } => ViolationKind::Misaligned,
+            Violation::PermOutOfRange { .. } => ViolationKind::PermOutOfRange,
+            Violation::PermDuplicate { .. } => ViolationKind::PermDuplicate,
+            Violation::GroupLenMismatch { .. } => ViolationKind::GroupLenMismatch,
+            Violation::NotUpperTriangular { .. } => ViolationKind::NotUpperTriangular,
+            Violation::BitMaskMismatch { .. } => ViolationKind::BitMaskMismatch,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::PtrLen {
+                array,
+                expected,
+                found,
+            } => {
+                write!(f, "{array} has {found} entries, expected {expected}")
+            }
+            Violation::PtrStart { array, found } => {
+                write!(f, "{array}[0] is {found}, expected 0")
+            }
+            Violation::PtrNonMonotone {
+                array,
+                at,
+                prev,
+                next,
+            } => {
+                write!(f, "{array} decreases at {at}: {prev} -> {next}")
+            }
+            Violation::PtrEnd {
+                array,
+                expected,
+                found,
+            } => {
+                write!(f, "{array} ends at {found}, expected {expected}")
+            }
+            Violation::ArrLen {
+                array,
+                expected,
+                found,
+            } => {
+                write!(f, "{array} has length {found}, expected {expected}")
+            }
+            Violation::SliceNotLaneAligned {
+                slice,
+                elems,
+                lanes,
+            } => {
+                write!(
+                    f,
+                    "slice {slice} holds {elems} elements, not a multiple of C={lanes}"
+                )
+            }
+            Violation::ColOutOfBounds { loc, col, ncols } => {
+                write!(
+                    f,
+                    "column {col} out of bounds ({ncols}) at index {} (row {}, slice {})",
+                    loc.at, loc.row, loc.slice
+                )
+            }
+            Violation::ColsNotSorted { loc, prev, next } => {
+                write!(
+                    f,
+                    "row {} columns not strictly increasing at index {}: {prev} -> {next}",
+                    loc.row, loc.at
+                )
+            }
+            Violation::PaddingNotLocal { loc, col } => {
+                write!(
+                    f,
+                    "padding at index {} (row {}, slice {}) gathers nonlocal column {col}",
+                    loc.at, loc.row, loc.slice
+                )
+            }
+            Violation::PaddingValueNonzero { loc, value } => {
+                write!(
+                    f,
+                    "padding at index {} (row {}, slice {}) stores nonzero value {value}",
+                    loc.at, loc.row, loc.slice
+                )
+            }
+            Violation::RlenExceedsWidth { row, rlen, width } => {
+                write!(f, "rlen[{row}] = {rlen} exceeds available width {width}")
+            }
+            Violation::NnzMismatch { claimed, found } => {
+                write!(
+                    f,
+                    "nnz accounting: claimed {claimed}, storage implies {found}"
+                )
+            }
+            Violation::Misaligned { array, rem } => {
+                write!(
+                    f,
+                    "{array} base address is {rem} bytes past a {ALIGN}-byte boundary"
+                )
+            }
+            Violation::PermOutOfRange { at, row, n } => {
+                write!(f, "perm[{at}] = {row} out of range ({n} rows)")
+            }
+            Violation::PermDuplicate { row, first, second } => {
+                write!(f, "perm maps lanes {first} and {second} both to row {row}")
+            }
+            Violation::GroupLenMismatch {
+                group,
+                row,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "group {group}: row {row} has {found} nonzeros, group length is {expected}"
+                )
+            }
+            Violation::NotUpperTriangular { brow, at, bcol } => {
+                write!(
+                    f,
+                    "block ({brow}, {bcol}) at index {at} lies below the diagonal"
+                )
+            }
+            Violation::BitMaskMismatch {
+                slice,
+                j,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "bit mask for slice {slice} column {j} is {found:#010b}, expected {expected:#010b}"
+                )
+            }
+        }
+    }
+}
+
+/// A matrix format whose structural invariants can be verified.
+pub trait Validate {
+    /// Checks every structural invariant, returning all violations found
+    /// (not just the first).
+    fn validate(&self) -> Result<(), Vec<Violation>>;
+}
+
+fn finish(v: Vec<Violation>) -> Result<(), Vec<Violation>> {
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parts-level checkers (public so mutation tests can corrupt raw arrays).
+// ---------------------------------------------------------------------------
+
+/// Checks a pointer array: length `n + 1`, starts at 0, monotone, ends at
+/// `data_len`.  Index-dependent checks are skipped once the length is wrong.
+pub fn check_ptr_array(
+    array: &'static str,
+    ptr: &[usize],
+    n: usize,
+    data_len: usize,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if ptr.len() != n + 1 {
+        out.push(Violation::PtrLen {
+            array,
+            expected: n + 1,
+            found: ptr.len(),
+        });
+        return out;
+    }
+    if ptr[0] != 0 {
+        out.push(Violation::PtrStart {
+            array,
+            found: ptr[0],
+        });
+    }
+    for (i, w) in ptr.windows(2).enumerate() {
+        if w[1] < w[0] {
+            out.push(Violation::PtrNonMonotone {
+                array,
+                at: i,
+                prev: w[0],
+                next: w[1],
+            });
+        }
+    }
+    if ptr[n] != data_len {
+        out.push(Violation::PtrEnd {
+            array,
+            expected: data_len,
+            found: ptr[n],
+        });
+    }
+    out
+}
+
+/// Checks that a kernel-visible array starts on a 64-byte boundary
+/// (§3.1; empty arrays are exempt — the kernels never load from them).
+pub fn check_alignment<T>(array: &'static str, data: &[T]) -> Vec<Violation> {
+    let rem = data.as_ptr() as usize % ALIGN;
+    if data.is_empty() || rem == 0 {
+        Vec::new()
+    } else {
+        vec![Violation::Misaligned { array, rem }]
+    }
+}
+
+/// Checks that `perm` is a permutation of `0..n`.
+pub fn check_permutation(perm: &[u32], n: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if perm.len() != n {
+        out.push(Violation::ArrLen {
+            array: "perm",
+            expected: n,
+            found: perm.len(),
+        });
+        return out;
+    }
+    let mut first_at = vec![usize::MAX; n];
+    for (at, &row) in perm.iter().enumerate() {
+        let row = row as usize;
+        if row >= n {
+            out.push(Violation::PermOutOfRange { at, row, n });
+        } else if first_at[row] != usize::MAX {
+            out.push(Violation::PermDuplicate {
+                row,
+                first: first_at[row],
+                second: at,
+            });
+        } else {
+            first_at[row] = at;
+        }
+    }
+    out
+}
+
+/// Checks CSR invariants over raw parts.
+pub fn check_csr_parts(
+    nrows: usize,
+    ncols: usize,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+) -> Vec<Violation> {
+    let mut out = check_ptr_array("rowptr", rowptr, nrows, val.len());
+    if colidx.len() != val.len() {
+        out.push(Violation::ArrLen {
+            array: "colidx",
+            expected: val.len(),
+            found: colidx.len(),
+        });
+    }
+    if !out.is_empty() {
+        return out; // row extents are unreliable; stop before indexing with them
+    }
+    for i in 0..nrows {
+        let row = &colidx[rowptr[i]..rowptr[i + 1]];
+        for (j, &c) in row.iter().enumerate() {
+            let at = rowptr[i] + j;
+            if c as usize >= ncols {
+                out.push(Violation::ColOutOfBounds {
+                    loc: Loc {
+                        at,
+                        row: i,
+                        slice: 0,
+                    },
+                    col: c,
+                    ncols,
+                });
+            }
+            if j > 0 && row[j - 1] >= c {
+                out.push(Violation::ColsNotSorted {
+                    loc: Loc {
+                        at,
+                        row: i,
+                        slice: 0,
+                    },
+                    prev: row[j - 1],
+                    next: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks SELL invariants over raw parts: slice-pointer shape, lane
+/// alignment, in-bounds columns, §5.5 padding locality, zero padding
+/// values, `rlen` vs. slice width, and `sum(rlen) == nnz`.
+///
+/// `lanes` is the slice height `C`; `perm`, if present, maps storage lane
+/// `k` to logical row `perm[k]` (σ-sorting).
+#[allow(clippy::too_many_arguments)]
+pub fn check_sell_parts(
+    lanes: usize,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    rlen: &[u32],
+    perm: Option<&[u32]>,
+) -> Vec<Violation> {
+    let nslices = nrows.div_ceil(lanes);
+    let mut out = check_ptr_array("sliceptr", sliceptr, nslices, val.len());
+    if colidx.len() != val.len() {
+        out.push(Violation::ArrLen {
+            array: "colidx",
+            expected: val.len(),
+            found: colidx.len(),
+        });
+    }
+    if rlen.len() != nrows {
+        out.push(Violation::ArrLen {
+            array: "rlen",
+            expected: nrows,
+            found: rlen.len(),
+        });
+    }
+    if let Some(p) = perm {
+        out.extend(check_permutation(p, nrows));
+    }
+    if !out.is_empty() {
+        return out; // slice extents / lane-to-row mapping are unreliable
+    }
+
+    let total: usize = rlen.iter().map(|&l| l as usize).sum();
+    if total != nnz {
+        out.push(Violation::NnzMismatch {
+            claimed: nnz,
+            found: total,
+        });
+    }
+
+    let mut scratch: Vec<u32> = Vec::new();
+    for s in 0..nslices {
+        let base = sliceptr[s];
+        let elems = sliceptr[s + 1] - base;
+        if !elems.is_multiple_of(lanes) {
+            out.push(Violation::SliceNotLaneAligned {
+                slice: s,
+                elems,
+                lanes,
+            });
+            continue; // width is undefined for this slice
+        }
+        let w = elems / lanes;
+        for r in 0..lanes {
+            let k = s * lanes + r;
+            // Logical row of this lane; lanes past nrows are pure padding.
+            let (row, len) = if k < nrows {
+                let row = perm.map_or(k, |p| p[k] as usize);
+                (row, rlen[row] as usize)
+            } else {
+                (k, 0)
+            };
+            if len > w {
+                out.push(Violation::RlenExceedsWidth {
+                    row,
+                    rlen: len,
+                    width: w,
+                });
+                continue;
+            }
+            // Real entries: in-bounds columns.
+            scratch.clear();
+            for j in 0..len {
+                let at = base + j * lanes + r;
+                let c = colidx[at];
+                if c as usize >= ncols {
+                    out.push(Violation::ColOutOfBounds {
+                        loc: Loc { at, row, slice: s },
+                        col: c,
+                        ncols,
+                    });
+                }
+                scratch.push(c);
+            }
+            // Padding entries: zero value and a column the row already
+            // touches (§5.5); an empty row's padding must still be
+            // in-bounds so the gather stays inside x.
+            for j in len..w {
+                let at = base + j * lanes + r;
+                let c = colidx[at];
+                let local = if len == 0 {
+                    (c as usize) < ncols
+                } else {
+                    scratch.contains(&c)
+                };
+                if !local {
+                    out.push(Violation::PaddingNotLocal {
+                        loc: Loc { at, row, slice: s },
+                        col: c,
+                    });
+                }
+                if val[at] != 0.0 {
+                    out.push(Violation::PaddingValueNonzero {
+                        loc: Loc { at, row, slice: s },
+                        value: val[at],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks ELLPACK(-R) invariants over raw parts.  `rlen` is `None` for
+/// plain ELLPACK, whose padding cannot be told apart from explicit zeros
+/// without row lengths (only in-bounds columns are checked then).
+pub fn check_ellpack_parts(
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    width: usize,
+    colidx: &[u32],
+    val: &[f64],
+    rlen: Option<&[u32]>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let expected = nrows * width;
+    if val.len() != expected {
+        out.push(Violation::ArrLen {
+            array: "val",
+            expected,
+            found: val.len(),
+        });
+    }
+    if colidx.len() != expected {
+        out.push(Violation::ArrLen {
+            array: "colidx",
+            expected,
+            found: colidx.len(),
+        });
+    }
+    if let Some(r) = rlen {
+        if r.len() != nrows {
+            out.push(Violation::ArrLen {
+                array: "rlen",
+                expected: nrows,
+                found: r.len(),
+            });
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    if nnz > expected {
+        out.push(Violation::NnzMismatch {
+            claimed: nnz,
+            found: expected,
+        });
+    }
+    if let Some(r) = rlen {
+        let total: usize = r.iter().map(|&l| l as usize).sum();
+        if total != nnz {
+            out.push(Violation::NnzMismatch {
+                claimed: nnz,
+                found: total,
+            });
+        }
+    }
+    let mut scratch: Vec<u32> = Vec::new();
+    for i in 0..nrows {
+        let len = rlen.map_or(width, |r| (r[i] as usize).min(width));
+        if let Some(r) = rlen {
+            if r[i] as usize > width {
+                out.push(Violation::RlenExceedsWidth {
+                    row: i,
+                    rlen: r[i] as usize,
+                    width,
+                });
+            }
+        }
+        scratch.clear();
+        for j in 0..width {
+            let at = j * nrows + i;
+            let c = colidx[at];
+            if c as usize >= ncols {
+                out.push(Violation::ColOutOfBounds {
+                    loc: Loc {
+                        at,
+                        row: i,
+                        slice: 0,
+                    },
+                    col: c,
+                    ncols,
+                });
+            }
+            if j < len {
+                scratch.push(c);
+            } else {
+                // Padding: zero value, locally-gathered column.
+                let local = if len == 0 {
+                    (c as usize) < ncols
+                } else {
+                    scratch.contains(&c)
+                };
+                if !local {
+                    out.push(Violation::PaddingNotLocal {
+                        loc: Loc {
+                            at,
+                            row: i,
+                            slice: 0,
+                        },
+                        col: c,
+                    });
+                }
+                if val[at] != 0.0 {
+                    out.push(Violation::PaddingValueNonzero {
+                        loc: Loc {
+                            at,
+                            row: i,
+                            slice: 0,
+                        },
+                        value: val[at],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks block-CSR invariants over raw parts (`upper_triangular` adds the
+/// SBAIJ `bcol >= brow` requirement and symmetric nnz accounting).
+#[allow(clippy::too_many_arguments)]
+pub fn check_block_parts(
+    mbs: usize,
+    nbs: usize,
+    bs: usize,
+    nnz: usize,
+    browptr: &[usize],
+    bcolidx: &[u32],
+    val: &[f64],
+    upper_triangular: bool,
+) -> Vec<Violation> {
+    let mut out = check_ptr_array("browptr", browptr, mbs, bcolidx.len());
+    let expected = bcolidx.len() * bs * bs;
+    if val.len() != expected {
+        out.push(Violation::ArrLen {
+            array: "val",
+            expected,
+            found: val.len(),
+        });
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    for bi in 0..mbs {
+        let row = &bcolidx[browptr[bi]..browptr[bi + 1]];
+        for (j, &bc) in row.iter().enumerate() {
+            let at = browptr[bi] + j;
+            if bc as usize >= nbs {
+                out.push(Violation::ColOutOfBounds {
+                    loc: Loc {
+                        at,
+                        row: bi,
+                        slice: 0,
+                    },
+                    col: bc,
+                    ncols: nbs,
+                });
+            }
+            if j > 0 && row[j - 1] >= bc {
+                out.push(Violation::ColsNotSorted {
+                    loc: Loc {
+                        at,
+                        row: bi,
+                        slice: 0,
+                    },
+                    prev: row[j - 1],
+                    next: bc,
+                });
+            }
+            if upper_triangular && (bc as usize) < bi {
+                out.push(Violation::NotUpperTriangular {
+                    brow: bi,
+                    at,
+                    bcol: bc,
+                });
+            }
+        }
+    }
+    // Pattern entries may be explicit zeros, so nonzero stored values only
+    // bound nnz from below; block fill bounds it from above.  For SBAIJ the
+    // claimed count is for the full symmetric matrix: stored off-diagonal
+    // blocks count twice.
+    let (lo, hi) = if upper_triangular {
+        let mut diag_elems = 0usize;
+        let mut diag_nonzero = 0usize;
+        let mut off_nonzero = 0usize;
+        for bi in 0..mbs {
+            for k in browptr[bi]..browptr[bi + 1] {
+                let blk = &val[k * bs * bs..(k + 1) * bs * bs];
+                let nz = blk.iter().filter(|&&v| v != 0.0).count();
+                if bcolidx[k] as usize == bi {
+                    diag_elems += bs * bs;
+                    diag_nonzero += nz;
+                } else {
+                    off_nonzero += nz;
+                }
+            }
+        }
+        (
+            diag_nonzero + 2 * off_nonzero,
+            diag_elems + 2 * (val.len() - diag_elems),
+        )
+    } else {
+        (val.iter().filter(|&&v| v != 0.0).count(), val.len())
+    };
+    if nnz < lo || nnz > hi {
+        out.push(Violation::NnzMismatch {
+            claimed: nnz,
+            found: lo,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Validate impls for the nine formats.
+// ---------------------------------------------------------------------------
+
+impl Validate for CooBuilder {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let (rows, cols, vals) = (self.rows(), self.cols(), self.vals());
+        let mut out = Vec::new();
+        if rows.len() != vals.len() {
+            out.push(Violation::ArrLen {
+                array: "rows",
+                expected: vals.len(),
+                found: rows.len(),
+            });
+        }
+        if cols.len() != vals.len() {
+            out.push(Violation::ArrLen {
+                array: "cols",
+                expected: vals.len(),
+                found: cols.len(),
+            });
+        }
+        if !out.is_empty() {
+            return finish(out);
+        }
+        for at in 0..vals.len() {
+            if rows[at] as usize >= self.nrows() {
+                out.push(Violation::ColOutOfBounds {
+                    loc: Loc {
+                        at,
+                        row: rows[at] as usize,
+                        slice: 0,
+                    },
+                    col: rows[at],
+                    ncols: self.nrows(),
+                });
+            }
+            if cols[at] as usize >= self.ncols() {
+                out.push(Violation::ColOutOfBounds {
+                    loc: Loc {
+                        at,
+                        row: rows[at] as usize,
+                        slice: 0,
+                    },
+                    col: cols[at],
+                    ncols: self.ncols(),
+                });
+            }
+        }
+        finish(out)
+    }
+}
+
+impl Validate for Csr {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = check_csr_parts(
+            self.nrows(),
+            self.ncols(),
+            self.rowptr(),
+            self.colidx(),
+            self.values(),
+        );
+        out.extend(check_alignment("colidx", self.colidx()));
+        out.extend(check_alignment("val", self.values()));
+        finish(out)
+    }
+}
+
+impl Validate for CsrPerm {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let csr = self.csr();
+        let nrows = csr.nrows();
+        let mut out = csr.validate().err().unwrap_or_default();
+        out.extend(check_permutation(self.perm(), nrows));
+        // `group` is a pointer array into `perm`, ending at nrows.
+        let ptr_issues = check_ptr_array("group", self.group(), self.glen().len(), nrows);
+        let ptr_ok = ptr_issues.is_empty();
+        out.extend(ptr_issues);
+        if self.perm().len() == nrows && ptr_ok {
+            for g in 0..self.glen().len() {
+                for &r in &self.perm()[self.group()[g]..self.group()[g + 1]] {
+                    let row = r as usize;
+                    if row < nrows && csr.row_len(row) != self.glen()[g] {
+                        out.push(Violation::GroupLenMismatch {
+                            group: g,
+                            row,
+                            expected: self.glen()[g],
+                            found: csr.row_len(row),
+                        });
+                    }
+                }
+            }
+        }
+        finish(out)
+    }
+}
+
+impl Validate for Ellpack {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = check_ellpack_parts(
+            self.nrows(),
+            self.ncols(),
+            self.nnz(),
+            self.width(),
+            self.colidx(),
+            self.values(),
+            None,
+        );
+        out.extend(check_alignment("colidx", self.colidx()));
+        out.extend(check_alignment("val", self.values()));
+        finish(out)
+    }
+}
+
+impl Validate for EllpackR {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let ell = self.ell();
+        let mut out = check_ellpack_parts(
+            ell.nrows(),
+            ell.ncols(),
+            ell.nnz(),
+            ell.width(),
+            ell.colidx(),
+            ell.values(),
+            Some(self.rlen()),
+        );
+        out.extend(check_alignment("colidx", ell.colidx()));
+        out.extend(check_alignment("val", ell.values()));
+        finish(out)
+    }
+}
+
+impl<const C: usize> Validate for Sell<C> {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = check_sell_parts(
+            C,
+            self.nrows(),
+            self.ncols(),
+            self.nnz(),
+            self.sliceptr(),
+            self.colidx(),
+            self.values(),
+            self.rlen(),
+            self.perm(),
+        );
+        out.extend(check_alignment("colidx", self.colidx()));
+        out.extend(check_alignment("val", self.values()));
+        finish(out)
+    }
+}
+
+impl Validate for SellEsb {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let sell = self.sell();
+        let mut out = sell.validate().err().unwrap_or_default();
+        let bits = self.bits();
+        if bits.len() * 8 != sell.stored_elems() {
+            out.push(Violation::ArrLen {
+                array: "bits",
+                expected: sell.stored_elems() / 8,
+                found: bits.len(),
+            });
+            return finish(out);
+        }
+        if !out.is_empty() {
+            return finish(out); // slice geometry unreliable; skip mask check
+        }
+        let sliceptr = sell.sliceptr();
+        let nrows = sell.nrows();
+        let mut col_at = 0usize;
+        for s in 0..sell.nslices() {
+            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+            for j in 0..w {
+                let mut expected = 0u8;
+                for r in 0..8 {
+                    let row = s * 8 + r;
+                    if row < nrows && (j as u32) < sell.rlen()[row] {
+                        expected |= 1 << r;
+                    }
+                }
+                let found = bits[col_at + j];
+                if found != expected {
+                    out.push(Violation::BitMaskMismatch {
+                        slice: s,
+                        j,
+                        expected,
+                        found,
+                    });
+                }
+            }
+            col_at += w;
+        }
+        out.extend(check_alignment("bits", bits));
+        finish(out)
+    }
+}
+
+impl Validate for Baij {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = check_block_parts(
+            self.brows(),
+            self.bcols(),
+            self.block_size(),
+            self.nnz(),
+            self.browptr(),
+            self.bcolidx(),
+            self.values(),
+            false,
+        );
+        out.extend(check_alignment("val", self.values()));
+        finish(out)
+    }
+}
+
+impl Validate for Sbaij {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let mut out = check_block_parts(
+            self.brows(),
+            self.brows(),
+            self.block_size(),
+            self.nnz(),
+            self.browptr(),
+            self.bcolidx(),
+            self.values(),
+            true,
+        );
+        out.extend(check_alignment("val", self.values()));
+        finish(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn irregular(n: usize) -> Csr {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            let len = i % 5 + 1;
+            for j in 0..len {
+                b.push(i, (i + j * 3) % n, (i * 7 + j) as f64 * 0.1 - 1.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn all_formats_validate_clean() {
+        let a = irregular(37);
+        assert_eq!(a.validate(), Ok(()));
+        assert_eq!(CsrPerm::from_csr(&a).validate(), Ok(()));
+        assert_eq!(Ellpack::from_csr(&a).validate(), Ok(()));
+        assert_eq!(EllpackR::from_csr(&a).validate(), Ok(()));
+        assert_eq!(sellkit_core::Sell4::from_csr(&a).validate(), Ok(()));
+        assert_eq!(sellkit_core::Sell8::from_csr(&a).validate(), Ok(()));
+        assert_eq!(sellkit_core::Sell16::from_csr(&a).validate(), Ok(()));
+        assert_eq!(SellEsb::from_csr(&a).validate(), Ok(()));
+        let mut b = CooBuilder::new(37, 37);
+        b.push(0, 0, 1.0);
+        assert_eq!(b.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sigma_sorted_sell_validates() {
+        let a = irregular(53);
+        let s = sellkit_core::Sell8::from_csr_sigma(&a, 16);
+        assert!(s.perm().is_some());
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn block_formats_validate_clean() {
+        let a = Csr::from_dense(
+            4,
+            4,
+            &[
+                2.0, 1.0, 0.0, 0.0, 1.0, 3.0, 0.5, 0.0, 0.0, 0.5, 4.0, 0.0, 0.0, 0.0, 0.0, 5.0,
+            ],
+        );
+        assert_eq!(Baij::from_csr(&a, 2).validate(), Ok(()));
+        assert_eq!(Sbaij::from_csr(&a, 2).validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_matrix_validates() {
+        let a = CooBuilder::new(0, 0).to_csr();
+        assert_eq!(a.validate(), Ok(()));
+        assert_eq!(sellkit_core::Sell8::from_csr(&a).validate(), Ok(()));
+        assert_eq!(Ellpack::from_csr(&a).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_rowptr_is_reported_with_coordinates() {
+        let v = check_csr_parts(2, 3, &[0, 4, 2], &[0, 1], &[1.0, 2.0]);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::PtrNonMonotone {
+                array: "rowptr",
+                at: 1,
+                prev: 4,
+                next: 2
+            }
+        )));
+        let v = check_csr_parts(2, 3, &[0, 1, 3], &[0, 1], &[1.0, 2.0]);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::PtrEnd {
+                array: "rowptr",
+                expected: 2,
+                found: 3
+            }
+        )));
+    }
+
+    /// Sweeps every format over the seed matrix generators — the audit
+    /// that surfaces latent conversion bugs (each such bug then gets a
+    /// dedicated regression test).
+    #[test]
+    fn seed_generators_validate_across_all_formats() {
+        use sellkit_workloads::generators;
+        let mats = [
+            ("stencil5", generators::stencil5(9)),
+            ("stencil9", generators::stencil9(7)),
+            ("stencil7_3d", generators::stencil7_3d(4)),
+            ("banded", generators::banded(40, 3, 7)),
+            ("random_uniform", generators::random_uniform(48, 5, 11)),
+            ("power_law", generators::power_law(64, 1, 24, 2.2, 3)),
+            ("diagonal", generators::diagonal(33, 5)),
+        ];
+        for (name, a) in &mats {
+            assert_eq!(a.validate(), Ok(()), "{name}: csr");
+            assert_eq!(CsrPerm::from_csr(a).validate(), Ok(()), "{name}: csr-perm");
+            assert_eq!(Ellpack::from_csr(a).validate(), Ok(()), "{name}: ellpack");
+            assert_eq!(
+                EllpackR::from_csr(a).validate(),
+                Ok(()),
+                "{name}: ellpack-r"
+            );
+            assert_eq!(
+                sellkit_core::Sell4::from_csr(a).validate(),
+                Ok(()),
+                "{name}: sell4"
+            );
+            assert_eq!(
+                sellkit_core::Sell8::from_csr(a).validate(),
+                Ok(()),
+                "{name}: sell8"
+            );
+            assert_eq!(
+                sellkit_core::Sell16::from_csr(a).validate(),
+                Ok(()),
+                "{name}: sell16"
+            );
+            assert_eq!(SellEsb::from_csr(a).validate(), Ok(()), "{name}: sell-esb");
+            if a.nrows().is_multiple_of(2) {
+                assert_eq!(Baij::from_csr(a, 2).validate(), Ok(()), "{name}: baij");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let v = Violation::ColOutOfBounds {
+            loc: Loc {
+                at: 7,
+                row: 2,
+                slice: 1,
+            },
+            col: 99,
+            ncols: 10,
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("99") && s.contains("row 2") && s.contains("slice 1"),
+            "{s}"
+        );
+    }
+}

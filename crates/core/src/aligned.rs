@@ -28,13 +28,16 @@ pub struct AVec<T: Copy> {
 }
 
 // SAFETY: AVec owns its allocation exclusively and T: Copy has no interior
-// mutability, so sending or sharing it across threads is sound.
+// mutability, so sending it across threads is sound.
 unsafe impl<T: Copy + Send> Send for AVec<T> {}
+// SAFETY: shared access only hands out &[T]; T: Sync makes that sound.
 unsafe impl<T: Copy + Sync> Sync for AVec<T> {}
 
 impl<T: Copy> AVec<T> {
     fn layout(len: usize) -> Layout {
-        let size = len.checked_mul(std::mem::size_of::<T>()).expect("AVec size overflow");
+        let size = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AVec size overflow");
         Layout::from_size_align(size.max(1), ALIGN.max(std::mem::align_of::<T>()))
             .expect("invalid AVec layout")
     }
@@ -193,7 +196,8 @@ mod tests {
     #[test]
     fn mutation_via_slice() {
         let mut v: AVec<f64> = AVec::zeroed(8);
-        v.as_mut_slice().copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+        v.as_mut_slice()
+            .copy_from_slice(&[1., 2., 3., 4., 5., 6., 7., 8.]);
         assert_eq!(v[7], 8.0);
         v[7] = -1.0;
         assert_eq!(v.as_slice()[7], -1.0);

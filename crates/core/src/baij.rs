@@ -92,6 +92,31 @@ impl Baij {
         self.val.len()
     }
 
+    /// Number of block rows.
+    pub fn brows(&self) -> usize {
+        self.mbs
+    }
+
+    /// Number of block columns.
+    pub fn bcols(&self) -> usize {
+        self.nbs
+    }
+
+    /// Block-row pointer array (`mbs + 1` entries into [`Self::bcolidx`]).
+    pub fn browptr(&self) -> &[usize] {
+        &self.browptr
+    }
+
+    /// Block column indices, one per stored block.
+    pub fn bcolidx(&self) -> &[u32] {
+        &self.bcolidx
+    }
+
+    /// Stored block values, each block row-major `bs × bs`.
+    pub fn values(&self) -> &[f64] {
+        &self.val
+    }
+
     /// Converts back to CSR (dropping exact zeros introduced by block fill
     /// is *not* done, mirroring PETSc, where the block pattern persists).
     pub fn to_dense(&self) -> Vec<f64> {

@@ -19,9 +19,17 @@ pub struct CooBuilder {
 impl CooBuilder {
     /// Creates an empty builder for an `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
-            "matrix dimensions exceed 32-bit index space");
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "matrix dimensions exceed 32-bit index space"
+        );
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates a builder with preallocated space for `nnz_estimate` entries
@@ -60,15 +68,28 @@ impl CooBuilder {
         self.ncols
     }
 
+    /// Raw (pre-deduplication) row indices, parallel to [`Self::cols`].
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Raw (pre-deduplication) column indices, parallel to [`Self::rows`].
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Raw (pre-deduplication) values, parallel to [`Self::rows`].
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
     /// Assembles into CSR: sorts by (row, col), sums duplicates, and keeps
     /// explicit zeros (PETSc keeps them too — they hold the sparsity pattern
     /// for later `MatSetValues` calls with the same nonzero structure).
     pub fn to_csr(&self) -> Csr {
         let n = self.vals.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by_key(|&k| {
-            (self.rows[k as usize], self.cols[k as usize])
-        });
+        order.sort_unstable_by_key(|&k| (self.rows[k as usize], self.cols[k as usize]));
 
         let mut rowptr = vec![0usize; self.nrows + 1];
         let mut colidx: Vec<u32> = Vec::with_capacity(n);
@@ -76,7 +97,11 @@ impl CooBuilder {
 
         let mut last: Option<(u32, u32)> = None;
         for &k in &order {
-            let (r, c, v) = (self.rows[k as usize], self.cols[k as usize], self.vals[k as usize]);
+            let (r, c, v) = (
+                self.rows[k as usize],
+                self.cols[k as usize],
+                self.vals[k as usize],
+            );
             if last == Some((r, c)) {
                 *vals.last_mut().expect("last coordinate implies an entry") += v;
                 continue;

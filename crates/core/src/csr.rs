@@ -143,7 +143,9 @@ impl Csr {
     /// The stored value at `(i, j)`, or `None` if outside the pattern.
     pub fn get(&self, i: usize, j: usize) -> Option<f64> {
         let cols = self.row_cols(i);
-        cols.binary_search(&(j as u32)).ok().map(|k| self.row_vals(i)[k])
+        cols.binary_search(&(j as u32))
+            .ok()
+            .map(|k| self.row_vals(i)[k])
     }
 
     /// Maximum nonzeros in any row (the ELLPACK width `L`).

@@ -44,7 +44,12 @@ impl CsrPerm {
             group.push(hi);
             at = hi;
         }
-        Self { csr: csr.clone(), perm, group, glen }
+        Self {
+            csr: csr.clone(),
+            perm,
+            group,
+            glen,
+        }
     }
 
     /// Number of equal-length row groups.
@@ -60,6 +65,17 @@ impl CsrPerm {
     /// The row permutation (rows sorted by length).
     pub fn perm(&self) -> &[u32] {
         &self.perm
+    }
+
+    /// Group boundaries into [`Self::perm`]: group `g` spans
+    /// `perm[group()[g]..group()[g+1]]`.
+    pub fn group(&self) -> &[usize] {
+        &self.group
+    }
+
+    /// Common row length of each group, parallel to [`Self::group`].
+    pub fn glen(&self) -> &[usize] {
+        &self.glen
     }
 }
 

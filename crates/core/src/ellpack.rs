@@ -45,7 +45,14 @@ impl Ellpack {
                 }
             }
         }
-        Self { nrows, ncols: csr.ncols(), nnz: csr.nnz(), width, val, colidx }
+        Self {
+            nrows,
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            width,
+            val,
+            colidx,
+        }
     }
 
     /// The padded width `L` (global maximum row length).
@@ -61,6 +68,17 @@ impl Ellpack {
     /// Number of padding entries.
     pub fn padded_elems(&self) -> usize {
         self.stored_elems() - self.nnz
+    }
+
+    /// Column indices, column-major: `colidx()[j * nrows + i]` is the `j`-th
+    /// stored column of row `i` (padding repeats the row's last column).
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// Values, column-major, padding entries zero.
+    pub fn values(&self) -> &[f64] {
+        &self.val
     }
 }
 
@@ -100,7 +118,10 @@ impl EllpackR {
     /// Converts from CSR.
     pub fn from_csr(csr: &Csr) -> Self {
         let rlen = (0..csr.nrows()).map(|i| csr.row_len(i) as u32).collect();
-        Self { ell: Ellpack::from_csr(csr), rlen }
+        Self {
+            ell: Ellpack::from_csr(csr),
+            rlen,
+        }
     }
 
     /// Row length array.
@@ -111,6 +132,11 @@ impl EllpackR {
     /// The padded width `L`.
     pub fn width(&self) -> usize {
         self.ell.width()
+    }
+
+    /// The underlying ELLPACK storage.
+    pub fn ell(&self) -> &Ellpack {
+        &self.ell
     }
 }
 
@@ -197,8 +223,12 @@ mod tests {
         let e = Ellpack::from_csr(&a);
         let s = crate::sell::Sell8::from_csr(&a);
         assert_eq!(e.stored_elems(), n * n);
-        assert!(s.stored_elems() < e.stored_elems() / 4,
-            "slicing must drastically cut padding: {} vs {}", s.stored_elems(), e.stored_elems());
+        assert!(
+            s.stored_elems() < e.stored_elems() / 4,
+            "slicing must drastically cut padding: {} vs {}",
+            s.stored_elems(),
+            e.stored_elems()
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::arch::x86_64::*;
 
 #[inline]
-unsafe fn hsum256(v: __m256d) -> f64 {
+#[target_feature(enable = "avx")]
+fn hsum256(v: __m256d) -> f64 {
     let hi = _mm256_extractf128_pd::<1>(v);
     let lo = _mm256_castpd256_pd128(v);
     let s = _mm_add_pd(lo, hi);
@@ -20,15 +21,25 @@ unsafe fn hsum256(v: __m256d) -> f64 {
 
 /// Emulated 4-lane gather of `x` at `colidx[idx..idx+4]` (§5.5: two SSE2
 /// loads form each 128-bit half, then an insert forms the 256-bit vector).
+///
+/// # Safety
+///
+/// `ci` must be valid for 4 reads and each of those column indices must be
+/// in bounds for the vector behind `xp`.
 #[inline]
+#[target_feature(enable = "avx")]
 unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
-    let i0 = *ci as usize;
-    let i1 = *ci.add(1) as usize;
-    let i2 = *ci.add(2) as usize;
-    let i3 = *ci.add(3) as usize;
-    let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
-    let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
-    _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+    // SAFETY: the caller guarantees ci is valid for 4 reads and that each
+    // index stays within the x vector.
+    unsafe {
+        let i0 = *ci as usize;
+        let i1 = *ci.add(1) as usize;
+        let i2 = *ci.add(2) as usize;
+        let i3 = *ci.add(3) as usize;
+        let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
+        let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
+        _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+    }
 }
 
 /// `y = A·x` (or `y += A·x` when `ADD`) for CSR using first-generation AVX.
@@ -53,21 +64,33 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut idx = lo;
         let mut acc = _mm256_setzero_pd();
         while idx + 4 <= hi {
-            let v = _mm256_loadu_pd(val.as_ptr().add(idx));
-            let xv = gather4_emulated(xp, colidx.as_ptr().add(idx));
-            // Separate multiply and add: AVX has no FMA.
-            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            // SAFETY: idx+4 <= hi <= val.len() == colidx.len() keeps the
+            // unaligned load and the emulated gather in bounds, and every
+            // colidx entry is < x.len() by the caller's contract.
+            unsafe {
+                let v = _mm256_loadu_pd(val.as_ptr().add(idx));
+                let xv = gather4_emulated(xp, colidx.as_ptr().add(idx));
+                // Separate multiply and add: AVX has no FMA.
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            }
             idx += 4;
         }
         let mut tail = 0.0;
         for k in idx..hi {
-            tail += *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize);
+            // SAFETY: k < hi <= val.len() == colidx.len(), and every column
+            // index is < x.len() by the caller's contract.
+            tail += unsafe {
+                *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize)
+            };
         }
         let sum = hsum256(acc) + tail;
-        if ADD {
-            *y.get_unchecked_mut(i) += sum;
-        } else {
-            *y.get_unchecked_mut(i) = sum;
+        // SAFETY: i < nrows == y.len().
+        unsafe {
+            if ADD {
+                *y.get_unchecked_mut(i) += sum;
+            } else {
+                *y.get_unchecked_mut(i) = sum;
+            }
         }
     }
 }

@@ -6,7 +6,8 @@
 use std::arch::x86_64::*;
 
 #[inline]
-unsafe fn hsum256(v: __m256d) -> f64 {
+#[target_feature(enable = "avx")]
+fn hsum256(v: __m256d) -> f64 {
     let hi = _mm256_extractf128_pd::<1>(v);
     let lo = _mm256_castpd256_pd128(v);
     let s = _mm_add_pd(lo, hi);
@@ -36,21 +37,33 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut idx = lo;
         let mut acc = _mm256_setzero_pd();
         while idx + 4 <= hi {
-            let v = _mm256_loadu_pd(val.as_ptr().add(idx));
-            let ci = _mm_loadu_si128(colidx.as_ptr().add(idx) as *const __m128i);
-            let xv = _mm256_i32gather_pd::<8>(xp, ci);
-            acc = _mm256_fmadd_pd(v, xv, acc);
+            // SAFETY: idx+4 <= hi <= val.len() == colidx.len() keeps both
+            // unaligned loads in bounds, and every colidx entry is < x.len()
+            // so the gather only touches x.
+            unsafe {
+                let v = _mm256_loadu_pd(val.as_ptr().add(idx));
+                let ci = _mm_loadu_si128(colidx.as_ptr().add(idx) as *const __m128i);
+                let xv = _mm256_i32gather_pd::<8>(xp, ci);
+                acc = _mm256_fmadd_pd(v, xv, acc);
+            }
             idx += 4;
         }
         let mut tail = 0.0;
         for k in idx..hi {
-            tail += *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize);
+            // SAFETY: k < hi <= val.len() == colidx.len(), and every column
+            // index is < x.len() by the caller's contract.
+            tail += unsafe {
+                *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize)
+            };
         }
         let sum = hsum256(acc) + tail;
-        if ADD {
-            *y.get_unchecked_mut(i) += sum;
-        } else {
-            *y.get_unchecked_mut(i) = sum;
+        // SAFETY: i < nrows == y.len().
+        unsafe {
+            if ADD {
+                *y.get_unchecked_mut(i) += sum;
+            } else {
+                *y.get_unchecked_mut(i) = sum;
+            }
         }
     }
 }

@@ -32,10 +32,15 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut acc = _mm512_setzero_pd();
         // Vectorized body: full 8-lane strides.
         while idx + 8 <= hi {
-            let v = _mm512_loadu_pd(val.as_ptr().add(idx));
-            let ci = _mm256_loadu_si256(colidx.as_ptr().add(idx) as *const __m256i);
-            let xv = _mm512_i32gather_pd::<8>(ci, xp);
-            acc = _mm512_fmadd_pd(v, xv, acc);
+            // SAFETY: idx+8 <= hi <= val.len() == colidx.len() keeps both
+            // unaligned loads in bounds, and every colidx entry is < x.len()
+            // so the gather only touches x.
+            unsafe {
+                let v = _mm512_loadu_pd(val.as_ptr().add(idx));
+                let ci = _mm256_loadu_si256(colidx.as_ptr().add(idx) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(ci, xp);
+                acc = _mm512_fmadd_pd(v, xv, acc);
+            }
             idx += 8;
         }
         let rem = hi - idx;
@@ -43,20 +48,33 @@ pub unsafe fn spmv<const ADD: bool>(
         if rem > 2 {
             // Vectorized remainder with masked loads/gather (§3.3, §4).
             let k: __mmask8 = (1u8 << rem) - 1;
-            let v = _mm512_maskz_loadu_pd(k, val.as_ptr().add(idx));
-            let ci = _mm256_maskz_loadu_epi32(k, colidx.as_ptr().add(idx) as *const i32);
-            let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp);
-            acc = _mm512_fmadd_pd(v, xv, acc);
+            // SAFETY: the masked loads and gather touch only the rem < 8
+            // lanes with set mask bits, i.e. elements idx..hi of val/colidx
+            // (in bounds) and in-bounds entries of x; masked-off lanes read
+            // nothing and gather zero.
+            unsafe {
+                let v = _mm512_maskz_loadu_pd(k, val.as_ptr().add(idx));
+                let ci = _mm256_maskz_loadu_epi32(k, colidx.as_ptr().add(idx) as *const i32);
+                let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp);
+                acc = _mm512_fmadd_pd(v, xv, acc);
+            }
         } else {
             for k in idx..hi {
-                tail += *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize);
+                // SAFETY: k < hi <= val.len() == colidx.len(), and every
+                // column index is < x.len() by the caller's contract.
+                tail += unsafe {
+                    *val.get_unchecked(k) * *x.get_unchecked(*colidx.get_unchecked(k) as usize)
+                };
             }
         }
         let sum = _mm512_reduce_add_pd(acc) + tail;
-        if ADD {
-            *y.get_unchecked_mut(i) += sum;
-        } else {
-            *y.get_unchecked_mut(i) = sum;
+        // SAFETY: i < nrows == y.len().
+        unsafe {
+            if ADD {
+                *y.get_unchecked_mut(i) += sum;
+            } else {
+                *y.get_unchecked_mut(i) = sum;
+            }
         }
     }
 }

@@ -1,12 +1,82 @@
 //! Safe runtime dispatch from [`Isa`] to the matching unsafe kernel.
 //!
-//! Each wrapper asserts (in debug builds) the invariants the intrinsic
-//! kernels rely on, checks the requested feature set is actually present on
-//! the CPU, and falls back to scalar on non-x86 targets.
+//! This is the *only* module from which the intrinsic kernels may be
+//! entered.  Each wrapper asserts (in debug builds) every precondition the
+//! kernel's `# Safety` contract states — pointer/shape invariants, index
+//! bounds, 64-byte alignment for the aligned-load SELL kernels — and
+//! asserts (always) that the requested feature set is present on the CPU,
+//! falling back to scalar on non-x86 targets.
 
 use crate::isa::Isa;
 
 use super::{csr_scalar, sell_scalar};
+
+/// Debug-asserts the CSR kernel preconditions shared by every tier:
+/// `rowptr` is a monotone prefix-sum array of `y.len() + 1` entries ending
+/// at `val.len()`, `colidx` parallels `val`, and all column indices address
+/// `x`.
+fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
+    debug_assert_eq!(rowptr.len(), y.len() + 1, "rowptr length");
+    debug_assert_eq!(rowptr.first().copied().unwrap_or(0), 0, "rowptr[0]");
+    debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr monotone");
+    debug_assert_eq!(rowptr.last().copied().unwrap_or(0), val.len(), "rowptr end");
+    debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    debug_assert!(
+        colidx.iter().all(|&c| (c as usize) < x.len()),
+        "colidx in bounds of x"
+    );
+}
+
+/// Debug-asserts the SELL kernel preconditions shared by every tier and
+/// slice height `C`: `sliceptr` is a monotone prefix-sum array of
+/// `C`-aligned offsets covering `ceil(nrows/C)` slices and ending at
+/// `val.len()`, `colidx` parallels `val`, and all column indices — padding
+/// included (§5.5) — address `x`.
+fn debug_check_sell<const C: usize>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &[f64],
+) {
+    debug_assert_eq!(y.len(), nrows, "y length");
+    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
+    debug_assert_eq!(sliceptr.first().copied().unwrap_or(0), 0, "sliceptr[0]");
+    debug_assert!(
+        sliceptr.windows(2).all(|w| w[0] <= w[1]),
+        "sliceptr monotone"
+    );
+    debug_assert_eq!(
+        sliceptr.last().copied().unwrap_or(0),
+        val.len(),
+        "sliceptr end"
+    );
+    debug_assert!(
+        sliceptr.iter().all(|&p| p % C == 0),
+        "slice offsets must be {C}-element aligned"
+    );
+    debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    debug_assert!(
+        colidx.iter().all(|&c| (c as usize) < x.len()),
+        "colidx (incl. padding) in bounds of x"
+    );
+}
+
+/// Debug-asserts the 64-byte alignment the aligned-load SELL kernels
+/// require of `val`/`colidx` (guaranteed by [`crate::AVec`] storage; a
+/// plain `Vec` slice would fault at the first `_mm512_load_pd`).
+#[cfg(target_arch = "x86_64")]
+fn debug_check_kernel_alignment(val: &[f64], colidx: &[u32]) {
+    debug_assert!(
+        val.is_empty() || (val.as_ptr() as usize).is_multiple_of(64),
+        "val must be 64-byte aligned (AVec) for aligned SELL loads"
+    );
+    debug_assert!(
+        colidx.is_empty() || (colidx.as_ptr() as usize).is_multiple_of(64),
+        "colidx must be 64-byte aligned (AVec) for aligned SELL loads"
+    );
+}
 
 /// CSR `y = A·x` at the requested ISA tier.
 ///
@@ -35,19 +105,21 @@ fn csr_dispatch<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
-    debug_assert_eq!(rowptr.len(), y.len() + 1);
-    debug_assert_eq!(colidx.len(), val.len());
-    debug_assert!(colidx.iter().all(|&c| (c as usize) < x.len()));
+    debug_check_csr(rowptr, colidx, val, x, y);
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: feature availability checked above; slice invariants
-        // asserted above and guaranteed by `Csr::from_parts`.
+        // SAFETY: feature availability checked above; the shape/bounds
+        // invariants of the kernel contract are asserted by debug_check_csr
+        // and guaranteed by `Csr::from_parts`.  CSR kernels use unaligned
+        // loads, so no alignment precondition.
         Isa::Avx => unsafe { super::csr_avx::spmv::<ADD>(rowptr, colidx, val, x, y) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
         Isa::Avx2 => unsafe { super::csr_avx2::spmv::<ADD>(rowptr, colidx, val, x, y) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
         Isa::Avx512 => unsafe { super::csr_avx512::spmv::<ADD>(rowptr, colidx, val, x, y) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
@@ -80,6 +152,104 @@ pub fn sell8_spmv_add(
     sell8_dispatch::<true>(isa, sliceptr, colidx, val, nrows, x, y);
 }
 
+fn sell8_dispatch<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked; layout/alignment invariants guaranteed
+        // by `Sell::from_csr` (64-byte aligned AVec + 8-aligned sliceptr)
+        // and asserted above in debug builds.
+        Isa::Avx => unsafe {
+            debug_check_kernel_alignment(val, colidx);
+            super::sell_avx::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2 => unsafe {
+            debug_check_kernel_alignment(val, colidx);
+            super::sell_avx2::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe {
+            debug_check_kernel_alignment(val, colidx);
+            super::sell_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
+    }
+}
+
+/// SELL-8 `y = A·x` through the §5.5 manually tuned AVX-512 kernel
+/// (two-slice unroll + software prefetch).
+///
+/// Panics if AVX-512 is not available; callers check [`Isa::available`]
+/// first and fall back to [`sell8_spmv`].
+#[cfg(target_arch = "x86_64")]
+pub fn sell8_spmv_tuned(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    assert!(
+        Isa::Avx512.available(),
+        "ISA AVX512 not available on this CPU"
+    );
+    // SAFETY: AVX-512 availability asserted above; layout/alignment
+    // invariants guaranteed by `Sell::from_csr` (64-byte aligned AVec +
+    // 8-aligned sliceptr, in-bounds padding indices) and asserted above in
+    // debug builds.  Contract identical to the plain AVX-512 kernel.
+    unsafe {
+        debug_check_kernel_alignment(val, colidx);
+        super::sell_avx512::spmv_unrolled::<false>(sliceptr, colidx, val, nrows, x, y);
+    }
+}
+
+/// SELL-ESB (bit-array) `y = A·x` through the masked AVX-512 kernel.
+///
+/// `bits` carries one lane-mask byte per slice column.  Panics if AVX-512
+/// is not available; callers check [`Isa::available`] first and fall back
+/// to the scalar ESB path.
+#[cfg(target_arch = "x86_64")]
+pub fn sell_esb_spmv_avx512(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    bits: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    debug_assert_eq!(bits.len() * 8, val.len(), "one mask byte per slice column");
+    assert!(
+        Isa::Avx512.available(),
+        "ISA AVX512 not available on this CPU"
+    );
+    // SAFETY: AVX-512 availability asserted above; SELL-8 layout/alignment
+    // invariants asserted above in debug builds and guaranteed by
+    // `Sell8::from_csr`; the bit array is sized one byte per column
+    // (asserted above), matching the kernel's contract.
+    unsafe {
+        debug_check_kernel_alignment(val, colidx);
+        super::sell_esb_avx512::spmv(sliceptr, colidx, val, bits, nrows, x, y);
+    }
+}
+
 /// SELL-4 `y = A·x` (or `+=`) at the requested ISA tier.  AVX-512 hosts
 /// run the AVX2 kernel (a 4-lane slice cannot fill a ZMM register).
 pub fn sell4_spmv<const ADD: bool>(
@@ -91,17 +261,22 @@ pub fn sell4_spmv<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
-    debug_assert_eq!(y.len(), nrows);
-    debug_assert!(sliceptr.iter().all(|&p| p % 4 == 0));
+    debug_check_sell::<4>(sliceptr, colidx, val, nrows, x, y);
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => sell_scalar::spmv::<4, ADD>(sliceptr, colidx, val, nrows, x, y),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features checked above; layout invariants guaranteed by
-        // Sell::<4>::from_csr (aligned AVec + 4-aligned sliceptr).
-        Isa::Avx => unsafe { super::sell4_simd::spmv_avx::<ADD>(sliceptr, colidx, val, nrows, x, y) },
+        // Sell::<4>::from_csr (aligned AVec + 4-aligned sliceptr) and
+        // asserted above in debug builds.
+        Isa::Avx => unsafe {
+            debug_check_kernel_alignment(val, colidx);
+            super::sell4_simd::spmv_avx::<ADD>(sliceptr, colidx, val, nrows, x, y)
+        },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
         Isa::Avx2 | Isa::Avx512 => unsafe {
+            debug_check_kernel_alignment(val, colidx);
             super::sell4_simd::spmv_avx2::<ADD>(sliceptr, colidx, val, nrows, x, y)
         },
         #[cfg(not(target_arch = "x86_64"))]
@@ -120,14 +295,15 @@ pub fn sell16_spmv<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
-    debug_assert_eq!(y.len(), nrows);
-    debug_assert!(sliceptr.iter().all(|&p| p % 16 == 0));
+    debug_check_sell::<16>(sliceptr, colidx, val, nrows, x, y);
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features checked above; layout invariants guaranteed by
-        // Sell::<16>::from_csr (aligned AVec + 16-aligned sliceptr).
+        // Sell::<16>::from_csr (aligned AVec + 16-aligned sliceptr) and
+        // asserted above in debug builds.
         Isa::Avx512 => unsafe {
+            debug_check_kernel_alignment(val, colidx);
             super::sell16_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
         },
         _ => sell_scalar::spmv::<16, ADD>(sliceptr, colidx, val, nrows, x, y),
@@ -140,7 +316,11 @@ mod tests {
 
     fn tiny_csr() -> (Vec<usize>, Vec<u32>, Vec<f64>) {
         // 3x3: [[1,2,0],[0,3,0],[4,0,5]]
-        (vec![0, 2, 3, 5], vec![0, 1, 1, 0, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0])
+        (
+            vec![0, 2, 3, 5],
+            vec![0, 1, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
     }
 
     #[test]
@@ -161,13 +341,14 @@ mod tests {
     fn sell_dispatch_every_height_and_tier() {
         use crate::csr::Csr;
         use crate::sell::Sell;
-        let a = Csr::from_dense(5, 5, &[
-            1.0, 0.0, 0.0, 2.0, 0.0,
-            0.0, 3.0, 0.0, 0.0, 0.0,
-            0.0, 0.0, 0.0, 0.0, 0.0,
-            4.0, 0.0, 5.0, 0.0, 6.0,
-            0.0, 0.0, 0.0, 0.0, 7.0,
-        ]);
+        let a = Csr::from_dense(
+            5,
+            5,
+            &[
+                1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0,
+                0.0, 5.0, 0.0, 6.0, 0.0, 0.0, 0.0, 0.0, 7.0,
+            ],
+        );
         let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let want = vec![9.0, 6.0, 0.0, 49.0, 35.0];
         for isa in Isa::available_tiers() {
@@ -177,12 +358,27 @@ mod tests {
             assert_eq!(y, want, "C=4 {isa}");
             let s16 = Sell::<16>::from_csr(&a);
             let mut y = vec![0.0; 5];
-            sell16_spmv::<false>(isa, s16.sliceptr(), s16.colidx(), s16.values(), 5, &x, &mut y);
+            sell16_spmv::<false>(
+                isa,
+                s16.sliceptr(),
+                s16.colidx(),
+                s16.values(),
+                5,
+                &x,
+                &mut y,
+            );
             assert_eq!(y, want, "C=16 {isa}");
             let s8 = Sell::<8>::from_csr(&a);
             let mut y = vec![0.0; 5];
             sell8_spmv(isa, s8.sliceptr(), s8.colidx(), s8.values(), 5, &x, &mut y);
             assert_eq!(y, want, "C=8 {isa}");
+        }
+        #[cfg(target_arch = "x86_64")]
+        if Isa::Avx512.available() {
+            let s8 = Sell::<8>::from_csr(&a);
+            let mut y = vec![0.0; 5];
+            sell8_spmv_tuned(s8.sliceptr(), s8.colidx(), s8.values(), 5, &x, &mut y);
+            assert_eq!(y, want, "C=8 tuned");
         }
     }
 
@@ -199,40 +395,91 @@ mod tests {
         assert_eq!(y, vec![13.0, 18.0]);
         let s16 = Sell::<16>::from_csr(&a);
         let mut y = vec![10.0, 10.0];
-        sell16_spmv::<true>(isa, s16.sliceptr(), s16.colidx(), s16.values(), 2, &x, &mut y);
+        sell16_spmv::<true>(
+            isa,
+            s16.sliceptr(),
+            s16.colidx(),
+            s16.values(),
+            2,
+            &x,
+            &mut y,
+        );
         assert_eq!(y, vec![13.0, 18.0]);
     }
-}
 
-fn sell8_dispatch<const ADD: bool>(
-    isa: Isa,
-    sliceptr: &[usize],
-    colidx: &[u32],
-    val: &[f64],
-    nrows: usize,
-    x: &[f64],
-    y: &mut [f64],
-) {
-    debug_assert_eq!(y.len(), nrows);
-    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(8) + 1);
-    debug_assert!(sliceptr.iter().all(|&p| p % 8 == 0), "slice offsets must be 8-element aligned");
-    debug_assert_eq!(colidx.len(), val.len());
-    debug_assert!(colidx.iter().all(|&c| (c as usize) < x.len() || x.is_empty()));
-    assert!(isa.available(), "ISA {isa} not available on this CPU");
-    match isa {
-        Isa::Scalar => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: features checked; layout/alignment invariants guaranteed
-        // by `Sell::from_csr` (64-byte aligned AVec + 8-aligned sliceptr)
-        // and asserted above in debug builds.
-        Isa::Avx => unsafe { super::sell_avx::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y) },
-        #[cfg(target_arch = "x86_64")]
-        Isa::Avx2 => unsafe { super::sell_avx2::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y) },
-        #[cfg(target_arch = "x86_64")]
-        Isa::Avx512 => unsafe {
-            super::sell_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
-        },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
+    /// Regression test for the SELL-16 partial-slice accumulate path: with
+    /// 8 or fewer live lanes in the final slice (e.g. nrows = 5 or 21), the
+    /// kernel used to form `yp.add(8)` past the end of `y` before masking —
+    /// undefined behavior even though the masked lanes were never stored.
+    /// The pointer is now formed only when the high half has live lanes.
+    #[test]
+    fn sell16_add_partial_slice_stays_in_bounds() {
+        use crate::coo::CooBuilder;
+        use crate::sell::Sell;
+        // 5 rows: hi == 0; 12 rows: hi == 4; 21 rows: full slice + hi == 0.
+        for nrows in [5usize, 12, 21] {
+            let mut b = CooBuilder::new(nrows, nrows);
+            for i in 0..nrows {
+                for j in 0..(i % 4 + 1) {
+                    b.push(i, (i + 2 * j) % nrows, (i * 3 + j) as f64 * 0.25 - 1.0);
+                }
+            }
+            let a = b.to_csr();
+            let s = Sell::<16>::from_csr(&a);
+            let x: Vec<f64> = (0..nrows).map(|i| (i as f64 * 0.7).sin()).collect();
+            let mut want: Vec<f64> = (0..nrows).map(|i| i as f64).collect();
+            let mut got = want.clone();
+            sell16_spmv::<true>(
+                Isa::Scalar,
+                s.sliceptr(),
+                s.colidx(),
+                s.values(),
+                nrows,
+                &x,
+                &mut want,
+            );
+            for isa in Isa::available_tiers() {
+                got.iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
+                sell16_spmv::<true>(
+                    isa,
+                    s.sliceptr(),
+                    s.colidx(),
+                    s.values(),
+                    nrows,
+                    &x,
+                    &mut got,
+                );
+                for i in 0..nrows {
+                    assert!(
+                        (got[i] - want[i]).abs() < 1e-12,
+                        "nrows={nrows} {isa} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The checked dispatch layer rejects malformed inputs in debug builds.
+    #[test]
+    #[should_panic(expected = "sliceptr end")]
+    #[cfg(debug_assertions)]
+    fn checked_dispatch_rejects_truncated_val() {
+        let sliceptr = vec![0usize, 8];
+        let colidx = vec![0u32; 8];
+        let val = vec![0.0; 4]; // too short: sliceptr says 8 elements
+        let x = vec![1.0];
+        let mut y = vec![0.0; 8];
+        sell8_spmv(Isa::Scalar, &sliceptr, &colidx, &val, 8, &x, &mut y);
+    }
+
+    /// Out-of-bounds column indices are caught before any kernel runs.
+    #[test]
+    #[should_panic(expected = "colidx")]
+    #[cfg(debug_assertions)]
+    fn checked_dispatch_rejects_oob_colidx() {
+        let (rp, ci, v) = tiny_csr();
+        let x = vec![1.0]; // too short for colidx up to 2
+        let mut y = vec![0.0; 3];
+        csr_spmv(Isa::Scalar, &rp, &ci, &v, &x, &mut y);
     }
 }

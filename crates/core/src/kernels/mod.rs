@@ -53,3 +53,5 @@ pub mod sell_avx;
 pub mod sell_avx2;
 #[cfg(target_arch = "x86_64")]
 pub mod sell_avx512;
+#[cfg(target_arch = "x86_64")]
+pub mod sell_esb_avx512;

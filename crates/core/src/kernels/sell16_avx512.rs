@@ -31,38 +31,60 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v0 = _mm512_load_pd(val.as_ptr().add(idx));
-            let v1 = _mm512_load_pd(val.as_ptr().add(idx + 8));
-            let c0 = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-            let c1 = _mm256_load_si256(colidx.as_ptr().add(idx + 8) as *const __m256i);
-            let x0 = _mm512_i32gather_pd::<8>(c0, xp);
-            let x1 = _mm512_i32gather_pd::<8>(c1, xp);
-            acc0 = _mm512_fmadd_pd(v0, x0, acc0);
-            acc1 = _mm512_fmadd_pd(v1, x1, acc1);
+            // SAFETY: idx is a 16-aligned offset with idx+16 <= end <=
+            // val.len() == colidx.len() into 64-byte-aligned AVecs, so both
+            // 64-byte halves load aligned; every colidx entry is < x.len()
+            // so the gathers only touch x.
+            unsafe {
+                let v0 = _mm512_load_pd(val.as_ptr().add(idx));
+                let v1 = _mm512_load_pd(val.as_ptr().add(idx + 8));
+                let c0 = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+                let c1 = _mm256_load_si256(colidx.as_ptr().add(idx + 8) as *const __m256i);
+                let x0 = _mm512_i32gather_pd::<8>(c0, xp);
+                let x1 = _mm512_i32gather_pd::<8>(c1, xp);
+                acc0 = _mm512_fmadd_pd(v0, x0, acc0);
+                acc1 = _mm512_fmadd_pd(v1, x1, acc1);
+            }
             idx += 16;
         }
         let base = s * 16;
         let lanes = 16.min(nrows - base);
-        let yp = y.as_mut_ptr().add(base);
         if lanes == 16 {
-            if ADD {
-                acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
-                acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+            // SAFETY: all 16 rows exist, so both 8-wide unaligned accesses
+            // at y + base and y + base + 8 are in bounds.
+            unsafe {
+                let yp = y.as_mut_ptr().add(base);
+                if ADD {
+                    acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
+                    acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+                }
+                _mm512_storeu_pd(yp, acc0);
+                _mm512_storeu_pd(yp.add(8), acc1);
             }
-            _mm512_storeu_pd(yp, acc0);
-            _mm512_storeu_pd(yp.add(8), acc1);
         } else {
             let lo = lanes.min(8);
             let k0: __mmask8 = if lo == 8 { 0xff } else { (1u8 << lo) - 1 };
             let hi = lanes.saturating_sub(8);
             let k1: __mmask8 = if hi == 8 { 0xff } else { (1u8 << hi) - 1 };
-            if ADD {
-                acc0 = _mm512_add_pd(acc0, _mm512_maskz_loadu_pd(k0, yp));
-                acc1 = _mm512_add_pd(acc1, _mm512_maskz_loadu_pd(k1, yp.add(8)));
-            }
-            _mm512_mask_storeu_pd(yp, k0, acc0);
-            if hi > 0 {
-                _mm512_mask_storeu_pd(yp.add(8), k1, acc1);
+            // SAFETY: masked accesses touch only the lanes with set mask
+            // bits, all of which index rows < nrows; the high half (offset
+            // base + 8) is accessed — and even its pointer formed — only
+            // when hi > 0, i.e. when row base + 8 exists. (Forming
+            // yp.add(8) with hi == 0 would itself be UB: `pointer::add`
+            // requires the result in bounds even if never dereferenced.)
+            unsafe {
+                let yp = y.as_mut_ptr().add(base);
+                if ADD {
+                    acc0 = _mm512_add_pd(acc0, _mm512_maskz_loadu_pd(k0, yp));
+                }
+                _mm512_mask_storeu_pd(yp, k0, acc0);
+                if hi > 0 {
+                    let yph = yp.add(8);
+                    if ADD {
+                        acc1 = _mm512_add_pd(acc1, _mm512_maskz_loadu_pd(k1, yph));
+                    }
+                    _mm512_mask_storeu_pd(yph, k1, acc1);
+                }
             }
         }
     }

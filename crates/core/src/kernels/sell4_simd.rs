@@ -32,13 +32,22 @@ pub unsafe fn spmv_avx2<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v = _mm256_load_pd(val.as_ptr().add(idx));
-            let ci = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
-            let xv = _mm256_i32gather_pd::<8>(xp, ci);
-            acc = _mm256_fmadd_pd(v, xv, acc);
+            // SAFETY: idx is a 4-aligned offset with idx+4 <= end <=
+            // val.len() == colidx.len() into 64-byte-aligned AVecs, so the
+            // 32-byte/16-byte aligned loads are legal; every colidx entry
+            // is < x.len() so the gather only touches x.
+            unsafe {
+                let v = _mm256_load_pd(val.as_ptr().add(idx));
+                let ci = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
+                let xv = _mm256_i32gather_pd::<8>(xp, ci);
+                acc = _mm256_fmadd_pd(v, xv, acc);
+            }
             idx += 4;
         }
-        store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+        // SAFETY: s*4 + lanes <= nrows == y.len(), store4's contract.
+        unsafe {
+            store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+        }
     }
 }
 
@@ -64,16 +73,29 @@ pub unsafe fn spmv_avx<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v = _mm256_load_pd(val.as_ptr().add(idx));
-            let ci = colidx.as_ptr().add(idx);
-            let lo = _mm_loadh_pd(_mm_load_sd(xp.add(*ci as usize)), xp.add(*ci.add(1) as usize));
-            let hi =
-                _mm_loadh_pd(_mm_load_sd(xp.add(*ci.add(2) as usize)), xp.add(*ci.add(3) as usize));
-            let xv = _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi);
-            acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            // SAFETY: idx is a 4-aligned in-bounds offset as in spmv_avx2,
+            // and every colidx entry is < x.len(), so the four scalar loads
+            // of x and the aligned load of val are all in bounds.
+            unsafe {
+                let v = _mm256_load_pd(val.as_ptr().add(idx));
+                let ci = colidx.as_ptr().add(idx);
+                let lo = _mm_loadh_pd(
+                    _mm_load_sd(xp.add(*ci as usize)),
+                    xp.add(*ci.add(1) as usize),
+                );
+                let hi = _mm_loadh_pd(
+                    _mm_load_sd(xp.add(*ci.add(2) as usize)),
+                    xp.add(*ci.add(3) as usize),
+                );
+                let xv = _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
+            }
             idx += 4;
         }
-        store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+        // SAFETY: s*4 + lanes <= nrows == y.len(), store4's contract.
+        unsafe {
+            store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+        }
     }
 }
 
@@ -84,22 +106,27 @@ pub unsafe fn spmv_avx<const ADD: bool>(
 /// `base + lanes <= y.len()`; caller runs under `avx`.
 #[target_feature(enable = "avx")]
 unsafe fn store4<const ADD: bool>(y: &mut [f64], base: usize, lanes: usize, acc: __m256d) {
-    let yp = y.as_mut_ptr().add(base);
-    if lanes == 4 {
-        if ADD {
-            let prev = _mm256_loadu_pd(yp);
-            _mm256_storeu_pd(yp, _mm256_add_pd(acc, prev));
-        } else {
-            _mm256_storeu_pd(yp, acc);
-        }
-    } else {
-        let mut buf = [0.0f64; 4];
-        _mm256_storeu_pd(buf.as_mut_ptr(), acc);
-        for r in 0..lanes {
+    // SAFETY: caller guarantees base + lanes <= y.len(); the 4-wide
+    // unaligned accesses run only when lanes == 4, otherwise the spill loop
+    // touches exactly y[base..base+lanes].
+    unsafe {
+        let yp = y.as_mut_ptr().add(base);
+        if lanes == 4 {
             if ADD {
-                *yp.add(r) += buf[r];
+                let prev = _mm256_loadu_pd(yp);
+                _mm256_storeu_pd(yp, _mm256_add_pd(acc, prev));
             } else {
-                *yp.add(r) = buf[r];
+                _mm256_storeu_pd(yp, acc);
+            }
+        } else {
+            let mut buf = [0.0f64; 4];
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc);
+            for r in 0..lanes {
+                if ADD {
+                    *yp.add(r) += buf[r];
+                } else {
+                    *yp.add(r) = buf[r];
+                }
             }
         }
     }

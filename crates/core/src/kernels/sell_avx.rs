@@ -10,15 +10,25 @@
 use std::arch::x86_64::*;
 
 /// Emulated 4-lane gather (two `load_sd`/`loadh_pd` pairs + insert).
+///
+/// # Safety
+///
+/// `ci` must point at 4 readable `u32`s, each of which must be a valid
+/// index into the `x` array starting at `xp`.
 #[inline]
+#[target_feature(enable = "avx")]
 unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
-    let i0 = *ci as usize;
-    let i1 = *ci.add(1) as usize;
-    let i2 = *ci.add(2) as usize;
-    let i3 = *ci.add(3) as usize;
-    let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
-    let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
-    _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+    // SAFETY: caller guarantees ci[0..4] are readable and each index is in
+    // bounds of x, so every xp.add(i) points at a readable f64.
+    unsafe {
+        let i0 = *ci as usize;
+        let i1 = *ci.add(1) as usize;
+        let i2 = *ci.add(2) as usize;
+        let i3 = *ci.add(3) as usize;
+        let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
+        let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
+        _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+    }
 }
 
 /// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX only.
@@ -47,37 +57,48 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v0 = _mm256_load_pd(val.as_ptr().add(idx));
-            let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
-            let x0 = gather4_emulated(xp, colidx.as_ptr().add(idx));
-            let x1 = gather4_emulated(xp, colidx.as_ptr().add(idx + 4));
-            // Separate multiply and add: AVX has no FMA (§5.5).
-            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
-            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+            // SAFETY: idx is an 8-aligned offset with idx+8 <= end <=
+            // val.len() == colidx.len() into 64-byte-aligned AVecs, so both
+            // 32-byte-aligned half loads are legal; every colidx entry is
+            // < x.len(), satisfying gather4_emulated's contract.
+            unsafe {
+                let v0 = _mm256_load_pd(val.as_ptr().add(idx));
+                let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
+                let x0 = gather4_emulated(xp, colidx.as_ptr().add(idx));
+                let x1 = gather4_emulated(xp, colidx.as_ptr().add(idx + 4));
+                // Separate multiply and add: AVX has no FMA (§5.5).
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));
+            }
             idx += 8;
         }
         let base = s * 8;
         let lanes = 8.min(nrows - base);
-        let yp = y.as_mut_ptr().add(base);
-        if lanes == 8 {
-            if ADD {
-                let p0 = _mm256_loadu_pd(yp);
-                let p1 = _mm256_loadu_pd(yp.add(4));
-                _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
-                _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
-            } else {
-                _mm256_storeu_pd(yp, acc0);
-                _mm256_storeu_pd(yp.add(4), acc1);
-            }
-        } else {
-            let mut buf = [0.0f64; 8];
-            _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
-            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
-            for r in 0..lanes {
+        // SAFETY: base + lanes <= nrows == y.len(); the 8-wide unaligned
+        // accesses run only when lanes == 8, otherwise the spill loop
+        // touches exactly y[base..base+lanes].
+        unsafe {
+            let yp = y.as_mut_ptr().add(base);
+            if lanes == 8 {
                 if ADD {
-                    *yp.add(r) += buf[r];
+                    let p0 = _mm256_loadu_pd(yp);
+                    let p1 = _mm256_loadu_pd(yp.add(4));
+                    _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
+                    _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
                 } else {
-                    *yp.add(r) = buf[r];
+                    _mm256_storeu_pd(yp, acc0);
+                    _mm256_storeu_pd(yp.add(4), acc1);
+                }
+            } else {
+                let mut buf = [0.0f64; 8];
+                _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
+                _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
+                for r in 0..lanes {
+                    if ADD {
+                        *yp.add(r) += buf[r];
+                    } else {
+                        *yp.add(r) = buf[r];
+                    }
                 }
             }
         }

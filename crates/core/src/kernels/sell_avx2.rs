@@ -33,19 +33,29 @@ pub unsafe fn spmv<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v0 = _mm256_load_pd(val.as_ptr().add(idx));
-            let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
-            let ci0 = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
-            let ci1 = _mm_load_si128(colidx.as_ptr().add(idx + 4) as *const __m128i);
-            let x0 = _mm256_i32gather_pd::<8>(xp, ci0);
-            let x1 = _mm256_i32gather_pd::<8>(xp, ci1);
-            acc0 = _mm256_fmadd_pd(v0, x0, acc0);
-            acc1 = _mm256_fmadd_pd(v1, x1, acc1);
+            // SAFETY: idx is an 8-aligned offset with idx+8 <= end <=
+            // val.len() == colidx.len() into 64-byte-aligned AVecs, so the
+            // 32-byte (val) and 16-byte (colidx) aligned half loads are
+            // legal; every colidx entry is < x.len() so the gathers only
+            // touch x.
+            unsafe {
+                let v0 = _mm256_load_pd(val.as_ptr().add(idx));
+                let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
+                let ci0 = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
+                let ci1 = _mm_load_si128(colidx.as_ptr().add(idx + 4) as *const __m128i);
+                let x0 = _mm256_i32gather_pd::<8>(xp, ci0);
+                let x1 = _mm256_i32gather_pd::<8>(xp, ci1);
+                acc0 = _mm256_fmadd_pd(v0, x0, acc0);
+                acc1 = _mm256_fmadd_pd(v1, x1, acc1);
+            }
             idx += 8;
         }
         let base = s * 8;
         let lanes = 8.min(nrows - base);
-        store_lanes::<ADD>(y, base, lanes, acc0, acc1);
+        // SAFETY: base + lanes <= nrows == y.len(), store_lanes' contract.
+        unsafe {
+            store_lanes::<ADD>(y, base, lanes, acc0, acc1);
+        }
     }
 }
 
@@ -62,27 +72,32 @@ unsafe fn store_lanes<const ADD: bool>(
     acc0: __m256d,
     acc1: __m256d,
 ) {
-    let yp = y.as_mut_ptr().add(base);
-    if lanes == 8 {
-        if ADD {
-            let p0 = _mm256_loadu_pd(yp);
-            let p1 = _mm256_loadu_pd(yp.add(4));
-            _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
-            _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
-        } else {
-            _mm256_storeu_pd(yp, acc0);
-            _mm256_storeu_pd(yp.add(4), acc1);
-        }
-    } else {
-        // Partial last slice: spill and copy the valid lanes.
-        let mut buf = [0.0f64; 8];
-        _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
-        _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
-        for r in 0..lanes {
+    // SAFETY: caller guarantees base + lanes <= y.len(); the 8-wide
+    // unaligned accesses run only when lanes == 8, otherwise the spill loop
+    // touches exactly y[base..base+lanes].
+    unsafe {
+        let yp = y.as_mut_ptr().add(base);
+        if lanes == 8 {
             if ADD {
-                *yp.add(r) += buf[r];
+                let p0 = _mm256_loadu_pd(yp);
+                let p1 = _mm256_loadu_pd(yp.add(4));
+                _mm256_storeu_pd(yp, _mm256_add_pd(acc0, p0));
+                _mm256_storeu_pd(yp.add(4), _mm256_add_pd(acc1, p1));
             } else {
-                *yp.add(r) = buf[r];
+                _mm256_storeu_pd(yp, acc0);
+                _mm256_storeu_pd(yp.add(4), acc1);
+            }
+        } else {
+            // Partial last slice: spill and copy the valid lanes.
+            let mut buf = [0.0f64; 8];
+            _mm256_storeu_pd(buf.as_mut_ptr(), acc0);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), acc1);
+            for r in 0..lanes {
+                if ADD {
+                    *yp.add(r) += buf[r];
+                } else {
+                    *yp.add(r) = buf[r];
+                }
             }
         }
     }

@@ -34,30 +34,49 @@ pub unsafe fn spmv<const ADD: bool>(
         return;
     }
     let xp = x.as_ptr();
-    let full = if nrows.is_multiple_of(8) { nslices } else { nslices - 1 };
+    let full = if nrows.is_multiple_of(8) {
+        nslices
+    } else {
+        nslices - 1
+    };
 
     for s in 0..full {
         let mut acc = _mm512_setzero_pd();
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            // Aligned 64-byte load of one slice column of values…
-            let v = _mm512_load_pd(val.as_ptr().add(idx));
-            // …and the matching 32-byte aligned load of 8 column indices.
-            let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-            let xv = _mm512_i32gather_pd::<8>(ci, xp);
-            acc = _mm512_fmadd_pd(v, xv, acc);
+            // SAFETY: sliceptr entries are multiples of 8 bounded by
+            // val.len() == colidx.len(), and the arrays are 64-byte-aligned
+            // AVecs, so both aligned loads are in bounds at full alignment;
+            // every colidx entry (incl. padding) is < x.len() so the gather
+            // only touches x.
+            unsafe {
+                // Aligned 64-byte load of one slice column of values…
+                let v = _mm512_load_pd(val.as_ptr().add(idx));
+                // …and the matching 32-byte aligned load of 8 column indices.
+                let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(ci, xp);
+                acc = _mm512_fmadd_pd(v, xv, acc);
+            }
             idx += 8;
         }
-        let yp = y.as_mut_ptr().add(s * 8);
-        if ADD {
-            let prev = _mm512_loadu_pd(yp);
-            acc = _mm512_add_pd(acc, prev);
+        // SAFETY: s < full means rows s*8..s*8+8 all exist, so the unaligned
+        // load/store of 8 f64 at y + s*8 stay inside y.
+        unsafe {
+            let yp = y.as_mut_ptr().add(s * 8);
+            if ADD {
+                let prev = _mm512_loadu_pd(yp);
+                acc = _mm512_add_pd(acc, prev);
+            }
+            _mm512_storeu_pd(yp, acc);
         }
-        _mm512_storeu_pd(yp, acc);
     }
 
-    finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+    // SAFETY: forwarding the caller's contract unchanged; the target
+    // features are enabled in this context.
+    unsafe {
+        finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+    }
 }
 
 /// SELL-8 AVX-512 kernel with the §5.5 manual tuning applied: the outer
@@ -85,7 +104,11 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
         return;
     }
     let xp = x.as_ptr();
-    let full = if nrows.is_multiple_of(8) { nslices } else { nslices - 1 };
+    let full = if nrows.is_multiple_of(8) {
+        nslices
+    } else {
+        nslices - 1
+    };
 
     let mut s = 0usize;
     // Two-slice unroll: independent accumulators hide gather latency.
@@ -95,37 +118,54 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
         let (mut i0, e0) = (sliceptr[s], sliceptr[s + 1]);
         let (mut i1, e1) = (sliceptr[s + 1], sliceptr[s + 2]);
         while i0 < e0 && i1 < e1 {
-            _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i0 + 8) as *const i8);
-            _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i1 + 8) as *const i8);
-            let v0 = _mm512_load_pd(val.as_ptr().add(i0));
-            let c0 = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
-            acc0 = _mm512_fmadd_pd(v0, _mm512_i32gather_pd::<8>(c0, xp), acc0);
-            let v1 = _mm512_load_pd(val.as_ptr().add(i1));
-            let c1 = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
-            acc1 = _mm512_fmadd_pd(v1, _mm512_i32gather_pd::<8>(c1, xp), acc1);
+            // SAFETY: i0/i1 are 8-aligned offsets < e0/e1 <= val.len()
+            // == colidx.len() into 64-byte-aligned AVecs, so the aligned
+            // loads are legal; prefetch is a hint and may target any
+            // address; colidx entries are < x.len() for the gathers.
+            unsafe {
+                _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i0 + 8) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i1 + 8) as *const i8);
+                let v0 = _mm512_load_pd(val.as_ptr().add(i0));
+                let c0 = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
+                acc0 = _mm512_fmadd_pd(v0, _mm512_i32gather_pd::<8>(c0, xp), acc0);
+                let v1 = _mm512_load_pd(val.as_ptr().add(i1));
+                let c1 = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
+                acc1 = _mm512_fmadd_pd(v1, _mm512_i32gather_pd::<8>(c1, xp), acc1);
+            }
             i0 += 8;
             i1 += 8;
         }
         // Ragged tails of the pair (slices have independent widths).
         while i0 < e0 {
-            let v = _mm512_load_pd(val.as_ptr().add(i0));
-            let c = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
-            acc0 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc0);
+            // SAFETY: as above — i0 is an 8-aligned in-bounds offset and
+            // colidx entries are < x.len().
+            unsafe {
+                let v = _mm512_load_pd(val.as_ptr().add(i0));
+                let c = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
+                acc0 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc0);
+            }
             i0 += 8;
         }
         while i1 < e1 {
-            let v = _mm512_load_pd(val.as_ptr().add(i1));
-            let c = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
-            acc1 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc1);
+            // SAFETY: as above for i1.
+            unsafe {
+                let v = _mm512_load_pd(val.as_ptr().add(i1));
+                let c = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
+                acc1 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc1);
+            }
             i1 += 8;
         }
-        let yp = y.as_mut_ptr().add(s * 8);
-        if ADD {
-            acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
-            acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+        // SAFETY: s+2 <= full means rows s*8..s*8+16 all exist, so both
+        // 8-wide unaligned accesses at y + s*8 and y + s*8 + 8 are in bounds.
+        unsafe {
+            let yp = y.as_mut_ptr().add(s * 8);
+            if ADD {
+                acc0 = _mm512_add_pd(acc0, _mm512_loadu_pd(yp));
+                acc1 = _mm512_add_pd(acc1, _mm512_loadu_pd(yp.add(8)));
+            }
+            _mm512_storeu_pd(yp, acc0);
+            _mm512_storeu_pd(yp.add(8), acc1);
         }
-        _mm512_storeu_pd(yp, acc0);
-        _mm512_storeu_pd(yp.add(8), acc1);
         s += 2;
     }
     // Odd full slice.
@@ -134,19 +174,31 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v = _mm512_load_pd(val.as_ptr().add(idx));
-            let c = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-            acc = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc);
+            // SAFETY: as in the unrolled loop — 8-aligned in-bounds offset
+            // into 64-byte-aligned arrays, gather indices < x.len().
+            unsafe {
+                let v = _mm512_load_pd(val.as_ptr().add(idx));
+                let c = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+                acc = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc);
+            }
             idx += 8;
         }
-        let yp = y.as_mut_ptr().add(s * 8);
-        if ADD {
-            acc = _mm512_add_pd(acc, _mm512_loadu_pd(yp));
+        // SAFETY: s < full, so rows s*8..s*8+8 exist and the 8-wide
+        // unaligned accesses at y + s*8 are in bounds.
+        unsafe {
+            let yp = y.as_mut_ptr().add(s * 8);
+            if ADD {
+                acc = _mm512_add_pd(acc, _mm512_loadu_pd(yp));
+            }
+            _mm512_storeu_pd(yp, acc);
         }
-        _mm512_storeu_pd(yp, acc);
     }
 
-    finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+    // SAFETY: forwarding the caller's contract unchanged; the target
+    // features are enabled in this context.
+    unsafe {
+        finish_partial_slice::<ADD>(sliceptr, colidx, val, nrows, x, y, full, nslices);
+    }
 }
 
 /// Handles the final partial slice (masked store), shared by the plain
@@ -177,17 +229,28 @@ unsafe fn finish_partial_slice<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            let v = _mm512_load_pd(val.as_ptr().add(idx));
-            let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-            let xv = _mm512_i32gather_pd::<8>(ci, xp);
-            acc = _mm512_fmadd_pd(v, xv, acc);
+            // SAFETY: the final slice is padded to the full height of 8, so
+            // the 8-aligned offset idx < end <= val.len() == colidx.len()
+            // keeps the aligned loads in bounds; all colidx entries (incl.
+            // padding, which §5.5 copies from local nonzeros) are < x.len().
+            unsafe {
+                let v = _mm512_load_pd(val.as_ptr().add(idx));
+                let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(ci, xp);
+                acc = _mm512_fmadd_pd(v, xv, acc);
+            }
             idx += 8;
         }
-        let yp = y.as_mut_ptr().add(s * 8);
-        if ADD {
-            let prev = _mm512_maskz_loadu_pd(k, yp);
-            acc = _mm512_add_pd(acc, prev);
+        // SAFETY: yp points at the first of `lanes` remaining rows
+        // (lanes == nrows - s*8 >= 1); the masked load/store touch only the
+        // `lanes` low lanes, which all lie inside y.
+        unsafe {
+            let yp = y.as_mut_ptr().add(s * 8);
+            if ADD {
+                let prev = _mm512_maskz_loadu_pd(k, yp);
+                acc = _mm512_add_pd(acc, prev);
+            }
+            _mm512_mask_storeu_pd(yp, k, acc);
         }
-        _mm512_mask_storeu_pd(yp, k, acc);
     }
 }

@@ -1,0 +1,62 @@
+//! SELL-ESB (bit-array) SpMV with AVX-512: masked gather + masked FMA per
+//! slice column, skipping padded lanes entirely (Liu et al.; paper §5.3).
+//!
+//! Kept as an ablation kernel — the paper measures that *not* using the bit
+//! array is ~10 % faster, which `benches/ablation_bitarray.rs` re-measures.
+
+use std::arch::x86_64::*;
+
+/// `y = A·x` for SELL-8 with a per-column lane mask (ESB-style).
+///
+/// # Safety
+///
+/// * The CPU must support `avx512f` and `avx512vl`.
+/// * `sliceptr`/`colidx`/`val` follow the SELL-8 contract of
+///   [`super::sell_avx512::spmv`] (64-byte-aligned AVec storage, 8-aligned
+///   slice offsets, all column indices — padding included — `< x.len()`).
+/// * `bits.len() == val.len() / 8`: one mask byte per slice column, bit `r`
+///   set ⇔ lane `r` holds a real nonzero.
+/// * `y.len() == nrows`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmv(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    bits: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len().saturating_sub(1);
+    let xp = x.as_ptr();
+    let mut col_at = 0usize;
+    for s in 0..nslices {
+        let mut acc = _mm512_setzero_pd();
+        let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+        for j in 0..w {
+            // SAFETY: col_at + j indexes one mask byte per slice column
+            // (bits.len() == val.len() / 8); base is an 8-aligned offset
+            // with base + 8 <= sliceptr[s+1] <= val.len() == colidx.len()
+            // into 64-byte-aligned AVecs; gather indices are < x.len() and
+            // masked-off lanes touch nothing.
+            unsafe {
+                // The ESB overhead the paper measures: a mask load and
+                // masked forms of every operation, per column.
+                let k: __mmask8 = *bits.get_unchecked(col_at + j);
+                let base = sliceptr[s] + j * 8;
+                let v = _mm512_maskz_load_pd(k, val.as_ptr().add(base));
+                let ci = _mm256_load_si256(colidx.as_ptr().add(base) as *const __m256i);
+                let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp);
+                acc = _mm512_mask3_fmadd_pd(v, xv, acc, k);
+            }
+        }
+        col_at += w;
+        let lanes = 8.min(nrows - s * 8);
+        let km: __mmask8 = if lanes == 8 { 0xff } else { (1u8 << lanes) - 1 };
+        // SAFETY: the masked store touches only the `lanes` low lanes at
+        // y + s*8, all of which are rows < nrows == y.len().
+        unsafe {
+            _mm512_mask_storeu_pd(y.as_mut_ptr().add(s * 8), km, acc);
+        }
+    }
+}

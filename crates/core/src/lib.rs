@@ -46,8 +46,11 @@
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::too_many_arguments,
+    clippy::type_complexity
+)]
 
 pub mod aligned;
 pub mod baij;
@@ -73,7 +76,7 @@ pub use csr_perm::CsrPerm;
 pub use ellpack::{Ellpack, EllpackR};
 pub use isa::Isa;
 pub use sbaij::Sbaij;
-pub use sell::{Sell, Sell4, Sell8, Sell16};
+pub use sell::{Sell, Sell16, Sell4, Sell8};
 pub use sell_esb::SellEsb;
 pub use stats::FormatStats;
 pub use traits::{FromCsr, MatShape, SpMv};

@@ -129,7 +129,9 @@ pub fn norm(a: &Csr, which: MatNorm) -> f64 {
 
 /// Extracts the main diagonal (missing entries are 0) — `MatGetDiagonal`.
 pub fn diagonal(a: &Csr) -> Vec<f64> {
-    (0..a.nrows().min(a.ncols())).map(|i| a.get(i, i).unwrap_or(0.0)).collect()
+    (0..a.nrows().min(a.ncols()))
+        .map(|i| a.get(i, i).unwrap_or(0.0))
+        .collect()
 }
 
 /// Row sums (`A·1`), used by lumped-mass constructions.

@@ -68,14 +68,20 @@ impl Sbaij {
                         continue; // lower triangle: implied by symmetry
                     }
                     let pos = bcols.binary_search(&bc).expect("block col present");
-                    blocks[start + pos * bs * bs + r * bs + (c as usize % bs)] =
-                        csr.row_vals(i)[k];
+                    blocks[start + pos * bs * bs + r * bs + (c as usize % bs)] = csr.row_vals(i)[k];
                 }
             }
             bcolidx.extend_from_slice(&bcols);
             browptr[bi + 1] = bcolidx.len();
         }
-        Self { mbs, bs, nnz_full: csr.nnz(), browptr, bcolidx, val: AVec::from_slice(&blocks) }
+        Self {
+            mbs,
+            bs,
+            nnz_full: csr.nnz(),
+            browptr,
+            bcolidx,
+            val: AVec::from_slice(&blocks),
+        }
     }
 
     /// Block size.
@@ -91,6 +97,26 @@ impl Sbaij {
     /// Stored elements — roughly half of BAIJ's for a dense-ish pattern.
     pub fn stored_elems(&self) -> usize {
         self.val.len()
+    }
+
+    /// Number of block rows (== block columns; the matrix is square).
+    pub fn brows(&self) -> usize {
+        self.mbs
+    }
+
+    /// Block-row pointer array (`mbs + 1` entries into [`Self::bcolidx`]).
+    pub fn browptr(&self) -> &[usize] {
+        &self.browptr
+    }
+
+    /// Block column indices (upper triangle: `bcolidx()[k] >=` block row).
+    pub fn bcolidx(&self) -> &[u32] {
+        &self.bcolidx
+    }
+
+    /// Stored block values, each block row-major `bs × bs`.
+    pub fn values(&self) -> &[f64] {
+        &self.val
     }
 }
 
@@ -187,8 +213,12 @@ mod tests {
         let full = crate::baij::Baij::from_csr(&a, 2);
         // Block tridiagonal: 39 of 58 blocks survive (diag + one of the
         // two off-diagonals) ≈ 0.67; dense patterns approach 0.5.
-        assert!(s.stored_elems() * 10 <= full.stored_elems() * 7,
-            "SBAIJ {} vs BAIJ {}", s.stored_elems(), full.stored_elems());
+        assert!(
+            s.stored_elems() * 10 <= full.stored_elems() * 7,
+            "SBAIJ {} vs BAIJ {}",
+            s.stored_elems(),
+            full.stored_elems()
+        );
         assert_eq!(s.nnz(), a.nnz());
     }
 
@@ -201,8 +231,13 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_round_trips() {
-        let a = Csr::from_dense(4, 4, &[2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0,
-                                        0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 0.0, 5.0]);
+        let a = Csr::from_dense(
+            4,
+            4,
+            &[
+                2.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 0.0, 5.0,
+            ],
+        );
         let s = Sbaij::from_csr(&a, 2);
         let mut y = vec![0.0; 4];
         s.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);

@@ -78,7 +78,10 @@ impl<const C: usize> Sell<C> {
     /// length within windows of `sigma` rows (σ must be a positive multiple
     /// of `C`; σ = nrows gives full pJDS-style sorting).
     pub fn from_csr_sigma(csr: &Csr, sigma: usize) -> Self {
-        assert!(sigma > 0 && sigma.is_multiple_of(C), "sigma must be a positive multiple of C");
+        assert!(
+            sigma > 0 && sigma.is_multiple_of(C),
+            "sigma must be a positive multiple of C"
+        );
         let nrows = csr.nrows();
         let mut perm: Vec<u32> = (0..nrows as u32).collect();
         for window in perm.chunks_mut(sigma) {
@@ -89,7 +92,10 @@ impl<const C: usize> Sell<C> {
 
     /// Core conversion: storage lane `k` takes logical row `perm[k]`.
     fn build(csr: &Csr, perm: &[u32], keep_perm: bool) -> Self {
-        assert!(C > 0 && C.is_multiple_of(4) || C == 1 || C == 2, "unsupported slice height {C}");
+        assert!(
+            C > 0 && C.is_multiple_of(4) || C == 1 || C == 2,
+            "unsupported slice height {C}"
+        );
         let nrows = csr.nrows();
         let ncols = csr.ncols();
         let nslices = nrows.div_ceil(C);
@@ -225,7 +231,10 @@ impl<const C: usize> Sell<C> {
     pub fn get(&self, i: usize, j: usize) -> Option<f64> {
         let k = match &self.perm {
             None => i,
-            Some(p) => p.iter().position(|&r| r as usize == i).expect("perm covers all rows"),
+            Some(p) => p
+                .iter()
+                .position(|&r| r as usize == i)
+                .expect("perm covers all rows"),
         };
         let (s, r) = (k / C, k % C);
         let base = self.sliceptr[s];
@@ -275,7 +284,11 @@ impl<const C: usize> Sell<C> {
                 None => k,
                 Some(p) => p[k] as usize,
             };
-            assert_eq!(csr.row_len(row), self.rlen[row] as usize, "pattern mismatch: row {row}");
+            assert_eq!(
+                csr.row_len(row),
+                self.rlen[row] as usize,
+                "pattern mismatch: row {row}"
+            );
             let (s, r) = (k / C, k % C);
             let base = self.sliceptr[s];
             let vals = csr.row_vals(row);
@@ -313,19 +326,14 @@ impl<const C: usize> Sell<C> {
         check_spmv_dims(self.nrows, self.ncols, x, y);
         #[cfg(target_arch = "x86_64")]
         if C == 8 && self.perm.is_none() && Isa::Avx512.available() {
-            // SAFETY: AVX-512 availability checked; layout invariants are
-            // guaranteed by `from_csr` (aligned AVec, 8-aligned sliceptr,
-            // in-bounds padding indices).
-            unsafe {
-                crate::kernels::sell_avx512::spmv_unrolled::<false>(
-                    &self.sliceptr,
-                    &self.colidx,
-                    &self.val,
-                    self.nrows,
-                    x,
-                    y,
-                );
-            }
+            crate::kernels::dispatch::sell8_spmv_tuned(
+                &self.sliceptr,
+                &self.colidx,
+                &self.val,
+                self.nrows,
+                x,
+                y,
+            );
             return;
         }
         self.spmv(x, y);
@@ -333,16 +341,55 @@ impl<const C: usize> Sell<C> {
 
     fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
         match C {
-            4 => dispatch::sell4_spmv::<ADD>(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
+            4 => dispatch::sell4_spmv::<ADD>(
+                isa,
+                &self.sliceptr,
+                &self.colidx,
+                &self.val,
+                self.nrows,
+                x,
+                y,
+            ),
             8 => {
                 if ADD {
-                    dispatch::sell8_spmv_add(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y);
+                    dispatch::sell8_spmv_add(
+                        isa,
+                        &self.sliceptr,
+                        &self.colidx,
+                        &self.val,
+                        self.nrows,
+                        x,
+                        y,
+                    );
                 } else {
-                    dispatch::sell8_spmv(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y);
+                    dispatch::sell8_spmv(
+                        isa,
+                        &self.sliceptr,
+                        &self.colidx,
+                        &self.val,
+                        self.nrows,
+                        x,
+                        y,
+                    );
                 }
             }
-            16 => dispatch::sell16_spmv::<ADD>(isa, &self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
-            _ => sell_scalar::spmv::<C, ADD>(&self.sliceptr, &self.colidx, &self.val, self.nrows, x, y),
+            16 => dispatch::sell16_spmv::<ADD>(
+                isa,
+                &self.sliceptr,
+                &self.colidx,
+                &self.val,
+                self.nrows,
+                x,
+                y,
+            ),
+            _ => sell_scalar::spmv::<C, ADD>(
+                &self.sliceptr,
+                &self.colidx,
+                &self.val,
+                self.nrows,
+                x,
+                y,
+            ),
         }
     }
 }
@@ -371,8 +418,16 @@ impl<const C: usize> SpMv for Sell<C> {
     /// amortizing them across vectors multiplies the arithmetic intensity
     /// by nearly `k`.
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
-        assert_eq!(x.len(), k * self.ncols, "X must hold k column-major vectors");
-        assert_eq!(y.len(), k * self.nrows, "Y must hold k column-major vectors");
+        assert_eq!(
+            x.len(),
+            k * self.ncols,
+            "X must hold k column-major vectors"
+        );
+        assert_eq!(
+            y.len(),
+            k * self.nrows,
+            "Y must hold k column-major vectors"
+        );
         if self.perm.is_some() || k == 0 {
             // σ-sorted matrices take the per-vector path (scatter per call).
             for v in 0..k {
@@ -454,7 +509,9 @@ mod tests {
         // Small deterministic LCG so we don't need rand here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut b = CooBuilder::new(nrows, ncols);
@@ -510,7 +567,12 @@ mod tests {
             let mut got = vec![0.0; 100];
             s.spmv_isa(isa, &x, &mut got);
             for i in 0..100 {
-                assert!((got[i] - want[i]).abs() < 1e-12, "{isa} row {i}: {} vs {}", got[i], want[i]);
+                assert!(
+                    (got[i] - want[i]).abs() < 1e-12,
+                    "{isa} row {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
             }
         }
     }
@@ -622,7 +684,10 @@ mod tests {
             let mut y_single = vec![0.0; 45];
             s.spmv(&x[v * 38..(v + 1) * 38], &mut y_single);
             for i in 0..45 {
-                assert!((y_block[v * 45 + i] - y_single[i]).abs() < 1e-12, "v={v} row {i}");
+                assert!(
+                    (y_block[v * 45 + i] - y_single[i]).abs() < 1e-12,
+                    "v={v} row {i}"
+                );
             }
         }
     }

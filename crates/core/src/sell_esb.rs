@@ -71,13 +71,15 @@ impl SellEsb {
         check_spmv_dims(self.sell.nrows(), self.sell.ncols(), x, y);
         match isa {
             #[cfg(target_arch = "x86_64")]
-            Isa::Avx512 => {
-                assert!(isa.available(), "AVX-512 not available");
-                // SAFETY: features checked; layout invariants guaranteed by
-                // Sell8::from_csr (aligned AVec, 8-aligned sliceptr) and the
-                // bit array built to match above.
-                unsafe { self.spmv_avx512(x, y) }
-            }
+            Isa::Avx512 => crate::kernels::dispatch::sell_esb_spmv_avx512(
+                self.sell.sliceptr(),
+                self.sell.colidx(),
+                self.sell.values(),
+                &self.bits,
+                self.sell.nrows(),
+                x,
+                y,
+            ),
             _ => self.spmv_scalar(x, y),
         }
     }
@@ -104,42 +106,6 @@ impl SellEsb {
             col_at += w;
             let lanes = 8.min(nrows - s * 8);
             y[s * 8..s * 8 + lanes].copy_from_slice(&acc[..lanes]);
-        }
-    }
-
-    /// AVX-512 masked kernel: masked gather + masked FMA per column.
-    ///
-    /// # Safety
-    ///
-    /// CPU must support `avx512f`/`avx512vl`; invariants as documented on
-    /// [`crate::kernels::sell_avx512::spmv`].
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx512f,avx512vl")]
-    unsafe fn spmv_avx512(&self, x: &[f64], y: &mut [f64]) {
-        use std::arch::x86_64::*;
-        let sliceptr = self.sell.sliceptr();
-        let colidx = self.sell.colidx();
-        let val = self.sell.values();
-        let nrows = self.sell.nrows();
-        let xp = x.as_ptr();
-        let mut col_at = 0usize;
-        for s in 0..self.sell.nslices() {
-            let mut acc = _mm512_setzero_pd();
-            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
-            for j in 0..w {
-                // The ESB overhead the paper measures: a mask load and
-                // masked forms of every operation, per column.
-                let k: __mmask8 = *self.bits.as_ptr().add(col_at + j);
-                let base = sliceptr[s] + j * 8;
-                let v = _mm512_maskz_load_pd(k, val.as_ptr().add(base));
-                let ci = _mm256_load_si256(colidx.as_ptr().add(base) as *const __m256i);
-                let xv = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp);
-                acc = _mm512_mask3_fmadd_pd(v, xv, acc, k);
-            }
-            col_at += w;
-            let lanes = 8.min(nrows - s * 8);
-            let km: __mmask8 = if lanes == 8 { 0xff } else { (1u8 << lanes) - 1 };
-            _mm512_mask_storeu_pd(y.as_mut_ptr().add(s * 8), km, acc);
         }
     }
 }

@@ -44,8 +44,16 @@ pub trait SpMv: MatShape {
     /// to amortize matrix traffic across vectors (the whole point of
     /// blocking multiple right-hand sides).
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
-        assert_eq!(x.len(), k * self.ncols(), "X must hold k column-major vectors");
-        assert_eq!(y.len(), k * self.nrows(), "Y must hold k column-major vectors");
+        assert_eq!(
+            x.len(),
+            k * self.ncols(),
+            "X must hold k column-major vectors"
+        );
+        assert_eq!(
+            y.len(),
+            k * self.nrows(),
+            "Y must hold k column-major vectors"
+        );
         for v in 0..k {
             let xv = &x[v * self.ncols()..(v + 1) * self.ncols()];
             let yv = &mut y[v * self.nrows()..(v + 1) * self.nrows()];

@@ -67,8 +67,16 @@ impl<M: SpMv + FromCsr> DistMat<M> {
         let col_ranges = split_rows(global_cols, comm.size());
         let row_range = row_ranges[comm.rank()];
         let my_cols = col_ranges[comm.rank()];
-        assert_eq!(local.nrows(), row_range.len(), "local block has wrong number of rows");
-        assert_eq!(local.ncols(), global_cols, "local block must use global column indices");
+        assert_eq!(
+            local.nrows(),
+            row_range.len(),
+            "local block has wrong number of rows"
+        );
+        assert_eq!(
+            local.ncols(),
+            global_cols,
+            "local block must use global column indices"
+        );
 
         let m = local.nrows();
 
@@ -144,7 +152,11 @@ impl<M: SpMv + FromCsr> DistMat<M> {
     /// vectors.
     pub fn mult(&self, comm: &Comm, x_local: &[f64], y_local: &mut [f64]) {
         assert_eq!(x_local.len(), self.diag.ncols(), "x block length mismatch");
-        assert_eq!(y_local.len(), self.row_range.len(), "y block length mismatch");
+        assert_eq!(
+            y_local.len(),
+            self.row_range.len(),
+            "y block length mismatch"
+        );
         let mut ghost = self.ghost.borrow_mut();
         // (1) post nonblocking transfers of nonlocal x entries;
         let pending = self.scatter.begin(comm, x_local, &mut ghost);
@@ -207,7 +219,10 @@ impl DistMat<Csr> {
     /// CSR blocks, which carry a transpose kernel — matching PETSc, where
     /// `MatMultTranspose` support is per-format.
     pub fn mult_transpose(&self, comm: &Comm, x_local: &[f64], y_local: &mut [f64]) {
-        assert_eq!(self.global_rows, self.global_cols, "transpose product needs square layout");
+        assert_eq!(
+            self.global_rows, self.global_cols,
+            "transpose product needs square layout"
+        );
         assert_eq!(x_local.len(), self.row_range.len());
         assert_eq!(y_local.len(), self.diag.ncols());
         // Local part: diagᵀ · x.
@@ -256,7 +271,12 @@ mod tests {
         });
         for y in out {
             for i in 0..n {
-                assert!((y[i] - want[i]).abs() < 1e-12, "row {i}: {} vs {}", y[i], want[i]);
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-12,
+                    "row {i}: {} vs {}",
+                    y[i],
+                    want[i]
+                );
             }
         }
     }
@@ -340,8 +360,7 @@ mod tests {
             dm.mult(comm, &x[me.start..me.end], &mut y);
             let mut z = vec![0.0; me.len()];
             dm.mult_transpose(comm, &y, &mut z);
-            let local: f64 =
-                (me.start..me.end).map(|g| x[g] * z[g - me.start]).sum();
+            let local: f64 = (me.start..me.end).map(|g| x[g] * z[g - me.start]).sum();
             comm.allreduce_sum(local)
         });
         for v in out {

@@ -21,7 +21,11 @@ impl DistVec {
     /// communicator's ranks.
     pub fn zeros(comm: &Comm, global_len: usize) -> Self {
         let range = split_rows(global_len, comm.size())[comm.rank()];
-        Self { range, global_len, local: vec![0.0; range.len()] }
+        Self {
+            range,
+            global_len,
+            local: vec![0.0; range.len()],
+        }
     }
 
     /// Creates a vector with entry `g` set to `f(g)` for every global `g`.
@@ -56,7 +60,12 @@ impl DistVec {
     /// Global inner product (deterministic rank-ordered reduction).
     pub fn dot(&self, comm: &Comm, other: &DistVec) -> f64 {
         assert_eq!(self.global_len, other.global_len);
-        let local: f64 = self.local.iter().zip(&other.local).map(|(a, b)| a * b).sum();
+        let local: f64 = self
+            .local
+            .iter()
+            .zip(&other.local)
+            .map(|(a, b)| a * b)
+            .sum();
         comm.allreduce_sum(local)
     }
 

@@ -52,7 +52,11 @@ where
     Pc: Precond,
 {
     let rows = problem.local_rows(comm);
-    assert_eq!(x_local.len(), rows.len(), "x block does not match owned rows");
+    assert_eq!(
+        x_local.len(),
+        rows.len(),
+        "x block does not match owned rows"
+    );
     let nglobal = problem.global_dim();
     let nl = rows.len();
     let ip = DistDot { comm };
@@ -81,7 +85,13 @@ where
         }
     };
     if let Some(reason) = check(f0) {
-        return NewtonResult { iterations: 0, fnorm: f0, reason, linear_iterations, history };
+        return NewtonResult {
+            iterations: 0,
+            fnorm: f0,
+            reason,
+            linear_iterations,
+            history,
+        };
     }
 
     for it in 1..=cfg.max_it {
@@ -138,7 +148,13 @@ where
         fnorm = new_fnorm;
         history.push(fnorm);
         if let Some(reason) = check(fnorm) {
-            return NewtonResult { iterations: it, fnorm, reason, linear_iterations, history };
+            return NewtonResult {
+                iterations: it,
+                fnorm,
+                reason,
+                linear_iterations,
+                history,
+            };
         }
     }
 
@@ -153,19 +169,10 @@ where
 
 /// Extracts the square diagonal block of a local-rows matrix (global
 /// columns) for building the rank-local preconditioner.
-fn diag_block_of(
-    comm: &Comm,
-    local: &Csr,
-    nglobal: usize,
-    rows: &std::ops::Range<usize>,
-) -> Csr {
+fn diag_block_of(comm: &Comm, local: &Csr, nglobal: usize, rows: &std::ops::Range<usize>) -> Csr {
     let _ = comm;
     let _ = nglobal;
-    sellkit_core::matops::submatrix(
-        local,
-        0..local.nrows(),
-        rows.start..rows.end,
-    )
+    sellkit_core::matops::submatrix(local, 0..local.nrows(), rows.start..rows.end)
 }
 
 #[cfg(test)]
@@ -255,7 +262,10 @@ mod tests {
     fn distributed_newton_matches_sequential() {
         let n = 48;
         let g: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.3).sin() + 0.8).collect();
-        let cfg = NewtonConfig { rtol: 1e-10, ..Default::default() };
+        let cfg = NewtonConfig {
+            rtol: 1e-10,
+            ..Default::default()
+        };
 
         let mut x_seq = vec![0.4; n];
         let seq = newton::<Csr, _, _>(
@@ -276,7 +286,10 @@ mod tests {
                     comm,
                     &p,
                     &mut x,
-                    &NewtonConfig { rtol: 1e-10, ..Default::default() },
+                    &NewtonConfig {
+                        rtol: 1e-10,
+                        ..Default::default()
+                    },
                     100,
                     JacobiPc::from_csr,
                 );
@@ -311,6 +324,9 @@ mod tests {
             assert!(res.converged(), "{:?} fnorm {}", res.reason, res.fnorm);
             res.iterations
         });
-        assert!(out.windows(2).all(|w| w[0] == w[1]), "all ranks agree on iterations: {out:?}");
+        assert!(
+            out.windows(2).all(|w| w[0] == w[1]),
+            "all ranks agree on iterations: {out:?}"
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn split_rows(n: usize, size: usize) -> Vec<RowRange> {
     let mut at = 0;
     for r in 0..size {
         let len = base + usize::from(r < extra);
-        out.push(RowRange { start: at, end: at + len });
+        out.push(RowRange {
+            start: at,
+            end: at + len,
+        });
         at += len;
     }
     debug_assert_eq!(at, n);
@@ -75,7 +78,10 @@ mod tests {
     #[test]
     fn uneven_split_front_loads_extras() {
         let r = split_rows(10, 4);
-        assert_eq!(r.iter().map(RowRange::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        assert_eq!(
+            r.iter().map(RowRange::len).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
         assert_eq!(r[0], RowRange { start: 0, end: 3 });
         assert_eq!(r[2], RowRange { start: 6, end: 8 });
     }
@@ -83,7 +89,10 @@ mod tests {
     #[test]
     fn more_ranks_than_rows() {
         let r = split_rows(2, 5);
-        assert_eq!(r.iter().map(RowRange::len).collect::<Vec<_>>(), vec![1, 1, 0, 0, 0]);
+        assert_eq!(
+            r.iter().map(RowRange::len).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0, 0]
+        );
         assert!(r[4].is_empty());
     }
 

@@ -39,7 +39,10 @@ impl VecScatter {
     /// Collective: every rank must call this with its own `garray`.
     pub fn build(comm: &Comm, ranges: &[RowRange], garray: &[u32], tag: u64) -> Self {
         assert_eq!(ranges.len(), comm.size());
-        debug_assert!(garray.windows(2).all(|w| w[0] < w[1]), "garray must be sorted unique");
+        debug_assert!(
+            garray.windows(2).all(|w| w[0] < w[1]),
+            "garray must be sorted unique"
+        );
         let me = comm.rank();
 
         // Group my needs by owner; garray is sorted and ownership ranges
@@ -63,8 +66,10 @@ impl VecScatter {
             }
             let from_me = &needs[me];
             if !from_me.is_empty() {
-                let local: Vec<u32> =
-                    from_me.iter().map(|&g| (g as usize - my_start) as u32).collect();
+                let local: Vec<u32> = from_me
+                    .iter()
+                    .map(|&g| (g as usize - my_start) as u32)
+                    .collect();
                 sends.push((d, local));
             }
         }
@@ -88,7 +93,13 @@ impl VecScatter {
         }
         debug_assert_eq!(offset, garray.len());
 
-        Self { tag, sends, recvs, local_copies, nghost: garray.len() }
+        Self {
+            tag,
+            sends,
+            recvs,
+            local_copies,
+            nghost: garray.len(),
+        }
     }
 
     /// Ghost buffer length this plan fills.
@@ -142,10 +153,18 @@ impl VecScatter {
     ///
     /// Collective: every rank participating in the plan must call it.
     pub fn reverse_add(&self, comm: &Comm, ghost_contrib: &[f64], y_local: &mut [f64]) {
-        assert_eq!(ghost_contrib.len(), self.nghost, "ghost buffer length mismatch");
+        assert_eq!(
+            ghost_contrib.len(),
+            self.nghost,
+            "ghost buffer length mismatch"
+        );
         // Roles swap: the forward plan's receive segments become sends…
         for &(src, len, off) in &self.recvs {
-            comm.isend(src, self.tag ^ REVERSE_TAG_FLIP, ghost_contrib[off..off + len].to_vec());
+            comm.isend(
+                src,
+                self.tag ^ REVERSE_TAG_FLIP,
+                ghost_contrib[off..off + len].to_vec(),
+            );
         }
         // …self-owned slots are added locally…
         for &(i, off) in &self.local_copies {
@@ -182,7 +201,8 @@ mod tests {
             let me = ranges[comm.rank()];
             let x_local: Vec<f64> = (me.start..me.end).map(|g| g as f64 * 10.0).collect();
             // Need the two entries "across the boundary" plus entry 0.
-            let mut garray: Vec<u32> = vec![0, ((me.end) % n) as u32, ((me.start + n - 1) % n) as u32];
+            let mut garray: Vec<u32> =
+                vec![0, ((me.end) % n) as u32, ((me.start + n - 1) % n) as u32];
             garray.sort_unstable();
             garray.dedup();
             // Drop self-owned from the interesting set? Keep them — the plan
@@ -221,13 +241,15 @@ mod tests {
             let me = ranges[comm.rank()];
             // Each rank needs everything from the other rank.
             let other = 1 - comm.rank();
-            let garray: Vec<u32> =
-                (ranges[other].start..ranges[other].end).map(|g| g as u32).collect();
+            let garray: Vec<u32> = (ranges[other].start..ranges[other].end)
+                .map(|g| g as u32)
+                .collect();
             let plan = VecScatter::build(comm, &ranges, &garray, 9);
             let mut results = Vec::new();
             for round in 0..5 {
-                let x_local: Vec<f64> =
-                    (me.start..me.end).map(|g| (g * (round + 1)) as f64).collect();
+                let x_local: Vec<f64> = (me.start..me.end)
+                    .map(|g| (g * (round + 1)) as f64)
+                    .collect();
                 let mut ghost = vec![0.0; plan.nghost()];
                 let h = plan.begin(comm, &x_local, &mut ghost);
                 plan.end(comm, h, &mut ghost);

@@ -76,8 +76,18 @@ mod tests {
         let rhs: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
         // Sequential reference.
         let mut x_seq = vec![0.0; n];
-        let cfg = KspConfig { rtol: 1e-10, ..Default::default() };
-        gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &rhs, &mut x_seq, &cfg);
+        let cfg = KspConfig {
+            rtol: 1e-10,
+            ..Default::default()
+        };
+        gmres(
+            &MatOperator(&a),
+            &IdentityPc,
+            &SeqDot,
+            &rhs,
+            &mut x_seq,
+            &cfg,
+        );
 
         let a2 = a.clone();
         let rhs2 = rhs.clone();
@@ -92,7 +102,10 @@ mod tests {
                 &DistDot { comm },
                 &b_local,
                 &mut x,
-                &KspConfig { rtol: 1e-10, ..Default::default() },
+                &KspConfig {
+                    rtol: 1e-10,
+                    ..Default::default()
+                },
             );
             assert!(res.converged());
             let mut xv = DistVec::zeros(comm, 96);
@@ -137,7 +150,10 @@ mod tests {
                     &DistDot { comm },
                     &b_local,
                     &mut x,
-                    &KspConfig { rtol: 1e-8, ..Default::default() },
+                    &KspConfig {
+                        rtol: 1e-8,
+                        ..Default::default()
+                    },
                 );
                 res.iterations
             });

@@ -63,8 +63,15 @@ impl Grid2D {
 
     /// The next-coarser grid (dimensions halved); requires even sizes.
     pub fn coarsen(&self) -> Grid2D {
-        assert!(self.nx.is_multiple_of(2) && self.ny.is_multiple_of(2), "grid not coarsenable: {self:?}");
-        Grid2D { nx: self.nx / 2, ny: self.ny / 2, dof: self.dof }
+        assert!(
+            self.nx.is_multiple_of(2) && self.ny.is_multiple_of(2),
+            "grid not coarsenable: {self:?}"
+        );
+        Grid2D {
+            nx: self.nx / 2,
+            ny: self.ny / 2,
+            dof: self.dof,
+        }
     }
 
     /// How many times the grid can be halved (bounded by divisibility and

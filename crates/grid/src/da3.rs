@@ -70,10 +70,15 @@ impl Grid3D {
     /// The next-coarser grid (all dimensions halved); requires even sizes.
     pub fn coarsen(&self) -> Grid3D {
         assert!(
-            self.nx % 2 == 0 && self.ny % 2 == 0 && self.nz % 2 == 0,
+            self.nx.is_multiple_of(2) && self.ny.is_multiple_of(2) && self.nz.is_multiple_of(2),
             "grid not coarsenable: {self:?}"
         );
-        Grid3D { nx: self.nx / 2, ny: self.ny / 2, nz: self.nz / 2, dof: self.dof }
+        Grid3D {
+            nx: self.nx / 2,
+            ny: self.ny / 2,
+            nz: self.nz / 2,
+            dof: self.dof,
+        }
     }
 }
 
@@ -92,9 +97,14 @@ pub fn laplacian_7pt(grid: &Grid3D, coeff: &[f64], h: f64) -> Csr {
                     let row = grid.idx(x as usize, y as usize, z as usize, c);
                     let k = coeff[c] * ih2;
                     b.push(row, grid.idx_wrap(x, y, z, c), 6.0 * k);
-                    for (dx, dy, dz) in
-                        [(-1isize, 0isize, 0isize), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
-                    {
+                    for (dx, dy, dz) in [
+                        (-1isize, 0isize, 0isize),
+                        (1, 0, 0),
+                        (0, -1, 0),
+                        (0, 1, 0),
+                        (0, 0, -1),
+                        (0, 0, 1),
+                    ] {
                         b.push(row, grid.idx_wrap(x + dx, y + dy, z + dz, c), -k);
                     }
                 }
@@ -120,12 +130,21 @@ pub fn trilinear_interpolation(fine: &Grid3D) -> Csr {
                 let (cx, cy, cz) = ((x / 2) as isize, (y / 2) as isize, (z / 2) as isize);
                 // Per direction: coincident → one point weight 1;
                 // midpoint → two points weight ½ each.
-                let xs: &[(isize, f64)] =
-                    if x % 2 == 0 { &[(0, 1.0)] } else { &[(0, 0.5), (1, 0.5)] };
-                let ys: &[(isize, f64)] =
-                    if y % 2 == 0 { &[(0, 1.0)] } else { &[(0, 0.5), (1, 0.5)] };
-                let zs: &[(isize, f64)] =
-                    if z % 2 == 0 { &[(0, 1.0)] } else { &[(0, 0.5), (1, 0.5)] };
+                let xs: &[(isize, f64)] = if x % 2 == 0 {
+                    &[(0, 1.0)]
+                } else {
+                    &[(0, 0.5), (1, 0.5)]
+                };
+                let ys: &[(isize, f64)] = if y % 2 == 0 {
+                    &[(0, 1.0)]
+                } else {
+                    &[(0, 0.5), (1, 0.5)]
+                };
+                let zs: &[(isize, f64)] = if z % 2 == 0 {
+                    &[(0, 1.0)]
+                } else {
+                    &[(0, 0.5), (1, 0.5)]
+                };
                 for c in 0..fine.dof {
                     let row = fine.idx(x, y, z, c);
                     for &(dx, wx) in xs {
@@ -201,10 +220,10 @@ mod tests {
 
     #[test]
     fn multigrid_works_in_3d() {
+        use sellkit_core::CooBuilder;
         use sellkit_solvers::ksp::{gmres, KspConfig};
         use sellkit_solvers::operator::{MatOperator, SeqDot};
         use sellkit_solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
-        use sellkit_core::CooBuilder;
 
         // Shifted periodic 3D Laplacian (definite).
         let g = Grid3D::cube(8);
@@ -222,11 +241,17 @@ mod tests {
         let mg: Multigrid<Csr> = Multigrid::new(
             &a,
             &interps,
-            MultigridConfig { coarse: CoarseSolve::Direct, ..Default::default() },
+            MultigridConfig {
+                coarse: CoarseSolve::Direct,
+                ..Default::default()
+            },
         );
         let rhs: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
         let mut x_mg = vec![0.0; n];
-        let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let r_mg = gmres(&MatOperator(&a), &mg, &SeqDot, &rhs, &mut x_mg, &cfg);
         assert!(r_mg.converged());
         let mut x_nopc = vec![0.0; n];

@@ -115,7 +115,11 @@ mod tests {
         for i in 0..fine.n_unknowns() {
             let (x, _, _) = fine.coords(i);
             if x < fine.nx - 1 {
-                assert!((xf[i] - x as f64).abs() < 1e-12, "node {i} x={x}: {}", xf[i]);
+                assert!(
+                    (xf[i] - x as f64).abs() < 1e-12,
+                    "node {i} x={x}: {}",
+                    xf[i]
+                );
             }
         }
     }

@@ -81,7 +81,10 @@ impl KernelKind {
     pub fn is_sell(self) -> bool {
         matches!(
             self,
-            KernelKind::SellAvx512 | KernelKind::SellAvx2 | KernelKind::SellAvx | KernelKind::SellNovec
+            KernelKind::SellAvx512
+                | KernelKind::SellAvx2
+                | KernelKind::SellAvx
+                | KernelKind::SellNovec
         )
     }
 
@@ -140,7 +143,11 @@ impl KernelKind {
     pub fn is_avx_heavy(self) -> bool {
         !matches!(
             self,
-            KernelKind::CsrBaseline | KernelKind::CsrNovec | KernelKind::SellNovec | KernelKind::CsrPerm | KernelKind::MklCsr
+            KernelKind::CsrBaseline
+                | KernelKind::CsrNovec
+                | KernelKind::SellNovec
+                | KernelKind::CsrPerm
+                | KernelKind::MklCsr
         )
     }
 }
@@ -175,8 +182,14 @@ mod tests {
         let r = |k: KernelKind| k.elems_per_cycle(&knl);
         // SELL tiers above CSR tiers above baseline above MKL.
         assert!(r(KernelKind::SellAvx512) > r(KernelKind::SellAvx));
-        assert!(r(KernelKind::SellAvx) > r(KernelKind::SellAvx2), "AVX beats AVX2 for SELL? No — paper says comparable; SELL AVX is 1.8x, AVX2 1.7x");
-        assert!(r(KernelKind::CsrAvx) > r(KernelKind::CsrAvx2), "the §7.2 AVX2 regression for CSR");
+        assert!(
+            r(KernelKind::SellAvx) > r(KernelKind::SellAvx2),
+            "AVX beats AVX2 for SELL? No — paper says comparable; SELL AVX is 1.8x, AVX2 1.7x"
+        );
+        assert!(
+            r(KernelKind::CsrAvx) > r(KernelKind::CsrAvx2),
+            "the §7.2 AVX2 regression for CSR"
+        );
         assert!(r(KernelKind::CsrAvx512) > r(KernelKind::CsrAvx));
         assert!(r(KernelKind::CsrBaseline) > r(KernelKind::MklCsr));
         assert_eq!(r(KernelKind::CsrPerm), r(KernelKind::CsrBaseline));

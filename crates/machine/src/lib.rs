@@ -27,8 +27,11 @@
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::too_many_arguments,
+    clippy::type_complexity
+)]
 
 pub mod calibrate;
 pub mod modes;
@@ -41,5 +44,7 @@ pub use calibrate::KernelKind;
 pub use modes::MemoryMode;
 pub use predict::{predict_gflops, predict_spmv_seconds, MatrixShape};
 pub use roofline::{Roofline, RooflinePoint};
-pub use specs::{broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, knl_7250, skylake_8180m, ProcessorSpec};
+pub use specs::{
+    broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, knl_7250, skylake_8180m, ProcessorSpec,
+};
 pub use stream_model::StreamCurve;

@@ -17,7 +17,11 @@ pub enum MemoryMode {
 
 impl MemoryMode {
     /// All three modes, in the order Figure 7 plots them.
-    pub const ALL: [MemoryMode; 3] = [MemoryMode::FlatMcdram, MemoryMode::FlatDdr, MemoryMode::Cache];
+    pub const ALL: [MemoryMode; 3] = [
+        MemoryMode::FlatMcdram,
+        MemoryMode::FlatDdr,
+        MemoryMode::Cache,
+    ];
 }
 
 impl fmt::Display for MemoryMode {

@@ -24,7 +24,11 @@ impl MatrixShape {
     /// nonzeros per row (§7).
     pub fn gray_scott(g: usize) -> Self {
         let m = 2 * g * g;
-        Self { m, n: m, nnz: 10 * m }
+        Self {
+            m,
+            n: m,
+            nnz: 10 * m,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ pub fn predict_gflops(
     p: usize,
     shape: MatrixShape,
 ) -> f64 {
-    assert!(p >= 1 && p <= spec.cores, "process count {p} exceeds {} cores", spec.cores);
+    assert!(
+        p >= 1 && p <= spec.cores,
+        "process count {p} exceeds {} cores",
+        spec.cores
+    );
     let traffic = if kernel.is_sell() {
         sell_traffic(shape.m, shape.n, shape.nnz)
     } else {
@@ -75,7 +83,11 @@ pub fn predict_gflops(
     let bw = bandwidth_gbs(spec, mode, p, kernel.is_avx_heavy());
     let mem_roof = ai * bw * 0.93;
 
-    let freq = if kernel.is_avx_heavy() { spec.avx_ghz() } else { spec.base_ghz };
+    let freq = if kernel.is_avx_heavy() {
+        spec.avx_ghz()
+    } else {
+        spec.base_ghz
+    };
     let inst_roof = 2.0 * kernel.elems_per_cycle(spec) * p as f64 * freq;
 
     mem_roof.min(inst_roof) * kernel.overhead_factor()
@@ -113,14 +125,20 @@ mod tests {
     #[test]
     fn sell_avx512_is_twofold_over_baseline() {
         let ratio = knl_fig8(KernelKind::SellAvx512) / knl_fig8(KernelKind::CsrBaseline);
-        assert!((1.8..=2.2).contains(&ratio), "SELL-AVX512 / baseline = {ratio}");
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "SELL-AVX512 / baseline = {ratio}"
+        );
     }
 
     /// §7.2: hand-vectorized CSR gains 54 % over the compiler baseline.
     #[test]
     fn csr_avx512_gains_fiftyfour_percent() {
         let ratio = knl_fig8(KernelKind::CsrAvx512) / knl_fig8(KernelKind::CsrBaseline);
-        assert!((1.4..=1.7).contains(&ratio), "CSR-AVX512 / baseline = {ratio}");
+        assert!(
+            (1.4..=1.7).contains(&ratio),
+            "CSR-AVX512 / baseline = {ratio}"
+        );
     }
 
     /// §7.2: SELL-AVX ≈ 1.8×, SELL-AVX2 ≈ 1.7× baseline.
@@ -149,10 +167,20 @@ mod tests {
     #[test]
     fn strong_scaling_on_knl() {
         for kernel in KernelKind::FIG8 {
-            let p16 = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, kernel, 16,
-                MatrixShape::gray_scott(2048));
-            let p64 = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, kernel, 64,
-                MatrixShape::gray_scott(2048));
+            let p16 = predict_gflops(
+                &knl_7230(),
+                MemoryMode::FlatMcdram,
+                kernel,
+                16,
+                MatrixShape::gray_scott(2048),
+            );
+            let p64 = predict_gflops(
+                &knl_7230(),
+                MemoryMode::FlatMcdram,
+                kernel,
+                64,
+                MatrixShape::gray_scott(2048),
+            );
             let speedup = p64 / p16;
             assert!(speedup > 2.4, "{kernel}: 16→64 procs speedup {speedup}");
         }
@@ -175,10 +203,20 @@ mod tests {
     #[test]
     fn grid_size_insensitivity() {
         let knl = knl_7230();
-        let g1 = predict_gflops(&knl, MemoryMode::Cache, KernelKind::CsrBaseline, 64,
-            MatrixShape::gray_scott(1024));
-        let g2 = predict_gflops(&knl, MemoryMode::Cache, KernelKind::CsrBaseline, 64,
-            MatrixShape::gray_scott(4096));
+        let g1 = predict_gflops(
+            &knl,
+            MemoryMode::Cache,
+            KernelKind::CsrBaseline,
+            64,
+            MatrixShape::gray_scott(1024),
+        );
+        let g2 = predict_gflops(
+            &knl,
+            MemoryMode::Cache,
+            KernelKind::CsrBaseline,
+            64,
+            MatrixShape::gray_scott(4096),
+        );
         assert!((g1 / g2 - 1.0).abs() < 0.02);
     }
 
@@ -187,16 +225,42 @@ mod tests {
     fn sell_gain_by_architecture() {
         let shape = MatrixShape::gray_scott(2048);
         for spec in [haswell_e5_2699v3(), broadwell_e5_2699v4(), skylake_8180m()] {
-            let sell = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::SellAvx512,
-                spec.cores, shape);
-            let csr = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::CsrBaseline,
-                spec.cores, shape);
+            let sell = predict_gflops(
+                &spec,
+                MemoryMode::FlatDdr,
+                KernelKind::SellAvx512,
+                spec.cores,
+                shape,
+            );
+            let csr = predict_gflops(
+                &spec,
+                MemoryMode::FlatDdr,
+                KernelKind::CsrBaseline,
+                spec.cores,
+                shape,
+            );
             let gain = sell / csr;
-            assert!(gain < 1.25, "{}: SELL gain must be marginal, got {gain}", spec.name);
+            assert!(
+                gain < 1.25,
+                "{}: SELL gain must be marginal, got {gain}",
+                spec.name
+            );
         }
         let knl = knl_7230();
-        let sell = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::SellAvx512, 64, shape);
-        let csr = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::CsrBaseline, 64, shape);
+        let sell = predict_gflops(
+            &knl,
+            MemoryMode::FlatMcdram,
+            KernelKind::SellAvx512,
+            64,
+            shape,
+        );
+        let csr = predict_gflops(
+            &knl,
+            MemoryMode::FlatMcdram,
+            KernelKind::CsrBaseline,
+            64,
+            shape,
+        );
         assert!(sell / csr > 1.8, "KNL gain {}", sell / csr);
     }
 
@@ -205,7 +269,13 @@ mod tests {
     fn skylake_leads_conventional_xeons() {
         let shape = MatrixShape::gray_scott(2048);
         let perf = |spec: &crate::specs::ProcessorSpec| {
-            predict_gflops(spec, MemoryMode::FlatDdr, KernelKind::SellAvx512, spec.cores, shape)
+            predict_gflops(
+                spec,
+                MemoryMode::FlatDdr,
+                KernelKind::SellAvx512,
+                spec.cores,
+                shape,
+            )
         };
         let skl = perf(&skylake_8180m());
         let bdw = perf(&broadwell_e5_2699v4());
@@ -218,9 +288,21 @@ mod tests {
     #[test]
     fn knl_wins_overall() {
         let shape = MatrixShape::gray_scott(2048);
-        let knl = predict_gflops(&knl_7230(), MemoryMode::FlatMcdram, KernelKind::SellAvx512, 64, shape);
+        let knl = predict_gflops(
+            &knl_7230(),
+            MemoryMode::FlatMcdram,
+            KernelKind::SellAvx512,
+            64,
+            shape,
+        );
         for spec in [haswell_e5_2699v3(), broadwell_e5_2699v4(), skylake_8180m()] {
-            let x = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::SellAvx512, spec.cores, shape);
+            let x = predict_gflops(
+                &spec,
+                MemoryMode::FlatDdr,
+                KernelKind::SellAvx512,
+                spec.cores,
+                shape,
+            );
             assert!(knl > 1.5 * x, "KNL {knl} vs {} {x}", spec.name);
         }
     }
@@ -228,8 +310,20 @@ mod tests {
     #[test]
     fn time_is_inverse_of_gflops() {
         let shape = MatrixShape::gray_scott(1024);
-        let g = predict_gflops(&knl_7230(), MemoryMode::Cache, KernelKind::SellAvx512, 64, shape);
-        let t = predict_spmv_seconds(&knl_7230(), MemoryMode::Cache, KernelKind::SellAvx512, 64, shape);
+        let g = predict_gflops(
+            &knl_7230(),
+            MemoryMode::Cache,
+            KernelKind::SellAvx512,
+            64,
+            shape,
+        );
+        let t = predict_spmv_seconds(
+            &knl_7230(),
+            MemoryMode::Cache,
+            KernelKind::SellAvx512,
+            64,
+            shape,
+        );
         let flops = 2.0 * shape.nnz as f64;
         assert!((t - flops / (g * 1e9)).abs() < 1e-15);
     }

@@ -61,9 +61,19 @@ impl Roofline {
                     sellkit_core::traffic::csr_traffic(shape.m, shape.n, shape.nnz)
                 };
                 let ai = traffic.arithmetic_intensity();
-                let gflops =
-                    predict_gflops(spec, MemoryMode::FlatMcdram, kernel, spec.cores.min(64), shape);
-                RooflinePoint { kernel, ai, gflops, roof_fraction: gflops / self.attainable(ai, dram) }
+                let gflops = predict_gflops(
+                    spec,
+                    MemoryMode::FlatMcdram,
+                    kernel,
+                    spec.cores.min(64),
+                    shape,
+                );
+                RooflinePoint {
+                    kernel,
+                    ai,
+                    gflops,
+                    roof_fraction: gflops / self.attainable(ai, dram),
+                }
             })
             .collect()
     }
@@ -97,10 +107,24 @@ mod tests {
         // MCDRAM roofline".
         let r = Roofline::theta_knl();
         let pts = r.place_kernels(&knl_7230());
-        let sell = pts.iter().find(|p| p.kernel == KernelKind::SellAvx512).expect("present");
-        assert!(sell.roof_fraction > 0.80, "roof fraction {}", sell.roof_fraction);
-        let base = pts.iter().find(|p| p.kernel == KernelKind::CsrBaseline).expect("present");
-        assert!(base.roof_fraction < 0.55, "baseline must sit well below: {}", base.roof_fraction);
+        let sell = pts
+            .iter()
+            .find(|p| p.kernel == KernelKind::SellAvx512)
+            .expect("present");
+        assert!(
+            sell.roof_fraction > 0.80,
+            "roof fraction {}",
+            sell.roof_fraction
+        );
+        let base = pts
+            .iter()
+            .find(|p| p.kernel == KernelKind::CsrBaseline)
+            .expect("present");
+        assert!(
+            base.roof_fraction < 0.55,
+            "baseline must sit well below: {}",
+            base.roof_fraction
+        );
     }
 
     #[test]

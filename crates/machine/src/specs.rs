@@ -138,7 +138,12 @@ pub fn skylake_8180m() -> ProcessorSpec {
 
 /// All four processors of Table 1, in the paper's column order.
 pub fn table1() -> Vec<ProcessorSpec> {
-    vec![knl_7230(), broadwell_e5_2699v4(), haswell_e5_2699v3(), skylake_8180m()]
+    vec![
+        knl_7230(),
+        broadwell_e5_2699v4(),
+        haswell_e5_2699v3(),
+        skylake_8180m(),
+    ]
 }
 
 #[cfg(test)]

@@ -33,7 +33,9 @@ impl StreamCurve {
     /// Smallest process count achieving 95 % of the asymptote (the
     /// "processes needed to saturate" number quoted in §2.6).
     pub fn saturation_procs(&self) -> usize {
-        (1..=4096).find(|&p| self.at(p) >= 0.95 * self.bmax_gbs).unwrap_or(4096)
+        (1..=4096)
+            .find(|&p| self.at(p) >= 0.95 * self.bmax_gbs)
+            .unwrap_or(4096)
     }
 }
 
@@ -44,21 +46,42 @@ impl StreamCurve {
 /// procs, flat+novec ≈ 220 GB/s, cache+novec ≈ 320 GB/s.
 pub fn knl_stream_curve(mode: MemoryMode, vectorized: bool) -> StreamCurve {
     match (mode, vectorized) {
-        (MemoryMode::FlatMcdram, true) => StreamCurve { bmax_gbs: 490.0, tau: 19.0 },
-        (MemoryMode::FlatMcdram, false) => StreamCurve { bmax_gbs: 220.0, tau: 16.0 },
-        (MemoryMode::Cache, true) => StreamCurve { bmax_gbs: 345.0, tau: 13.0 },
-        (MemoryMode::Cache, false) => StreamCurve { bmax_gbs: 320.0, tau: 13.0 },
+        (MemoryMode::FlatMcdram, true) => StreamCurve {
+            bmax_gbs: 490.0,
+            tau: 19.0,
+        },
+        (MemoryMode::FlatMcdram, false) => StreamCurve {
+            bmax_gbs: 220.0,
+            tau: 16.0,
+        },
+        (MemoryMode::Cache, true) => StreamCurve {
+            bmax_gbs: 345.0,
+            tau: 13.0,
+        },
+        (MemoryMode::Cache, false) => StreamCurve {
+            bmax_gbs: 320.0,
+            tau: 13.0,
+        },
         // DDR: the channels saturate with only a handful of cores, and
         // (unlike MCDRAM) they saturate with or without vector loads.
-        (MemoryMode::FlatDdr, true) => StreamCurve { bmax_gbs: 115.2, tau: 5.0 },
-        (MemoryMode::FlatDdr, false) => StreamCurve { bmax_gbs: 110.0, tau: 5.0 },
+        (MemoryMode::FlatDdr, true) => StreamCurve {
+            bmax_gbs: 115.2,
+            tau: 5.0,
+        },
+        (MemoryMode::FlatDdr, false) => StreamCurve {
+            bmax_gbs: 110.0,
+            tau: 5.0,
+        },
     }
 }
 
 /// A generic curve for conventional Xeons: DDR saturates with a fraction
 /// of the cores.
 pub fn xeon_stream_curve(spec: &ProcessorSpec) -> StreamCurve {
-    StreamCurve { bmax_gbs: spec.ddr_gbs, tau: spec.cores as f64 / 5.0 }
+    StreamCurve {
+        bmax_gbs: spec.ddr_gbs,
+        tau: spec.cores as f64 / 5.0,
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +94,11 @@ mod tests {
         let sat = c.saturation_procs();
         assert!((54..=62).contains(&sat), "saturation at {sat} procs");
         assert!(c.at(64) > 450.0);
-        assert!(c.at(8) < 200.0, "8 procs must be far from saturation: {}", c.at(8));
+        assert!(
+            c.at(8) < 200.0,
+            "8 procs must be far from saturation: {}",
+            c.at(8)
+        );
     }
 
     #[test]
@@ -89,8 +116,14 @@ mod tests {
             / knl_stream_curve(MemoryMode::FlatMcdram, false).at(64);
         let cache_gap = knl_stream_curve(MemoryMode::Cache, true).at(64)
             / knl_stream_curve(MemoryMode::Cache, false).at(64);
-        assert!(flat_gap > 2.0, "flat: novec must be dramatically slower ({flat_gap})");
-        assert!(cache_gap < 1.15, "cache: novec only slightly slower ({cache_gap})");
+        assert!(
+            flat_gap > 2.0,
+            "flat: novec must be dramatically slower ({flat_gap})"
+        );
+        assert!(
+            cache_gap < 1.15,
+            "cache: novec only slightly slower ({cache_gap})"
+        );
     }
 
     #[test]

@@ -58,12 +58,16 @@ impl Comm {
 
     /// Max-reduction across all ranks.
     pub fn allreduce_max(&self, value: f64) -> f64 {
-        self.allgather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.allgather(value)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Min-reduction across all ranks.
     pub fn allreduce_min(&self, value: f64) -> f64 {
-        self.allgather(value).into_iter().fold(f64::INFINITY, f64::min)
+        self.allgather(value)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Broadcasts `value` from `root` to every rank.
@@ -114,7 +118,11 @@ impl Comm {
                     all[src] = Some(self.recv::<T>(src, COLL_TAG + 3));
                 }
             }
-            Some(all.into_iter().map(|v| v.expect("every slot filled")).collect())
+            Some(
+                all.into_iter()
+                    .map(|v| v.expect("every slot filled"))
+                    .collect(),
+            )
         } else {
             self.isend(root, COLL_TAG + 3, value);
             None
@@ -196,7 +204,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let out = run(5, |comm| {
-            let v = if comm.rank() == 3 { Some("hello".to_string()) } else { None };
+            let v = if comm.rank() == 3 {
+                Some("hello".to_string())
+            } else {
+                None
+            };
             comm.broadcast(3, v)
         });
         assert!(out.iter().all(|s| s == "hello"));
@@ -225,8 +237,8 @@ mod tests {
     #[test]
     fn scatter_distributes_chunks() {
         let out = run(3, |comm| {
-            let chunks = (comm.rank() == 0)
-                .then(|| vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+            let chunks =
+                (comm.rank() == 0).then(|| vec!["a".to_string(), "b".to_string(), "c".to_string()]);
             comm.scatter_from_root(0, chunks)
         });
         assert_eq!(out, vec!["a", "b", "c"]);
@@ -236,7 +248,7 @@ mod tests {
     fn gather_then_scatter_round_trips() {
         let out = run(4, |comm| {
             let gathered = comm.gather(0, comm.rank() as u64 + 100);
-            
+
             comm.scatter_from_root(0, gathered)
         });
         assert_eq!(out, vec![100, 101, 102, 103]);

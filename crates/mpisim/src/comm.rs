@@ -51,7 +51,11 @@ impl Comm {
     pub fn isend<T: Send + 'static>(&self, dst: usize, tag: u64, data: T) {
         assert!(dst < self.size, "destination rank {dst} out of range");
         self.senders[dst]
-            .send(Envelope { src: self.rank, tag, payload: Box::new(data) })
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(data),
+            })
             .expect("receiver thread exited before communication completed");
     }
 
@@ -153,7 +157,13 @@ where
         for (rank, inbox) in receivers.into_iter().enumerate() {
             let senders = senders.clone();
             handles.push(scope.spawn(move |_| {
-                let comm = Comm { rank, size, senders, inbox, pending: RefCell::new(HashMap::new()) };
+                let comm = Comm {
+                    rank,
+                    size,
+                    senders,
+                    inbox,
+                    pending: RefCell::new(HashMap::new()),
+                };
                 f(&comm)
             }));
         }

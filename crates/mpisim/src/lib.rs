@@ -37,8 +37,11 @@
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::too_many_arguments,
+    clippy::type_complexity
+)]
 
 pub mod collective;
 pub mod comm;

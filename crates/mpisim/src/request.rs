@@ -20,7 +20,11 @@ pub struct RecvRequest<T> {
 
 impl<T: Send + 'static> RecvRequest<T> {
     pub(crate) fn new(src: usize, tag: u64) -> Self {
-        Self { src, tag, _marker: PhantomData }
+        Self {
+            src,
+            tag,
+            _marker: PhantomData,
+        }
     }
 
     /// The source rank this request matches.

@@ -26,7 +26,12 @@ pub fn bicgstab<O: Operator, P: Precond, D: InnerProduct>(
     let r0 = ip.norm(&r);
     let mut history = vec![r0];
     if let Some(reason) = test_convergence(r0, r0, cfg) {
-        return KspResult { iterations: 0, residual: r0, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0,
+            reason,
+            history,
+        };
     }
 
     let mut rho = 1.0f64;
@@ -74,7 +79,12 @@ pub fn bicgstab<O: Operator, P: Precond, D: InnerProduct>(
         if let Some(reason) = test_convergence(snorm, r0, cfg) {
             vecops::axpy(alpha, &ph, x);
             history.push(snorm);
-            return KspResult { iterations: it, residual: snorm, reason, history };
+            return KspResult {
+                iterations: it,
+                residual: snorm,
+                reason,
+                history,
+            };
         }
         pc.apply(&s, &mut sh);
         op.apply(&sh, &mut t);
@@ -95,7 +105,12 @@ pub fn bicgstab<O: Operator, P: Precond, D: InnerProduct>(
         let rnorm = ip.norm(&r);
         history.push(rnorm);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
         if omega.abs() < 1e-300 {
             return KspResult {
@@ -134,7 +149,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged(), "{:?}", res.reason);
         assert!(true_residual(&a, &x, &b) < 1e-6);
@@ -151,7 +169,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-6);
@@ -162,7 +183,10 @@ mod tests {
         let a = convdiff2d(8, 3.0);
         let n = 64;
         let b: Vec<f64> = (0..n).map(|i| ((i * i) % 11) as f64 - 5.0).collect();
-        let cfg = KspConfig { rtol: 1e-12, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-12,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let mut x2 = vec![0.0; n];
         bicgstab(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x1, &cfg);

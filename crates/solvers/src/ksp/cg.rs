@@ -32,7 +32,12 @@ pub fn cg<O: Operator, P: Precond, D: InnerProduct>(
     let r0 = ip.norm(&r);
     history.push(r0);
     if let Some(reason) = test_convergence(r0, r0, cfg) {
-        return KspResult { iterations: 0, residual: r0, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0,
+            reason,
+            history,
+        };
     }
     p.copy_from_slice(&z);
 
@@ -54,7 +59,12 @@ pub fn cg<O: Operator, P: Precond, D: InnerProduct>(
         let rnorm = ip.norm(&r);
         history.push(rnorm);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
 
         pc.apply(&r, &mut z);
@@ -92,7 +102,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-7);
@@ -103,13 +116,21 @@ mod tests {
         let a = laplace2d(7);
         let n = 49;
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
-        let cfg = KspConfig { rtol: 1e-12, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-12,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let mut x2 = vec![0.0; n];
         cg(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x1, &cfg);
         super::super::gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x2, &cfg);
         for i in 0..n {
-            assert!((x1[i] - x2[i]).abs() < 1e-7, "row {i}: {} vs {}", x1[i], x2[i]);
+            assert!(
+                (x1[i] - x2[i]).abs() < 1e-7,
+                "row {i}: {} vs {}",
+                x1[i],
+                x2[i]
+            );
         }
     }
 
@@ -118,13 +139,21 @@ mod tests {
         let a = laplace2d(16);
         let n = 256;
         let b = vec![1.0; n];
-        let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let r1 = cg(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];
         let ilu = Ilu0::factor(&a);
         let r2 = cg(&MatOperator(&a), &ilu, &SeqDot, &b, &mut x2, &cfg);
-        assert!(r2.iterations < r1.iterations, "{} !< {}", r2.iterations, r1.iterations);
+        assert!(
+            r2.iterations < r1.iterations,
+            "{} !< {}",
+            r2.iterations,
+            r1.iterations
+        );
     }
 
     #[test]
@@ -139,7 +168,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-13, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-13,
+                ..Default::default()
+            },
         );
         assert!(res.iterations <= 2);
         assert!(true_residual(&a, &x, &b) < 1e-10);

@@ -38,7 +38,12 @@ pub fn chebyshev<O: Operator, P: Precond, D: InnerProduct>(
     let r0 = ip.norm(&r);
     history.push(r0);
     if let Some(reason) = test_convergence(r0, r0, cfg) {
-        return KspResult { iterations: 0, residual: r0, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0,
+            reason,
+            history,
+        };
     }
 
     // Saad, "Iterative Methods for Sparse Linear Systems", Alg. 12.1.
@@ -70,7 +75,12 @@ pub fn chebyshev<O: Operator, P: Precond, D: InnerProduct>(
         let rnorm = ip.norm(&r);
         history.push(rnorm);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
     }
 
@@ -102,9 +112,18 @@ mod tests {
             &b,
             &mut x,
             (0.2, 7.8),
-            &KspConfig { rtol: 1e-8, max_it: 2000, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                max_it: 2000,
+                ..Default::default()
+            },
         );
-        assert!(res.converged(), "reason {:?} res {}", res.reason, res.residual);
+        assert!(
+            res.converged(),
+            "reason {:?} res {}",
+            res.reason,
+            res.residual
+        );
         assert!(true_residual(&a, &x, &b) < 1e-5);
     }
 
@@ -114,7 +133,9 @@ mod tests {
         // iterations must reduce the residual noticeably.
         let a = laplace2d(16);
         let n = 256;
-        let b: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut x = vec![0.0; n];
         let res = chebyshev(
             &MatOperator(&a),
@@ -123,7 +144,11 @@ mod tests {
             &b,
             &mut x,
             (0.8, 8.8), // 0.1·emax .. 1.1·emax style bounds
-            &KspConfig { rtol: 1e-30, max_it: 5, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-30,
+                max_it: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(res.iterations, 5);
         assert!(

@@ -39,7 +39,12 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
     let r0 = ip.norm(&r);
     history.push(r0);
     if let Some(reason) = test_convergence(r0, r0, cfg) {
-        return KspResult { iterations: 0, residual: r0, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0,
+            reason,
+            history,
+        };
     }
 
     let mut h = vec![0.0f64; (m + 1) * m];
@@ -47,7 +52,7 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
     let mut sn = vec![0.0f64; m];
     let mut g = vec![0.0f64; m + 1];
     let mut total_it = 0usize;
-    let mut rnorm = r0;
+    let mut rnorm;
 
     loop {
         let beta = ip.norm(&r);
@@ -162,7 +167,12 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
         }
         rnorm = ip.norm(&r);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: total_it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: total_it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
         match stop {
             Some(StopReason::RelativeTolerance) | Some(StopReason::AbsoluteTolerance) => {
@@ -174,7 +184,12 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
                 };
             }
             Some(reason) => {
-                return KspResult { iterations: total_it, residual: rnorm, reason, history }
+                return KspResult {
+                    iterations: total_it,
+                    residual: rnorm,
+                    reason,
+                    history,
+                }
             }
             None => {}
         }
@@ -203,11 +218,28 @@ mod tests {
         let a = laplace2d(10);
         let n = 100;
         let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
-        let cfg = KspConfig { rtol: 1e-10, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-10,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let mut x2 = vec![0.0; n];
-        gmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x1, &cfg);
-        fgmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x2, &cfg);
+        gmres(
+            &MatOperator(&a),
+            &JacobiPc::from_csr(&a),
+            &SeqDot,
+            &b,
+            &mut x1,
+            &cfg,
+        );
+        fgmres(
+            &MatOperator(&a),
+            &JacobiPc::from_csr(&a),
+            &SeqDot,
+            &b,
+            &mut x2,
+            &cfg,
+        );
         assert!(true_residual(&a, &x1, &b) < 1e-6);
         assert!(true_residual(&a, &x2, &b) < 1e-6);
     }
@@ -239,7 +271,10 @@ mod tests {
         let a = convdiff2d(8, 1.0);
         let n = 64;
         let b = vec![1.0; n];
-        let pc = VaryingInnerSolve { a: &a, calls: Cell::new(0) };
+        let pc = VaryingInnerSolve {
+            a: &a,
+            calls: Cell::new(0),
+        };
         let mut x = vec![0.0; n];
         let res = fgmres(
             &MatOperator(&a),
@@ -247,7 +282,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-9, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(res.converged(), "{:?}", res.reason);
         assert!(true_residual(&a, &x, &b) < 1e-5);
@@ -259,7 +297,10 @@ mod tests {
         let a = laplace2d(8);
         let n = 64;
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
-        let pc = VaryingInnerSolve { a: &a, calls: Cell::new(0) };
+        let pc = VaryingInnerSolve {
+            a: &a,
+            calls: Cell::new(0),
+        };
         let mut x = vec![0.0; n];
         let res = fgmres(
             &MatOperator(&a),
@@ -267,7 +308,11 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-9, restart: 4, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-9,
+                restart: 4,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-5);

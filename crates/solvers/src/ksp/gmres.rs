@@ -51,7 +51,12 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
     let r0 = initial_residual(op, pc, ip, b, x, &mut r, &mut z);
     history.push(r0);
     if let Some(reason) = test_convergence(r0, r0, cfg) {
-        return KspResult { iterations: 0, residual: r0, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0,
+            reason,
+            history,
+        };
     }
 
     // Krylov basis (m+1 vectors) and Hessenberg in compact column storage.
@@ -62,7 +67,7 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
     let mut g = vec![0.0f64; m + 1]; // rotated RHS of the least-squares
 
     let mut total_it = 0usize;
-    let mut rnorm = r0;
+    let mut rnorm;
 
     loop {
         // (Re)start: z = M⁻¹(b - A x) was computed above / below.
@@ -180,7 +185,12 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
         // the operator is singular.
         rnorm = initial_residual(op, pc, ip, b, x, &mut r, &mut z);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: total_it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: total_it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
         match stop {
             Some(StopReason::RelativeTolerance) | Some(StopReason::AbsoluteTolerance) => {
@@ -194,7 +204,12 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
                 };
             }
             Some(reason) => {
-                return KspResult { iterations: total_it, residual: rnorm, reason, history }
+                return KspResult {
+                    iterations: total_it,
+                    residual: rnorm,
+                    reason,
+                    history,
+                }
             }
             None => {}
         }
@@ -243,7 +258,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged(), "{:?}", res.reason);
         assert!(true_residual(&a, &x, &b) < 1e-7);
@@ -261,7 +279,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-6);
@@ -278,7 +299,11 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-9, restart: 5, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-9,
+                restart: 5,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-5);
@@ -298,12 +323,27 @@ mod tests {
         }
         let a = sellkit_core::Csr::from_dense(n, n, &dense);
         let b = vec![1.0; n];
-        let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let r1 = gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x1, &cfg);
         let mut x2 = vec![0.0; n];
-        let r2 = gmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &b, &mut x2, &cfg);
-        assert!(r2.iterations < r1.iterations, "{} !< {}", r2.iterations, r1.iterations);
+        let r2 = gmres(
+            &MatOperator(&a),
+            &JacobiPc::from_csr(&a),
+            &SeqDot,
+            &b,
+            &mut x2,
+            &cfg,
+        );
+        assert!(
+            r2.iterations < r1.iterations,
+            "{} !< {}",
+            r2.iterations,
+            r1.iterations
+        );
     }
 
     #[test]
@@ -311,7 +351,14 @@ mod tests {
         let a = laplace2d(5);
         let b = vec![0.0; 25];
         let mut x = vec![0.0; 25];
-        let res = gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x, &KspConfig::default());
+        let res = gmres(
+            &MatOperator(&a),
+            &IdentityPc,
+            &SeqDot,
+            &b,
+            &mut x,
+            &KspConfig::default(),
+        );
         assert_eq!(res.iterations, 0);
         assert!(res.converged());
     }
@@ -327,7 +374,11 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, restart: 200, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                restart: 200,
+                ..Default::default()
+            },
         );
         // GMRES minimizes the residual over a growing space: within one
         // cycle the estimates are non-increasing.
@@ -347,7 +398,11 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-14, max_it: 3, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-14,
+                max_it: 3,
+                ..Default::default()
+            },
         );
         assert_eq!(res.reason, StopReason::MaxIterations);
         assert_eq!(res.iterations, 3);

@@ -55,7 +55,12 @@ pub struct KspConfig {
 impl Default for KspConfig {
     fn default() -> Self {
         // PETSc defaults: rtol 1e-5, restart 30.
-        Self { rtol: 1e-5, atol: 1e-50, max_it: 10_000, restart: 30 }
+        Self {
+            rtol: 1e-5,
+            atol: 1e-50,
+            max_it: 10_000,
+            restart: 30,
+        }
     }
 }
 
@@ -75,7 +80,10 @@ pub struct KspResult {
 impl KspResult {
     /// Whether the solve met rtol or atol.
     pub fn converged(&self) -> bool {
-        matches!(self.reason, StopReason::RelativeTolerance | StopReason::AbsoluteTolerance)
+        matches!(
+            self.reason,
+            StopReason::RelativeTolerance | StopReason::AbsoluteTolerance
+        )
     }
 }
 

@@ -30,7 +30,11 @@ pub fn summarize(result: &KspResult) -> Option<ConvergenceSummary> {
     let r0 = h[0];
     let rfinal = *h.last().expect("nonempty");
     let iters = (h.len() - 1) as f64;
-    let mean_rate = if rfinal > 0.0 { (rfinal / r0).powf(1.0 / iters) } else { 0.0 };
+    let mean_rate = if rfinal > 0.0 {
+        (rfinal / r0).powf(1.0 / iters)
+    } else {
+        0.0
+    };
     let worst_rate = h
         .windows(2)
         .map(|w| if w[0] > 0.0 { w[1] / w[0] } else { 0.0 })
@@ -38,7 +42,11 @@ pub fn summarize(result: &KspResult) -> Option<ConvergenceSummary> {
     Some(ConvergenceSummary {
         r0,
         rfinal,
-        reduction: if rfinal > 0.0 { r0 / rfinal } else { f64::INFINITY },
+        reduction: if rfinal > 0.0 {
+            r0 / rfinal
+        } else {
+            f64::INFINITY
+        },
         mean_rate,
         worst_rate,
     })
@@ -72,7 +80,10 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-8, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                ..Default::default()
+            },
         )
     }
 
@@ -81,7 +92,11 @@ mod tests {
         let res = solve();
         let s = summarize(&res).expect("history recorded");
         assert!(s.r0 > s.rfinal);
-        assert!(s.reduction >= 1e7, "rtol 1e-8 ⇒ big reduction: {}", s.reduction);
+        assert!(
+            s.reduction >= 1e7,
+            "rtol 1e-8 ⇒ big reduction: {}",
+            s.reduction
+        );
         assert!(s.mean_rate < 1.0);
         // GMRES is monotone: no step may increase the residual estimate.
         assert!(s.worst_rate <= 1.0 + 1e-12);

@@ -34,7 +34,12 @@ pub fn richardson<O: Operator, P: Precond, D: InnerProduct>(
         }
         history.push(rnorm);
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
-            return KspResult { iterations: it, residual: rnorm, reason, history };
+            return KspResult {
+                iterations: it,
+                residual: rnorm,
+                reason,
+                history,
+            };
         }
         if it == cfg.max_it {
             break;
@@ -75,7 +80,11 @@ mod tests {
             &b,
             &mut x,
             0.9,
-            &KspConfig { rtol: 1e-8, max_it: 5000, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                max_it: 5000,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-6);
@@ -116,7 +125,10 @@ mod tests {
         let mg: Multigrid<Csr> = Multigrid::new(
             &a,
             &[interp1d(n), interp1d(n / 2), interp1d(n / 4)],
-            MultigridConfig { coarse: CoarseSolve::Direct, ..Default::default() },
+            MultigridConfig {
+                coarse: CoarseSolve::Direct,
+                ..Default::default()
+            },
         );
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
@@ -127,7 +139,11 @@ mod tests {
             &b,
             &mut x,
             1.0,
-            &KspConfig { rtol: 1e-8, max_it: 50, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                max_it: 50,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(

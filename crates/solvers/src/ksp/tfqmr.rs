@@ -31,7 +31,12 @@ pub fn tfqmr<O: Operator, P: Precond, D: InnerProduct>(
     let r0_norm = ip.norm(&r);
     let mut history = vec![r0_norm];
     if let Some(reason) = test_convergence(r0_norm, r0_norm, cfg) {
-        return KspResult { iterations: 0, residual: r0_norm, reason, history };
+        return KspResult {
+            iterations: 0,
+            residual: r0_norm,
+            reason,
+            history,
+        };
     }
 
     let r_hat = r.clone();
@@ -98,7 +103,12 @@ pub fn tfqmr<O: Operator, P: Precond, D: InnerProduct>(
             }
             let true_norm = ip.norm(&r);
             if test_convergence(true_norm, r0_norm, cfg).is_some() {
-                return KspResult { iterations: it, residual: true_norm, reason, history };
+                return KspResult {
+                    iterations: it,
+                    residual: true_norm,
+                    reason,
+                    history,
+                };
             }
         }
 
@@ -143,9 +153,18 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-10, max_it: 500, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                max_it: 500,
+                ..Default::default()
+            },
         );
-        assert!(res.converged(), "{:?} residual {}", res.reason, res.residual);
+        assert!(
+            res.converged(),
+            "{:?} residual {}",
+            res.reason,
+            res.residual
+        );
         assert!(true_residual(&a, &x, &b) < 1e-6);
     }
 
@@ -160,7 +179,11 @@ mod tests {
             &SeqDot,
             &b,
             &mut x,
-            &KspConfig { rtol: 1e-9, max_it: 500, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-9,
+                max_it: 500,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         assert!(true_residual(&a, &x, &b) < 1e-5);
@@ -171,13 +194,22 @@ mod tests {
         let a = convdiff2d(7, 2.0);
         let n = 49;
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos()).collect();
-        let cfg = KspConfig { rtol: 1e-11, max_it: 1000, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-11,
+            max_it: 1000,
+            ..Default::default()
+        };
         let mut x1 = vec![0.0; n];
         let mut x2 = vec![0.0; n];
         tfqmr(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x1, &cfg);
         super::super::gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &b, &mut x2, &cfg);
         for i in 0..n {
-            assert!((x1[i] - x2[i]).abs() < 1e-6, "row {i}: {} vs {}", x1[i], x2[i]);
+            assert!(
+                (x1[i] - x2[i]).abs() < 1e-6,
+                "row {i}: {} vs {}",
+                x1[i],
+                x2[i]
+            );
         }
     }
 }

@@ -21,8 +21,11 @@
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::type_complexity)]
-
+#![allow(
+    clippy::needless_range_loop,
+    clippy::too_many_arguments,
+    clippy::type_complexity
+)]
 
 pub mod ksp;
 pub mod operator;
@@ -32,12 +35,13 @@ pub mod snes;
 pub mod ts;
 pub mod vecops;
 
-pub use ksp::{bicgstab, cg, chebyshev, fgmres, gmres, richardson, tfqmr, KspConfig, KspResult, StopReason};
-pub use operator::{Counting, InnerProduct, MatOperator, Operator, SeqDot};
-pub use profile::{EventStats, Profiler};
-pub use pc::{
-    BlockJacobiPc, ChainPc, IdentityPc, Ilu0, JacobiPc, Multigrid, MultigridConfig, Precond,
-    SorPc,
+pub use ksp::{
+    bicgstab, cg, chebyshev, fgmres, gmres, richardson, tfqmr, KspConfig, KspResult, StopReason,
 };
+pub use operator::{Counting, InnerProduct, MatOperator, Operator, SeqDot};
+pub use pc::{
+    BlockJacobiPc, ChainPc, IdentityPc, Ilu0, JacobiPc, Multigrid, MultigridConfig, Precond, SorPc,
+};
+pub use profile::{EventStats, Profiler};
 pub use snes::{newton, NewtonConfig, NewtonResult, NonlinearProblem};
 pub use ts::{OdeProblem, ThetaConfig, ThetaStepper};

@@ -66,7 +66,10 @@ pub struct Counting<O> {
 impl<O> Counting<O> {
     /// Wraps an operator with a zeroed counter.
     pub fn new(inner: O) -> Self {
-        Self { inner, applies: std::cell::Cell::new(0) }
+        Self {
+            inner,
+            applies: std::cell::Cell::new(0),
+        }
     }
 
     /// Number of `apply` calls so far.
@@ -140,8 +143,17 @@ mod tests {
         let op = Counting::new(MatOperator(&a));
         let b = vec![1.0; n];
         let mut x = vec![0.0; n];
-        let res = gmres(&op, &IdentityPc, &SeqDot, &b, &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() });
+        let res = gmres(
+            &op,
+            &IdentityPc,
+            &SeqDot,
+            &b,
+            &mut x,
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
+        );
         // One apply for the initial residual + one per Arnoldi step + the
         // end-of-cycle true-residual verification.
         assert_eq!(op.applies(), res.iterations + 2);

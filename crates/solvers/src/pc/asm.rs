@@ -155,7 +155,10 @@ mod tests {
         let a = laplace2d(12);
         let n = 144;
         let rhs: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
-        let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let iters = |pc: &dyn Precond| {
             let mut x = vec![0.0; n];
             let res = gmres(&MatOperator(&a), &pc, &SeqDot, &rhs, &mut x, &cfg);
@@ -174,7 +177,10 @@ mod tests {
         let a = laplace2d(10);
         let n = 100;
         let rhs = vec![1.0; n];
-        let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+        let cfg = KspConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        };
         let iters = |k: usize| {
             let pc = AsmPc::new(&a, k, SubSolve::Ilu0);
             let mut x = vec![0.0; n];

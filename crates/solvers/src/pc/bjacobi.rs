@@ -21,7 +21,11 @@ impl BlockJacobiPc {
     /// Singular blocks fall back to the identity.
     pub fn from_csr(a: &Csr, bs: usize) -> Self {
         assert!(bs > 0);
-        assert_eq!(a.nrows() % bs, 0, "matrix rows not a multiple of block size");
+        assert_eq!(
+            a.nrows() % bs,
+            0,
+            "matrix rows not a multiple of block size"
+        );
         let nb = a.nrows() / bs;
         let mut inv_blocks = vec![0.0; nb * bs * bs];
         let mut block = vec![0.0; bs * bs];

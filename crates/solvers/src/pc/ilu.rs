@@ -65,7 +65,9 @@ impl Ilu0 {
 
 fn get_entry(a: &Csr, i: usize, j: usize) -> Option<f64> {
     let cols = a.row_cols(i);
-    cols.binary_search(&(j as u32)).ok().map(|k| a.row_vals(i)[k])
+    cols.binary_search(&(j as u32))
+        .ok()
+        .map(|k| a.row_vals(i)[k])
 }
 
 impl Precond for Ilu0 {

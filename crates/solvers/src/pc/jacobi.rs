@@ -33,7 +33,12 @@ impl JacobiPc {
 
     /// Builds directly from a diagonal.
     pub fn from_diagonal(diag: &[f64]) -> Self {
-        Self { inv_diag: diag.iter().map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 }).collect() }
+        Self {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
     }
 
     /// The stored inverse diagonal.

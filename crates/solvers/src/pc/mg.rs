@@ -95,7 +95,9 @@ fn estimate_emax(a: &Csr, inv_diag: &[f64]) -> f64 {
     }
     // Deterministic pseudo-random start vector (avoids exact eigenvector
     // orthogonality traps of a constant start).
-    let mut v: Vec<f64> = (0..n).map(|i| ((i * 2654435761 % 97) as f64) / 97.0 + 0.01).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761 % 97) as f64) / 97.0 + 0.01)
+        .collect();
     let mut av = vec![0.0; n];
     let mut lambda = 1.0;
     for _ in 0..12 {
@@ -128,16 +130,28 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
     /// number of levels is `interps.len() + 1`.  Coarse operators are
     /// `Pᵀ A P`.
     pub fn new(fine: &Csr, interps: &[Csr], cfg: MultigridConfig) -> Self {
-        assert_eq!(fine.nrows(), fine.ncols(), "multigrid needs square operators");
+        assert_eq!(
+            fine.nrows(),
+            fine.ncols(),
+            "multigrid needs square operators"
+        );
         let mut levels: Vec<Level<M>> = Vec::with_capacity(interps.len() + 1);
         let needs_emax = cfg.smoother == Smoother::Chebyshev;
         let mut a_l = fine.clone();
         for p in interps {
-            assert_eq!(p.nrows(), a_l.nrows(), "interpolation rows must match level size");
+            assert_eq!(
+                p.nrows(),
+                a_l.nrows(),
+                "interpolation rows must match level size"
+            );
             let r = p.transpose();
             let a_next = rap(&r, &a_l, p);
             let inv_d = inv_diag(&a_l);
-            let emax = if needs_emax { estimate_emax(&a_l, &inv_d) } else { 1.0 };
+            let emax = if needs_emax {
+                estimate_emax(&a_l, &inv_d)
+            } else {
+                1.0
+            };
             levels.push(Level {
                 a: M::from_csr(&a_l),
                 inv_diag: inv_d,
@@ -153,7 +167,11 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
             CoarseSolve::Jacobi(_) => None,
         };
         let inv_d = inv_diag(&a_l);
-        let emax = if needs_emax { estimate_emax(&a_l, &inv_d) } else { 1.0 };
+        let emax = if needs_emax {
+            estimate_emax(&a_l, &inv_d)
+        } else {
+            1.0
+        };
         levels.push(Level {
             a: M::from_csr(&a_l),
             inv_diag: inv_d,
@@ -162,7 +180,11 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
             r: None,
             n: a_l.nrows(),
         });
-        Self { levels, cfg, coarse_lu }
+        Self {
+            levels,
+            cfg,
+            coarse_lu,
+        }
     }
 
     /// Number of levels (paper default: 3 single-node, 6 multinode).
@@ -237,9 +259,11 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
         if l + 1 == self.levels.len() {
             match self.cfg.coarse {
                 CoarseSolve::Jacobi(iters) => self.smooth(l, b, x, iters),
-                CoarseSolve::Direct => {
-                    self.coarse_lu.as_ref().expect("factored at setup").solve(b, x)
-                }
+                CoarseSolve::Direct => self
+                    .coarse_lu
+                    .as_ref()
+                    .expect("factored at setup")
+                    .solve(b, x),
             }
             return;
         }
@@ -296,7 +320,10 @@ struct DenseLu {
 impl DenseLu {
     fn factor(a: &Csr) -> Self {
         let n = a.nrows();
-        assert!(n <= 4096, "coarse level too large for a dense direct solve ({n})");
+        assert!(
+            n <= 4096,
+            "coarse level too large for a dense direct solve ({n})"
+        );
         let mut lu = a.to_dense();
         let mut piv: Vec<usize> = (0..n).collect();
         for col in 0..n {
@@ -411,7 +438,10 @@ mod tests {
         let mg: Multigrid<Csr> = Multigrid::new(
             &a,
             &interps,
-            MultigridConfig { coarse: CoarseSolve::Direct, ..Default::default() },
+            MultigridConfig {
+                coarse: CoarseSolve::Direct,
+                ..Default::default()
+            },
         );
         let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.1).sin()).collect();
         let mut x = vec![0.0; n];
@@ -449,7 +479,10 @@ mod tests {
         mg_csr.apply(&r, &mut z1);
         mg_sell.apply(&r, &mut z2);
         for i in 0..n {
-            assert!((z1[i] - z2[i]).abs() < 1e-12, "row {i}: formats must agree bitwise-ish");
+            assert!(
+                (z1[i] - z2[i]).abs() < 1e-12,
+                "row {i}: formats must agree bitwise-ish"
+            );
         }
     }
 
@@ -479,7 +512,11 @@ mod tests {
             let mg: Multigrid<Csr> = Multigrid::new(
                 &a,
                 &interps,
-                MultigridConfig { smoother, coarse: CoarseSolve::Direct, ..Default::default() },
+                MultigridConfig {
+                    smoother,
+                    coarse: CoarseSolve::Direct,
+                    ..Default::default()
+                },
             );
             let mut x = vec![0.0; n];
             for _ in 0..6 {
@@ -496,7 +533,10 @@ mod tests {
         let cheb = run(Smoother::Chebyshev);
         assert!(cheb.is_finite() && jac.is_finite());
         let r0 = vecops::norm2(&b);
-        assert!(cheb < 1e-4 * r0, "Chebyshev MG must reduce the residual ≥1e4×: {cheb} vs {r0}");
+        assert!(
+            cheb < 1e-4 * r0,
+            "Chebyshev MG must reduce the residual ≥1e4×: {cheb} vs {r0}"
+        );
         assert!(cheb <= jac * 10.0, "cheb {cheb} vs jac {jac}");
     }
 

@@ -92,7 +92,10 @@ mod tests {
                 }
             }
         }
-        let pc = ChainPc { first: Scale(2.0), second: Scale(5.0) };
+        let pc = ChainPc {
+            first: Scale(2.0),
+            second: Scale(5.0),
+        };
         let mut z = vec![0.0];
         pc.apply(&[1.0], &mut z);
         assert_eq!(z, vec![10.0]);

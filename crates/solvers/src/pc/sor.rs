@@ -41,7 +41,13 @@ impl SorPc {
             assert!(v != 0.0, "SOR needs a nonzero diagonal (row {i})");
             *d = 1.0 / v;
         }
-        Self { a: a.clone(), inv_diag, omega, sweeps, symmetric }
+        Self {
+            a: a.clone(),
+            inv_diag,
+            omega,
+            sweeps,
+            symmetric,
+        }
     }
 
     fn forward_sweep(&self, r: &[f64], z: &mut [f64]) {

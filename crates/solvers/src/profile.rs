@@ -57,7 +57,10 @@ pub struct Profiler {
 impl Profiler {
     /// Creates an empty profiler and starts its global clock.
     pub fn new() -> Self {
-        Self { started: Some(Instant::now()), ..Default::default() }
+        Self {
+            started: Some(Instant::now()),
+            ..Default::default()
+        }
     }
 
     /// Times `f` under `name` (nested events are attributed to both).
@@ -118,7 +121,11 @@ impl fmt::Display for Profiler {
         )?;
         for name in &self.order {
             let e = self.events[name];
-            let pct = if self.total > 0.0 { 100.0 * e.seconds / self.total } else { 0.0 };
+            let pct = if self.total > 0.0 {
+                100.0 * e.seconds / self.total
+            } else {
+                0.0
+            };
             writeln!(
                 f,
                 "{:<24} {:>8} {:>12.6} {:>7.1}% {:>10.2}",

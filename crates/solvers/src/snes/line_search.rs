@@ -14,7 +14,11 @@ pub struct LineSearchConfig {
 
 impl Default for LineSearchConfig {
     fn default() -> Self {
-        Self { alpha: 1e-4, shrink: 0.5, min_lambda: 1e-12 }
+        Self {
+            alpha: 1e-4,
+            shrink: 0.5,
+            min_lambda: 1e-12,
+        }
     }
 }
 

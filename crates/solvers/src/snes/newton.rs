@@ -65,13 +65,23 @@ pub enum Forcing {
 impl Forcing {
     /// The PETSc-like default Eisenstat-Walker parameters.
     pub fn eisenstat_walker() -> Self {
-        Forcing::EisenstatWalker { gamma: 0.9, alpha: 2.0, eta_min: 1e-8, eta_max: 0.5 }
+        Forcing::EisenstatWalker {
+            gamma: 0.9,
+            alpha: 2.0,
+            eta_min: 1e-8,
+            eta_max: 0.5,
+        }
     }
 
     fn eta(&self, base: f64, fnorm: f64, fnorm_prev: Option<f64>) -> f64 {
         match *self {
             Forcing::Fixed => base,
-            Forcing::EisenstatWalker { gamma, alpha, eta_min, eta_max } => match fnorm_prev {
+            Forcing::EisenstatWalker {
+                gamma,
+                alpha,
+                eta_min,
+                eta_max,
+            } => match fnorm_prev {
                 None => eta_max, // first iteration: loose
                 Some(prev) if prev > 0.0 => {
                     (gamma * (fnorm / prev).powf(alpha)).clamp(eta_min, eta_max)
@@ -88,7 +98,10 @@ impl Default for NewtonConfig {
             atol: 1e-50,
             rtol: 1e-8,
             max_it: 50,
-            ksp: KspConfig { rtol: 1e-5, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-5,
+                ..Default::default()
+            },
             line_search: LineSearch::Full,
             forcing: Forcing::Fixed,
         }
@@ -169,7 +182,13 @@ where
     };
 
     if let Some(reason) = check(f0) {
-        return NewtonResult { iterations: 0, fnorm: f0, reason, linear_iterations, history };
+        return NewtonResult {
+            iterations: 0,
+            fnorm: f0,
+            reason,
+            linear_iterations,
+            history,
+        };
     }
 
     let mut fnorm_prev: Option<f64> = None;
@@ -214,7 +233,13 @@ where
         history.push(fnorm);
 
         if let Some(reason) = check(fnorm) {
-            return NewtonResult { iterations: it, fnorm, reason, linear_iterations, history };
+            return NewtonResult {
+                iterations: it,
+                fnorm,
+                reason,
+                linear_iterations,
+                history,
+            };
         }
     }
 
@@ -231,7 +256,7 @@ where
 mod tests {
     use super::*;
     use crate::pc::JacobiPc;
-    use crate::snes::line_search::{LineSearchConfig, LineSearch};
+    use crate::snes::line_search::{LineSearch, LineSearchConfig};
     use sellkit_core::{CooBuilder, Sell8};
 
     /// F(x)_i = x_i² - a_i  (decoupled quadratics; root = sqrt(a_i)).
@@ -294,12 +319,17 @@ mod tests {
 
     #[test]
     fn quadratic_convergence_on_smooth_problem() {
-        let p = Quadratics { a: vec![4.0, 9.0, 16.0] };
+        let p = Quadratics {
+            a: vec![4.0, 9.0, 16.0],
+        };
         let mut x = vec![3.0, 3.0, 3.0];
         let res = newton::<Csr, _, _>(
             &p,
             &mut x,
-            &NewtonConfig { rtol: 1e-12, ..Default::default() },
+            &NewtonConfig {
+                rtol: 1e-12,
+                ..Default::default()
+            },
             JacobiPc::from_csr,
         );
         assert!(res.converged());
@@ -316,13 +346,19 @@ mod tests {
         let n = 40;
         let g: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.2).sin() + 1.0).collect();
         let p = Bratu1d { n, g };
-        let cfg = NewtonConfig { rtol: 1e-10, ..Default::default() };
+        let cfg = NewtonConfig {
+            rtol: 1e-10,
+            ..Default::default()
+        };
         let mut x1 = vec![0.5; n];
         let mut x2 = vec![0.5; n];
         let r1 = newton::<Csr, _, _>(&p, &mut x1, &cfg, JacobiPc::from_csr);
         let r2 = newton::<Sell8, _, _>(&p, &mut x2, &cfg, JacobiPc::from_csr);
         assert!(r1.converged() && r2.converged());
-        assert_eq!(r1.iterations, r2.iterations, "format must not change the algorithm");
+        assert_eq!(
+            r1.iterations, r2.iterations,
+            "format must not change the algorithm"
+        );
         for i in 0..n {
             assert!((x1[i] - x2[i]).abs() < 1e-9, "row {i}");
         }
@@ -352,12 +388,18 @@ mod tests {
         let p = Bratu1d { n, g };
         let fixed_cfg = NewtonConfig {
             rtol: 1e-10,
-            ksp: KspConfig { rtol: 1e-10, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let ew_cfg = NewtonConfig {
             rtol: 1e-10,
-            ksp: KspConfig { rtol: 1e-10, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
             forcing: Forcing::eisenstat_walker(),
             ..Default::default()
         };
@@ -383,7 +425,10 @@ mod tests {
         let f = Forcing::eisenstat_walker();
         assert_eq!(f.eta(1e-5, 1.0, None), 0.5, "first iteration is loose");
         let tight = f.eta(1e-5, 1e-6, Some(1.0));
-        assert!(tight <= 1e-8 * 1.0001, "near convergence it clamps to eta_min: {tight}");
+        assert!(
+            tight <= 1e-8 * 1.0001,
+            "near convergence it clamps to eta_min: {tight}"
+        );
         assert_eq!(Forcing::Fixed.eta(1e-5, 1.0, Some(2.0)), 1e-5);
     }
 
@@ -394,7 +439,10 @@ mod tests {
         let res = newton::<Csr, _, _>(
             &p,
             &mut x,
-            &NewtonConfig { atol: 1e-12, ..Default::default() },
+            &NewtonConfig {
+                atol: 1e-12,
+                ..Default::default()
+            },
             JacobiPc::from_csr,
         );
         assert_eq!(res.iterations, 0);

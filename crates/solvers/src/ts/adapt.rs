@@ -30,7 +30,13 @@ pub struct AdaptConfig {
 
 impl Default for AdaptConfig {
     fn default() -> Self {
-        Self { tol: 1e-4, dt_min: 1e-10, dt_max: 10.0, safety: 0.9, max_growth: 3.0 }
+        Self {
+            tol: 1e-4,
+            dt_min: 1e-10,
+            dt_max: 10.0,
+            safety: 0.9,
+            max_growth: 3.0,
+        }
     }
 }
 
@@ -61,7 +67,14 @@ impl AdaptiveTheta {
     /// Creates the controller with initial step `dt0`.
     pub fn new(theta: f64, newton: NewtonConfig, adapt: AdaptConfig, dt0: f64) -> Self {
         assert!(dt0 > 0.0 && dt0 <= adapt.dt_max);
-        Self { theta, newton, adapt, t: 0.0, dt: dt0, accepted: Vec::new() }
+        Self {
+            theta,
+            newton,
+            adapt,
+            t: 0.0,
+            dt: dt0,
+            accepted: Vec::new(),
+        }
     }
 
     /// Current time.
@@ -162,14 +175,19 @@ impl AdaptiveTheta {
             } else {
                 self.adapt.max_growth
             };
-            let next_dt =
-                (dt * factor.clamp(0.1, self.adapt.max_growth)).clamp(self.adapt.dt_min, self.adapt.dt_max);
+            let next_dt = (dt * factor.clamp(0.1, self.adapt.max_growth))
+                .clamp(self.adapt.dt_min, self.adapt.dt_max);
 
             if accept {
                 u.copy_from_slice(&u_half);
                 self.t += dt;
                 self.dt = next_dt;
-                let rec = AdaptStep { t: self.t, dt, error, rejections };
+                let rec = AdaptStep {
+                    t: self.t,
+                    dt,
+                    error,
+                    rejections,
+                };
                 self.accepted.push(rec);
                 return rec;
             }
@@ -230,8 +248,14 @@ mod tests {
         let mut u = vec![1.0];
         let mut ts = AdaptiveTheta::new(
             0.5,
-            NewtonConfig { rtol: 1e-12, ..Default::default() },
-            AdaptConfig { tol: 1e-6, ..Default::default() },
+            NewtonConfig {
+                rtol: 1e-12,
+                ..Default::default()
+            },
+            AdaptConfig {
+                tol: 1e-6,
+                ..Default::default()
+            },
             0.5,
         );
         ts.run_until::<Csr, _, _>(&ode, &mut u, 1.0, JacobiPc::from_csr);
@@ -243,7 +267,10 @@ mod tests {
             exact
         );
         assert!((ts.time() - 1.0).abs() < 1e-10);
-        assert!(ts.history().iter().all(|s| s.error <= 1e-6 * 1.001 || s.dt <= 1e-10));
+        assert!(ts
+            .history()
+            .iter()
+            .all(|s| s.error <= 1e-6 * 1.001 || s.dt <= 1e-10));
     }
 
     #[test]
@@ -254,8 +281,15 @@ mod tests {
         let mut u = vec![1.0];
         let mut ts = AdaptiveTheta::new(
             0.5,
-            NewtonConfig { rtol: 1e-12, ..Default::default() },
-            AdaptConfig { tol: 1e-5, dt_max: 50.0, ..Default::default() },
+            NewtonConfig {
+                rtol: 1e-12,
+                ..Default::default()
+            },
+            AdaptConfig {
+                tol: 1e-5,
+                dt_max: 50.0,
+                ..Default::default()
+            },
             0.01,
         );
         for _ in 0..8 {
@@ -271,8 +305,14 @@ mod tests {
             let mut u = vec![1.0];
             let mut ts = AdaptiveTheta::new(
                 0.5,
-                NewtonConfig { rtol: 1e-12, ..Default::default() },
-                AdaptConfig { tol, ..Default::default() },
+                NewtonConfig {
+                    rtol: 1e-12,
+                    ..Default::default()
+                },
+                AdaptConfig {
+                    tol,
+                    ..Default::default()
+                },
                 0.2,
             );
             ts.run_until::<Csr, _, _>(&ode, &mut u, 2.0, JacobiPc::from_csr);

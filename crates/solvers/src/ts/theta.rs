@@ -41,7 +41,11 @@ pub struct ThetaConfig {
 
 impl Default for ThetaConfig {
     fn default() -> Self {
-        Self { theta: 0.5, dt: 1.0, newton: NewtonConfig::default() }
+        Self {
+            theta: 0.5,
+            dt: 1.0,
+            newton: NewtonConfig::default(),
+        }
     }
 }
 
@@ -120,9 +124,17 @@ impl ThetaStepper {
     /// Creates a stepper starting at `t = 0`.
     pub fn new(cfg: ThetaConfig) -> Self {
         assert!((0.0..=1.0).contains(&cfg.theta), "theta must be in [0, 1]");
-        assert!(cfg.theta > 0.0, "explicit Euler (theta = 0) is not an implicit solve");
+        assert!(
+            cfg.theta > 0.0,
+            "explicit Euler (theta = 0) is not an implicit solve"
+        );
         assert!(cfg.dt > 0.0);
-        Self { cfg, t: 0.0, steps_taken: 0, stats: Vec::new() }
+        Self {
+            cfg,
+            t: 0.0,
+            steps_taken: 0,
+            stats: Vec::new(),
+        }
     }
 
     /// Current simulation time.
@@ -272,7 +284,10 @@ mod tests {
             let cfg = ThetaConfig {
                 theta: 0.5,
                 dt: t_end / steps as f64,
-                newton: NewtonConfig { rtol: 1e-13, ..Default::default() },
+                newton: NewtonConfig {
+                    rtol: 1e-13,
+                    ..Default::default()
+                },
             };
             let mut ts = ThetaStepper::new(cfg);
             ts.run::<Csr, _, _>(&ode, &mut u, steps, JacobiPc::from_csr);
@@ -294,7 +309,10 @@ mod tests {
             let cfg = ThetaConfig {
                 theta: 1.0,
                 dt: 1.0 / steps as f64,
-                newton: NewtonConfig { rtol: 1e-13, ..Default::default() },
+                newton: NewtonConfig {
+                    rtol: 1e-13,
+                    ..Default::default()
+                },
             };
             let mut ts = ThetaStepper::new(cfg);
             ts.run::<Csr, _, _>(&ode, &mut u, steps, JacobiPc::from_csr);
@@ -310,7 +328,10 @@ mod tests {
         let cfg = ThetaConfig {
             theta: 0.5,
             dt: 0.1,
-            newton: NewtonConfig { rtol: 1e-12, ..Default::default() },
+            newton: NewtonConfig {
+                rtol: 1e-12,
+                ..Default::default()
+            },
         };
         let mut ts = ThetaStepper::new(cfg);
         ts.run::<Csr, _, _>(&Logistic, &mut u, 100, JacobiPc::from_csr);
@@ -323,8 +344,15 @@ mod tests {
 
     #[test]
     fn sell_and_csr_trajectories_match() {
-        let ode = LinearDecay { lambda: -0.3, n: 16 };
-        let cfg = ThetaConfig { theta: 0.5, dt: 0.25, ..Default::default() };
+        let ode = LinearDecay {
+            lambda: -0.3,
+            n: 16,
+        };
+        let cfg = ThetaConfig {
+            theta: 0.5,
+            dt: 0.25,
+            ..Default::default()
+        };
         let mut u1 = vec![1.0; 16];
         let mut u2 = vec![1.0; 16];
         let mut t1 = ThetaStepper::new(cfg);
@@ -339,6 +367,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "theta must be in")]
     fn invalid_theta_rejected() {
-        ThetaStepper::new(ThetaConfig { theta: 1.5, ..Default::default() });
+        ThetaStepper::new(ThetaConfig {
+            theta: 1.5,
+            ..Default::default()
+        });
     }
 }

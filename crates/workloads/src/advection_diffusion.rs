@@ -32,7 +32,12 @@ pub struct AdvectionDiffusionParams {
 
 impl Default for AdvectionDiffusionParams {
     fn default() -> Self {
-        Self { diffusion: 1e-3, vx: 1.0, vy: 0.5, length: 1.0 }
+        Self {
+            diffusion: 1e-3,
+            vx: 1.0,
+            vy: 0.5,
+            length: 1.0,
+        }
     }
 }
 
@@ -49,7 +54,11 @@ impl AdvectionDiffusion {
     /// Creates the problem on an `n × n` periodic grid.
     pub fn new(n: usize, params: AdvectionDiffusionParams) -> Self {
         let grid = Grid2D::new(n, n, 1);
-        Self { grid, params, h: params.length / n as f64 }
+        Self {
+            grid,
+            params,
+            h: params.length / n as f64,
+        }
     }
 
     /// The underlying grid.
@@ -78,8 +87,16 @@ impl AdvectionDiffusion {
         let ih = 1.0 / self.h;
         let d = p.diffusion * ih2;
         // Upwind advection: flow in +x takes u from the west.
-        let (aw, ae) = if p.vx >= 0.0 { (p.vx * ih, 0.0) } else { (0.0, -p.vx * ih) };
-        let (as_, an) = if p.vy >= 0.0 { (p.vy * ih, 0.0) } else { (0.0, -p.vy * ih) };
+        let (aw, ae) = if p.vx >= 0.0 {
+            (p.vx * ih, 0.0)
+        } else {
+            (0.0, -p.vx * ih)
+        };
+        let (as_, an) = if p.vy >= 0.0 {
+            (p.vy * ih, 0.0)
+        } else {
+            (0.0, -p.vy * ih)
+        };
         let center = -4.0 * d - aw - ae - as_ - an;
         (center, d + aw, d + ae, d + as_, d + an)
     }
@@ -159,7 +176,10 @@ mod tests {
 
     #[test]
     fn upwind_switches_with_flow_direction() {
-        let mut params = AdvectionDiffusionParams { vx: 1.0, ..Default::default() };
+        let mut params = AdvectionDiffusionParams {
+            vx: 1.0,
+            ..Default::default()
+        };
         let p1 = AdvectionDiffusion::new(4, params);
         let (_, w1, e1, _, _) = p1.coefficients();
         assert!(w1 > e1, "flow +x takes from the west");

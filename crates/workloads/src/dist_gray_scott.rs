@@ -53,10 +53,18 @@ impl DistGrayScott {
                 needed.insert(grid.idx_wrap(x + dx, y + dy, c));
             }
         }
-        let garray: Vec<u32> =
-            needed.into_iter().filter(|g| !rows.contains(g)).map(|g| g as u32).collect();
+        let garray: Vec<u32> = needed
+            .into_iter()
+            .filter(|g| !rows.contains(g))
+            .map(|g| g as u32)
+            .collect();
         let halo = VecScatter::build(comm, &ranges, &garray, tag);
-        Self { gs, rows, garray, halo }
+        Self {
+            gs,
+            rows,
+            garray,
+            halo,
+        }
     }
 
     /// The underlying sequential model.
@@ -88,7 +96,10 @@ impl DistGrayScott {
         if self.rows.contains(&g) {
             w_local[g - self.rows.start]
         } else {
-            let k = self.garray.binary_search(&(g as u32)).expect("halo covers all reads");
+            let k = self
+                .garray
+                .binary_search(&(g as u32))
+                .expect("halo covers all reads");
             ghost[k]
         }
     }
@@ -140,13 +151,24 @@ impl DistGrayScott {
                 let ju = grid.idx_wrap(x + dx, y + dy, 0);
                 let jv = grid.idx_wrap(x + dx, y + dy, 1);
                 if c == 0 {
-                    let duu = if center { -4.0 * p.d1 * ih2 } else { p.d1 * ih2 };
-                    let (ruu, ruv) =
-                        if center { (-v * v - p.gamma, -2.0 * u * v) } else { (0.0, 0.0) };
+                    let duu = if center {
+                        -4.0 * p.d1 * ih2
+                    } else {
+                        p.d1 * ih2
+                    };
+                    let (ruu, ruv) = if center {
+                        (-v * v - p.gamma, -2.0 * u * v)
+                    } else {
+                        (0.0, 0.0)
+                    };
                     b.push(li, ju, duu + ruu);
                     b.push(li, jv, ruv);
                 } else {
-                    let dvv = if center { -4.0 * p.d2 * ih2 } else { p.d2 * ih2 };
+                    let dvv = if center {
+                        -4.0 * p.d2 * ih2
+                    } else {
+                        p.d2 * ih2
+                    };
                     let (rvu, rvv) = if center {
                         (v * v, 2.0 * u * v - (p.gamma + p.kappa))
                     } else {
@@ -238,7 +260,11 @@ where
             explicit[i] += dt * (1.0 - theta) * fexp[i];
         }
     }
-    let stage = DistThetaStage { problem, explicit, dt_theta: dt * theta };
+    let stage = DistThetaStage {
+        problem,
+        explicit,
+        dt_theta: dt * theta,
+    };
     dist_newton::<M, _, _>(comm, &stage, u_local, cfg, tag_base, pc_factory)
 }
 
@@ -320,7 +346,10 @@ mod tests {
             dt: 1.0,
             newton: NewtonConfig {
                 rtol: 1e-10,
-                ksp: KspConfig { rtol: 1e-8, ..Default::default() },
+                ksp: KspConfig {
+                    rtol: 1e-8,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         };
@@ -340,7 +369,10 @@ mod tests {
                 0.5,
                 &NewtonConfig {
                     rtol: 1e-10,
-                    ksp: KspConfig { rtol: 1e-8, ..Default::default() },
+                    ksp: KspConfig {
+                        rtol: 1e-8,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
                 500,
@@ -352,7 +384,12 @@ mod tests {
         for (its, u) in out {
             assert_eq!(its, seq_res.iterations, "same Newton trajectory");
             for i in 0..u.len() {
-                assert!((u[i] - u_seq[i]).abs() < 1e-8, "dof {i}: {} vs {}", u[i], u_seq[i]);
+                assert!(
+                    (u[i] - u_seq[i]).abs() < 1e-8,
+                    "dof {i}: {} vs {}",
+                    u[i],
+                    u_seq[i]
+                );
             }
         }
     }

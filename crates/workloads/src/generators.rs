@@ -100,7 +100,11 @@ pub fn banded(n: usize, band: usize, seed: u64) -> Csr {
     for i in 0..n as isize {
         for d in -(band as isize)..=band as isize {
             let j = (i + d).rem_euclid(n as isize) as usize;
-            b.push(i as usize, j, rng.gen_range(-1.0..1.0) + if d == 0 { 4.0 } else { 0.0 });
+            b.push(
+                i as usize,
+                j,
+                rng.gen_range(-1.0..1.0) + if d == 0 { 4.0 } else { 0.0 },
+            );
         }
     }
     b.to_csr()
@@ -118,7 +122,11 @@ pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Csr {
             cols.insert(rng.gen_range(0..n));
         }
         for j in cols {
-            b.push(i, j, rng.gen_range(-1.0..1.0) + if i == j { nnz_per_row as f64 } else { 0.0 });
+            b.push(
+                i,
+                j,
+                rng.gen_range(-1.0..1.0) + if i == j { nnz_per_row as f64 } else { 0.0 },
+            );
         }
     }
     b.to_csr()
@@ -210,8 +218,15 @@ mod tests {
 
     #[test]
     fn all_generated_matrices_spmv_consistently_in_sell() {
-        for a in [stencil5(8), stencil9(6), banded(40, 2, 1), random_uniform(40, 5, 2),
-                  power_law(60, 1, 20, 1.5, 3), diagonal(33, 4), stencil7_3d(4)] {
+        for a in [
+            stencil5(8),
+            stencil9(6),
+            banded(40, 2, 1),
+            random_uniform(40, 5, 2),
+            power_law(60, 1, 20, 1.5, 3),
+            diagonal(33, 4),
+            stencil7_3d(4),
+        ] {
             let n = a.ncols();
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
             let mut y1 = vec![0.0; a.nrows()];

@@ -41,7 +41,13 @@ impl Default for GrayScottParams {
     fn default() -> Self {
         // Hundsdorfer & Verwer, "Numerical Solution of Time-Dependent
         // Advection-Diffusion-Reaction Equations", p. 21.
-        Self { d1: 8.0e-5, d2: 4.0e-5, gamma: 0.024, kappa: 0.06, length: 2.5 }
+        Self {
+            d1: 8.0e-5,
+            d2: 4.0e-5,
+            gamma: 0.024,
+            kappa: 0.06,
+            length: 2.5,
+        }
     }
 }
 
@@ -87,7 +93,8 @@ impl GrayScott {
             for x in 0..nx {
                 let iu = self.grid.idx(x, y, 0);
                 let iv = self.grid.idx(x, y, 1);
-                let in_square = x >= 7 * nx / 16 && x < 9 * nx / 16 && y >= 7 * ny / 16 && y < 9 * ny / 16;
+                let in_square =
+                    x >= 7 * nx / 16 && x < 9 * nx / 16 && y >= 7 * ny / 16 && y < 9 * ny / 16;
                 let (u, v): (f64, f64) = if in_square { (0.5, 0.25) } else { (1.0, 0.0) };
                 let noise_u: f64 = rng.gen_range(-0.01..0.01);
                 let noise_v: f64 = rng.gen_range(-0.01..0.01);
@@ -139,13 +146,24 @@ impl GrayScott {
                 let jv = self.grid.idx_wrap(x + dx, y + dy, 1);
                 let local = row - rows.start;
                 if c == 0 {
-                    let duu = if center { -4.0 * p.d1 * ih2 } else { p.d1 * ih2 };
-                    let (ruu, ruv) =
-                        if center { (-v * v - p.gamma, -2.0 * u * v) } else { (0.0, 0.0) };
+                    let duu = if center {
+                        -4.0 * p.d1 * ih2
+                    } else {
+                        p.d1 * ih2
+                    };
+                    let (ruu, ruv) = if center {
+                        (-v * v - p.gamma, -2.0 * u * v)
+                    } else {
+                        (0.0, 0.0)
+                    };
                     b.push(local, ju, duu + ruu);
                     b.push(local, jv, ruv);
                 } else {
-                    let dvv = if center { -4.0 * p.d2 * ih2 } else { p.d2 * ih2 };
+                    let dvv = if center {
+                        -4.0 * p.d2 * ih2
+                    } else {
+                        p.d2 * ih2
+                    };
                     let (rvu, rvv) = if center {
                         (v * v, 2.0 * u * v - (p.gamma + p.kappa))
                     } else {
@@ -209,7 +227,12 @@ impl OdeProblem for GrayScott {
                         (p.d1 * ih2, p.d2 * ih2)
                     };
                     let (ruu, ruv, rvu, rvv) = if center {
-                        (-v * v - p.gamma, -2.0 * u * v, v * v, 2.0 * u * v - (p.gamma + p.kappa))
+                        (
+                            -v * v - p.gamma,
+                            -2.0 * u * v,
+                            v * v,
+                            2.0 * u * v - (p.gamma + p.kappa),
+                        )
                     } else {
                         (0.0, 0.0, 0.0, 0.0)
                     };

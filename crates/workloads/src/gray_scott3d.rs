@@ -59,8 +59,15 @@ impl GrayScott3D {
         w
     }
 
-    const STENCIL: [(isize, isize, isize); 7] =
-        [(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)];
+    const STENCIL: [(isize, isize, isize); 7] = [
+        (0, 0, 0),
+        (-1, 0, 0),
+        (1, 0, 0),
+        (0, -1, 0),
+        (0, 1, 0),
+        (0, 0, -1),
+        (0, 0, 1),
+    ];
 }
 
 impl OdeProblem for GrayScott3D {
@@ -206,7 +213,10 @@ mod tests {
             dt: 1.0,
             newton: NewtonConfig {
                 rtol: 1e-8,
-                ksp: KspConfig { rtol: 1e-5, ..Default::default() },
+                ksp: KspConfig {
+                    rtol: 1e-5,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         };

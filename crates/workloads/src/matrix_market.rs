@@ -54,9 +54,7 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, MtxError> {
     let mut lines = BufReader::new(reader).lines();
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() < 5 || !h[0].eq_ignore_ascii_case("%%MatrixMarket") {
         return Err(parse_err(format!("bad header line: {header}")));
@@ -89,7 +87,10 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, MtxError> {
     let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token `{t}`"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(format!("bad size token `{t}`")))
+        })
         .collect::<Result<_, _>>()?;
     let [m, n, nnz] = dims[..] else {
         return Err(parse_err(format!("size line needs 3 fields: {size_line}")));
@@ -220,7 +221,10 @@ mod tests {
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_mtx(oob.as_bytes()).is_err());
         let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(read_mtx(short.as_bytes()).is_err(), "entry count mismatch detected");
+        assert!(
+            read_mtx(short.as_bytes()).is_err(),
+            "entry count mismatch detected"
+        );
     }
 
     #[test]

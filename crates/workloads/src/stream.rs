@@ -41,7 +41,10 @@ impl StreamKernel {
 /// Runs one STREAM kernel on `n`-element arrays, `reps` repetitions,
 /// reporting the best bandwidth (the standard STREAM methodology).
 pub fn run_stream(kernel: StreamKernel, n: usize, reps: usize) -> StreamResult {
-    assert!(n >= 1024, "arrays must dwarf the cache to measure bandwidth");
+    assert!(
+        n >= 1024,
+        "arrays must dwarf the cache to measure bandwidth"
+    );
     assert!(reps >= 1);
     let s = 3.0f64;
     let mut a: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
@@ -77,16 +80,24 @@ pub fn run_stream(kernel: StreamKernel, n: usize, reps: usize) -> StreamResult {
         // Defeat dead-code elimination.
         std::hint::black_box((&a, &b, &c));
     }
-    StreamResult { best_gbs: bytes as f64 / best / 1e9, bytes }
+    StreamResult {
+        best_gbs: bytes as f64 / best / 1e9,
+        bytes,
+    }
 }
 
 /// Runs all four kernels, returning `(kernel, result)` pairs — one row of
 /// the classic STREAM report.
 pub fn run_all(n: usize, reps: usize) -> Vec<(StreamKernel, StreamResult)> {
-    [StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add, StreamKernel::Triad]
-        .into_iter()
-        .map(|k| (k, run_stream(k, n, reps)))
-        .collect()
+    [
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Add,
+        StreamKernel::Triad,
+    ]
+    .into_iter()
+    .map(|k| (k, run_stream(k, n, reps)))
+    .collect()
 }
 
 #[cfg(test)]

@@ -27,10 +27,17 @@ fn main() {
         0.5, // Crank-Nicolson
         NewtonConfig {
             rtol: 1e-8,
-            ksp: KspConfig { rtol: 1e-6, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-6,
+                ..Default::default()
+            },
             ..Default::default()
         },
-        AdaptConfig { tol: 1e-4, dt_max: 8.0, ..Default::default() },
+        AdaptConfig {
+            tol: 1e-4,
+            dt_max: 8.0,
+            ..Default::default()
+        },
         0.25,
     );
 
@@ -39,7 +46,10 @@ fn main() {
 
     println!("{:>8} {:>10} {:>12} {:>6}", "t", "dt", "local err", "rej");
     for s in ts.history() {
-        println!("{:>8.3} {:>10.4} {:>12.3e} {:>6}", s.t, s.dt, s.error, s.rejections);
+        println!(
+            "{:>8.3} {:>10.4} {:>12.3e} {:>6}",
+            s.t, s.dt, s.error, s.rejections
+        );
     }
     let dts: Vec<f64> = ts.history().iter().map(|s| s.dt).collect();
     let dt_min = dts.iter().cloned().fold(f64::INFINITY, f64::min);

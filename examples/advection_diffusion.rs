@@ -21,7 +21,9 @@ fn main() {
 
     let prob = AdvectionDiffusion::new(grid, AdvectionDiffusionParams::default());
     let n = prob.dim();
-    println!("advection-diffusion on {grid}x{grid} periodic grid ({n} unknowns), {steps} BE steps\n");
+    println!(
+        "advection-diffusion on {grid}x{grid} periodic grid ({n} unknowns), {steps} BE steps\n"
+    );
 
     let mut profiler = Profiler::new();
 
@@ -29,7 +31,9 @@ fn main() {
     // assemble and factor once — unlike Gray-Scott, where §7's per-Newton
     // re-assembly dominates.
     let dt = 0.01;
-    let j = profiler.time("MatAssembly", || prob.rhs_jacobian(0.0, &prob.gaussian_initial()));
+    let j = profiler.time("MatAssembly", || {
+        prob.rhs_jacobian(0.0, &prob.gaussian_initial())
+    });
     let a: Csr = profiler.time("MatAssembly", || matops::identity_plus_scaled(1.0, -dt, &j));
     let ilu = profiler.time("PCSetUp(ILU0)", || Ilu0::factor(&a));
     let sell = profiler.time("MatConvert(SELL)", || Sell8::from_csr(&a));
@@ -38,7 +42,10 @@ fn main() {
     let mut u = prob.gaussian_initial();
     let mass0: f64 = u.iter().sum();
 
-    let cfg = KspConfig { rtol: 1e-10, ..Default::default() };
+    let cfg = KspConfig {
+        rtol: 1e-10,
+        ..Default::default()
+    };
     let mut total_iters = 0usize;
     for _ in 0..steps {
         let b = u.clone();
@@ -51,10 +58,21 @@ fn main() {
 
     let mass1: f64 = u.iter().sum();
     println!("{profiler}");
-    println!("GMRES iterations total: {total_iters} ({} MatMults)", op.applies());
-    println!("mass conservation: {mass0:.6} -> {mass1:.6} (drift {:.2e})",
-        (mass1 - mass0).abs() / mass0);
-    println!("KSPSolve share of runtime: {:.0}%", profiler.fraction("KSPSolve") * 100.0);
-    assert!((mass1 - mass0).abs() / mass0 < 1e-8, "implicit upwind scheme conserves mass");
+    println!(
+        "GMRES iterations total: {total_iters} ({} MatMults)",
+        op.applies()
+    );
+    println!(
+        "mass conservation: {mass0:.6} -> {mass1:.6} (drift {:.2e})",
+        (mass1 - mass0).abs() / mass0
+    );
+    println!(
+        "KSPSolve share of runtime: {:.0}%",
+        profiler.fraction("KSPSolve") * 100.0
+    );
+    assert!(
+        (mass1 - mass0).abs() / mass0 < 1e-8,
+        "implicit upwind scheme conserves mass"
+    );
     assert!(u.iter().all(|v| v.is_finite() && *v > -1e-9));
 }

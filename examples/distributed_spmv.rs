@@ -73,7 +73,10 @@ fn main() {
             &DistDot { comm },
             &rhs,
             &mut sol,
-            &KspConfig { rtol: 1e-8, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                ..Default::default()
+            },
         );
         (ynorm, res.iterations, res.converged())
     });

@@ -14,13 +14,24 @@ fn main() {
         ("9-pt stencil 96x96", generators::stencil9(96)),
         ("3D 7-pt stencil 24^3", generators::stencil7_3d(24)),
         ("banded n=16k band=3", generators::banded(16_384, 3, 1)),
-        ("random uniform 9/row", generators::random_uniform(10_000, 9, 2)),
-        ("power-law rows", generators::power_law(10_000, 2, 256, 1.2, 3)),
+        (
+            "random uniform 9/row",
+            generators::random_uniform(10_000, 9, 2),
+        ),
+        (
+            "power-law rows",
+            generators::power_law(10_000, 2, 256, 1.2, 3),
+        ),
         ("diagonal", generators::diagonal(10_000, 4)),
     ];
 
     for (name, a) in &cases {
-        println!("== {name}  ({} x {}, nnz {})", a.nrows(), a.ncols(), a.nnz());
+        println!(
+            "== {name}  ({} x {}, nnz {})",
+            a.nrows(),
+            a.ncols(),
+            a.nnz()
+        );
         println!("  {}", FormatStats::for_csr(a));
         let sell = Sell8::from_csr(a);
         println!("  {}", FormatStats::for_sell(&sell));

@@ -28,11 +28,18 @@ fn run_simulation<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, f6
         dt: 1.0,
         newton: NewtonConfig {
             rtol: 1e-8,
-            ksp: KspConfig { rtol: 1e-5, restart: 30, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-5,
+                restart: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
     };
-    let mg_cfg = MultigridConfig { coarse: CoarseSolve::Jacobi(8), ..Default::default() };
+    let mg_cfg = MultigridConfig {
+        coarse: CoarseSolve::Jacobi(8),
+        ..Default::default()
+    };
 
     let mut u = gs.initial_condition(42);
     let mut ts = ThetaStepper::new(cfg);
@@ -57,8 +64,10 @@ fn main() {
     let steps: usize = args.get(2).map_or(5, |s| s.parse().expect("step count"));
     let format = args.get(3).map(String::as_str).unwrap_or("both");
 
-    println!("Gray-Scott on a {grid}x{grid} periodic grid ({} unknowns), {steps} CN steps\n",
-        2 * grid * grid);
+    println!(
+        "Gray-Scott on a {grid}x{grid} periodic grid ({} unknowns), {steps} CN steps\n",
+        2 * grid * grid
+    );
 
     let mut results: Vec<(&str, Vec<f64>, f64)> = Vec::new();
     if format == "csr" || format == "both" {
@@ -80,10 +89,12 @@ fn main() {
             .iter()
             .zip(&results[1].1)
             .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-            ;
+            .fold(0.0f64, f64::max);
         println!("trajectory agreement CSR vs SELL: max |Δu| = {max_diff:.3e}");
-        println!("wall time: CSR {:.3} s vs SELL {:.3} s", results[0].2, results[1].2);
+        println!(
+            "wall time: CSR {:.3} s vs SELL {:.3} s",
+            results[0].2, results[1].2
+        );
         assert!(max_diff < 1e-8, "formats must compute the same simulation");
     }
 }

@@ -57,18 +57,33 @@ fn main() {
         let m = a.clone().with_isa(isa);
         let mut y = vec![0.0; a.nrows()];
         let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
-        println!("{:<22} {:>12.1} {:>10.2}", format!("CSR {isa}"), t * 1e6, flops / t / 1e9);
+        println!(
+            "{:<22} {:>12.1} {:>10.2}",
+            format!("CSR {isa}"),
+            t * 1e6,
+            flops / t / 1e9
+        );
     }
     for isa in Isa::available_tiers() {
         let m = Sell8::from_csr(&a).with_isa(isa);
         let mut y = vec![0.0; a.nrows()];
         let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
-        println!("{:<22} {:>12.1} {:>10.2}", format!("SELL {isa}"), t * 1e6, flops / t / 1e9);
+        println!(
+            "{:<22} {:>12.1} {:>10.2}",
+            format!("SELL {isa}"),
+            t * 1e6,
+            flops / t / 1e9
+        );
     }
     {
         let mut y = vec![0.0; a.nrows()];
         let t = time_best(|| sell.spmv_tuned(&x, std::hint::black_box(&mut y)), reps);
-        println!("{:<22} {:>12.1} {:>10.2}", "SELL tuned (§5.5)", t * 1e6, flops / t / 1e9);
+        println!(
+            "{:<22} {:>12.1} {:>10.2}",
+            "SELL tuned (§5.5)",
+            t * 1e6,
+            flops / t / 1e9
+        );
     }
 
     // Round-trip the matrix through .mtx to prove the writer works too.

@@ -23,7 +23,11 @@ fn run_parallel<M: SpMv + FromCsr>(ranks: usize, grid: usize, steps: usize) -> (
         let mut u = p.initial_condition_local(42);
         let cfg = NewtonConfig {
             rtol: 1e-8,
-            ksp: KspConfig { rtol: 1e-5, restart: 30, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-5,
+                restart: 30,
+                ..Default::default()
+            },
             ..Default::default()
         };
         comm.barrier();
@@ -85,5 +89,8 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\ntrajectory agreement: max |Δu| = {max_diff:.2e}");
     assert!(max_diff < 1e-8, "formats must agree");
-    println!("CSR {t_csr:.3} s vs SELL {t_sell:.3} s ({:.2}x)", t_csr / t_sell);
+    println!(
+        "CSR {t_csr:.3} s vs SELL {t_sell:.3} s ({:.2}x)",
+        t_csr / t_sell
+    );
 }

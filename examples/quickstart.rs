@@ -27,14 +27,22 @@ fn main() {
 
     // 2. Convert to the paper's sliced ELLPACK (slice height 8).
     let sell = Sell8::from_csr(&csr);
-    println!("SELL-8: {} slices, padding ratio {:.2}%", sell.nslices(), sell.padding_ratio() * 100.0);
+    println!(
+        "SELL-8: {} slices, padding ratio {:.2}%",
+        sell.nslices(),
+        sell.padding_ratio() * 100.0
+    );
 
     // 3. SpMV. The widest ISA on this CPU is picked automatically; you can
     //    force a tier to compare (the Figure 8 experiment in miniature).
     let x = vec![1.0; n];
     let mut y = vec![0.0; n];
     sell.spmv(&x, &mut y);
-    println!("y[0..4] = {:?}   (detected ISA: {})", &y[0..4], Isa::detect());
+    println!(
+        "y[0..4] = {:?}   (detected ISA: {})",
+        &y[0..4],
+        Isa::detect()
+    );
 
     for isa in Isa::available_tiers() {
         let mut yi = vec![0.0; n];
@@ -53,6 +61,11 @@ fn main() {
     // 5. The §6 minimum-traffic model.
     let tc = traffic::for_csr(&csr);
     let ts = traffic::for_sell(&sell);
-    println!("\ntraffic per SpMV:  CSR {} B (AI {:.3})   SELL {} B (AI {:.3})",
-        tc.bytes, tc.arithmetic_intensity(), ts.bytes, ts.arithmetic_intensity());
+    println!(
+        "\ntraffic per SpMV:  CSR {} B (AI {:.3})   SELL {} B (AI {:.3})",
+        tc.bytes,
+        tc.arithmetic_intensity(),
+        ts.bytes,
+        ts.arithmetic_intensity()
+    );
 }

@@ -10,13 +10,19 @@ use sellkit::machine::Roofline;
 
 fn main() {
     let r = Roofline::theta_knl();
-    println!("Roofline on {} — {:.1} Gflop/s (maximum)\n", r.name, r.peak_gflops);
+    println!(
+        "Roofline on {} — {:.1} Gflop/s (maximum)\n",
+        r.name, r.peak_gflops
+    );
     for (label, bw) in &r.ceilings {
         println!("  {label:>7} ceiling: {bw:>7.1} GB/s");
     }
 
     println!("\nkernels (2048x2048 Gray-Scott, 64 procs, flat MCDRAM):\n");
-    println!("{:<20} {:>8} {:>10} {:>14}", "kernel", "AI", "Gflop/s", "% of MCDRAM");
+    println!(
+        "{:<20} {:>8} {:>10} {:>14}",
+        "kernel", "AI", "Gflop/s", "% of MCDRAM"
+    );
     for p in r.place_kernels(&knl_7230()) {
         println!(
             "{:<20} {:>8.3} {:>10.2} {:>13.0}%",

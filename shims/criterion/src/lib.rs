@@ -1,0 +1,237 @@
+//! Offline shim for the subset of `criterion` 0.5 used by this workspace.
+//!
+//! The build environment has no crates.io access, so the bench harness is
+//! provided in-tree: it actually runs and times the benchmark closures
+//! (median of per-iteration wall time over a fixed measurement window) and
+//! prints one line per benchmark. No statistical analysis, plots, or saved
+//! baselines — the paper-figure binaries in `crates/bench/src` do their own
+//! measurement; these benches are for quick relative numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle, mirroring `criterion::Bencher`.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            hint::black_box(routine());
+        }
+        // Calibrate batch size so one batch is ~1ms.
+        let t0 = Instant::now();
+        hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            let bt = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            self.samples.push(bt.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// One group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        self.report(id.as_ref(), &samples);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: &mut samples,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[f64]) {
+        if samples.is_empty() {
+            println!("{}/{id:40} (no samples)", self.name);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Melem/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.2} GB/s", n as f64 / median / 1e9)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id:40} {:>12.3} us/iter{rate}", self.name, median * 1e6);
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short windows: these benches exist for relative comparisons; the
+        // figure binaries do the careful measurement.
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim-smoke");
+        g.throughput(Throughput::Elements(16))
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut acc = 0u64;
+        g.bench_function("sum", |b| b.iter(|| acc = acc.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(acc > 0);
+    }
+}

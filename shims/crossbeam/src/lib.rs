@@ -1,0 +1,163 @@
+//! Offline shim for the subset of `crossbeam` 0.8 used by this workspace.
+//!
+//! The build environment has no crates.io access, so `sellkit-mpisim`'s two
+//! dependencies on crossbeam — MPMC-ish channels and scoped threads — are
+//! provided here on top of `std::sync::mpsc` and `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Unbounded channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Cloneable sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// Unlike `std::sync::mpsc::Receiver`, crossbeam receivers are `Sync`
+    /// and cloneable; a mutex around the std receiver recovers that.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.lock().expect("channel receiver poisoned").recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .try_recv()
+        }
+    }
+
+    /// Create an unbounded channel, mirroring `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Handle to a scoped thread, mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawn surface handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again (as
+        /// crossbeam's does), allowing nested spawns; callers that don't nest
+        /// just write `|_|`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// are joined before this returns. Crossbeam returns `Err` only when an
+    /// *unjoined* child panicked; `sellkit-mpisim` joins every handle and
+    /// re-raises panics itself, so this shim propagates such panics directly
+    /// (the observable behaviour — a panicking rank panics `run()` — is the
+    /// same) and always returns `Ok` otherwise.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_propagate_through_join() {
+        let result = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> u32 { panic!("rank died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline shim for the subset of `proptest` 1.x used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing harness that is source-compatible with the way the
+//! sellkit test suites use proptest:
+//!
+//! - `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] #[test] fn f(x in strat, ...) { ... } }`
+//! - range strategies (`0usize..60`, `-10.0f64..10.0`), tuple strategies,
+//!   `prop::collection::vec`, `prop::collection::btree_set`
+//! - `prop_assert!` / `prop_assert_eq!`
+//!
+//! Differences from upstream, deliberately accepted: inputs are drawn from a
+//! deterministic per-test stream (seeded from the test's module path and
+//! name, so runs are reproducible without a persistence file), and failing
+//! cases are *not* shrunk — the failing case index and seed are printed
+//! instead so the case can be replayed under a debugger.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the offline suite quick while
+        // still exercising plenty of shapes. Tests that need more ask for it.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 stream driving value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the stream from a test identifier and case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`
+/// (without shrinking).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy over empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Collection sizes, mirroring `proptest::collection::SizeRange`.
+#[derive(Clone, Debug)]
+pub struct SizeRange(Range<usize>);
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{BTreeSet, SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.0.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of values from an element strategy.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.0.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set below target; bounded retries keep
+            // this total even when the element domain is small.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` strategy with sizes drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Guard that reports the failing case on panic (in lieu of shrinking).
+pub struct CaseReporter<'a> {
+    /// Fully qualified test name.
+    pub test_name: &'a str,
+    /// Zero-based index of the running case.
+    pub case: u64,
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: property `{}` failed at case {} (deterministic seed; \
+                 re-run reproduces it)",
+                self.test_name, self.case
+            );
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a boolean property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases as u64 {
+                    let _reporter = $crate::CaseReporter { test_name, case };
+                    let mut rng = $crate::TestRng::for_case(test_name, case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case("t", 0);
+        for _ in 0..1000 {
+            let v = (0usize..10, -1.0f64..1.0).generate(&mut rng);
+            assert!(v.0 < 10 && (-1.0..1.0).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::for_case("t", 1);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..5, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_strategy_bounded() {
+        let mut rng = crate::TestRng::for_case("t", 2);
+        for _ in 0..200 {
+            let s = prop::collection::btree_set(0usize..40, 0..12).generate(&mut rng);
+            assert!(s.len() < 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts forward.
+        #[test]
+        fn macro_smoke(
+            n in 1usize..20,
+            xs in prop::collection::vec(0u32..100, 0..8),
+        ) {
+            prop_assert!(n >= 1);
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(n, n);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline shim for the subset of `rand` 0.8 used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! tiny, dependency-free reimplementation of exactly the surface area the
+//! sellkit crates call: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open integer and float ranges.
+//!
+//! The generator is SplitMix64 — statistically fine for test-matrix assembly
+//! and workload perturbation, deterministic per seed, and *not* the same
+//! stream as upstream `StdRng` (callers only rely on determinism, not on a
+//! specific stream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value in the range from `rng`.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (half-open).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-40 for the span sizes used in tests.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen_range(-0.01..0.01);
+            assert!((-0.01..0.01).contains(&v));
+            let n: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let v: f64 = r.gen_range(0.0..1.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+}

@@ -18,7 +18,11 @@
 
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments, clippy::type_complexity)]
+#![allow(
+    clippy::needless_range_loop,
+    clippy::too_many_arguments,
+    clippy::type_complexity
+)]
 
 /// Matrix formats and SIMD kernels ([`sellkit_core`]).
 pub use sellkit_core as core;

@@ -8,8 +8,8 @@ use sellkit::solvers::ksp::{gmres, KspConfig};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
 use sellkit::solvers::pc::{IdentityPc, JacobiPc};
 use sellkit::workloads::generators;
-use sellkit_solvers::ts::OdeProblem;
 use sellkit::workloads::{GrayScott, GrayScottParams};
+use sellkit_solvers::ts::OdeProblem;
 
 fn gray_scott_jacobian(grid: usize) -> Csr {
     let gs = GrayScott::new(grid, GrayScottParams::default());
@@ -73,7 +73,10 @@ fn uneven_partitions_are_handled() {
     let a = gray_scott_jacobian(17);
     let n = a.nrows();
     let ranges = split_rows(n, 7);
-    assert!(ranges.iter().any(|r| r.len() != ranges[0].len()), "split must be uneven");
+    assert!(
+        ranges.iter().any(|r| r.len() != ranges[0].len()),
+        "split must be uneven"
+    );
     let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.01).cos()).collect();
     let mut want = vec![0.0; n];
     a.spmv(&x, &mut want);
@@ -108,10 +111,20 @@ fn distributed_solve_matches_sequential_on_gray_scott_system() {
     }
     let a = b.to_csr();
     let rhs: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) * 0.1 - 1.0).collect();
-    let cfg = KspConfig { rtol: 1e-10, ..Default::default() };
+    let cfg = KspConfig {
+        rtol: 1e-10,
+        ..Default::default()
+    };
 
     let mut x_seq = vec![0.0; n];
-    let r = gmres(&MatOperator(&a), &JacobiPc::from_csr(&a), &SeqDot, &rhs, &mut x_seq, &cfg);
+    let r = gmres(
+        &MatOperator(&a),
+        &JacobiPc::from_csr(&a),
+        &SeqDot,
+        &rhs,
+        &mut x_seq,
+        &cfg,
+    );
     assert!(r.converged());
 
     let a2 = a.clone();
@@ -127,7 +140,10 @@ fn distributed_solve_matches_sequential_on_gray_scott_system() {
             &DistDot { comm },
             &rhs2[me.start..me.end],
             &mut x,
-            &KspConfig { rtol: 1e-10, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-10,
+                ..Default::default()
+            },
         );
         assert!(res.converged());
         let mut xv = DistVec::zeros(comm, n);
@@ -136,7 +152,12 @@ fn distributed_solve_matches_sequential_on_gray_scott_system() {
     });
     for x in out {
         for i in 0..n {
-            assert!((x[i] - x_seq[i]).abs() < 1e-6, "row {i}: {} vs {}", x[i], x_seq[i]);
+            assert!(
+                (x[i] - x_seq[i]).abs() < 1e-6,
+                "row {i}: {} vs {}",
+                x[i],
+                x_seq[i]
+            );
         }
     }
 }
@@ -196,7 +217,10 @@ fn identity_pc_distributed_matches_identity_sequential_iterations() {
     let a = generators::stencil5(12); // Dirichlet → nonsingular
     let n = a.nrows();
     let rhs = vec![1.0; n];
-    let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+    let cfg = KspConfig {
+        rtol: 1e-8,
+        ..Default::default()
+    };
     let mut x = vec![0.0; n];
     let seq = gmres(&MatOperator(&a), &IdentityPc, &SeqDot, &rhs, &mut x, &cfg);
 
@@ -210,7 +234,10 @@ fn identity_pc_distributed_matches_identity_sequential_iterations() {
             &DistDot { comm },
             &vec![1.0; me.len()],
             &mut x,
-            &KspConfig { rtol: 1e-8, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                ..Default::default()
+            },
         )
         .iterations
     });

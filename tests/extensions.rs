@@ -39,7 +39,9 @@ fn fgmres_with_chebyshev_multigrid() {
         },
     );
     let sell = Sell8::from_csr(&a);
-    let rhs: Vec<f64> = (0..a.nrows()).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+    let rhs: Vec<f64> = (0..a.nrows())
+        .map(|i| ((i * 3 % 11) as f64) - 5.0)
+        .collect();
     let mut x = vec![0.0; a.nrows()];
     let res = fgmres(
         &MatOperator(&sell),
@@ -47,10 +49,17 @@ fn fgmres_with_chebyshev_multigrid() {
         &SeqDot,
         &rhs,
         &mut x,
-        &KspConfig { rtol: 1e-9, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-9,
+            ..Default::default()
+        },
     );
     assert!(res.converged(), "{:?}", res.reason);
-    assert!(res.iterations < 25, "MG-preconditioned: {} its", res.iterations);
+    assert!(
+        res.iterations < 25,
+        "MG-preconditioned: {} its",
+        res.iterations
+    );
     // Monitor utilities agree with the result.
     let s = summarize(&res).expect("history present");
     assert!(s.reduction > 1e8);
@@ -69,7 +78,10 @@ fn eisenstat_walker_newton_on_gray_scott() {
             dt: 1.0,
             newton: NewtonConfig {
                 rtol: 1e-8,
-                ksp: KspConfig { rtol: 1e-8, ..Default::default() },
+                ksp: KspConfig {
+                    rtol: 1e-8,
+                    ..Default::default()
+                },
                 forcing,
                 ..Default::default()
             },
@@ -81,7 +93,10 @@ fn eisenstat_walker_newton_on_gray_scott() {
     };
     let fixed = run(&mut u_fixed, Forcing::Fixed);
     let ew = run(&mut u_ew, Forcing::eisenstat_walker());
-    assert!(ew <= fixed, "EW {ew} must not need more GMRES iterations than fixed {fixed}");
+    assert!(
+        ew <= fixed,
+        "EW {ew} must not need more GMRES iterations than fixed {fixed}"
+    );
     // Both land on (essentially) the same state.
     for i in 0..u_fixed.len() {
         assert!((u_fixed[i] - u_ew[i]).abs() < 1e-6, "dof {i}");
@@ -94,8 +109,15 @@ fn adaptive_cn_on_gray_scott_reaches_target_time() {
     let mut u = gs.initial_condition(9);
     let mut ts = AdaptiveTheta::new(
         0.5,
-        NewtonConfig { rtol: 1e-8, ..Default::default() },
-        AdaptConfig { tol: 1e-3, dt_max: 4.0, ..Default::default() },
+        NewtonConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        },
+        AdaptConfig {
+            tol: 1e-3,
+            dt_max: 4.0,
+            ..Default::default()
+        },
         0.5,
     );
     ts.run_until::<Sell8, _, _>(&gs, &mut u, 5.0, JacobiPc::from_csr);
@@ -121,15 +143,23 @@ fn tfqmr_with_asm_on_gray_scott_newton_system() {
         &SeqDot,
         &rhs,
         &mut x,
-        &KspConfig { rtol: 1e-9, max_it: 500, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-9,
+            max_it: 500,
+            ..Default::default()
+        },
     );
     assert!(res.converged(), "{:?}", res.reason);
     // True residual check through CSR.
     use sellkit::core::SpMv;
     let mut ax = vec![0.0; n];
     a.spmv(&x, &mut ax);
-    let rnorm: f64 =
-        ax.iter().zip(&rhs).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+    let rnorm: f64 = ax
+        .iter()
+        .zip(&rhs)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
     assert!(rnorm < 1e-6, "residual {rnorm}");
 }
 
@@ -146,7 +176,18 @@ fn profiler_attributes_the_solve_phases() {
     let a_shift = sellkit::core::matops::shift(&j.clone(), 2.0);
     let pc = JacobiPc::from_csr(&a_shift);
     let _ = prof.time("KSPSolve", || {
-        gmres(&op, &pc, &SeqDot, &rhs, &mut x, &KspConfig { rtol: 1e-4, max_it: 60, ..Default::default() })
+        gmres(
+            &op,
+            &pc,
+            &SeqDot,
+            &rhs,
+            &mut x,
+            &KspConfig {
+                rtol: 1e-4,
+                max_it: 60,
+                ..Default::default()
+            },
+        )
     });
     prof.add_flops("KSPSolve", 2 * (j.nnz() as u64) * op.applies() as u64);
     let total = prof.stop();

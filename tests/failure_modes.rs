@@ -6,7 +6,7 @@ use sellkit::core::{CooBuilder, Csr, Isa, Sell8, SpMv};
 use sellkit::mpisim::run;
 use sellkit::solvers::ksp::{bicgstab, cg, gmres, KspConfig, StopReason};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
-use sellkit::solvers::pc::{Ilu0, IdentityPc};
+use sellkit::solvers::pc::{IdentityPc, Ilu0};
 
 #[test]
 #[should_panic(expected = "x length")]
@@ -68,7 +68,11 @@ fn cg_on_indefinite_matrix_reports_breakdown() {
         &SeqDot,
         &b,
         &mut x,
-        &KspConfig { rtol: 1e-12, max_it: 10, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-12,
+            max_it: 10,
+            ..Default::default()
+        },
     );
     assert_eq!(res.reason, StopReason::Breakdown);
 }
@@ -91,7 +95,11 @@ fn gmres_on_singular_system_hits_iteration_limit_not_panic() {
         &SeqDot,
         &b,
         &mut x,
-        &KspConfig { rtol: 1e-14, max_it: 25, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-14,
+            max_it: 25,
+            ..Default::default()
+        },
     );
     assert!(!res.converged());
     assert!(x.iter().all(|v| v.is_finite()), "iterates must stay finite");
@@ -111,7 +119,11 @@ fn bicgstab_breakdown_is_reported_not_looped() {
         &SeqDot,
         &b,
         &mut x,
-        &KspConfig { rtol: 1e-12, max_it: 50, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-12,
+            max_it: 50,
+            ..Default::default()
+        },
     );
     assert!(x.iter().all(|v| v.is_finite()));
     assert!(matches!(
@@ -139,7 +151,10 @@ fn rank_panic_propagates_to_the_caller() {
         .map(String::from)
         .or_else(|| err.downcast_ref::<String>().cloned())
         .unwrap_or_default();
-    assert!(msg.contains("deliberate rank failure"), "payload preserved: {msg}");
+    assert!(
+        msg.contains("deliberate rank failure"),
+        "payload preserved: {msg}"
+    );
 }
 
 #[test]

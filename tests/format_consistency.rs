@@ -11,12 +11,16 @@ use sellkit::workloads::generators;
 fn dense_spmv(a: &Csr, x: &[f64]) -> Vec<f64> {
     let d = a.to_dense();
     let (m, n) = (a.nrows(), a.ncols());
-    (0..m).map(|i| (0..n).map(|j| d[i * n + j] * x[j]).sum()).collect()
+    (0..m)
+        .map(|i| (0..n).map(|j| d[i * n + j] * x[j]).sum())
+        .collect()
 }
 
 fn check_all_formats(a: &Csr) {
     let n = a.ncols();
-    let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64) * 0.01 - 0.5).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 % 101) as f64) * 0.01 - 0.5)
+        .collect();
     let want = dense_spmv(a, &x);
     let assert_close = |got: &[f64], label: &str| {
         for i in 0..a.nrows() {
@@ -82,8 +86,16 @@ fn pathological_shapes() {
     // All rows empty.
     check_all_formats(&CooBuilder::new(9, 9).to_csr());
     // Rectangular, wide and tall.
-    check_all_formats(&Csr::from_dense(3, 11, &(0..33).map(|i| (i % 4) as f64).collect::<Vec<_>>()));
-    check_all_formats(&Csr::from_dense(11, 3, &(0..33).map(|i| (i % 5) as f64).collect::<Vec<_>>()));
+    check_all_formats(&Csr::from_dense(
+        3,
+        11,
+        &(0..33).map(|i| (i % 4) as f64).collect::<Vec<_>>(),
+    ));
+    check_all_formats(&Csr::from_dense(
+        11,
+        3,
+        &(0..33).map(|i| (i % 5) as f64).collect::<Vec<_>>(),
+    ));
     // Exactly one slice (8 rows) and one more than a slice (9 rows).
     check_all_formats(&generators::banded(8, 2, 5));
     check_all_formats(&generators::banded(9, 2, 5));

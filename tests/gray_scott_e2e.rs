@@ -19,11 +19,18 @@ fn simulate<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, Vec<usiz
         dt: 1.0,
         newton: NewtonConfig {
             rtol: 1e-8,
-            ksp: KspConfig { rtol: 1e-5, restart: 30, ..Default::default() },
+            ksp: KspConfig {
+                rtol: 1e-5,
+                restart: 30,
+                ..Default::default()
+            },
             ..Default::default()
         },
     };
-    let mg_cfg = MultigridConfig { coarse: CoarseSolve::Jacobi(8), ..Default::default() };
+    let mg_cfg = MultigridConfig {
+        coarse: CoarseSolve::Jacobi(8),
+        ..Default::default()
+    };
     let mut u = gs.initial_condition(42);
     let mut ts = ThetaStepper::new(cfg);
     let mut gmres_its = Vec::new();
@@ -41,7 +48,10 @@ fn simulate<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, Vec<usiz
 fn csr_and_sell_trajectories_match() {
     let (u_csr, its_csr) = simulate::<Csr>(32, 3);
     let (u_sell, its_sell) = simulate::<Sell8>(32, 3);
-    assert_eq!(its_csr, its_sell, "identical algorithm ⇒ identical iteration counts");
+    assert_eq!(
+        its_csr, its_sell,
+        "identical algorithm ⇒ identical iteration counts"
+    );
     for i in 0..u_csr.len() {
         assert!((u_csr[i] - u_sell[i]).abs() < 1e-10, "dof {i}");
     }
@@ -62,7 +72,10 @@ fn solution_stays_physical() {
     let (u, _) = simulate::<Sell8>(32, 5);
     for (k, &v) in u.iter().enumerate() {
         assert!(v.is_finite(), "dof {k} not finite");
-        assert!((-0.2..=1.5).contains(&v), "dof {k} out of physical range: {v}");
+        assert!(
+            (-0.2..=1.5).contains(&v),
+            "dof {k} out of physical range: {v}"
+        );
     }
 }
 
@@ -128,7 +141,10 @@ fn backward_euler_also_integrates_gray_scott() {
     let cfg = ThetaConfig {
         theta: 1.0,
         dt: 1.0,
-        newton: NewtonConfig { rtol: 1e-8, ..Default::default() },
+        newton: NewtonConfig {
+            rtol: 1e-8,
+            ..Default::default()
+        },
     };
     let mut ts = ThetaStepper::new(cfg);
     ts.run::<Sell8, _, _>(&gs, &mut u, 3, JacobiPc::from_csr);
@@ -145,6 +161,10 @@ fn sell_padding_negligible_on_gray_scott_jacobian() {
     let w = gs.initial_condition(1);
     let j = gs.rhs_jacobian(0.0, &w);
     let sell = Sell8::from_csr(&j);
-    assert_eq!(sell.padded_elems(), 0, "uniform 10/row divides into slices exactly");
+    assert_eq!(
+        sell.padded_elems(),
+        0,
+        "uniform 10/row divides into slices exactly"
+    );
     assert_eq!(j.max_row_len(), 10);
 }

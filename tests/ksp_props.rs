@@ -34,7 +34,11 @@ fn dominant(n: usize, entries: &[(usize, usize, f64)], symmetric: bool) -> Csr {
 fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let mut ax = vec![0.0; b.len()];
     a.spmv(x, &mut ax);
-    ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+    ax.iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
 }
 
 proptest! {

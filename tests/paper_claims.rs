@@ -3,13 +3,11 @@
 //! kernels must satisfy the claims that are checkable on this host.
 
 use sellkit::core::{traffic, Isa, MatShape, Sell8};
-use sellkit::machine::specs::{
-    broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, skylake_8180m,
-};
+use sellkit::machine::specs::{broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, skylake_8180m};
 use sellkit::machine::stream_model::knl_stream_curve;
 use sellkit::machine::{predict_gflops, KernelKind, MatrixShape, MemoryMode, Roofline};
-use sellkit_solvers::ts::OdeProblem;
 use sellkit::workloads::{GrayScott, GrayScottParams};
+use sellkit_solvers::ts::OdeProblem;
 
 const FIG8_SHAPE: fn() -> MatrixShape = || MatrixShape::gray_scott(2048);
 
@@ -54,7 +52,10 @@ fn claim_perm_mkl_and_avx2_regression() {
     assert!((0.97..=1.03).contains(&perm), "CSRPerm = {perm}");
     let mkl = knl64(KernelKind::MklCsr) / base;
     assert!((0.80..=0.90).contains(&mkl), "MKL = {mkl} (10-20% below)");
-    assert!(knl64(KernelKind::CsrAvx2) < knl64(KernelKind::CsrAvx), "AVX2 regression");
+    assert!(
+        knl64(KernelKind::CsrAvx2) < knl64(KernelKind::CsrAvx),
+        "AVX2 regression"
+    );
 }
 
 /// §2.6 / Figure 4: flat saturates ≈490 GB/s needing ≈58 procs; cache
@@ -95,12 +96,36 @@ fn claim_roofline_placement() {
 fn claim_cross_architecture() {
     let shape = FIG8_SHAPE();
     for spec in [haswell_e5_2699v3(), broadwell_e5_2699v4(), skylake_8180m()] {
-        let sell = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::SellAvx512, spec.cores, shape);
-        let base = predict_gflops(&spec, MemoryMode::FlatDdr, KernelKind::CsrBaseline, spec.cores, shape);
+        let sell = predict_gflops(
+            &spec,
+            MemoryMode::FlatDdr,
+            KernelKind::SellAvx512,
+            spec.cores,
+            shape,
+        );
+        let base = predict_gflops(
+            &spec,
+            MemoryMode::FlatDdr,
+            KernelKind::CsrBaseline,
+            spec.cores,
+            shape,
+        );
         assert!(sell / base < 1.25, "{}: {}", spec.name, sell / base);
     }
-    let skl = predict_gflops(&skylake_8180m(), MemoryMode::FlatDdr, KernelKind::CsrAvx2, 28, shape);
-    let bdw = predict_gflops(&broadwell_e5_2699v4(), MemoryMode::FlatDdr, KernelKind::CsrAvx2, 22, shape);
+    let skl = predict_gflops(
+        &skylake_8180m(),
+        MemoryMode::FlatDdr,
+        KernelKind::CsrAvx2,
+        28,
+        shape,
+    );
+    let bdw = predict_gflops(
+        &broadwell_e5_2699v4(),
+        MemoryMode::FlatDdr,
+        KernelKind::CsrAvx2,
+        22,
+        shape,
+    );
     assert!(skl / bdw > 1.4, "Skylake/Broadwell = {}", skl / bdw);
     let knl = knl64(KernelKind::SellAvx512);
     assert!(knl > 45.0, "KNL SELL-AVX512 ≈ 50 Gflop/s, got {knl}");
@@ -119,7 +144,10 @@ fn claim_multinode_mode_dependence() {
     };
     assert!(speedup(MemoryMode::FlatMcdram) > 1.8);
     assert!(speedup(MemoryMode::Cache) > 1.6);
-    assert!(speedup(MemoryMode::FlatDdr) < 1.25, "DRAM-only gain must be marginal");
+    assert!(
+        speedup(MemoryMode::FlatDdr) < 1.25,
+        "DRAM-only gain must be marginal"
+    );
 }
 
 /// §7.1: "cache mode yields slightly lower performance than does flat
@@ -128,11 +156,29 @@ fn claim_multinode_mode_dependence() {
 fn claim_cache_mode_slightly_below_flat() {
     let shape = FIG8_SHAPE();
     let knl = knl_7230();
-    let sell_flat = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::SellAvx512, 64, shape);
+    let sell_flat = predict_gflops(
+        &knl,
+        MemoryMode::FlatMcdram,
+        KernelKind::SellAvx512,
+        64,
+        shape,
+    );
     let sell_cache = predict_gflops(&knl, MemoryMode::Cache, KernelKind::SellAvx512, 64, shape);
-    assert!(sell_cache < sell_flat, "cache below flat for the bandwidth-hungry kernel");
-    assert!(sell_cache > 0.8 * sell_flat, "but only slightly: {sell_cache} vs {sell_flat}");
-    let base_flat = predict_gflops(&knl, MemoryMode::FlatMcdram, KernelKind::CsrBaseline, 64, shape);
+    assert!(
+        sell_cache < sell_flat,
+        "cache below flat for the bandwidth-hungry kernel"
+    );
+    assert!(
+        sell_cache > 0.8 * sell_flat,
+        "but only slightly: {sell_cache} vs {sell_flat}"
+    );
+    let base_flat = predict_gflops(
+        &knl,
+        MemoryMode::FlatMcdram,
+        KernelKind::CsrBaseline,
+        64,
+        shape,
+    );
     let base_cache = predict_gflops(&knl, MemoryMode::Cache, KernelKind::CsrBaseline, 64, shape);
     assert!(base_cache <= base_flat * 1.001);
 }

@@ -233,7 +233,9 @@ fn mpisim_random_traffic() {
             let me = comm.rank() as u64;
             let mut state = seed * 1000 + me + 1;
             let mut next = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as usize
             };
             // Everyone sends `k` messages to each peer, tagged by sender.

@@ -4,8 +4,8 @@
 use sellkit::core::{Csr, MatShape, Sell8, SpMv};
 use sellkit::grid::{bilinear_interpolation, interpolation_chain, laplacian_5pt, Grid2D};
 use sellkit::solvers::ksp::{bicgstab, cg, fgmres, gmres, tfqmr, KspConfig};
-use sellkit::solvers::pc::asm::{AsmPc, SubSolve};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
+use sellkit::solvers::pc::asm::{AsmPc, SubSolve};
 use sellkit::solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
 use sellkit::solvers::pc::{BlockJacobiPc, IdentityPc, Ilu0, JacobiPc, SorPc};
 use sellkit::solvers::Precond;
@@ -28,7 +28,11 @@ fn shifted_laplacian(n: usize) -> Csr {
 fn true_res(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let mut ax = vec![0.0; b.len()];
     a.spmv(x, &mut ax);
-    ax.iter().zip(b).map(|(v, w)| (v - w) * (v - w)).sum::<f64>().sqrt()
+    ax.iter()
+        .zip(b)
+        .map(|(v, w)| (v - w) * (v - w))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[test]
@@ -36,7 +40,10 @@ fn every_ksp_solves_the_shifted_laplacian() {
     let a = shifted_laplacian(12);
     let n = a.nrows();
     let rhs: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
-    let cfg = KspConfig { rtol: 1e-9, ..Default::default() };
+    let cfg = KspConfig {
+        rtol: 1e-9,
+        ..Default::default()
+    };
     let pc = JacobiPc::from_csr(&a);
 
     let mut x = vec![0.0; n];
@@ -62,7 +69,11 @@ fn every_ksp_solves_the_shifted_laplacian() {
         &SeqDot,
         &rhs,
         &mut x,
-        &KspConfig { rtol: 1e-9, max_it: 2000, ..Default::default() },
+        &KspConfig {
+            rtol: 1e-9,
+            max_it: 2000,
+            ..Default::default()
+        },
     );
     assert!(t.converged(), "tfqmr: {:?}", t.reason);
     assert!(true_res(&a, &x, &rhs) < 1e-4);
@@ -75,7 +86,10 @@ fn every_pc_accelerates_gmres() {
     // Non-trivial right-hand side (an all-ones rhs is an eigenvector of
     // the shifted periodic Laplacian and converges in one iteration).
     let rhs: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
-    let cfg = KspConfig { rtol: 1e-8, ..Default::default() };
+    let cfg = KspConfig {
+        rtol: 1e-8,
+        ..Default::default()
+    };
 
     let iters = |pc: &dyn Precond| {
         let mut x = vec![0.0; n];
@@ -92,11 +106,17 @@ fn every_pc_accelerates_gmres() {
     let asm = iters(&AsmPc::new(&a, 4, SubSolve::Ilu0));
 
     assert!(jac <= none, "Jacobi {jac} vs none {none}");
-    assert!(bjac <= jac + 2, "block-Jacobi comparable to Jacobi: {bjac} vs {jac}");
+    assert!(
+        bjac <= jac + 2,
+        "block-Jacobi comparable to Jacobi: {bjac} vs {jac}"
+    );
     assert!(sor < none, "SSOR {sor} vs none {none}");
     assert!(ilu < jac, "ILU(0) {ilu} must beat Jacobi {jac}");
     assert!(asm < jac, "ASM/ILU {asm} must beat Jacobi {jac}");
-    assert!(asm >= ilu, "4-block ASM cannot beat global ILU: {asm} vs {ilu}");
+    assert!(
+        asm >= ilu,
+        "4-block ASM cannot beat global ILU: {asm} vs {ilu}"
+    );
 }
 
 #[test]
@@ -112,7 +132,10 @@ fn multigrid_gmres_iteration_count_is_grid_independent() {
         let mg: Multigrid<Csr> = Multigrid::new(
             &a,
             &interps,
-            MultigridConfig { coarse: CoarseSolve::Jacobi(8), ..Default::default() },
+            MultigridConfig {
+                coarse: CoarseSolve::Jacobi(8),
+                ..Default::default()
+            },
         );
         let rhs = vec![1.0; a.nrows()];
         let mut x = vec![0.0; a.nrows()];
@@ -122,7 +145,10 @@ fn multigrid_gmres_iteration_count_is_grid_independent() {
             &SeqDot,
             &rhs,
             &mut x,
-            &KspConfig { rtol: 1e-8, ..Default::default() },
+            &KspConfig {
+                rtol: 1e-8,
+                ..Default::default()
+            },
         );
         assert!(r.converged());
         counts.push(r.iterations);
@@ -140,7 +166,10 @@ fn sell_multigrid_identical_to_csr_multigrid() {
     let interps = vec![bilinear_interpolation(&g)];
     let cfg = MultigridConfig::default();
     let rhs: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.01).sin()).collect();
-    let kcfg = KspConfig { rtol: 1e-9, ..Default::default() };
+    let kcfg = KspConfig {
+        rtol: 1e-9,
+        ..Default::default()
+    };
 
     let mg1: Multigrid<Csr> = Multigrid::new(&a, &interps, cfg);
     let mut x1 = vec![0.0; a.nrows()];
@@ -151,7 +180,10 @@ fn sell_multigrid_identical_to_csr_multigrid() {
     let mut x2 = vec![0.0; a.nrows()];
     let r2 = gmres(&MatOperator(&sell), &mg2, &SeqDot, &rhs, &mut x2, &kcfg);
 
-    assert_eq!(r1.iterations, r2.iterations, "same algorithm, same iteration count");
+    assert_eq!(
+        r1.iterations, r2.iterations,
+        "same algorithm, same iteration count"
+    );
     for i in 0..a.nrows() {
         assert!((x1[i] - x2[i]).abs() < 1e-9, "row {i}");
     }
