@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sellkit_core::{Baij, Isa, MatShape, Sell, SpMv};
+use sellkit_core::{Baij, ExecCtx, Isa, MatShape, Sell, SpMv};
 use sellkit_solvers::ts::OdeProblem;
 use sellkit_workloads::generators::banded;
 use sellkit_workloads::{GrayScott, GrayScottParams};
@@ -102,6 +102,32 @@ fn bench_tuned_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    // Shared-memory scaling of the worker-pool engine on the 256²
+    // Gray-Scott Jacobian (the §7 problem at the paper's smallest grid):
+    // SELL-8 SpMV at 1/2/4/8 threads, bitwise-identical output at every
+    // width.  Speedup requires ≥ the corresponding number of physical
+    // cores; on fewer cores the extra widths measure dispatch overhead.
+    let gs = GrayScott::new(256, GrayScottParams::default());
+    let w = gs.initial_condition(1);
+    let a = gs.rhs_jacobian(0.0, &w);
+    let sell = sellkit_core::Sell8::from_csr(&a);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.002).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let mut g = c.benchmark_group("kernels_micro/thread_scaling_sell8");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.sample_size(15);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_millis(800));
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = ExecCtx::new(threads);
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| sell.spmv_ctx(&ctx, &x, &mut y))
+        });
+    }
+    g.finish();
+}
+
 fn bench_spmm(c: &mut Criterion) {
     // Blocked right-hand sides: SELL's spmm streams the matrix once for k
     // vectors, multiplying effective arithmetic intensity by ~k (§6).
@@ -138,6 +164,7 @@ criterion_group!(
     bench_csr_remainder,
     bench_baij,
     bench_tuned_kernel,
+    bench_thread_scaling,
     bench_spmm
 );
 criterion_main!(benches);

@@ -20,6 +20,7 @@ use sellkit_workloads::{GrayScott, GrayScottParams};
 fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
     gs: &GrayScott,
     u0: &[f64],
+    ctx: &sellkit_core::ExecCtx,
 ) -> Vec<f64> {
     let grid = *gs.grid();
     let interps = interpolation_chain(&grid, 3);
@@ -42,7 +43,9 @@ fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
         coarse: CoarseSolve::Jacobi(8),
         ..Default::default()
     };
-    let res = ts.step::<M, _, _>(gs, &mut u, |j| Multigrid::<M>::new(j, &interps, mg_cfg));
+    let res = ts.step_ctx::<M, _, _>(gs, &mut u, ctx, |j| {
+        Multigrid::<M>::new(j, &interps, mg_cfg)
+    });
     assert!(res.converged(), "Newton failed in bench: {:?}", res.reason);
     u
 }
@@ -50,15 +53,38 @@ fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
 fn bench_solve(c: &mut Criterion) {
     let gs = GrayScott::new(64, GrayScottParams::default());
     let u0 = gs.initial_condition(1);
+    let serial = sellkit_core::ExecCtx::serial();
 
     let mut g = c.benchmark_group("solve_gray_scott/cn_step_64x64");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("CSR", |b| b.iter(|| one_cn_step::<Csr>(&gs, &u0)));
-    g.bench_function("SELL", |b| b.iter(|| one_cn_step::<Sell8>(&gs, &u0)));
+    g.bench_function("CSR", |b| b.iter(|| one_cn_step::<Csr>(&gs, &u0, &serial)));
+    g.bench_function("SELL", |b| {
+        b.iter(|| one_cn_step::<Sell8>(&gs, &u0, &serial))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_solve);
+fn bench_solve_threads(c: &mut Criterion) {
+    // The same CN step with the Newton systems' SpMVs on the worker
+    // pool: thread sweep of the end-to-end solve (iterates are bitwise
+    // identical at every width, so iteration counts match exactly).
+    let gs = GrayScott::new(64, GrayScottParams::default());
+    let u0 = gs.initial_condition(1);
+
+    let mut g = c.benchmark_group("solve_gray_scott/cn_step_64x64_threads");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = sellkit_core::ExecCtx::new(threads);
+        g.bench_function(format!("SELL threads={threads}"), |b| {
+            b.iter(|| one_cn_step::<Sell8>(&gs, &u0, &ctx))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_solve_threads);
 criterion_main!(benches);

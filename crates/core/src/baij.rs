@@ -9,6 +9,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
+use crate::exec::{split_by_weight, ExecCtx};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// A block-CSR matrix with runtime block size `bs`.
@@ -150,22 +151,55 @@ impl MatShape for Baij {
 }
 
 impl SpMv for Baij {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows(), self.ncols(), x, y);
-        let bs = self.bs;
-        match bs {
-            2 => self.spmv_bs2(x, y),
-            _ => self.spmv_generic(x, y),
-        }
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
+    }
+
+    /// Fused `y += A·x`: block accumulators land in `y` with `+=` instead
+    /// of overwrite — no scratch vector at any thread count.
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
     }
 }
 
 impl Baij {
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: serial over all block
+    /// rows, or an nnz-balanced block-row partition on the context's pool
+    /// (`browptr` counts blocks, which is proportional to stored work).
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows(), self.ncols(), x, y);
+        if ctx.is_serial() {
+            self.spmv_range::<ADD>(0, x, y);
+            return;
+        }
+        let bs = self.bs;
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (b0, b1) in split_by_weight(&self.browptr, ctx.threads()) {
+            if b0 == b1 {
+                continue;
+            }
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut((b1 - b0) * bs);
+            rest = tail;
+            jobs.push(Box::new(move || self.spmv_range::<ADD>(b0, x, win)));
+        }
+        ctx.run(jobs);
+    }
+
+    /// Block rows `[b0, b0 + win.len()/bs)` into the matching `y` window.
+    fn spmv_range<const ADD: bool>(&self, b0: usize, x: &[f64], win: &mut [f64]) {
+        match self.bs {
+            2 => self.spmv_bs2::<ADD>(b0, x, win),
+            _ => self.spmv_generic::<ADD>(b0, x, win),
+        }
+    }
+
     /// Generic block kernel: `bs` accumulators, `bs` reused x entries.
-    fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
+    fn spmv_generic<const ADD: bool>(&self, b0: usize, x: &[f64], win: &mut [f64]) {
         let bs = self.bs;
         let mut acc = vec![0.0f64; bs];
-        for bi in 0..self.mbs {
+        for (o, yb) in win.chunks_exact_mut(bs).enumerate() {
+            let bi = b0 + o;
             acc.fill(0.0);
             for k in self.browptr[bi]..self.browptr[bi + 1] {
                 let bc = self.bcolidx[k] as usize;
@@ -179,14 +213,21 @@ impl Baij {
                     acc[r] += s;
                 }
             }
-            y[bi * bs..(bi + 1) * bs].copy_from_slice(&acc);
+            if ADD {
+                for (yi, &a) in yb.iter_mut().zip(acc.iter()) {
+                    *yi += a;
+                }
+            } else {
+                yb.copy_from_slice(&acc);
+            }
         }
     }
 
     /// Specialized 2×2 kernel (the Gray-Scott `dof = 2` case): fully
     /// unrolled so the compiler keeps the block in registers.
-    fn spmv_bs2(&self, x: &[f64], y: &mut [f64]) {
-        for bi in 0..self.mbs {
+    fn spmv_bs2<const ADD: bool>(&self, b0: usize, x: &[f64], win: &mut [f64]) {
+        for (o, yb) in win.chunks_exact_mut(2).enumerate() {
+            let bi = b0 + o;
             let (mut y0, mut y1) = (0.0f64, 0.0f64);
             for k in self.browptr[bi]..self.browptr[bi + 1] {
                 let bc = self.bcolidx[k] as usize;
@@ -196,8 +237,13 @@ impl Baij {
                 y0 += b[0] * x0 + b[1] * x1;
                 y1 += b[2] * x0 + b[3] * x1;
             }
-            y[bi * 2] = y0;
-            y[bi * 2 + 1] = y1;
+            if ADD {
+                yb[0] += y0;
+                yb[1] += y1;
+            } else {
+                yb[0] = y0;
+                yb[1] = y1;
+            }
         }
     }
 }

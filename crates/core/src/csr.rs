@@ -7,6 +7,7 @@
 //! value + 4 bytes of index per nonzero).
 
 use crate::aligned::AVec;
+use crate::exec::{split_by_weight, ExecCtx};
 use crate::isa::Isa;
 use crate::kernels;
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
@@ -209,6 +210,44 @@ impl Csr {
         check_spmv_dims(self.nrows, self.ncols, x, y);
         kernels::dispatch::csr_spmv(isa, &self.rowptr, &self.colidx, &self.val, x, y);
     }
+
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: serial whole-matrix
+    /// dispatch, or an nnz-balanced row partition (one window job per
+    /// worker) on the context's pool.
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        if ctx.is_serial() {
+            if ADD {
+                kernels::dispatch::csr_spmv_add(
+                    self.isa,
+                    &self.rowptr,
+                    &self.colidx,
+                    &self.val,
+                    x,
+                    y,
+                );
+            } else {
+                kernels::dispatch::csr_spmv(self.isa, &self.rowptr, &self.colidx, &self.val, x, y);
+            }
+            return;
+        }
+        let isa = self.isa;
+        let (colidx, val) = (&self.colidx[..], &self.val[..]);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (r0, r1) in split_by_weight(&self.rowptr, ctx.threads()) {
+            if r0 == r1 {
+                continue;
+            }
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
+            rest = tail;
+            let rowptr = &self.rowptr[r0..=r1];
+            jobs.push(Box::new(move || {
+                kernels::dispatch::csr_spmv_rows::<ADD>(isa, rowptr, colidx, val, x, win);
+            }));
+        }
+        ctx.run(jobs);
+    }
 }
 
 impl MatShape for Csr {
@@ -224,13 +263,13 @@ impl MatShape for Csr {
 }
 
 impl SpMv for Csr {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_isa(self.isa, x, y);
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
     }
 
-    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows, self.ncols, x, y);
-        kernels::dispatch::csr_spmv_add(self.isa, &self.rowptr, &self.colidx, &self.val, x, y);
+    /// Fused `y += A·x` — no scratch vector at any thread count.
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
     }
 }
 

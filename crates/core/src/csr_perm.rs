@@ -92,7 +92,11 @@ impl MatShape for CsrPerm {
 }
 
 impl SpMv for CsrPerm {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    /// Groups scatter into `y` through the permutation, so AIJPERM is a
+    /// documented serial fallback: it ignores the context and computes on
+    /// the calling thread.  (`spmv_add_ctx` keeps the scratch-vector
+    /// default for the same reason.)
+    fn spmv_ctx(&self, _ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.nrows(), self.ncols(), x, y);
         let rowptr = self.csr.rowptr();
         let colidx = self.csr.colidx();

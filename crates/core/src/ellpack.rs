@@ -10,6 +10,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
+use crate::exec::{split_even, ExecCtx};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// Unsliced ELLPACK: one `m × L` dense block, column-major.
@@ -94,16 +95,54 @@ impl MatShape for Ellpack {
     }
 }
 
-impl SpMv for Ellpack {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+impl Ellpack {
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: the column-major sweep
+    /// over a row range `[r0, r0 + win.len())`.  Row ranges write disjoint
+    /// `y` windows, so the same body serves the serial whole-matrix call
+    /// and every parallel partition job; each row accumulates its `width`
+    /// products in ascending-`j` order either way (bitwise determinism).
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.nrows, self.ncols, x, y);
-        y.fill(0.0);
-        for j in 0..self.width {
-            let base = j * self.nrows;
-            for i in 0..self.nrows {
-                y[i] += self.val[base + i] * x[self.colidx[base + i] as usize];
+        let (nrows, width) = (self.nrows, self.width);
+        let (val, colidx) = (&self.val[..], &self.colidx[..]);
+        let part = move |r0: usize, win: &mut [f64]| {
+            if !ADD {
+                win.fill(0.0);
             }
+            for j in 0..width {
+                let base = j * nrows + r0;
+                for (o, yi) in win.iter_mut().enumerate() {
+                    *yi += val[base + o] * x[colidx[base + o] as usize];
+                }
+            }
+        };
+        if ctx.is_serial() {
+            part(0, y);
+            return;
         }
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (r0, r1) in split_even(nrows, ctx.threads()) {
+            if r0 == r1 {
+                continue;
+            }
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
+            rest = tail;
+            jobs.push(Box::new(move || part(r0, win)));
+        }
+        ctx.run(jobs);
+    }
+}
+
+impl SpMv for Ellpack {
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
+    }
+
+    /// Fused `y += A·x`: the same column-major sweep without the zero
+    /// fill — no scratch vector.
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
     }
 }
 
@@ -152,18 +191,55 @@ impl MatShape for EllpackR {
     }
 }
 
-impl SpMv for EllpackR {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+impl EllpackR {
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: row-major traversal
+    /// bounded by `rlen` (skips padded work entirely) over a row range.
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.ell.nrows, self.ell.ncols, x, y);
-        // Row-major traversal bounded by rlen: skips padded work entirely.
-        for i in 0..self.ell.nrows {
-            let mut sum = 0.0;
-            for j in 0..self.rlen[i] as usize {
-                let at = j * self.ell.nrows + i;
-                sum += self.ell.val[at] * x[self.ell.colidx[at] as usize];
+        let nrows = self.ell.nrows;
+        let (val, colidx, rlen) = (&self.ell.val[..], &self.ell.colidx[..], &self.rlen[..]);
+        let part = move |r0: usize, win: &mut [f64]| {
+            for (o, yi) in win.iter_mut().enumerate() {
+                let i = r0 + o;
+                let mut sum = 0.0;
+                for j in 0..rlen[i] as usize {
+                    let at = j * nrows + i;
+                    sum += val[at] * x[colidx[at] as usize];
+                }
+                if ADD {
+                    *yi += sum;
+                } else {
+                    *yi = sum;
+                }
             }
-            y[i] = sum;
+        };
+        if ctx.is_serial() {
+            part(0, y);
+            return;
         }
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (r0, r1) in split_even(nrows, ctx.threads()) {
+            if r0 == r1 {
+                continue;
+            }
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
+            rest = tail;
+            jobs.push(Box::new(move || part(r0, win)));
+        }
+        ctx.run(jobs);
+    }
+}
+
+impl SpMv for EllpackR {
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
+    }
+
+    /// Fused `y += A·x`: each row's bounded sum accumulates straight into
+    /// `y` — no scratch vector.
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
     }
 }
 

@@ -1,0 +1,282 @@
+//! Shared-memory execution contexts for SpMV and vector kernels.
+//!
+//! The paper runs MatMult hybrid MPI×threads; this module supplies the
+//! "×threads" axis.  An [`ExecCtx`] owns a persistent [`WorkerPool`]
+//! (or none, for serial execution) and computes, per product, a
+//! **slice-aligned row partition balanced by nonzeros**:
+//!
+//! * SELL formats partition at slice boundaries — a slice is the natural
+//!   unit of multi-threaded SELL SpMV (Kreutzer et al.): every thread
+//!   runs the identical SIMD kernel over whole slices, writing a disjoint
+//!   `C`-aligned window of `y`;
+//! * CSR/ELLPACK partition at row boundaries, BAIJ at block-row
+//!   boundaries — again whole rows per thread, disjoint `y` windows.
+//!
+//! Balancing by nnz (binary search over the format's prefix-sum array)
+//! rather than by rows keeps threads busy on matrices with skewed row
+//! lengths — thread placement/chunking dominates many-core SpMV (Chen et
+//! al.).
+//!
+//! **Determinism**: a thread computes each of its rows with the same
+//! kernel, same operand order, as the serial path would; partitioning
+//! never splits a row or slice.  Parallel output is therefore *bitwise
+//! identical* to serial output, for any thread count (verified for all
+//! formats by `tests/parallel.rs`).
+
+use crate::pool::WorkerPool;
+
+/// Environment variable read by [`ExecCtx::from_env`].
+pub const THREADS_ENV: &str = "SELLKIT_THREADS";
+
+/// An execution context: serial, or a handle to N pooled worker threads.
+///
+/// `ExecCtx::serial()` is free to construct and makes
+/// [`SpMv::spmv_ctx`](crate::SpMv::spmv_ctx) behave exactly like the
+/// classic serial `spmv`.  `ExecCtx::new(n)` spins up a persistent pool;
+/// build it once per solve (or process) and thread it through the solver
+/// stack — constructing one per product would re-pay thread spawn costs.
+///
+/// ```
+/// use sellkit_core::{Csr, ExecCtx, SpMv};
+///
+/// let a = Csr::from_dense(2, 2, &[2.0, 0.0, 0.0, 3.0]);
+/// let ctx = ExecCtx::new(2);
+/// let mut y = vec![0.0; 2];
+/// a.spmv_ctx(&ctx, &[1.0, 1.0], &mut y);
+/// assert_eq!(y, vec![2.0, 3.0]);
+/// ```
+pub struct ExecCtx {
+    pool: Option<WorkerPool>,
+    nthreads: usize,
+}
+
+impl ExecCtx {
+    /// The serial context: no pool, no threads, classic behavior.
+    pub const fn serial() -> Self {
+        Self {
+            pool: None,
+            nthreads: 1,
+        }
+    }
+
+    /// A context with `nthreads` workers; `nthreads <= 1` yields the
+    /// serial context (no pool is spawned).
+    pub fn new(nthreads: usize) -> Self {
+        if nthreads <= 1 {
+            Self::serial()
+        } else {
+            Self {
+                pool: Some(WorkerPool::new(nthreads)),
+                nthreads,
+            }
+        }
+    }
+
+    /// Reads the thread count from `SELLKIT_THREADS` (unset, empty, `0`,
+    /// or `1` → serial).
+    pub fn from_env() -> Self {
+        let n = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of threads this context executes with (1 for serial).
+    pub fn threads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Whether this context runs serially (no worker pool).
+    pub fn is_serial(&self) -> bool {
+        self.pool.is_none()
+    }
+
+    /// The worker pool, if parallel.  Format implementations match on this
+    /// to pick the serial or partitioned path.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
+    /// Runs the closures on the pool (blocking until all complete), or in
+    /// order on the calling thread when serial.
+    pub fn run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        match &self.pool {
+            Some(pool) => pool.execute(jobs),
+            None => {
+                for job in jobs {
+                    job();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("threads", &self.nthreads)
+            .finish()
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Splits `prefix.len() - 1` items (rows, slices, block rows …) into at
+/// most `parts` contiguous ranges balanced by the prefix-sum weights
+/// (`prefix[i+1] - prefix[i]` is item `i`'s weight — its nnz).
+///
+/// Boundaries are found by binary search for each target weight, so the
+/// cost is `O(parts · log items)` per product — negligible next to the
+/// product itself.  Ranges are contiguous, ascending, cover all items,
+/// and **may be empty** (more threads than items, or one huge item
+/// absorbing several targets); callers skip empty ranges.  When the total
+/// weight is zero (all-empty rows) the split falls back to even item
+/// counts so the work of writing `y = 0` is still distributed.
+pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<(usize, usize)> {
+    let items = prefix.len().saturating_sub(1);
+    assert!(parts >= 1, "need at least one part");
+    let total = if items == 0 { 0 } else { prefix[items] };
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    for p in 1..parts {
+        let at = if total == 0 {
+            // Unweighted fallback: even item split.
+            items * p / parts
+        } else {
+            // First boundary whose cumulative weight reaches the p-th
+            // equal share of the total.
+            let target = (total * p).div_ceil(parts);
+            prefix.partition_point(|&v| v < target)
+        };
+        let prev = *bounds.last().expect("nonempty");
+        bounds.push(at.clamp(prev, items));
+    }
+    bounds.push(items);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Splits `items` into at most `parts` contiguous ranges of near-equal
+/// size (for formats without a prefix array, e.g. ELLPACK's uniform-width
+/// rows).  Ranges may be empty when `parts > items`.
+pub fn split_even(items: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts >= 1, "need at least one part");
+    (0..parts)
+        .map(|p| (items * p / parts, items * (p + 1) / parts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(ranges: &[(usize, usize)], items: usize) {
+        assert_eq!(ranges.first().expect("nonempty").0, 0);
+        assert_eq!(ranges.last().expect("nonempty").1, items);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must tile contiguously");
+        }
+        for &(a, b) in ranges {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn serial_ctx_has_no_pool() {
+        let ctx = ExecCtx::serial();
+        assert!(ctx.is_serial());
+        assert_eq!(ctx.threads(), 1);
+        assert!(ctx.pool().is_none());
+        assert!(ExecCtx::new(1).is_serial());
+        assert!(ExecCtx::new(0).is_serial());
+    }
+
+    #[test]
+    fn parallel_ctx_spawns_pool() {
+        let ctx = ExecCtx::new(3);
+        assert!(!ctx.is_serial());
+        assert_eq!(ctx.threads(), 3);
+        assert_eq!(ctx.pool().expect("pool").nworkers(), 3);
+    }
+
+    #[test]
+    fn run_executes_serially_in_order_without_pool() {
+        let ctx = ExecCtx::serial();
+        let order = std::sync::Mutex::new(Vec::new());
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                let order = &order;
+                Box::new(move || order.lock().unwrap().push(i)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        ctx.run(jobs);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn split_by_weight_balances_skewed_rows() {
+        // 8 items, item 0 carries almost all weight.
+        let prefix = vec![0usize, 100, 101, 102, 103, 104, 105, 106, 107];
+        let parts = split_by_weight(&prefix, 4);
+        check_cover(&parts, 8);
+        // The heavy first item must sit alone (or nearly) in part 0.
+        assert!(parts[0].1 <= 2, "heavy row hogs a part: {parts:?}");
+    }
+
+    #[test]
+    fn split_by_weight_uniform_is_even() {
+        let prefix: Vec<usize> = (0..=16).map(|i| i * 5).collect();
+        let parts = split_by_weight(&prefix, 4);
+        check_cover(&parts, 16);
+        for &(a, b) in &parts {
+            assert_eq!(b - a, 4, "uniform weights split evenly: {parts:?}");
+        }
+    }
+
+    #[test]
+    fn split_by_weight_more_parts_than_items() {
+        let prefix = vec![0usize, 3, 7];
+        let parts = split_by_weight(&prefix, 7);
+        check_cover(&parts, 2);
+        let nonempty = parts.iter().filter(|(a, b)| a < b).count();
+        assert!(nonempty <= 2);
+    }
+
+    #[test]
+    fn split_by_weight_zero_total_splits_evenly() {
+        let prefix = vec![0usize; 9]; // 8 empty rows
+        let parts = split_by_weight(&prefix, 4);
+        check_cover(&parts, 8);
+        for &(a, b) in &parts {
+            assert_eq!(b - a, 2, "zero weight falls back to even: {parts:?}");
+        }
+    }
+
+    #[test]
+    fn split_by_weight_empty_matrix() {
+        let parts = split_by_weight(&[0usize], 4);
+        check_cover(&parts, 0);
+        let parts = split_by_weight(&[], 4);
+        assert!(parts.iter().all(|&(a, b)| a == 0 && b == 0));
+    }
+
+    #[test]
+    fn split_even_covers() {
+        check_cover(&split_even(10, 3), 10);
+        check_cover(&split_even(2, 5), 2);
+        check_cover(&split_even(0, 2), 0);
+    }
+
+    #[test]
+    fn from_env_parses() {
+        // Can't mutate the environment safely in a threaded test binary;
+        // just exercise the unset path (serial default).
+        if std::env::var(THREADS_ENV).is_err() {
+            assert!(ExecCtx::from_env().threads() >= 1);
+        }
+    }
+}

@@ -6,33 +6,58 @@
 //! bounds, 64-byte alignment for the aligned-load SELL kernels — and
 //! asserts (always) that the requested feature set is present on the CPU,
 //! falling back to scalar on non-x86 targets.
+//!
+//! Two flavors of entry point exist:
+//!
+//! * whole-matrix wrappers (`csr_spmv`, `sell8_spmv`, …), whose pointer
+//!   array must start at 0 and end at `val.len()`;
+//! * windowed `*_rows`/`*_slices` variants used by the parallel engine
+//!   ([`crate::ExecCtx`]): the pointer array is a sub-window carrying its
+//!   original **absolute** offsets, paired with the *full* `val`/`colidx`
+//!   arrays (preserving their 64-byte base alignment) and the matching
+//!   window of `y`.  Every kernel indexes `val`/`colidx` absolutely
+//!   through the pointer array and `y`/lane masks through local row
+//!   indices, so the same unsafe kernels serve both flavors unchanged.
 
 use crate::isa::Isa;
 
 use super::{csr_scalar, sell_scalar};
 
-/// Debug-asserts the CSR kernel preconditions shared by every tier:
-/// `rowptr` is a monotone prefix-sum array of `y.len() + 1` entries ending
-/// at `val.len()`, `colidx` parallels `val`, and all column indices address
-/// `x`.
-fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
+/// Debug-asserts the CSR preconditions every tier shares and that hold for
+/// row *windows* too: `rowptr` is a monotone array of `y.len() + 1`
+/// offsets into `val`, `colidx` parallels `val`, and every column index
+/// the window touches addresses `x`.
+fn debug_check_csr_window(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
     debug_assert_eq!(rowptr.len(), y.len() + 1, "rowptr length");
-    debug_assert_eq!(rowptr.first().copied().unwrap_or(0), 0, "rowptr[0]");
     debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr monotone");
-    debug_assert_eq!(rowptr.last().copied().unwrap_or(0), val.len(), "rowptr end");
+    debug_assert!(
+        rowptr.last().copied().unwrap_or(0) <= val.len(),
+        "rowptr window end in bounds of val"
+    );
     debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
     debug_assert!(
-        colidx.iter().all(|&c| (c as usize) < x.len()),
+        colidx[rowptr.first().copied().unwrap_or(0)..rowptr.last().copied().unwrap_or(0)]
+            .iter()
+            .all(|&c| (c as usize) < x.len()),
         "colidx in bounds of x"
     );
 }
 
-/// Debug-asserts the SELL kernel preconditions shared by every tier and
-/// slice height `C`: `sliceptr` is a monotone prefix-sum array of
-/// `C`-aligned offsets covering `ceil(nrows/C)` slices and ending at
-/// `val.len()`, `colidx` parallels `val`, and all column indices — padding
-/// included (§5.5) — address `x`.
-fn debug_check_sell<const C: usize>(
+/// Debug-asserts the full-matrix CSR contract: the window invariants plus
+/// `rowptr` being a complete prefix-sum array (starts at 0, ends at
+/// `val.len()`).
+fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
+    debug_check_csr_window(rowptr, colidx, val, x, y);
+    debug_assert_eq!(rowptr.first().copied().unwrap_or(0), 0, "rowptr[0]");
+    debug_assert_eq!(rowptr.last().copied().unwrap_or(0), val.len(), "rowptr end");
+}
+
+/// Debug-asserts the SELL preconditions every tier shares and that hold
+/// for slice *windows* too: `sliceptr` is a monotone array of `C`-aligned
+/// offsets into `val` covering `ceil(nrows/C)` slices, `colidx` parallels
+/// `val`, and every column index the window touches — padding included
+/// (§5.5) — addresses `x`.
+fn debug_check_sell_window<const C: usize>(
     sliceptr: &[usize],
     colidx: &[u32],
     val: &[f64],
@@ -42,15 +67,13 @@ fn debug_check_sell<const C: usize>(
 ) {
     debug_assert_eq!(y.len(), nrows, "y length");
     debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
-    debug_assert_eq!(sliceptr.first().copied().unwrap_or(0), 0, "sliceptr[0]");
     debug_assert!(
         sliceptr.windows(2).all(|w| w[0] <= w[1]),
         "sliceptr monotone"
     );
-    debug_assert_eq!(
-        sliceptr.last().copied().unwrap_or(0),
-        val.len(),
-        "sliceptr end"
+    debug_assert!(
+        sliceptr.last().copied().unwrap_or(0) <= val.len(),
+        "sliceptr window end in bounds of val"
     );
     debug_assert!(
         sliceptr.iter().all(|&p| p % C == 0),
@@ -58,8 +81,30 @@ fn debug_check_sell<const C: usize>(
     );
     debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
     debug_assert!(
-        colidx.iter().all(|&c| (c as usize) < x.len()),
+        colidx[sliceptr.first().copied().unwrap_or(0)..sliceptr.last().copied().unwrap_or(0)]
+            .iter()
+            .all(|&c| (c as usize) < x.len()),
         "colidx (incl. padding) in bounds of x"
+    );
+}
+
+/// Debug-asserts the full-matrix SELL contract: the window invariants plus
+/// `sliceptr` being a complete prefix-sum array (starts at 0, ends at
+/// `val.len()`).
+fn debug_check_sell<const C: usize>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &[f64],
+) {
+    debug_check_sell_window::<C>(sliceptr, colidx, val, nrows, x, y);
+    debug_assert_eq!(sliceptr.first().copied().unwrap_or(0), 0, "sliceptr[0]");
+    debug_assert_eq!(
+        sliceptr.last().copied().unwrap_or(0),
+        val.len(),
+        "sliceptr end"
     );
 }
 
@@ -82,7 +127,8 @@ fn debug_check_kernel_alignment(val: &[f64], colidx: &[u32]) {
 ///
 /// Panics if `isa` is not available on the running CPU.
 pub fn csr_spmv(isa: Isa, rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &mut [f64]) {
-    csr_dispatch::<false>(isa, rowptr, colidx, val, x, y);
+    debug_check_csr(rowptr, colidx, val, x, y);
+    csr_dispatch_any::<false>(isa, rowptr, colidx, val, x, y);
 }
 
 /// CSR `y += A·x` at the requested ISA tier.
@@ -94,10 +140,16 @@ pub fn csr_spmv_add(
     x: &[f64],
     y: &mut [f64],
 ) {
-    csr_dispatch::<true>(isa, rowptr, colidx, val, x, y);
+    debug_check_csr(rowptr, colidx, val, x, y);
+    csr_dispatch_any::<true>(isa, rowptr, colidx, val, x, y);
 }
 
-fn csr_dispatch<const ADD: bool>(
+/// CSR SpMV over a contiguous row window, for the parallel engine.
+///
+/// `rowptr` is `&full_rowptr[r0..=r1]` with its original absolute offsets,
+/// `colidx`/`val` are the **full** arrays, and `y` is the matching
+/// `&mut full_y[r0..r1]` window.
+pub(crate) fn csr_spmv_rows<const ADD: bool>(
     isa: Isa,
     rowptr: &[usize],
     colidx: &[u32],
@@ -105,15 +157,30 @@ fn csr_dispatch<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
-    debug_check_csr(rowptr, colidx, val, x, y);
+    debug_check_csr_window(rowptr, colidx, val, x, y);
+    csr_dispatch_any::<ADD>(isa, rowptr, colidx, val, x, y);
+}
+
+/// The shared ISA match: callers have already validated the arrays (full
+/// or windowed contract).
+fn csr_dispatch_any<const ADD: bool>(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: feature availability checked above; the shape/bounds
-        // invariants of the kernel contract are asserted by debug_check_csr
-        // and guaranteed by `Csr::from_parts`.  CSR kernels use unaligned
-        // loads, so no alignment precondition.
+        // invariants of the kernel contract are asserted by the callers'
+        // debug checks and guaranteed by `Csr::from_parts`.  CSR kernels
+        // use unaligned loads, so no alignment precondition, and index
+        // `val`/`colidx` only through `rowptr[r]..rowptr[r+1]`, so absolute
+        // row windows are in-contract.
         Isa::Avx => unsafe { super::csr_avx::spmv::<ADD>(rowptr, colidx, val, x, y) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above.
@@ -136,7 +203,8 @@ pub fn sell8_spmv(
     x: &[f64],
     y: &mut [f64],
 ) {
-    sell8_dispatch::<false>(isa, sliceptr, colidx, val, nrows, x, y);
+    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    sell8_dispatch_any::<false>(isa, sliceptr, colidx, val, nrows, x, y);
 }
 
 /// SELL-8 `y += A·x` at the requested ISA tier.
@@ -149,10 +217,17 @@ pub fn sell8_spmv_add(
     x: &[f64],
     y: &mut [f64],
 ) {
-    sell8_dispatch::<true>(isa, sliceptr, colidx, val, nrows, x, y);
+    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    sell8_dispatch_any::<true>(isa, sliceptr, colidx, val, nrows, x, y);
 }
 
-fn sell8_dispatch<const ADD: bool>(
+/// SELL-8 SpMV over a contiguous slice window, for the parallel engine.
+///
+/// `sliceptr` is `&full_sliceptr[s0..=s1]` with absolute offsets,
+/// `colidx`/`val` are the **full** arrays (keeping their 64-byte base
+/// alignment), `nrows` is the window's logical row count
+/// (`min(s1*8, total_rows) - s0*8`), and `y` the matching window.
+pub(crate) fn sell8_spmv_slices<const ADD: bool>(
     isa: Isa,
     sliceptr: &[usize],
     colidx: &[u32],
@@ -161,14 +236,29 @@ fn sell8_dispatch<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
-    debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    debug_check_sell_window::<8>(sliceptr, colidx, val, nrows, x, y);
+    sell8_dispatch_any::<ADD>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+fn sell8_dispatch_any<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features checked; layout/alignment invariants guaranteed
         // by `Sell::from_csr` (64-byte aligned AVec + 8-aligned sliceptr)
-        // and asserted above in debug builds.
+        // and asserted by the callers' debug checks.  Kernels index
+        // `val`/`colidx` absolutely through `sliceptr` and mask from local
+        // slice indices + `nrows`, so absolute slice windows are
+        // in-contract.
         Isa::Avx => unsafe {
             debug_check_kernel_alignment(val, colidx);
             super::sell_avx::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
@@ -236,14 +326,55 @@ pub fn sell_esb_spmv_avx512(
 ) {
     debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
     debug_assert_eq!(bits.len() * 8, val.len(), "one mask byte per slice column");
+    // SAFETY: availability asserted inside; full-matrix contract asserted
+    // above is a superset of the window contract.
+    sell_esb_dispatch_avx512(sliceptr, colidx, val, bits, nrows, x, y);
+}
+
+/// SELL-ESB SpMV over a contiguous slice window, for the parallel engine.
+///
+/// Same windowing contract as [`sell8_spmv_slices`]; `bits` must be the
+/// matching window `&full_bits[full_sliceptr[s0] / 8..]` — the kernel
+/// counts mask bytes locally from the window's first slice.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn sell_esb_spmv_avx512_slices(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    bits: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell_window::<8>(sliceptr, colidx, val, nrows, x, y);
+    debug_assert!(
+        bits.len() * 8
+            >= sliceptr.last().copied().unwrap_or(0) - sliceptr.first().copied().unwrap_or(0),
+        "one mask byte per slice column of the window"
+    );
+    sell_esb_dispatch_avx512(sliceptr, colidx, val, bits, nrows, x, y);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn sell_esb_dispatch_avx512(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    bits: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert!(
         Isa::Avx512.available(),
         "ISA AVX512 not available on this CPU"
     );
     // SAFETY: AVX-512 availability asserted above; SELL-8 layout/alignment
-    // invariants asserted above in debug builds and guaranteed by
-    // `Sell8::from_csr`; the bit array is sized one byte per column
-    // (asserted above), matching the kernel's contract.
+    // invariants asserted by the callers' debug checks and guaranteed by
+    // `Sell8::from_csr`; the bit array is sized one byte per (window)
+    // column, matching the kernel's contract — the kernel reads
+    // `val`/`colidx` absolutely through `sliceptr` and `bits` locally from
+    // index 0.
     unsafe {
         debug_check_kernel_alignment(val, colidx);
         super::sell_esb_avx512::spmv(sliceptr, colidx, val, bits, nrows, x, y);
@@ -262,13 +393,41 @@ pub fn sell4_spmv<const ADD: bool>(
     y: &mut [f64],
 ) {
     debug_check_sell::<4>(sliceptr, colidx, val, nrows, x, y);
+    sell4_dispatch_any::<ADD>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+/// SELL-4 SpMV over a contiguous slice window, for the parallel engine
+/// (same windowing contract as [`sell8_spmv_slices`], 4-row slices).
+pub(crate) fn sell4_spmv_slices<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell_window::<4>(sliceptr, colidx, val, nrows, x, y);
+    sell4_dispatch_any::<ADD>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+fn sell4_dispatch_any<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => sell_scalar::spmv::<4, ADD>(sliceptr, colidx, val, nrows, x, y),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features checked above; layout invariants guaranteed by
         // Sell::<4>::from_csr (aligned AVec + 4-aligned sliceptr) and
-        // asserted above in debug builds.
+        // asserted by the callers' debug checks; absolute slice windows
+        // are in-contract (see sell8_dispatch_any).
         Isa::Avx => unsafe {
             debug_check_kernel_alignment(val, colidx);
             super::sell4_simd::spmv_avx::<ADD>(sliceptr, colidx, val, nrows, x, y)
@@ -296,12 +455,40 @@ pub fn sell16_spmv<const ADD: bool>(
     y: &mut [f64],
 ) {
     debug_check_sell::<16>(sliceptr, colidx, val, nrows, x, y);
+    sell16_dispatch_any::<ADD>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+/// SELL-16 SpMV over a contiguous slice window, for the parallel engine
+/// (same windowing contract as [`sell8_spmv_slices`], 16-row slices).
+pub(crate) fn sell16_spmv_slices<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_sell_window::<16>(sliceptr, colidx, val, nrows, x, y);
+    sell16_dispatch_any::<ADD>(isa, sliceptr, colidx, val, nrows, x, y);
+}
+
+fn sell16_dispatch_any<const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: features checked above; layout invariants guaranteed by
         // Sell::<16>::from_csr (aligned AVec + 16-aligned sliceptr) and
-        // asserted above in debug builds.
+        // asserted by the callers' debug checks; absolute slice windows
+        // are in-contract (see sell8_dispatch_any).
         Isa::Avx512 => unsafe {
             debug_check_kernel_alignment(val, colidx);
             super::sell16_avx512::spmv::<ADD>(sliceptr, colidx, val, nrows, x, y)
@@ -334,6 +521,25 @@ mod tests {
             let mut ya = vec![1.0; 3];
             csr_spmv_add(isa, &rp, &ci, &v, &x, &mut ya);
             assert_eq!(ya, vec![22.0, 31.0, 505.0], "{isa} add");
+        }
+    }
+
+    /// A row window carrying absolute rowptr offsets must compute exactly
+    /// the rows it covers — the windowing contract of the parallel engine.
+    #[test]
+    fn csr_row_window_matches_full_product() {
+        let (rp, ci, v) = tiny_csr();
+        let x = vec![1.0, 10.0, 100.0];
+        let full = [21.0, 30.0, 504.0];
+        for isa in Isa::available_tiers() {
+            for (r0, r1) in [(0usize, 1usize), (1, 3), (0, 3), (2, 2)] {
+                let mut y = [-7.0; 3];
+                csr_spmv_rows::<false>(isa, &rp[r0..=r1], &ci, &v, &x, &mut y[r0..r1]);
+                for r in 0..3 {
+                    let want = if (r0..r1).contains(&r) { full[r] } else { -7.0 };
+                    assert_eq!(y[r], want, "{isa} window {r0}..{r1} row {r}");
+                }
+            }
         }
     }
 
@@ -379,6 +585,54 @@ mod tests {
             let mut y = vec![0.0; 5];
             sell8_spmv_tuned(s8.sliceptr(), s8.colidx(), s8.values(), 5, &x, &mut y);
             assert_eq!(y, want, "C=8 tuned");
+        }
+    }
+
+    /// A slice window (absolute sliceptr offsets, full val/colidx, y
+    /// window) computes exactly its slices — including a masked final
+    /// partial slice.
+    #[test]
+    fn sell4_slice_window_matches_full_product() {
+        use crate::coo::CooBuilder;
+        use crate::sell::Sell;
+        let n = 10usize; // C=4: slices of rows 0..4, 4..8, 8..10 (partial)
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            for j in 0..(i % 3 + 1) {
+                b.push(i, (i + 2 * j) % n, (i * 5 + j) as f64 * 0.5 - 3.0);
+            }
+        }
+        let a = b.to_csr();
+        let s = Sell::<4>::from_csr(&a);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut full = vec![0.0; n];
+        sell4_spmv::<false>(
+            Isa::Scalar,
+            s.sliceptr(),
+            s.colidx(),
+            s.values(),
+            n,
+            &x,
+            &mut full,
+        );
+        for isa in Isa::available_tiers() {
+            // Window [slice 1, slice 3): rows 4..10, final slice masked.
+            let (s0, s1) = (1usize, 3usize);
+            let (r0, r1) = (s0 * 4, n.min(s1 * 4));
+            let mut y = vec![-9.0; n];
+            sell4_spmv_slices::<false>(
+                isa,
+                &s.sliceptr()[s0..=s1],
+                s.colidx(),
+                s.values(),
+                r1 - r0,
+                &x,
+                &mut y[r0..r1],
+            );
+            for r in 0..n {
+                let want = if (r0..r1).contains(&r) { full[r] } else { -9.0 };
+                assert!((y[r] - want).abs() < 1e-12, "{isa} row {r}");
+            }
         }
     }
 
@@ -461,7 +715,7 @@ mod tests {
 
     /// The checked dispatch layer rejects malformed inputs in debug builds.
     #[test]
-    #[should_panic(expected = "sliceptr end")]
+    #[should_panic(expected = "sliceptr window end")]
     #[cfg(debug_assertions)]
     fn checked_dispatch_rejects_truncated_val() {
         let sliceptr = vec![0usize, 8];

@@ -19,10 +19,14 @@
 //! | AVX2   | 4 | hardware | yes | |
 //! | AVX-512| 8 | hardware | yes | masked remainder/store where needed |
 //!
-//! SELL additionally ships kernels for slice heights 4
-//! ([`sell4_simd`]) and 16 ([`sell16_avx512`]) and the §5.5 manually
-//! tuned unroll+prefetch variant
-//! ([`sell_avx512::spmv_unrolled`]).
+//! SELL additionally ships kernels for slice heights 4 (`sell4_simd`) and
+//! 16 (`sell16_avx512`) and the §5.5 manually tuned unroll+prefetch
+//! variant (`sell_avx512::spmv_unrolled`).
+//!
+//! The per-ISA modules are crate-private: external callers go through the
+//! single safe entry point [`spmv`] (picking the kernel from a
+//! [`FormatView`] + [`SpmvMode`]) or the format types' `SpMv` methods; the
+//! safe wrappers in [`dispatch`] back both.
 //!
 //! # Safety
 //!
@@ -33,25 +37,290 @@
 //! includes *padding* indices, which the format guarantees by copying them
 //! from local nonzeros (§5.5).
 
-pub mod csr_scalar;
 pub mod dispatch;
-pub mod sell_scalar;
+
+pub(crate) mod csr_scalar;
+pub(crate) mod sell_scalar;
 
 #[cfg(target_arch = "x86_64")]
-pub mod csr_avx;
+pub(crate) mod csr_avx;
 #[cfg(target_arch = "x86_64")]
-pub mod csr_avx2;
+pub(crate) mod csr_avx2;
 #[cfg(target_arch = "x86_64")]
-pub mod csr_avx512;
+pub(crate) mod csr_avx512;
 #[cfg(target_arch = "x86_64")]
-pub mod sell16_avx512;
+pub(crate) mod sell16_avx512;
 #[cfg(target_arch = "x86_64")]
-pub mod sell4_simd;
+pub(crate) mod sell4_simd;
 #[cfg(target_arch = "x86_64")]
-pub mod sell_avx;
+pub(crate) mod sell_avx;
 #[cfg(target_arch = "x86_64")]
-pub mod sell_avx2;
+pub(crate) mod sell_avx2;
 #[cfg(target_arch = "x86_64")]
-pub mod sell_avx512;
+pub(crate) mod sell_avx512;
 #[cfg(target_arch = "x86_64")]
-pub mod sell_esb_avx512;
+pub(crate) mod sell_esb_avx512;
+
+use crate::isa::Isa;
+
+/// Whether a product overwrites `y` or accumulates into it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpmvMode {
+    /// `y = A·x`.
+    Set,
+    /// `y += A·x`.
+    Add,
+}
+
+/// A borrowed view of one format's raw arrays — the argument of [`spmv`].
+///
+/// Build one from a format's accessors, e.g.
+/// `FormatView::Sell8 { sliceptr: s.sliceptr(), colidx: s.colidx(),
+/// val: s.values(), nrows: s.nrows() }`.
+#[derive(Clone, Copy, Debug)]
+pub enum FormatView<'a> {
+    /// Compressed sparse row arrays (`rowptr.len() == y.len() + 1`).
+    Csr {
+        /// Row pointer (prefix-sum) array.
+        rowptr: &'a [usize],
+        /// Column index per nonzero.
+        colidx: &'a [u32],
+        /// Value per nonzero.
+        val: &'a [f64],
+    },
+    /// Sliced ELLPACK with slice height 4.
+    Sell4 {
+        /// Slice offset (prefix-sum) array, 4-element-aligned entries.
+        sliceptr: &'a [usize],
+        /// Column indices, padded, slice-column-major.
+        colidx: &'a [u32],
+        /// Values, padded, slice-column-major.
+        val: &'a [f64],
+        /// Logical (unpadded) row count.
+        nrows: usize,
+    },
+    /// Sliced ELLPACK with slice height 8 — the paper's AVX-512 layout.
+    Sell8 {
+        /// Slice offset (prefix-sum) array, 8-element-aligned entries.
+        sliceptr: &'a [usize],
+        /// Column indices, padded, slice-column-major.
+        colidx: &'a [u32],
+        /// Values, padded, slice-column-major.
+        val: &'a [f64],
+        /// Logical (unpadded) row count.
+        nrows: usize,
+    },
+    /// Sliced ELLPACK with slice height 16.
+    Sell16 {
+        /// Slice offset (prefix-sum) array, 16-element-aligned entries.
+        sliceptr: &'a [usize],
+        /// Column indices, padded, slice-column-major.
+        colidx: &'a [u32],
+        /// Values, padded, slice-column-major.
+        val: &'a [f64],
+        /// Logical (unpadded) row count.
+        nrows: usize,
+    },
+    /// SELL-8 plus the ESB bit array (one lane-mask byte per slice column).
+    SellEsb {
+        /// Slice offset (prefix-sum) array, 8-element-aligned entries.
+        sliceptr: &'a [usize],
+        /// Column indices, padded, slice-column-major.
+        colidx: &'a [u32],
+        /// Values, padded, slice-column-major.
+        val: &'a [f64],
+        /// One 8-bit lane mask per slice column.
+        bits: &'a [u8],
+        /// Logical (unpadded) row count.
+        nrows: usize,
+    },
+}
+
+/// The one public kernel entry point: `y = A·x` (or `y += A·x`) for the
+/// raw arrays in `view`, at the requested ISA tier.
+///
+/// This is what `bench`/`check`-style callers use instead of reaching into
+/// per-ISA kernel modules; it funnels into the same checked [`dispatch`]
+/// wrappers as the `SpMv` trait implementations.  Panics if `isa` is not
+/// available on the running CPU or (in debug builds) if the arrays violate
+/// the format contract.
+pub fn spmv(isa: Isa, view: FormatView<'_>, x: &[f64], y: &mut [f64], mode: SpmvMode) {
+    match view {
+        FormatView::Csr {
+            rowptr,
+            colidx,
+            val,
+        } => match mode {
+            SpmvMode::Set => dispatch::csr_spmv(isa, rowptr, colidx, val, x, y),
+            SpmvMode::Add => dispatch::csr_spmv_add(isa, rowptr, colidx, val, x, y),
+        },
+        FormatView::Sell4 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        } => match mode {
+            SpmvMode::Set => dispatch::sell4_spmv::<false>(isa, sliceptr, colidx, val, nrows, x, y),
+            SpmvMode::Add => dispatch::sell4_spmv::<true>(isa, sliceptr, colidx, val, nrows, x, y),
+        },
+        FormatView::Sell8 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        } => match mode {
+            SpmvMode::Set => dispatch::sell8_spmv(isa, sliceptr, colidx, val, nrows, x, y),
+            SpmvMode::Add => dispatch::sell8_spmv_add(isa, sliceptr, colidx, val, nrows, x, y),
+        },
+        FormatView::Sell16 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        } => match mode {
+            SpmvMode::Set => {
+                dispatch::sell16_spmv::<false>(isa, sliceptr, colidx, val, nrows, x, y)
+            }
+            SpmvMode::Add => dispatch::sell16_spmv::<true>(isa, sliceptr, colidx, val, nrows, x, y),
+        },
+        FormatView::SellEsb {
+            sliceptr,
+            colidx,
+            val,
+            bits,
+            nrows,
+        } => {
+            // The bit array only skips entries whose value is 0.0 (padding),
+            // so the plain SELL-8 kernel computes the identical result; the
+            // masked AVX-512 kernel is taken when it applies (Set mode on
+            // AVX-512 hardware), everything else falls through to SELL-8.
+            #[cfg(target_arch = "x86_64")]
+            if isa == Isa::Avx512 && mode == SpmvMode::Set {
+                dispatch::sell_esb_spmv_avx512(sliceptr, colidx, val, bits, nrows, x, y);
+                return;
+            }
+            let _ = bits;
+            match mode {
+                SpmvMode::Set => dispatch::sell8_spmv(isa, sliceptr, colidx, val, nrows, x, y),
+                SpmvMode::Add => dispatch::sell8_spmv_add(isa, sliceptr, colidx, val, nrows, x, y),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+    use crate::sell::{Sell, Sell8};
+    use crate::sell_esb::SellEsb;
+    use crate::traits::{MatShape, SpMv};
+
+    fn sample() -> Csr {
+        let mut b = crate::coo::CooBuilder::new(21, 21);
+        for i in 0..21usize {
+            for j in 0..(i % 5 + 1) {
+                b.push(i, (i + 3 * j) % 21, (i * 7 + j) as f64 * 0.25 - 2.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn public_entry_matches_trait_spmv_for_every_view() {
+        let a = sample();
+        let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut want = vec![0.0; 21];
+        a.spmv(&x, &mut want);
+
+        for isa in Isa::available_tiers() {
+            // CSR compares bitwise against the same tier (different tiers
+            // reduce rows in different orders); SELL formats compare with
+            // tolerance against the CSR reference.
+            let mut want_isa = vec![0.0; 21];
+            a.spmv_isa(isa, &x, &mut want_isa);
+            let mut y = vec![0.0; 21];
+            spmv(
+                isa,
+                FormatView::Csr {
+                    rowptr: a.rowptr(),
+                    colidx: a.colidx(),
+                    val: a.values(),
+                },
+                &x,
+                &mut y,
+                SpmvMode::Set,
+            );
+            assert_eq!(y, want_isa, "csr {isa}");
+
+            let s8 = Sell8::from_csr(&a);
+            let view = FormatView::Sell8 {
+                sliceptr: s8.sliceptr(),
+                colidx: s8.colidx(),
+                val: s8.values(),
+                nrows: s8.nrows(),
+            };
+            let mut y = vec![0.0; 21];
+            spmv(isa, view, &x, &mut y, SpmvMode::Set);
+            for i in 0..21 {
+                assert!((y[i] - want[i]).abs() < 1e-12, "sell8 {isa} row {i}");
+            }
+
+            let s4 = Sell::<4>::from_csr(&a);
+            let mut y = vec![1.0; 21];
+            spmv(
+                isa,
+                FormatView::Sell4 {
+                    sliceptr: s4.sliceptr(),
+                    colidx: s4.colidx(),
+                    val: s4.values(),
+                    nrows: 21,
+                },
+                &x,
+                &mut y,
+                SpmvMode::Add,
+            );
+            for i in 0..21 {
+                assert!((y[i] - 1.0 - want[i]).abs() < 1e-12, "sell4+ {isa} row {i}");
+            }
+
+            let s16 = Sell::<16>::from_csr(&a);
+            let mut y = vec![0.0; 21];
+            spmv(
+                isa,
+                FormatView::Sell16 {
+                    sliceptr: s16.sliceptr(),
+                    colidx: s16.colidx(),
+                    val: s16.values(),
+                    nrows: 21,
+                },
+                &x,
+                &mut y,
+                SpmvMode::Set,
+            );
+            for i in 0..21 {
+                assert!((y[i] - want[i]).abs() < 1e-12, "sell16 {isa} row {i}");
+            }
+
+            let esb = SellEsb::from_csr(&a);
+            let view = FormatView::SellEsb {
+                sliceptr: esb.sell().sliceptr(),
+                colidx: esb.sell().colidx(),
+                val: esb.sell().values(),
+                bits: esb.bits(),
+                nrows: 21,
+            };
+            for mode in [SpmvMode::Set, SpmvMode::Add] {
+                let base = if mode == SpmvMode::Add { 2.0 } else { 0.0 };
+                let mut y = vec![base; 21];
+                spmv(isa, view, &x, &mut y, mode);
+                for i in 0..21 {
+                    assert!(
+                        (y[i] - base - want[i]).abs() < 1e-12,
+                        "esb {isa} {mode:?} row {i}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`SellEsb`] — SELL with an ESB-style bit array (the §5.3 ablation);
 //! * hand-written SpMV kernels for scalar, AVX, AVX2, and AVX-512 ISAs
 //!   (Algorithms 1 and 2 of the paper) with runtime dispatch ([`Isa`]);
+//! * a shared-memory execution engine ([`ExecCtx`]) that runs the same
+//!   kernels across a persistent worker pool on an nnz-balanced,
+//!   slice-aligned row partition — the "parallel" in the paper's title;
 //! * the §6 memory-traffic model ([`traffic`]) and format statistics
 //!   ([`stats`]).
 //!
@@ -58,9 +61,11 @@ pub mod coo;
 pub mod csr;
 pub mod csr_perm;
 pub mod ellpack;
+pub mod exec;
 pub mod isa;
 pub mod kernels;
 pub mod matops;
+pub mod pool;
 pub mod sbaij;
 pub mod sell;
 pub mod sell_esb;
@@ -74,6 +79,7 @@ pub use coo::CooBuilder;
 pub use csr::Csr;
 pub use csr_perm::CsrPerm;
 pub use ellpack::{Ellpack, EllpackR};
+pub use exec::ExecCtx;
 pub use isa::Isa;
 pub use sbaij::Sbaij;
 pub use sell::{Sell, Sell16, Sell4, Sell8};

@@ -1,0 +1,230 @@
+//! Persistent worker pool backing [`crate::ExecCtx`].
+//!
+//! SpMV is called millions of times per solve (once per Krylov iteration
+//! per Newton step per time step), so spawning OS threads per product —
+//! what `std::thread::scope` does — would drown the kernel time in clone()
+//! overhead.  The pool instead keeps N long-lived workers blocked on a
+//! shared job channel (the `crossbeam` shim); dispatching a parallel
+//! region costs two channel operations per worker and takes no locks on
+//! the kernel hot path itself.
+//!
+//! The design mirrors scoped threads semantically: [`WorkerPool::execute`]
+//! accepts closures borrowing the caller's stack (`'env` lifetime) and
+//! **blocks until every job has finished** before returning, so the
+//! borrows can never dangle.  That blocking guarantee is what makes the
+//! single `unsafe` lifetime erasure below sound.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// A job with its borrow lifetime erased; see the safety argument in
+/// [`WorkerPool::execute`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A job still carrying its borrow lifetime, before erasure.
+type ScopedJob<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+enum Msg {
+    Run(Job),
+    Shutdown,
+}
+
+/// Outcome of one job: `Err` carries the panic payload.
+type Done = Result<(), Box<dyn std::any::Any + Send>>;
+
+/// N long-lived worker threads consuming jobs from a shared queue.
+pub struct WorkerPool {
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Sender<Msg>,
+    done_rx: Receiver<Done>,
+    /// Serializes concurrent `execute` calls so completion messages from
+    /// two parallel regions cannot interleave.
+    dispatch: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Spawns `nworkers` (≥ 1) threads that live until the pool is dropped.
+    pub fn new(nworkers: usize) -> Self {
+        assert!(nworkers >= 1, "a pool needs at least one worker");
+        let (job_tx, job_rx) = unbounded::<Msg>();
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let workers = (0..nworkers)
+            .map(|i| {
+                let rx = job_rx.clone();
+                let tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("sellkit-worker-{i}"))
+                    .spawn(move || worker_loop(rx, tx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            workers,
+            job_tx,
+            done_rx,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn nworkers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job on the pool and blocks until all have completed.
+    ///
+    /// Jobs may borrow from the caller's environment (`'env`), exactly like
+    /// scoped threads: the function does not return — not even by panic —
+    /// before every job has finished running, so no borrow outlives its
+    /// referent.  If any job panicked, the first panic payload is re-raised
+    /// here (after *all* jobs completed).
+    pub fn execute<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        // A poisoned lock is fine: a panicking region still drains all its
+        // completion messages before unwinding (the blocking guarantee),
+        // so the pool state behind the lock is never left inconsistent.
+        let _region = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let count = jobs.len();
+        for job in jobs {
+            // SAFETY: only the lifetime is transmuted ('env → 'static on
+            // the same trait-object type).  The erased job cannot outlive
+            // 'env because this function blocks below until the workers
+            // have reported completion of all `count` jobs — including on
+            // the panic path, where payloads are drained before
+            // resume_unwind — and no clone of the job or handle to it
+            // escapes the pool.
+            let job: Job = unsafe { std::mem::transmute::<ScopedJob<'env>, Job>(job) };
+            self.job_tx.send(Msg::Run(job)).expect("pool workers alive");
+        }
+        let mut first_panic = None;
+        for _ in 0..count {
+            match self.done_rx.recv().expect("pool workers alive") {
+                Ok(()) => {}
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            // Workers may already be gone if the process is tearing down;
+            // ignore send failures.
+            let _ = self.job_tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>, tx: Sender<Done>) {
+    while let Ok(Msg::Run(job)) = rx.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        if tx.send(outcome).is_err() {
+            // Pool dropped mid-flight; nothing left to report to.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_and_blocks_until_done() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.execute(jobs);
+        // `execute` returned, so every increment must be visible.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn jobs_borrow_disjoint_output_slices() {
+        let pool = WorkerPool::new(3);
+        let mut y = vec![0.0f64; 12];
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (p, chunk) in y.chunks_mut(4).enumerate() {
+            jobs.push(Box::new(move || {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (p * 4 + i) as f64;
+                }
+            }));
+        }
+        pool.execute(jobs);
+        let want: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10 {
+            let total = AtomicUsize::new(0);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+                .map(|j| {
+                    let total = &total;
+                    Box::new(move || {
+                        total.fetch_add(round * 10 + j, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.execute(jobs);
+            assert_eq!(total.load(Ordering::SeqCst), round * 50 + 10);
+        }
+    }
+
+    #[test]
+    fn panic_in_one_job_propagates_after_all_finish() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            jobs.push(Box::new(|| panic!("job exploded")));
+            for _ in 0..4 {
+                let finished = &finished;
+                jobs.push(Box::new(move || {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            pool.execute(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(finished.load(Ordering::SeqCst), 4, "other jobs still ran");
+        // The pool survives a panicked region.
+        let ok = AtomicUsize::new(0);
+        pool.execute(vec![Box::new(|| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        pool.execute(Vec::new());
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
+use crate::exec::ExecCtx;
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// A symmetric matrix in block-upper-triangular storage.
@@ -133,10 +134,29 @@ impl MatShape for Sbaij {
 }
 
 impl SpMv for Sbaij {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    /// Mirror-block scatter updates (`y_bj += Bᵀ·x_bi`) are not
+    /// row-disjoint, so SBAIJ is a documented serial fallback: it ignores
+    /// the context and computes on the calling thread.
+    fn spmv_ctx(&self, _ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.nrows(), self.ncols(), x, y);
-        let bs = self.bs;
         y.fill(0.0);
+        self.accumulate(x, y);
+    }
+
+    /// Fused `y += A·x`: the same accumulation loops without the zero
+    /// fill — no scratch vector (serial, like [`Sbaij::spmv_ctx`]).
+    fn spmv_add_ctx(&self, _ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows(), self.ncols(), x, y);
+        self.accumulate(x, y);
+    }
+}
+
+impl Sbaij {
+    /// `y += A·x` over the upper-triangle storage: each stored block is
+    /// applied in place, and off-diagonal blocks again transposed at the
+    /// mirror position.
+    fn accumulate(&self, x: &[f64], y: &mut [f64]) {
+        let bs = self.bs;
         for bi in 0..self.mbs {
             for k in self.browptr[bi]..self.browptr[bi + 1] {
                 let bj = self.bcolidx[k] as usize;

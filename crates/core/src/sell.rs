@@ -26,6 +26,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
+use crate::exec::{split_by_weight, ExecCtx};
 use crate::isa::Isa;
 use crate::kernels::{dispatch, sell_scalar};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
@@ -339,6 +340,69 @@ impl<const C: usize> Sell<C> {
         self.spmv(x, y);
     }
 
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: serial whole-matrix
+    /// dispatch, or a slice-aligned, nnz-balanced partition on the
+    /// context's pool — the slice is the natural unit of multi-threaded
+    /// SELL SpMV, so a partition never splits one.  σ-sorted matrices
+    /// scatter through their permutation and therefore run serially
+    /// whatever the context.
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows, self.ncols, x, y);
+        if self.perm.is_some() || ctx.is_serial() {
+            if ADD {
+                match &self.perm {
+                    None => self.spmv_raw::<true>(self.isa, x, y),
+                    Some(p) => {
+                        let mut scratch = vec![0.0f64; self.nrows];
+                        self.spmv_raw::<false>(self.isa, x, &mut scratch);
+                        for (k, &row) in p.iter().enumerate() {
+                            y[row as usize] += scratch[k];
+                        }
+                    }
+                }
+            } else {
+                match &self.perm {
+                    None => self.spmv_raw::<false>(self.isa, x, y),
+                    Some(p) => {
+                        let mut scratch = vec![0.0f64; self.nrows];
+                        self.spmv_raw::<false>(self.isa, x, &mut scratch);
+                        for (k, &row) in p.iter().enumerate() {
+                            y[row as usize] = scratch[k];
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let isa = self.isa;
+        let nrows = self.nrows;
+        let (colidx, val) = (&self.colidx[..], &self.val[..]);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (s0, s1) in split_by_weight(&self.sliceptr, ctx.threads()) {
+            if s0 == s1 {
+                continue;
+            }
+            let (r0, r1) = (s0 * C, (s1 * C).min(nrows));
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
+            rest = tail;
+            let sliceptr = &self.sliceptr[s0..=s1];
+            jobs.push(Box::new(move || match C {
+                4 => {
+                    dispatch::sell4_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
+                }
+                8 => {
+                    dispatch::sell8_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
+                }
+                16 => {
+                    dispatch::sell16_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
+                }
+                _ => sell_scalar::spmv::<C, ADD>(sliceptr, colidx, val, r1 - r0, x, win),
+            }));
+        }
+        ctx.run(jobs);
+    }
+
     fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
         match C {
             4 => dispatch::sell4_spmv::<ADD>(
@@ -407,8 +471,15 @@ impl<const C: usize> MatShape for Sell<C> {
 }
 
 impl<const C: usize> SpMv for Sell<C> {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_isa(self.isa, x, y);
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
+    }
+
+    /// Fused `y += A·x` — no scratch vector at any thread count
+    /// (σ-sorted matrices still stage through scratch to undo the
+    /// permutation, but accumulate directly into `y`).
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
     }
 
     /// Multi-vector product streaming the matrix **once**: each slice
@@ -480,20 +551,6 @@ impl<const C: usize> SpMv for Sell<C> {
                 for r in 0..lanes {
                     let contrib = if r < 8 { acc[v][r] } else { extra[v][r - 8] };
                     y[v * self.nrows + base_row + r] = contrib;
-                }
-            }
-        }
-    }
-
-    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows, self.ncols, x, y);
-        match &self.perm {
-            None => self.spmv_raw::<true>(self.isa, x, y),
-            Some(p) => {
-                let mut scratch = vec![0.0f64; self.nrows];
-                self.spmv_raw::<false>(self.isa, x, &mut scratch);
-                for (k, &row) in p.iter().enumerate() {
-                    y[row as usize] += scratch[k];
                 }
             }
         }

@@ -12,6 +12,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
+use crate::exec::{split_by_weight, ExecCtx};
 use crate::isa::Isa;
 use crate::sell::Sell8;
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
@@ -86,27 +87,48 @@ impl SellEsb {
 
     /// Scalar masked kernel: skips padded lanes via the bit array.
     fn spmv_scalar(&self, x: &[f64], y: &mut [f64]) {
-        let sliceptr = self.sell.sliceptr();
-        let colidx = self.sell.colidx();
-        let val = self.sell.values();
-        let nrows = self.sell.nrows();
-        let mut col_at = 0usize;
-        for s in 0..self.sell.nslices() {
-            let mut acc = [0.0f64; 8];
-            let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
-            for j in 0..w {
-                let m = self.bits[col_at + j];
-                let base = sliceptr[s] + j * 8;
-                for r in 0..8 {
-                    if m & (1 << r) != 0 {
-                        acc[r] += val[base + r] * x[colidx[base + r] as usize];
-                    }
+        esb_spmv_scalar(
+            self.sell.sliceptr(),
+            self.sell.colidx(),
+            self.sell.values(),
+            &self.bits,
+            self.sell.nrows(),
+            x,
+            y,
+        );
+    }
+}
+
+/// The scalar masked kernel body, windowing like the SIMD dispatch
+/// wrappers: `sliceptr` may be a sub-window with absolute offsets into the
+/// full `val`/`colidx`, `bits` starts at the window's first mask byte
+/// (`full_bits[sliceptr[0] / 8]`), `nrows` and `y` cover the window's rows.
+fn esb_spmv_scalar(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    bits: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len().saturating_sub(1);
+    let mut col_at = 0usize;
+    for s in 0..nslices {
+        let mut acc = [0.0f64; 8];
+        let w = (sliceptr[s + 1] - sliceptr[s]) / 8;
+        for j in 0..w {
+            let m = bits[col_at + j];
+            let base = sliceptr[s] + j * 8;
+            for r in 0..8 {
+                if m & (1 << r) != 0 {
+                    acc[r] += val[base + r] * x[colidx[base + r] as usize];
                 }
             }
-            col_at += w;
-            let lanes = 8.min(nrows - s * 8);
-            y[s * 8..s * 8 + lanes].copy_from_slice(&acc[..lanes]);
         }
+        col_at += w;
+        let lanes = 8.min(nrows - s * 8);
+        y[s * 8..s * 8 + lanes].copy_from_slice(&acc[..lanes]);
     }
 }
 
@@ -123,9 +145,49 @@ impl MatShape for SellEsb {
 }
 
 impl SpMv for SellEsb {
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_isa(self.sell.isa(), x, y);
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.sell.nrows(), self.sell.ncols(), x, y);
+        if ctx.is_serial() {
+            self.spmv_isa(self.sell.isa(), x, y);
+            return;
+        }
+        // Slice-aligned partition, like plain SELL-8; each job windows the
+        // bit array to its first slice's mask byte and runs the *same*
+        // masked kernel the serial path uses (bitwise determinism).
+        let isa = self.sell.isa();
+        let nrows = self.sell.nrows();
+        let full_sliceptr = self.sell.sliceptr();
+        let (colidx, val, bits) = (self.sell.colidx(), self.sell.values(), &self.bits[..]);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = y;
+        for (s0, s1) in split_by_weight(full_sliceptr, ctx.threads()) {
+            if s0 == s1 {
+                continue;
+            }
+            let (r0, r1) = (s0 * 8, (s1 * 8).min(nrows));
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
+            rest = tail;
+            let sliceptr = &full_sliceptr[s0..=s1];
+            let bits_win = &bits[full_sliceptr[s0] / 8..];
+            jobs.push(Box::new(move || match isa {
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx512 => crate::kernels::dispatch::sell_esb_spmv_avx512_slices(
+                    sliceptr,
+                    colidx,
+                    val,
+                    bits_win,
+                    r1 - r0,
+                    x,
+                    win,
+                ),
+                _ => esb_spmv_scalar(sliceptr, colidx, val, bits_win, r1 - r0, x, win),
+            }));
+        }
+        ctx.run(jobs);
     }
+    // spmv_add_ctx keeps the documented scratch-vector default: the masked
+    // ESB kernels overwrite y, and this ablation format sits on no solver
+    // hot path that needs a fused accumulate.
 }
 
 #[cfg(test)]

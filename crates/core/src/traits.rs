@@ -13,21 +13,51 @@ pub trait MatShape {
 /// Sparse matrix-vector product `y = A·x` (and `y += A·x`).
 ///
 /// Implementations must accept `x.len() == ncols()` and
-/// `y.len() == nrows()` and must not read `y` in [`SpMv::spmv`].
+/// `y.len() == nrows()` and must not read `y` in [`SpMv::spmv`] /
+/// [`SpMv::spmv_ctx`].
+///
+/// The context-taking entry points are the primitives: an
+/// [`ExecCtx`](crate::ExecCtx) selects serial execution or a persistent
+/// worker pool, and a format runs its kernels over a disjoint,
+/// nnz-balanced row partition (slice-aligned for SELL).  The classic
+/// `spmv`/`spmv_add` methods are thin forwarders through
+/// `ExecCtx::serial()`, so existing callers are untouched.
+///
+/// **Contract**: for any context, `spmv_ctx`/`spmv_add_ctx` must produce
+/// output *bitwise identical* to the serial path — partitions never split
+/// a row, and each row is computed by the same kernel in the same operand
+/// order.  Formats whose kernels scatter into `y` (permuted variants,
+/// symmetric storage) satisfy this by running serially regardless of the
+/// context.
 pub trait SpMv: MatShape {
-    /// Computes `y = A·x`, overwriting `y`.
-    fn spmv(&self, x: &[f64], y: &mut [f64]);
+    /// Computes `y = A·x`, overwriting `y`, on the given execution
+    /// context.
+    fn spmv_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]);
 
-    /// Computes `y += A·x`.
+    /// Computes `y += A·x` on the given execution context.
     ///
-    /// The default implementation allocates a scratch vector; formats
-    /// override it with a fused kernel where it matters.
-    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+    /// The default implementation allocates a scratch vector, runs
+    /// [`SpMv::spmv_ctx`] into it, and accumulates — the documented
+    /// fallback for formats without a fused kernel.  Every bundled format
+    /// with row-disjoint output overrides it with a fused (scratch-free)
+    /// kernel.
+    fn spmv_add_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
         let mut tmp = vec![0.0; y.len()];
-        self.spmv(x, &mut tmp);
+        self.spmv_ctx(ctx, x, &mut tmp);
         for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
             *yi += ti;
         }
+    }
+
+    /// Computes `y = A·x`, overwriting `y` (serial; forwards to
+    /// [`SpMv::spmv_ctx`] with [`ExecCtx::serial`](crate::ExecCtx::serial)).
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_ctx(&crate::ExecCtx::serial(), x, y);
+    }
+
+    /// Computes `y += A·x` (serial; forwards to [`SpMv::spmv_add_ctx`]).
+    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_add_ctx(&crate::ExecCtx::serial(), x, y);
     }
 
     /// Floating-point operations performed by one product (2 per nonzero),

@@ -3,7 +3,7 @@
 
 use std::cell::RefCell;
 
-use sellkit_core::{Csr, FromCsr, MatShape, SpMv};
+use sellkit_core::{Csr, ExecCtx, FromCsr, MatShape, SpMv};
 use sellkit_mpisim::Comm;
 
 use crate::partition::{split_rows, RowRange};
@@ -151,6 +151,15 @@ impl<M: SpMv + FromCsr> DistMat<M> {
     /// `x_local`/`y_local` are this rank's owned blocks of the distributed
     /// vectors.
     pub fn mult(&self, comm: &Comm, x_local: &[f64], y_local: &mut [f64]) {
+        self.mult_ctx(comm, &ExecCtx::serial(), x_local, y_local);
+    }
+
+    /// Parallel `y = A·x` with a shared-memory execution context: the
+    /// paper's hybrid MPI×threads MatMult.  Both local products (diagonal
+    /// and off-diagonal block) run on `ctx`'s worker pool; the scatter
+    /// stays on the calling thread, overlapped with the diagonal product
+    /// as in [`DistMat::mult`].
+    pub fn mult_ctx(&self, comm: &Comm, ctx: &ExecCtx, x_local: &[f64], y_local: &mut [f64]) {
         assert_eq!(x_local.len(), self.diag.ncols(), "x block length mismatch");
         assert_eq!(
             y_local.len(),
@@ -161,11 +170,11 @@ impl<M: SpMv + FromCsr> DistMat<M> {
         // (1) post nonblocking transfers of nonlocal x entries;
         let pending = self.scatter.begin(comm, x_local, &mut ghost);
         // (2) diagonal block × local x — overlapped with communication;
-        self.diag.spmv(x_local, y_local);
+        self.diag.spmv_ctx(ctx, x_local, y_local);
         // (3) wait for the transfers;
         self.scatter.end(comm, pending, &mut ghost);
-        // (4) off-diagonal block × ghost entries, accumulated.
-        self.offdiag.spmv_add(&ghost, y_local);
+        // (4) off-diagonal block × ghost entries, accumulated (fused).
+        self.offdiag.spmv_add_ctx(ctx, &ghost, y_local);
     }
 
     /// This rank's row range.
@@ -299,6 +308,38 @@ mod tests {
     #[test]
     fn many_ranks_small_matrix() {
         check_parallel_equals_sequential::<Sell8>(7, 19);
+    }
+
+    #[test]
+    fn mult_ctx_matches_serial_mult_bitwise() {
+        // Hybrid ranks × threads: each rank's local products on a worker
+        // pool must reproduce the serial per-rank result bit for bit.
+        let n = 50;
+        let a = banded(n, 3);
+        let serial = {
+            let a2 = a.clone();
+            run(3, move |comm| {
+                let dm = DistMat::<Sell8>::from_global_csr(comm, &a2, 1);
+                let xv = DistVec::from_fn(comm, n, |g| (g as f64 * 0.13).sin());
+                let mut yv = DistVec::zeros(comm, n);
+                dm.mult(comm, xv.local(), yv.local_mut());
+                yv.gather_all(comm)
+            })
+        };
+        for threads in [2usize, 4] {
+            let a2 = a.clone();
+            let out = run(3, move |comm| {
+                let ctx = ExecCtx::new(threads);
+                let dm = DistMat::<Sell8>::from_global_csr(comm, &a2, 1);
+                let xv = DistVec::from_fn(comm, n, |g| (g as f64 * 0.13).sin());
+                let mut yv = DistVec::zeros(comm, n);
+                dm.mult_ctx(comm, &ctx, xv.local(), yv.local_mut());
+                yv.gather_all(comm)
+            });
+            for (y, want) in out.iter().zip(&serial) {
+                assert_eq!(y, want, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,47 @@ impl<M: SpMv> Operator for MatOperator<'_, M> {
     }
 }
 
+/// Like [`MatOperator`], but every application runs on an
+/// [`ExecCtx`](sellkit_core::ExecCtx) worker pool — the hook that makes a
+/// whole Krylov solve thread-parallel without touching any solver code:
+/// wrap the matrix once, and every MatMult the solver issues dispatches to
+/// the pool.
+///
+/// The SpMV determinism contract carries over: a solve driven through a
+/// `CtxMatOperator` produces bitwise the same iterates as the serial
+/// [`MatOperator`] for any thread count.
+#[derive(Clone, Debug)]
+pub struct CtxMatOperator<'a, M> {
+    mat: &'a M,
+    ctx: &'a sellkit_core::ExecCtx,
+}
+
+impl<'a, M: SpMv> CtxMatOperator<'a, M> {
+    /// Binds a matrix to an execution context.
+    pub fn new(mat: &'a M, ctx: &'a sellkit_core::ExecCtx) -> Self {
+        Self { mat, ctx }
+    }
+
+    /// The wrapped matrix.
+    pub fn mat(&self) -> &'a M {
+        self.mat
+    }
+
+    /// The execution context applications run on.
+    pub fn ctx(&self) -> &'a sellkit_core::ExecCtx {
+        self.ctx
+    }
+}
+
+impl<M: SpMv> Operator for CtxMatOperator<'_, M> {
+    fn dim(&self) -> usize {
+        self.mat.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.mat.spmv_ctx(self.ctx, x, y);
+    }
+}
+
 /// An operator wrapper counting applications — the instrument behind the
 /// "SpMV dominates the solve" analyses: wrap the Jacobian, run the solver,
 /// read how many MatMults it triggered.
@@ -111,6 +152,30 @@ mod tests {
         let mut y = vec![0.0; 2];
         op.apply(&[1.0, 1.0], &mut y);
         assert_eq!(y, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn ctx_operator_matches_serial_operator_bitwise() {
+        let a = {
+            let mut b = sellkit_core::CooBuilder::new(33, 33);
+            for i in 0..33usize {
+                for j in 0..(i % 4 + 1) {
+                    b.push(i, (i + 5 * j) % 33, (i * 3 + j) as f64 * 0.5 - 7.0);
+                }
+            }
+            b.to_csr()
+        };
+        let x: Vec<f64> = (0..33).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut want = vec![0.0; 33];
+        MatOperator(&a).apply(&x, &mut want);
+        for threads in [1, 2, 4] {
+            let ctx = sellkit_core::ExecCtx::new(threads);
+            let op = CtxMatOperator::new(&a, &ctx);
+            assert_eq!(op.dim(), 33);
+            let mut y = vec![0.0; 33];
+            op.apply(&x, &mut y);
+            assert_eq!(y, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl Precond for JacobiPc {
             z[i] = self.inv_diag[i] * r[i];
         }
     }
+
+    /// Parallel diagonal scaling: element-wise disjoint, so the context
+    /// path is bitwise identical to [`Precond::apply`] at any thread
+    /// count — the parallel Jacobi smoother of the multigrid setup.
+    fn apply_ctx(&self, ctx: &sellkit_core::ExecCtx, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.inv_diag.len());
+        crate::vecops::pointwise_mult_ctx(ctx, z, &self.inv_diag, r);
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +75,22 @@ mod tests {
         let mut z = vec![0.0; 3];
         pc.apply(&[2.0, 4.0, 8.0], &mut z);
         assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial_bitwise() {
+        let n = 9000; // crosses the vecops parallel threshold
+        let diag: Vec<f64> = (0..n).map(|i| 1.5 + (i % 7) as f64).collect();
+        let pc = JacobiPc::from_diagonal(&diag);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let mut want = vec![0.0; n];
+        pc.apply(&r, &mut want);
+        for threads in [1usize, 2, 4] {
+            let ctx = sellkit_core::ExecCtx::new(threads);
+            let mut z = vec![0.0; n];
+            pc.apply_ctx(&ctx, &r, &mut z);
+            assert_eq!(z, want, "threads={threads}");
+        }
     }
 
     #[test]

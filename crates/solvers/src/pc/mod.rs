@@ -25,6 +25,42 @@ pub use sor::SorPc;
 pub trait Precond {
     /// Applies the preconditioner, overwriting `z`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Applies the preconditioner on an execution context's worker pool.
+    ///
+    /// The default ignores the context and forwards to [`Precond::apply`]
+    /// — correct for every preconditioner.  Implementations whose apply is
+    /// element-wise disjoint (like [`JacobiPc`]) override it with a
+    /// parallel path that is bitwise identical to the serial one.
+    fn apply_ctx(&self, _ctx: &sellkit_core::ExecCtx, r: &[f64], z: &mut [f64]) {
+        self.apply(r, z);
+    }
+}
+
+/// Binds a preconditioner to an execution context: `apply` forwards to
+/// the inner [`Precond::apply_ctx`], so generic solver code that only
+/// knows `Precond::apply` still drives the parallel path.  The mirror
+/// image of [`CtxMatOperator`](crate::operator::CtxMatOperator).
+pub struct CtxPrecond<'a, P> {
+    pc: &'a P,
+    ctx: &'a sellkit_core::ExecCtx,
+}
+
+impl<'a, P: Precond> CtxPrecond<'a, P> {
+    /// Binds `pc` to `ctx`.
+    pub fn new(pc: &'a P, ctx: &'a sellkit_core::ExecCtx) -> Self {
+        Self { pc, ctx }
+    }
+}
+
+impl<P: Precond> Precond for CtxPrecond<'_, P> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.pc.apply_ctx(self.ctx, r, z);
+    }
+    fn apply_ctx(&self, _ctx: &sellkit_core::ExecCtx, r: &[f64], z: &mut [f64]) {
+        // The bound context wins over the caller-supplied one.
+        self.pc.apply_ctx(self.ctx, r, z);
+    }
 }
 
 /// The identity preconditioner (`PCNONE`).
@@ -55,10 +91,15 @@ impl<P1: Precond, P2: Precond> Precond for ChainPc<P1, P2> {
     }
 }
 
-/// Boxed preconditioners compose too.
+/// Boxed preconditioners compose too.  `apply_ctx` is forwarded
+/// explicitly so a boxed [`JacobiPc`] keeps its parallel path instead of
+/// falling back to the trait default.
 impl Precond for Box<dyn Precond> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         (**self).apply(r, z);
+    }
+    fn apply_ctx(&self, ctx: &sellkit_core::ExecCtx, r: &[f64], z: &mut [f64]) {
+        (**self).apply_ctx(ctx, r, z);
     }
 }
 
@@ -67,6 +108,9 @@ impl Precond for Box<dyn Precond> {
 impl<P: Precond + ?Sized> Precond for &P {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         (**self).apply(r, z);
+    }
+    fn apply_ctx(&self, ctx: &sellkit_core::ExecCtx, r: &[f64], z: &mut [f64]) {
+        (**self).apply_ctx(ctx, r, z);
     }
 }
 

@@ -71,6 +71,20 @@ impl Profiler {
         out
     }
 
+    /// Times `f` under `name` and attributes `flops` to the same record
+    /// atomically, so a Gflop/s readout can never observe the time without
+    /// the flops (the failure mode of pairing [`Profiler::time`] with a
+    /// separate [`Profiler::add_flops`] call).
+    ///
+    /// This is the right call for MatMult-style events whose flop count is
+    /// known up front (`2·nnz` per product).
+    pub fn time_flops<R>(&mut self, name: &'static str, flops: u64, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let out = f();
+        self.record(name, t.elapsed().as_secs_f64(), flops);
+        out
+    }
+
     /// Adds a manual record (seconds + flops) to `name`.
     pub fn record(&mut self, name: &'static str, seconds: f64, flops: u64) {
         if !self.events.contains_key(name) {
@@ -158,6 +172,18 @@ mod tests {
         assert!(e.seconds >= 0.0);
         let total = p.stop();
         assert!(total >= e.seconds * 0.5);
+    }
+
+    #[test]
+    fn time_flops_attributes_both_in_one_call() {
+        let mut p = Profiler::new();
+        let out = p.time_flops("matmult", 1000, || std::hint::black_box(41) + 1);
+        assert_eq!(out, 42);
+        p.time_flops("matmult", 1000, || ());
+        let e = p.event("matmult").expect("recorded");
+        assert_eq!(e.count, 2);
+        assert_eq!(e.flops, 2000);
+        assert!(e.seconds >= 0.0);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! "the Jacobian evaluation and its multiplication with input vectors
 //! dominate the simulation"), and solves the Newton system with GMRES.
 
-use sellkit_core::{Csr, FromCsr, SpMv};
+use sellkit_core::{Csr, ExecCtx, FromCsr, SpMv};
 
 use crate::ksp::{gmres, KspConfig};
-use crate::operator::{MatOperator, SeqDot};
-use crate::pc::Precond;
+use crate::operator::{CtxMatOperator, SeqDot};
+use crate::pc::{CtxPrecond, Precond};
 use crate::vecops;
 
 use super::line_search::LineSearch;
@@ -159,6 +159,25 @@ where
     Prob: NonlinearProblem,
     Pc: Precond,
 {
+    newton_ctx::<M, _, _>(problem, x, cfg, &ExecCtx::serial(), pc_factory)
+}
+
+/// [`newton`] with every Jacobian application and preconditioner apply
+/// dispatched on `ctx`'s worker pool.  The SpMV determinism contract
+/// makes the iterates bitwise identical to the serial [`newton`] for any
+/// thread count.
+pub fn newton_ctx<M, Prob, Pc>(
+    problem: &Prob,
+    x: &mut [f64],
+    cfg: &NewtonConfig,
+    ctx: &ExecCtx,
+    pc_factory: impl Fn(&Csr) -> Pc,
+) -> NewtonResult
+where
+    M: SpMv + FromCsr,
+    Prob: NonlinearProblem,
+    Pc: Precond,
+{
     let n = problem.dim();
     assert_eq!(x.len(), n);
     let mut f = vec![0.0; n];
@@ -206,7 +225,14 @@ where
             rtol: cfg.forcing.eta(cfg.ksp.rtol, fnorm, fnorm_prev),
             ..cfg.ksp
         };
-        let lin = gmres(&MatOperator(&j_m), &pc, &SeqDot, &rhs, &mut d, &ksp_cfg);
+        let lin = gmres(
+            &CtxMatOperator::new(&j_m, ctx),
+            &CtxPrecond::new(&pc, ctx),
+            &SeqDot,
+            &rhs,
+            &mut d,
+            &ksp_cfg,
+        );
         linear_iterations += lin.iterations;
         fnorm_prev = Some(fnorm);
 

@@ -16,7 +16,7 @@
 use sellkit_core::{Csr, FromCsr, SpMv};
 
 use crate::pc::Precond;
-use crate::snes::newton::{newton, NewtonConfig, NewtonResult, NonlinearProblem};
+use crate::snes::newton::{NewtonConfig, NewtonResult, NonlinearProblem};
 
 /// An autonomous-or-not ODE system `du/dt = f(t, u)` with Jacobian.
 pub trait OdeProblem {
@@ -165,6 +165,24 @@ impl ThetaStepper {
         P: OdeProblem,
         Pc: Precond,
     {
+        self.step_ctx::<M, _, _>(ode, u, &sellkit_core::ExecCtx::serial(), pc_factory)
+    }
+
+    /// [`ThetaStepper::step`] with the Newton systems' SpMVs and
+    /// preconditioner applies running on `ctx`'s worker pool — the hook
+    /// that makes a whole Gray-Scott time step thread-parallel.
+    pub fn step_ctx<M, P, Pc>(
+        &mut self,
+        ode: &P,
+        u: &mut [f64],
+        ctx: &sellkit_core::ExecCtx,
+        pc_factory: impl Fn(&Csr) -> Pc,
+    ) -> NewtonResult
+    where
+        M: SpMv + FromCsr,
+        P: OdeProblem,
+        Pc: Precond,
+    {
         let n = ode.dim();
         assert_eq!(u.len(), n);
         let dt = self.cfg.dt;
@@ -188,7 +206,7 @@ impl ThetaStepper {
             t_next: self.t + dt,
             dt_theta: dt * theta,
         };
-        let res = newton::<M, _, _>(&stage, u, &self.cfg.newton, pc_factory);
+        let res = crate::snes::newton_ctx::<M, _, _>(&stage, u, &self.cfg.newton, ctx, pc_factory);
 
         self.t += dt;
         self.steps_taken += 1;

@@ -3,6 +3,27 @@
 //! Written as plain slice loops so LLVM vectorizes them; these are the
 //! "other core operations" of §7.3 that must not regress when the matrix
 //! format changes (they never touch the matrix).
+//!
+//! Every kernel has a `*_ctx` twin taking an
+//! [`ExecCtx`](sellkit_core::ExecCtx) that runs on the context's worker
+//! pool.  Element-wise kernels (`axpy`, `scale`, …) partition the vectors
+//! into per-thread windows and are bitwise identical to the serial loop
+//! for any thread count.  Reductions (`dot_ctx`, `norm2_ctx`) use **fixed
+//! 4096-element chunks combined in index order**, so their result is
+//! deterministic and *thread-count-invariant* — the same bits at 1 and 8
+//! threads — though not bitwise equal to the single-accumulator serial
+//! [`dot`] (a different, equally valid summation order).
+
+use sellkit_core::ExecCtx;
+
+/// Chunk length of the deterministic parallel reductions.  Fixed (not
+/// derived from the thread count) so the summation tree — hence the bits
+/// of the result — never depends on how many workers run it.
+const REDUCE_CHUNK: usize = 4096;
+
+/// Below this length the `*_ctx` kernels stay on the calling thread:
+/// dispatching to the pool costs more than the loop itself.
+const PAR_MIN: usize = 2048;
 
 /// Sequential dot product.
 #[inline]
@@ -75,6 +96,151 @@ pub fn norm_inf(a: &[f64]) -> f64 {
     a.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
 }
 
+/// Runs `body(start, window)` over even contiguous partitions of `y` on
+/// the context's workers.  The windows are disjoint, so element-wise
+/// `*_ctx` kernels built on this are bitwise identical to their serial
+/// twins.
+fn par_windows<'env>(
+    ctx: &ExecCtx,
+    y: &'env mut [f64],
+    body: impl Fn(usize, &'env mut [f64]) + Sync + Send + Copy + 'env,
+) {
+    let n = y.len();
+    if ctx.is_serial() || n < PAR_MIN {
+        body(0, y);
+        return;
+    }
+    let t = ctx.threads();
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + 'env>> = Vec::with_capacity(t);
+    let mut rest = y;
+    let mut i0 = 0;
+    for p in 0..t {
+        let i1 = n * (p + 1) / t;
+        if i1 == i0 {
+            continue;
+        }
+        let (win, tail) = std::mem::take(&mut rest).split_at_mut(i1 - i0);
+        rest = tail;
+        jobs.push(Box::new(move || body(i0, win)));
+        i0 = i1;
+    }
+    ctx.run(jobs);
+}
+
+/// The dot product of chunk `c` (fixed [`REDUCE_CHUNK`] length) of `a`/`b`.
+#[inline]
+fn chunk_dot(a: &[f64], b: &[f64], c: usize) -> f64 {
+    let lo = c * REDUCE_CHUNK;
+    let hi = (lo + REDUCE_CHUNK).min(a.len());
+    dot(&a[lo..hi], &b[lo..hi])
+}
+
+/// Deterministic parallel dot product: fixed-size chunk partials combined
+/// in index order, so the bits of the result do not depend on the thread
+/// count (see the module docs).
+pub fn dot_ctx(ctx: &ExecCtx, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let nchunks = a.len().div_ceil(REDUCE_CHUNK).max(1);
+    if ctx.is_serial() || nchunks == 1 {
+        return (0..nchunks).map(|c| chunk_dot(a, b, c)).sum();
+    }
+    let mut partials = vec![0.0f64; nchunks];
+    {
+        let t = ctx.threads().min(nchunks);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(t);
+        let mut rest = partials.as_mut_slice();
+        let mut c0 = 0;
+        for p in 0..t {
+            let c1 = nchunks * (p + 1) / t;
+            if c1 == c0 {
+                continue;
+            }
+            let (win, tail) = std::mem::take(&mut rest).split_at_mut(c1 - c0);
+            rest = tail;
+            jobs.push(Box::new(move || {
+                for (o, slot) in win.iter_mut().enumerate() {
+                    *slot = chunk_dot(a, b, c0 + o);
+                }
+            }));
+            c0 = c1;
+        }
+        ctx.run(jobs);
+    }
+    partials.iter().sum()
+}
+
+/// Euclidean norm over the context (see [`dot_ctx`] for determinism).
+pub fn norm2_ctx(ctx: &ExecCtx, a: &[f64]) -> f64 {
+    dot_ctx(ctx, a, a).sqrt()
+}
+
+/// `y += alpha * x` over the context; bitwise identical to [`axpy`].
+pub fn axpy_ctx(ctx: &ExecCtx, alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    par_windows(ctx, y, move |i0, win| {
+        axpy(alpha, &x[i0..i0 + win.len()], win)
+    });
+}
+
+/// `y = alpha * y + x` over the context; bitwise identical to [`aypx`].
+pub fn aypx_ctx(ctx: &ExecCtx, alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    par_windows(ctx, y, move |i0, win| {
+        aypx(alpha, &x[i0..i0 + win.len()], win)
+    });
+}
+
+/// `w = alpha * x + y` over the context; bitwise identical to [`waxpy`].
+pub fn waxpy_ctx(ctx: &ExecCtx, w: &mut [f64], alpha: f64, x: &[f64], y: &[f64]) {
+    debug_assert_eq!(w.len(), x.len());
+    debug_assert_eq!(w.len(), y.len());
+    par_windows(ctx, w, move |i0, win| {
+        waxpy(win, alpha, &x[i0..i0 + win.len()], &y[i0..i0 + win.len()])
+    });
+}
+
+/// `x *= alpha` over the context; bitwise identical to [`scale`].
+pub fn scale_ctx(ctx: &ExecCtx, alpha: f64, x: &mut [f64]) {
+    par_windows(ctx, x, move |_, win| scale(alpha, win));
+}
+
+/// Pointwise `w = a ⊙ b` over the context; bitwise identical to
+/// [`pointwise_mult`] — the parallel path of the Jacobi smoother.
+pub fn pointwise_mult_ctx(ctx: &ExecCtx, w: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(w.len(), a.len());
+    debug_assert_eq!(w.len(), b.len());
+    par_windows(ctx, w, move |i0, win| {
+        pointwise_mult(win, &a[i0..i0 + win.len()], &b[i0..i0 + win.len()])
+    });
+}
+
+/// ∞-norm over the context.  `max` is associative, so this is bitwise
+/// identical to [`norm_inf`] for any thread count (unlike the summing
+/// reductions, no fixed chunking is needed).
+pub fn norm_inf_ctx(ctx: &ExecCtx, a: &[f64]) -> f64 {
+    let n = a.len();
+    if ctx.is_serial() || n < PAR_MIN {
+        return norm_inf(a);
+    }
+    let t = ctx.threads();
+    let mut partials = vec![0.0f64; t];
+    {
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(t);
+        let mut rest = partials.as_mut_slice();
+        let mut i0 = 0;
+        for p in 0..t {
+            let i1 = n * (p + 1) / t;
+            let (slot, tail) = std::mem::take(&mut rest).split_at_mut(1);
+            rest = tail;
+            let span = &a[i0..i1];
+            jobs.push(Box::new(move || slot[0] = norm_inf(span)));
+            i0 = i1;
+        }
+        ctx.run(jobs);
+    }
+    norm_inf(&partials)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +263,70 @@ mod tests {
         let mut w = vec![0.0; 2];
         waxpy(&mut w, -1.0, &x, &y);
         assert_eq!(w, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn ctx_elementwise_kernels_match_serial_bitwise() {
+        // Long enough to cross PAR_MIN so the pool actually runs.
+        let n = 3 * PAR_MIN + 17;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.123).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.321).cos()).collect();
+        for threads in [1usize, 2, 4] {
+            let ctx = ExecCtx::new(threads);
+            let mut y = b.clone();
+            let mut y_ctx = b.clone();
+            axpy(0.37, &a, &mut y);
+            axpy_ctx(&ctx, 0.37, &a, &mut y_ctx);
+            assert_eq!(y, y_ctx, "axpy threads={threads}");
+
+            aypx(-1.25, &a, &mut y);
+            aypx_ctx(&ctx, -1.25, &a, &mut y_ctx);
+            assert_eq!(y, y_ctx, "aypx threads={threads}");
+
+            let mut w = vec![0.0; n];
+            let mut w_ctx = vec![0.0; n];
+            waxpy(&mut w, 2.5, &a, &b);
+            waxpy_ctx(&ctx, &mut w_ctx, 2.5, &a, &b);
+            assert_eq!(w, w_ctx, "waxpy threads={threads}");
+
+            scale(0.99, &mut w);
+            scale_ctx(&ctx, 0.99, &mut w_ctx);
+            assert_eq!(w, w_ctx, "scale threads={threads}");
+
+            pointwise_mult(&mut w, &a, &b);
+            pointwise_mult_ctx(&ctx, &mut w_ctx, &a, &b);
+            assert_eq!(w, w_ctx, "pointwise threads={threads}");
+
+            assert_eq!(
+                norm_inf(&a).to_bits(),
+                norm_inf_ctx(&ctx, &a).to_bits(),
+                "norm_inf threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn ctx_reductions_are_thread_count_invariant() {
+        let n = 5 * REDUCE_CHUNK + 123;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.017).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let serial = dot_ctx(&ExecCtx::serial(), &a, &b);
+        for threads in [2usize, 3, 4, 8] {
+            let ctx = ExecCtx::new(threads);
+            assert_eq!(
+                serial.to_bits(),
+                dot_ctx(&ctx, &a, &b).to_bits(),
+                "dot threads={threads}"
+            );
+            assert_eq!(
+                norm2_ctx(&ExecCtx::serial(), &a).to_bits(),
+                norm2_ctx(&ctx, &a).to_bits(),
+                "norm2 threads={threads}"
+            );
+        }
+        // Same summation tree, different accumulator grouping than the
+        // plain serial loop: equal to rounding error, not to the bit.
+        assert!((serial - dot(&a, &b)).abs() <= 1e-9 * serial.abs().max(1.0));
     }
 
     #[test]

@@ -150,7 +150,7 @@ impl OdeProblem for GrayScott3D {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{MatShape, Sell8, SpMv};
+    use sellkit_core::{MatShape, Sell8};
     use sellkit_solvers::ksp::KspConfig;
     use sellkit_solvers::pc::JacobiPc;
     use sellkit_solvers::snes::NewtonConfig;

@@ -6,9 +6,9 @@
 //! cargo run --release -p sellkit --example advection_diffusion -- [grid] [steps]
 //! ```
 
-use sellkit::core::{matops, Csr, MatShape, Sell8};
+use sellkit::core::{matops, Csr, ExecCtx, MatShape, Sell8, SpMv};
 use sellkit::solvers::ksp::{gmres, KspConfig};
-use sellkit::solvers::operator::{Counting, MatOperator, SeqDot};
+use sellkit::solvers::operator::{Counting, CtxMatOperator, SeqDot};
 use sellkit::solvers::pc::Ilu0;
 use sellkit::solvers::Profiler;
 use sellkit::workloads::{AdvectionDiffusion, AdvectionDiffusionParams};
@@ -38,7 +38,11 @@ fn main() {
     let ilu = profiler.time("PCSetUp(ILU0)", || Ilu0::factor(&a));
     let sell = profiler.time("MatConvert(SELL)", || Sell8::from_csr(&a));
 
-    let op = Counting::new(MatOperator(&sell));
+    // SELLKIT_THREADS picks the worker-pool width (1 = serial); every
+    // MatMult the solver issues runs on the pool.
+    let ctx = ExecCtx::from_env();
+    println!("execution context: {} thread(s)", ctx.threads());
+    let op = Counting::new(CtxMatOperator::new(&sell, &ctx));
     let mut u = prob.gaussian_initial();
     let mass0: f64 = u.iter().sum();
 
@@ -54,6 +58,12 @@ fn main() {
         total_iters += res.iterations;
     }
     profiler.add_flops("KSPSolve", op.applies() as u64 * 2 * a.nnz() as u64);
+    // Final true-residual MatMult: time_flops attributes the flops with
+    // the timing atomically, so the event's Gflop/s can't read 0 flops.
+    let mut au = vec![0.0; n];
+    profiler.time_flops("MatMult", 2 * a.nnz() as u64, || {
+        sell.spmv_ctx(&ctx, &u, &mut au)
+    });
     profiler.stop();
 
     let mass1: f64 = u.iter().sum();

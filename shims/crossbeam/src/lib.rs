@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = super::thread::scope(|scope| {
             let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()

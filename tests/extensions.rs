@@ -168,6 +168,7 @@ fn profiler_attributes_the_solve_phases() {
     let gs = GrayScott::new(24, GrayScottParams::default());
     let w = gs.initial_condition(1);
     let mut prof = Profiler::new();
+    use sellkit::core::SpMv;
     let j = prof.time("MatAssembly", || gs.rhs_jacobian(0.0, &w));
     let sell = prof.time("MatConvert", || Sell8::from_csr(&j));
     let op = Counting::new(MatOperator(&sell));
@@ -190,12 +191,20 @@ fn profiler_attributes_the_solve_phases() {
         )
     });
     prof.add_flops("KSPSolve", 2 * (j.nnz() as u64) * op.applies() as u64);
+    // True-residual MatMult with its flops attributed atomically — the
+    // time_flops pattern every explicit MatMult call site uses, so the
+    // event can never report time with zero flops.
+    let mut ax = vec![0.0; j.nrows()];
+    prof.time_flops("MatMult", 2 * j.nnz() as u64, || sell.spmv(&x, &mut ax));
     let total = prof.stop();
     assert!(total > 0.0);
     let ksp = prof.event("KSPSolve").expect("recorded");
     assert!(ksp.flops > 0 && ksp.count == 1);
+    let mm = prof.event("MatMult").expect("recorded");
+    assert_eq!(mm.count, 1);
+    assert_eq!(mm.flops, 2 * j.nnz() as u64, "flops attributed with time");
     let report = prof.to_string();
-    for name in ["MatAssembly", "MatConvert", "KSPSolve"] {
+    for name in ["MatAssembly", "MatConvert", "KSPSolve", "MatMult"] {
         assert!(report.contains(name), "{name} in report:\n{report}");
     }
 }

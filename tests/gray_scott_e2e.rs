@@ -34,8 +34,14 @@ fn simulate<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, Vec<usiz
     let mut u = gs.initial_condition(42);
     let mut ts = ThetaStepper::new(cfg);
     let mut gmres_its = Vec::new();
+    // Honors SELLKIT_THREADS (CI runs this suite at 1 and 4 threads); the
+    // engine's bitwise-determinism contract means the trajectory — and
+    // every iteration count below — is identical at any width.
+    let ctx = sellkit::core::ExecCtx::from_env();
     for _ in 0..steps {
-        let res = ts.step::<M, _, _>(&gs, &mut u, |j| Multigrid::<M>::new(j, &interps, mg_cfg));
+        let res = ts.step_ctx::<M, _, _>(&gs, &mut u, &ctx, |j| {
+            Multigrid::<M>::new(j, &interps, mg_cfg)
+        });
         assert!(res.converged(), "{:?}", res.reason);
         gmres_its.push(res.linear_iterations);
     }

@@ -1,0 +1,103 @@
+//! Parallel-vs-serial equivalence of the execution-context SpMV engine.
+//!
+//! The `SpMv` contract promises that `spmv_ctx`/`spmv_add_ctx` produce
+//! **bitwise-identical** output to the serial path for any thread count:
+//! the row/slice partitioning may only change *which thread* computes a
+//! row, never the summation order *within* a row or slice.  These
+//! property tests drive that promise for every format on random COO
+//! matrices, plus regression tests for the empty-partition corner (more
+//! threads than slices).
+
+use proptest::prelude::*;
+use sellkit::core::{
+    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, Sbaij, Sell, SellEsb, SpMv,
+};
+
+/// Asserts `spmv_ctx` and `spmv_add_ctx` at 1/2/4/7 threads reproduce
+/// the serial results bit for bit.
+fn assert_parallel_matches_serial<M: SpMv>(m: &M, x: &[f64], label: &str) {
+    let n = m.nrows();
+    let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.01 - 0.5).collect();
+    let mut want = vec![0.0; n];
+    m.spmv(x, &mut want);
+    let mut want_add = base.clone();
+    m.spmv_add(x, &mut want_add);
+    for threads in [1usize, 2, 4, 7] {
+        let ctx = ExecCtx::new(threads);
+        let mut y = vec![0.0; n];
+        m.spmv_ctx(&ctx, x, &mut y);
+        assert_eq!(y, want, "{label}: spmv at {threads} threads");
+        let mut ya = base.clone();
+        m.spmv_add_ctx(&ctx, x, &mut ya);
+        assert_eq!(ya, want_add, "{label}: spmv_add at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every format × threads ∈ {1, 2, 4, 7} is bitwise identical to the
+    /// serial path on random sparse matrices (even dimension so the
+    /// block formats convert at bs = 2).
+    #[test]
+    fn every_format_is_bitwise_parallel_invariant(
+        nb in 1usize..14,
+        entries in prop::collection::vec((0usize..28, 0usize..28, -2.0f64..2.0), 1..160),
+    ) {
+        let n = 2 * nb;
+        let mut b = CooBuilder::new(n, n);
+        let mut bsym = CooBuilder::new(n, n);
+        for &(i, j, v) in &entries {
+            b.push(i % n, j % n, v);
+            // Symmetrized copy for SBAIJ (A := A + Aᵀ structurally).
+            bsym.push(i % n, j % n, v);
+            bsym.push(j % n, i % n, v);
+        }
+        let a = b.to_csr();
+        let sym = bsym.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.1).collect();
+
+        assert_parallel_matches_serial(&a, &x, "csr");
+        assert_parallel_matches_serial(&CsrPerm::from_csr(&a), &x, "csr_perm");
+        assert_parallel_matches_serial(&Sell::<4>::from_csr(&a), &x, "sell4");
+        assert_parallel_matches_serial(&Sell::<8>::from_csr(&a), &x, "sell8");
+        assert_parallel_matches_serial(&Sell::<16>::from_csr(&a), &x, "sell16");
+        // σ-sorted SELL scatters through the permutation: the documented
+        // serial fallback must still honor the contract.
+        let sigma = Sell::<8>::from_csr_sigma(&a, n.div_ceil(8) * 8);
+        assert_parallel_matches_serial(&sigma, &x, "sell8_sigma");
+        assert_parallel_matches_serial(&SellEsb::from_csr(&a), &x, "sell_esb");
+        assert_parallel_matches_serial(&Ellpack::from_csr(&a), &x, "ellpack");
+        assert_parallel_matches_serial(&EllpackR::from_csr(&a), &x, "ellpack_r");
+        assert_parallel_matches_serial(&Baij::from_csr(&a, 2), &x, "baij");
+        assert_parallel_matches_serial(&Sbaij::from_csr(&sym, 2), &x, "sbaij");
+    }
+}
+
+/// Regression: more threads than slices/rows leaves some partitions
+/// empty; those must be skipped, not dispatched as zero-length kernels.
+#[test]
+fn more_threads_than_slices_is_handled() {
+    // 3 rows → a single SELL-8 slice, 3 CSR rows; run at 7 threads.
+    let mut b = CooBuilder::new(3, 3);
+    b.push(0, 0, 2.0);
+    b.push(1, 2, -1.0);
+    b.push(2, 1, 0.5);
+    let a = b.to_csr();
+    let x = vec![1.0, 2.0, 3.0];
+    assert_parallel_matches_serial(&a, &x, "csr tiny");
+    assert_parallel_matches_serial(&Sell::<8>::from_csr(&a), &x, "sell8 tiny");
+    assert_parallel_matches_serial(&Sell::<16>::from_csr(&a), &x, "sell16 tiny");
+    assert_parallel_matches_serial(&SellEsb::from_csr(&a), &x, "esb tiny");
+    assert_parallel_matches_serial(&Ellpack::from_csr(&a), &x, "ellpack tiny");
+}
+
+/// Regression: an empty matrix (0 × 0) must be a no-op at any width.
+#[test]
+fn empty_matrix_is_a_noop() {
+    let a = CooBuilder::new(0, 0).to_csr();
+    let ctx = ExecCtx::new(4);
+    let mut y: Vec<f64> = vec![];
+    a.spmv_ctx(&ctx, &[], &mut y);
+    a.spmv_add_ctx(&ctx, &[], &mut y);
+}
