@@ -2,13 +2,19 @@
 //! matrix irregularity interact — padding ratio and measured SpMV
 //! throughput for every combination, printed as a table.
 //!
+//! Also writes the machine-readable `BENCH_sweep.json` at the repo root:
+//! per-format Gflop/s, achieved GB/s (via the §6 traffic model), and
+//! percent-of-roofline against the modeled host STREAM bandwidth, plus
+//! thread-scaling efficiency.
+//!
 //! ```sh
 //! cargo run --release -p sellkit-bench --bin sweep
 //! ```
 
 use sellkit_bench::measure::{gflops, time_spmv};
 use sellkit_bench::table::render;
-use sellkit_core::{ExecCtx, MatShape, Sell, SpMv};
+use sellkit_core::{Csr, ExecCtx, MatShape, Sell, SpMv};
+use sellkit_obs::Json;
 use sellkit_workloads::generators;
 use sellkit_workloads::{GrayScott, GrayScottParams};
 
@@ -69,16 +75,90 @@ fn main() {
          and global sigma-sorting recovers it at a permutation cost (§5.4).\n"
     );
 
-    thread_sweep();
+    let formats = format_sweep();
+    let scaling = thread_sweep();
+    write_bench_json(&formats, &scaling);
+}
+
+/// One measured format: label, Gflop/s, achieved GB/s (modeled traffic ÷
+/// measured time), and percent-of-roofline vs the host STREAM model.
+struct FormatPoint {
+    label: &'static str,
+    gflops: f64,
+    gbs: f64,
+    roof_pct: f64,
+}
+
+/// One thread count of the scaling sweep.
+struct ScalingPoint {
+    threads: usize,
+    gflops: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
+fn gray_scott_jacobian() -> Csr {
+    use sellkit_solvers::ts::OdeProblem;
+    let gs = GrayScott::new(256, GrayScottParams::default());
+    let w = gs.initial_condition(1);
+    gs.rhs_jacobian(0.0, &w)
+}
+
+/// Sequential per-format comparison on the 256² Gray-Scott Jacobian with
+/// §6 roofline attribution.
+fn format_sweep() -> Vec<FormatPoint> {
+    let a = gray_scott_jacobian();
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.002).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let bw = sellkit_machine::host_stream_bw_gbs(1);
+    let (m, n, nnz) = (a.nrows(), a.ncols(), a.nnz());
+
+    let mut pts = Vec::new();
+    let mut push = |label, t: f64, traffic: sellkit_core::traffic::TrafficEstimate| {
+        let gf = gflops(nnz, t);
+        let gbs = traffic.bytes as f64 / t / 1e9;
+        pts.push(FormatPoint {
+            label,
+            gflops: gf,
+            gbs,
+            roof_pct: 100.0 * gbs / bw,
+        });
+    };
+    let t = time_spmv(&|xv, yv| a.spmv(xv, yv), &x, &mut y, 7);
+    push("csr", t, sellkit_core::traffic::csr_traffic(m, n, nnz));
+    let s4 = Sell::<4>::from_csr(&a);
+    let t = time_spmv(&|xv, yv| s4.spmv(xv, yv), &x, &mut y, 7);
+    push("sell4", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    let s8 = Sell::<8>::from_csr(&a);
+    let t = time_spmv(&|xv, yv| s8.spmv(xv, yv), &x, &mut y, 7);
+    push("sell8", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    let s16 = Sell::<16>::from_csr(&a);
+    let t = time_spmv(&|xv, yv| s16.spmv(xv, yv), &x, &mut y, 7);
+    push("sell16", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+
+    println!("format sweep: 256^2 Gray-Scott Jacobian, sequential\n");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                format!("{:.2}", p.gflops),
+                format!("{:.2}", p.gbs),
+                format!("{:.1}%", p.roof_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["format", "Gflop/s", "GB/s", "% of roofline"], &rows)
+    );
+    pts
 }
 
 /// Shared-memory thread sweep of the worker-pool engine: SELL-8 SpMV on
 /// the 256² Gray-Scott Jacobian at 1/2/4/8 threads.
-fn thread_sweep() {
-    use sellkit_solvers::ts::OdeProblem;
-    let gs = GrayScott::new(256, GrayScottParams::default());
-    let w = gs.initial_condition(1);
-    let a = gs.rhs_jacobian(0.0, &w);
+fn thread_sweep() -> Vec<ScalingPoint> {
+    let a = gray_scott_jacobian();
     let s = Sell::<8>::from_csr(&a);
     let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.002).sin()).collect();
     let mut y = vec![0.0; a.nrows()];
@@ -90,6 +170,7 @@ fn thread_sweep() {
         a.nnz(),
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    let mut pts = Vec::new();
     let mut rows = Vec::new();
     let mut t1 = f64::NAN;
     for threads in [1usize, 2, 4, 8] {
@@ -98,10 +179,17 @@ fn thread_sweep() {
         if threads == 1 {
             t1 = t;
         }
+        let speedup = t1 / t;
+        pts.push(ScalingPoint {
+            threads,
+            gflops: gflops(a.nnz(), t),
+            speedup,
+            efficiency: speedup / threads as f64,
+        });
         rows.push(vec![
             threads.to_string(),
             format!("{:.2}", gflops(a.nnz(), t)),
-            format!("{:.2}x", t1 / t),
+            format!("{:.2}x", speedup),
         ]);
     }
     println!(
@@ -112,4 +200,61 @@ fn thread_sweep() {
         "Reading: scaling tracks physical cores x memory bandwidth; output\n\
          is bitwise identical to the serial kernel at every width."
     );
+    pts
+}
+
+/// Writes `BENCH_sweep.json` at the repository root.
+fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
+    let doc = Json::obj(vec![
+        ("schema", Json::from("sellkit-bench-sweep")),
+        ("version", Json::from(1u64)),
+        (
+            "matrix",
+            Json::obj(vec![
+                ("name", Json::from("gray_scott_jacobian_256")),
+                ("grid", Json::from(256u64)),
+            ]),
+        ),
+        (
+            "roofline_bw_gbs",
+            Json::from(sellkit_machine::host_stream_bw_gbs(1)),
+        ),
+        (
+            "formats",
+            Json::Arr(
+                formats
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("format", Json::from(p.label)),
+                            ("gflops", Json::from(p.gflops)),
+                            ("gbs", Json::from(p.gbs)),
+                            ("roof_pct", Json::from(p.roof_pct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "thread_scaling",
+            Json::Arr(
+                scaling
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("threads", Json::from(p.threads as u64)),
+                            ("gflops", Json::from(p.gflops)),
+                            ("speedup", Json::from(p.speedup)),
+                            ("efficiency", Json::from(p.efficiency)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
 }

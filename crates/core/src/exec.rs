@@ -157,6 +157,17 @@ pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<(usize, usize)> {
         bounds.push(at.clamp(prev, items));
     }
     bounds.push(items);
+    // Partition-quality telemetry: max part weight over the ideal equal
+    // share (1.0 = perfectly balanced).  Only computed while logging is on.
+    if parts > 1 && total > 0 && sellkit_obs::enabled() {
+        let max_w = bounds
+            .windows(2)
+            .map(|w| prefix[w[1]] - prefix[w[0]])
+            .max()
+            .unwrap_or(0);
+        let ideal = total as f64 / parts as f64;
+        sellkit_obs::gauge("partition.imbalance", max_w as f64 / ideal);
+    }
     bounds.windows(2).map(|w| (w[0], w[1])).collect()
 }
 

@@ -133,7 +133,14 @@ impl Drop for WorkerPool {
 
 fn worker_loop(rx: Receiver<Msg>, tx: Sender<Done>) {
     while let Ok(Msg::Run(job)) = rx.recv() {
-        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Worker busy time and one Chrome-trace track per worker: the
+            // span records under this thread's shard (labeled with the OS
+            // thread name, `sellkit-worker-N`).  Disabled cost is one
+            // relaxed atomic load per job.
+            let _busy = sellkit_obs::span("PoolJob");
+            job();
+        }));
         if tx.send(outcome).is_err() {
             // Pool dropped mid-flight; nothing left to report to.
             return;

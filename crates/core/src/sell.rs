@@ -475,6 +475,10 @@ impl<const C: usize> SpMv for Sell<C> {
         self.spmv_parts::<false>(ctx, x, y);
     }
 
+    fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
+        crate::traffic::sell_traffic(self.nrows, self.ncols, self.nnz)
+    }
+
     /// Fused `y += A·x` — no scratch vector at any thread count
     /// (σ-sorted matrices still stage through scratch to undo the
     /// permutation, but accumulate directly into `y`).

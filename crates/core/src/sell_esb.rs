@@ -188,6 +188,10 @@ impl SpMv for SellEsb {
     // spmv_add_ctx keeps the documented scratch-vector default: the masked
     // ESB kernels overwrite y, and this ablation format sits on no solver
     // hot path that needs a fused accumulate.
+
+    fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
+        crate::traffic::sell_traffic(self.sell.nrows(), self.sell.ncols(), self.sell.nnz())
+    }
 }
 
 #[cfg(test)]

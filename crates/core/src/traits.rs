@@ -66,6 +66,14 @@ pub trait SpMv: MatShape {
         2 * self.nnz() as u64
     }
 
+    /// Minimum §6 memory traffic moved by one product, for bandwidth
+    /// attribution in profiling reports.  The default applies the CSR
+    /// formula (`12·nnz + 24·m + 8·n`); sliced-ELLPACK formats override
+    /// it with the SELL formula (`12·nnz + 10·m + 8·n`).
+    fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
+        crate::traffic::csr_traffic(self.nrows(), self.ncols(), self.nnz())
+    }
+
     /// Multi-vector product `Y = A·X` (sparse × dense-block, the level-3
     /// analogue): `X` holds `k` column-major input vectors
     /// (`x_v = X[v*ncols..(v+1)*ncols]`), `Y` likewise with `nrows`.

@@ -112,6 +112,11 @@ impl VecScatter {
         self.sends.iter().map(|(_, idx)| idx.len()).sum()
     }
 
+    /// Number of point-to-point messages this rank sends per scatter.
+    pub fn nmsgs(&self) -> usize {
+        self.sends.len()
+    }
+
     /// Posts all sends and receives; copies self-owned entries immediately.
     ///
     /// `x_local` is this rank's owned block; `ghost` is the buffer to fill

@@ -47,4 +47,4 @@ pub use roofline::{Roofline, RooflinePoint};
 pub use specs::{
     broadwell_e5_2699v4, haswell_e5_2699v3, knl_7230, knl_7250, skylake_8180m, ProcessorSpec,
 };
-pub use stream_model::StreamCurve;
+pub use stream_model::{host_stream_bw_gbs, StreamCurve};

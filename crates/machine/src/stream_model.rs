@@ -84,6 +84,14 @@ pub fn xeon_stream_curve(spec: &ProcessorSpec) -> StreamCurve {
     }
 }
 
+/// Modeled STREAM bandwidth (GB/s) of the reference Xeon host (Table 1's
+/// Skylake 8180M) at a given thread count — the roofline bandwidth
+/// observability reports fall back to when no measured STREAM number is
+/// available for the machine actually running.
+pub fn host_stream_bw_gbs(threads: usize) -> f64 {
+    xeon_stream_curve(&crate::specs::skylake_8180m()).at(threads.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +149,16 @@ mod tests {
     fn ddr_saturates_with_few_processes() {
         let c = knl_stream_curve(MemoryMode::FlatDdr, true);
         assert!(c.at(16) > 0.9 * c.bmax_gbs);
+    }
+
+    #[test]
+    fn host_bandwidth_is_monotone_and_bounded() {
+        let b1 = host_stream_bw_gbs(1);
+        let b4 = host_stream_bw_gbs(4);
+        let b56 = host_stream_bw_gbs(56);
+        assert!(b1 > 0.0 && b1 < b4 && b4 < b56);
+        assert!(b56 <= 119.2, "bounded by the 8180M DDR ceiling: {b56}");
+        // threads=0 is clamped, not NaN/zero.
+        assert_eq!(host_stream_bw_gbs(0), b1);
     }
 }

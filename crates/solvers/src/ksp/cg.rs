@@ -4,6 +4,7 @@ use crate::operator::{InnerProduct, Operator};
 use crate::pc::Precond;
 use crate::vecops;
 
+use super::monitor::{IterationRecord, KspMonitor, NoMonitor};
 use super::{test_convergence, KspConfig, KspResult, StopReason};
 
 /// Solves `A x = b` with preconditioned CG.  `A` and the preconditioner
@@ -16,6 +17,21 @@ pub fn cg<O: Operator, P: Precond, D: InnerProduct>(
     x: &mut [f64],
     cfg: &KspConfig,
 ) -> KspResult {
+    cg_monitored(op, pc, ip, b, x, cfg, &NoMonitor)
+}
+
+/// [`cg`] with a per-iteration [`KspMonitor`] callback receiving every
+/// residual record as the solve produces it.
+pub fn cg_monitored<O: Operator, P: Precond, D: InnerProduct, M: KspMonitor + ?Sized>(
+    op: &O,
+    pc: &P,
+    ip: &D,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KspConfig,
+    mon: &M,
+) -> KspResult {
+    let _solve = sellkit_obs::span("KSPSolve");
     let n = op.dim();
     let mut r = vec![0.0; n];
     let mut z = vec![0.0; n];
@@ -31,6 +47,11 @@ pub fn cg<O: Operator, P: Precond, D: InnerProduct>(
     let mut rz = ip.dot(&r, &z);
     let r0 = ip.norm(&r);
     history.push(r0);
+    mon.monitor(&IterationRecord {
+        iteration: 0,
+        rnorm: r0,
+        r0,
+    });
     if let Some(reason) = test_convergence(r0, r0, cfg) {
         return KspResult {
             iterations: 0,
@@ -58,6 +79,11 @@ pub fn cg<O: Operator, P: Precond, D: InnerProduct>(
 
         let rnorm = ip.norm(&r);
         history.push(rnorm);
+        mon.monitor(&IterationRecord {
+            iteration: it,
+            rnorm,
+            r0,
+        });
         if let Some(reason) = test_convergence(rnorm, r0, cfg) {
             return KspResult {
                 iterations: it,

@@ -5,6 +5,7 @@
 use crate::operator::{InnerProduct, Operator};
 use crate::pc::Precond;
 
+use super::monitor::{IterationRecord, KspMonitor, NoMonitor};
 use super::{initial_residual, test_convergence, KspConfig, KspResult, StopReason};
 
 /// Solves `A x = b` with left-preconditioned GMRES(restart).
@@ -39,6 +40,22 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
     x: &mut [f64],
     cfg: &KspConfig,
 ) -> KspResult {
+    gmres_monitored(op, pc, ip, b, x, cfg, &NoMonitor)
+}
+
+/// [`gmres`] with a per-iteration [`KspMonitor`] callback (the
+/// `KSPMonitorSet` analogue): `mon` receives every residual record —
+/// including the initial one — as the solve produces it.
+pub fn gmres_monitored<O: Operator, P: Precond, D: InnerProduct, M: KspMonitor + ?Sized>(
+    op: &O,
+    pc: &P,
+    ip: &D,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &KspConfig,
+    mon: &M,
+) -> KspResult {
+    let _solve = sellkit_obs::span("KSPSolve");
     let n = op.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
@@ -50,6 +67,11 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
 
     let r0 = initial_residual(op, pc, ip, b, x, &mut r, &mut z);
     history.push(r0);
+    mon.monitor(&IterationRecord {
+        iteration: 0,
+        rnorm: r0,
+        r0,
+    });
     if let Some(reason) = test_convergence(r0, r0, cfg) {
         return KspResult {
             iterations: 0,
@@ -129,6 +151,11 @@ pub fn gmres<O: Operator, P: Precond, D: InnerProduct>(
             j_used = j + 1;
             rnorm = g[j + 1].abs();
             history.push(rnorm);
+            mon.monitor(&IterationRecord {
+                iteration: total_it,
+                rnorm,
+                r0,
+            });
 
             if let Some(reason) = test_convergence(rnorm, r0, cfg) {
                 stop = Some(reason);

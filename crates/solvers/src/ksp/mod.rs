@@ -13,11 +13,15 @@ pub mod monitor;
 pub mod richardson;
 pub mod tfqmr;
 
-pub use bicgstab::bicgstab;
-pub use cg::cg;
+pub use bicgstab::{bicgstab, bicgstab_monitored};
+pub use cg::{cg, cg_monitored};
 pub use chebyshev::chebyshev;
 pub use fgmres::fgmres;
-pub use gmres::gmres;
+pub use gmres::{gmres, gmres_monitored};
+pub use monitor::{
+    CollectingMonitor, ConvergenceSummary, IterationRecord, KspMonitor, NoMonitor, ObsMonitor,
+    PrintMonitor,
+};
 pub use richardson::richardson;
 pub use tfqmr::tfqmr;
 

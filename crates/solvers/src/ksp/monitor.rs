@@ -1,8 +1,113 @@
-//! Convergence monitoring utilities (`-ksp_monitor` analogues): inspect a
-//! solve's residual history after the fact, the way PETSc users read their
-//! monitor output — the paper's published artifacts are exactly such logs.
+//! Convergence monitoring utilities (`-ksp_monitor` analogues).
+//!
+//! Two complementary paths, matching PETSc:
+//!
+//! * **Structured callbacks** — a [`KspMonitor`] passed to the
+//!   `*_monitored` solver entry points ([`super::gmres::gmres_monitored`]
+//!   and friends) receives an [`IterationRecord`] per iteration *while
+//!   the solve runs*, like `KSPMonitorSet`.  Bundled monitors collect
+//!   ([`CollectingMonitor`]), print ([`PrintMonitor`]), or stream records
+//!   into the global `sellkit-obs` registry ([`ObsMonitor`]).
+//! * **Post-hoc analysis** — [`summarize`]/[`summarize_history`] reduce a
+//!   recorded residual history to a [`ConvergenceSummary`], the way PETSc
+//!   users read their monitor output; the paper's published artifacts are
+//!   exactly such logs.
+
+use std::cell::RefCell;
 
 use super::KspResult;
+
+/// One structured residual record, delivered to a [`KspMonitor`] as the
+/// solve produces it.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord {
+    /// Iteration number (0 = the initial residual).
+    pub iteration: usize,
+    /// Preconditioned residual norm at this iteration.
+    pub rnorm: f64,
+    /// Initial residual norm of the solve (for relative readings).
+    pub r0: f64,
+}
+
+impl IterationRecord {
+    /// `rnorm / r0` (1.0 at iteration 0; 0 when `r0` vanishes).
+    pub fn relative(&self) -> f64 {
+        if self.r0 > 0.0 {
+            self.rnorm / self.r0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-iteration callback invoked by the `*_monitored` KSP entry points —
+/// the `KSPMonitorSet` analogue.  Takes `&self`: implementations use
+/// interior mutability so one monitor can be shared across solves.
+pub trait KspMonitor {
+    /// Called once per recorded residual, including the initial one.
+    fn monitor(&self, rec: &IterationRecord);
+}
+
+/// The do-nothing monitor; what the plain (non-`_monitored`) solver
+/// functions pass internally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMonitor;
+
+impl KspMonitor for NoMonitor {
+    fn monitor(&self, _rec: &IterationRecord) {}
+}
+
+/// Collects every record for later inspection or summarizing.
+#[derive(Debug, Default)]
+pub struct CollectingMonitor {
+    records: RefCell<Vec<IterationRecord>>,
+}
+
+impl CollectingMonitor {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far, in delivery order.
+    pub fn records(&self) -> Vec<IterationRecord> {
+        self.records.borrow().clone()
+    }
+
+    /// Summarizes the collected residuals — the structured-path route to
+    /// a [`ConvergenceSummary`] (no [`KspResult`] needed).
+    pub fn summary(&self) -> Option<ConvergenceSummary> {
+        let history: Vec<f64> = self.records.borrow().iter().map(|r| r.rnorm).collect();
+        summarize_history(&history)
+    }
+}
+
+impl KspMonitor for CollectingMonitor {
+    fn monitor(&self, rec: &IterationRecord) {
+        self.records.borrow_mut().push(*rec);
+    }
+}
+
+/// Prints `-ksp_monitor`-style lines to stdout as the solve runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrintMonitor;
+
+impl KspMonitor for PrintMonitor {
+    fn monitor(&self, rec: &IterationRecord) {
+        println!("{:>4} KSP Residual norm {:.12e}", rec.iteration, rec.rnorm);
+    }
+}
+
+/// Streams records into the global `sellkit-obs` registry as the
+/// `ksp.rnorm` series (a no-op while `SELLKIT_LOG` is disabled).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObsMonitor;
+
+impl KspMonitor for ObsMonitor {
+    fn monitor(&self, rec: &IterationRecord) {
+        sellkit_obs::series_point("ksp.rnorm", rec.iteration as f64, rec.rnorm);
+    }
+}
 
 /// Summary statistics of a residual history.
 #[derive(Clone, Copy, Debug)]
@@ -23,7 +128,12 @@ pub struct ConvergenceSummary {
 ///
 /// Returns `None` when fewer than two residuals were recorded.
 pub fn summarize(result: &KspResult) -> Option<ConvergenceSummary> {
-    let h = &result.history;
+    summarize_history(&result.history)
+}
+
+/// Computes a [`ConvergenceSummary`] from a raw residual history (as
+/// recorded in `KspResult::history` or collected by a monitor).
+pub fn summarize_history(h: &[f64]) -> Option<ConvergenceSummary> {
     if h.len() < 2 || h[0] <= 0.0 {
         return None;
     }

@@ -36,7 +36,9 @@ pub mod ts;
 pub mod vecops;
 
 pub use ksp::{
-    bicgstab, cg, chebyshev, fgmres, gmres, richardson, tfqmr, KspConfig, KspResult, StopReason,
+    bicgstab, bicgstab_monitored, cg, cg_monitored, chebyshev, fgmres, gmres, gmres_monitored,
+    richardson, tfqmr, CollectingMonitor, ConvergenceSummary, IterationRecord, KspConfig,
+    KspMonitor, KspResult, NoMonitor, ObsMonitor, PrintMonitor, StopReason,
 };
 pub use operator::{Counting, InnerProduct, MatOperator, Operator, SeqDot};
 pub use pc::{

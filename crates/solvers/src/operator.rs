@@ -51,7 +51,16 @@ impl<M: SpMv> Operator for MatOperator<'_, M> {
         self.0.nrows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.0.spmv(x, y);
+        // Attribution wiring: when logging is on, every MatMult carries its
+        // §6 modeled traffic so reports can show achieved GB/s.  The
+        // disabled path costs one relaxed atomic load.
+        if sellkit_obs::enabled() {
+            let t = self.0.spmv_traffic();
+            let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
+            self.0.spmv(x, y);
+        } else {
+            self.0.spmv(x, y);
+        }
     }
 }
 
@@ -92,7 +101,13 @@ impl<M: SpMv> Operator for CtxMatOperator<'_, M> {
         self.mat.nrows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.mat.spmv_ctx(self.ctx, x, y);
+        if sellkit_obs::enabled() {
+            let t = self.mat.spmv_traffic();
+            let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
+            self.mat.spmv_ctx(self.ctx, x, y);
+        } else {
+            self.mat.spmv_ctx(self.ctx, x, y);
+        }
     }
 }
 

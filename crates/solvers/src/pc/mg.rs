@@ -70,6 +70,18 @@ impl Default for MultigridConfig {
     }
 }
 
+/// One MatMult with §6 traffic attribution when logging is enabled; the
+/// disabled path costs one relaxed atomic load.
+fn mult<M: SpMv>(a: &M, x: &[f64], y: &mut [f64]) {
+    if sellkit_obs::enabled() {
+        let t = a.spmv_traffic();
+        let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
+        a.spmv(x, y);
+    } else {
+        a.spmv(x, y);
+    }
+}
+
 struct Level<M> {
     /// The level operator in the experiment's matrix format.
     a: M,
@@ -205,11 +217,12 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
     }
 
     fn smooth_jacobi(&self, l: usize, b: &[f64], x: &mut [f64], steps: usize) {
+        let _sm = sellkit_obs::span("MGSmooth");
         let lev = &self.levels[l];
         let mut r = vec![0.0; lev.n];
         for _ in 0..steps {
             // r = b - A x;  x += ω D⁻¹ r
-            lev.a.spmv(x, &mut r);
+            mult(&lev.a, x, &mut r);
             for i in 0..lev.n {
                 x[i] += self.cfg.omega * lev.inv_diag[i] * (b[i] - r[i]);
             }
@@ -220,6 +233,7 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
     /// runs the three-term recurrence twice) over `[0.1, 1.1]·λmax` of
     /// `D⁻¹A`, PETSc's standard smoothing window.
     fn smooth_chebyshev(&self, l: usize, b: &[f64], x: &mut [f64], steps: usize) {
+        let _sm = sellkit_obs::span("MGSmooth");
         let lev = &self.levels[l];
         let (emin, emax) = (0.1 * lev.emax, 1.1 * lev.emax);
         let theta = 0.5 * (emax + emin);
@@ -231,7 +245,7 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
         let mut rho = 1.0 / sigma1;
         let degree = 2 * steps;
         for it in 0..degree {
-            lev.a.spmv(x, &mut r);
+            mult(&lev.a, x, &mut r);
             for i in 0..n {
                 r[i] = lev.inv_diag[i] * (b[i] - r[i]); // preconditioned residual
             }
@@ -271,7 +285,7 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
 
         // Residual restriction.
         let mut ax = vec![0.0; lev.n];
-        lev.a.spmv(x, &mut ax);
+        mult(&lev.a, x, &mut ax);
         let mut res = vec![0.0; lev.n];
         for i in 0..lev.n {
             res[i] = b[i] - ax[i];
@@ -296,6 +310,7 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
 
 impl<M: SpMv + FromCsr> Precond for Multigrid<M> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let _pc = sellkit_obs::span("PCApply");
         z.fill(0.0);
         self.vcycle(0, r, z);
     }

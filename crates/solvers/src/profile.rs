@@ -6,10 +6,18 @@
 //! [`Profiler`] produces that breakdown for the solves in this workspace.
 //! The paper's published artifacts are PETSc log files — this is the
 //! equivalent facility.
+//!
+//! Since the `sellkit-obs` rework the profiler is a thin facade over a
+//! private [`sellkit_obs::Registry`]: every method takes `&self`, events
+//! nest on a per-thread stage stack (so timing really is attributed to
+//! both the inner event and its enclosing stages), and recording from
+//! pool workers is safe.  For process-wide logging gated by `SELLKIT_LOG`,
+//! use the `sellkit_obs` free functions instead.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sellkit_obs::{Registry, Report, Span};
 
 /// Accumulated statistics for one named event.
 #[derive(Clone, Copy, Debug, Default)]
@@ -20,6 +28,8 @@ pub struct EventStats {
     pub seconds: f64,
     /// Flops attributed to the event (optional).
     pub flops: u64,
+    /// Modeled memory-traffic bytes attributed to the event (optional).
+    pub bytes: u64,
 }
 
 impl EventStats {
@@ -31,14 +41,26 @@ impl EventStats {
             0.0
         }
     }
+
+    /// Achieved GB/s of modeled traffic (0 if no bytes logged).
+    pub fn gbs(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
 }
 
 /// An event profiler: time named regions, attribute flops, report.
 ///
+/// Each profiler owns a **private** registry, so concurrently running
+/// solves (or tests) never see each other's events.
+///
 /// ```
 /// use sellkit_solvers::Profiler;
 ///
-/// let mut p = Profiler::new();
+/// let p = Profiler::new();
 /// let answer = p.time("compute", || 6 * 7);
 /// assert_eq!(answer, 42);
 /// p.add_flops("compute", 1);
@@ -46,29 +68,28 @@ impl EventStats {
 /// assert_eq!(p.event("compute").unwrap().count, 1);
 /// assert!(p.to_string().contains("compute"));
 /// ```
-#[derive(Default, Debug)]
+#[derive(Default)]
 pub struct Profiler {
-    events: HashMap<&'static str, EventStats>,
-    order: Vec<&'static str>,
-    started: Option<Instant>,
-    total: f64,
+    reg: Registry,
+    stopped: AtomicBool,
 }
 
 impl Profiler {
     /// Creates an empty profiler and starts its global clock.
     pub fn new() -> Self {
         Self {
-            started: Some(Instant::now()),
-            ..Default::default()
+            reg: Registry::new(),
+            stopped: AtomicBool::new(false),
         }
     }
 
-    /// Times `f` under `name` (nested events are attributed to both).
-    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
-        let out = f();
-        self.record(name, t.elapsed().as_secs_f64(), 0);
-        out
+    /// Times `f` under `name`.  Calls nest: timing `MatMult` inside a
+    /// region timed as `KSPSolve` accumulates the inner seconds into
+    /// *both* events (the outer one times inclusively), and the report
+    /// shows `MatMult` indented under its stage.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = self.reg.span(name);
+        f()
     }
 
     /// Times `f` under `name` and attributes `flops` to the same record
@@ -78,82 +99,88 @@ impl Profiler {
     ///
     /// This is the right call for MatMult-style events whose flop count is
     /// known up front (`2·nnz` per product).
-    pub fn time_flops<R>(&mut self, name: &'static str, flops: u64, f: impl FnOnce() -> R) -> R {
-        let t = Instant::now();
-        let out = f();
-        self.record(name, t.elapsed().as_secs_f64(), flops);
-        out
+    pub fn time_flops<R>(&self, name: &'static str, flops: u64, f: impl FnOnce() -> R) -> R {
+        let _span = self.reg.span_traffic(name, flops as f64, 0.0);
+        f()
+    }
+
+    /// Like [`Profiler::time_flops`], also attributing `bytes` of modeled
+    /// memory traffic (the §6 minimum-traffic estimate) so reports can
+    /// show achieved GB/s for bandwidth-bound events.
+    pub fn time_traffic<R>(
+        &self,
+        name: &'static str,
+        flops: u64,
+        bytes: u64,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let _span = self.reg.span_traffic(name, flops as f64, bytes as f64);
+        f()
+    }
+
+    /// Opens a RAII span directly — for regions that don't fit a closure,
+    /// e.g. spanning an early-`return`ing match arm.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.reg.span(name)
     }
 
     /// Adds a manual record (seconds + flops) to `name`.
-    pub fn record(&mut self, name: &'static str, seconds: f64, flops: u64) {
-        if !self.events.contains_key(name) {
-            self.order.push(name);
-        }
-        let e = self.events.entry(name).or_default();
-        e.count += 1;
-        e.seconds += seconds;
-        e.flops += flops;
+    pub fn record(&self, name: &'static str, seconds: f64, flops: u64) {
+        self.reg.record(name, seconds, flops as f64);
     }
 
     /// Attributes additional flops to an existing event.
-    pub fn add_flops(&mut self, name: &'static str, flops: u64) {
-        if !self.events.contains_key(name) {
-            self.order.push(name);
-        }
-        self.events.entry(name).or_default().flops += flops;
+    pub fn add_flops(&self, name: &'static str, flops: u64) {
+        self.reg.add_flops(name, flops as f64);
     }
 
-    /// Stats for one event.
+    /// Stats for one event, aggregated over every stage path ending in
+    /// `name` (e.g. `MatMult` under both `KSPSolve` and `MGSmooth`).
     pub fn event(&self, name: &str) -> Option<EventStats> {
-        self.events.get(name).copied()
+        self.reg.report().event(name).map(|e| EventStats {
+            count: e.count,
+            seconds: e.seconds,
+            flops: e.flops as u64,
+            bytes: e.bytes as u64,
+        })
     }
 
     /// Stops the global clock (idempotent) and returns total elapsed time.
-    pub fn stop(&mut self) -> f64 {
-        if let Some(t) = self.started.take() {
-            self.total = t.elapsed().as_secs_f64();
-        }
-        self.total
+    pub fn stop(&self) -> f64 {
+        self.reg.stop();
+        self.stopped.store(true, Ordering::Relaxed);
+        self.reg.elapsed()
     }
 
     /// Fraction of total runtime spent in `name` (requires [`Profiler::stop`]).
     pub fn fraction(&self, name: &str) -> f64 {
-        match (self.events.get(name), self.total > 0.0) {
-            (Some(e), true) => e.seconds / self.total,
+        if !self.stopped.load(Ordering::Relaxed) {
+            return 0.0;
+        }
+        let total = self.reg.elapsed();
+        match (self.event(name), total > 0.0) {
+            (Some(e), true) => e.seconds / total,
             _ => 0.0,
         }
+    }
+
+    /// A full merged snapshot — for the JSON / Chrome-trace exporters.
+    pub fn report(&self) -> Report {
+        self.reg.report()
+    }
+}
+
+impl fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Profiler")
+            .field("stopped", &self.stopped.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
 impl fmt::Display for Profiler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{:<24} {:>8} {:>12} {:>8} {:>10}",
-            "event", "count", "time [s]", "%total", "Gflop/s"
-        )?;
-        for name in &self.order {
-            let e = self.events[name];
-            let pct = if self.total > 0.0 {
-                100.0 * e.seconds / self.total
-            } else {
-                0.0
-            };
-            writeln!(
-                f,
-                "{:<24} {:>8} {:>12.6} {:>7.1}% {:>10.2}",
-                name,
-                e.count,
-                e.seconds,
-                pct,
-                e.gflops()
-            )?;
-        }
-        if self.total > 0.0 {
-            writeln!(f, "total: {:.6} s", self.total)?;
-        }
-        Ok(())
+        f.write_str(&self.reg.report().log_view())
     }
 }
 
@@ -163,7 +190,7 @@ mod tests {
 
     #[test]
     fn times_and_counts() {
-        let mut p = Profiler::new();
+        let p = Profiler::new();
         for _ in 0..3 {
             p.time("work", || std::hint::black_box((0..2000).sum::<u64>()));
         }
@@ -176,7 +203,7 @@ mod tests {
 
     #[test]
     fn time_flops_attributes_both_in_one_call() {
-        let mut p = Profiler::new();
+        let p = Profiler::new();
         let out = p.time_flops("matmult", 1000, || std::hint::black_box(41) + 1);
         assert_eq!(out, 42);
         p.time_flops("matmult", 1000, || ());
@@ -188,7 +215,7 @@ mod tests {
 
     #[test]
     fn flops_and_gflops() {
-        let mut p = Profiler::new();
+        let p = Profiler::new();
         p.record("spmv", 0.5, 1_000_000_000);
         p.add_flops("spmv", 1_000_000_000);
         let e = p.event("spmv").expect("recorded");
@@ -198,7 +225,7 @@ mod tests {
 
     #[test]
     fn report_lists_events_in_insertion_order() {
-        let mut p = Profiler::new();
+        let p = Profiler::new();
         p.record("b_second", 0.1, 0);
         p.record("a_first", 0.1, 0);
         p.stop();
@@ -210,10 +237,66 @@ mod tests {
 
     #[test]
     fn fraction_requires_stop() {
-        let mut p = Profiler::new();
+        let p = Profiler::new();
         p.record("x", 0.2, 0);
         assert_eq!(p.fraction("x"), 0.0);
         p.stop();
         assert!(p.fraction("x") >= 0.0);
+    }
+
+    /// Regression test for the old doc lie: `time` claimed "nested events
+    /// are attributed to both", but its `&mut self` receiver made nesting
+    /// impossible to even write.  The span engine must make it true.
+    #[test]
+    fn nested_time_attributes_to_both_events() {
+        let p = Profiler::new();
+        let burn = || {
+            std::hint::black_box((0..200_000).sum::<u64>());
+        };
+        p.time("KSPSolve", || {
+            burn();
+            p.time_flops("MatMult", 500, burn);
+            p.time_flops("MatMult", 500, burn);
+        });
+        let outer = p.event("KSPSolve").expect("outer accumulates");
+        let inner = p.event("MatMult").expect("inner accumulates");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.flops, 1000);
+        assert!(
+            outer.seconds >= inner.seconds,
+            "outer time is inclusive of nested events: outer {} < inner {}",
+            outer.seconds,
+            inner.seconds
+        );
+        // The report groups the nested event under its stage.
+        let report = p.report();
+        assert!(report.events.iter().any(|e| e.path == "KSPSolve>MatMult"));
+    }
+
+    #[test]
+    fn time_traffic_records_bytes_for_bandwidth() {
+        let p = Profiler::new();
+        p.time_traffic("MatMult", 2000, 12_000, || ());
+        let e = p.event("MatMult").expect("recorded");
+        assert_eq!(e.bytes, 12_000);
+        assert!(e.gbs() >= 0.0);
+    }
+
+    #[test]
+    fn profiler_accepts_records_from_worker_threads() {
+        let p = Profiler::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        p.time_flops("MatMult", 10, || ());
+                    }
+                });
+            }
+        });
+        let e = p.event("MatMult").expect("recorded");
+        assert_eq!(e.count, 100);
+        assert_eq!(e.flops, 1000);
     }
 }

@@ -178,13 +178,17 @@ where
     Prob: NonlinearProblem,
     Pc: Precond,
 {
+    let _snes = sellkit_obs::span("SNESSolve");
     let n = problem.dim();
     assert_eq!(x.len(), n);
     let mut f = vec![0.0; n];
     let mut trial = vec![0.0; n];
     let mut ftrial = vec![0.0; n];
 
-    problem.residual(x, &mut f);
+    {
+        let _fe = sellkit_obs::span("SNESFunctionEval");
+        problem.residual(x, &mut f);
+    }
     let f0 = vecops::norm2(&f);
     let mut fnorm = f0;
     let mut history = vec![f0];
@@ -214,9 +218,13 @@ where
     for it in 1..=cfg.max_it {
         // Assemble in CSR, run the linear solve in format M (as the paper's
         // experiments do: SELL carries every SpMV of the Newton systems).
-        let j_csr = problem.jacobian(x);
-        let pc = pc_factory(&j_csr);
-        let j_m = M::from_csr(&j_csr);
+        let (pc, j_m) = {
+            let _je = sellkit_obs::span("SNESJacobianEval");
+            let j_csr = problem.jacobian(x);
+            let pc = pc_factory(&j_csr);
+            let j_m = M::from_csr(&j_csr);
+            (pc, j_m)
+        };
 
         // Solve J d = -F to the (possibly adaptive) inner tolerance.
         let rhs: Vec<f64> = f.iter().map(|&v| -v).collect();
@@ -241,6 +249,7 @@ where
             for i in 0..n {
                 trial[i] = x[i] + lam * d[i];
             }
+            let _fe = sellkit_obs::span("SNESFunctionEval");
             problem.residual(&trial, &mut ftrial);
             vecops::norm2(&ftrial)
         });
@@ -254,7 +263,10 @@ where
             };
         }
         vecops::axpy(lambda, &d, x);
-        problem.residual(x, &mut f);
+        {
+            let _fe = sellkit_obs::span("SNESFunctionEval");
+            problem.residual(x, &mut f);
+        }
         fnorm = new_fnorm;
         history.push(fnorm);
 

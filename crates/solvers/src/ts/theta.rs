@@ -183,6 +183,7 @@ impl ThetaStepper {
         P: OdeProblem,
         Pc: Precond,
     {
+        let _ts = sellkit_obs::span("TSStep");
         let n = ode.dim();
         assert_eq!(u.len(), n);
         let dt = self.cfg.dt;

@@ -25,7 +25,7 @@ fn main() {
         "advection-diffusion on {grid}x{grid} periodic grid ({n} unknowns), {steps} BE steps\n"
     );
 
-    let mut profiler = Profiler::new();
+    let profiler = Profiler::new();
 
     // Linear problem: the backward-Euler matrix (I − Δt·J) is constant, so
     // assemble and factor once — unlike Gray-Scott, where §7's per-Newton

@@ -97,4 +97,25 @@ fn main() {
         );
         assert!(max_diff < 1e-8, "formats must compute the same simulation");
     }
+
+    // SELLKIT_LOG=1 turns on the staged -log_view engine: print the stage
+    // table and leave machine-readable exports next to it.
+    if sellkit::obs::enabled() {
+        let rep = sellkit::obs::report();
+        println!("\n{}", rep.log_view());
+        let threads = std::env::var("SELLKIT_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1usize);
+        let bw = sellkit::machine::host_stream_bw_gbs(threads);
+        for (path, text) in [
+            ("gray_scott_report.json", rep.to_json(Some(bw))),
+            ("gray_scott_trace.json", rep.chrome_trace()),
+        ] {
+            match std::fs::write(path, format!("{text}\n")) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+    }
 }

@@ -13,6 +13,7 @@
 //! | [`grid`] | structured 2D periodic grids and interpolation operators |
 //! | [`workloads`] | Gray-Scott model, synthetic matrix generators, STREAM |
 //! | [`machine`] | KNL/Xeon performance model: STREAM curves, roofline, SpMV prediction |
+//! | [`obs`] | staged tracing/metrics: `-log_view` tables, JSON reports, Chrome traces |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -34,6 +35,8 @@ pub use sellkit_grid as grid;
 pub use sellkit_machine as machine;
 /// Message-passing runtime ([`sellkit_mpisim`]).
 pub use sellkit_mpisim as mpisim;
+/// Tracing and metrics ([`sellkit_obs`]).
+pub use sellkit_obs as obs;
 /// Solver stack ([`sellkit_solvers`]).
 pub use sellkit_solvers as solvers;
 /// Workloads and generators ([`sellkit_workloads`]).

@@ -167,7 +167,7 @@ fn tfqmr_with_asm_on_gray_scott_newton_system() {
 fn profiler_attributes_the_solve_phases() {
     let gs = GrayScott::new(24, GrayScottParams::default());
     let w = gs.initial_condition(1);
-    let mut prof = Profiler::new();
+    let prof = Profiler::new();
     use sellkit::core::SpMv;
     let j = prof.time("MatAssembly", || gs.rhs_jacobian(0.0, &w));
     let sell = prof.time("MatConvert", || Sell8::from_csr(&j));

@@ -158,6 +158,70 @@ fn backward_euler_also_integrates_gray_scott() {
     assert_eq!(ts.steps_taken(), 3);
 }
 
+/// The observability acceptance path: run the §7 stack with logging on,
+/// check the staged attribution (MatMult with nonzero modeled bytes under
+/// the solver stages), validate the JSON export against the schema, and
+/// leave `BENCH_gray_scott.json` at the repo root for CI to upload.
+#[test]
+fn obs_report_attributes_the_solve_and_exports_json() {
+    sellkit::obs::set_enabled(true);
+    let (_, its) = simulate::<Sell8>(32, 2);
+    sellkit::obs::set_enabled(false);
+    assert!(!its.is_empty());
+
+    let rep = sellkit::obs::report();
+
+    // Roofline attribution: MatMult carries §6 modeled traffic.
+    let mm = rep.event("MatMult").expect("MatMult recorded");
+    assert!(mm.count > 0, "MatMult count {}", mm.count);
+    assert!(mm.bytes > 0.0, "MatMult must carry modeled bytes");
+    assert!(mm.flops > 0.0, "MatMult must carry flops");
+    assert!(mm.seconds > 0.0);
+    assert!(mm.achieved_gbs() > 0.0);
+
+    // Stage nesting: the full PETSc-style path shows up.
+    assert!(
+        rep.events
+            .iter()
+            .any(|e| e.path.contains("TSStep") && e.path.contains("SNESSolve")),
+        "TSStep>SNESSolve staging missing"
+    );
+    assert!(
+        rep.events
+            .iter()
+            .any(|e| e.path.contains("KSPSolve") && e.name == "MatMult"),
+        "MatMult must appear nested under KSPSolve"
+    );
+
+    // JSON export validates against the schema, with roofline context from
+    // the machine model.
+    let threads = std::env::var("SELLKIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize);
+    let bw = sellkit::machine::host_stream_bw_gbs(threads);
+    let text = rep.to_json(Some(bw));
+    sellkit::obs::validate_report_json(&text).expect("schema-valid report");
+    let parsed = sellkit::obs::parse_json(&text).expect("well-formed JSON");
+
+    // Percent-of-roofline is present and consistent with the STREAM model.
+    let events = parsed.get("events").and_then(|e| e.as_arr()).unwrap();
+    let jmm = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("MatMult"))
+        .expect("MatMult in JSON");
+    let gbs = jmm.get("gbs").and_then(|v| v.as_f64()).unwrap();
+    let roof = jmm.get("roof_pct").and_then(|v| v.as_f64()).unwrap();
+    assert!(gbs > 0.0);
+    assert!(
+        (roof - 100.0 * gbs / bw).abs() < 1e-6,
+        "roof_pct {roof} inconsistent with gbs {gbs} at bw {bw}"
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_gray_scott.json");
+    std::fs::write(path, format!("{text}\n")).expect("write bench report");
+}
+
 #[test]
 fn sell_padding_negligible_on_gray_scott_jacobian() {
     // §7: "When represented in the sliced ELLPACK format, there are very

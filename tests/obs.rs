@@ -1,0 +1,186 @@
+//! Cross-crate observability properties: sharded-merge correctness under
+//! arbitrary thread counts, Chrome-trace well-formedness, schema
+//! stability of the JSON export, and the enabled-vs-disabled overhead
+//! contract on the §7 Gray-Scott stack.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sellkit::obs::{parse_json, validate_report_json, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Merging per-thread shards must equal the serial totals — the same
+    /// events recorded from 1, 2, 4, or 7 threads always sum to the same
+    /// count / seconds / flops.
+    #[test]
+    fn sharded_merge_equals_serial_totals(
+        counts in prop::collection::vec(1usize..40, 7),
+    ) {
+        for threads in [1usize, 2, 4, 7] {
+            let reg = Registry::new();
+            let total: usize = counts.iter().take(threads).sum();
+            std::thread::scope(|s| {
+                for &n in counts.iter().take(threads) {
+                    let reg = &reg;
+                    s.spawn(move || {
+                        for _ in 0..n {
+                            reg.record("MatMult", 0.001, 10.0);
+                            reg.counter("halo.msgs", 2.0);
+                        }
+                    });
+                }
+            });
+            let rep = reg.report();
+            let mm = rep.event("MatMult").expect("merged event");
+            prop_assert_eq!(mm.count, total as u64, "threads={}", threads);
+            prop_assert!((mm.flops - 10.0 * total as f64).abs() < 1e-9);
+            prop_assert!((mm.seconds - 0.001 * total as f64).abs() < 1e-9);
+            let msgs = rep.counters.get("halo.msgs").copied().unwrap_or(0.0);
+            prop_assert!((msgs - 2.0 * total as f64).abs() < 1e-9);
+            prop_assert_eq!(rep.threads.len(), threads);
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_wellformed_with_monotone_timestamps() {
+    let reg = Registry::new();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..10 {
+                    let _outer = reg.span("KSPSolve");
+                    let _inner = reg.span("MatMult");
+                }
+            });
+        }
+    });
+    let trace = reg.report().chrome_trace();
+    let doc = parse_json(&trace).expect("trace is well-formed JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut named_tracks = 0usize;
+    let mut spans = 0usize;
+    for e in events {
+        match e.get("ph").and_then(|p| p.as_str()) {
+            Some("M") => {
+                assert_eq!(e.get("name").and_then(|n| n.as_str()), Some("thread_name"));
+                assert!(e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .is_some());
+                named_tracks += 1;
+            }
+            Some("X") => {
+                let tid = e.get("tid").and_then(|t| t.as_f64()).expect("tid") as u64;
+                let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+                let dur = e.get("dur").and_then(|d| d.as_f64()).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                if let Some(&prev) = last_ts.get(&tid) {
+                    assert!(prev <= ts, "timestamps monotone within track {tid}");
+                }
+                last_ts.insert(tid, ts);
+                spans += 1;
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(named_tracks, 4, "one metadata record per recording thread");
+    assert_eq!(spans, 4 * 10 * 2, "every span lands in the trace");
+}
+
+#[test]
+fn json_export_is_schema_stable_under_load() {
+    let reg = Registry::new();
+    {
+        let _solve = reg.span("KSPSolve");
+        let _mm = reg.span_traffic("MatMult", 2000.0, 12_000.0);
+    }
+    reg.gauge("partition.imbalance", 1.25);
+    reg.series_point("ksp.rnorm", 0.0, 1.0);
+    reg.series_point("ksp.rnorm", 1.0, 0.1);
+    let text = reg.report().to_json(Some(100.0));
+    validate_report_json(&text).expect("schema-valid");
+    let doc = parse_json(&text).expect("parses");
+    // The nested path carries the stage prefix.
+    let events = doc.get("events").and_then(|e| e.as_arr()).unwrap();
+    assert!(events
+        .iter()
+        .any(|e| e.get("path").and_then(|p| p.as_str()) == Some("KSPSolve>MatMult")));
+    assert!(
+        doc.get("series").and_then(|s| s.get("ksp.rnorm")).is_some(),
+        "residual series exported"
+    );
+}
+
+/// One CN step of the §7 Gray-Scott stack (the overhead-contract fixture).
+fn gray_scott_step(grid: usize) -> f64 {
+    use sellkit::grid::interpolation_chain;
+    use sellkit::solvers::ksp::KspConfig;
+    use sellkit::solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
+    use sellkit::solvers::snes::NewtonConfig;
+    use sellkit::solvers::ts::{ThetaConfig, ThetaStepper};
+    use sellkit::workloads::{GrayScott, GrayScottParams};
+    use sellkit::Sell8;
+
+    let gs = GrayScott::new(grid, GrayScottParams::default());
+    let interps = interpolation_chain(gs.grid(), 3);
+    let cfg = ThetaConfig {
+        theta: 0.5,
+        dt: 1.0,
+        newton: NewtonConfig {
+            rtol: 1e-8,
+            ksp: KspConfig {
+                rtol: 1e-5,
+                restart: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    };
+    let mg_cfg = MultigridConfig {
+        coarse: CoarseSolve::Jacobi(8),
+        ..Default::default()
+    };
+    let mut u = gs.initial_condition(42);
+    let mut ts = ThetaStepper::new(cfg);
+    let t0 = std::time::Instant::now();
+    let res = ts.step::<Sell8, _, _>(&gs, &mut u, |j| {
+        Multigrid::<Sell8>::new(j, &interps, mg_cfg)
+    });
+    assert!(res.converged());
+    t0.elapsed().as_secs_f64()
+}
+
+/// The ISSUE acceptance bound: running the 256² Gray-Scott step with
+/// logging enabled must cost < 2 % over the disabled path.  Wall-clock
+/// sensitive, so ignored by default; run explicitly with
+/// `cargo test --release --test obs -- --ignored`.
+#[test]
+#[ignore = "timing-sensitive acceptance check; run with --release --ignored"]
+fn enabled_overhead_under_two_percent() {
+    let best = |on: bool| {
+        sellkit::obs::set_enabled(on);
+        let t = (0..3)
+            .map(|_| gray_scott_step(256))
+            .fold(f64::INFINITY, f64::min);
+        sellkit::obs::set_enabled(false);
+        t
+    };
+    let _warmup = gray_scott_step(256);
+    let off = best(false);
+    let on = best(true);
+    let overhead = on / off - 1.0;
+    assert!(
+        overhead < 0.02,
+        "enabled overhead {:.2}% (off {off:.3}s, on {on:.3}s)",
+        overhead * 100.0
+    );
+}
