@@ -11,9 +11,11 @@
 //! cargo run --release -p sellkit-bench --bin sweep
 //! ```
 
+use std::time::Instant;
+
 use sellkit_bench::measure::{gflops, time_spmv};
 use sellkit_bench::table::render;
-use sellkit_core::{Csr, ExecCtx, MatShape, Sell, SpMv};
+use sellkit_core::{Csr, ExecCtx, MatShape, Sell, SellSigma8, SpMv};
 use sellkit_obs::Json;
 use sellkit_workloads::generators;
 use sellkit_workloads::{GrayScott, GrayScottParams};
@@ -78,6 +80,42 @@ fn main() {
     let formats = format_sweep();
     let scaling = thread_sweep();
     write_bench_json(&formats, &scaling);
+    apply_scaling_gate(&scaling);
+}
+
+/// CI scaling-regression gate: when `SELLKIT_SCALING_GATE` is set to a
+/// minimum 4-thread speedup (e.g. `1.3`), exit nonzero if the sweep came
+/// in below it.  Skipped (with a notice) on hosts with fewer than 4
+/// cores, where the target is physically unreachable and the measurement
+/// would only test the scheduler.
+fn apply_scaling_gate(scaling: &[ScalingPoint]) {
+    let Ok(gate) = std::env::var("SELLKIT_SCALING_GATE") else {
+        return;
+    };
+    let min: f64 = gate
+        .trim()
+        .parse()
+        .expect("SELLKIT_SCALING_GATE must be a number (minimum 4-thread speedup)");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        println!("scaling gate: skipped ({cores} host core(s) < 4; target {min:.2}x unreachable)");
+        return;
+    }
+    let Some(p4) = scaling.iter().find(|p| p.threads == 4) else {
+        eprintln!("scaling gate: no 4-thread measurement in the sweep");
+        std::process::exit(1);
+    };
+    if p4.speedup < min {
+        eprintln!(
+            "scaling gate: FAIL — 4-thread speedup {:.2}x < required {min:.2}x",
+            p4.speedup
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "scaling gate: ok — 4-thread speedup {:.2}x >= {min:.2}x",
+        p4.speedup
+    );
 }
 
 /// One measured format: label, Gflop/s, achieved GB/s (modeled traffic ÷
@@ -95,6 +133,24 @@ struct ScalingPoint {
     gflops: f64,
     speedup: f64,
     efficiency: f64,
+    /// Warm per-call dispatch overhead of the pool engine: time for one
+    /// no-op `ExecCtx::dispatch` round (publish → park/unpark → join),
+    /// i.e. the fixed cost every `spmv_ctx` pays on top of the kernels.
+    dispatch_ns: f64,
+}
+
+/// Measures the warm no-op dispatch round-trip on `ctx` in nanoseconds.
+fn dispatch_overhead_ns(ctx: &ExecCtx) -> f64 {
+    let noop: &(dyn Fn(usize) + Sync) = &|_| {};
+    for _ in 0..200 {
+        ctx.dispatch(ctx.threads(), noop);
+    }
+    let reps = 5_000u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        ctx.dispatch(ctx.threads(), noop);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(reps)
 }
 
 fn gray_scott_jacobian() -> Csr {
@@ -135,6 +191,9 @@ fn format_sweep() -> Vec<FormatPoint> {
     let s16 = Sell::<16>::from_csr(&a);
     let t = time_spmv(&|xv, yv| s16.spmv(xv, yv), &x, &mut y, 7);
     push("sell16", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    let ss8 = SellSigma8::from_csr_sigma(&a, 32);
+    let t = time_spmv(&|xv, yv| ss8.spmv(xv, yv), &x, &mut y, 7);
+    push("sell8_sigma32", t, ss8.spmv_traffic());
 
     println!("format sweep: 256^2 Gray-Scott Jacobian, sequential\n");
     let rows: Vec<Vec<String>> = pts
@@ -174,7 +233,15 @@ fn thread_sweep() -> Vec<ScalingPoint> {
     let mut rows = Vec::new();
     let mut t1 = f64::NAN;
     for threads in [1usize, 2, 4, 8] {
+        // One ExecCtx per thread count, reused across every timed call:
+        // the pool threads spawn here, and the first warm product below
+        // builds and caches the SpmvPlan, so the measurement never sees
+        // thread spawn or plan construction.
         let ctx = ExecCtx::new(threads);
+        for _ in 0..3 {
+            s.spmv_ctx(&ctx, &x, &mut y);
+        }
+        let dispatch_ns = dispatch_overhead_ns(&ctx);
         let t = time_spmv(&|xv, yv| s.spmv_ctx(&ctx, xv, yv), &x, &mut y, 7);
         if threads == 1 {
             t1 = t;
@@ -185,16 +252,21 @@ fn thread_sweep() -> Vec<ScalingPoint> {
             gflops: gflops(a.nnz(), t),
             speedup,
             efficiency: speedup / threads as f64,
+            dispatch_ns,
         });
         rows.push(vec![
             threads.to_string(),
             format!("{:.2}", gflops(a.nnz(), t)),
             format!("{:.2}x", speedup),
+            format!("{dispatch_ns:.0}"),
         ]);
     }
     println!(
         "{}",
-        render(&["threads", "Gflop/s", "speedup vs 1T"], &rows)
+        render(
+            &["threads", "Gflop/s", "speedup vs 1T", "dispatch ns"],
+            &rows
+        )
     );
     println!(
         "Reading: scaling tracks physical cores x memory bandwidth; output\n\
@@ -207,7 +279,7 @@ fn thread_sweep() -> Vec<ScalingPoint> {
 fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
     let doc = Json::obj(vec![
         ("schema", Json::from("sellkit-bench-sweep")),
-        ("version", Json::from(1u64)),
+        ("version", Json::from(2u64)),
         (
             "matrix",
             Json::obj(vec![
@@ -218,6 +290,10 @@ fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
         (
             "roofline_bw_gbs",
             Json::from(sellkit_machine::host_stream_bw_gbs(1)),
+        ),
+        (
+            "host_cores",
+            Json::from(std::thread::available_parallelism().map_or(1, |c| c.get()) as u64),
         ),
         (
             "formats",
@@ -246,6 +322,7 @@ fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
                             ("gflops", Json::from(p.gflops)),
                             ("speedup", Json::from(p.speedup)),
                             ("efficiency", Json::from(p.efficiency)),
+                            ("dispatch_ns", Json::from(p.dispatch_ns)),
                         ])
                     })
                     .collect(),

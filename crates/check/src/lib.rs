@@ -10,7 +10,8 @@
 //! loads, a crash.  This crate makes the invariants explicit and checkable:
 //!
 //! * [`Validate`] is implemented by every format (`COO`, `CSR`, `CSR-perm`,
-//!   `ELLPACK`, `ELLPACK-R`, `SELL<4/8/16>`, `SELL-ESB`, `BAIJ`, `SBAIJ`);
+//!   `ELLPACK`, `ELLPACK-R`, `SELL<4/8/16>`, `SELL-ESB`, `SELL-C-σ`,
+//!   `BAIJ`, `SBAIJ`);
 //! * violations come back as structured [`Violation`] values carrying
 //!   row/slice coordinates, so tests can assert the exact defect and
 //!   diagnostics can point at the offending entry;
@@ -25,7 +26,7 @@
 
 use sellkit_core::aligned::ALIGN;
 use sellkit_core::{
-    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb,
+    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb, SellSigma,
 };
 use std::fmt;
 
@@ -127,6 +128,14 @@ pub enum Violation {
         expected: u8,
         found: u8,
     },
+    /// Row lengths within a SELL-C-σ sorting window are not
+    /// non-increasing (the sort invariant that keeps padding minimal).
+    SigmaWindowNotSorted {
+        window: usize,
+        at: usize,
+        prev: u32,
+        next: u32,
+    },
 }
 
 /// Payload-free discriminant of [`Violation`], for assertions.
@@ -150,6 +159,7 @@ pub enum ViolationKind {
     GroupLenMismatch,
     NotUpperTriangular,
     BitMaskMismatch,
+    SigmaWindowNotSorted,
 }
 
 impl Violation {
@@ -174,6 +184,7 @@ impl Violation {
             Violation::GroupLenMismatch { .. } => ViolationKind::GroupLenMismatch,
             Violation::NotUpperTriangular { .. } => ViolationKind::NotUpperTriangular,
             Violation::BitMaskMismatch { .. } => ViolationKind::BitMaskMismatch,
+            Violation::SigmaWindowNotSorted { .. } => ViolationKind::SigmaWindowNotSorted,
         }
     }
 }
@@ -298,6 +309,17 @@ impl fmt::Display for Violation {
                 write!(
                     f,
                     "bit mask for slice {slice} column {j} is {found:#010b}, expected {expected:#010b}"
+                )
+            }
+            Violation::SigmaWindowNotSorted {
+                window,
+                at,
+                prev,
+                next,
+            } => {
+                write!(
+                    f,
+                    "σ-window {window}: row lengths increase at storage position {at}: {prev} -> {next}"
                 )
             }
         }
@@ -578,6 +600,72 @@ pub fn check_sell_parts(
     out
 }
 
+/// Checks SELL-C-σ invariants over raw parts: everything
+/// [`check_sell_parts`] enforces (slice geometry, in-bounds columns,
+/// §5.5 padding locality, zero padding values, padding accounting via
+/// `sum(rlen) == nnz`), plus the σ-specific invariants — `perm` is a
+/// bijection of `0..nrows` and row lengths are non-increasing within
+/// every σ-row sorting window.
+///
+/// `rlen` is indexed by **storage position** `k` (the length of logical
+/// row `perm[k]`), matching [`sellkit_core::SellSigma::rlen`].
+#[allow(clippy::too_many_arguments)]
+pub fn check_sell_sigma_parts(
+    lanes: usize,
+    sigma: usize,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    rlen: &[u32],
+    perm: &[u32],
+) -> Vec<Violation> {
+    assert!(sigma >= 1, "sigma must be at least 1");
+    let mut out = check_permutation(perm, nrows);
+    if rlen.len() != nrows {
+        out.push(Violation::ArrLen {
+            array: "rlen",
+            expected: nrows,
+            found: rlen.len(),
+        });
+    }
+    if !out.is_empty() {
+        return out; // the storage→logical mapping is unreliable
+    }
+    for (w, window) in rlen.chunks(sigma).enumerate() {
+        for (i, pair) in window.windows(2).enumerate() {
+            if pair[1] > pair[0] {
+                out.push(Violation::SigmaWindowNotSorted {
+                    window: w,
+                    at: w * sigma + i + 1,
+                    prev: pair[0],
+                    next: pair[1],
+                });
+            }
+        }
+    }
+    // Delegate the SELL-layout checks with rlen re-indexed by logical
+    // row, which is what `check_sell_parts` expects alongside `perm`.
+    let mut rlen_logical = vec![0u32; nrows];
+    for (k, &row) in perm.iter().enumerate() {
+        rlen_logical[row as usize] = rlen[k];
+    }
+    out.extend(check_sell_parts(
+        lanes,
+        nrows,
+        ncols,
+        nnz,
+        sliceptr,
+        colidx,
+        val,
+        &rlen_logical,
+        Some(perm),
+    ));
+    out
+}
+
 /// Checks ELLPACK(-R) invariants over raw parts.  `rlen` is `None` for
 /// plain ELLPACK, whose padding cannot be told apart from explicit zeros
 /// without row lengths (only in-bounds columns are checked then).
@@ -792,7 +880,7 @@ pub fn check_block_parts(
 }
 
 // ---------------------------------------------------------------------------
-// Validate impls for the nine formats.
+// Validate impls for the ten formats.
 // ---------------------------------------------------------------------------
 
 impl Validate for CooBuilder {
@@ -988,6 +1076,27 @@ impl Validate for SellEsb {
     }
 }
 
+impl<const C: usize> Validate for SellSigma<C> {
+    fn validate(&self) -> Result<(), Vec<Violation>> {
+        let sell = self.sell();
+        let mut out = check_sell_sigma_parts(
+            C,
+            self.sigma(),
+            self.nrows(),
+            self.ncols(),
+            self.nnz(),
+            self.sliceptr(),
+            sell.colidx(),
+            sell.values(),
+            self.rlen(),
+            self.perm().as_slice(),
+        );
+        out.extend(check_alignment("colidx", sell.colidx()));
+        out.extend(check_alignment("val", sell.values()));
+        finish(out)
+    }
+}
+
 impl Validate for Baij {
     fn validate(&self) -> Result<(), Vec<Violation>> {
         let mut out = check_block_parts(
@@ -1059,6 +1168,98 @@ mod tests {
         let s = sellkit_core::Sell8::from_csr_sigma(&a, 16);
         assert!(s.perm().is_some());
         assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn sell_sigma_format_validates_across_sigmas() {
+        let a = irregular(53);
+        for sigma in [1usize, 8, 32, 53, 500] {
+            let s = sellkit_core::SellSigma8::from_csr_sigma(&a, sigma);
+            assert_eq!(s.validate(), Ok(()), "sigma={sigma}");
+        }
+        assert_eq!(
+            sellkit_core::SellSigma4::from_csr_sigma(&a, 16).validate(),
+            Ok(())
+        );
+        assert_eq!(
+            sellkit_core::SellSigma16::from_csr_sigma(&a, 16).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn unsorted_sigma_window_is_reported() {
+        let a = irregular(24);
+        let s = sellkit_core::SellSigma8::from_csr_sigma(&a, 8);
+        // Swap two unequal lengths inside window 0 to break the sort.
+        let mut rlen = s.rlen().to_vec();
+        let (lo, hi) = (0, 7);
+        assert_ne!(rlen[lo], rlen[hi], "fixture needs unequal lengths");
+        rlen.swap(lo, hi);
+        let v = check_sell_sigma_parts(
+            8,
+            8,
+            24,
+            24,
+            a.nnz(),
+            s.sliceptr(),
+            s.sell().colidx(),
+            s.sell().values(),
+            &rlen,
+            s.perm().as_slice(),
+        );
+        assert!(
+            v.iter()
+                .any(|x| x.kind() == ViolationKind::SigmaWindowNotSorted),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_sigma_permutation_is_reported() {
+        let a = irregular(24);
+        let s = sellkit_core::SellSigma8::from_csr_sigma(&a, 8);
+        let mut perm = s.perm().as_slice().to_vec();
+        perm[1] = perm[0]; // duplicate → no longer a bijection
+        let v = check_sell_sigma_parts(
+            8,
+            8,
+            24,
+            24,
+            a.nnz(),
+            s.sliceptr(),
+            s.sell().colidx(),
+            s.sell().values(),
+            s.rlen(),
+            &perm,
+        );
+        assert!(
+            v.iter().any(|x| x.kind() == ViolationKind::PermDuplicate),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn sigma_padding_accounting_is_enforced() {
+        let a = irregular(24);
+        let s = sellkit_core::SellSigma8::from_csr_sigma(&a, 8);
+        // Claim one fewer nonzero than the rlen array accounts for.
+        let v = check_sell_sigma_parts(
+            8,
+            8,
+            24,
+            24,
+            a.nnz() - 1,
+            s.sliceptr(),
+            s.sell().colidx(),
+            s.sell().values(),
+            s.rlen(),
+            s.perm().as_slice(),
+        );
+        assert!(
+            v.iter().any(|x| x.kind() == ViolationKind::NnzMismatch),
+            "{v:?}"
+        );
     }
 
     #[test]

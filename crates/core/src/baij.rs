@@ -9,7 +9,8 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
-use crate::exec::{split_by_weight, ExecCtx};
+use crate::exec::ExecCtx;
+use crate::plan::{PlanCache, SpmvPlan};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// A block-CSR matrix with runtime block size `bs`.
@@ -24,6 +25,8 @@ pub struct Baij {
     bcolidx: Vec<u32>,
     /// Blocks stored contiguously, each row-major `bs × bs`.
     val: AVec<f64>,
+    /// Cached threaded execution plans; invalidated on pattern change.
+    plan: PlanCache,
 }
 
 impl Baij {
@@ -75,6 +78,7 @@ impl Baij {
             browptr,
             bcolidx,
             val: AVec::from_slice(&blocks),
+            plan: PlanCache::new(),
         }
     }
 
@@ -172,18 +176,19 @@ impl Baij {
             self.spmv_range::<ADD>(0, x, y);
             return;
         }
-        let bs = self.bs;
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (b0, b1) in split_by_weight(&self.browptr, ctx.threads()) {
-            if b0 == b1 {
-                continue;
-            }
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut((b1 - b0) * bs);
-            rest = tail;
-            jobs.push(Box::new(move || self.spmv_range::<ADD>(b0, x, win)));
-        }
-        ctx.run(jobs);
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(
+                &self.browptr,
+                self.bs,
+                self.nrows(),
+                ctx.threads(),
+                crate::isa::Isa::detect(),
+                epoch,
+            )
+        });
+        plan.run_on(ctx, y, &|_, part, win| {
+            self.spmv_range::<ADD>(part.item0, x, win);
+        });
     }
 
     /// Block rows `[b0, b0 + win.len()/bs)` into the matching `y` window.
@@ -195,9 +200,18 @@ impl Baij {
     }
 
     /// Generic block kernel: `bs` accumulators, `bs` reused x entries.
+    /// Accumulators live on the stack for realistic block sizes so the
+    /// threaded hot path stays allocation-free.
     fn spmv_generic<const ADD: bool>(&self, b0: usize, x: &[f64], win: &mut [f64]) {
         let bs = self.bs;
-        let mut acc = vec![0.0f64; bs];
+        let mut stack = [0.0f64; 16];
+        let mut heap;
+        let acc: &mut [f64] = if bs <= stack.len() {
+            &mut stack[..bs]
+        } else {
+            heap = vec![0.0f64; bs];
+            &mut heap
+        };
         for (o, yb) in win.chunks_exact_mut(bs).enumerate() {
             let bi = b0 + o;
             acc.fill(0.0);
@@ -218,7 +232,7 @@ impl Baij {
                     *yi += a;
                 }
             } else {
-                yb.copy_from_slice(&acc);
+                yb.copy_from_slice(acc);
             }
         }
     }

@@ -7,9 +7,10 @@
 //! value + 4 bytes of index per nonzero).
 
 use crate::aligned::AVec;
-use crate::exec::{split_by_weight, ExecCtx};
+use crate::exec::ExecCtx;
 use crate::isa::Isa;
 use crate::kernels;
+use crate::plan::{PlanCache, SpmvPlan};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// A CSR matrix with 64-byte-aligned value and index arrays.
@@ -21,6 +22,8 @@ pub struct Csr {
     colidx: AVec<u32>,
     val: AVec<f64>,
     isa: Isa,
+    /// Cached threaded execution plans; invalidated on pattern/ISA change.
+    plan: PlanCache,
 }
 
 impl Csr {
@@ -58,6 +61,7 @@ impl Csr {
             colidx: AVec::from_slice(&colidx),
             val: AVec::from_slice(&val),
             isa: Isa::detect(),
+            plan: PlanCache::new(),
         }
     }
 
@@ -97,6 +101,8 @@ impl Csr {
     pub fn with_isa(mut self, isa: Isa) -> Self {
         assert!(isa.available(), "ISA {isa} not available on this CPU");
         self.isa = isa;
+        // Plans resolve kernels at build time; force a re-plan.
+        self.plan.invalidate();
         self
     }
 
@@ -231,22 +237,16 @@ impl Csr {
             }
             return;
         }
-        let isa = self.isa;
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(&self.rowptr, 1, self.nrows, ctx.threads(), self.isa, epoch)
+        });
+        let isa = plan.isa();
         let (colidx, val) = (&self.colidx[..], &self.val[..]);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (r0, r1) in split_by_weight(&self.rowptr, ctx.threads()) {
-            if r0 == r1 {
-                continue;
-            }
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
-            rest = tail;
-            let rowptr = &self.rowptr[r0..=r1];
-            jobs.push(Box::new(move || {
-                kernels::dispatch::csr_spmv_rows::<ADD>(isa, rowptr, colidx, val, x, win);
-            }));
-        }
-        ctx.run(jobs);
+        let rowptr = &self.rowptr[..];
+        plan.run_on(ctx, y, &|_, part, win| {
+            let rp = &rowptr[part.item0..=part.item1];
+            kernels::dispatch::csr_spmv_rows::<ADD>(isa, rp, colidx, val, x, win);
+        });
     }
 }
 

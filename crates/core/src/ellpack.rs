@@ -10,7 +10,7 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
-use crate::exec::{split_even, ExecCtx};
+use crate::exec::ExecCtx;
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// Unsliced ELLPACK: one `m × L` dense block, column-major.
@@ -116,21 +116,9 @@ impl Ellpack {
                 }
             }
         };
-        if ctx.is_serial() {
-            part(0, y);
-            return;
-        }
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (r0, r1) in split_even(nrows, ctx.threads()) {
-            if r0 == r1 {
-                continue;
-            }
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
-            rest = tail;
-            jobs.push(Box::new(move || part(r0, win)));
-        }
-        ctx.run(jobs);
+        // Uniform-width rows need no nnz balancing: one even window per
+        // lane, dispatched without boxing or allocation.
+        ctx.dispatch_even(y, &part);
     }
 }
 
@@ -213,21 +201,9 @@ impl EllpackR {
                 }
             }
         };
-        if ctx.is_serial() {
-            part(0, y);
-            return;
-        }
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (r0, r1) in split_even(nrows, ctx.threads()) {
-            if r0 == r1 {
-                continue;
-            }
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
-            rest = tail;
-            jobs.push(Box::new(move || part(r0, win)));
-        }
-        ctx.run(jobs);
+        // Even row windows per lane; rlen bounds the inner loops, and the
+        // window partition is identical at every thread count (bitwise).
+        ctx.dispatch_even(y, &part);
     }
 }
 

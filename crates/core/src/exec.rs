@@ -2,8 +2,9 @@
 //!
 //! The paper runs MatMult hybrid MPI×threads; this module supplies the
 //! "×threads" axis.  An [`ExecCtx`] owns a persistent [`WorkerPool`]
-//! (or none, for serial execution) and computes, per product, a
-//! **slice-aligned row partition balanced by nonzeros**:
+//! (or none, for serial execution).  Formats execute against a cached
+//! [`crate::plan::SpmvPlan`] holding a **slice-aligned row partition
+//! balanced by nonzeros**:
 //!
 //! * SELL formats partition at slice boundaries — a slice is the natural
 //!   unit of multi-threaded SELL SpMV (Kreutzer et al.): every thread
@@ -28,7 +29,8 @@ use crate::pool::WorkerPool;
 /// Environment variable read by [`ExecCtx::from_env`].
 pub const THREADS_ENV: &str = "SELLKIT_THREADS";
 
-/// An execution context: serial, or a handle to N pooled worker threads.
+/// An execution context: serial, or a handle to a pool of N execution
+/// lanes (the calling thread plus N−1 persistent workers).
 ///
 /// `ExecCtx::serial()` is free to construct and makes
 /// [`SpMv::spmv_ctx`](crate::SpMv::spmv_ctx) behave exactly like the
@@ -59,8 +61,8 @@ impl ExecCtx {
         }
     }
 
-    /// A context with `nthreads` workers; `nthreads <= 1` yields the
-    /// serial context (no pool is spawned).
+    /// A context with `nthreads` execution lanes; `nthreads <= 1` yields
+    /// the serial context (no pool is spawned).
     pub fn new(nthreads: usize) -> Self {
         if nthreads <= 1 {
             Self::serial()
@@ -98,17 +100,50 @@ impl ExecCtx {
         self.pool.as_ref()
     }
 
-    /// Runs the closures on the pool (blocking until all complete), or in
-    /// order on the calling thread when serial.
-    pub fn run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    /// Runs parts `0..nparts` of `f` — on the pool when parallel (caller
+    /// included as lane 0, blocking until all parts complete), in order
+    /// on the calling thread when serial.  Allocation-free in both cases.
+    pub fn dispatch(&self, nparts: usize, f: &(dyn Fn(usize) + Sync)) {
         match &self.pool {
-            Some(pool) => pool.execute(jobs),
+            Some(pool) => pool.run(nparts, f),
             None => {
-                for job in jobs {
-                    job();
+                for p in 0..nparts {
+                    f(p);
                 }
             }
         }
+    }
+
+    /// Partitions `data` into one contiguous near-equal window per lane
+    /// and runs `f(offset, window)` for each non-empty window, where
+    /// `offset` is the window's start index in `data`.  Serial contexts
+    /// get a single `f(0, data)` call.  Allocation-free.
+    pub fn dispatch_even<T: Send>(&self, data: &mut [T], f: &(dyn Fn(usize, &mut [T]) + Sync)) {
+        let n = data.len();
+        let parts = self.threads();
+        if n == 0 {
+            return;
+        }
+        let pool = match &self.pool {
+            None => {
+                f(0, data);
+                return;
+            }
+            Some(pool) => pool,
+        };
+        let windows = DisjointParts::new(data);
+        let body = |p: usize| {
+            let (i0, i1) = (n * p / parts, n * (p + 1) / parts);
+            if i0 < i1 {
+                // SAFETY: the windows `[n·p/parts, n·(p+1)/parts)` are
+                // disjoint and in-bounds for distinct `p` by construction
+                // (the bounds are a monotone function of `p`), and each
+                // part index is executed exactly once per dispatch.
+                let win = unsafe { windows.slice(i0, i1) };
+                f(i0, win);
+            }
+        };
+        pool.run(parts, &body);
     }
 }
 
@@ -126,21 +161,86 @@ impl Default for ExecCtx {
     }
 }
 
+/// A shared handle to one `&mut [T]` that hands out **disjoint** windows
+/// to the parts of a parallel region, replacing the `split_at_mut` chains
+/// that the boxed-closure dispatcher used.  Windowing through a shared
+/// handle is what lets a single borrowed `Fn(usize)` serve every lane
+/// without boxing per-part closures.
+///
+/// All methods handing out aliases are `unsafe`: the caller must
+/// guarantee that concurrent parts touch disjoint index sets.  The safe
+/// wrappers ([`ExecCtx::dispatch_even`], [`crate::plan::SpmvPlan::run_on`]
+/// and [`crate::plan::Permutation::scatter_ctx`]) derive that guarantee
+/// from construction-checked invariants.
+pub(crate) struct DisjointParts<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a `DisjointParts` is only a window factory; the unsafe methods'
+// contracts (disjoint index sets per concurrent caller) make cross-thread
+// use race-free, and `T: Send` lets the windows themselves cross threads.
+unsafe impl<T: Send> Sync for DisjointParts<'_, T> {}
+// SAFETY: same argument; the handle carries no thread-local state.
+unsafe impl<T: Send> Send for DisjointParts<'_, T> {}
+
+impl<'a, T> DisjointParts<'a, T> {
+    pub(crate) fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _life: std::marker::PhantomData,
+        }
+    }
+
+    /// The window `[r0, r1)` of the underlying slice.
+    ///
+    /// # Safety
+    /// No other concurrently live window or element reference may overlap
+    /// `[r0, r1)`.  Bounds are asserted.
+    pub(crate) unsafe fn slice(&self, r0: usize, r1: usize) -> &'a mut [T] {
+        assert!(r0 <= r1 && r1 <= self.len, "window out of bounds");
+        // SAFETY: in-bounds by the assert; exclusivity is the caller's
+        // contract above.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(r0), r1 - r0) }
+    }
+
+    /// A mutable reference to element `i`.
+    ///
+    /// # Safety
+    /// No other concurrently live window or element reference may include
+    /// index `i`.  Bounds are asserted.
+    pub(crate) unsafe fn at(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len, "index out of bounds");
+        // SAFETY: in-bounds by the assert; exclusivity is the caller's
+        // contract above.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
 /// Splits `prefix.len() - 1` items (rows, slices, block rows …) into at
 /// most `parts` contiguous ranges balanced by the prefix-sum weights
 /// (`prefix[i+1] - prefix[i]` is item `i`'s weight — its nnz).
 ///
 /// Boundaries are found by binary search for each target weight, so the
-/// cost is `O(parts · log items)` per product — negligible next to the
-/// product itself.  Ranges are contiguous, ascending, cover all items,
-/// and **may be empty** (more threads than items, or one huge item
-/// absorbing several targets); callers skip empty ranges.  When the total
-/// weight is zero (all-empty rows) the split falls back to even item
-/// counts so the work of writing `y = 0` is still distributed.
+/// cost is `O(parts · log items)` per plan build — and plans are cached,
+/// so this is off the product hot path entirely.  Ranges are contiguous,
+/// ascending, cover all items, and **may be empty** (more threads than
+/// items, or one huge item absorbing several targets); callers skip empty
+/// ranges.  When the total weight is zero (all-empty rows) the split
+/// falls back to even item counts so the work of writing `y = 0` is still
+/// distributed.
+///
+/// Handled edge cases: an empty or trivial prefix (`[]`/`[b]` → all-empty
+/// ranges), a prefix window that does not start at zero (weights are
+/// taken relative to `prefix[0]`), weight totals near `usize::MAX`
+/// (targets are computed in `u128`), and `parts > items`.
 pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<(usize, usize)> {
     let items = prefix.len().saturating_sub(1);
     assert!(parts >= 1, "need at least one part");
-    let total = if items == 0 { 0 } else { prefix[items] };
+    let base = prefix.first().copied().unwrap_or(0);
+    let total = if items == 0 { 0 } else { prefix[items] - base };
     let mut bounds = Vec::with_capacity(parts + 1);
     bounds.push(0usize);
     for p in 1..parts {
@@ -149,9 +249,10 @@ pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<(usize, usize)> {
             items * p / parts
         } else {
             // First boundary whose cumulative weight reaches the p-th
-            // equal share of the total.
-            let target = (total * p).div_ceil(parts);
-            prefix.partition_point(|&v| v < target)
+            // equal share of the total.  u128 keeps `total · p` exact for
+            // any realizable nnz count.
+            let target = base as u128 + (total as u128 * p as u128).div_ceil(parts as u128);
+            prefix.partition_point(|&v| (v as u128) < target)
         };
         let prev = *bounds.last().expect("nonempty");
         bounds.push(at.clamp(prev, items));
@@ -173,12 +274,13 @@ pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<(usize, usize)> {
 
 /// Splits `items` into at most `parts` contiguous ranges of near-equal
 /// size (for formats without a prefix array, e.g. ELLPACK's uniform-width
-/// rows).  Ranges may be empty when `parts > items`.
+/// rows).  Ranges may be empty when `parts > items`; the product
+/// `items · parts` is computed in `u128` so huge item counts cannot
+/// overflow the boundary arithmetic.
 pub fn split_even(items: usize, parts: usize) -> Vec<(usize, usize)> {
     assert!(parts >= 1, "need at least one part");
-    (0..parts)
-        .map(|p| (items * p / parts, items * (p + 1) / parts))
-        .collect()
+    let bound = |p: usize| (items as u128 * p as u128 / parts as u128) as usize;
+    (0..parts).map(|p| (bound(p), bound(p + 1))).collect()
 }
 
 #[cfg(test)]
@@ -211,21 +313,48 @@ mod tests {
         let ctx = ExecCtx::new(3);
         assert!(!ctx.is_serial());
         assert_eq!(ctx.threads(), 3);
-        assert_eq!(ctx.pool().expect("pool").nworkers(), 3);
+        // Caller-helps pool: 3 lanes = the caller + 2 spawned workers.
+        let pool = ctx.pool().expect("pool");
+        assert_eq!(pool.lanes(), 3);
+        assert_eq!(pool.nworkers(), 2);
     }
 
     #[test]
-    fn run_executes_serially_in_order_without_pool() {
+    fn dispatch_executes_serially_in_order_without_pool() {
         let ctx = ExecCtx::serial();
         let order = std::sync::Mutex::new(Vec::new());
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
-            .map(|i| {
-                let order = &order;
-                Box::new(move || order.lock().unwrap().push(i)) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        ctx.run(jobs);
+        ctx.dispatch(4, &|p| order.lock().unwrap().push(p));
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dispatch_even_covers_serial_and_parallel() {
+        for threads in [1usize, 3] {
+            let ctx = ExecCtx::new(threads);
+            let mut data = vec![0usize; 17];
+            ctx.dispatch_even(&mut data, &|i0, win| {
+                for (i, v) in win.iter_mut().enumerate() {
+                    *v = i0 + i;
+                }
+            });
+            let want: Vec<usize> = (0..17).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dispatch_even_empty_and_tiny_inputs() {
+        let ctx = ExecCtx::new(4);
+        let mut empty: Vec<usize> = Vec::new();
+        ctx.dispatch_even(&mut empty, &|_, _| panic!("no windows on empty input"));
+        // Fewer elements than lanes: every element still written once.
+        let mut tiny = vec![0usize; 2];
+        ctx.dispatch_even(&mut tiny, &|i0, win| {
+            for (i, v) in win.iter_mut().enumerate() {
+                *v = i0 + i + 1;
+            }
+        });
+        assert_eq!(tiny, vec![1, 2]);
     }
 
     #[test]
@@ -276,10 +405,44 @@ mod tests {
     }
 
     #[test]
+    fn split_by_weight_windowed_prefix_not_zero_based() {
+        // A window of a larger prefix array: weights 5,5,5,5 starting at
+        // cumulative 1000.  Absolute targets must be offset by the base
+        // or everything lands in part 0.
+        let prefix = vec![1000usize, 1005, 1010, 1015, 1020];
+        let parts = split_by_weight(&prefix, 2);
+        check_cover(&parts, 4);
+        assert_eq!(parts, vec![(0, 2), (2, 4)], "windowed prefix: {parts:?}");
+    }
+
+    #[test]
+    fn split_by_weight_huge_weights_do_not_overflow() {
+        // total · parts would overflow usize if computed naively.
+        let w = usize::MAX / 4;
+        let prefix = vec![0usize, w, 2 * w, 3 * w];
+        let parts = split_by_weight(&prefix, 3);
+        check_cover(&parts, 3);
+        for &(a, b) in &parts {
+            assert_eq!(b - a, 1, "uniform huge weights: {parts:?}");
+        }
+    }
+
+    #[test]
+    fn split_by_weight_single_item_many_parts() {
+        // One item absorbing every target: part 0 takes it, the rest are
+        // empty trailing ranges.
+        let parts = split_by_weight(&[0usize, 42], 5);
+        check_cover(&parts, 1);
+        assert_eq!(parts[0], (0, 1));
+        assert!(parts[1..].iter().all(|&(a, b)| a == b));
+    }
+
+    #[test]
     fn split_even_covers() {
         check_cover(&split_even(10, 3), 10);
         check_cover(&split_even(2, 5), 2);
         check_cover(&split_even(0, 2), 0);
+        check_cover(&split_even(usize::MAX / 2, 3), usize::MAX / 2);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`Ellpack`] / [`EllpackR`] — classic (unsliced) ELLPACK variants;
 //! * [`Baij`] — block CSR (PETSc `BAIJ`) for matrices with natural blocks;
 //! * [`SellEsb`] — SELL with an ESB-style bit array (the §5.3 ablation);
+//! * [`SellSigma`] — SELL-C-σ with σ-window row sorting and
+//!   unsort-on-output (the Kreutzer et al. variant the paper's §5.4
+//!   chooses not to default to);
 //! * hand-written SpMV kernels for scalar, AVX, AVX2, and AVX-512 ISAs
 //!   (Algorithms 1 and 2 of the paper) with runtime dispatch ([`Isa`]);
 //! * a shared-memory execution engine ([`ExecCtx`]) that runs the same
@@ -65,10 +68,12 @@ pub mod exec;
 pub mod isa;
 pub mod kernels;
 pub mod matops;
+pub mod plan;
 pub mod pool;
 pub mod sbaij;
 pub mod sell;
 pub mod sell_esb;
+pub mod sell_sigma;
 pub mod stats;
 pub mod traffic;
 pub mod traits;
@@ -81,8 +86,10 @@ pub use csr_perm::CsrPerm;
 pub use ellpack::{Ellpack, EllpackR};
 pub use exec::ExecCtx;
 pub use isa::Isa;
+pub use plan::{Permutation, PlanCache, PlanPart, SpmvPlan};
 pub use sbaij::Sbaij;
 pub use sell::{Sell, Sell16, Sell4, Sell8};
 pub use sell_esb::SellEsb;
+pub use sell_sigma::{SellSigma, SellSigma16, SellSigma4, SellSigma8};
 pub use stats::FormatStats;
 pub use traits::{FromCsr, MatShape, SpMv};

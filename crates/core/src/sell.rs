@@ -26,9 +26,10 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
-use crate::exec::{split_by_weight, ExecCtx};
+use crate::exec::ExecCtx;
 use crate::isa::Isa;
 use crate::kernels::{dispatch, sell_scalar};
+use crate::plan::{PlanCache, SpmvPlan};
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
 /// A sliced-ELLPACK matrix with compile-time slice height `C`.
@@ -59,6 +60,8 @@ pub struct Sell<const C: usize> {
     /// `None` for the paper's default unsorted format.
     perm: Option<Vec<u32>>,
     isa: Isa,
+    /// Cached threaded execution plans; invalidated on pattern/ISA change.
+    plan: PlanCache,
 }
 
 /// SELL with slice height 4 (AVX/AVX2 lane count).
@@ -157,6 +160,7 @@ impl<const C: usize> Sell<C> {
             rlen,
             perm: keep_perm.then(|| perm.to_vec()),
             isa: Isa::detect(),
+            plan: PlanCache::new(),
         }
     }
 
@@ -164,6 +168,8 @@ impl<const C: usize> Sell<C> {
     pub fn with_isa(mut self, isa: Isa) -> Self {
         assert!(isa.available(), "ISA {isa} not available on this CPU");
         self.isa = isa;
+        // Plans resolve kernels at build time; force a re-plan.
+        self.plan.invalidate();
         self
     }
 
@@ -276,7 +282,8 @@ impl<const C: usize> Sell<C> {
 
     /// Overwrites values in place from a CSR matrix with the **same
     /// sparsity pattern** (the Jacobian-refresh path: TS/SNES re-assemble
-    /// values every Newton step without changing the pattern).
+    /// values every Newton step without changing the pattern).  Cached
+    /// execution plans survive: the partition depends only on the pattern.
     pub fn set_values_from_csr(&mut self, csr: &Csr) {
         assert_eq!(csr.nrows(), self.nrows, "pattern mismatch: nrows");
         assert_eq!(csr.nnz(), self.nnz, "pattern mismatch: nnz");
@@ -374,33 +381,29 @@ impl<const C: usize> Sell<C> {
             }
             return;
         }
-        let isa = self.isa;
-        let nrows = self.nrows;
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(
+                &self.sliceptr,
+                C,
+                self.nrows,
+                ctx.threads(),
+                self.isa,
+                epoch,
+            )
+        });
+        let isa = plan.isa();
         let (colidx, val) = (&self.colidx[..], &self.val[..]);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (s0, s1) in split_by_weight(&self.sliceptr, ctx.threads()) {
-            if s0 == s1 {
-                continue;
+        let sliceptr = &self.sliceptr[..];
+        plan.run_on(ctx, y, &|_, part, win| {
+            let sp = &sliceptr[part.item0..=part.item1];
+            let nr = part.row1 - part.row0;
+            match C {
+                4 => dispatch::sell4_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                8 => dispatch::sell8_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                16 => dispatch::sell16_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                _ => sell_scalar::spmv::<C, ADD>(sp, colidx, val, nr, x, win),
             }
-            let (r0, r1) = (s0 * C, (s1 * C).min(nrows));
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
-            rest = tail;
-            let sliceptr = &self.sliceptr[s0..=s1];
-            jobs.push(Box::new(move || match C {
-                4 => {
-                    dispatch::sell4_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
-                }
-                8 => {
-                    dispatch::sell8_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
-                }
-                16 => {
-                    dispatch::sell16_spmv_slices::<ADD>(isa, sliceptr, colidx, val, r1 - r0, x, win)
-                }
-                _ => sell_scalar::spmv::<C, ADD>(sliceptr, colidx, val, r1 - r0, x, win),
-            }));
-        }
-        ctx.run(jobs);
+        });
     }
 
     fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {

@@ -12,8 +12,9 @@
 
 use crate::aligned::AVec;
 use crate::csr::Csr;
-use crate::exec::{split_by_weight, ExecCtx};
+use crate::exec::ExecCtx;
 use crate::isa::Isa;
+use crate::plan::{PlanCache, SpmvPlan};
 use crate::sell::Sell8;
 use crate::traits::{check_spmv_dims, MatShape, SpMv};
 
@@ -24,6 +25,8 @@ pub struct SellEsb {
     /// One 8-bit mask per slice column: bit `r` set ⇔ lane `r` is a real
     /// nonzero of its row (not padding).
     bits: AVec<u8>,
+    /// Cached threaded execution plans; invalidated on pattern change.
+    plan: PlanCache,
 }
 
 impl SellEsb {
@@ -49,7 +52,11 @@ impl SellEsb {
             }
             col_at += w;
         }
-        Self { sell, bits }
+        Self {
+            sell,
+            bits,
+            plan: PlanCache::new(),
+        }
     }
 
     /// The underlying SELL-8 matrix.
@@ -151,39 +158,34 @@ impl SpMv for SellEsb {
             self.spmv_isa(self.sell.isa(), x, y);
             return;
         }
-        // Slice-aligned partition, like plain SELL-8; each job windows the
+        // Slice-aligned plan, like plain SELL-8; each part windows the
         // bit array to its first slice's mask byte and runs the *same*
         // masked kernel the serial path uses (bitwise determinism).
-        let isa = self.sell.isa();
-        let nrows = self.sell.nrows();
         let full_sliceptr = self.sell.sliceptr();
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(
+                full_sliceptr,
+                8,
+                self.sell.nrows(),
+                ctx.threads(),
+                self.sell.isa(),
+                epoch,
+            )
+        });
+        let isa = plan.isa();
         let (colidx, val, bits) = (self.sell.colidx(), self.sell.values(), &self.bits[..]);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-        let mut rest = y;
-        for (s0, s1) in split_by_weight(full_sliceptr, ctx.threads()) {
-            if s0 == s1 {
-                continue;
-            }
-            let (r0, r1) = (s0 * 8, (s1 * 8).min(nrows));
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(r1 - r0);
-            rest = tail;
-            let sliceptr = &full_sliceptr[s0..=s1];
-            let bits_win = &bits[full_sliceptr[s0] / 8..];
-            jobs.push(Box::new(move || match isa {
+        plan.run_on(ctx, y, &|_, part, win| {
+            let sliceptr = &full_sliceptr[part.item0..=part.item1];
+            let bits_win = &bits[full_sliceptr[part.item0] / 8..];
+            let nr = part.row1 - part.row0;
+            match isa {
                 #[cfg(target_arch = "x86_64")]
                 Isa::Avx512 => crate::kernels::dispatch::sell_esb_spmv_avx512_slices(
-                    sliceptr,
-                    colidx,
-                    val,
-                    bits_win,
-                    r1 - r0,
-                    x,
-                    win,
+                    sliceptr, colidx, val, bits_win, nr, x, win,
                 ),
-                _ => esb_spmv_scalar(sliceptr, colidx, val, bits_win, r1 - r0, x, win),
-            }));
-        }
-        ctx.run(jobs);
+                _ => esb_spmv_scalar(sliceptr, colidx, val, bits_win, nr, x, win),
+            }
+        });
     }
     // spmv_add_ctx keeps the documented scratch-vector default: the masked
     // ESB kernels overwrite y, and this ablation format sits on no solver

@@ -1,0 +1,449 @@
+//! SELL-C-σ storage (Kreutzer et al.) — sliced ELLPACK with σ-window row
+//! sorting as a first-class format.
+//!
+//! The paper deliberately ships PETSc's `SELL` **unsorted** (§5.4): the
+//! Gray-Scott stencil matrices are regular enough that sorting buys
+//! nothing and permuting breaks the assembly-order contract.  On
+//! irregular matrices, however, a long row inflates its whole slice to
+//! its width and every shorter lane pays the padding in memory traffic.
+//! SELL-C-σ fixes this locally: rows are sorted by descending length
+//! **within windows of σ rows**, so slices group similar-length rows
+//! while the reordering stays confined to a σ-row neighbourhood (σ = 1
+//! degenerates to the unsorted format, σ = nrows to full pJDS-style
+//! sorting, at the cost of a global permutation's cache behaviour).
+//!
+//! Implementation: the stored matrix is a plain [`Sell<C>`] built from
+//! the row-permuted CSR, so **every existing kernel — scalar, AVX, AVX2,
+//! AVX-512, and the plan-based threaded path — is reused unchanged**.
+//! Column indices are untouched (only rows move), so `x` is gathered
+//! directly; the kernels write the *sorted* output into a scratch vector
+//! owned by the matrix, and a verified [`Permutation`] scatters it back
+//! to logical row order ([`Permutation::scatter_ctx`], parallel and
+//! bitwise-deterministic).  The scratch is allocated once at
+//! construction, keeping `spmv_ctx` allocation-free on the hot path at
+//! any thread count.
+
+use std::sync::Mutex;
+
+use crate::csr::Csr;
+use crate::exec::ExecCtx;
+use crate::isa::Isa;
+use crate::plan::Permutation;
+use crate::sell::Sell;
+use crate::traits::{check_spmv_dims, MatShape, SpMv};
+
+/// A SELL-C-σ matrix: σ-window sorted [`Sell<C>`] plus the row
+/// permutation that undoes the sort on output.
+///
+/// ```
+/// use sellkit_core::{Csr, SellSigma8, SpMv};
+///
+/// let csr = Csr::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+/// let s = SellSigma8::from_csr_sigma(&csr, 3);
+/// let mut y = vec![0.0; 3];
+/// s.spmv(&[1.0, 2.0, 3.0], &mut y);
+/// assert_eq!(y, vec![0.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug)]
+pub struct SellSigma<const C: usize> {
+    /// The sorted matrix in plain SELL storage (its logical row `k` is
+    /// the storage position holding our logical row `perm[k]`).
+    inner: Sell<C>,
+    /// Storage position `k` → logical row `perm[k]` (verified bijection).
+    perm: Permutation,
+    /// Logical row → storage position (cached inverse).
+    inv: Permutation,
+    sigma: usize,
+    /// Reusable sorted-output staging buffer (`nrows` long, allocated at
+    /// construction so the product path never allocates).
+    scratch: Mutex<Vec<f64>>,
+}
+
+/// SELL-C-σ with slice height 4.
+pub type SellSigma4 = SellSigma<4>;
+/// SELL-C-σ with slice height 8 — the AVX-512 configuration.
+pub type SellSigma8 = SellSigma<8>;
+/// SELL-C-σ with slice height 16.
+pub type SellSigma16 = SellSigma<16>;
+
+impl<const C: usize> SellSigma<C> {
+    /// Converts a CSR matrix with sorting windows of `sigma` rows
+    /// (any σ ≥ 1; σ = 1 keeps the original order, σ ≥ nrows sorts
+    /// globally).  The sort is stable, so equal-length rows keep their
+    /// relative order and conversion is deterministic.
+    pub fn from_csr_sigma(csr: &Csr, sigma: usize) -> Self {
+        assert!(sigma >= 1, "sigma must be at least 1");
+        let nrows = csr.nrows();
+        let mut fwd: Vec<u32> = (0..nrows as u32).collect();
+        for window in fwd.chunks_mut(sigma) {
+            window.sort_by_key(|&i| std::cmp::Reverse(csr.row_len(i as usize)));
+        }
+        let perm = Permutation::new(fwd);
+        let inv = perm.inverse();
+        let inner = Sell::<C>::from_csr(&permute_rows(csr, perm.as_slice()));
+        Self {
+            inner,
+            perm,
+            inv,
+            sigma,
+            scratch: Mutex::new(vec![0.0; nrows]),
+        }
+    }
+
+    /// The sorting-window size this matrix was built with.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// The sorted matrix in plain SELL storage.  Its row `k` is our
+    /// logical row `perm[k]`; its `rlen` is therefore indexed by
+    /// **storage position**, not logical row.
+    pub fn sell(&self) -> &Sell<C> {
+        &self.inner
+    }
+
+    /// Storage position → logical row (the sort permutation).
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Logical row → storage position (inverse of [`Self::perm`]).
+    pub fn inv_perm(&self) -> &Permutation {
+        &self.inv
+    }
+
+    /// Slice height.
+    pub const fn slice_height(&self) -> usize {
+        C
+    }
+
+    /// Slice offsets in elements (length `nslices + 1`).
+    pub fn sliceptr(&self) -> &[usize] {
+        self.inner.sliceptr()
+    }
+
+    /// Row lengths indexed by **storage position** `k` (the length of
+    /// logical row `perm[k]`) — the array the σ-window monotonicity
+    /// invariant is stated over.
+    pub fn rlen(&self) -> &[u32] {
+        self.inner.rlen()
+    }
+
+    /// Total stored elements including padding.
+    pub fn stored_elems(&self) -> usize {
+        self.inner.stored_elems()
+    }
+
+    /// Number of explicit padding entries.
+    pub fn padded_elems(&self) -> usize {
+        self.inner.padded_elems()
+    }
+
+    /// Fraction of stored elements that are padding — the quantity
+    /// σ-sorting exists to shrink.
+    pub fn padding_ratio(&self) -> f64 {
+        self.inner.padding_ratio()
+    }
+
+    /// Overrides the dispatch ISA (panics if unavailable on this CPU).
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        self.inner = self.inner.with_isa(isa);
+        self
+    }
+
+    /// The ISA this matrix dispatches to.
+    pub fn isa(&self) -> Isa {
+        self.inner.isa()
+    }
+
+    /// Converts back to CSR in logical row order (dropping padding).
+    pub fn to_csr(&self) -> Csr {
+        permute_rows(&self.inner.to_csr(), self.inv.as_slice())
+    }
+
+    /// Overwrites values in place from a CSR matrix with the **same
+    /// sparsity pattern** (the Jacobian-refresh path).  The permutation
+    /// depends only on row lengths, so it — and any cached execution
+    /// plans — survive.
+    pub fn set_values_from_csr(&mut self, csr: &Csr) {
+        self.inner
+            .set_values_from_csr(&permute_rows(csr, self.perm.as_slice()));
+    }
+
+    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: the plain SELL kernels
+    /// compute the sorted product into the cached scratch vector on the
+    /// same context (plan-based threaded path included), then the
+    /// permutation scatters it back to logical order.  Both stages are
+    /// bitwise-deterministic across thread counts, so the whole product
+    /// is too.
+    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        check_spmv_dims(self.nrows(), self.ncols(), x, y);
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.inner.spmv_ctx(ctx, x, &mut scratch);
+        if ADD {
+            self.perm.scatter_ctx::<true>(ctx, &scratch, y);
+        } else {
+            self.perm.scatter_ctx::<false>(ctx, &scratch, y);
+        }
+    }
+}
+
+/// Clone re-derives the scratch buffer (and the inner matrix's plan
+/// cache starts empty, as for every format).
+impl<const C: usize> Clone for SellSigma<C> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            perm: self.perm.clone(),
+            inv: self.inv.clone(),
+            sigma: self.sigma,
+            scratch: Mutex::new(vec![0.0; self.nrows()]),
+        }
+    }
+}
+
+impl<const C: usize> MatShape for SellSigma<C> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+}
+
+impl<const C: usize> SpMv for SellSigma<C> {
+    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<false>(ctx, x, y);
+    }
+
+    /// Fused `y += A·x`: the scatter accumulates directly into `y`, so
+    /// no second scratch vector is needed at any thread count.
+    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.spmv_parts::<true>(ctx, x, y);
+    }
+
+    /// SELL traffic plus the unsort overhead: the permutation read
+    /// (4 bytes/row) and the scratch round-trip (16 bytes/row) — the
+    /// price of sorting that §5.4 avoids by not sorting.
+    fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
+        let mut t = crate::traffic::sell_traffic(self.nrows(), self.ncols(), self.nnz());
+        t.bytes += 20 * self.nrows() as u64;
+        t
+    }
+}
+
+/// A CSR matrix with rows reordered so row `k` of the result is row
+/// `perm[k]` of the input (columns untouched).
+fn permute_rows(csr: &Csr, perm: &[u32]) -> Csr {
+    let nrows = csr.nrows();
+    debug_assert_eq!(perm.len(), nrows);
+    let mut rowptr = vec![0usize; nrows + 1];
+    for (k, &row) in perm.iter().enumerate() {
+        rowptr[k + 1] = rowptr[k] + csr.row_len(row as usize);
+    }
+    let mut colidx = vec![0u32; csr.nnz()];
+    let mut vals = vec![0.0f64; csr.nnz()];
+    for (k, &row) in perm.iter().enumerate() {
+        let at = rowptr[k];
+        let len = csr.row_len(row as usize);
+        colidx[at..at + len].copy_from_slice(csr.row_cols(row as usize));
+        vals[at..at + len].copy_from_slice(csr.row_vals(row as usize));
+    }
+    Csr::from_parts(nrows, csr.ncols(), rowptr, colidx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooBuilder;
+
+    fn irregular(n: usize, seed: u64) -> Csr {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            let len = next() % 9; // ragged, some rows empty
+            let mut cols: Vec<usize> = (0..len).map(|_| next() % n).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                b.push(i, c, (next() % 1000) as f64 / 50.0 - 10.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let a = irregular(61, 5);
+        for sigma in [1usize, 8, 32, 61, 200] {
+            let s = SellSigma8::from_csr_sigma(&a, sigma);
+            assert_eq!(s.to_csr().to_dense(), a.to_dense(), "sigma={sigma}");
+            assert_eq!(s.nnz(), a.nnz());
+        }
+    }
+
+    #[test]
+    fn sigma_one_is_identity_order() {
+        let a = irregular(20, 9);
+        let s = SellSigma8::from_csr_sigma(&a, 1);
+        assert_eq!(s.perm(), &Permutation::identity(20));
+    }
+
+    #[test]
+    fn windows_are_sorted_descending() {
+        let a = irregular(100, 3);
+        let s = SellSigma8::from_csr_sigma(&a, 16);
+        for window in s.rlen().chunks(16) {
+            for w in window.windows(2) {
+                assert!(w[0] >= w[1], "window not descending: {window:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_does_not_increase_padding() {
+        let a = irregular(256, 11);
+        let plain = Sell::<8>::from_csr(&a);
+        let sorted = SellSigma8::from_csr_sigma(&a, 64);
+        assert!(sorted.padded_elems() <= plain.padded_elems());
+    }
+
+    #[test]
+    fn spmv_bitwise_matches_csr_scalar() {
+        // Scalar-vs-scalar comparison: identical per-row accumulation
+        // order makes bitwise equality the contract, not a tolerance.
+        let a = irregular(77, 7);
+        let x: Vec<f64> = (0..77).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut want = vec![0.0; 77];
+        a.spmv_isa(Isa::Scalar, &x, &mut want);
+        for sigma in [1usize, 8, 32, 77] {
+            let s = SellSigma8::from_csr_sigma(&a, sigma).with_isa(Isa::Scalar);
+            let mut got = vec![0.0; 77];
+            s.spmv(&x, &mut got);
+            assert_eq!(got, want, "sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = irregular(40, 13);
+        let s = SellSigma8::from_csr_sigma(&a, 16);
+        let x = vec![0.7; 40];
+        let mut y1 = vec![1.5; 40];
+        let mut y2 = vec![1.5; 40];
+        a.spmv_add(&x, &mut y1);
+        s.spmv_add(&x, &mut y2);
+        for i in 0..40 {
+            assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let a = irregular(150, 17);
+        let s = SellSigma8::from_csr_sigma(&a, 32);
+        let x: Vec<f64> = (0..150).map(|i| 1.0 / (i + 2) as f64).collect();
+        let mut want = vec![0.0; 150];
+        s.spmv_ctx(&ExecCtx::serial(), &x, &mut want);
+        for threads in [2usize, 4, 7] {
+            let ctx = ExecCtx::new(threads);
+            let mut got = vec![0.0; 150];
+            s.spmv_ctx(&ctx, &x, &mut got);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_isas_match_within_tolerance() {
+        let a = irregular(130, 19);
+        let x: Vec<f64> = (0..130).map(|i| (i as f64 * 0.13).cos()).collect();
+        let mut want = vec![0.0; 130];
+        a.spmv(&x, &mut want);
+        for isa in Isa::available_tiers() {
+            let s = SellSigma8::from_csr_sigma(&a, 32).with_isa(isa);
+            let mut got = vec![0.0; 130];
+            s.spmv(&x, &mut got);
+            for i in 0..130 {
+                assert!((got[i] - want[i]).abs() < 1e-10, "{isa} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn other_slice_heights() {
+        let a = irregular(45, 23);
+        let x = vec![1.0; 45];
+        let mut want = vec![0.0; 45];
+        a.spmv(&x, &mut want);
+        let s4 = SellSigma4::from_csr_sigma(&a, 16);
+        let s16 = SellSigma16::from_csr_sigma(&a, 16);
+        let mut y4 = vec![0.0; 45];
+        let mut y16 = vec![0.0; 45];
+        s4.spmv(&x, &mut y4);
+        s16.spmv(&x, &mut y16);
+        for i in 0..45 {
+            assert!((y4[i] - want[i]).abs() < 1e-12, "C=4 row {i}");
+            assert!((y16[i] - want[i]).abs() < 1e-12, "C=16 row {i}");
+        }
+    }
+
+    #[test]
+    fn perm_round_trips() {
+        let a = irregular(90, 29);
+        for sigma in [1usize, 8, 32, 90] {
+            let s = SellSigma8::from_csr_sigma(&a, sigma);
+            let (p, q) = (s.perm().as_slice(), s.inv_perm().as_slice());
+            for k in 0..90 {
+                assert_eq!(q[p[k] as usize] as usize, k, "sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_values_refresh_keeps_permutation() {
+        let a = irregular(64, 31);
+        let mut s = SellSigma8::from_csr_sigma(&a, 16);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= -2.0;
+        }
+        s.set_values_from_csr(&a2);
+        let x = vec![1.0; 64];
+        let mut want = vec![0.0; 64];
+        let mut got = vec![0.0; 64];
+        a2.spmv(&x, &mut want);
+        s.spmv(&x, &mut got);
+        for i in 0..64 {
+            assert!((want[i] - got[i]).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::from_dense(0, 0, &[]);
+        let s = SellSigma8::from_csr_sigma(&a, 4);
+        let mut y: Vec<f64> = vec![];
+        s.spmv(&[], &mut y);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn traffic_exceeds_plain_sell() {
+        let a = irregular(50, 37);
+        let s = SellSigma8::from_csr_sigma(&a, 16);
+        let plain = crate::traffic::sell_traffic(50, 50, a.nnz());
+        assert_eq!(s.spmv_traffic().bytes, plain.bytes + 20 * 50);
+    }
+}

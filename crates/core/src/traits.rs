@@ -144,6 +144,15 @@ impl FromCsr for crate::sell_esb::SellEsb {
     }
 }
 
+impl<const C: usize> FromCsr for crate::sell_sigma::SellSigma<C> {
+    /// Default window σ = 4·C: wide enough to group similar-length rows
+    /// across several slices, local enough to keep the permutation's
+    /// cache behaviour benign.
+    fn from_csr(csr: &crate::csr::Csr) -> Self {
+        crate::sell_sigma::SellSigma::<C>::from_csr_sigma(csr, 4 * C)
+    }
+}
+
 /// Checks SpMV argument shapes; shared by all format implementations.
 #[inline]
 pub(crate) fn check_spmv_dims(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {

@@ -100,31 +100,16 @@ pub fn norm_inf(a: &[f64]) -> f64 {
 /// the context's workers.  The windows are disjoint, so element-wise
 /// `*_ctx` kernels built on this are bitwise identical to their serial
 /// twins.
-fn par_windows<'env>(
-    ctx: &ExecCtx,
-    y: &'env mut [f64],
-    body: impl Fn(usize, &'env mut [f64]) + Sync + Send + Copy + 'env,
-) {
-    let n = y.len();
-    if ctx.is_serial() || n < PAR_MIN {
-        body(0, y);
+fn par_windows(ctx: &ExecCtx, y: &mut [f64], body: impl Fn(usize, &mut [f64]) + Sync) {
+    if ctx.is_serial() || y.len() < PAR_MIN {
+        if !y.is_empty() {
+            body(0, y);
+        }
         return;
     }
-    let t = ctx.threads();
-    let mut jobs: Vec<Box<dyn FnOnce() + Send + 'env>> = Vec::with_capacity(t);
-    let mut rest = y;
-    let mut i0 = 0;
-    for p in 0..t {
-        let i1 = n * (p + 1) / t;
-        if i1 == i0 {
-            continue;
-        }
-        let (win, tail) = std::mem::take(&mut rest).split_at_mut(i1 - i0);
-        rest = tail;
-        jobs.push(Box::new(move || body(i0, win)));
-        i0 = i1;
-    }
-    ctx.run(jobs);
+    // Allocation-free window dispatch: one borrowed body shared by every
+    // lane, no per-part boxing.
+    ctx.dispatch_even(y, &body);
 }
 
 /// The dot product of chunk `c` (fixed [`REDUCE_CHUNK`] length) of `a`/`b`.
@@ -145,27 +130,14 @@ pub fn dot_ctx(ctx: &ExecCtx, a: &[f64], b: &[f64]) -> f64 {
         return (0..nchunks).map(|c| chunk_dot(a, b, c)).sum();
     }
     let mut partials = vec![0.0f64; nchunks];
-    {
-        let t = ctx.threads().min(nchunks);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(t);
-        let mut rest = partials.as_mut_slice();
-        let mut c0 = 0;
-        for p in 0..t {
-            let c1 = nchunks * (p + 1) / t;
-            if c1 == c0 {
-                continue;
-            }
-            let (win, tail) = std::mem::take(&mut rest).split_at_mut(c1 - c0);
-            rest = tail;
-            jobs.push(Box::new(move || {
-                for (o, slot) in win.iter_mut().enumerate() {
-                    *slot = chunk_dot(a, b, c0 + o);
-                }
-            }));
-            c0 = c1;
+    // Each lane fills an even window of the chunk-partial array; the chunk
+    // grid itself is fixed, so the partials (and their index-order sum
+    // below) carry the same bits at any thread count.
+    ctx.dispatch_even(&mut partials, &|c0, win| {
+        for (o, slot) in win.iter_mut().enumerate() {
+            *slot = chunk_dot(a, b, c0 + o);
         }
-        ctx.run(jobs);
-    }
+    });
     partials.iter().sum()
 }
 
@@ -224,20 +196,15 @@ pub fn norm_inf_ctx(ctx: &ExecCtx, a: &[f64]) -> f64 {
     }
     let t = ctx.threads();
     let mut partials = vec![0.0f64; t];
-    {
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(t);
-        let mut rest = partials.as_mut_slice();
-        let mut i0 = 0;
-        for p in 0..t {
-            let i1 = n * (p + 1) / t;
-            let (slot, tail) = std::mem::take(&mut rest).split_at_mut(1);
-            rest = tail;
-            let span = &a[i0..i1];
-            jobs.push(Box::new(move || slot[0] = norm_inf(span)));
-            i0 = i1;
+    // One partial slot per lane (`partials.len() == lanes`, so each even
+    // window is exactly one slot); `max` is associative, so the partition
+    // shape cannot change the bits.
+    ctx.dispatch_even(&mut partials, &|p0, win| {
+        for (o, slot) in win.iter_mut().enumerate() {
+            let p = p0 + o;
+            *slot = norm_inf(&a[n * p / t..n * (p + 1) / t]);
         }
-        ctx.run(jobs);
-    }
+    });
     norm_inf(&partials)
 }
 

@@ -42,4 +42,4 @@ pub use sellkit_solvers as solvers;
 /// Workloads and generators ([`sellkit_workloads`]).
 pub use sellkit_workloads as workloads;
 
-pub use sellkit_core::{Csr, CsrPerm, ExecCtx, Isa, Sell, Sell8, SpMv};
+pub use sellkit_core::{Csr, CsrPerm, ExecCtx, Isa, Sell, Sell8, SellSigma8, SpMv};

@@ -1,0 +1,97 @@
+//! Acceptance test (ISSUE 4): warm `spmv_ctx` performs **zero heap
+//! allocations** at any thread count, once the execution plan has been
+//! built.
+//!
+//! A counting global allocator tallies every `alloc`/`realloc` made by
+//! this process; the test warms each format (first threaded product
+//! builds and caches its `SpmvPlan`; the pool threads are already
+//! spawned by `ExecCtx::new`), snapshots the counter, runs many products,
+//! and asserts the counter did not move.  One `#[test]` only: Rust runs
+//! tests in one process, and a second test's allocations would race the
+//! snapshot.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates every operation to the `System` allocator unchanged;
+// the counter is a side effect with no influence on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this forwards.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarding the caller's contract directly to `System`.
+        unsafe { System.alloc(layout) }
+    }
+    // SAFETY: same contract as `System::dealloc`, to which this forwards.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarding the caller's contract directly to `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    // SAFETY: same contract as `System::realloc`, to which this forwards.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarding the caller's contract directly to `System`.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use sellkit::core::{CooBuilder, Csr, ExecCtx, Sell8, SellSigma8, SpMv};
+
+fn irregular(n: usize) -> Csr {
+    let mut b = CooBuilder::new(n, n);
+    for i in 0..n {
+        for j in 0..(i % 7 + 1) {
+            b.push(i, (i + j * 11) % n, (i * 3 + j) as f64 * 0.01 - 0.5);
+        }
+    }
+    b.to_csr()
+}
+
+/// Runs `reps` warm products and returns how many allocations they made.
+fn allocs_during<M: SpMv>(m: &M, ctx: &ExecCtx, x: &[f64], y: &mut [f64], reps: usize) -> usize {
+    // Warmup: builds the cached plan, faults in pool state.
+    m.spmv_ctx(ctx, x, y);
+    m.spmv_add_ctx(ctx, x, y);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..reps {
+        m.spmv_ctx(ctx, x, y);
+        m.spmv_add_ctx(ctx, x, y);
+    }
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn warm_spmv_ctx_is_allocation_free() {
+    let n = 512;
+    let a = irregular(n);
+    let sell = Sell8::from_csr(&a);
+    let sigma = SellSigma8::from_csr_sigma(&a, 32);
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+    let mut y = vec![0.0; n];
+
+    for threads in [1usize, 4] {
+        let ctx = ExecCtx::new(threads);
+        assert_eq!(
+            allocs_during(&a, &ctx, &x, &mut y, 50),
+            0,
+            "csr allocated at {threads} threads"
+        );
+        assert_eq!(
+            allocs_during(&sell, &ctx, &x, &mut y, 50),
+            0,
+            "sell8 allocated at {threads} threads"
+        );
+        assert_eq!(
+            allocs_during(&sigma, &ctx, &x, &mut y, 50),
+            0,
+            "sell-c-sigma allocated at {threads} threads"
+        );
+    }
+}

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use sellkit::core::{
-    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, Sbaij, Sell, SellEsb, SpMv,
+    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, Sbaij, Sell, SellEsb, SellSigma8, SpMv,
 };
 
 /// Asserts `spmv_ctx` and `spmv_add_ctx` at 1/2/4/7 threads reproduce
@@ -66,6 +66,15 @@ proptest! {
         // serial fallback must still honor the contract.
         let sigma = Sell::<8>::from_csr_sigma(&a, n.div_ceil(8) * 8);
         assert_parallel_matches_serial(&sigma, &x, "sell8_sigma");
+        // The dedicated SELL-C-σ format runs its threaded plan + parallel
+        // unsort scatter; cover no-sorting, default, and global windows.
+        for s in [1usize, 32, n] {
+            assert_parallel_matches_serial(
+                &SellSigma8::from_csr_sigma(&a, s),
+                &x,
+                &format!("sell_c_sigma({s})"),
+            );
+        }
         assert_parallel_matches_serial(&SellEsb::from_csr(&a), &x, "sell_esb");
         assert_parallel_matches_serial(&Ellpack::from_csr(&a), &x, "ellpack");
         assert_parallel_matches_serial(&EllpackR::from_csr(&a), &x, "ellpack_r");
@@ -87,6 +96,7 @@ fn more_threads_than_slices_is_handled() {
     let x = vec![1.0, 2.0, 3.0];
     assert_parallel_matches_serial(&a, &x, "csr tiny");
     assert_parallel_matches_serial(&Sell::<8>::from_csr(&a), &x, "sell8 tiny");
+    assert_parallel_matches_serial(&SellSigma8::from_csr_sigma(&a, 8), &x, "sell_c_sigma tiny");
     assert_parallel_matches_serial(&Sell::<16>::from_csr(&a), &x, "sell16 tiny");
     assert_parallel_matches_serial(&SellEsb::from_csr(&a), &x, "esb tiny");
     assert_parallel_matches_serial(&Ellpack::from_csr(&a), &x, "ellpack tiny");

@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 use sellkit::core::{
     Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell16, Sell4, Sell8, SellEsb,
+    SellSigma8,
 };
 use sellkit_check::{
     check_alignment, check_block_parts, check_csr_parts, check_ellpack_parts, check_sell_parts,
@@ -297,6 +298,7 @@ proptest! {
         prop_assert_eq!(Sell8::from_csr(&a).validate(), Ok(()));
         prop_assert_eq!(Sell16::from_csr(&a).validate(), Ok(()));
         prop_assert_eq!(Sell8::from_csr_sigma(&a, 8).validate(), Ok(()));
+        prop_assert_eq!(SellSigma8::from_csr_sigma(&a, 16).validate(), Ok(()));
         prop_assert_eq!(SellEsb::from_csr(&a).validate(), Ok(()));
         prop_assert_eq!(Baij::from_csr(&a, 2).validate(), Ok(()));
         prop_assert_eq!(Sbaij::from_csr(&sym.to_csr(), 2).validate(), Ok(()));
