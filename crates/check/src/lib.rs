@@ -3,8 +3,10 @@
 //!
 //! The SIMD kernels (§5 of the paper) are only sound under unwritten
 //! structural invariants: monotone row/slice pointers, in-bounds column
-//! indices, padding indices copied from *local* nonzeros so gathers never
-//! touch nonlocal entries (§5.5), `rlen` consistent with the slice width,
+//! indices, padding indices holding the masked *sentinel* `ncols` so
+//! padded lanes never read `x` (stricter than the paper's §5.5 local-copy
+//! scheme, which NaN-contaminates lanes when `x` holds Inf/NaN at the
+//! aliased column), `rlen` consistent with the slice width,
 //! and 64-byte-aligned value/index arrays (§3.1).  A conversion bug that
 //! breaks one of these produces silently wrong numerics — or, with aligned
 //! loads, a crash.  This crate makes the invariants explicit and checkable:
@@ -85,10 +87,12 @@ pub enum Violation {
     ColOutOfBounds { loc: Loc, col: u32, ncols: usize },
     /// Column indices within a row are not strictly increasing.
     ColsNotSorted { loc: Loc, prev: u32, next: u32 },
-    /// A padding entry's column index is not one of the row's own nonzero
-    /// columns (§5.5 locality: gathers through padding must re-read a
-    /// local element).
-    PaddingNotLocal { loc: Loc, col: u32 },
+    /// A padding entry's column index is not the sentinel `ncols`: it
+    /// aliases a live column of `x` (or some other in-range index), so a
+    /// non-finite value there would leak into the padded lane as
+    /// `0.0 × Inf = NaN`.  Kernels mask the sentinel and substitute 0.0,
+    /// which is only sound if *every* padded slot carries it.
+    PaddingAliasesLiveColumn { loc: Loc, col: u32 },
     /// A padding entry stores a nonzero value (would corrupt the product).
     PaddingValueNonzero { loc: Loc, value: f64 },
     /// `rlen[row]` exceeds the width available to that row.
@@ -149,7 +153,7 @@ pub enum ViolationKind {
     SliceNotLaneAligned,
     ColOutOfBounds,
     ColsNotSorted,
-    PaddingNotLocal,
+    PaddingAliasesLiveColumn,
     PaddingValueNonzero,
     RlenExceedsWidth,
     NnzMismatch,
@@ -174,7 +178,7 @@ impl Violation {
             Violation::SliceNotLaneAligned { .. } => ViolationKind::SliceNotLaneAligned,
             Violation::ColOutOfBounds { .. } => ViolationKind::ColOutOfBounds,
             Violation::ColsNotSorted { .. } => ViolationKind::ColsNotSorted,
-            Violation::PaddingNotLocal { .. } => ViolationKind::PaddingNotLocal,
+            Violation::PaddingAliasesLiveColumn { .. } => ViolationKind::PaddingAliasesLiveColumn,
             Violation::PaddingValueNonzero { .. } => ViolationKind::PaddingValueNonzero,
             Violation::RlenExceedsWidth { .. } => ViolationKind::RlenExceedsWidth,
             Violation::NnzMismatch { .. } => ViolationKind::NnzMismatch,
@@ -248,10 +252,11 @@ impl fmt::Display for Violation {
                     loc.row, loc.at
                 )
             }
-            Violation::PaddingNotLocal { loc, col } => {
+            Violation::PaddingAliasesLiveColumn { loc, col } => {
                 write!(
                     f,
-                    "padding at index {} (row {}, slice {}) gathers nonlocal column {col}",
+                    "padding at index {} (row {}, slice {}) aliases live column {col} \
+                     instead of the ncols sentinel",
                     loc.at, loc.row, loc.slice
                 )
             }
@@ -479,8 +484,9 @@ pub fn check_csr_parts(
 }
 
 /// Checks SELL invariants over raw parts: slice-pointer shape, lane
-/// alignment, in-bounds columns, §5.5 padding locality, zero padding
-/// values, `rlen` vs. slice width, and `sum(rlen) == nnz`.
+/// alignment, in-bounds columns, sentinel padding indices (`== ncols`,
+/// masked by the kernels), zero padding values, `rlen` vs. slice width,
+/// and `sum(rlen) == nnz`.
 ///
 /// `lanes` is the slice height `C`; `perm`, if present, maps storage lane
 /// `k` to logical row `perm[k]` (σ-sorting).
@@ -527,7 +533,6 @@ pub fn check_sell_parts(
         });
     }
 
-    let mut scratch: Vec<u32> = Vec::new();
     for s in 0..nslices {
         let base = sliceptr[s];
         let elems = sliceptr[s + 1] - base;
@@ -558,7 +563,6 @@ pub fn check_sell_parts(
                 continue;
             }
             // Real entries: in-bounds columns.
-            scratch.clear();
             for j in 0..len {
                 let at = base + j * lanes + r;
                 let c = colidx[at];
@@ -569,21 +573,15 @@ pub fn check_sell_parts(
                         ncols,
                     });
                 }
-                scratch.push(c);
             }
-            // Padding entries: zero value and a column the row already
-            // touches (§5.5); an empty row's padding must still be
-            // in-bounds so the gather stays inside x.
+            // Padding entries: zero value and the sentinel column `ncols`,
+            // which the kernels mask — any other index aliases a live
+            // column of x and can pick up NaN from 0.0 × Inf.
             for j in len..w {
                 let at = base + j * lanes + r;
                 let c = colidx[at];
-                let local = if len == 0 {
-                    (c as usize) < ncols
-                } else {
-                    scratch.contains(&c)
-                };
-                if !local {
-                    out.push(Violation::PaddingNotLocal {
+                if c as usize != ncols {
+                    out.push(Violation::PaddingAliasesLiveColumn {
                         loc: Loc { at, row, slice: s },
                         col: c,
                     });
@@ -602,7 +600,7 @@ pub fn check_sell_parts(
 
 /// Checks SELL-C-σ invariants over raw parts: everything
 /// [`check_sell_parts`] enforces (slice geometry, in-bounds columns,
-/// §5.5 padding locality, zero padding values, padding accounting via
+/// sentinel padding indices, zero padding values, padding accounting via
 /// `sum(rlen) == nnz`), plus the σ-specific invariants — `perm` is a
 /// bijection of `0..nrows` and row lengths are non-increasing within
 /// every σ-row sorting window.
@@ -721,7 +719,6 @@ pub fn check_ellpack_parts(
             });
         }
     }
-    let mut scratch: Vec<u32> = Vec::new();
     for i in 0..nrows {
         let len = rlen.map_or(width, |r| (r[i] as usize).min(width));
         if let Some(r) = rlen {
@@ -733,47 +730,30 @@ pub fn check_ellpack_parts(
                 });
             }
         }
-        scratch.clear();
         for j in 0..width {
             let at = j * nrows + i;
             let c = colidx[at];
-            if c as usize >= ncols {
-                out.push(Violation::ColOutOfBounds {
-                    loc: Loc {
-                        at,
-                        row: i,
-                        slice: 0,
-                    },
-                    col: c,
-                    ncols,
-                });
-            }
+            let loc = Loc {
+                at,
+                row: i,
+                slice: 0,
+            };
             if j < len {
-                scratch.push(c);
+                // Real entries (or, without rlen, any entry): a valid
+                // column, or — indistinguishable from padding when rlen is
+                // absent — the sentinel paired with a zero value.
+                let sentinel_pad = rlen.is_none() && c as usize == ncols && val[at] == 0.0;
+                if c as usize >= ncols && !sentinel_pad {
+                    out.push(Violation::ColOutOfBounds { loc, col: c, ncols });
+                }
             } else {
-                // Padding: zero value, locally-gathered column.
-                let local = if len == 0 {
-                    (c as usize) < ncols
-                } else {
-                    scratch.contains(&c)
-                };
-                if !local {
-                    out.push(Violation::PaddingNotLocal {
-                        loc: Loc {
-                            at,
-                            row: i,
-                            slice: 0,
-                        },
-                        col: c,
-                    });
+                // Padding: zero value and the masked sentinel column.
+                if c as usize != ncols {
+                    out.push(Violation::PaddingAliasesLiveColumn { loc, col: c });
                 }
                 if val[at] != 0.0 {
                     out.push(Violation::PaddingValueNonzero {
-                        loc: Loc {
-                            at,
-                            row: i,
-                            slice: 0,
-                        },
+                        loc,
                         value: val[at],
                     });
                 }

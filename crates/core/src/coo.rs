@@ -179,6 +179,82 @@ mod tests {
         let a = b.to_csr();
         assert_eq!(a.nnz(), 2);
         assert_eq!(a.get(0, 1), Some(1.0));
+        assert_eq!(a.get(1, 0), None);
         assert_eq!(a.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_merge_survives_sell_conversion_with_ragged_tails() {
+        // Duplicates that merge near a slice boundary must not perturb the
+        // padded layout: exercise every tail length nrows % C ∈ 1..C for
+        // C ∈ {4, 8, 16}, with heavy duplication in the last (partial)
+        // slice and across the boundary row.
+        use crate::sell::Sell;
+        use crate::sell_sigma::SellSigma;
+        for c in [4usize, 8, 16] {
+            for tail in 1..c {
+                let n = c + tail; // one full slice + a ragged tail
+                let mut b = CooBuilder::new(n, n);
+                for i in 0..n {
+                    // Each row: its diagonal assembled from three pushes,
+                    // plus a duplicated off-diagonal in the tail rows.
+                    b.push(i, i, 1.0);
+                    b.push(i, i, 2.0);
+                    b.push(i, i, 4.0);
+                    if i >= c {
+                        b.push(i, 0, 0.5);
+                        b.push(i, 0, 0.25);
+                    }
+                }
+                let a = b.to_csr();
+                assert_eq!(a.nnz(), n + tail, "C={c} tail={tail}");
+                let check = |got: Csr, label: &str| {
+                    assert_eq!(
+                        got.to_dense(),
+                        a.to_dense(),
+                        "C={c} tail={tail} {label} must match merged CSR"
+                    );
+                };
+                match c {
+                    4 => {
+                        check(Sell::<4>::from_csr(&a).to_csr(), "sell");
+                        check(Sell::<4>::from_csr_sigma(&a, 2 * c).to_csr(), "sell_sigma");
+                        check(
+                            SellSigma::<4>::from_csr_sigma(&a, 2 * c).to_csr(),
+                            "sell_c_sigma",
+                        );
+                    }
+                    8 => {
+                        check(Sell::<8>::from_csr(&a).to_csr(), "sell");
+                        check(Sell::<8>::from_csr_sigma(&a, 2 * c).to_csr(), "sell_sigma");
+                        check(
+                            SellSigma::<8>::from_csr_sigma(&a, 2 * c).to_csr(),
+                            "sell_c_sigma",
+                        );
+                    }
+                    _ => {
+                        check(Sell::<16>::from_csr(&a).to_csr(), "sell");
+                        check(Sell::<16>::from_csr_sigma(&a, 2 * c).to_csr(), "sell_sigma");
+                        check(
+                            SellSigma::<16>::from_csr_sigma(&a, 2 * c).to_csr(),
+                            "sell_c_sigma",
+                        );
+                    }
+                }
+                // The merged duplicates must also multiply correctly through
+                // the padded kernels: diagonal 7.0, tail rows + 0.75·x[0].
+                let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+                let mut y = vec![0.0; n];
+                match c {
+                    4 => Sell::<4>::from_csr(&a).spmv(&x, &mut y),
+                    8 => Sell::<8>::from_csr(&a).spmv(&x, &mut y),
+                    _ => Sell::<16>::from_csr(&a).spmv(&x, &mut y),
+                }
+                for i in 0..n {
+                    let want = 7.0 * x[i] + if i >= c { 0.75 * x[0] } else { 0.0 };
+                    assert_eq!(y[i], want, "C={c} tail={tail} row {i}");
+                }
+            }
+        }
     }
 }

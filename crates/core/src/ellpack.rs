@@ -32,17 +32,19 @@ impl Ellpack {
         let width = csr.max_row_len();
         let mut val: AVec<f64> = AVec::zeroed(nrows * width);
         let mut colidx: AVec<u32> = AVec::zeroed(nrows * width);
+        // Padding holds the sentinel column `ncols`; kernels mask it and
+        // substitute 0.0 so padded slots never read x (which may hold
+        // Inf/NaN at whatever index a copied column would alias).
         for i in 0..nrows {
             let cols = csr.row_cols(i);
             let vals = csr.row_vals(i);
-            let pad = cols.last().copied().unwrap_or(0);
             for j in 0..width {
                 let at = j * nrows + i;
                 if j < cols.len() {
                     colidx[at] = cols[j];
                     val[at] = vals[j];
                 } else {
-                    colidx[at] = pad;
+                    colidx[at] = csr.ncols() as u32;
                 }
             }
         }
@@ -72,7 +74,7 @@ impl Ellpack {
     }
 
     /// Column indices, column-major: `colidx()[j * nrows + i]` is the `j`-th
-    /// stored column of row `i` (padding repeats the row's last column).
+    /// stored column of row `i` (padding holds the sentinel `ncols`).
     pub fn colidx(&self) -> &[u32] {
         &self.colidx
     }
@@ -112,7 +114,11 @@ impl Ellpack {
             for j in 0..width {
                 let base = j * nrows + r0;
                 for (o, yi) in win.iter_mut().enumerate() {
-                    *yi += val[base + o] * x[colidx[base + o] as usize];
+                    // Sentinel padding falls outside x: contribute +0.0
+                    // instead of 0.0 × x[aliased], which is NaN when x
+                    // holds Inf/NaN at the aliased column.
+                    let xv = x.get(colidx[base + o] as usize).copied().unwrap_or(0.0);
+                    *yi += val[base + o] * xv;
                 }
             }
         };

@@ -55,8 +55,9 @@ fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: 
 /// Debug-asserts the SELL preconditions every tier shares and that hold
 /// for slice *windows* too: `sliceptr` is a monotone array of `C`-aligned
 /// offsets into `val` covering `ceil(nrows/C)` slices, `colidx` parallels
-/// `val`, and every column index the window touches — padding included
-/// (§5.5) — addresses `x`.
+/// `val`, and every column index the window touches is `<= x.len()` —
+/// live entries address `x`, padding carries the sentinel `x.len()`
+/// that the kernels mask.
 fn debug_check_sell_window<const C: usize>(
     sliceptr: &[usize],
     colidx: &[u32],
@@ -83,8 +84,8 @@ fn debug_check_sell_window<const C: usize>(
     debug_assert!(
         colidx[sliceptr.first().copied().unwrap_or(0)..sliceptr.last().copied().unwrap_or(0)]
             .iter()
-            .all(|&c| (c as usize) < x.len()),
-        "colidx (incl. padding) in bounds of x"
+            .all(|&c| (c as usize) <= x.len()),
+        "colidx in bounds of x or the padding sentinel x.len()"
     );
 }
 
@@ -301,8 +302,9 @@ pub fn sell8_spmv_tuned(
     );
     // SAFETY: AVX-512 availability asserted above; layout/alignment
     // invariants guaranteed by `Sell::from_csr` (64-byte aligned AVec +
-    // 8-aligned sliceptr, in-bounds padding indices) and asserted above in
-    // debug builds.  Contract identical to the plain AVX-512 kernel.
+    // 8-aligned sliceptr, sentinel padding indices masked by the kernel)
+    // and asserted above in debug builds.  Contract identical to the plain
+    // AVX-512 kernel.
     unsafe {
         debug_check_kernel_alignment(val, colidx);
         super::sell_avx512::spmv_unrolled::<false>(sliceptr, colidx, val, nrows, x, y);

@@ -33,9 +33,11 @@
 //! The `avx*` functions are `unsafe`: the caller must guarantee the CPU
 //! supports the corresponding target features (checked by
 //! [`dispatch`]) and that the array invariants documented on each function
-//! hold.  All column indices must be in-bounds for `x` — for SELL this
-//! includes *padding* indices, which the format guarantees by copying them
-//! from local nonzeros (§5.5).
+//! hold.  All *live* column indices must be in-bounds for `x`; SELL
+//! padding carries the sentinel index `ncols` (== `x.len()`), which every
+//! kernel masks to `0.0` instead of dereferencing — the paper's local-copy
+//! padding (§5.5) would alias live `x` entries and turn `0.0 × Inf` into
+//! NaN.
 
 pub mod dispatch;
 

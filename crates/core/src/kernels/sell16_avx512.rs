@@ -13,7 +13,8 @@ use std::arch::x86_64::*;
 /// * CPU must support `avx512f` and `avx512vl`.
 /// * Layout as documented on [`crate::Sell`] with `C = 16`: slice offsets
 ///   are multiples of 16 elements (so both 64-byte halves of each column
-///   are aligned); all indices in bounds for `x`; `y.len() == nrows`.
+///   are aligned); all non-padding indices in bounds for `x` (padding
+///   carries the masked sentinel `x.len()`); `y.len() == nrows`.
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv<const ADD: bool>(
     sliceptr: &[usize],
@@ -33,15 +34,19 @@ pub unsafe fn spmv<const ADD: bool>(
         while idx < end {
             // SAFETY: idx is a 16-aligned offset with idx+16 <= end <=
             // val.len() == colidx.len() into 64-byte-aligned AVecs, so both
-            // 64-byte halves load aligned; every colidx entry is < x.len()
-            // so the gathers only touch x.
+            // 64-byte halves load aligned; live colidx entries are < x.len()
+            // and sentinel padding lanes are masked out of the gathers
+            // (masked lanes return 0.0 and are never dereferenced).
             unsafe {
                 let v0 = _mm512_load_pd(val.as_ptr().add(idx));
                 let v1 = _mm512_load_pd(val.as_ptr().add(idx + 8));
                 let c0 = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
                 let c1 = _mm256_load_si256(colidx.as_ptr().add(idx + 8) as *const __m256i);
-                let x0 = _mm512_i32gather_pd::<8>(c0, xp);
-                let x1 = _mm512_i32gather_pd::<8>(c1, xp);
+                let sentinel = _mm256_set1_epi32(x.len() as u32 as i32);
+                let k0 = _mm256_cmplt_epu32_mask(c0, sentinel);
+                let k1 = _mm256_cmplt_epu32_mask(c1, sentinel);
+                let x0 = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k0, c0, xp);
+                let x1 = _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k1, c1, xp);
                 acc0 = _mm512_fmadd_pd(v0, x0, acc0);
                 acc1 = _mm512_fmadd_pd(v1, x1, acc1);
             }

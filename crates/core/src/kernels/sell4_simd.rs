@@ -14,8 +14,9 @@ use std::arch::x86_64::*;
 /// * CPU must support `avx2` and `fma`.
 /// * Layout as documented on [`crate::Sell`] with `C = 4`: slice offsets
 ///   are multiples of 4 elements, so `val` loads are 32-byte aligned and
-///   `colidx` loads 16-byte aligned; all indices (padding included) are
-///   in bounds for `x`; `y.len() == nrows`.
+///   `colidx` loads 16-byte aligned; all non-padding indices are in
+///   bounds for `x` (padding carries the masked sentinel `x.len()`);
+///   `y.len() == nrows`.
 #[target_feature(enable = "avx2,fma")]
 pub unsafe fn spmv_avx2<const ADD: bool>(
     sliceptr: &[usize],
@@ -34,12 +35,17 @@ pub unsafe fn spmv_avx2<const ADD: bool>(
         while idx < end {
             // SAFETY: idx is a 4-aligned offset with idx+4 <= end <=
             // val.len() == colidx.len() into 64-byte-aligned AVecs, so the
-            // 32-byte/16-byte aligned loads are legal; every colidx entry
-            // is < x.len() so the gather only touches x.
+            // 32-byte/16-byte aligned loads are legal; live colidx entries
+            // are < x.len() and sentinel padding lanes are masked out of
+            // the gather (masked lanes return 0.0, never dereferenced).
+            // Signed compare is fine: i32 gathers sign-extend indices, so
+            // ncols >= 2^31 is already unsupported.
             unsafe {
                 let v = _mm256_load_pd(val.as_ptr().add(idx));
                 let ci = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
-                let xv = _mm256_i32gather_pd::<8>(xp, ci);
+                let live = _mm_cmpgt_epi32(_mm_set1_epi32(x.len() as u32 as i32), ci);
+                let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(live));
+                let xv = _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), xp, ci, mask);
                 acc = _mm256_fmadd_pd(v, xv, acc);
             }
             idx += 4;
@@ -73,21 +79,22 @@ pub unsafe fn spmv_avx<const ADD: bool>(
         let mut idx = sliceptr[s];
         let end = sliceptr[s + 1];
         while idx < end {
-            // SAFETY: idx is a 4-aligned in-bounds offset as in spmv_avx2,
-            // and every colidx entry is < x.len(), so the four scalar loads
-            // of x and the aligned load of val are all in bounds.
+            // SAFETY: idx is a 4-aligned in-bounds offset as in spmv_avx2;
+            // live colidx entries are < x.len() so their scalar loads are
+            // in bounds, and sentinel padding never dereferences x.
             unsafe {
                 let v = _mm256_load_pd(val.as_ptr().add(idx));
                 let ci = colidx.as_ptr().add(idx);
-                let lo = _mm_loadh_pd(
-                    _mm_load_sd(xp.add(*ci as usize)),
-                    xp.add(*ci.add(1) as usize),
-                );
-                let hi = _mm_loadh_pd(
-                    _mm_load_sd(xp.add(*ci.add(2) as usize)),
-                    xp.add(*ci.add(3) as usize),
-                );
-                let xv = _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi);
+                let at = |i: usize| {
+                    let c = *ci.add(i) as usize;
+                    if c < x.len() {
+                        *xp.add(c)
+                    } else {
+                        0.0
+                    }
+                };
+                // _mm256_set_pd takes lanes high-to-low.
+                let xv = _mm256_set_pd(at(3), at(2), at(1), at(0));
                 acc = _mm256_add_pd(acc, _mm256_mul_pd(v, xv));
             }
             idx += 4;

@@ -9,25 +9,31 @@
 
 use std::arch::x86_64::*;
 
-/// Emulated 4-lane gather (two `load_sd`/`loadh_pd` pairs + insert).
+/// Emulated 4-lane gather (two `load_sd`/`loadh_pd` pairs + insert) with
+/// the padding sentinel masked: any index `>= xlen` loads `0.0` instead of
+/// dereferencing `x`, so padded lanes contribute `+0.0` even when `x`
+/// holds Inf/NaN.
 ///
 /// # Safety
 ///
-/// `ci` must point at 4 readable `u32`s, each of which must be a valid
-/// index into the `x` array starting at `xp`.
+/// `ci` must point at 4 readable `u32`s; each index `< xlen` must be a
+/// valid index into the `x` array of length `xlen` starting at `xp`.
 #[inline]
 #[target_feature(enable = "avx")]
-unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
-    // SAFETY: caller guarantees ci[0..4] are readable and each index is in
-    // bounds of x, so every xp.add(i) points at a readable f64.
+unsafe fn gather4_emulated(xp: *const f64, ci: *const u32, xlen: usize) -> __m256d {
+    // SAFETY: caller guarantees ci[0..4] are readable and each in-bounds
+    // index addresses x; sentinel indices never dereference xp.
     unsafe {
-        let i0 = *ci as usize;
-        let i1 = *ci.add(1) as usize;
-        let i2 = *ci.add(2) as usize;
-        let i3 = *ci.add(3) as usize;
-        let lo = _mm_loadh_pd(_mm_load_sd(xp.add(i0)), xp.add(i1));
-        let hi = _mm_loadh_pd(_mm_load_sd(xp.add(i2)), xp.add(i3));
-        _mm256_insertf128_pd::<1>(_mm256_castpd128_pd256(lo), hi)
+        let at = |i: usize| {
+            let c = *ci.add(i) as usize;
+            if c < xlen {
+                *xp.add(c)
+            } else {
+                0.0
+            }
+        };
+        // _mm256_set_pd takes lanes high-to-low.
+        _mm256_set_pd(at(3), at(2), at(1), at(0))
     }
 }
 
@@ -59,13 +65,13 @@ pub unsafe fn spmv<const ADD: bool>(
         while idx < end {
             // SAFETY: idx is an 8-aligned offset with idx+8 <= end <=
             // val.len() == colidx.len() into 64-byte-aligned AVecs, so both
-            // 32-byte-aligned half loads are legal; every colidx entry is
-            // < x.len(), satisfying gather4_emulated's contract.
+            // 32-byte-aligned half loads are legal; every live colidx entry
+            // is < x.len(), satisfying gather4_emulated's contract.
             unsafe {
                 let v0 = _mm256_load_pd(val.as_ptr().add(idx));
                 let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
-                let x0 = gather4_emulated(xp, colidx.as_ptr().add(idx));
-                let x1 = gather4_emulated(xp, colidx.as_ptr().add(idx + 4));
+                let x0 = gather4_emulated(xp, colidx.as_ptr().add(idx), x.len());
+                let x1 = gather4_emulated(xp, colidx.as_ptr().add(idx + 4), x.len());
                 // Separate multiply and add: AVX has no FMA (§5.5).
                 acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, x0));
                 acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, x1));

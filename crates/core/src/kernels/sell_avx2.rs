@@ -5,6 +5,28 @@
 
 use std::arch::x86_64::*;
 
+/// 4-lane gather with the padding sentinel (index `>= x.len()`) masked to
+/// `0.0` — masked lanes are never dereferenced, so padded entries
+/// contribute `0.0 × 0.0 = +0.0` instead of NaN-contaminating the lane
+/// when `x` holds Inf/NaN at an aliased column.
+///
+/// The signed `cmpgt` is valid because i32 gathers sign-extend indices
+/// anyway: matrices with `ncols >= 2^31` are already unsupported here.
+///
+/// # Safety
+///
+/// Caller runs under `avx2`; every index in `ci` that is `< xlen`
+/// addresses a valid element of `x`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn gather4_masked(xp: *const f64, ci: __m128i, xlen: usize) -> __m256d {
+    let live = _mm_cmpgt_epi32(_mm_set1_epi32(xlen as u32 as i32), ci);
+    let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(live));
+    // SAFETY: lanes with a zero mask are not dereferenced; live lanes are
+    // < xlen by the compare above, in bounds of x per caller contract.
+    unsafe { _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), xp, ci, mask) }
+}
+
 /// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX2 + FMA.
 ///
 /// # Safety
@@ -36,15 +58,15 @@ pub unsafe fn spmv<const ADD: bool>(
             // SAFETY: idx is an 8-aligned offset with idx+8 <= end <=
             // val.len() == colidx.len() into 64-byte-aligned AVecs, so the
             // 32-byte (val) and 16-byte (colidx) aligned half loads are
-            // legal; every colidx entry is < x.len() so the gathers only
-            // touch x.
+            // legal; live colidx entries are < x.len() and the sentinel
+            // padding is masked inside gather4_masked.
             unsafe {
                 let v0 = _mm256_load_pd(val.as_ptr().add(idx));
                 let v1 = _mm256_load_pd(val.as_ptr().add(idx + 4));
                 let ci0 = _mm_load_si128(colidx.as_ptr().add(idx) as *const __m128i);
                 let ci1 = _mm_load_si128(colidx.as_ptr().add(idx + 4) as *const __m128i);
-                let x0 = _mm256_i32gather_pd::<8>(xp, ci0);
-                let x1 = _mm256_i32gather_pd::<8>(xp, ci1);
+                let x0 = gather4_masked(xp, ci0, x.len());
+                let x1 = gather4_masked(xp, ci1, x.len());
                 acc0 = _mm256_fmadd_pd(v0, x0, acc0);
                 acc1 = _mm256_fmadd_pd(v1, x1, acc1);
             }

@@ -10,6 +10,26 @@
 
 use std::arch::x86_64::*;
 
+/// Gathers 8 entries of `x`, masking out lanes whose index is the padding
+/// sentinel (any index `>= x.len()`): masked lanes return `0.0`, so a
+/// padded entry contributes `0.0 × 0.0 = +0.0` to its FMA — never the NaN
+/// that `0.0 × x[alias]` produces when `x` carries Inf/NaN.
+///
+/// # Safety
+///
+/// Caller runs under `avx512f,avx512vl`; every *unmasked* index in `ci`
+/// (i.e. each index `< x.len()`) addresses a valid element of `x`.
+#[target_feature(enable = "avx512f,avx512vl")]
+#[inline]
+unsafe fn gather_masked(ci: __m256i, xp: *const f64, xlen: usize) -> __m512d {
+    // Unsigned compare: indices are u32, and the sentinel is exactly
+    // x.len() (ncols), which fits u32 by CooBuilder's dimension assert.
+    let k = _mm256_cmplt_epu32_mask(ci, _mm256_set1_epi32(xlen as u32 as i32));
+    // SAFETY: masked-off lanes are not dereferenced; live lanes are
+    // < xlen by the compare above, in bounds of x per caller contract.
+    unsafe { _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), k, ci, xp) }
+}
+
 /// `y = A·x` (or `y += A·x` when `ADD`) for SELL-8 using AVX-512F/VL.
 ///
 /// # Safety
@@ -18,7 +38,8 @@ use std::arch::x86_64::*;
 /// * `val`/`colidx` must be 64-byte aligned (they are [`crate::AVec`]s) and
 ///   laid out as described in [`crate::Sell`]; every slice offset in
 ///   `sliceptr` must be a multiple of 8 so the aligned loads are legal.
-/// * Every column index — including padding — must be `< x.len()`.
+/// * Every non-padding column index must be `< x.len()`; padding carries
+///   the sentinel `x.len()` and is masked by the gather.
 /// * `y.len() == nrows` and `sliceptr.len() == ceil(nrows/8) + 1`.
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv<const ADD: bool>(
@@ -48,14 +69,14 @@ pub unsafe fn spmv<const ADD: bool>(
             // SAFETY: sliceptr entries are multiples of 8 bounded by
             // val.len() == colidx.len(), and the arrays are 64-byte-aligned
             // AVecs, so both aligned loads are in bounds at full alignment;
-            // every colidx entry (incl. padding) is < x.len() so the gather
-            // only touches x.
+            // non-padding colidx entries are < x.len() and padding carries
+            // the masked sentinel, so the gather only touches x.
             unsafe {
                 // Aligned 64-byte load of one slice column of values…
                 let v = _mm512_load_pd(val.as_ptr().add(idx));
                 // …and the matching 32-byte aligned load of 8 column indices.
                 let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-                let xv = _mm512_i32gather_pd::<8>(ci, xp);
+                let xv = gather_masked(ci, xp, x.len());
                 acc = _mm512_fmadd_pd(v, xv, acc);
             }
             idx += 8;
@@ -121,16 +142,17 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
             // SAFETY: i0/i1 are 8-aligned offsets < e0/e1 <= val.len()
             // == colidx.len() into 64-byte-aligned AVecs, so the aligned
             // loads are legal; prefetch is a hint and may target any
-            // address; colidx entries are < x.len() for the gathers.
+            // address; live colidx entries are < x.len() and the sentinel
+            // padding is masked inside gather_masked.
             unsafe {
                 _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i0 + 8) as *const i8);
                 _mm_prefetch::<_MM_HINT_T0>(val.as_ptr().add(i1 + 8) as *const i8);
                 let v0 = _mm512_load_pd(val.as_ptr().add(i0));
                 let c0 = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
-                acc0 = _mm512_fmadd_pd(v0, _mm512_i32gather_pd::<8>(c0, xp), acc0);
+                acc0 = _mm512_fmadd_pd(v0, gather_masked(c0, xp, x.len()), acc0);
                 let v1 = _mm512_load_pd(val.as_ptr().add(i1));
                 let c1 = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
-                acc1 = _mm512_fmadd_pd(v1, _mm512_i32gather_pd::<8>(c1, xp), acc1);
+                acc1 = _mm512_fmadd_pd(v1, gather_masked(c1, xp, x.len()), acc1);
             }
             i0 += 8;
             i1 += 8;
@@ -138,11 +160,11 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
         // Ragged tails of the pair (slices have independent widths).
         while i0 < e0 {
             // SAFETY: as above — i0 is an 8-aligned in-bounds offset and
-            // colidx entries are < x.len().
+            // live colidx entries are < x.len() (sentinel padding masked).
             unsafe {
                 let v = _mm512_load_pd(val.as_ptr().add(i0));
                 let c = _mm256_load_si256(colidx.as_ptr().add(i0) as *const __m256i);
-                acc0 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc0);
+                acc0 = _mm512_fmadd_pd(v, gather_masked(c, xp, x.len()), acc0);
             }
             i0 += 8;
         }
@@ -151,7 +173,7 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
             unsafe {
                 let v = _mm512_load_pd(val.as_ptr().add(i1));
                 let c = _mm256_load_si256(colidx.as_ptr().add(i1) as *const __m256i);
-                acc1 = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc1);
+                acc1 = _mm512_fmadd_pd(v, gather_masked(c, xp, x.len()), acc1);
             }
             i1 += 8;
         }
@@ -175,11 +197,11 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
         let end = sliceptr[s + 1];
         while idx < end {
             // SAFETY: as in the unrolled loop — 8-aligned in-bounds offset
-            // into 64-byte-aligned arrays, gather indices < x.len().
+            // into 64-byte-aligned arrays, live gather indices < x.len().
             unsafe {
                 let v = _mm512_load_pd(val.as_ptr().add(idx));
                 let c = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-                acc = _mm512_fmadd_pd(v, _mm512_i32gather_pd::<8>(c, xp), acc);
+                acc = _mm512_fmadd_pd(v, gather_masked(c, xp, x.len()), acc);
             }
             idx += 8;
         }
@@ -231,12 +253,12 @@ unsafe fn finish_partial_slice<const ADD: bool>(
         while idx < end {
             // SAFETY: the final slice is padded to the full height of 8, so
             // the 8-aligned offset idx < end <= val.len() == colidx.len()
-            // keeps the aligned loads in bounds; all colidx entries (incl.
-            // padding, which §5.5 copies from local nonzeros) are < x.len().
+            // keeps the aligned loads in bounds; live colidx entries are
+            // < x.len() and sentinel padding is masked by gather_masked.
             unsafe {
                 let v = _mm512_load_pd(val.as_ptr().add(idx));
                 let ci = _mm256_load_si256(colidx.as_ptr().add(idx) as *const __m256i);
-                let xv = _mm512_i32gather_pd::<8>(ci, xp);
+                let xv = gather_masked(ci, xp, x.len());
                 acc = _mm512_fmadd_pd(v, xv, acc);
             }
             idx += 8;

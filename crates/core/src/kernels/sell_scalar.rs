@@ -8,8 +8,9 @@
 /// Layout contract (see `sell::Sell`): slice `s` occupies
 /// `val[sliceptr[s]..sliceptr[s+1]]`, stored column-major in `C`-element
 /// columns; lane `r` of slice `s` is logical row `s*C + r`.  Padded entries
-/// carry `val == 0.0` and an in-bounds column index, so they contribute
-/// exactly zero and no bounds check is needed.
+/// carry `val == 0.0` and the sentinel column index `ncols` (== `x.len()`);
+/// the lookup masks the sentinel to 0.0 so padding contributes exactly
+/// `+0.0` even when `x` holds Inf/NaN.
 pub fn spmv<const C: usize, const ADD: bool>(
     sliceptr: &[usize],
     colidx: &[u32],
@@ -25,7 +26,10 @@ pub fn spmv<const C: usize, const ADD: bool>(
         let end = sliceptr[s + 1];
         while idx < end {
             for r in 0..C {
-                acc[r] += val[idx + r] * x[colidx[idx + r] as usize];
+                // Sentinel padding indexes one past x: substitute 0.0 so a
+                // padded lane can never pick up NaN from 0.0 × x[alias].
+                let xv = x.get(colidx[idx + r] as usize).copied().unwrap_or(0.0);
+                acc[r] += val[idx + r] * xv;
             }
             idx += C;
         }
@@ -49,7 +53,7 @@ mod tests {
     // slice 0 = rows {0,1}, width 1; slice 1 = row {2} padded to 2 lanes.
     fn identity3_sell2() -> (Vec<usize>, Vec<u32>, Vec<f64>) {
         let sliceptr = vec![0, 2, 4];
-        let colidx = vec![0, 1, 2, 2]; // padding copies row 2's column
+        let colidx = vec![0, 1, 2, 3]; // padding holds the sentinel ncols
         let val = vec![1.0, 1.0, 1.0, 0.0];
         (sliceptr, colidx, val)
     }

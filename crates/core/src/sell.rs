@@ -7,9 +7,11 @@
 //! matrix (Figure 6):
 //!
 //! * `val` — values, padded, slice-column-major;
-//! * `colidx` — column indices, same layout; padding indices are **copied
-//!   from local nonzero elements** so gathers never touch nonlocal entries
-//!   (§5.5);
+//! * `colidx` — column indices, same layout; padding indices hold the
+//!   **sentinel `ncols`** (one past the last valid column) and are masked by
+//!   every kernel, so padded lanes never read `x` at all — a strictly
+//!   stronger guarantee than the paper's local-copy scheme (§5.5), which can
+//!   contaminate lanes with NaN when `x` holds non-finite values;
 //! * `rlen` — the true length of every row (§5.2: not needed by SpMV, but
 //!   used for assembly, preallocation, and identifying padding);
 //! * `sliceptr` — the element offset where each slice begins.
@@ -133,17 +135,19 @@ impl<const C: usize> Sell<C> {
                 } else {
                     (&[] as &[u32], &[] as &[f64], 0)
                 };
-                // Padding gathers re-read a local column (§5.5): the last
-                // nonzero of this row if any, else column 0 (valid whenever
-                // the slice has any nonzero at all, hence whenever w > 0).
-                let pad_col = cols.last().copied().unwrap_or(0);
+                // Padding lanes carry the sentinel index `ncols` (one past
+                // the last valid column).  The paper re-reads a local column
+                // (§5.5), but aliasing a live entry makes `0.0 × x[pad]`
+                // poison the lane whenever x holds Inf/NaN there; kernels
+                // instead mask the sentinel and substitute 0.0, so padded
+                // lanes contribute exactly +0.0 regardless of x.
                 for j in 0..w {
                     let at = base + j * C + r;
                     if j < len {
                         colidx[at] = cols[j];
                         val[at] = vals[j];
                     } else {
-                        colidx[at] = pad_col;
+                        colidx[at] = ncols as u32;
                         // val stays 0.0 from zeroed allocation.
                     }
                 }
@@ -680,12 +684,20 @@ mod tests {
     }
 
     #[test]
-    fn padding_indices_are_in_bounds_and_local() {
+    fn padding_indices_are_sentinel_or_in_bounds() {
         let a = random_csr(30, 25, 17);
         let s = Sell8::from_csr(&a);
+        // Real entries index a valid column; every padded lane holds the
+        // sentinel `ncols` so kernels can mask it without aliasing live x.
+        let mut pads = 0usize;
         for &c in s.colidx() {
-            assert!((c as usize) < 25 || s.stored_elems() == 0);
+            if c as usize == 25 {
+                pads += 1;
+            } else {
+                assert!((c as usize) < 25);
+            }
         }
+        assert_eq!(pads, s.padded_elems());
     }
 
     #[test]

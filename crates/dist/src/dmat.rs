@@ -334,6 +334,70 @@ mod tests {
         check_parallel_equals_sequential::<Csr>(1, 23);
     }
 
+    /// More ranks than rows: trailing ranks own zero rows and must still
+    /// participate in the scatter without panicking or corrupting `y`.
+    fn check_zero_row_ranks<M: SpMv + FromCsr>(nranks: usize, n: usize, threads: usize) {
+        let a = banded(n, 2);
+        let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.13).sin()).collect();
+        let mut want = vec![0.0; n];
+        a.spmv(&x, &mut want);
+
+        let a2 = a.clone();
+        let out = run(nranks, move |comm| {
+            let dm = DistMat::<M>::from_global_csr(comm, &a2, 1);
+            let me = dm.row_range();
+            // Trailing ranks really do own nothing.
+            if comm.rank() >= n {
+                assert_eq!(me.len(), 0);
+            }
+            let xv = DistVec::from_fn(comm, n, |g| (g as f64 * 0.13).sin());
+            let mut yv = DistVec::zeros(comm, n);
+            let ctx = ExecCtx::new(threads);
+            dm.mult_ctx(comm, &ctx, xv.local(), yv.local_mut());
+            yv.gather_all(comm)
+        });
+        for y in out {
+            for i in 0..n {
+                assert!(
+                    (y[i] - want[i]).abs() < 1e-12,
+                    "row {i}: {} vs {}",
+                    y[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_zero_row_ranks() {
+        check_zero_row_ranks::<Csr>(7, 5, 2);
+    }
+
+    #[test]
+    fn sell_zero_row_ranks() {
+        check_zero_row_ranks::<Sell8>(7, 5, 4);
+    }
+
+    /// A fully empty distributed matrix (rows, no entries) across more
+    /// ranks than rows: every layer — plan build, pool dispatch, scatter
+    /// — must treat it as a no-op and return exact zeros.
+    #[test]
+    fn empty_distributed_matrix_is_zero() {
+        let n = 3usize;
+        let a = CooBuilder::new(n, n).to_csr();
+        let out = run(5, move |comm| {
+            let dm = DistMat::<Sell8>::from_global_csr(comm, &a, 1);
+            let xv = DistVec::from_fn(comm, n, |g| g as f64 + 1.0);
+            let mut yv = DistVec::zeros(comm, n);
+            let ctx = ExecCtx::new(2);
+            dm.mult_ctx(comm, &ctx, xv.local(), yv.local_mut());
+            yv.gather_all(comm)
+        });
+        for y in out {
+            assert!(y.iter().all(|&v| v.to_bits() == 0.0f64.to_bits()), "{y:?}");
+        }
+    }
+
     #[test]
     fn many_ranks_small_matrix() {
         check_parallel_equals_sequential::<Sell8>(7, 19);

@@ -1,0 +1,655 @@
+//! The differential engine: every format × ISA tier × thread count ×
+//! product mode against a scalar-CSR oracle.
+//!
+//! Comparison policy:
+//!
+//! * **Class first** — NaN must meet NaN, ±Inf must meet Inf of the same
+//!   sign.  Generator values are bounded far from overflow, so the class
+//!   of a row sum is independent of accumulation order and a class
+//!   mismatch is always a real divergence (the `0.0 × Inf` padding bug
+//!   class shows up here as NaN-vs-finite).
+//! * **ULP-bounded** for finite values — SIMD tiers reassociate sums and
+//!   contract to FMA, so bitwise equality with the scalar oracle is not
+//!   required; a tight ULP budget plus an absolute floor is.
+//!
+//! Block formats (BAIJ/SBAIJ) densify their blocks with explicit zeros,
+//! so `0.0 × Inf = NaN` is *correct* for them wherever the fill sits in a
+//! live block column.  Their oracle is therefore the **block-closure
+//! CSR** — the input pattern widened with explicit zeros over every
+//! touched block — which reproduces that semantic exactly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sellkit_check::Validate;
+use sellkit_core::{
+    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Sbaij, Sell16,
+    Sell4, Sell8, SellEsb, SellSigma8, SpMv,
+};
+
+use crate::gen::{make_x, MatrixCase, X_CLASSES};
+
+/// The ten formats under differential test (CSR itself is the oracle;
+/// its SIMD tiers are checked against its scalar tier separately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormatKind {
+    /// The oracle format itself — used only for its SIMD-tier-vs-scalar
+    /// self-check, never part of [`FORMATS`].
+    Csr,
+    CsrPerm,
+    Ellpack,
+    EllpackR,
+    Sell4,
+    Sell8,
+    Sell16,
+    SellEsb,
+    SellSigma8,
+    Baij2,
+    Sbaij2,
+}
+
+/// All ten, in sweep order.
+pub const FORMATS: [FormatKind; 10] = [
+    FormatKind::CsrPerm,
+    FormatKind::Ellpack,
+    FormatKind::EllpackR,
+    FormatKind::Sell4,
+    FormatKind::Sell8,
+    FormatKind::Sell16,
+    FormatKind::SellEsb,
+    FormatKind::SellSigma8,
+    FormatKind::Baij2,
+    FormatKind::Sbaij2,
+];
+
+impl FormatKind {
+    /// Short stable name for reports and repro snippets.
+    pub fn name(self) -> &'static str {
+        match self {
+            FormatKind::Csr => "csr",
+            FormatKind::CsrPerm => "csr_perm",
+            FormatKind::Ellpack => "ellpack",
+            FormatKind::EllpackR => "ellpack_r",
+            FormatKind::Sell4 => "sell4",
+            FormatKind::Sell8 => "sell8",
+            FormatKind::Sell16 => "sell16",
+            FormatKind::SellEsb => "sell_esb",
+            FormatKind::SellSigma8 => "sell_c_sigma8",
+            FormatKind::Baij2 => "baij_bs2",
+            FormatKind::Sbaij2 => "sbaij_bs2",
+        }
+    }
+
+    /// Whether this format can represent `a` at all (block formats need
+    /// divisible dimensions; SBAIJ needs symmetry, asserted upstream).
+    pub fn supports(self, a: &Csr, symmetric: bool) -> bool {
+        match self {
+            FormatKind::Baij2 => a.nrows().is_multiple_of(2) && a.ncols().is_multiple_of(2),
+            FormatKind::Sbaij2 => {
+                symmetric && a.nrows() == a.ncols() && a.nrows().is_multiple_of(2)
+            }
+            _ => true,
+        }
+    }
+
+    /// Whether the format densifies blocks (needs the closure oracle).
+    pub fn block_filled(self) -> bool {
+        matches!(self, FormatKind::Baij2 | FormatKind::Sbaij2)
+    }
+}
+
+/// One self-contained failing input: everything needed to rebuild and
+/// re-run a single divergence.
+#[derive(Clone, Debug)]
+pub struct Repro {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub entries: Vec<(u32, u32, f64)>,
+    pub x: Vec<f64>,
+    pub format: FormatKind,
+    pub threads: usize,
+    /// `true` → `spmv_add_ctx` from a zeroed `y`; `false` → `spmv_ctx`.
+    pub add: bool,
+    /// `Some(tier)` forces `spmv_isa` (serial); `None` uses the format's
+    /// default dispatch through `spmv_ctx`.
+    pub isa: Option<Isa>,
+}
+
+/// A confirmed divergence or panic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub case_name: String,
+    pub detail: String,
+    pub repro: Repro,
+}
+
+/// Engine knobs.
+pub struct Config {
+    /// Thread counts for the `spmv_ctx` sweep.
+    pub threads: Vec<usize>,
+    /// Maximum finite disagreement in units in the last place.
+    pub ulp_bound: u64,
+    /// Absolute floor under which any finite disagreement passes
+    /// (protects near-zero cancellation noise from spurious ULP blowup).
+    pub abs_floor: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            threads: vec![1, 2, 4, 7],
+            ulp_bound: 4096,
+            abs_floor: 1e-11,
+        }
+    }
+}
+
+/// Persistent pools, built once per run: spawning threads per case would
+/// dominate the fuzz budget.
+pub struct Ctxs {
+    ctxs: Vec<(usize, ExecCtx)>,
+}
+
+impl Ctxs {
+    pub fn new(threads: &[usize]) -> Self {
+        Self {
+            ctxs: threads.iter().map(|&t| (t, ExecCtx::new(t))).collect(),
+        }
+    }
+
+    fn get(&self, threads: usize) -> &ExecCtx {
+        &self
+            .ctxs
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .expect("thread count not prebuilt")
+            .1
+    }
+}
+
+/// Distance in units-in-the-last-place between two finite doubles, via
+/// the ordered-integer mapping (adjacent floats differ by 1).
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    // Monotone bits→integer mapping: negatives are mirrored below zero,
+    // so adjacent floats (of either sign) differ by exactly 1 and
+    // ±0.0 map to the same key.
+    fn ordered(v: f64) -> i64 {
+        let bits = v.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// Compares `got` against the oracle under the class + ULP policy.
+/// Returns a human-readable mismatch description, or `None` if they agree.
+pub fn compare(got: &[f64], want: &[f64], cfg: &Config) -> Option<String> {
+    if got.len() != want.len() {
+        return Some(format!("length {} vs oracle {}", got.len(), want.len()));
+    }
+    for i in 0..got.len() {
+        let (g, w) = (got[i], want[i]);
+        let class_ok = match (g.is_nan(), w.is_nan()) {
+            (true, true) => continue,
+            (false, false) => true,
+            _ => false,
+        };
+        if !class_ok {
+            return Some(format!("row {i}: {g:e} vs oracle {w:e} (NaN class)"));
+        }
+        if g.is_infinite() || w.is_infinite() {
+            if g == w {
+                continue;
+            }
+            return Some(format!("row {i}: {g:e} vs oracle {w:e} (Inf class)"));
+        }
+        if (g - w).abs() <= cfg.abs_floor {
+            continue;
+        }
+        let ulps = ulp_distance(g, w);
+        if ulps > cfg.ulp_bound {
+            return Some(format!(
+                "row {i}: {g:e} vs oracle {w:e} ({ulps} ulps > {})",
+                cfg.ulp_bound
+            ));
+        }
+    }
+    None
+}
+
+/// Widens `a`'s pattern to whole `bs × bs` blocks with explicit zeros —
+/// the semantic a block format actually multiplies with.
+pub fn block_closure(a: &Csr, bs: usize) -> Csr {
+    let mut touched: Vec<(u32, u32)> = Vec::new();
+    for i in 0..a.nrows() {
+        for &c in a.row_cols(i) {
+            touched.push(((i / bs) as u32, c / bs as u32));
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let mut b = CooBuilder::new(a.nrows(), a.ncols());
+    for &(bi, bj) in &touched {
+        for r in 0..bs {
+            for c in 0..bs {
+                b.push(bi as usize * bs + r, bj as usize * bs + c, 0.0);
+            }
+        }
+    }
+    for i in 0..a.nrows() {
+        for (k, &c) in a.row_cols(i).iter().enumerate() {
+            b.push(i, c as usize, a.row_vals(i)[k]);
+        }
+    }
+    b.to_csr()
+}
+
+/// Scalar-CSR oracle: `y = A·x` (or `+=`) at the `Scalar` tier.
+fn oracle(a: &Csr, x: &[f64], add: bool, y: &mut [f64]) {
+    if add {
+        // Scalar-tier add: spmv into scratch, then accumulate — matches
+        // the trait default, with the scalar kernel forced.
+        let mut tmp = vec![0.0; y.len()];
+        a.spmv_isa(Isa::Scalar, x, &mut tmp);
+        for (yi, ti) in y.iter_mut().zip(&tmp) {
+            *yi += ti;
+        }
+    } else {
+        a.spmv_isa(Isa::Scalar, x, y);
+    }
+}
+
+/// Boxes one concrete format built from `a`.
+pub fn build_format(kind: FormatKind, a: &Csr) -> Box<dyn SpMv> {
+    match kind {
+        FormatKind::Csr => Box::new(a.clone()),
+        FormatKind::CsrPerm => Box::new(CsrPerm::from_csr(a)),
+        FormatKind::Ellpack => Box::new(Ellpack::from_csr(a)),
+        FormatKind::EllpackR => Box::new(EllpackR::from_csr(a)),
+        FormatKind::Sell4 => Box::new(Sell4::from_csr(a)),
+        FormatKind::Sell8 => Box::new(Sell8::from_csr(a)),
+        FormatKind::Sell16 => Box::new(Sell16::from_csr(a)),
+        FormatKind::SellEsb => Box::new(SellEsb::from_csr(a)),
+        FormatKind::SellSigma8 => Box::new(SellSigma8::from_csr_sigma(a, 16)),
+        FormatKind::Baij2 => Box::new(Baij::from_csr(a, 2)),
+        FormatKind::Sbaij2 => Box::new(Sbaij::from_csr(a, 2)),
+    }
+}
+
+/// Structural validation via sellkit-check, one kind at a time.
+fn validate_format(kind: FormatKind, a: &Csr) -> Result<(), String> {
+    fn v<T: Validate>(t: T) -> Result<(), String> {
+        t.validate().map_err(|e| format!("{e:?}"))
+    }
+    match kind {
+        FormatKind::Csr => v(a.clone()),
+        FormatKind::CsrPerm => v(CsrPerm::from_csr(a)),
+        FormatKind::Ellpack => v(Ellpack::from_csr(a)),
+        FormatKind::EllpackR => v(EllpackR::from_csr(a)),
+        FormatKind::Sell4 => v(Sell4::from_csr(a)),
+        FormatKind::Sell8 => v(Sell8::from_csr(a)),
+        FormatKind::Sell16 => v(Sell16::from_csr(a)),
+        FormatKind::SellEsb => v(SellEsb::from_csr(a)),
+        FormatKind::SellSigma8 => v(SellSigma8::from_csr_sigma(a, 16)),
+        FormatKind::Baij2 => v(Baij::from_csr(a, 2)),
+        FormatKind::Sbaij2 => v(Sbaij::from_csr(a, 2)),
+    }
+}
+
+/// Re-runs exactly one `Repro` combination; `Some(detail)` if it still
+/// fails.  This is the minimizer's predicate — and doubles as the
+/// confirmation step for every reported finding.
+pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
+    let case = MatrixCase {
+        name: String::new(),
+        nrows: r.nrows,
+        ncols: r.ncols,
+        entries: r.entries.clone(),
+        symmetric: r.format == FormatKind::Sbaij2,
+    };
+    let built = catch_unwind(AssertUnwindSafe(|| case.to_csr()));
+    let a = match built {
+        Ok(a) => a,
+        Err(p) => return Some(format!("panic in assembly: {}", panic_msg(&p))),
+    };
+    if !r.format.supports(&a, case.symmetric) {
+        return None;
+    }
+    // Structural invariants re-check: validation findings carry an empty
+    // `x`, and this is what makes them reproducible (hence minimizable).
+    match catch_unwind(AssertUnwindSafe(|| validate_format(r.format, &a))) {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Some(format!("validation: {e}")),
+        Err(p) => return Some(format!("panic in build/validate: {}", panic_msg(&p))),
+    }
+    if r.x.len() != a.ncols() {
+        // Structural-only repro; nothing numeric to run.
+        return None;
+    }
+    let oracle_mat = if r.format.block_filled() {
+        block_closure(&a, 2)
+    } else {
+        a.clone()
+    };
+    let mut want = vec![0.0; a.nrows()];
+    oracle(&oracle_mat, &r.x, r.add, &mut want);
+
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let m = build_format(r.format, &a);
+        let mut y = vec![0.0; a.nrows()];
+        match r.isa {
+            Some(tier) => {
+                // Forced-tier serial paths exist on CSR + the SELL family.
+                match r.format {
+                    FormatKind::Csr => a.spmv_isa(tier, &r.x, &mut y),
+                    FormatKind::Sell4 => Sell4::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                    FormatKind::Sell8 => Sell8::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                    FormatKind::Sell16 => Sell16::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                    FormatKind::SellEsb => SellEsb::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                    _ => m.spmv(&r.x, &mut y),
+                }
+            }
+            None => {
+                let ctx = ctxs.get(r.threads);
+                if r.add {
+                    m.spmv_add_ctx(ctx, &r.x, &mut y);
+                } else {
+                    m.spmv_ctx(ctx, &r.x, &mut y);
+                }
+            }
+        }
+        y
+    }));
+    match run {
+        Ok(y) => compare(&y, &want, cfg),
+        Err(p) => Some(format!("panic in spmv: {}", panic_msg(&p))),
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string payload".to_string()
+    }
+}
+
+/// Runs the full differential sweep for one matrix case: every vector
+/// hazard class × {CSR SIMD tiers, ten formats} × {serial ISA paths,
+/// threaded ctx paths} × {set, add}.  Returns every finding.
+pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let a = match catch_unwind(AssertUnwindSafe(|| case.to_csr())) {
+        Ok(a) => a,
+        Err(p) => {
+            findings.push(Finding {
+                case_name: case.name.clone(),
+                detail: format!("panic assembling CSR: {}", panic_msg(&p)),
+                repro: Repro {
+                    nrows: case.nrows,
+                    ncols: case.ncols,
+                    entries: case.entries.clone(),
+                    x: vec![],
+                    format: FormatKind::Sell8,
+                    threads: 1,
+                    add: false,
+                    isa: None,
+                },
+            });
+            return findings;
+        }
+    };
+
+    // Structural invariants first: a silently corrupt layout would make
+    // every numeric comparison noise.
+    for kind in FORMATS {
+        if !kind.supports(&a, case.symmetric) {
+            continue;
+        }
+        let checked = catch_unwind(AssertUnwindSafe(|| validate_format(kind, &a)));
+        let detail = match checked {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => format!("validation: {e}"),
+            Err(p) => format!("panic in build/validate: {}", panic_msg(&p)),
+        };
+        findings.push(Finding {
+            case_name: case.name.clone(),
+            detail: format!("{}: {detail}", kind.name()),
+            repro: Repro {
+                nrows: case.nrows,
+                ncols: case.ncols,
+                entries: case.entries.clone(),
+                x: vec![],
+                format: kind,
+                threads: 1,
+                add: false,
+                isa: None,
+            },
+        });
+    }
+
+    let mut xrng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+    for class in X_CLASSES {
+        let x = make_x(class, a.ncols(), &mut xrng);
+
+        // CSR's own SIMD tiers against its scalar tier.
+        for tier in Isa::available_tiers() {
+            let r = Repro {
+                nrows: case.nrows,
+                ncols: case.ncols,
+                entries: case.entries.clone(),
+                x: x.clone(),
+                format: FormatKind::Csr,
+                threads: 1,
+                add: false,
+                isa: Some(tier),
+            };
+            if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                findings.push(Finding {
+                    case_name: case.name.clone(),
+                    detail: format!("csr@{tier} x={class:?}: {d}"),
+                    repro: r,
+                });
+            }
+        }
+
+        for kind in FORMATS {
+            if !kind.supports(&a, case.symmetric) {
+                continue;
+            }
+            // Forced serial ISA tiers (SELL family exposes them).
+            let tiers: Vec<Option<Isa>> = if matches!(
+                kind,
+                FormatKind::Sell4 | FormatKind::Sell8 | FormatKind::Sell16 | FormatKind::SellEsb
+            ) {
+                Isa::available_tiers().into_iter().map(Some).collect()
+            } else {
+                vec![]
+            };
+            for isa in tiers {
+                let r = Repro {
+                    nrows: case.nrows,
+                    ncols: case.ncols,
+                    entries: case.entries.clone(),
+                    x: x.clone(),
+                    format: kind,
+                    threads: 1,
+                    add: false,
+                    isa,
+                };
+                if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                    findings.push(Finding {
+                        case_name: case.name.clone(),
+                        detail: format!("{}@{:?} x={class:?}: {d}", kind.name(), r.isa),
+                        repro: r,
+                    });
+                }
+            }
+            // Threaded ctx paths, both modes.
+            for &threads in &cfg.threads {
+                for add in [false, true] {
+                    let r = Repro {
+                        nrows: case.nrows,
+                        ncols: case.ncols,
+                        entries: case.entries.clone(),
+                        x: x.clone(),
+                        format: kind,
+                        threads,
+                        add,
+                        isa: None,
+                    };
+                    if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                        findings.push(Finding {
+                            case_name: case.name.clone(),
+                            detail: format!(
+                                "{}@{}t {} x={class:?}: {d}",
+                                kind.name(),
+                                threads,
+                                if add { "add" } else { "set" },
+                            ),
+                            repro: r,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Shape-only sweep at near-`u32::MAX` dimensions: builders and
+/// validators must survive sentinel/index arithmetic at the edge of the
+/// 32-bit column space (no product — `x` would need 32 GiB).
+pub fn run_huge_shape_case() -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let huge = u32::MAX as usize; // sentinel becomes u32::MAX itself
+    let mut b = CooBuilder::new(3, huge);
+    b.push(0, huge - 1, 1.0);
+    b.push(1, huge - 2, -2.0);
+    b.push(2, 0, 0.5);
+    let fail = |findings: &mut Vec<Finding>, kind: FormatKind, detail: String| {
+        findings.push(Finding {
+            case_name: "huge_shape".into(),
+            detail: format!("{}: {detail}", kind.name()),
+            repro: Repro {
+                nrows: 3,
+                ncols: huge,
+                entries: vec![
+                    (0, (huge - 1) as u32, 1.0),
+                    (1, (huge - 2) as u32, -2.0),
+                    (2, 0, 0.5),
+                ],
+                x: vec![],
+                format: kind,
+                threads: 1,
+                add: false,
+                isa: None,
+            },
+        });
+    };
+    let a = match catch_unwind(AssertUnwindSafe(|| b.to_csr())) {
+        Ok(a) => a,
+        Err(p) => {
+            fail(&mut findings, FormatKind::Csr, panic_msg(&p));
+            return findings;
+        }
+    };
+    macro_rules! shape_check {
+        ($kind:expr, $build:expr) => {
+            match catch_unwind(AssertUnwindSafe(|| $build.validate())) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => fail(&mut findings, $kind, format!("{e:?}")),
+                Err(p) => fail(&mut findings, $kind, format!("panic: {}", panic_msg(&p))),
+            }
+        };
+    }
+    shape_check!(FormatKind::Csr, a.clone());
+    shape_check!(FormatKind::Sell4, Sell4::from_csr(&a));
+    shape_check!(FormatKind::Sell8, Sell8::from_csr(&a));
+    shape_check!(FormatKind::Sell16, Sell16::from_csr(&a));
+    shape_check!(FormatKind::SellEsb, SellEsb::from_csr(&a));
+    shape_check!(FormatKind::Ellpack, Ellpack::from_csr(&a));
+    shape_check!(FormatKind::EllpackR, EllpackR::from_csr(&a));
+    shape_check!(FormatKind::CsrPerm, CsrPerm::from_csr(&a));
+    shape_check!(FormatKind::SellSigma8, SellSigma8::from_csr_sigma(&a, 16));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::build;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        // ±0.0 map to the same ordered key.
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        // Straddling zero: one step either side of ±0.0 is two apart.
+        assert_eq!(ulp_distance(f64::from_bits(1), -f64::from_bits(1)), 2);
+    }
+
+    #[test]
+    fn compare_policy() {
+        let cfg = Config::default();
+        assert!(compare(&[1.0], &[1.0], &cfg).is_none());
+        assert!(compare(&[f64::NAN], &[f64::NAN], &cfg).is_none());
+        // NaN class mismatch is always a finding.
+        let d = compare(&[f64::NAN], &[1.0], &cfg).unwrap();
+        assert!(d.contains("NaN class"), "{d}");
+        // Inf sign mismatch likewise.
+        let d = compare(&[f64::INFINITY], &[f64::NEG_INFINITY], &cfg).unwrap();
+        assert!(d.contains("Inf class"), "{d}");
+        // Tiny absolute noise passes the floor.
+        assert!(compare(&[1e-13], &[0.0], &cfg).is_none());
+        // A gross finite mismatch does not.
+        assert!(compare(&[2.0], &[1.0], &cfg).is_some());
+    }
+
+    #[test]
+    fn block_closure_widens_to_full_blocks() {
+        let mut b = CooBuilder::new(4, 4);
+        b.push(0, 0, 3.0);
+        b.push(2, 3, -1.0);
+        let a = b.to_csr();
+        let c = block_closure(&a, 2);
+        // Two touched 2×2 blocks, fully densified.
+        assert_eq!(c.nnz(), 8);
+        assert_eq!(c.row_cols(0), &[0, 1]);
+        assert_eq!(c.row_cols(1), &[0, 1]);
+        assert_eq!(c.row_cols(2), &[2, 3]);
+        assert_eq!(c.row_vals(2), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn corpus_families_run_clean() {
+        // A fast spot-check on top of the full binary sweep: one seed per
+        // hazard-focused family must produce zero findings.
+        let cfg = Config {
+            threads: vec![1, 2],
+            ..Config::default()
+        };
+        let ctxs = Ctxs::new(&cfg.threads);
+        for family in ["empty", "all_empty", "dense_row", "tail8", "dup_unsorted"] {
+            let case = build(family, 42);
+            let findings = run_case(&case, &cfg, &ctxs, 42);
+            assert!(
+                findings.is_empty(),
+                "{family}: {:?}",
+                findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn huge_shape_sweep_is_clean() {
+        assert!(run_huge_shape_case().is_empty());
+    }
+}

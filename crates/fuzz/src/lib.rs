@@ -1,0 +1,26 @@
+//! # sellkit-fuzz — adversarial differential-fuzz harness
+//!
+//! Differentially tests all ten storage formats (`CsrPerm`, `Ellpack`,
+//! `EllpackR`, `Sell4/8/16`, `SellEsb`, `SellSigma8`, `Baij`, `Sbaij`)
+//! plus CSR's own SIMD tiers against a scalar-CSR oracle, across ISA
+//! levels, thread counts, and `spmv`/`spmv_add`/`spmv_ctx` entry points.
+//!
+//! * [`gen`] — deterministic adversarial matrix/vector generators
+//!   (shape degeneracies, ragged slice tails, duplicate/unsorted COO,
+//!   NaN/Inf/subnormal vectors);
+//! * [`diff`] — the differential engine with class-first, ULP-bounded
+//!   comparison and block-closure oracles for BAIJ/SBAIJ;
+//! * [`shrink`] — a ddmin-style minimizer that reduces any failure to a
+//!   paste-ready `#[test]` snippet.
+//!
+//! Run via the binary: `cargo run -p sellkit-fuzz -- --seconds 60`.
+
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod gen;
+pub mod shrink;
+
+pub use diff::{run_case, run_huge_shape_case, Config, Ctxs, Finding, Repro, FORMATS};
+pub use gen::{build, make_x, MatrixCase, FAMILIES, X_CLASSES};
+pub use shrink::{emit_test_snippet, minimize};

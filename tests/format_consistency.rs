@@ -135,8 +135,9 @@ proptest! {
         prop_assert_eq!(sorted.to_csr().to_dense(), a.to_dense());
     }
 
-    /// Padding invariants: stored size is slice-aligned, padding indices
-    /// in bounds, rlen matches CSR row lengths.
+    /// Padding invariants: stored size is slice-aligned, live indices in
+    /// bounds, padding lanes carry the `ncols` sentinel, rlen matches CSR
+    /// row lengths.
     #[test]
     fn sell_padding_invariants(
         nrows in 1usize..64,
@@ -150,9 +151,16 @@ proptest! {
         let s = Sell8::from_csr(&a);
         prop_assert_eq!(s.stored_elems() % 8, 0);
         prop_assert!(s.sliceptr().windows(2).all(|w| w[0] <= w[1]));
+        let mut pads = 0usize;
         for &c in s.colidx() {
-            prop_assert!((c as usize) < nrows.max(1));
+            // Live entries index a real column; padding holds the
+            // one-past-end sentinel that kernels mask out.
+            prop_assert!((c as usize) <= nrows);
+            if c as usize == nrows {
+                pads += 1;
+            }
         }
+        prop_assert_eq!(pads, s.padded_elems());
         for i in 0..nrows {
             prop_assert_eq!(s.rlen()[i] as usize, a.row_len(i));
         }

@@ -10,12 +10,28 @@
 
 use proptest::prelude::*;
 use sellkit::core::{
-    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, Sbaij, Sell, SellEsb, SellSigma8, SpMv,
+    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, MatShape, Sbaij, Sell, SellEsb,
+    SellSigma8, SpMv,
 };
+
+/// NaN-safe bitwise equality: `assert_eq!` on floats would reject a
+/// NaN-vs-NaN match, so compare the raw bit patterns.  Partitioning must
+/// not change per-row operation order, so even NaN payloads agree.
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for i in 0..got.len() {
+        assert!(
+            got[i].to_bits() == want[i].to_bits(),
+            "{what}: row {i}: {:e} vs {:e}",
+            got[i],
+            want[i]
+        );
+    }
+}
 
 /// Asserts `spmv_ctx` and `spmv_add_ctx` at 1/2/4/7 threads reproduce
 /// the serial results bit for bit.
-fn assert_parallel_matches_serial<M: SpMv>(m: &M, x: &[f64], label: &str) {
+fn assert_parallel_matches_serial(m: &(impl SpMv + ?Sized), x: &[f64], label: &str) {
     let n = m.nrows();
     let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.01 - 0.5).collect();
     let mut want = vec![0.0; n];
@@ -26,10 +42,14 @@ fn assert_parallel_matches_serial<M: SpMv>(m: &M, x: &[f64], label: &str) {
         let ctx = ExecCtx::new(threads);
         let mut y = vec![0.0; n];
         m.spmv_ctx(&ctx, x, &mut y);
-        assert_eq!(y, want, "{label}: spmv at {threads} threads");
+        assert_bits_eq(&y, &want, &format!("{label}: spmv at {threads} threads"));
         let mut ya = base.clone();
         m.spmv_add_ctx(&ctx, x, &mut ya);
-        assert_eq!(ya, want_add, "{label}: spmv_add at {threads} threads");
+        assert_bits_eq(
+            &ya,
+            &want_add,
+            &format!("{label}: spmv_add at {threads} threads"),
+        );
     }
 }
 
@@ -102,12 +122,90 @@ fn more_threads_than_slices_is_handled() {
     assert_parallel_matches_serial(&Ellpack::from_csr(&a), &x, "ellpack tiny");
 }
 
-/// Regression: an empty matrix (0 × 0) must be a no-op at any width.
+/// Regression: an empty matrix (0 × 0) must be a no-op at any width, in
+/// every format, at every thread count.
 #[test]
 fn empty_matrix_is_a_noop() {
+    use sellkit_fuzz::diff::{build_format, FORMATS};
     let a = CooBuilder::new(0, 0).to_csr();
-    let ctx = ExecCtx::new(4);
-    let mut y: Vec<f64> = vec![];
-    a.spmv_ctx(&ctx, &[], &mut y);
-    a.spmv_add_ctx(&ctx, &[], &mut y);
+    for kind in FORMATS {
+        assert!(kind.supports(&a, true));
+        let m = build_format(kind, &a);
+        assert_parallel_matches_serial(&*m, &[], kind.name());
+    }
+}
+
+/// Regression: a matrix with rows but no entries must produce exact
+/// +0.0 everywhere (set) and leave `y` untouched (add) — through every
+/// format's plan/pool dispatch, including ragged SELL tails (n = 11)
+/// and block-divisible shapes (n = 12).
+#[test]
+fn all_empty_rows_matrix_is_exactly_zero() {
+    use sellkit_fuzz::diff::{build_format, FORMATS};
+    for n in [11usize, 12] {
+        let a = CooBuilder::new(n, n).to_csr();
+        assert_eq!(a.nnz(), 0);
+        // x carries hazards: padded/empty rows must never read it.
+        let mut x = vec![1.0; n];
+        x[0] = f64::INFINITY;
+        x[n - 1] = f64::NAN;
+        for kind in FORMATS {
+            if !kind.supports(&a, true) {
+                continue;
+            }
+            let m = build_format(kind, &a);
+            for threads in [1usize, 2, 4, 7] {
+                let ctx = ExecCtx::new(threads);
+                let mut y = vec![f64::MIN; n];
+                m.spmv_ctx(&ctx, &x, &mut y);
+                for (i, &yi) in y.iter().enumerate() {
+                    assert!(
+                        yi.to_bits() == 0.0f64.to_bits(),
+                        "{} n={n} t={threads} row {i}: {yi:e} (want +0.0)",
+                        kind.name()
+                    );
+                }
+                let base: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+                let mut ya = base.clone();
+                m.spmv_add_ctx(&ctx, &x, &mut ya);
+                assert_bits_eq(
+                    &ya,
+                    &base,
+                    &format!("{} add n={n} t={threads}", kind.name()),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Adversarial generator pool: every fuzz family (ragged tails, a
+    /// dense row among empties, duplicate/unsorted COO, ...) × every
+    /// vector hazard class (NaN/±Inf/subnormal/signed-zero) keeps the
+    /// bitwise parallel-vs-serial contract for all ten formats.
+    #[test]
+    fn adversarial_pool_is_bitwise_parallel_invariant(
+        family_ix in 0usize..sellkit_fuzz::gen::FAMILIES.len(),
+        class_ix in 0usize..sellkit_fuzz::gen::X_CLASSES.len(),
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sellkit_fuzz::diff::{build_format, FORMATS};
+        use sellkit_fuzz::gen::{build, make_x, FAMILIES, X_CLASSES};
+
+        let case = build(FAMILIES[family_ix], seed);
+        let a = case.to_csr();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = make_x(X_CLASSES[class_ix], a.ncols(), &mut rng);
+        for kind in FORMATS {
+            if !kind.supports(&a, case.symmetric) {
+                continue;
+            }
+            let m = build_format(kind, &a);
+            assert_parallel_matches_serial(&*m, &x, &format!("{} {}", kind.name(), case.name));
+        }
+    }
 }

@@ -92,20 +92,18 @@ fn out_of_range_colidx_is_reported_with_coordinates() {
         col: 99,
         ncols: 10,
     };
-    assert!(v.contains(&expected), "{v:?}");
-    // The corrupted entry is also row 2's only real column, so the row's
-    // padding (which repeats it) is flagged as nonlocal too.
-    assert!(v.iter().any(|x| x.kind() == ViolationKind::PaddingNotLocal));
+    assert_eq!(v, vec![expected]);
 }
 
 #[test]
-fn nonlocal_padding_index_is_reported() {
+fn padding_aliasing_a_live_column_is_reported() {
     let s = fixture();
     let mut colidx = s.colidx().to_vec();
     // Row 1's padding at column position j = 1: flat index 8 + 1 = 9.
-    // It must repeat one of row 1's own columns ({1}); column 3 is
-    // in-bounds but nonlocal.
-    assert_eq!(colidx[9], 1);
+    // It must hold the sentinel `ncols` (masked by the kernels); column 3
+    // is in-bounds for x, which is exactly the hazard — 0.0 × x[3] is NaN
+    // when x[3] is Inf.
+    assert_eq!(colidx[9], 10);
     colidx[9] = 3;
     let v = check_sell_parts(
         8,
@@ -120,7 +118,7 @@ fn nonlocal_padding_index_is_reported() {
     );
     assert_eq!(
         v,
-        vec![Violation::PaddingNotLocal {
+        vec![Violation::PaddingAliasesLiveColumn {
             loc: Loc {
                 at: 9,
                 row: 1,
@@ -129,6 +127,7 @@ fn nonlocal_padding_index_is_reported() {
             col: 3
         }]
     );
+    assert_eq!(v[0].kind(), ViolationKind::PaddingAliasesLiveColumn);
 }
 
 #[test]
