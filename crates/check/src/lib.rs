@@ -26,6 +26,8 @@
 //! not the SpMV hot path (the kernels' `debug_assert!` preconditions in
 //! `sellkit_core::kernels::dispatch` cover that).
 
+#![forbid(unsafe_code)]
+
 use sellkit_core::aligned::ALIGN;
 use sellkit_core::{
     Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb, SellSigma,

@@ -124,12 +124,9 @@ impl ExecCtx {
         if n == 0 {
             return;
         }
-        let pool = match &self.pool {
-            None => {
-                f(0, data);
-                return;
-            }
-            Some(pool) => pool,
+        let Some(pool) = &self.pool else {
+            f(0, data);
+            return;
         };
         let windows = DisjointParts::new(data);
         let body = |p: usize| {

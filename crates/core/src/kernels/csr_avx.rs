@@ -24,8 +24,10 @@ fn hsum256(v: __m256d) -> f64 {
 ///
 /// # Safety
 ///
-/// `ci` must be valid for 4 reads and each of those column indices must be
-/// in bounds for the vector behind `xp`.
+/// * `requires: feature(avx)`
+/// * `requires: cols_in_bounds(colidx, x)` — `ci` must be valid for 4 reads
+///   from the `colidx` window and each of those column indices must be in
+///   bounds for the vector behind `xp`.
 #[inline]
 #[target_feature(enable = "avx")]
 unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
@@ -46,8 +48,12 @@ unsafe fn gather4_emulated(xp: *const f64, ci: *const u32) -> __m256d {
 ///
 /// # Safety
 ///
-/// * The CPU must support `avx`.
-/// * Array invariants as for [`super::csr_avx512::spmv`].
+/// * `requires: feature(avx)`
+/// * `requires: len(rowptr) == len(y) + 1`
+/// * `requires: monotone(rowptr)`
+/// * `requires: in_bounds(rowptr, val)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds(colidx, x)`
 #[target_feature(enable = "avx")]
 pub unsafe fn spmv<const ADD: bool>(
     rowptr: &[usize],

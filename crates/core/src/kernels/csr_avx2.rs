@@ -19,8 +19,12 @@ fn hsum256(v: __m256d) -> f64 {
 ///
 /// # Safety
 ///
-/// * The CPU must support `avx2` and `fma`.
-/// * Array invariants as for [`super::csr_avx512::spmv`].
+/// * `requires: feature(avx2,fma)` — the CPU must support both.
+/// * `requires: len(rowptr) == len(y) + 1`
+/// * `requires: monotone(rowptr)`
+/// * `requires: in_bounds(rowptr, val)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds(colidx, x)`
 #[target_feature(enable = "avx2,fma")]
 pub unsafe fn spmv<const ADD: bool>(
     rowptr: &[usize],

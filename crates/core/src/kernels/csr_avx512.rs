@@ -12,9 +12,12 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// * The CPU must support `avx512f` and `avx512vl`.
-/// * `rowptr.len() == y.len() + 1`, `colidx.len() == val.len() == rowptr[y.len()]`.
-/// * Every `colidx[k] < x.len()`.
+/// * `requires: feature(avx512f,avx512vl)` — the CPU must support both.
+/// * `requires: len(rowptr) == len(y) + 1`
+/// * `requires: monotone(rowptr)` — row offsets are nondecreasing.
+/// * `requires: in_bounds(rowptr, val)` — every offset is `<= val.len()`.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds(colidx, x)` — every `colidx[k] < x.len()`.
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv<const ADD: bool>(
     rowptr: &[usize],

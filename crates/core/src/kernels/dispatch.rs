@@ -27,14 +27,21 @@ use super::{csr_scalar, sell_scalar};
 /// row *windows* too: `rowptr` is a monotone array of `y.len() + 1`
 /// offsets into `val`, `colidx` parallels `val`, and every column index
 /// the window touches addresses `x`.
+///
+/// `discharges: len(rowptr) == len(y) + 1, monotone(rowptr), in_bounds(rowptr, val), len(colidx) == len(val), cols_in_bounds(colidx, x)`
 fn debug_check_csr_window(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
+    // discharges: len(rowptr) == len(y) + 1
     debug_assert_eq!(rowptr.len(), y.len() + 1, "rowptr length");
+    // discharges: monotone(rowptr)
     debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr monotone");
+    // discharges: in_bounds(rowptr, val)
     debug_assert!(
         rowptr.last().copied().unwrap_or(0) <= val.len(),
         "rowptr window end in bounds of val"
     );
+    // discharges: len(colidx) == len(val)
     debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    // discharges: cols_in_bounds(colidx, x)
     debug_assert!(
         colidx[rowptr.first().copied().unwrap_or(0)..rowptr.last().copied().unwrap_or(0)]
             .iter()
@@ -46,6 +53,8 @@ fn debug_check_csr_window(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f6
 /// Debug-asserts the full-matrix CSR contract: the window invariants plus
 /// `rowptr` being a complete prefix-sum array (starts at 0, ends at
 /// `val.len()`).
+///
+/// `discharges: len(rowptr) == len(y) + 1, monotone(rowptr), in_bounds(rowptr, val), len(colidx) == len(val), cols_in_bounds(colidx, x)`
 fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: &[f64]) {
     debug_check_csr_window(rowptr, colidx, val, x, y);
     debug_assert_eq!(rowptr.first().copied().unwrap_or(0), 0, "rowptr[0]");
@@ -58,6 +67,8 @@ fn debug_check_csr(rowptr: &[usize], colidx: &[u32], val: &[f64], x: &[f64], y: 
 /// `val`, and every column index the window touches is `<= x.len()` —
 /// live entries address `x`, padding carries the sentinel `x.len()`
 /// that the kernels mask.
+///
+/// `discharges: len(y) == nrows, len(sliceptr) == slices(nrows, C) + 1, monotone(sliceptr), in_bounds(sliceptr, val), aligned_offsets(sliceptr, C), len(colidx) == len(val), cols_in_bounds_or_sentinel(colidx, x)`
 fn debug_check_sell_window<const C: usize>(
     sliceptr: &[usize],
     colidx: &[u32],
@@ -66,21 +77,28 @@ fn debug_check_sell_window<const C: usize>(
     x: &[f64],
     y: &[f64],
 ) {
+    // discharges: len(y) == nrows
     debug_assert_eq!(y.len(), nrows, "y length");
+    // discharges: len(sliceptr) == slices(nrows, C) + 1
     debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
+    // discharges: monotone(sliceptr)
     debug_assert!(
         sliceptr.windows(2).all(|w| w[0] <= w[1]),
         "sliceptr monotone"
     );
+    // discharges: in_bounds(sliceptr, val)
     debug_assert!(
         sliceptr.last().copied().unwrap_or(0) <= val.len(),
         "sliceptr window end in bounds of val"
     );
+    // discharges: aligned_offsets(sliceptr, C)
     debug_assert!(
         sliceptr.iter().all(|&p| p % C == 0),
         "slice offsets must be {C}-element aligned"
     );
+    // discharges: len(colidx) == len(val)
     debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    // discharges: cols_in_bounds_or_sentinel(colidx, x)
     debug_assert!(
         colidx[sliceptr.first().copied().unwrap_or(0)..sliceptr.last().copied().unwrap_or(0)]
             .iter()
@@ -92,6 +110,8 @@ fn debug_check_sell_window<const C: usize>(
 /// Debug-asserts the full-matrix SELL contract: the window invariants plus
 /// `sliceptr` being a complete prefix-sum array (starts at 0, ends at
 /// `val.len()`).
+///
+/// `discharges: len(y) == nrows, len(sliceptr) == slices(nrows, C) + 1, monotone(sliceptr), in_bounds(sliceptr, val), aligned_offsets(sliceptr, C), len(colidx) == len(val), cols_in_bounds_or_sentinel(colidx, x)`
 fn debug_check_sell<const C: usize>(
     sliceptr: &[usize],
     colidx: &[u32],
@@ -112,12 +132,16 @@ fn debug_check_sell<const C: usize>(
 /// Debug-asserts the 64-byte alignment the aligned-load SELL kernels
 /// require of `val`/`colidx` (guaranteed by [`crate::AVec`] storage; a
 /// plain `Vec` slice would fault at the first `_mm512_load_pd`).
+///
+/// `discharges: aligned(val, 64), aligned(colidx, 64)`
 #[cfg(target_arch = "x86_64")]
 fn debug_check_kernel_alignment(val: &[f64], colidx: &[u32]) {
+    // discharges: aligned(val, 64)
     debug_assert!(
         val.is_empty() || (val.as_ptr() as usize).is_multiple_of(64),
         "val must be 64-byte aligned (AVec) for aligned SELL loads"
     );
+    // discharges: aligned(colidx, 64)
     debug_assert!(
         colidx.is_empty() || (colidx.as_ptr() as usize).is_multiple_of(64),
         "colidx must be 64-byte aligned (AVec) for aligned SELL loads"
@@ -172,6 +196,7 @@ fn csr_dispatch_any<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => csr_scalar::spmv::<ADD>(rowptr, colidx, val, x, y),
@@ -250,6 +275,7 @@ fn sell8_dispatch_any<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => sell_scalar::spmv::<8, ADD>(sliceptr, colidx, val, nrows, x, y),
@@ -296,6 +322,7 @@ pub fn sell8_spmv_tuned(
     y: &mut [f64],
 ) {
     debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    // discharges: feature(avx512f,avx512vl)
     assert!(
         Isa::Avx512.available(),
         "ISA AVX512 not available on this CPU"
@@ -327,6 +354,7 @@ pub fn sell_esb_spmv_avx512(
     y: &mut [f64],
 ) {
     debug_check_sell::<8>(sliceptr, colidx, val, nrows, x, y);
+    // discharges: bits_cover_window(bits, val)
     debug_assert_eq!(bits.len() * 8, val.len(), "one mask byte per slice column");
     // SAFETY: availability asserted inside; full-matrix contract asserted
     // above is a superset of the window contract.
@@ -349,6 +377,7 @@ pub(crate) fn sell_esb_spmv_avx512_slices(
     y: &mut [f64],
 ) {
     debug_check_sell_window::<8>(sliceptr, colidx, val, nrows, x, y);
+    // discharges: bits_cover_window(bits, val)
     debug_assert!(
         bits.len() * 8
             >= sliceptr.last().copied().unwrap_or(0) - sliceptr.first().copied().unwrap_or(0),
@@ -367,6 +396,7 @@ fn sell_esb_dispatch_avx512(
     x: &[f64],
     y: &mut [f64],
 ) {
+    // discharges: feature(avx512f,avx512vl)
     assert!(
         Isa::Avx512.available(),
         "ISA AVX512 not available on this CPU"
@@ -422,6 +452,7 @@ fn sell4_dispatch_any<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
+    // discharges: feature(avx), feature(avx2,fma)
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         Isa::Scalar => sell_scalar::spmv::<4, ADD>(sliceptr, colidx, val, nrows, x, y),
@@ -484,6 +515,7 @@ fn sell16_dispatch_any<const ADD: bool>(
     x: &[f64],
     y: &mut [f64],
 ) {
+    // discharges: feature(avx512f,avx512vl)
     assert!(isa.available(), "ISA {isa} not available on this CPU");
     match isa {
         #[cfg(target_arch = "x86_64")]

@@ -10,11 +10,20 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// * CPU must support `avx512f` and `avx512vl`.
-/// * Layout as documented on [`crate::Sell`] with `C = 16`: slice offsets
-///   are multiples of 16 elements (so both 64-byte halves of each column
-///   are aligned); all non-padding indices in bounds for `x` (padding
-///   carries the masked sentinel `x.len()`); `y.len() == nrows`.
+/// Layout as documented on [`crate::Sell`] with `C = 16` (slice offsets
+/// are multiples of 16, so both 64-byte halves of each column are aligned;
+/// padding carries the masked sentinel `x.len()`):
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 16) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 16)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv<const ADD: bool>(
     sliceptr: &[usize],

@@ -11,12 +11,19 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// * CPU must support `avx2` and `fma`.
-/// * Layout as documented on [`crate::Sell`] with `C = 4`: slice offsets
-///   are multiples of 4 elements, so `val` loads are 32-byte aligned and
-///   `colidx` loads 16-byte aligned; all non-padding indices are in
-///   bounds for `x` (padding carries the masked sentinel `x.len()`);
-///   `y.len() == nrows`.
+/// Layout as documented on [`crate::Sell`] with `C = 4` (padding carries
+/// the masked sentinel `x.len()`):
+///
+/// * `requires: feature(avx2,fma)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 4) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 4)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx2,fma")]
 pub unsafe fn spmv_avx2<const ADD: bool>(
     sliceptr: &[usize],
@@ -50,9 +57,13 @@ pub unsafe fn spmv_avx2<const ADD: bool>(
             }
             idx += 4;
         }
-        // SAFETY: s*4 + lanes <= nrows == y.len(), store4's contract.
+        let base = s * 4;
+        let lanes = 4.min(nrows - base);
+        // discharges: in_bounds(y, base, lanes)
+        debug_assert!(base + lanes <= y.len());
+        // SAFETY: base + lanes <= nrows == y.len(), store4's contract.
         unsafe {
-            store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+            store4::<ADD>(y, base, lanes, acc);
         }
     }
 }
@@ -62,7 +73,18 @@ pub unsafe fn spmv_avx2<const ADD: bool>(
 ///
 /// # Safety
 ///
-/// Same contract as [`spmv_avx2`] with only `avx` required.
+/// Same contract as [`spmv_avx2`] with only `avx` required:
+///
+/// * `requires: feature(avx)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 4) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 4)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx")]
 pub unsafe fn spmv_avx<const ADD: bool>(
     sliceptr: &[usize],
@@ -99,9 +121,13 @@ pub unsafe fn spmv_avx<const ADD: bool>(
             }
             idx += 4;
         }
-        // SAFETY: s*4 + lanes <= nrows == y.len(), store4's contract.
+        let base = s * 4;
+        let lanes = 4.min(nrows - base);
+        // discharges: in_bounds(y, base, lanes)
+        debug_assert!(base + lanes <= y.len());
+        // SAFETY: base + lanes <= nrows == y.len(), store4's contract.
         unsafe {
-            store4::<ADD>(y, s * 4, 4.min(nrows - s * 4), acc);
+            store4::<ADD>(y, base, lanes, acc);
         }
     }
 }
@@ -110,7 +136,8 @@ pub unsafe fn spmv_avx<const ADD: bool>(
 ///
 /// # Safety
 ///
-/// `base + lanes <= y.len()`; caller runs under `avx`.
+/// * `requires: feature(avx)`
+/// * `requires: in_bounds(y, base, lanes)` — `base + lanes <= y.len()`.
 #[target_feature(enable = "avx")]
 unsafe fn store4<const ADD: bool>(y: &mut [f64], base: usize, lanes: usize, acc: __m256d) {
     // SAFETY: caller guarantees base + lanes <= y.len(); the 4-wide

@@ -16,8 +16,10 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// `ci` must point at 4 readable `u32`s; each index `< xlen` must be a
-/// valid index into the `x` array of length `xlen` starting at `xp`.
+/// * `requires: feature(avx)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — `ci` must point at
+///   4 readable `u32`s; each index `< xlen` must be a valid index into the
+///   `x` array of length `xlen` starting at `xp`.
 #[inline]
 #[target_feature(enable = "avx")]
 unsafe fn gather4_emulated(xp: *const f64, ci: *const u32, xlen: usize) -> __m256d {
@@ -41,7 +43,18 @@ unsafe fn gather4_emulated(xp: *const f64, ci: *const u32, xlen: usize) -> __m25
 ///
 /// # Safety
 ///
-/// Same contract as [`super::sell_avx512::spmv`], with only `avx` required.
+/// Same contract as [`super::sell_avx512::spmv`], with only `avx` required:
+///
+/// * `requires: feature(avx)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 8)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx")]
 pub unsafe fn spmv<const ADD: bool>(
     sliceptr: &[usize],

@@ -15,8 +15,9 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// Caller runs under `avx2`; every index in `ci` that is `< xlen`
-/// addresses a valid element of `x`.
+/// * `requires: feature(avx2)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every index in
+///   `ci` that is `< xlen` addresses a valid element of `x`.
 #[target_feature(enable = "avx2")]
 #[inline]
 unsafe fn gather4_masked(xp: *const f64, ci: __m128i, xlen: usize) -> __m256d {
@@ -34,6 +35,17 @@ unsafe fn gather4_masked(xp: *const f64, ci: __m128i, xlen: usize) -> __m256d {
 /// Same contract as [`super::sell_avx512::spmv`], with `avx2` and `fma`
 /// required instead of AVX-512.  Alignment: slice starts are multiples of 8
 /// doubles (64 B), so both 32-byte halves are 32-byte aligned.
+///
+/// * `requires: feature(avx2,fma)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 8)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx2,fma")]
 pub unsafe fn spmv<const ADD: bool>(
     sliceptr: &[usize],
@@ -74,6 +86,8 @@ pub unsafe fn spmv<const ADD: bool>(
         }
         let base = s * 8;
         let lanes = 8.min(nrows - base);
+        // discharges: in_bounds(y, base, lanes)
+        debug_assert!(base + lanes <= y.len());
         // SAFETY: base + lanes <= nrows == y.len(), store_lanes' contract.
         unsafe {
             store_lanes::<ADD>(y, base, lanes, acc0, acc1);
@@ -85,7 +99,8 @@ pub unsafe fn spmv<const ADD: bool>(
 ///
 /// # Safety
 ///
-/// `base + lanes <= y.len()`; caller runs under `avx2`.
+/// * `requires: feature(avx2)`
+/// * `requires: in_bounds(y, base, lanes)` — `base + lanes <= y.len()`.
 #[target_feature(enable = "avx2")]
 unsafe fn store_lanes<const ADD: bool>(
     y: &mut [f64],

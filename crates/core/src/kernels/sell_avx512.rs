@@ -17,8 +17,10 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// Caller runs under `avx512f,avx512vl`; every *unmasked* index in `ci`
-/// (i.e. each index `< x.len()`) addresses a valid element of `x`.
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every *unmasked*
+///   index in `ci` (i.e. each index `< x.len()`) addresses a valid element
+///   of the vector behind `xp`.
 #[target_feature(enable = "avx512f,avx512vl")]
 #[inline]
 unsafe fn gather_masked(ci: __m256i, xp: *const f64, xlen: usize) -> __m512d {
@@ -34,13 +36,18 @@ unsafe fn gather_masked(ci: __m256i, xp: *const f64, xlen: usize) -> __m512d {
 ///
 /// # Safety
 ///
-/// * The CPU must support `avx512f` and `avx512vl`.
-/// * `val`/`colidx` must be 64-byte aligned (they are [`crate::AVec`]s) and
-///   laid out as described in [`crate::Sell`]; every slice offset in
-///   `sliceptr` must be a multiple of 8 so the aligned loads are legal.
-/// * Every non-padding column index must be `< x.len()`; padding carries
-///   the sentinel `x.len()` and is masked by the gather.
-/// * `y.len() == nrows` and `sliceptr.len() == ceil(nrows/8) + 1`.
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)` — every offset `<= val.len()`.
+/// * `requires: aligned_offsets(sliceptr, 8)` — so aligned loads are legal.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every non-padding
+///   column index is `< x.len()`; padding carries the sentinel `x.len()`
+///   and is masked by the gather.
+/// * `requires: aligned(val, 64)` and `requires: aligned(colidx, 64)` —
+///   they are [`crate::AVec`]s laid out as described in [`crate::Sell`].
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv<const ADD: bool>(
     sliceptr: &[usize],
@@ -110,7 +117,18 @@ pub unsafe fn spmv<const ADD: bool>(
 ///
 /// # Safety
 ///
-/// Identical contract to [`spmv`].
+/// Identical contract to [`spmv`]:
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 8)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv_unrolled<const ADD: bool>(
     sliceptr: &[usize],
@@ -228,7 +246,18 @@ pub unsafe fn spmv_unrolled<const ADD: bool>(
 ///
 /// # Safety
 ///
-/// Same contract as [`spmv`]; caller runs under `avx512f,avx512vl`.
+/// Same contract as [`spmv`]:
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 8)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
 #[target_feature(enable = "avx512f,avx512vl")]
 unsafe fn finish_partial_slice<const ADD: bool>(
     sliceptr: &[usize],

@@ -10,13 +10,23 @@ use std::arch::x86_64::*;
 ///
 /// # Safety
 ///
-/// * The CPU must support `avx512f` and `avx512vl`.
-/// * `sliceptr`/`colidx`/`val` follow the SELL-8 contract of
-///   [`super::sell_avx512::spmv`] (64-byte-aligned AVec storage, 8-aligned
-///   slice offsets, all column indices — padding included — `< x.len()`).
-/// * `bits.len() == val.len() / 8`: one mask byte per slice column, bit `r`
-///   set ⇔ lane `r` holds a real nonzero.
-/// * `y.len() == nrows`.
+/// `sliceptr`/`colidx`/`val` follow the SELL-8 contract of
+/// [`super::sell_avx512::spmv`]; padded lanes carry cleared mask bits, so
+/// the sentinel column index is never gathered:
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, 8) + 1`
+/// * `requires: monotone(sliceptr)`
+/// * `requires: in_bounds(sliceptr, val)`
+/// * `requires: aligned_offsets(sliceptr, 8)`
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)`
+/// * `requires: aligned(val, 64)`
+/// * `requires: aligned(colidx, 64)`
+/// * `requires: bits_cover_window(bits, val)` — one mask byte per slice
+///   column (`bits.len() * 8 >= val.len()` over the window), bit `r` set
+///   ⇔ lane `r` holds a real nonzero.
 #[target_feature(enable = "avx512f,avx512vl")]
 pub unsafe fn spmv(
     sliceptr: &[usize],

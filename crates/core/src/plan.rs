@@ -285,7 +285,7 @@ impl Default for PlanCache {
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let cached = self.plans.lock().map(|p| p.len()).unwrap_or(0);
+        let cached = self.plans.lock().map_or(0, |p| p.len());
         f.debug_struct("PlanCache")
             .field("epoch", &self.epoch())
             .field("cached", &cached)

@@ -532,10 +532,10 @@ impl<const C: usize> SpMv for Sell<C> {
             let lanes = C.min(self.nrows - base_row);
             // Column-major walk over the slice; every (val, colidx) pair is
             // touched once and used k times.
-            for a in acc.iter_mut() {
+            for a in &mut acc {
                 a.fill(0.0);
             }
-            for a in extra.iter_mut() {
+            for a in &mut extra {
                 a.fill(0.0);
             }
             let mut idx = self.sliceptr[s];

@@ -23,6 +23,7 @@
 //! runs CSR and SELL — the paper's point that the parallel layer reuses the
 //! sequential kernels unchanged.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.

@@ -11,6 +11,7 @@
 //!   process of the multigrid preconditioner results in matrices of
 //!   different dimension", §7.1).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.

@@ -24,6 +24,7 @@
 //! workspace, so who-wins and crossover locations are driven by format and
 //! kernel structure, not hard-coded outcomes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.

@@ -202,9 +202,8 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
                 };
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;

@@ -30,6 +30,7 @@
 //! [`validate_report_json`]), or a Chrome trace [`Report::chrome_trace`]
 //! with one track per recording thread.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod json;

@@ -153,8 +153,7 @@ impl Registry {
             let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
             let label = std::thread::current()
                 .name()
-                .map(str::to_string)
-                .unwrap_or_else(|| format!("thread-{tid}"));
+                .map_or_else(|| format!("thread-{tid}"), str::to_string);
             let shard = Arc::new(Shard {
                 tid,
                 label: Mutex::new(label),

@@ -273,7 +273,7 @@ impl Report {
             ("total_s", Json::from(self.total_s)),
             (
                 "roofline_bw_gbs",
-                roofline_bw_gbs.map(Json::from).unwrap_or(Json::Null),
+                roofline_bw_gbs.map_or(Json::Null, Json::from),
             ),
             ("threads", Json::Arr(threads)),
             ("events", Json::Arr(events)),

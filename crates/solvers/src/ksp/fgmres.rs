@@ -67,7 +67,7 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
         let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
         let mut zs: Vec<Vec<f64>> = Vec::with_capacity(m);
         let mut v0 = r.clone();
-        for vi in v0.iter_mut() {
+        for vi in &mut v0 {
             *vi /= beta;
         }
         basis.push(v0);
@@ -132,7 +132,7 @@ pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
                 break;
             }
             let mut vj1 = w;
-            for vi in vj1.iter_mut() {
+            for vi in &mut vj1 {
                 *vi /= hj1;
             }
             basis.push(vj1);

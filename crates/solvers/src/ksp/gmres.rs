@@ -104,7 +104,7 @@ pub fn gmres_monitored<O: Operator, P: Precond, D: InnerProduct, M: KspMonitor +
         }
         basis.clear();
         let mut v0 = z.clone();
-        for vi in v0.iter_mut() {
+        for vi in &mut v0 {
             *vi /= beta;
         }
         basis.push(v0);
@@ -178,7 +178,7 @@ pub fn gmres_monitored<O: Operator, P: Precond, D: InnerProduct, M: KspMonitor +
                 break;
             }
             let mut vj1 = w;
-            for vi in vj1.iter_mut() {
+            for vi in &mut vj1 {
                 *vi /= hj1;
             }
             basis.push(vj1);

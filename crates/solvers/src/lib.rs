@@ -18,6 +18,7 @@
 //! The Gray-Scott experiment of §7 runs Crank-Nicolson → Newton →
 //! GMRES → V-cycle multigrid → Jacobi smoothers, exactly this stack.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.

@@ -1,0 +1,25 @@
+//! # sellkit-verify
+//!
+//! Offline correctness tooling for sellkit's concurrency layer:
+//!
+//! * [`sim`] — shim atomics/park primitives with a release/acquire clock
+//!   machine, plus an exhaustive DFS interleaving explorer with
+//!   full-state deduplication (a hand-rolled, loom-style checker; the
+//!   sandbox has no crates.io access);
+//! * [`model`] — the worker-pool region protocol of
+//!   `crates/core/src/pool.rs` as an explicit transition system, the
+//!   scenario suite it is verified under, and the known-bad mutations
+//!   the checker must reject;
+//! * [`policy`] — the parser for the checked-in `POLICY.toml`, shared
+//!   with `xtask` so the atomics-hygiene table and the verified model
+//!   configuration cannot drift apart silently.
+//!
+//! Run the whole suite with `cargo run --release -p sellkit-verify`, or
+//! through `cargo run -p xtask -- verify` which chains it behind the
+//! static passes.  DESIGN.md §14 documents what a passing run proves.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod policy;
+pub mod sim;

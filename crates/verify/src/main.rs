@@ -1,0 +1,110 @@
+//! Model-checker driver: verifies the pool-protocol scenario suite and
+//! rejects every known-bad mutation.
+//!
+//! ```text
+//! cargo run --release -p sellkit-verify [--quick] [--max-states N] [--max-seconds N]
+//! ```
+//!
+//! Exit code 0 means: every scenario in [`sellkit_verify::model::scenarios`]
+//! was exhaustively explored without a violation under the verified
+//! orderings, *and* every mutation in
+//! [`sellkit_verify::model::mutations`] produced one (the checker is not
+//! vacuous).  A capped exploration is a failure — raise the caps.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use sellkit_verify::model::{check, mutations, scenarios, Config};
+use sellkit_verify::sim::{Limits, Outcome};
+
+fn main() -> ExitCode {
+    let mut limits = Limits::default();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--max-states" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limits.max_states = n,
+                None => return usage(),
+            },
+            "--max-seconds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limits.max_seconds = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let mut failed = false;
+
+    println!("pool-protocol model checker: verified configuration");
+    for sc in scenarios() {
+        if quick && (sc.lanes > 3 || sc.lanes * sc.regions * sc.nparts > 18) {
+            println!("  skip  {sc} (--quick)");
+            continue;
+        }
+        match check(Config::VERIFIED, sc, limits) {
+            Outcome::Pass(stats) => println!(
+                "  pass  {sc}: {} states, {} complete executions, depth {}",
+                stats.states, stats.executions, stats.max_depth
+            ),
+            Outcome::Fail(cx) => {
+                failed = true;
+                println!("  FAIL  {sc}: {}", cx.violation);
+                for (i, step) in cx.trace.iter().enumerate() {
+                    println!("        {i:3}. {step}");
+                }
+            }
+            Outcome::Capped(stats) => {
+                failed = true;
+                println!(
+                    "  CAP   {sc}: exploration capped after {} states — not a proof; \
+                     raise --max-states/--max-seconds",
+                    stats.states
+                );
+            }
+        }
+    }
+
+    println!("pool-protocol model checker: known-bad mutations (must fail)");
+    for (name, cfg, sc) in mutations() {
+        match check(cfg, sc, limits) {
+            Outcome::Fail(cx) => {
+                println!("  pass  {name} ({sc}): rejected — {}", cx.violation);
+            }
+            Outcome::Pass(stats) => {
+                failed = true;
+                println!(
+                    "  FAIL  {name} ({sc}): mutation NOT detected ({} states explored) — \
+                     the checker is vacuous",
+                    stats.states
+                );
+            }
+            Outcome::Capped(_) => {
+                failed = true;
+                println!("  CAP   {name} ({sc}): capped before finding the violation");
+            }
+        }
+    }
+
+    println!(
+        "model checker finished in {:.1}s: {}",
+        started.elapsed().as_secs_f64(),
+        if failed { "FAILED" } else { "ok" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run --release -p sellkit-verify [--quick] [--max-states N] [--max-seconds N]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,110 @@
+//! Pins the real `pool.rs` orderings to the model-checked configuration.
+//!
+//! The chain has three links, each enforced by a different check:
+//!
+//! 1. `pool.rs` source ⇔ `POLICY.toml` table — the atomics-hygiene pass
+//!    of `xtask lint` (every `Ordering::*` site must match an entry);
+//! 2. `POLICY.toml` `model = "…"` keys ⇔ verified [`Config`] — **this
+//!    test**;
+//! 3. verified [`Config`] ⇔ protocol properties — the model-checker
+//!    suite in `tests/model.rs` and the release binary.
+//!
+//! Together: downgrading an ordering in `pool.rs` fails (1); "fixing"
+//! the table to match fails (2); "fixing" the verified config to match
+//! fails (3), because the mutation tests prove the checker rejects
+//! relaxed publishes.
+
+use sellkit_verify::model::Config;
+use sellkit_verify::policy;
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/verify sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn policy_model_keys_match_the_verified_orderings() {
+    let policy = policy::load(&workspace_root()).expect("POLICY.toml parses");
+    let pinned: Vec<_> = policy
+        .atomics
+        .iter()
+        .filter_map(|e| e.model.as_deref().map(|m| (m.to_string(), e.clone())))
+        .collect();
+    assert!(
+        !pinned.is_empty(),
+        "no model-pinned atomic entries in POLICY.toml"
+    );
+    for (key, entry) in &pinned {
+        let verified = Config::verified_ordering(key).unwrap_or_else(|| {
+            panic!(
+                "POLICY.toml pins `{}.{}` to unknown model key `{key}` — \
+                 no such Config field was verified",
+                entry.file, entry.atomic
+            )
+        });
+        assert_eq!(
+            entry.orderings,
+            vec![verified.to_string()],
+            "`{}.{}` ({key}): POLICY.toml ordering differs from the verified model",
+            entry.file,
+            entry.atomic
+        );
+    }
+}
+
+#[test]
+fn every_verified_ordering_is_pinned_in_the_policy() {
+    let policy = policy::load(&workspace_root()).expect("POLICY.toml parses");
+    let keys = [
+        "done_reset",
+        "epoch_publish",
+        "done_wait",
+        "shutdown_set",
+        "epoch_shutdown_bump",
+        "epoch_load",
+        "shutdown_check",
+        "done_inc",
+    ];
+    for key in keys {
+        assert!(
+            Config::verified_ordering(key).is_some(),
+            "verified_ordering lost key {key}"
+        );
+        assert!(
+            policy
+                .atomics
+                .iter()
+                .any(|e| e.model.as_deref() == Some(key)),
+            "POLICY.toml has no entry pinned to model key `{key}` — \
+             the pool protocol table is incomplete"
+        );
+    }
+}
+
+#[test]
+fn pool_protocol_entries_are_all_seqcst_today() {
+    // The soundness argument in pool.rs is written for SeqCst everywhere;
+    // a relaxation must update the model, the policy, and the docs
+    // together.  This assertion is the tripwire for the policy side.
+    let policy = policy::load(&workspace_root()).expect("POLICY.toml parses");
+    for e in &policy.atomics {
+        if e.file == "crates/core/src/pool.rs" {
+            assert_eq!(
+                e.orderings,
+                vec!["SeqCst".to_string()],
+                "pool.rs entry `{}.{}` is not SeqCst",
+                e.file,
+                e.atomic
+            );
+            assert!(
+                e.model.is_some(),
+                "pool.rs entry `{}.{}` is not pinned to a verified model key",
+                e.file,
+                e.atomic
+            );
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //!   separates CSR from SELL;
 //! * [`stream`] — the STREAM memory-bandwidth kernels behind Figure 4.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops mirror the paper's kernel pseudocode and stay readable
 // next to the intrinsics; a few solver signatures are wide by nature.

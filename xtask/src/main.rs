@@ -1,524 +1,121 @@
-//! Workspace maintenance tasks (`cargo run -p xtask -- <command>`).
+//! `cargo run -p xtask -- <command>`: repo verification tooling.
 //!
-//! The only command so far is `lint`: a dependency-free unsafe-code audit.
-//! It walks every Rust source in the repository and enforces the policy
-//! documented in DESIGN.md ("Invariants & unsafe policy"):
-//!
-//! * `unsafe` code may only appear in the allowlisted modules — the SIMD
-//!   kernels (`crates/core/src/kernels/`), the aligned allocator
-//!   (`aligned.rs`), the execution layer (`crates/core/src/pool.rs`'s
-//!   lifetime erasure, `exec.rs`'s disjoint-window factory, `plan.rs`'s
-//!   plan-checked windowing), the message-passing simulator
-//!   (`crates/mpisim/`), and the counting global allocator in
-//!   `tests/alloc_free.rs`;
-//! * every `unsafe {}` block and `unsafe impl` must be immediately preceded
-//!   by a `// SAFETY:` comment stating why its preconditions hold;
-//! * every `unsafe fn` must document its contract under a `# Safety` doc
-//!   heading (or carry a `SAFETY:` comment).
-//!
-//! The scanner is hand-rolled (no `syn`; the sandbox has no crates.io
-//! access): a small state machine strips comments, strings, and char
-//! literals, then `unsafe` tokens in the remaining code are classified by
-//! the token that follows.  That is precise enough for this policy — the
-//! word `unsafe` inside strings, comments, or identifiers like
-//! `unsafe_code` never reaches the classifier.
+//! * `lint [--json] [--pass NAME]` — run the static-analysis passes
+//!   (unsafe-audit, contract, panic-freedom, atomics) over the workspace
+//!   against `POLICY.toml`.  Exit 1 on any finding.
+//! * `verify [--json] [--quick]` — `lint`, then the pool-protocol model
+//!   checker (`cargo run --release -p sellkit-verify`).  The complete
+//!   offline correctness gate.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
+use xtask::diag::{render_table, to_json};
+use xtask::passes;
+use xtask::workspace_root;
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => lint(),
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
-            ExitCode::from(2)
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut json = false;
+    let mut quick = false;
+    let mut pass_filter: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--pass" => match args.next() {
+                Some(p) => pass_filter = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
         }
+    }
+    match cmd.as_str() {
+        "lint" => lint(json, pass_filter.as_deref()),
+        "verify" => {
+            let lint_status = lint(json, pass_filter.as_deref());
+            let model_status = model_checker(quick);
+            if lint_status != ExitCode::SUCCESS || model_status != ExitCode::SUCCESS {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
     }
 }
 
-fn lint() -> ExitCode {
+fn lint(json: bool, pass_filter: Option<&str>) -> ExitCode {
     let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rust_sources(&root, &mut files);
-    files.sort();
-
-    let mut findings = Vec::new();
-    let mut audited_sites = 0usize;
-    for path in &files {
-        let rel = path.strip_prefix(&root).unwrap_or(path);
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("warning: could not read {}: {e}", rel.display());
-                continue;
+    let policy = match sellkit_verify::policy::load(&root) {
+        Ok(p) => p,
+        Err(msg) => {
+            let f = vec![xtask::diag::Finding::new("POLICY.toml", 1, "policy", msg)];
+            if json {
+                println!("{}", to_json(&f));
+            } else {
+                print!("{}", render_table(&mut f.clone()));
             }
-        };
-        let rel = rel.to_string_lossy().replace('\\', "/");
-        let file_findings = scan_source(&rel, &source);
-        audited_sites += count_unsafe_sites(&source);
-        findings.extend(file_findings);
+            return ExitCode::FAILURE;
+        }
+    };
+    let tree = match passes::load_tree(&root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: cannot read workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut findings = passes::run_all(&tree, &policy);
+    if let Some(p) = pass_filter {
+        findings.retain(|f| f.pass == p);
     }
-
-    if findings.is_empty() {
+    if json {
+        println!("{}", to_json(&findings));
+    } else if findings.is_empty() {
         println!(
-            "unsafe audit: {} unsafe sites across {} files, all inside the allowlist \
-             and documented",
-            audited_sites,
-            files.len()
+            "xtask lint: {} files, 0 findings (unsafe-audit, contract, panic-freedom, atomics)",
+            tree.len()
         );
+    } else {
+        print!("{}", render_table(&mut findings));
+        println!("xtask lint: {} finding(s)", findings.len());
+    }
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!("unsafe audit: {} violation(s)", findings.len());
         ExitCode::FAILURE
     }
 }
 
-fn workspace_root() -> PathBuf {
-    // xtask lives directly under the workspace root.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .expect("xtask has a parent dir")
-        .to_path_buf()
-}
-
-fn collect_rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rust_sources(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
+fn model_checker(quick: bool) -> ExitCode {
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.current_dir(workspace_root())
+        .args(["run", "--release", "-p", "sellkit-verify", "--"]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    match cmd.status() {
+        Ok(st) if st.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask: failed to launch the model checker: {e}");
+            ExitCode::FAILURE
         }
     }
 }
 
-// ---------------------------------------------------------------------------
-// Policy
-// ---------------------------------------------------------------------------
-
-/// Paths (workspace-relative, `/`-separated) where `unsafe` is permitted.
-fn allows_unsafe(rel_path: &str) -> bool {
-    rel_path.contains("/kernels/")
-        || rel_path.ends_with("aligned.rs")
-        || rel_path.ends_with("crates/core/src/pool.rs")
-        || rel_path.ends_with("crates/core/src/exec.rs")
-        || rel_path.ends_with("crates/core/src/plan.rs")
-        || rel_path.starts_with("crates/mpisim/")
-        // The zero-allocation acceptance test installs a counting global
-        // allocator, which is an inherently `unsafe impl GlobalAlloc`.
-        || rel_path == "tests/alloc_free.rs"
-}
-
-/// One policy violation, formatted `path:line: message` like rustc.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Finding {
-    path: String,
-    line: usize,
-    message: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.path, self.line, self.message)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source scanner
-// ---------------------------------------------------------------------------
-
-/// Per-line split of a source file into code and comment text.  String and
-/// char literal *contents* are dropped from both streams, so tokens inside
-/// them can never be misread as code.
-struct Stripped {
-    code: Vec<String>,
-    comment: Vec<String>,
-}
-
-fn strip(source: &str) -> Stripped {
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str { raw_hashes: Option<u32> },
-        CharLit,
-    }
-    let mut code = vec![String::new()];
-    let mut comment = vec![String::new()];
-    let mut state = State::Code;
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            code.push(String::new());
-            comment.push(String::new());
-            if matches!(state, State::LineComment) {
-                state = State::Code;
-            }
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = State::LineComment;
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    i += 2;
-                } else if c == '"' {
-                    code.last_mut().expect("nonempty").push('"');
-                    state = State::Str { raw_hashes: None };
-                    i += 1;
-                } else if c == 'r' || c == 'b' {
-                    // Possible raw/byte string: r", r#", br", b"…
-                    let mut j = i + 1;
-                    if c == 'b' && chars.get(j) == Some(&'r') {
-                        j += 1;
-                    }
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    let is_raw = j > i + 1 || c == 'r';
-                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
-                        code.last_mut().expect("nonempty").push('"');
-                        state = State::Str {
-                            raw_hashes: is_raw.then_some(hashes),
-                        };
-                        i = j + 1;
-                    } else {
-                        code.last_mut().expect("nonempty").push(c);
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    // Char literal vs. lifetime: a literal is '\…' or 'x'
-                    // followed by a closing quote.
-                    if next == Some('\\') || chars.get(i + 2) == Some(&'\'') {
-                        code.last_mut().expect("nonempty").push('\'');
-                        state = State::CharLit;
-                    } else {
-                        code.last_mut().expect("nonempty").push('\'');
-                    }
-                    i += 1;
-                } else {
-                    code.last_mut().expect("nonempty").push(c);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                comment.last_mut().expect("nonempty").push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else {
-                    comment.last_mut().expect("nonempty").push(c);
-                    i += 1;
-                }
-            }
-            State::Str { raw_hashes } => match raw_hashes {
-                None => {
-                    if c == '\\' {
-                        i += 2; // skip the escaped character
-                    } else if c == '"' {
-                        code.last_mut().expect("nonempty").push('"');
-                        state = State::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                Some(h) => {
-                    if c == '"' && (0..h as usize).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
-                        code.last_mut().expect("nonempty").push('"');
-                        state = State::Code;
-                        i += 1 + h as usize;
-                    } else {
-                        i += 1;
-                    }
-                }
-            },
-            State::CharLit => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '\'' {
-                    code.last_mut().expect("nonempty").push('\'');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-        }
-    }
-    Stripped { code, comment }
-}
-
-/// What an `unsafe` token introduces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum UnsafeSite {
-    Block,
-    Fn,
-    Impl,
-    Trait,
-    Extern,
-}
-
-/// Finds every `unsafe` token in the stripped code, with its 0-based line.
-fn find_unsafe_tokens(stripped: &Stripped) -> Vec<(usize, UnsafeSite)> {
-    let mut out = Vec::new();
-    for (lineno, line) in stripped.code.iter().enumerate() {
-        let bytes = line.as_bytes();
-        let mut from = 0usize;
-        while let Some(pos) = line[from..].find("unsafe") {
-            let start = from + pos;
-            let end = start + "unsafe".len();
-            from = end;
-            let before_ok = start == 0
-                || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
-            let after_ok =
-                end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-            if !before_ok || !after_ok {
-                continue;
-            }
-            // Classify by the next code token, which may sit on a later line.
-            let mut rest: String = line[end..].to_string();
-            let mut extra = lineno + 1;
-            while rest.trim().is_empty() && extra < stripped.code.len() {
-                rest = stripped.code[extra].clone();
-                extra += 1;
-            }
-            let rest = rest.trim_start();
-            let site = if rest.starts_with("fn") {
-                UnsafeSite::Fn
-            } else if rest.starts_with("impl") {
-                UnsafeSite::Impl
-            } else if rest.starts_with("trait") {
-                UnsafeSite::Trait
-            } else if rest.starts_with("extern") {
-                UnsafeSite::Extern
-            } else {
-                UnsafeSite::Block
-            };
-            out.push((lineno, site));
-        }
-    }
-    out
-}
-
-/// Whether a `SAFETY:` comment immediately precedes `line` (0-based),
-/// looking through blank lines, attributes, and other comment lines.
-fn has_safety_comment(stripped: &Stripped, line: usize) -> bool {
-    if stripped.comment[line].contains("SAFETY:") {
-        return true; // e.g. `/* SAFETY: … */ unsafe { … }`
-    }
-    let mut i = line;
-    while i > 0 {
-        i -= 1;
-        if stripped.comment[i].contains("SAFETY:") {
-            return true;
-        }
-        let code = stripped.code[i].trim();
-        let is_comment_or_blank = !stripped.comment[i].trim().is_empty() || code.is_empty();
-        let is_attr = code.starts_with("#[") || code.starts_with("#![");
-        if !is_comment_or_blank && !is_attr {
-            return false;
-        }
-    }
-    false
-}
-
-/// Whether the doc/comment block above an `unsafe fn` documents its
-/// contract: a `# Safety` doc heading or a `SAFETY:` comment.
-fn has_safety_doc(stripped: &Stripped, line: usize) -> bool {
-    let mut i = line;
-    while i > 0 {
-        i -= 1;
-        let comment = &stripped.comment[i];
-        if comment.contains("# Safety") || comment.contains("SAFETY:") {
-            return true;
-        }
-        let code = stripped.code[i].trim();
-        let is_comment_or_blank = !comment.trim().is_empty() || code.is_empty();
-        let is_attr = code.starts_with("#[") || code.starts_with("#![");
-        if !is_comment_or_blank && !is_attr {
-            return false;
-        }
-    }
-    false
-}
-
-/// Runs the full policy over one file's source, returning its violations.
-fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let stripped = strip(source);
-    let sites = find_unsafe_tokens(&stripped);
-    let allowed = allows_unsafe(rel_path);
-    let mut out = Vec::new();
-    for (lineno, site) in sites {
-        let line = lineno + 1; // 1-based for humans
-        if !allowed {
-            out.push(Finding {
-                path: rel_path.to_string(),
-                line,
-                message: format!(
-                    "unsafe {} outside the allowlist (kernels/, aligned.rs, core/src/{{pool,exec,plan}}.rs, crates/mpisim/, tests/alloc_free.rs)",
-                    site_name(site)
-                ),
-            });
-            continue;
-        }
-        let documented = match site {
-            UnsafeSite::Fn => has_safety_doc(&stripped, lineno),
-            _ => has_safety_comment(&stripped, lineno),
-        };
-        if !documented {
-            let want = match site {
-                UnsafeSite::Fn => "a `# Safety` doc section",
-                _ => "a preceding `// SAFETY:` comment",
-            };
-            out.push(Finding {
-                path: rel_path.to_string(),
-                line,
-                message: format!("unsafe {} without {want}", site_name(site)),
-            });
-        }
-    }
-    out
-}
-
-fn site_name(site: UnsafeSite) -> &'static str {
-    match site {
-        UnsafeSite::Block => "block",
-        UnsafeSite::Fn => "fn",
-        UnsafeSite::Impl => "impl",
-        UnsafeSite::Trait => "trait",
-        UnsafeSite::Extern => "extern block",
-    }
-}
-
-/// Counts unsafe tokens for the summary line (comments/strings excluded).
-fn count_unsafe_sites(source: &str) -> usize {
-    find_unsafe_tokens(&strip(source)).len()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const KERNEL_PATH: &str = "crates/core/src/kernels/fake.rs";
-
-    #[test]
-    fn commented_block_passes() {
-        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
-        assert_eq!(scan_source(KERNEL_PATH, src), Vec::new());
-    }
-
-    #[test]
-    fn seeded_violation_fails() {
-        // The acceptance-criteria fixture: an unsafe block with no SAFETY
-        // comment must be reported even inside the allowlist.
-        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
-        let findings = scan_source(KERNEL_PATH, src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].line, 2);
-        assert!(
-            findings[0].message.contains("without a preceding"),
-            "{}",
-            findings[0].message
-        );
-    }
-
-    #[test]
-    fn unsafe_outside_allowlist_fails_even_with_comment() {
-        let src = "// SAFETY: fully justified.\nunsafe fn f() {}\n";
-        let findings = scan_source("crates/core/src/sell.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("outside the allowlist"));
-    }
-
-    #[test]
-    fn allowlist_covers_kernels_aligned_and_mpisim() {
-        assert!(allows_unsafe("crates/core/src/kernels/sell_avx512.rs"));
-        assert!(allows_unsafe("crates/core/src/aligned.rs"));
-        assert!(allows_unsafe("crates/mpisim/src/lib.rs"));
-        assert!(allows_unsafe("crates/core/src/pool.rs"));
-        assert!(allows_unsafe("crates/core/src/exec.rs"));
-        assert!(allows_unsafe("crates/core/src/plan.rs"));
-        assert!(allows_unsafe("tests/alloc_free.rs"));
-        assert!(!allows_unsafe("crates/core/src/sell.rs"));
-        assert!(!allows_unsafe("src/lib.rs"));
-        assert!(!allows_unsafe("tests/props.rs"));
-        assert!(!allows_unsafe("crates/core/src/traits.rs"));
-    }
-
-    #[test]
-    fn unsafe_fn_needs_safety_doc() {
-        let with_doc = "/// Does things.\n///\n/// # Safety\n/// p must be valid.\n#[inline]\npub unsafe fn f(p: *const u8) {}\n";
-        assert_eq!(scan_source(KERNEL_PATH, with_doc), Vec::new());
-        let without = "/// Does things.\npub unsafe fn f(p: *const u8) {}\n";
-        let findings = scan_source(KERNEL_PATH, without);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("# Safety"));
-    }
-
-    #[test]
-    fn unsafe_impl_needs_comment() {
-        let ok = "// SAFETY: T: Send suffices.\nunsafe impl<T: Send> Send for W<T> {}\n";
-        assert_eq!(scan_source(KERNEL_PATH, ok), Vec::new());
-        let bad = "unsafe impl<T: Send> Send for W<T> {}\n";
-        assert_eq!(scan_source(KERNEL_PATH, bad).len(), 1);
-    }
-
-    #[test]
-    fn strings_comments_and_identifiers_are_ignored() {
-        let src = "#![forbid(unsafe_code)]\nfn f() {\n    let s = \"unsafe { }\";\n    // unsafe in a comment\n    let r = r#\"unsafe\"#;\n    let c = '{';\n    let _ = (s, r, c);\n}\n";
-        assert_eq!(scan_source("crates/core/src/sell.rs", src), Vec::new());
-    }
-
-    #[test]
-    fn safety_comment_looks_through_attributes_and_blanks() {
-        let src = "fn g() {\n    // SAFETY: lanes masked beyond n.\n\n    #[allow(clippy::identity_op)]\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        assert_eq!(scan_source(KERNEL_PATH, src), Vec::new());
-    }
-
-    #[test]
-    fn unsafe_keyword_split_from_brace_is_still_a_block() {
-        let src = "fn f(p: *const u8) -> u8 {\n    unsafe\n    { *p }\n}\n";
-        let findings = scan_source(KERNEL_PATH, src);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("block"));
-    }
-
-    #[test]
-    fn block_comment_safety_counts() {
-        let src = "fn f(p: *const u8) -> u8 {\n    /* SAFETY: p valid per caller contract */\n    unsafe { *p }\n}\n";
-        assert_eq!(scan_source(KERNEL_PATH, src), Vec::new());
-    }
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\
+         \n\
+         commands:\n\
+         \x20 lint   [--json] [--pass NAME]  static passes over the workspace\n\
+         \x20 verify [--json] [--quick]      lint + pool-protocol model checker"
+    );
+    ExitCode::from(2)
 }
