@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sellkit_core::{Isa, MatShape, Sell8, SellEsb, SpMv};
+use sellkit_core::{Apply, ExecCtx, Isa, MatShape, Operator, Sell8, SellEsb};
 use sellkit_workloads::generators;
 
 fn bench_bitarray(c: &mut Criterion) {
@@ -26,7 +26,9 @@ fn bench_bitarray(c: &mut Criterion) {
         g.sample_size(20);
         g.warm_up_time(Duration::from_millis(200));
         g.measurement_time(Duration::from_millis(1000));
-        g.bench_function("SELL (no bit array)", |b| b.iter(|| sell.spmv(&x, &mut y)));
+        g.bench_function("SELL (no bit array)", |b| {
+            b.iter(|| sell.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+        });
         g.bench_function("SELL+bitarray (ESB-style)", |b| {
             b.iter(|| esb.spmv_isa(isa, &x, &mut y))
         });

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sellkit_core::{MatShape, Sell8, SpMv};
+use sellkit_core::{Apply, ExecCtx, MatShape, Operator, Sell8};
 use sellkit_workloads::generators;
 
 fn bench_sigma(c: &mut Criterion) {
@@ -29,18 +29,28 @@ fn bench_sigma(c: &mut Criterion) {
         g.measurement_time(Duration::from_millis(1000));
         g.bench_function(
             format!("no sorting (padding {:.1}%)", plain.padding_ratio() * 100.0),
-            |b| b.iter(|| plain.spmv(&x, &mut y)),
+            |b| {
+                b.iter(|| plain.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+            },
         );
         g.bench_function(
             format!("sigma=32 (padding {:.1}%)", sigma32.padding_ratio() * 100.0),
-            |b| b.iter(|| sigma32.spmv(&x, &mut y)),
+            |b| {
+                b.iter(|| {
+                    sigma32.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set)
+                })
+            },
         );
         g.bench_function(
             format!(
                 "sigma=global (padding {:.1}%)",
                 sigma_global.padding_ratio() * 100.0
             ),
-            |b| b.iter(|| sigma_global.spmv(&x, &mut y)),
+            |b| {
+                b.iter(|| {
+                    sigma_global.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set)
+                })
+            },
         );
         g.finish();
     }

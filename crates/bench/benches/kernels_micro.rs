@@ -8,7 +8,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sellkit_core::{Baij, ExecCtx, Isa, MatShape, Sell, SpMv};
+use sellkit_core::{Apply, Baij, ExecCtx, Isa, MatShape, Operator, Sell};
 use sellkit_solvers::ts::OdeProblem;
 use sellkit_workloads::generators::banded;
 use sellkit_workloads::{GrayScott, GrayScottParams};
@@ -27,11 +27,17 @@ fn bench_slice_heights(c: &mut Criterion) {
     let s8 = Sell::<8>::from_csr(&a);
     let s16 = Sell::<16>::from_csr(&a);
     g.bench_function("C=1 (scalar, = CSR storage)", |b| {
-        b.iter(|| s1.spmv(&x, &mut y))
+        b.iter(|| s1.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
     });
-    g.bench_function("C=4 (scalar)", |b| b.iter(|| s4.spmv(&x, &mut y)));
-    g.bench_function("C=8 (vectorized)", |b| b.iter(|| s8.spmv(&x, &mut y)));
-    g.bench_function("C=16 (scalar)", |b| b.iter(|| s16.spmv(&x, &mut y)));
+    g.bench_function("C=4 (scalar)", |b| {
+        b.iter(|| s4.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
+    g.bench_function("C=8 (vectorized)", |b| {
+        b.iter(|| s8.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
+    g.bench_function("C=16 (scalar)", |b| {
+        b.iter(|| s16.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
     g.finish();
 }
 
@@ -56,7 +62,9 @@ fn bench_csr_remainder(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("rowlen{rowlen}"), isa),
                 &band,
-                |b, _| b.iter(|| m.spmv(&x, &mut y)),
+                |b, _| {
+                    b.iter(|| m.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+                },
             );
         }
     }
@@ -75,8 +83,12 @@ fn bench_baij(c: &mut Criterion) {
     g.sample_size(15);
     g.warm_up_time(Duration::from_millis(200));
     g.measurement_time(Duration::from_millis(800));
-    g.bench_function("CSR", |b| b.iter(|| a.spmv(&x, &mut y)));
-    g.bench_function("BAIJ bs=2", |b| b.iter(|| baij.spmv(&x, &mut y)));
+    g.bench_function("CSR", |b| {
+        b.iter(|| a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
+    g.bench_function("BAIJ bs=2", |b| {
+        b.iter(|| baij.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
     g.finish();
 }
 
@@ -95,7 +107,9 @@ fn bench_tuned_kernel(c: &mut Criterion) {
     g.sample_size(15);
     g.warm_up_time(Duration::from_millis(200));
     g.measurement_time(Duration::from_millis(800));
-    g.bench_function("plain AVX-512", |b| b.iter(|| sell.spmv(&x, &mut y)));
+    g.bench_function("plain AVX-512", |b| {
+        b.iter(|| sell.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
+    });
     g.bench_function("unroll+prefetch", |b| {
         b.iter(|| sell.spmv_tuned(&x, &mut y))
     });
@@ -122,7 +136,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let ctx = ExecCtx::new(threads);
         g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
-            b.iter(|| sell.spmv_ctx(&ctx, &x, &mut y))
+            b.iter(|| sell.apply(&ctx, (&x).into(), (&mut y).into(), Apply::Set))
         });
     }
     g.finish();
@@ -151,7 +165,7 @@ fn bench_spmm(c: &mut Criterion) {
             for v in 0..k {
                 let xv = &x[v * a.ncols()..(v + 1) * a.ncols()];
                 let yv = &mut y[v * a.nrows()..(v + 1) * a.nrows()];
-                sell.spmv(xv, yv);
+                sell.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set);
             }
         })
     });

@@ -17,7 +17,7 @@ use sellkit_solvers::snes::NewtonConfig;
 use sellkit_solvers::ts::{ThetaConfig, ThetaStepper};
 use sellkit_workloads::{GrayScott, GrayScottParams};
 
-fn one_cn_step<M: sellkit_core::SpMv + sellkit_core::FromCsr>(
+fn one_cn_step<M: sellkit_core::Operator + sellkit_core::FromCsr>(
     gs: &GrayScott,
     u0: &[f64],
     ctx: &sellkit_core::ExecCtx,

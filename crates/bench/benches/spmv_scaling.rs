@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sellkit_core::{Isa, MatShape, Sell8, SpMv};
+use sellkit_core::{Apply, ExecCtx, Isa, MatShape, Operator, Sell8};
 use sellkit_solvers::ts::OdeProblem;
 use sellkit_workloads::{GrayScott, GrayScottParams};
 
@@ -23,10 +23,10 @@ fn bench_scaling(c: &mut Criterion) {
         let mut y = vec![0.0; a.nrows()];
         g.throughput(Throughput::Elements(a.nnz() as u64));
         g.bench_with_input(BenchmarkId::new("SELL-best", grid), &grid, |b, _| {
-            b.iter(|| sell.spmv(&x, &mut y))
+            b.iter(|| sell.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
         });
         g.bench_with_input(BenchmarkId::new("CSR-baseline", grid), &grid, |b, _| {
-            b.iter(|| base.spmv(&x, &mut y))
+            b.iter(|| base.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set))
         });
     }
     g.finish();

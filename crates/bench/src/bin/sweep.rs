@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use sellkit_bench::measure::{gflops, time_spmv};
 use sellkit_bench::table::render;
-use sellkit_core::{Csr, ExecCtx, MatShape, Sell, SellSigma8, SpMv};
+use sellkit_core::{Apply, Csr, ExecCtx, MatShape, Operator, Sell, SellSigma8};
 use sellkit_obs::Json;
 use sellkit_workloads::generators;
 use sellkit_workloads::{GrayScott, GrayScottParams};
@@ -41,7 +41,12 @@ fn main() {
         macro_rules! cell {
             ($c:literal) => {{
                 let s = Sell::<$c>::from_csr(a);
-                let t = time_spmv(&|xv, yv| s.spmv(xv, yv), &x, &mut y, 7);
+                let t = time_spmv(
+                    &|xv, yv| s.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+                    &x,
+                    &mut y,
+                    7,
+                );
                 cells.push(format!(
                     "{:.1}% / {:.2}",
                     s.padding_ratio() * 100.0,
@@ -56,7 +61,12 @@ fn main() {
 
         // σ-sorted SELL-8 for the irregular side of the trade-off.
         let sorted = Sell::<8>::from_csr_sigma(a, a.nrows().div_ceil(8) * 8);
-        let t = time_spmv(&|xv, yv| sorted.spmv(xv, yv), &x, &mut y, 7);
+        let t = time_spmv(
+            &|xv, yv| sorted.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+            &x,
+            &mut y,
+            7,
+        );
         cells.push(format!(
             "{:.1}% / {:.2}",
             sorted.padding_ratio() * 100.0,
@@ -180,19 +190,44 @@ fn format_sweep() -> Vec<FormatPoint> {
             roof_pct: 100.0 * gbs / bw,
         });
     };
-    let t = time_spmv(&|xv, yv| a.spmv(xv, yv), &x, &mut y, 7);
+    let t = time_spmv(
+        &|xv, yv| a.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
     push("csr", t, sellkit_core::traffic::csr_traffic(m, n, nnz));
     let s4 = Sell::<4>::from_csr(&a);
-    let t = time_spmv(&|xv, yv| s4.spmv(xv, yv), &x, &mut y, 7);
+    let t = time_spmv(
+        &|xv, yv| s4.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
     push("sell4", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
     let s8 = Sell::<8>::from_csr(&a);
-    let t = time_spmv(&|xv, yv| s8.spmv(xv, yv), &x, &mut y, 7);
+    let t = time_spmv(
+        &|xv, yv| s8.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
     push("sell8", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
     let s16 = Sell::<16>::from_csr(&a);
-    let t = time_spmv(&|xv, yv| s16.spmv(xv, yv), &x, &mut y, 7);
+    let t = time_spmv(
+        &|xv, yv| s16.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
     push("sell16", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
     let ss8 = SellSigma8::from_csr_sigma(&a, 32);
-    let t = time_spmv(&|xv, yv| ss8.spmv(xv, yv), &x, &mut y, 7);
+    let t = time_spmv(
+        &|xv, yv| ss8.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
     push("sell8_sigma32", t, ss8.spmv_traffic());
 
     println!("format sweep: 256^2 Gray-Scott Jacobian, sequential\n");
@@ -239,10 +274,15 @@ fn thread_sweep() -> Vec<ScalingPoint> {
         // thread spawn or plan construction.
         let ctx = ExecCtx::new(threads);
         for _ in 0..3 {
-            s.spmv_ctx(&ctx, &x, &mut y);
+            s.apply(&ctx, (&x).into(), (&mut y).into(), Apply::Set);
         }
         let dispatch_ns = dispatch_overhead_ns(&ctx);
-        let t = time_spmv(&|xv, yv| s.spmv_ctx(&ctx, xv, yv), &x, &mut y, 7);
+        let t = time_spmv(
+            &|xv, yv| s.apply(&ctx, (xv).into(), (yv).into(), Apply::Set),
+            &x,
+            &mut y,
+            7,
+        );
         if threads == 1 {
             t1 = t;
         }

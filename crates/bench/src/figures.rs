@@ -6,7 +6,7 @@
 //! on this host, real mpisim ranks).
 
 use sellkit_core::traffic::{csr_traffic, sell_traffic};
-use sellkit_core::{Isa, MatShape, Sell8, SpMv};
+use sellkit_core::{Apply, ExecCtx, Isa, MatShape, Operator, Sell8};
 use sellkit_dist::{DistMat, DistVec};
 use sellkit_machine::specs::{self, ProcessorSpec};
 use sellkit_machine::stream_model::knl_stream_curve;
@@ -139,7 +139,12 @@ pub fn fig7(measure: bool) -> String {
             let a = gs.rhs_jacobian(0.0, &w);
             let x = vec![1.0; a.ncols()];
             let mut y = vec![0.0; a.nrows()];
-            let t = time_spmv(&|x, y| a.spmv(x, y), &x, &mut y, 5);
+            let t = time_spmv(
+                &|x, y| a.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set),
+                &x,
+                &mut y,
+                5,
+            );
             out.push_str(&format!(
                 "  {g}x{g} grid: {:.2} Gflop/s\n",
                 gflops(a.nnz(), t)

@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use sellkit_core::{Csr, CsrPerm, Isa, MatShape, Sell8, SpMv};
+use sellkit_core::{Apply, Csr, CsrPerm, ExecCtx, Isa, MatShape, Operator, Sell8};
 
 /// A named, runnable SpMV closure.
 pub struct Variant {
@@ -61,7 +61,9 @@ pub fn build_variants(a: &Csr) -> Vec<Variant> {
         let sell = Sell8::from_csr(a).with_isa(isa);
         out.push(Variant {
             label: format!("SELL using {isa}"),
-            run: Box::new(move |x, y| sell.spmv(x, y)),
+            run: Box::new(move |x, y| {
+                sell.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+            }),
         });
     }
     for &isa in tiers.iter().rev() {
@@ -71,18 +73,24 @@ pub fn build_variants(a: &Csr) -> Vec<Variant> {
         let csr = a.clone().with_isa(isa);
         out.push(Variant {
             label: format!("CSR using {isa}"),
-            run: Box::new(move |x, y| csr.spmv(x, y)),
+            run: Box::new(move |x, y| {
+                csr.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+            }),
         });
     }
     let perm = CsrPerm::from_csr(a);
     out.push(Variant {
         label: "CSRPerm".into(),
-        run: Box::new(move |x, y| perm.spmv(x, y)),
+        run: Box::new(move |x, y| {
+            perm.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+        }),
     });
     let base = a.clone().with_isa(Isa::Scalar);
     out.push(Variant {
         label: "CSR baseline".into(),
-        run: Box::new(move |x, y| base.spmv(x, y)),
+        run: Box::new(move |x, y| {
+            base.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+        }),
     });
     let mkl = MklLikeCsr::new(a);
     out.push(Variant {
@@ -92,7 +100,9 @@ pub fn build_variants(a: &Csr) -> Vec<Variant> {
     let sell_novec = Sell8::from_csr(a).with_isa(Isa::Scalar);
     out.push(Variant {
         label: "SELL using novec".into(),
-        run: Box::new(move |x, y| sell_novec.spmv(x, y)),
+        run: Box::new(move |x, y| {
+            sell_novec.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+        }),
     });
     out
 }
@@ -110,17 +120,21 @@ pub fn build_extended_variants(a: &Csr) -> Vec<Variant> {
     let s4 = Sell::<4>::from_csr(a);
     out.push(Variant {
         label: "SELL C=4".into(),
-        run: Box::new(move |x, y| s4.spmv(x, y)),
+        run: Box::new(move |x, y| s4.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)),
     });
     let s16 = Sell::<16>::from_csr(a);
     out.push(Variant {
         label: "SELL C=16".into(),
-        run: Box::new(move |x, y| s16.spmv(x, y)),
+        run: Box::new(move |x, y| {
+            s16.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+        }),
     });
     let sigma = Sell8::from_csr_sigma(a, a.nrows().div_ceil(8) * 8);
     out.push(Variant {
         label: "SELL sigma=global".into(),
-        run: Box::new(move |x, y| sigma.spmv(x, y)),
+        run: Box::new(move |x, y| {
+            sigma.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set)
+        }),
     });
     out
 }
@@ -158,7 +172,12 @@ mod tests {
         let n = a.ncols();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
         let mut want = vec![0.0; a.nrows()];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         for v in build_variants(&a) {
             let mut got = vec![0.0; a.nrows()];
             (v.run)(&x, &mut got);
@@ -186,7 +205,12 @@ mod tests {
         let n = a.ncols();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
         let mut want = vec![0.0; a.nrows()];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         for v in build_extended_variants(&a) {
             let mut got = vec![0.0; a.nrows()];
             (v.run)(&x, &mut got);
@@ -213,7 +237,12 @@ mod tests {
         let x = vec![0.5; a.ncols()];
         let mut y1 = vec![0.0; a.nrows()];
         let mut y2 = vec![0.0; a.nrows()];
-        a.spmv(&x, &mut y1);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
         MklLikeCsr::new(&a).spmv(&x, &mut y2);
         assert_eq!(y1, y2);
     }

@@ -10,8 +10,9 @@
 use crate::aligned::AVec;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
+use crate::multivec::{VecView, VecViewMut};
 use crate::plan::{PlanCache, SpmvPlan};
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// A block-CSR matrix with runtime block size `bs`.
 #[derive(Clone, Debug)]
@@ -154,15 +155,17 @@ impl MatShape for Baij {
     }
 }
 
-impl SpMv for Baij {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
-    }
-
-    /// Fused `y += A·x`: block accumulators land in `y` with `+=` instead
-    /// of overwrite — no scratch vector at any thread count.
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
+impl Operator for Baij {
+    /// Fused accumulate: block accumulators land in `y` with `+=` instead
+    /// of overwrite — no scratch vector at any thread count.  Blocked
+    /// operands (`k > 1`) run column by column; BAIJ has no native SpMM
+    /// kernel.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows(), self.ncols(), &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |ctx, xc, yc, m| match m {
+            Apply::Set => self.spmv_parts::<false>(ctx, xc, yc),
+            Apply::Add => self.spmv_parts::<true>(ctx, xc, yc),
+        });
     }
 }
 
@@ -293,21 +296,36 @@ mod tests {
         let a = block_matrix();
         let x = vec![1.0, -1.0, 2.0, 0.5];
         let mut want = vec![0.0; 4];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
 
         let b2 = Baij::from_csr(&a, 2);
         let mut y = vec![0.0; 4];
-        b2.spmv(&x, &mut y);
+        b2.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         assert_eq!(y, want);
 
         let b4 = Baij::from_csr(&a, 4);
         let mut y4 = vec![0.0; 4];
-        b4.spmv(&x, &mut y4);
+        b4.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y4).into(),
+            Apply::Set,
+        );
         assert_eq!(y4, want);
 
         let b1 = Baij::from_csr(&a, 1);
         let mut y1 = vec![0.0; 4];
-        b1.spmv(&x, &mut y1);
+        b1.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
         assert_eq!(y1, want);
     }
 

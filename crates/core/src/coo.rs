@@ -121,7 +121,8 @@ impl CooBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{MatShape, SpMv};
+    use crate::exec::ExecCtx;
+    use crate::traits::{Apply, MatShape, Operator};
 
     #[test]
     fn empty_matrix_assembles() {
@@ -131,7 +132,12 @@ mod tests {
         assert_eq!(a.ncols(), 5);
         assert_eq!(a.nnz(), 0);
         let mut y = vec![1.0; 3];
-        a.spmv(&[0.0; 5], &mut y);
+        a.apply(
+            &ExecCtx::serial(),
+            (&[0.0; 5]).into(),
+            (&mut y).into(),
+            Apply::Set,
+        );
         assert_eq!(y, vec![0.0; 3]);
     }
 
@@ -246,9 +252,24 @@ mod tests {
                 let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
                 let mut y = vec![0.0; n];
                 match c {
-                    4 => Sell::<4>::from_csr(&a).spmv(&x, &mut y),
-                    8 => Sell::<8>::from_csr(&a).spmv(&x, &mut y),
-                    _ => Sell::<16>::from_csr(&a).spmv(&x, &mut y),
+                    4 => Sell::<4>::from_csr(&a).apply(
+                        &ExecCtx::serial(),
+                        (&x).into(),
+                        (&mut y).into(),
+                        Apply::Set,
+                    ),
+                    8 => Sell::<8>::from_csr(&a).apply(
+                        &ExecCtx::serial(),
+                        (&x).into(),
+                        (&mut y).into(),
+                        Apply::Set,
+                    ),
+                    _ => Sell::<16>::from_csr(&a).apply(
+                        &ExecCtx::serial(),
+                        (&x).into(),
+                        (&mut y).into(),
+                        Apply::Set,
+                    ),
                 }
                 for i in 0..n {
                     let want = 7.0 * x[i] + if i >= c { 0.75 * x[0] } else { 0.0 };

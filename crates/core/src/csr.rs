@@ -10,8 +10,9 @@ use crate::aligned::AVec;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
 use crate::kernels;
+use crate::multivec::{VecView, VecViewMut};
 use crate::plan::{PlanCache, SpmvPlan};
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// A CSR matrix with 64-byte-aligned value and index arrays.
 #[derive(Clone, Debug)]
@@ -96,7 +97,7 @@ impl Csr {
         d
     }
 
-    /// Overrides the ISA used by [`SpMv::spmv`] (panics if unavailable on
+    /// Overrides the ISA used by [`Operator::apply`] (panics if unavailable on
     /// this CPU).  Benches use this to compare tiers on one machine.
     pub fn with_isa(mut self, isa: Isa) -> Self {
         assert!(isa.available(), "ISA {isa} not available on this CPU");
@@ -217,6 +218,15 @@ impl Csr {
         kernels::dispatch::csr_spmv(isa, &self.rowptr, &self.colidx, &self.val, x, y);
     }
 
+    /// SpMM (`Y = A·X` over a `k`-wide row-interleaved block) with an
+    /// explicit ISA — the blocked sibling of [`Csr::spmv_isa`], used by
+    /// the differential fuzzer to force each tier in turn.
+    pub fn spmm_isa(&self, isa: Isa, x: &[f64], y: &mut [f64], k: usize) {
+        assert_eq!(x.len(), self.ncols * k, "x must hold k interleaved vectors");
+        assert_eq!(y.len(), self.nrows * k, "y must hold k interleaved vectors");
+        kernels::dispatch::csr_spmm::<false>(isa, &self.rowptr, &self.colidx, &self.val, x, y, k);
+    }
+
     /// Shared body of `spmv_ctx`/`spmv_add_ctx`: serial whole-matrix
     /// dispatch, or an nnz-balanced row partition (one window job per
     /// worker) on the context's pool.
@@ -248,6 +258,35 @@ impl Csr {
             kernels::dispatch::csr_spmv_rows::<ADD>(isa, rp, colidx, val, x, win);
         });
     }
+
+    /// Blocked sibling of `spmv_parts`: `Y = A·X` (or `+=`) over `k`
+    /// row-interleaved right-hand sides, reusing the same cached
+    /// nnz-balanced row plan — partitions are `k`-independent, so SpMV
+    /// and SpMM share one plan per `(pattern, threads)`.
+    fn spmm_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64], k: usize) {
+        if ctx.is_serial() {
+            kernels::dispatch::csr_spmm::<ADD>(
+                self.isa,
+                &self.rowptr,
+                &self.colidx,
+                &self.val,
+                x,
+                y,
+                k,
+            );
+            return;
+        }
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(&self.rowptr, 1, self.nrows, ctx.threads(), self.isa, epoch)
+        });
+        let isa = plan.isa();
+        let (colidx, val) = (&self.colidx[..], &self.val[..]);
+        let rowptr = &self.rowptr[..];
+        plan.run_on_blocked(ctx, y, k, &|_, part, win| {
+            let rp = &rowptr[part.item0..=part.item1];
+            kernels::dispatch::csr_spmm_rows::<ADD>(isa, rp, colidx, val, x, win, k);
+        });
+    }
 }
 
 impl MatShape for Csr {
@@ -262,14 +301,19 @@ impl MatShape for Csr {
     }
 }
 
-impl SpMv for Csr {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
-    }
-
-    /// Fused `y += A·x` — no scratch vector at any thread count.
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
+impl Operator for Csr {
+    /// Single entry point for SpMV (`k = 1`) and SpMM (`k > 1`); the
+    /// accumulate path is fused — no scratch vector at any thread count.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows, self.ncols, &x, &y);
+        let k = x.k();
+        let (xd, yd) = (x.data(), y.into_data());
+        match (k, mode) {
+            (1, Apply::Set) => self.spmv_parts::<false>(ctx, xd, yd),
+            (1, Apply::Add) => self.spmv_parts::<true>(ctx, xd, yd),
+            (_, Apply::Set) => self.spmm_parts::<false>(ctx, xd, yd, k),
+            (_, Apply::Add) => self.spmm_parts::<true>(ctx, xd, yd, k),
+        }
     }
 }
 
@@ -304,7 +348,7 @@ mod tests {
         let a = laplace1d(17);
         let x: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; 17];
-        a.spmv(&x, &mut y);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         let d = a.to_dense();
         for i in 0..17 {
             let want: f64 = (0..17).map(|j| d[i * 17 + j] * x[j]).sum();
@@ -317,7 +361,7 @@ mod tests {
         let a = laplace1d(5);
         let x = vec![1.0; 5];
         let mut y = vec![10.0; 5];
-        a.spmv_add(&x, &mut y);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Add);
         assert_eq!(y, vec![11.0, 10.0, 10.0, 10.0, 11.0]);
     }
 
@@ -361,7 +405,12 @@ mod tests {
         let mut y1 = vec![0.0; 3];
         a.spmv_transpose(&x, &mut y1);
         let mut y2 = vec![0.0; 3];
-        a.transpose().spmv(&x, &mut y2);
+        a.transpose().apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Set,
+        );
         assert_eq!(y1, y2);
         // Accumulating variant.
         let mut y3 = vec![10.0; 3];

@@ -10,7 +10,8 @@
 //! pattern and letting the compiler do what it can with it.
 
 use crate::csr::Csr;
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::multivec::{VecView, VecViewMut};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// CSR storage plus a row permutation grouping equal-length rows.
 #[derive(Clone, Debug)]
@@ -91,12 +92,12 @@ impl MatShape for CsrPerm {
     }
 }
 
-impl SpMv for CsrPerm {
+impl CsrPerm {
     /// Groups scatter into `y` through the permutation, so AIJPERM is a
-    /// documented serial fallback: it ignores the context and computes on
-    /// the calling thread.  (`spmv_add_ctx` keeps the scratch-vector
-    /// default for the same reason.)
-    fn spmv_ctx(&self, _ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
+    /// documented serial fallback: it computes on the calling thread (the
+    /// accumulate mode stages through a scratch column for the same
+    /// reason).
+    fn spmv_set(&self, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.nrows(), self.ncols(), x, y);
         let rowptr = self.csr.rowptr();
         let colidx = self.csr.colidx();
@@ -121,10 +122,29 @@ impl SpMv for CsrPerm {
     }
 }
 
+impl Operator for CsrPerm {
+    /// Blocked operands (`k > 1`) run column by column; AIJPERM has no
+    /// native SpMM kernel.
+    fn apply(&self, ctx: &crate::ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows(), self.ncols(), &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |_, xc, yc, m| match m {
+            Apply::Set => self.spmv_set(xc, yc),
+            Apply::Add => {
+                let mut tmp = vec![0.0; yc.len()];
+                self.spmv_set(xc, &mut tmp);
+                for (o, t) in yc.iter_mut().zip(&tmp) {
+                    *o += *t;
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::coo::CooBuilder;
+    use crate::exec::ExecCtx;
 
     fn irregular(n: usize) -> Csr {
         let mut b = CooBuilder::new(n, n);
@@ -164,8 +184,18 @@ mod tests {
         let x: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
         let mut y1 = vec![0.0; 64];
         let mut y2 = vec![0.0; 64];
-        a.spmv(&x, &mut y1);
-        p.spmv(&x, &mut y2);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
+        p.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Set,
+        );
         for i in 0..64 {
             assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
         }
@@ -189,7 +219,7 @@ mod tests {
         assert_eq!(p.glen[0], 0, "zero-length group sorts first");
         let x = vec![1.0; 4];
         let mut y = vec![9.0; 4];
-        p.spmv(&x, &mut y);
+        p.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         assert_eq!(y, vec![1.0, 0.0, 5.0, 0.0]);
     }
 }

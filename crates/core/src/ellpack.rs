@@ -11,7 +11,8 @@
 use crate::aligned::AVec;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::multivec::{VecView, VecViewMut};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// Unsliced ELLPACK: one `m × L` dense block, column-major.
 #[derive(Clone, Debug)]
@@ -128,15 +129,16 @@ impl Ellpack {
     }
 }
 
-impl SpMv for Ellpack {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
-    }
-
-    /// Fused `y += A·x`: the same column-major sweep without the zero
-    /// fill — no scratch vector.
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
+impl Operator for Ellpack {
+    /// Fused accumulate: the same column-major sweep without the zero
+    /// fill — no scratch vector.  Blocked operands (`k > 1`) run column
+    /// by column; ELLPACK has no native SpMM kernel.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows, self.ncols, &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |ctx, xc, yc, m| match m {
+            Apply::Set => self.spmv_parts::<false>(ctx, xc, yc),
+            Apply::Add => self.spmv_parts::<true>(ctx, xc, yc),
+        });
     }
 }
 
@@ -213,15 +215,16 @@ impl EllpackR {
     }
 }
 
-impl SpMv for EllpackR {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
-    }
-
-    /// Fused `y += A·x`: each row's bounded sum accumulates straight into
-    /// `y` — no scratch vector.
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
+impl Operator for EllpackR {
+    /// Fused accumulate: each row's bounded sum accumulates straight into
+    /// `y` — no scratch vector.  Blocked operands (`k > 1`) run column by
+    /// column; ELLPACK-R has no native SpMM kernel.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.ell.nrows, self.ell.ncols, &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |ctx, xc, yc, m| match m {
+            Apply::Set => self.spmv_parts::<false>(ctx, xc, yc),
+            Apply::Add => self.spmv_parts::<true>(ctx, xc, yc),
+        });
     }
 }
 
@@ -257,11 +260,26 @@ mod tests {
         let r = EllpackR::from_csr(&a);
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let mut want = vec![0.0; 4];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let mut y1 = vec![0.0; 4];
         let mut y2 = vec![0.0; 4];
-        e.spmv(&x, &mut y1);
-        r.spmv(&x, &mut y2);
+        e.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
+        r.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Set,
+        );
         assert_eq!(y1, want);
         assert_eq!(y2, want);
     }

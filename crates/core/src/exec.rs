@@ -33,18 +33,18 @@ pub const THREADS_ENV: &str = "SELLKIT_THREADS";
 /// lanes (the calling thread plus N−1 persistent workers).
 ///
 /// `ExecCtx::serial()` is free to construct and makes
-/// [`SpMv::spmv_ctx`](crate::SpMv::spmv_ctx) behave exactly like the
+/// [`Operator::apply`](crate::Operator::apply) behave exactly like the
 /// classic serial `spmv`.  `ExecCtx::new(n)` spins up a persistent pool;
 /// build it once per solve (or process) and thread it through the solver
 /// stack — constructing one per product would re-pay thread spawn costs.
 ///
 /// ```
-/// use sellkit_core::{Csr, ExecCtx, SpMv};
+/// use sellkit_core::{Apply, Csr, ExecCtx, Operator};
 ///
 /// let a = Csr::from_dense(2, 2, &[2.0, 0.0, 0.0, 3.0]);
 /// let ctx = ExecCtx::new(2);
 /// let mut y = vec![0.0; 2];
-/// a.spmv_ctx(&ctx, &[1.0, 1.0], &mut y);
+/// a.apply(&ctx, (&[1.0, 1.0]).into(), (&mut y).into(), Apply::Set);
 /// assert_eq!(y, vec![2.0, 3.0]);
 /// ```
 pub struct ExecCtx {

@@ -413,6 +413,247 @@ fn sell_esb_dispatch_avx512(
     }
 }
 
+/// Debug-asserts the blocked CSR SpMM preconditions, window-compatible:
+/// the SpMV window invariants with `y` holding one `k`-wide block per
+/// row, and every column index addressing a full `k`-block of `x`.
+///
+/// `discharges: k != 0, k * (len(rowptr) - 1) == len(y), monotone(rowptr), in_bounds(rowptr, val), len(colidx) == len(val), cols_in_bounds(colidx, x)`
+fn debug_check_csr_spmm(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+) {
+    // discharges: k != 0
+    debug_assert!(k != 0, "at least one vector per block");
+    // discharges: k * (len(rowptr) - 1) == len(y)
+    debug_assert_eq!(
+        k * (rowptr.len().saturating_sub(1)),
+        y.len(),
+        "y must hold one k-block per row"
+    );
+    // discharges: monotone(rowptr)
+    debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr monotone");
+    // discharges: in_bounds(rowptr, val)
+    debug_assert!(
+        rowptr.last().copied().unwrap_or(0) <= val.len(),
+        "rowptr window end in bounds of val"
+    );
+    // discharges: len(colidx) == len(val)
+    debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    // discharges: cols_in_bounds(colidx, x)
+    debug_assert!(
+        colidx[rowptr.first().copied().unwrap_or(0)..rowptr.last().copied().unwrap_or(0)]
+            .iter()
+            .all(|&c| (c as usize + 1) * k <= x.len()),
+        "every colidx k-block in bounds of x"
+    );
+}
+
+/// Debug-asserts the blocked SELL SpMM preconditions, window-compatible:
+/// the SpMV window invariants with `y` holding one `k`-wide block per
+/// row, and every column index either the padding sentinel (block offset
+/// `>= x.len()`, skipped by the kernels — the §5.5 fix at block width)
+/// or addressing a full `k`-block of `x`.
+///
+/// `discharges: k != 0, len(y) == nrows * k, len(sliceptr) == slices(nrows, C) + 1, monotone(sliceptr), in_bounds(sliceptr, val), aligned_offsets(sliceptr, C), len(colidx) == len(val), cols_in_bounds_or_sentinel(colidx, x)`
+fn debug_check_sell_spmm<const C: usize>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+) {
+    // discharges: k != 0
+    debug_assert!(k != 0, "at least one vector per block");
+    // discharges: len(y) == nrows * k
+    debug_assert_eq!(y.len(), nrows * k, "y must hold one k-block per row");
+    // discharges: len(sliceptr) == slices(nrows, C) + 1
+    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
+    // discharges: monotone(sliceptr)
+    debug_assert!(
+        sliceptr.windows(2).all(|w| w[0] <= w[1]),
+        "sliceptr monotone"
+    );
+    // discharges: in_bounds(sliceptr, val)
+    debug_assert!(
+        sliceptr.last().copied().unwrap_or(0) <= val.len(),
+        "sliceptr window end in bounds of val"
+    );
+    // discharges: aligned_offsets(sliceptr, C)
+    debug_assert!(
+        sliceptr.iter().all(|&p| p % C == 0),
+        "slice offsets must be {C}-element aligned"
+    );
+    // discharges: len(colidx) == len(val)
+    debug_assert_eq!(colidx.len(), val.len(), "colidx/val length");
+    // discharges: cols_in_bounds_or_sentinel(colidx, x)
+    debug_assert!(
+        colidx[sliceptr.first().copied().unwrap_or(0)..sliceptr.last().copied().unwrap_or(0)]
+            .iter()
+            .all(|&c| {
+                let xb = c as usize * k;
+                xb >= x.len() || xb + k <= x.len()
+            }),
+        "every colidx k-block in bounds of x or the padding sentinel"
+    );
+}
+
+/// CSR `Y = A·X` (or `+=`) over a `k`-wide row-interleaved block at the
+/// requested ISA tier (`x[col*k + t]`, `y[row*k + t]`).
+///
+/// Panics if `isa` is not available on the running CPU.
+pub fn csr_spmm<const ADD: bool>(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_csr_spmm(rowptr, colidx, val, x, y, k);
+    csr_spmm_dispatch_any::<ADD>(isa, rowptr, colidx, val, x, y, k);
+}
+
+/// CSR SpMM over a contiguous row window, for the parallel engine: same
+/// windowing contract as [`csr_spmv_rows`] with `y` the matching
+/// `&mut full_y[r0*k..r1*k]` block window.
+pub(crate) fn csr_spmm_rows<const ADD: bool>(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_csr_spmm(rowptr, colidx, val, x, y, k);
+    csr_spmm_dispatch_any::<ADD>(isa, rowptr, colidx, val, x, y, k);
+}
+
+fn csr_spmm_dispatch_any<const ADD: bool>(
+    isa: Isa,
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        // Monomorphized fast paths for the blocked widths; ragged k runs
+        // the runtime-k body.
+        Isa::Scalar => match k {
+            1 => super::spmm_scalar::csr_spmm::<1, ADD>(rowptr, colidx, val, x, y, k),
+            2 => super::spmm_scalar::csr_spmm::<2, ADD>(rowptr, colidx, val, x, y, k),
+            4 => super::spmm_scalar::csr_spmm::<4, ADD>(rowptr, colidx, val, x, y, k),
+            8 => super::spmm_scalar::csr_spmm::<8, ADD>(rowptr, colidx, val, x, y, k),
+            _ => super::spmm_scalar::csr_spmm::<0, ADD>(rowptr, colidx, val, x, y, k),
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: feature availability checked above; the shape/bounds
+        // invariants of the blocked kernel contract are asserted by the
+        // callers' debug checks and guaranteed by `Csr::from_parts` plus
+        // the MultiVec layout (`x.len() == ncols*k`).  The kernels use
+        // unaligned masked loads only (no alignment precondition) and
+        // index `val`/`colidx` through `rowptr[r]..rowptr[r+1]` with `y`
+        // local, so absolute row windows are in-contract.
+        Isa::Avx => unsafe { super::spmm_avx::csr_spmm::<ADD>(rowptr, colidx, val, x, y, k) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2 => unsafe { super::spmm_avx2::csr_spmm::<ADD>(rowptr, colidx, val, x, y, k) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe { super::spmm_avx512::csr_spmm::<ADD>(rowptr, colidx, val, x, y, k) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => super::spmm_scalar::csr_spmm::<0, ADD>(rowptr, colidx, val, x, y, k),
+    }
+}
+
+/// SELL-C `Y = A·X` (or `+=`) over a `k`-wide row-interleaved block at
+/// the requested ISA tier.
+///
+/// Panics if `isa` is not available on the running CPU.
+pub fn sell_spmm<const C: usize, const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_sell_spmm::<C>(sliceptr, colidx, val, nrows, x, y, k);
+    sell_spmm_dispatch_any::<C, ADD>(isa, sliceptr, colidx, val, nrows, x, y, k);
+}
+
+/// SELL-C SpMM over a contiguous slice window, for the parallel engine:
+/// same windowing contract as [`sell8_spmv_slices`] with `y` the
+/// matching `&mut full_y[r0*k..r1*k]` block window.
+pub(crate) fn sell_spmm_slices<const C: usize, const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_sell_spmm::<C>(sliceptr, colidx, val, nrows, x, y, k);
+    sell_spmm_dispatch_any::<C, ADD>(isa, sliceptr, colidx, val, nrows, x, y, k);
+}
+
+fn sell_spmm_dispatch_any<const C: usize, const ADD: bool>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => {
+            super::spmm_scalar::sell_spmm::<C, ADD>(sliceptr, colidx, val, nrows, x, y, k)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked above; layout invariants guaranteed by
+        // `Sell::from_csr` (C-aligned sliceptr, sentinel padding whose
+        // block offset lands at `x.len()`) and asserted by the callers'
+        // debug checks.  The kernels use unaligned masked loads only (no
+        // alignment precondition), index `val`/`colidx` absolutely
+        // through `sliceptr` and `y` locally, so absolute slice windows
+        // are in-contract.
+        Isa::Avx => unsafe {
+            super::spmm_avx::sell_spmm::<C, ADD>(sliceptr, colidx, val, nrows, x, y, k)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2 => unsafe {
+            super::spmm_avx2::sell_spmm::<C, ADD>(sliceptr, colidx, val, nrows, x, y, k)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe {
+            super::spmm_avx512::sell_spmm::<C, ADD>(sliceptr, colidx, val, nrows, x, y, k)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => super::spmm_scalar::sell_spmm::<C, ADD>(sliceptr, colidx, val, nrows, x, y, k),
+    }
+}
+
 /// SELL-4 `y = A·x` (or `+=`) at the requested ISA tier.  AVX-512 hosts
 /// run the AVX2 kernel (a 4-lane slice cannot fill a ZMM register).
 pub fn sell4_spmv<const ADD: bool>(

@@ -25,7 +25,7 @@
 //!
 //! The per-ISA modules are crate-private: external callers go through the
 //! single safe entry point [`spmv`] (picking the kernel from a
-//! [`FormatView`] + [`SpmvMode`]) or the format types' `SpMv` methods; the
+//! [`FormatView`] + [`SpmvMode`]) or the format types' `Operator` methods; the
 //! safe wrappers in [`dispatch`] back both.
 //!
 //! # Safety
@@ -43,6 +43,7 @@ pub mod dispatch;
 
 pub(crate) mod csr_scalar;
 pub(crate) mod sell_scalar;
+pub(crate) mod spmm_scalar;
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod csr_avx;
@@ -62,6 +63,12 @@ pub(crate) mod sell_avx2;
 pub(crate) mod sell_avx512;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod sell_esb_avx512;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod spmm_avx;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod spmm_avx2;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod spmm_avx512;
 
 use crate::isa::Isa;
 
@@ -143,7 +150,7 @@ pub enum FormatView<'a> {
 ///
 /// This is what `bench`/`check`-style callers use instead of reaching into
 /// per-ISA kernel modules; it funnels into the same checked [`dispatch`]
-/// wrappers as the `SpMv` trait implementations.  Panics if `isa` is not
+/// wrappers as the `Operator` trait implementations.  Panics if `isa` is not
 /// available on the running CPU or (in debug builds) if the arrays violate
 /// the format contract.
 pub fn spmv(isa: Isa, view: FormatView<'_>, x: &[f64], y: &mut [f64], mode: SpmvMode) {
@@ -210,13 +217,72 @@ pub fn spmv(isa: Isa, view: FormatView<'_>, x: &[f64], y: &mut [f64], mode: Spmv
     }
 }
 
+/// Blocked (SpMM) sibling of [`spmv`]: `Y = A·X` (or `Y += A·X`) over a
+/// row-interleaved block of `k` right-hand sides (`x[col*k + t]`,
+/// `y[row*k + t]`), at the requested ISA tier.
+///
+/// The matrix entry stream is read **once** for all `k` vectors — the
+/// `12·nnz` traffic term of the §6 model amortizes to `12·nnz/k` per
+/// RHS.  SELL-ESB views run the plain SELL-8 SpMM kernels (the bit array
+/// only elides `0.0` padding, which the sentinel skip already handles).
+/// Panics if `isa` is unavailable or (in debug builds) if the arrays
+/// violate the format contract.
+pub fn spmm(isa: Isa, view: FormatView<'_>, x: &[f64], y: &mut [f64], k: usize, mode: SpmvMode) {
+    let add = mode == SpmvMode::Add;
+    match view {
+        FormatView::Csr {
+            rowptr,
+            colidx,
+            val,
+        } => match add {
+            false => dispatch::csr_spmm::<false>(isa, rowptr, colidx, val, x, y, k),
+            true => dispatch::csr_spmm::<true>(isa, rowptr, colidx, val, x, y, k),
+        },
+        FormatView::Sell4 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        } => match add {
+            false => dispatch::sell_spmm::<4, false>(isa, sliceptr, colidx, val, nrows, x, y, k),
+            true => dispatch::sell_spmm::<4, true>(isa, sliceptr, colidx, val, nrows, x, y, k),
+        },
+        FormatView::Sell8 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        }
+        | FormatView::SellEsb {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+            ..
+        } => match add {
+            false => dispatch::sell_spmm::<8, false>(isa, sliceptr, colidx, val, nrows, x, y, k),
+            true => dispatch::sell_spmm::<8, true>(isa, sliceptr, colidx, val, nrows, x, y, k),
+        },
+        FormatView::Sell16 {
+            sliceptr,
+            colidx,
+            val,
+            nrows,
+        } => match add {
+            false => dispatch::sell_spmm::<16, false>(isa, sliceptr, colidx, val, nrows, x, y, k),
+            true => dispatch::sell_spmm::<16, true>(isa, sliceptr, colidx, val, nrows, x, y, k),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::csr::Csr;
+    use crate::exec::ExecCtx;
     use crate::sell::{Sell, Sell8};
     use crate::sell_esb::SellEsb;
-    use crate::traits::{MatShape, SpMv};
+    use crate::traits::{Apply, MatShape, Operator};
 
     fn sample() -> Csr {
         let mut b = crate::coo::CooBuilder::new(21, 21);
@@ -233,7 +299,12 @@ mod tests {
         let a = sample();
         let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.4).sin()).collect();
         let mut want = vec![0.0; 21];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
 
         for isa in Isa::available_tiers() {
             // CSR compares bitwise against the same tier (different tiers

@@ -1,0 +1,149 @@
+//! AVX (pre-FMA) SpMM kernels: broadcast, multiply, add over the
+//! `k`-wide column block in 4-lane YMM chunks.
+//!
+//! Identical block structure to the AVX2 kernels but restricted to
+//! first-generation AVX: separate `vmulpd`/`vaddpd` instead of fused
+//! multiply-add.  `vmaskmovpd` masked loads/stores are AVX instructions,
+//! so ragged block tails need no scalar fallback.
+
+use std::arch::x86_64::*;
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for CSR over a `k`-wide
+/// row-interleaved block (`x[col*k + t]`, `y[row*k + t]`).
+///
+/// # Safety
+///
+/// * `requires: feature(avx)` — the CPU must support AVX.
+/// * `requires: k != 0`
+/// * `requires: k * (len(rowptr) - 1) == len(y)` — `y` holds one `k`-block per row.
+/// * `requires: monotone(rowptr)` — row offsets are nondecreasing.
+/// * `requires: in_bounds(rowptr, val)` — every offset is `<= val.len()`.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds(colidx, x)` — every `(colidx[j] + 1) * k <= x.len()`,
+///   so each column's full `k`-block is in bounds.
+#[target_feature(enable = "avx")]
+pub unsafe fn csr_spmm<const ADD: bool>(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nrows = rowptr.len().saturating_sub(1);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    for i in 0..nrows {
+        let lo = rowptr[i];
+        let hi = rowptr[i + 1];
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(4);
+            let mask = _mm256_setr_epi64x(
+                -1,
+                if lanes > 1 { -1 } else { 0 },
+                if lanes > 2 { -1 } else { 0 },
+                if lanes > 3 { -1 } else { 0 },
+            );
+            // SAFETY: i*k + cb + lanes <= nrows*k == y.len() by the length
+            // clause; the masked load/store touch only `lanes` elements.
+            let ydst = unsafe { yp.add(i * k + cb) };
+            let mut acc = if ADD {
+                // SAFETY: same in-bounds argument as the store below.
+                unsafe { _mm256_maskload_pd(ydst, mask) }
+            } else {
+                _mm256_setzero_pd()
+            };
+            for j in lo..hi {
+                // One matrix entry, broadcast against the whole block.
+                let a = _mm256_set1_pd(val[j]);
+                // SAFETY: cols_in_bounds gives (colidx[j]+1)*k <= x.len(),
+                // and cb + lanes <= k, so the masked load stays inside x.
+                let xv = unsafe { _mm256_maskload_pd(xp.add(colidx[j] as usize * k + cb), mask) };
+                acc = _mm256_add_pd(_mm256_mul_pd(a, xv), acc);
+            }
+            // SAFETY: see ydst above.
+            unsafe { _mm256_maskstore_pd(ydst, mask, acc) };
+            cb += lanes;
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for SELL-C over a `k`-wide
+/// row-interleaved block, column-major slice walk with one YMM
+/// accumulator per lane row.  `sliceptr` offsets are absolute into
+/// `val`/`colidx` (the windowed dispatch contract).
+///
+/// §5.5 sentinel handling: padding stores `colidx == ncols`, whose block
+/// offset `ncols*k` is exactly `x.len()` — the branch skips it.
+///
+/// # Safety
+///
+/// * `requires: feature(avx)` — the CPU must support AVX.
+/// * `requires: k != 0`
+/// * `requires: len(y) == nrows * k` — `y` holds one `k`-block per row.
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, val)` — every offset is `<= val.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every column is
+///   the sentinel or has its full `k`-block in bounds
+///   (`(colidx[j] + 1) * k <= x.len()`).
+#[target_feature(enable = "avx")]
+pub unsafe fn sell_spmm<const C: usize, const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len().saturating_sub(1);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let xlen = x.len();
+    for s in 0..nslices {
+        let lanes_rows = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(4);
+            let mask = _mm256_setr_epi64x(
+                -1,
+                if lanes > 1 { -1 } else { 0 },
+                if lanes > 2 { -1 } else { 0 },
+                if lanes > 3 { -1 } else { 0 },
+            );
+            let mut acc = [_mm256_setzero_pd(); C];
+            if ADD {
+                for r in 0..lanes_rows {
+                    // SAFETY: (s*C + r)*k + cb + lanes <= nrows*k == y.len()
+                    // by the length clause; masked load touches `lanes` elems.
+                    acc[r] = unsafe { _mm256_maskload_pd(yp.add((s * C + r) * k + cb), mask) };
+                }
+            }
+            for col in 0..width {
+                for r in 0..lanes_rows {
+                    let idx = off + col * C + r;
+                    let xb = colidx[idx] as usize * k;
+                    // Sentinel padding maps to xb == xlen: skip outright.
+                    if xb < xlen {
+                        let a = _mm256_set1_pd(val[idx]);
+                        // SAFETY: a live column has (colidx[idx]+1)*k <= xlen
+                        // and cb + lanes <= k, so the masked load is in x.
+                        let xv = unsafe { _mm256_maskload_pd(xp.add(xb + cb), mask) };
+                        acc[r] = _mm256_add_pd(_mm256_mul_pd(a, xv), acc[r]);
+                    }
+                }
+            }
+            for r in 0..lanes_rows {
+                // SAFETY: same in-bounds argument as the ADD preload.
+                unsafe { _mm256_maskstore_pd(yp.add((s * C + r) * k + cb), mask, acc[r]) };
+            }
+            cb += lanes;
+        }
+    }
+}

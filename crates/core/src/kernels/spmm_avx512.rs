@@ -1,0 +1,143 @@
+//! AVX-512 SpMM kernels: masked FMA over the `k`-wide column block.
+//!
+//! The multi-RHS shape of the `sparse-ops` ELLPACK mat-mul exemplar: the
+//! matrix entry is loaded once and **broadcast** against the contiguous
+//! `k`-wide row block of `X` with `_mm512_maskz_loadu_pd` — no gathers
+//! anywhere, because interleaving the right-hand sides by row turns the
+//! SpMV gather into a contiguous masked load.  Blocks wider than 8 run
+//! in 8-lane chunks; ragged widths (e.g. `k = 7`) use the same masked
+//! tail.
+
+use std::arch::x86_64::*;
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for CSR over a `k`-wide
+/// row-interleaved block (`x[col*k + t]`, `y[row*k + t]`).
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)` — the CPU must support both.
+/// * `requires: k != 0`
+/// * `requires: k * (len(rowptr) - 1) == len(y)` — `y` holds one `k`-block per row.
+/// * `requires: monotone(rowptr)` — row offsets are nondecreasing.
+/// * `requires: in_bounds(rowptr, val)` — every offset is `<= val.len()`.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds(colidx, x)` — every `(colidx[j] + 1) * k <= x.len()`,
+///   so each column's full `k`-block is in bounds.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn csr_spmm<const ADD: bool>(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nrows = rowptr.len().saturating_sub(1);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    for i in 0..nrows {
+        let lo = rowptr[i];
+        let hi = rowptr[i + 1];
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(8);
+            let mask: __mmask8 = if lanes >= 8 { 0xff } else { (1u8 << lanes) - 1 };
+            // SAFETY: i*k + cb + lanes <= nrows*k == y.len() by the length
+            // clause; the masked load/store touch only `lanes` elements.
+            let ydst = unsafe { yp.add(i * k + cb) };
+            let mut acc = if ADD {
+                // SAFETY: same in-bounds argument as the store below.
+                unsafe { _mm512_maskz_loadu_pd(mask, ydst) }
+            } else {
+                _mm512_setzero_pd()
+            };
+            for j in lo..hi {
+                // One matrix entry, broadcast against the whole block.
+                let a = _mm512_set1_pd(val[j]);
+                let xoff = colidx[j] as usize * k + cb;
+                // SAFETY: cols_in_bounds gives (colidx[j]+1)*k <= x.len(),
+                // and cb + lanes <= k, so the masked load stays inside x.
+                let xv = unsafe { _mm512_maskz_loadu_pd(mask, xp.add(xoff)) };
+                acc = _mm512_fmadd_pd(a, xv, acc);
+            }
+            // SAFETY: see ydst above.
+            unsafe { _mm512_mask_storeu_pd(ydst, mask, acc) };
+            cb += lanes;
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for SELL-C over a `k`-wide
+/// row-interleaved block.  `sliceptr` offsets are absolute into
+/// `val`/`colidx` (the windowed dispatch contract); slices are walked
+/// column-major with one `__m512d` accumulator per lane row.
+///
+/// §5.5 sentinel handling: padding stores `colidx == ncols`, whose block
+/// offset `ncols*k` is exactly `x.len()` — the branch skips it, so a
+/// padded lane contributes exactly nothing (no `0.0 × Inf` NaN).
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)` — the CPU must support both.
+/// * `requires: k != 0`
+/// * `requires: len(y) == nrows * k` — `y` holds one `k`-block per row.
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, val)` — every offset is `<= val.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(colidx) == len(val)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every column is
+///   the sentinel or has its full `k`-block in bounds
+///   (`(colidx[j] + 1) * k <= x.len()`).
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn sell_spmm<const C: usize, const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len().saturating_sub(1);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let xlen = x.len();
+    for s in 0..nslices {
+        let lanes_rows = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(8);
+            let mask: __mmask8 = if lanes >= 8 { 0xff } else { (1u8 << lanes) - 1 };
+            let mut acc = [_mm512_setzero_pd(); C];
+            if ADD {
+                for r in 0..lanes_rows {
+                    // SAFETY: (s*C + r)*k + cb + lanes <= nrows*k == y.len()
+                    // by the length clause; masked load touches `lanes` elems.
+                    acc[r] = unsafe { _mm512_maskz_loadu_pd(mask, yp.add((s * C + r) * k + cb)) };
+                }
+            }
+            for col in 0..width {
+                for r in 0..lanes_rows {
+                    let idx = off + col * C + r;
+                    let xb = colidx[idx] as usize * k;
+                    // Sentinel padding maps to xb == xlen: skip outright.
+                    if xb < xlen {
+                        let a = _mm512_set1_pd(val[idx]);
+                        // SAFETY: a live column has (colidx[idx]+1)*k <= xlen
+                        // and cb + lanes <= k, so the masked load is in x.
+                        let xv = unsafe { _mm512_maskz_loadu_pd(mask, xp.add(xb + cb)) };
+                        acc[r] = _mm512_fmadd_pd(a, xv, acc[r]);
+                    }
+                }
+            }
+            for r in 0..lanes_rows {
+                // SAFETY: same in-bounds argument as the ADD preload.
+                unsafe { _mm512_mask_storeu_pd(yp.add((s * C + r) * k + cb), mask, acc[r]) };
+            }
+            cb += lanes;
+        }
+    }
+}

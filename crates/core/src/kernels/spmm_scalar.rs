@@ -1,0 +1,130 @@
+//! Portable scalar SpMM kernels: `Y = A·X` over a row-interleaved block
+//! of `k` right-hand sides (`x[col*k + t]`, `y[row*k + t]`).
+//!
+//! The matrix entry is loaded **once** and applied to all `k` vectors of
+//! its row block — the whole point of SpMM: the `12·nnz` matrix-traffic
+//! term of the §6 model is amortized over `k` products.  These kernels
+//! are the oracle tier for the SIMD variants and the fallback for ISAs
+//! without masked-block loads.
+//!
+//! The `K` const generic monomorphizes the blocked widths (`k ∈ {1, 2,
+//! 4, 8}` get fully unrolled inner loops); `K = 0` selects the
+//! runtime-`k` body for ragged widths.
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for CSR over a `k`-wide row
+/// block.  `K = 0` means runtime `k`; otherwise `K` must equal `k`.
+pub fn csr_spmm<const K: usize, const ADD: bool>(
+    rowptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_assert!(K == 0 || K == k);
+    let k = if K == 0 { k } else { K };
+    let nrows = rowptr.len().saturating_sub(1);
+    for i in 0..nrows {
+        let yb = i * k;
+        if !ADD {
+            for t in 0..k {
+                y[yb + t] = 0.0;
+            }
+        }
+        for j in rowptr[i]..rowptr[i + 1] {
+            let a = val[j];
+            let xb = colidx[j] as usize * k;
+            for t in 0..k {
+                y[yb + t] += a * x[xb + t];
+            }
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) for SELL-C over a `k`-wide row
+/// block.  Walks each slice column-major exactly like the SpMV kernel;
+/// `sliceptr` offsets are absolute into `val`/`colidx` (the windowed
+/// dispatch contract).
+///
+/// §5.5 sentinel handling: padding stores `colidx == ncols`, which maps
+/// to block offset `ncols*k == x.len()` here — those entries are skipped
+/// outright, so `0.0 × Inf` never pollutes a padded lane.
+pub fn sell_spmm<const C: usize, const ADD: bool>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len().saturating_sub(1);
+    for s in 0..nslices {
+        let lanes = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        if !ADD {
+            for r in 0..lanes {
+                let yb = (s * C + r) * k;
+                for t in 0..k {
+                    y[yb + t] = 0.0;
+                }
+            }
+        }
+        for col in 0..width {
+            for r in 0..lanes {
+                let idx = off + col * C + r;
+                let xb = colidx[idx] as usize * k;
+                if xb < x.len() {
+                    let a = val[idx];
+                    let yb = (s * C + r) * k;
+                    for t in 0..k {
+                        y[yb + t] += a * x[xb + t];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 3x3: [[2, -1, 0], [0, 3, 1], [4, 0, 0]] in CSR.
+    fn csr_parts() -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        (
+            vec![0, 2, 4, 5],
+            vec![0, 1, 1, 2, 0],
+            vec![2.0, -1.0, 3.0, 1.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn csr_two_vectors() {
+        let (rowptr, colidx, val) = csr_parts();
+        // X columns: [1,2,3] and [4,5,6], interleaved by row.
+        let x = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut y = [9.0; 6];
+        csr_spmm::<2, false>(&rowptr, &colidx, &val, &x, &mut y, 2);
+        assert_eq!(y, [0.0, 3.0, 9.0, 21.0, 4.0, 16.0]);
+        csr_spmm::<0, true>(&rowptr, &colidx, &val, &x, &mut y, 2);
+        assert_eq!(y, [0.0, 6.0, 18.0, 42.0, 8.0, 32.0]);
+    }
+
+    #[test]
+    fn sell_sentinel_padding_is_skipped() {
+        // One slice of C=2, width 2, second lane padded with the sentinel
+        // column (== ncols == 2): its block offset is exactly x.len(), so
+        // an unguarded kernel would read out of bounds (or turn 0.0 into
+        // NaN against a nonfinite x).
+        let sliceptr = vec![0usize, 4];
+        let colidx = vec![0u32, 1, 1, 2]; // (r0,c0) (r1,c1) (r0,c1) (r1,sent)
+        let val = vec![1.0, 5.0, 2.0, 0.0];
+        let x = [1.0, 10.0, 3.0, 30.0];
+        let mut y = [0.0; 4];
+        sell_spmm::<2, false>(&sliceptr, &colidx, &val, 2, &x, &mut y, 2);
+        // row0 = 1·col0 + 2·col1, row1 = 5·col1 (sentinel skipped).
+        assert_eq!(y, [7.0, 70.0, 15.0, 150.0]);
+    }
+}

@@ -32,7 +32,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use sellkit_core::{CooBuilder, Sell8, SpMv};
+//! use sellkit_core::{Apply, CooBuilder, ExecCtx, Operator, Sell8};
 //!
 //! // 4x4 tridiagonal matrix.
 //! let mut coo = CooBuilder::new(4, 4);
@@ -45,7 +45,7 @@
 //! let sell = Sell8::from_csr(&csr);
 //! let x = vec![1.0; 4];
 //! let mut y = vec![0.0; 4];
-//! sell.spmv(&x, &mut y);
+//! sell.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
 //! assert_eq!(y, vec![1.0, 0.0, 0.0, 1.0]);
 //! ```
 
@@ -68,6 +68,7 @@ pub mod exec;
 pub mod isa;
 pub mod kernels;
 pub mod matops;
+pub mod multivec;
 pub mod plan;
 pub mod pool;
 pub mod sbaij;
@@ -86,10 +87,11 @@ pub use csr_perm::CsrPerm;
 pub use ellpack::{Ellpack, EllpackR};
 pub use exec::ExecCtx;
 pub use isa::Isa;
+pub use multivec::{MultiVec, VecView, VecViewMut, SPECIALIZED_K};
 pub use plan::{Permutation, PlanCache, PlanPart, SpmvPlan};
 pub use sbaij::Sbaij;
 pub use sell::{Sell, Sell16, Sell4, Sell8};
 pub use sell_esb::SellEsb;
 pub use sell_sigma::{SellSigma, SellSigma16, SellSigma4, SellSigma8};
 pub use stats::FormatStats;
-pub use traits::{FromCsr, MatShape, SpMv};
+pub use traits::{Apply, FromCsr, MatShape, Operator, SpMv};

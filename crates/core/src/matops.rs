@@ -158,7 +158,8 @@ pub fn submatrix(a: &Csr, rows: std::ops::Range<usize>, cols: std::ops::Range<us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::SpMv;
+    use crate::exec::ExecCtx;
+    use crate::traits::{Apply, Operator};
 
     fn sample() -> Csr {
         Csr::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0])
@@ -199,9 +200,19 @@ mod tests {
         // G = I - 0.5 J
         let x = vec![1.0, 2.0, 3.0];
         let mut gx = vec![0.0; 3];
-        g.spmv(&x, &mut gx);
+        g.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut gx).into(),
+            Apply::Set,
+        );
         let mut jx = vec![0.0; 3];
-        j.spmv(&x, &mut jx);
+        j.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut jx).into(),
+            Apply::Set,
+        );
         for i in 0..3 {
             assert!((gx[i] - (x[i] - 0.5 * jx[i])).abs() < 1e-14);
         }

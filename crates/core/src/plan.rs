@@ -178,12 +178,31 @@ impl SpmvPlan {
         y: &mut [f64],
         f: &(dyn Fn(usize, PlanPart, &mut [f64]) + Sync),
     ) {
-        assert_eq!(y.len(), self.nrows, "output length != planned rows");
+        self.run_on_blocked(ctx, y, 1, f);
+    }
+
+    /// Blocked variant of [`Self::run_on`] for SpMM: `y` holds `k`
+    /// interleaved vectors (`self.nrows() * k` long) and each part gets
+    /// the window `&mut y[part.row0*k..part.row1*k]` — row partitions are
+    /// shared between SpMV and SpMM, so one cached plan serves both.
+    ///
+    /// Soundness: scaling the verified disjoint row tiling `[row0, row1)`
+    /// by a constant `k` preserves disjointness and coverage of
+    /// `0..nrows*k`.
+    pub fn run_on_blocked(
+        &self,
+        ctx: &ExecCtx,
+        y: &mut [f64],
+        k: usize,
+        f: &(dyn Fn(usize, PlanPart, &mut [f64]) + Sync),
+    ) {
+        assert!(k >= 1, "at least one vector per block");
+        assert_eq!(y.len(), self.nrows * k, "output length != planned rows * k");
         match ctx.pool() {
             None => {
                 for (p, part) in self.parts.iter().enumerate() {
                     if !part.is_empty() {
-                        f(p, *part, &mut y[part.row0..part.row1]);
+                        f(p, *part, &mut y[part.row0 * k..part.row1 * k]);
                     }
                 }
             }
@@ -195,9 +214,10 @@ impl SpmvPlan {
                         return;
                     }
                     // SAFETY: `assert_tiling` proved the row ranges of
-                    // distinct parts disjoint, and the pool dispatches
-                    // each part index exactly once per region.
-                    let win = unsafe { windows.slice(part.row0, part.row1) };
+                    // distinct parts disjoint (so their k-scaled images
+                    // are too), and the pool dispatches each part index
+                    // exactly once per region.
+                    let win = unsafe { windows.slice(part.row0 * k, part.row1 * k) };
                     f(p, part, win);
                 };
                 pool.run(self.parts.len(), &body);
@@ -357,16 +377,34 @@ impl Permutation {
     /// lane count: each element is assigned exactly once, independent of
     /// the partition.  Allocation-free.
     pub fn scatter_ctx<const ADD: bool>(&self, ctx: &ExecCtx, src: &[f64], y: &mut [f64]) {
+        self.scatter_blocks_ctx::<ADD>(ctx, src, y, 1);
+    }
+
+    /// Blocked permuted scatter for SpMM: storage row `k` of `src` (a
+    /// contiguous `width`-wide block) lands on logical row `fwd[k]` of
+    /// `y`.  Same determinism argument as [`Self::scatter_ctx`] — each
+    /// output element is assigned exactly once, whatever the lane count.
+    pub fn scatter_blocks_ctx<const ADD: bool>(
+        &self,
+        ctx: &ExecCtx,
+        src: &[f64],
+        y: &mut [f64],
+        width: usize,
+    ) {
         let n = self.fwd.len();
-        assert!(src.len() >= n, "source shorter than permutation");
-        assert_eq!(y.len(), n, "output length != permutation length");
+        assert!(width >= 1, "at least one vector per block");
+        assert!(src.len() >= n * width, "source shorter than permutation");
+        assert_eq!(y.len(), n * width, "output length != permutation length");
         match ctx.pool() {
             None => {
                 for (k, &row) in self.fwd.iter().enumerate() {
-                    if ADD {
-                        y[row as usize] += src[k];
-                    } else {
-                        y[row as usize] = src[k];
+                    let (sb, yb) = (k * width, row as usize * width);
+                    for t in 0..width {
+                        if ADD {
+                            y[yb + t] += src[sb + t];
+                        } else {
+                            y[yb + t] = src[sb + t];
+                        }
                     }
                 }
             }
@@ -377,15 +415,18 @@ impl Permutation {
                     let (k0, k1) = (n * p / parts, n * (p + 1) / parts);
                     for k in k0..k1 {
                         let row = self.fwd[k] as usize;
-                        // SAFETY: `fwd` is a verified bijection, so
-                        // distinct `k` touch distinct `row`; the even
-                        // k-windows are disjoint across parts and each
-                        // part runs exactly once per region.
-                        let slot = unsafe { out.at(row) };
-                        if ADD {
-                            *slot += src[k];
-                        } else {
-                            *slot = src[k];
+                        for t in 0..width {
+                            // SAFETY: `fwd` is a verified bijection, so
+                            // distinct `k` touch distinct disjoint row
+                            // blocks; the even k-windows are disjoint
+                            // across parts and each part runs exactly
+                            // once per region.
+                            let slot = unsafe { out.at(row * width + t) };
+                            if ADD {
+                                *slot += src[k * width + t];
+                            } else {
+                                *slot = src[k * width + t];
+                            }
                         }
                     }
                 };

@@ -10,7 +10,8 @@
 use crate::aligned::AVec;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::multivec::{VecView, VecViewMut};
+use crate::traits::{check_apply_dims, Apply, MatShape, Operator};
 
 /// A symmetric matrix in block-upper-triangular storage.
 #[derive(Clone, Debug)]
@@ -133,21 +134,20 @@ impl MatShape for Sbaij {
     }
 }
 
-impl SpMv for Sbaij {
+impl Operator for Sbaij {
     /// Mirror-block scatter updates (`y_bj += Bᵀ·x_bi`) are not
     /// row-disjoint, so SBAIJ is a documented serial fallback: it ignores
-    /// the context and computes on the calling thread.
-    fn spmv_ctx(&self, _ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows(), self.ncols(), x, y);
-        y.fill(0.0);
-        self.accumulate(x, y);
-    }
-
-    /// Fused `y += A·x`: the same accumulation loops without the zero
-    /// fill — no scratch vector (serial, like [`Sbaij::spmv_ctx`]).
-    fn spmv_add_ctx(&self, _ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows(), self.ncols(), x, y);
-        self.accumulate(x, y);
+    /// the context and computes on the calling thread.  The accumulate
+    /// mode reuses the same loops without the zero fill — no scratch
+    /// vector.  Blocked operands (`k > 1`) run column by column.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows(), self.ncols(), &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |_, xc, yc, m| {
+            if matches!(m, Apply::Set) {
+                yc.fill(0.0);
+            }
+            self.accumulate(xc, yc);
+        });
     }
 }
 
@@ -217,9 +217,19 @@ mod tests {
             let n = a.nrows();
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
             let mut want = vec![0.0; n];
-            a.spmv(&x, &mut want);
+            a.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut want).into(),
+                Apply::Set,
+            );
             let mut got = vec![0.0; n];
-            s.spmv(&x, &mut got);
+            s.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut got).into(),
+                Apply::Set,
+            );
             for i in 0..n {
                 assert!((got[i] - want[i]).abs() < 1e-12, "bs={bs} row {i}");
             }
@@ -260,7 +270,12 @@ mod tests {
         );
         let s = Sbaij::from_csr(&a, 2);
         let mut y = vec![0.0; 4];
-        s.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);
+        s.apply(
+            &ExecCtx::serial(),
+            (&[1.0, 1.0, 1.0, 1.0]).into(),
+            (&mut y).into(),
+            Apply::Set,
+        );
         assert_eq!(y, vec![2.0, 3.0, 4.0, 5.0]);
         assert_eq!(s.nblocks(), 2);
     }

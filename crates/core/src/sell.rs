@@ -31,13 +31,14 @@ use crate::csr::Csr;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
 use crate::kernels::{dispatch, sell_scalar};
+use crate::multivec::{VecView, VecViewMut};
 use crate::plan::{PlanCache, SpmvPlan};
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// A sliced-ELLPACK matrix with compile-time slice height `C`.
 ///
 /// ```
-/// use sellkit_core::{Csr, Sell8, SpMv, MatShape};
+/// use sellkit_core::{Apply, Csr, ExecCtx, MatShape, Operator, Sell8};
 ///
 /// let csr = Csr::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
 /// let sell = Sell8::from_csr(&csr);
@@ -45,8 +46,9 @@ use crate::traits::{check_spmv_dims, MatShape, SpMv};
 /// // 3 rows pad up to one slice of 8 lanes, 3 columns wide.
 /// assert_eq!(sell.stored_elems(), 8 * 3);
 ///
+/// let x = [1.0, 2.0, 3.0];
 /// let mut y = vec![0.0; 3];
-/// sell.spmv(&[1.0, 2.0, 3.0], &mut y);
+/// sell.apply(&ExecCtx::serial(), (&x[..]).into(), (&mut y[..]).into(), Apply::Set);
 /// assert_eq!(y, vec![0.0, 0.0, 4.0]);
 /// ```
 #[derive(Clone, Debug)]
@@ -327,6 +329,25 @@ impl<const C: usize> Sell<C> {
         }
     }
 
+    /// SpMM (`Y = A·X` over a `k`-wide row-interleaved block) with an
+    /// explicit ISA — the blocked sibling of [`Sell::spmv_isa`], used by
+    /// the differential fuzzer to force each tier in turn.
+    pub fn spmm_isa(&self, isa: Isa, x: &[f64], y: &mut [f64], k: usize) {
+        assert_eq!(x.len(), self.ncols * k, "x must hold k interleaved vectors");
+        assert_eq!(y.len(), self.nrows * k, "y must hold k interleaved vectors");
+        match &self.perm {
+            None => self.spmm_raw::<false>(isa, x, y, k),
+            Some(p) => {
+                let mut scratch = vec![0.0f64; self.nrows * k];
+                self.spmm_raw::<false>(isa, x, &mut scratch, k);
+                for (j, &row) in p.iter().enumerate() {
+                    let dst = row as usize * k;
+                    y[dst..dst + k].copy_from_slice(&scratch[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    }
+
     /// SpMV through the §5.5 manually-tuned AVX-512 kernel (two-slice
     /// unroll + software prefetch) when the CPU supports it and `C == 8`;
     /// falls back to the regular dispatch otherwise.  σ-sorted matrices
@@ -348,7 +369,7 @@ impl<const C: usize> Sell<C> {
             );
             return;
         }
-        self.spmv(x, y);
+        self.spmv_parts::<false>(&ExecCtx::serial(), x, y);
     }
 
     /// Shared body of `spmv_ctx`/`spmv_add_ctx`: serial whole-matrix
@@ -408,6 +429,66 @@ impl<const C: usize> Sell<C> {
                 _ => sell_scalar::spmv::<C, ADD>(sp, colidx, val, nr, x, win),
             }
         });
+    }
+
+    /// Blocked sibling of `spmv_parts`: `Y = A·X` (or `+=`) over `k`
+    /// row-interleaved right-hand sides.  Every slice column is streamed
+    /// **once** and broadcast against all `k` vectors, and the cached
+    /// slice-aligned plan is shared with SpMV (partitions are
+    /// `k`-independent).  σ-sorted matrices stage through a blocked
+    /// scratch and unsort row blocks, serially like the SpMV path.
+    fn spmm_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64], k: usize) {
+        if self.perm.is_some() || ctx.is_serial() {
+            match &self.perm {
+                None => self.spmm_raw::<ADD>(self.isa, x, y, k),
+                Some(p) => {
+                    let mut scratch = vec![0.0f64; self.nrows * k];
+                    self.spmm_raw::<false>(self.isa, x, &mut scratch, k);
+                    for (r, &row) in p.iter().enumerate() {
+                        let (sb, yb) = (r * k, row as usize * k);
+                        for t in 0..k {
+                            if ADD {
+                                y[yb + t] += scratch[sb + t];
+                            } else {
+                                y[yb + t] = scratch[sb + t];
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        let plan = self.plan.get_or_build(ctx.threads(), |epoch| {
+            SpmvPlan::from_prefix(
+                &self.sliceptr,
+                C,
+                self.nrows,
+                ctx.threads(),
+                self.isa,
+                epoch,
+            )
+        });
+        let isa = plan.isa();
+        let (colidx, val) = (&self.colidx[..], &self.val[..]);
+        let sliceptr = &self.sliceptr[..];
+        plan.run_on_blocked(ctx, y, k, &|_, part, win| {
+            let sp = &sliceptr[part.item0..=part.item1];
+            let nr = part.row1 - part.row0;
+            dispatch::sell_spmm_slices::<C, ADD>(isa, sp, colidx, val, nr, x, win, k);
+        });
+    }
+
+    fn spmm_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64], k: usize) {
+        dispatch::sell_spmm::<C, ADD>(
+            isa,
+            &self.sliceptr,
+            &self.colidx,
+            &self.val,
+            self.nrows,
+            x,
+            y,
+            k,
+        );
     }
 
     fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
@@ -477,94 +558,30 @@ impl<const C: usize> MatShape for Sell<C> {
     }
 }
 
-impl<const C: usize> SpMv for Sell<C> {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
+impl<const C: usize> Operator for Sell<C> {
+    /// Single entry point for SpMV (`k = 1`) and SpMM (`k > 1`).  The
+    /// accumulate path is fused — no scratch vector at any thread count
+    /// (σ-sorted matrices still stage through scratch to undo the
+    /// permutation, but accumulate directly into `y`).  At `k > 1` each
+    /// slice column is streamed **once** and multiplied against all `k`
+    /// vectors — the blocked-RHS optimization that matters exactly
+    /// because SpMV is bandwidth-bound (§6): matrix bytes dominate, so
+    /// amortizing them across vectors multiplies the arithmetic
+    /// intensity by nearly `k`.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows, self.ncols, &x, &y);
+        let k = x.k();
+        let (xd, yd) = (x.data(), y.into_data());
+        match (k, mode) {
+            (1, Apply::Set) => self.spmv_parts::<false>(ctx, xd, yd),
+            (1, Apply::Add) => self.spmv_parts::<true>(ctx, xd, yd),
+            (_, Apply::Set) => self.spmm_parts::<false>(ctx, xd, yd, k),
+            (_, Apply::Add) => self.spmm_parts::<true>(ctx, xd, yd, k),
+        }
     }
 
     fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
         crate::traffic::sell_traffic(self.nrows, self.ncols, self.nnz)
-    }
-
-    /// Fused `y += A·x` — no scratch vector at any thread count
-    /// (σ-sorted matrices still stage through scratch to undo the
-    /// permutation, but accumulate directly into `y`).
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
-    }
-
-    /// Multi-vector product streaming the matrix **once**: each slice
-    /// column is loaded a single time and multiplied against all `k`
-    /// input vectors — the blocked-RHS optimization that matters exactly
-    /// because SpMV is bandwidth-bound (§6): matrix bytes dominate, so
-    /// amortizing them across vectors multiplies the arithmetic intensity
-    /// by nearly `k`.
-    fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
-        assert_eq!(
-            x.len(),
-            k * self.ncols,
-            "X must hold k column-major vectors"
-        );
-        assert_eq!(
-            y.len(),
-            k * self.nrows,
-            "Y must hold k column-major vectors"
-        );
-        if self.perm.is_some() || k == 0 {
-            // σ-sorted matrices take the per-vector path (scatter per call).
-            for v in 0..k {
-                let (xv, yv) = (
-                    &x[v * self.ncols..(v + 1) * self.ncols],
-                    &mut y[v * self.nrows..(v + 1) * self.nrows],
-                );
-                self.spmv(xv, yv);
-            }
-            return;
-        }
-        debug_assert!(C <= 16, "spmm fast path supports C ≤ 16");
-        let nslices = self.nslices();
-        let mut acc = vec![[0.0f64; 8]; k];
-        // Lanes 8..16 when C = 16 (empty otherwise); hoisted out of the
-        // slice loop to keep the hot path allocation-free.
-        let mut extra = vec![[0.0f64; 8]; if C > 8 { k } else { 0 }];
-        for s in 0..nslices {
-            let base_row = s * C;
-            let lanes = C.min(self.nrows - base_row);
-            // Column-major walk over the slice; every (val, colidx) pair is
-            // touched once and used k times.
-            for a in &mut acc {
-                a.fill(0.0);
-            }
-            for a in &mut extra {
-                a.fill(0.0);
-            }
-            let mut idx = self.sliceptr[s];
-            let end = self.sliceptr[s + 1];
-            while idx < end {
-                for r in 0..C {
-                    let val = self.val[idx + r];
-                    if val == 0.0 {
-                        continue;
-                    }
-                    let col = self.colidx[idx + r] as usize;
-                    for (v, a) in acc.iter_mut().enumerate() {
-                        let xval = x[v * self.ncols + col];
-                        if r < 8 {
-                            a[r] += val * xval;
-                        } else {
-                            extra[v][r - 8] += val * xval;
-                        }
-                    }
-                }
-                idx += C;
-            }
-            for v in 0..k {
-                for r in 0..lanes {
-                    let contrib = if r < 8 { acc[v][r] } else { extra[v][r - 8] };
-                    y[v * self.nrows + base_row + r] = contrib;
-                }
-            }
-        }
     }
 }
 
@@ -650,7 +667,12 @@ mod tests {
         let a = random_csr(77, 77, 5);
         let x: Vec<f64> = (0..77).map(|i| i as f64 + 0.5).collect();
         let mut want = vec![0.0; 77];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let s = Sell8::from_csr_sigma(&a, 8);
         for isa in Isa::available_tiers() {
             let mut got = vec![0.0; 77];
@@ -668,8 +690,18 @@ mod tests {
         let x = vec![1.0; 40];
         let mut y1 = vec![2.0; 40];
         let mut y2 = vec![2.0; 40];
-        a.spmv_add(&x, &mut y1);
-        s.spmv_add(&x, &mut y2);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Add,
+        );
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Add,
+        );
         for i in 0..40 {
             assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
         }
@@ -705,13 +737,28 @@ mod tests {
         let a = random_csr(33, 33, 23);
         let x: Vec<f64> = (0..33).map(|i| i as f64).collect();
         let mut want = vec![0.0; 33];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let s4 = Sell4::from_csr(&a);
         let s16 = Sell16::from_csr(&a);
         let mut y4 = vec![0.0; 33];
         let mut y16 = vec![0.0; 33];
-        s4.spmv(&x, &mut y4);
-        s16.spmv(&x, &mut y16);
+        s4.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y4).into(),
+            Apply::Set,
+        );
+        s16.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y16).into(),
+            Apply::Set,
+        );
         for i in 0..33 {
             assert!((y4[i] - want[i]).abs() < 1e-12);
             assert!((y16[i] - want[i]).abs() < 1e-12);
@@ -741,8 +788,18 @@ mod tests {
         let x = vec![1.0; 50];
         let mut y1 = vec![0.0; 50];
         let mut y2 = vec![0.0; 50];
-        a2.spmv(&x, &mut y1);
-        s.spmv(&x, &mut y2);
+        a2.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Set,
+        );
         for i in 0..50 {
             assert!((y1[i] - y2[i]).abs() < 1e-12);
         }
@@ -758,7 +815,12 @@ mod tests {
         s.spmm(&x, k, &mut y_block);
         for v in 0..k {
             let mut y_single = vec![0.0; 45];
-            s.spmv(&x[v * 38..(v + 1) * 38], &mut y_single);
+            s.apply(
+                &ExecCtx::serial(),
+                (&x[v * 38..(v + 1) * 38]).into(),
+                (&mut y_single).into(),
+                Apply::Set,
+            );
             for i in 0..45 {
                 assert!(
                     (y_block[v * 45 + i] - y_single[i]).abs() < 1e-12,
@@ -800,7 +862,12 @@ mod tests {
         let a = Csr::from_dense(0, 0, &[]);
         let s = Sell8::from_csr(&a);
         let mut y: Vec<f64> = vec![];
-        s.spmv(&[], &mut y);
+        s.apply(
+            &ExecCtx::serial(),
+            (&[]).into(),
+            (&mut y).into(),
+            Apply::Set,
+        );
         assert_eq!(s.nnz(), 0);
         assert_eq!(s.nslices(), 0);
     }
@@ -828,11 +895,26 @@ mod tests {
         let a = random_csr(37, 37, 31);
         let x = vec![0.5; 37];
         let mut want = vec![1.0; 37];
-        a.spmv_add(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Add,
+        );
         let mut y4 = vec![1.0; 37];
-        Sell4::from_csr(&a).spmv_add(&x, &mut y4);
+        Sell4::from_csr(&a).apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y4).into(),
+            Apply::Add,
+        );
         let mut y16 = vec![1.0; 37];
-        Sell16::from_csr(&a).spmv_add(&x, &mut y16);
+        Sell16::from_csr(&a).apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y16).into(),
+            Apply::Add,
+        );
         for i in 0..37 {
             assert!((y4[i] - want[i]).abs() < 1e-12, "C=4 row {i}");
             assert!((y16[i] - want[i]).abs() < 1e-12, "C=16 row {i}");
@@ -848,7 +930,12 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
             let mut plain = vec![0.0; n];
             let mut tuned = vec![0.0; n];
-            s.spmv(&x, &mut plain);
+            s.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut plain).into(),
+                Apply::Set,
+            );
             s.spmv_tuned(&x, &mut tuned);
             for i in 0..n {
                 assert!((plain[i] - tuned[i]).abs() < 1e-12, "n={n} row {i}");
@@ -863,7 +950,12 @@ mod tests {
         let x = vec![1.0; 50];
         let mut y1 = vec![0.0; 50];
         let mut y2 = vec![0.0; 50];
-        s.spmv(&x, &mut y1);
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Set,
+        );
         s.spmv_tuned(&x, &mut y2);
         assert_eq!(y1, y2);
     }
@@ -873,7 +965,12 @@ mod tests {
         let a = Csr::from_dense(1, 3, &[1.0, 0.0, 2.0]);
         let s = Sell8::from_csr(&a);
         let mut y = vec![0.0];
-        s.spmv(&[1.0, 1.0, 1.0], &mut y);
+        s.apply(
+            &ExecCtx::serial(),
+            (&[1.0, 1.0, 1.0]).into(),
+            (&mut y).into(),
+            Apply::Set,
+        );
         assert_eq!(y, vec![3.0]);
         assert_eq!(s.padded_elems(), 7 * 2); // 7 padded lanes × width 2
     }

@@ -14,9 +14,10 @@ use crate::aligned::AVec;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
+use crate::multivec::{VecView, VecViewMut};
 use crate::plan::{PlanCache, SpmvPlan};
 use crate::sell::Sell8;
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
 
 /// SELL-8 plus a per-column lane mask (ESB-style).
 #[derive(Clone, Debug)]
@@ -151,8 +152,12 @@ impl MatShape for SellEsb {
     }
 }
 
-impl SpMv for SellEsb {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
+impl SellEsb {
+    /// Overwriting `y = A·x` body shared by both [`Operator::apply`]
+    /// modes (the accumulate mode stages through a scratch column: the
+    /// masked ESB kernels overwrite `y`, and this ablation format sits on
+    /// no solver hot path that needs a fused accumulate).
+    fn spmv_set(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.sell.nrows(), self.sell.ncols(), x, y);
         if ctx.is_serial() {
             self.spmv_isa(self.sell.isa(), x, y);
@@ -187,9 +192,24 @@ impl SpMv for SellEsb {
             }
         });
     }
-    // spmv_add_ctx keeps the documented scratch-vector default: the masked
-    // ESB kernels overwrite y, and this ablation format sits on no solver
-    // hot path that needs a fused accumulate.
+}
+
+impl Operator for SellEsb {
+    /// Blocked operands (`k > 1`) run column by column; the ESB bit-array
+    /// ablation has no native SpMM kernel.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.sell.nrows(), self.sell.ncols(), &x, &y);
+        crate::multivec::apply_columnwise(ctx, x, y, mode, |ctx, xc, yc, m| match m {
+            Apply::Set => self.spmv_set(ctx, xc, yc),
+            Apply::Add => {
+                let mut tmp = vec![0.0; yc.len()];
+                self.spmv_set(ctx, xc, &mut tmp);
+                for (o, t) in yc.iter_mut().zip(&tmp) {
+                    *o += *t;
+                }
+            }
+        });
+    }
 
     fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
         crate::traffic::sell_traffic(self.sell.nrows(), self.sell.ncols(), self.sell.nnz())
@@ -226,7 +246,12 @@ mod tests {
         let e = SellEsb::from_csr(&a);
         let x: Vec<f64> = (0..61).map(|i| 1.0 / (i + 1) as f64).collect();
         let mut want = vec![0.0; 61];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let mut got = vec![0.0; 61];
         e.spmv_isa(Isa::Scalar, &x, &mut got);
         for i in 0..61 {

@@ -28,20 +28,21 @@ use std::sync::Mutex;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
+use crate::multivec::{VecView, VecViewMut};
 use crate::plan::Permutation;
 use crate::sell::Sell;
-use crate::traits::{check_spmv_dims, MatShape, SpMv};
+use crate::traits::{check_apply_dims, Apply, MatShape, Operator};
 
 /// A SELL-C-σ matrix: σ-window sorted [`Sell<C>`] plus the row
 /// permutation that undoes the sort on output.
 ///
 /// ```
-/// use sellkit_core::{Csr, SellSigma8, SpMv};
+/// use sellkit_core::{Apply, Csr, ExecCtx, Operator, SellSigma8};
 ///
 /// let csr = Csr::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
 /// let s = SellSigma8::from_csr_sigma(&csr, 3);
 /// let mut y = vec![0.0; 3];
-/// s.spmv(&[1.0, 2.0, 3.0], &mut y);
+/// s.apply(&ExecCtx::serial(), (&[1.0, 2.0, 3.0]).into(), (&mut y).into(), Apply::Set);
 /// assert_eq!(y, vec![0.0, 0.0, 4.0]);
 /// ```
 #[derive(Debug)]
@@ -170,24 +171,30 @@ impl<const C: usize> SellSigma<C> {
             .set_values_from_csr(&permute_rows(csr, self.perm.as_slice()));
     }
 
-    /// Shared body of `spmv_ctx`/`spmv_add_ctx`: the plain SELL kernels
-    /// compute the sorted product into the cached scratch vector on the
-    /// same context (plan-based threaded path included), then the
-    /// permutation scatters it back to logical order.  Both stages are
+    /// Shared body of [`Operator::apply`]: the plain SELL kernels compute
+    /// the sorted product into the cached scratch buffer on the same
+    /// context (plan-based threaded path included), then the permutation
+    /// scatters row blocks back to logical order.  Both stages are
     /// bitwise-deterministic across thread counts, so the whole product
-    /// is too.
-    fn spmv_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        check_spmv_dims(self.nrows(), self.ncols(), x, y);
+    /// is too.  The scratch holds `nrows` doubles at construction and
+    /// grows (once) to `nrows * k` on the first blocked product.
+    fn apply_parts<const ADD: bool>(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64], k: usize) {
+        let n = self.nrows() * k;
         let mut scratch = self
             .scratch
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        self.inner.spmv_ctx(ctx, x, &mut scratch);
-        if ADD {
-            self.perm.scatter_ctx::<true>(ctx, &scratch, y);
-        } else {
-            self.perm.scatter_ctx::<false>(ctx, &scratch, y);
+        if scratch.len() < n {
+            scratch.resize(n, 0.0);
         }
+        let sorted = &mut scratch[..n];
+        self.inner.apply(
+            ctx,
+            VecView::blocked(x, k),
+            VecViewMut::blocked(sorted, k),
+            Apply::Set,
+        );
+        self.perm.scatter_blocks_ctx::<ADD>(ctx, sorted, y, k);
     }
 }
 
@@ -217,15 +224,19 @@ impl<const C: usize> MatShape for SellSigma<C> {
     }
 }
 
-impl<const C: usize> SpMv for SellSigma<C> {
-    fn spmv_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<false>(ctx, x, y);
-    }
-
-    /// Fused `y += A·x`: the scatter accumulates directly into `y`, so
-    /// no second scratch vector is needed at any thread count.
-    fn spmv_add_ctx(&self, ctx: &ExecCtx, x: &[f64], y: &mut [f64]) {
-        self.spmv_parts::<true>(ctx, x, y);
+impl<const C: usize> Operator for SellSigma<C> {
+    /// Single entry point for SpMV (`k = 1`) and SpMM (`k > 1`).  The
+    /// accumulate path is fused: the unsort scatter accumulates directly
+    /// into `y`, so no second scratch buffer is needed at any thread
+    /// count.
+    fn apply(&self, ctx: &ExecCtx, x: VecView<'_>, y: VecViewMut<'_>, mode: Apply) {
+        check_apply_dims(self.nrows(), self.ncols(), &x, &y);
+        let k = x.k();
+        let (xd, yd) = (x.data(), y.into_data());
+        match mode {
+            Apply::Set => self.apply_parts::<false>(ctx, xd, yd, k),
+            Apply::Add => self.apply_parts::<true>(ctx, xd, yd, k),
+        }
     }
 
     /// SELL traffic plus the unsort overhead: the permutation read
@@ -331,7 +342,12 @@ mod tests {
         for sigma in [1usize, 8, 32, 77] {
             let s = SellSigma8::from_csr_sigma(&a, sigma).with_isa(Isa::Scalar);
             let mut got = vec![0.0; 77];
-            s.spmv(&x, &mut got);
+            s.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut got).into(),
+                Apply::Set,
+            );
             assert_eq!(got, want, "sigma={sigma}");
         }
     }
@@ -343,8 +359,18 @@ mod tests {
         let x = vec![0.7; 40];
         let mut y1 = vec![1.5; 40];
         let mut y2 = vec![1.5; 40];
-        a.spmv_add(&x, &mut y1);
-        s.spmv_add(&x, &mut y2);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y1).into(),
+            Apply::Add,
+        );
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y2).into(),
+            Apply::Add,
+        );
         for i in 0..40 {
             assert!((y1[i] - y2[i]).abs() < 1e-12, "row {i}");
         }
@@ -356,11 +382,16 @@ mod tests {
         let s = SellSigma8::from_csr_sigma(&a, 32);
         let x: Vec<f64> = (0..150).map(|i| 1.0 / (i + 2) as f64).collect();
         let mut want = vec![0.0; 150];
-        s.spmv_ctx(&ExecCtx::serial(), &x, &mut want);
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         for threads in [2usize, 4, 7] {
             let ctx = ExecCtx::new(threads);
             let mut got = vec![0.0; 150];
-            s.spmv_ctx(&ctx, &x, &mut got);
+            s.apply(&ctx, (&x).into(), (&mut got).into(), Apply::Set);
             assert_eq!(got, want, "threads={threads}");
         }
     }
@@ -370,11 +401,21 @@ mod tests {
         let a = irregular(130, 19);
         let x: Vec<f64> = (0..130).map(|i| (i as f64 * 0.13).cos()).collect();
         let mut want = vec![0.0; 130];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         for isa in Isa::available_tiers() {
             let s = SellSigma8::from_csr_sigma(&a, 32).with_isa(isa);
             let mut got = vec![0.0; 130];
-            s.spmv(&x, &mut got);
+            s.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut got).into(),
+                Apply::Set,
+            );
             for i in 0..130 {
                 assert!((got[i] - want[i]).abs() < 1e-10, "{isa} row {i}");
             }
@@ -386,13 +427,28 @@ mod tests {
         let a = irregular(45, 23);
         let x = vec![1.0; 45];
         let mut want = vec![0.0; 45];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let s4 = SellSigma4::from_csr_sigma(&a, 16);
         let s16 = SellSigma16::from_csr_sigma(&a, 16);
         let mut y4 = vec![0.0; 45];
         let mut y16 = vec![0.0; 45];
-        s4.spmv(&x, &mut y4);
-        s16.spmv(&x, &mut y16);
+        s4.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y4).into(),
+            Apply::Set,
+        );
+        s16.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut y16).into(),
+            Apply::Set,
+        );
         for i in 0..45 {
             assert!((y4[i] - want[i]).abs() < 1e-12, "C=4 row {i}");
             assert!((y16[i] - want[i]).abs() < 1e-12, "C=16 row {i}");
@@ -423,8 +479,18 @@ mod tests {
         let x = vec![1.0; 64];
         let mut want = vec![0.0; 64];
         let mut got = vec![0.0; 64];
-        a2.spmv(&x, &mut want);
-        s.spmv(&x, &mut got);
+        a2.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
+        s.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut got).into(),
+            Apply::Set,
+        );
         for i in 0..64 {
             assert!((want[i] - got[i]).abs() < 1e-12, "row {i}");
         }
@@ -435,7 +501,12 @@ mod tests {
         let a = Csr::from_dense(0, 0, &[]);
         let s = SellSigma8::from_csr_sigma(&a, 4);
         let mut y: Vec<f64> = vec![];
-        s.spmv(&[], &mut y);
+        s.apply(
+            &ExecCtx::serial(),
+            (&[]).into(),
+            (&mut y).into(),
+            Apply::Set,
+        );
         assert_eq!(s.nnz(), 0);
     }
 

@@ -15,7 +15,7 @@
 //!
 //! Padding bytes are deliberately *not* counted (§6: "extra memory overhead
 //! contributed by padded zeros are not counted in order to eliminate
-//! artifacts due to implementation").  [`TrafficEstimate::with_padding`]
+//! artifacts due to implementation").  [`sell_traffic_with_padding`]
 //! adds them back for studying irregular matrices.
 
 use crate::csr::Csr;

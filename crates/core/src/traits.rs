@@ -10,78 +10,101 @@ pub trait MatShape {
     fn nnz(&self) -> usize;
 }
 
-/// Sparse matrix-vector product `y = A·x` (and `y += A·x`).
+/// Whether [`Operator::apply`] overwrites (`y = A·x`) or accumulates
+/// (`y += A·x`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Apply {
+    /// Overwrite: `Y = A·X`.  The operator must not read `y`.
+    Set,
+    /// Accumulate: `Y += A·X`.
+    Add,
+}
+
+/// The unified sparse-operator product: `Y = A·X` / `Y += A·X` over one
+/// vector or a row-interleaved block of `k` right-hand sides.
 ///
-/// Implementations must accept `x.len() == ncols()` and
-/// `y.len() == nrows()` and must not read `y` in [`SpMv::spmv`] /
-/// [`SpMv::spmv_ctx`].
+/// This collapses the grown-by-accretion
+/// `spmv`/`spmv_add`/`spmv_ctx`/`spmv_add_ctx` surface into one entry
+/// point: a [`VecView`](crate::VecView) is either a plain `&[f64]`
+/// (`k = 1`, classic SpMV) or a [`MultiVec`](crate::MultiVec) block
+/// (`k > 1`, SpMM — the matrix is streamed once and its `12·nnz` traffic
+/// amortized across all `k` vectors).  The old four methods survive as
+/// deprecated forwarders on [`SpMv`] for one release.
 ///
-/// The context-taking entry points are the primitives: an
-/// [`ExecCtx`](crate::ExecCtx) selects serial execution or a persistent
-/// worker pool, and a format runs its kernels over a disjoint,
-/// nnz-balanced row partition (slice-aligned for SELL).  The classic
-/// `spmv`/`spmv_add` methods are thin forwarders through
-/// `ExecCtx::serial()`, so existing callers are untouched.
+/// Implementations must accept `x.rows() == ncols()`,
+/// `y.rows() == nrows()`, `x.k() == y.k()`, and must not read `y` under
+/// [`Apply::Set`].
 ///
-/// **Contract**: for any context, `spmv_ctx`/`spmv_add_ctx` must produce
-/// output *bitwise identical* to the serial path — partitions never split
-/// a row, and each row is computed by the same kernel in the same operand
-/// order.  Formats whose kernels scatter into `y` (permuted variants,
-/// symmetric storage) satisfy this by running serially regardless of the
-/// context.
-pub trait SpMv: MatShape {
-    /// Computes `y = A·x`, overwriting `y`, on the given execution
-    /// context.
-    fn spmv_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]);
+/// **Contract**: for any context, `apply` must produce output *bitwise
+/// identical* to the serial path at the same `k` — partitions never
+/// split a row, and each row is computed by the same kernel in the same
+/// operand order.  Formats whose kernels scatter into `y` (permuted
+/// variants, symmetric storage) satisfy this by running serially
+/// regardless of the context.
+pub trait Operator: MatShape {
+    /// Computes `Y = A·X` ([`Apply::Set`]) or `Y += A·X`
+    /// ([`Apply::Add`]) on the given execution context.
+    fn apply(
+        &self,
+        ctx: &crate::ExecCtx,
+        x: crate::VecView<'_>,
+        y: crate::VecViewMut<'_>,
+        mode: Apply,
+    );
 
-    /// Computes `y += A·x` on the given execution context.
-    ///
-    /// The default implementation allocates a scratch vector, runs
-    /// [`SpMv::spmv_ctx`] into it, and accumulates — the documented
-    /// fallback for formats without a fused kernel.  Every bundled format
-    /// with row-disjoint output overrides it with a fused (scratch-free)
-    /// kernel.
-    fn spmv_add_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
-        let mut tmp = vec![0.0; y.len()];
-        self.spmv_ctx(ctx, x, &mut tmp);
-        for (yi, ti) in y.iter_mut().zip(tmp.iter()) {
-            *yi += ti;
-        }
-    }
-
-    /// Computes `y = A·x`, overwriting `y` (serial; forwards to
-    /// [`SpMv::spmv_ctx`] with [`ExecCtx::serial`](crate::ExecCtx::serial)).
-    fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_ctx(&crate::ExecCtx::serial(), x, y);
-    }
-
-    /// Computes `y += A·x` (serial; forwards to [`SpMv::spmv_add_ctx`]).
-    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
-        self.spmv_add_ctx(&crate::ExecCtx::serial(), x, y);
-    }
-
-    /// Floating-point operations performed by one product (2 per nonzero),
-    /// the flop count used for the paper's Gflop/s figures.
+    /// Floating-point operations performed by one single-vector product
+    /// (2 per nonzero), the flop count used for the paper's Gflop/s
+    /// figures.
     fn spmv_flops(&self) -> u64 {
         2 * self.nnz() as u64
     }
 
-    /// Minimum §6 memory traffic moved by one product, for bandwidth
-    /// attribution in profiling reports.  The default applies the CSR
-    /// formula (`12·nnz + 24·m + 8·n`); sliced-ELLPACK formats override
-    /// it with the SELL formula (`12·nnz + 10·m + 8·n`).
+    /// Minimum §6 memory traffic moved by one single-vector product, for
+    /// bandwidth attribution in profiling reports.  The default applies
+    /// the CSR formula (`12·nnz + 24·m + 8·n`); sliced-ELLPACK formats
+    /// override it with the SELL formula (`12·nnz + 10·m + 8·n`).
     fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
         crate::traffic::csr_traffic(self.nrows(), self.ncols(), self.nnz())
     }
 
-    /// Multi-vector product `Y = A·X` (sparse × dense-block, the level-3
-    /// analogue): `X` holds `k` column-major input vectors
-    /// (`x_v = X[v*ncols..(v+1)*ncols]`), `Y` likewise with `nrows`.
-    ///
-    /// The default streams the matrix once per vector; formats override it
-    /// to amortize matrix traffic across vectors (the whole point of
-    /// blocking multiple right-hand sides).
+    /// The `k`-independent (matrix-only) part of [`Operator::spmv_traffic`]:
+    /// total bytes minus the per-vector stream terms (`8·n` for reading
+    /// `x`, `16·m` for the write-allocate round trip on `y`).  This is
+    /// the term SpMM amortizes: batching `k` right-hand sides moves
+    /// `matrix_bytes() / k` matrix bytes *per RHS*.
+    fn matrix_bytes(&self) -> u64 {
+        let vector = 8 * self.ncols() as u64 + 16 * self.nrows() as u64;
+        self.spmv_traffic().bytes.saturating_sub(vector)
+    }
+
+    /// Floating-point operations of one `k`-vector block product.
+    fn spmm_flops(&self, k: usize) -> u64 {
+        self.spmv_flops() * k as u64
+    }
+
+    /// Minimum §6 memory traffic of one `k`-vector block product: the
+    /// matrix bytes are loaded **once** while the vector stream terms
+    /// scale with `k` — the `12·nnz/k` per-RHS amortization the SpMM
+    /// engine exists for.
+    fn spmm_traffic(&self, k: usize) -> crate::traffic::TrafficEstimate {
+        let vector = 8 * self.ncols() as u64 + 16 * self.nrows() as u64;
+        crate::traffic::TrafficEstimate {
+            bytes: self.matrix_bytes() + vector * k as u64,
+            flops: self.spmm_flops(k),
+        }
+    }
+
+    /// Multi-vector product `Y = A·X` over **column-major** storage
+    /// (`x_v = X[v*ncols..(v+1)*ncols]`, `Y` likewise with `nrows`) — a
+    /// convenience wrapper that stages the columns into an interleaved
+    /// [`MultiVec`](crate::MultiVec) block and runs one [`Operator::apply`],
+    /// so the matrix is streamed once for all `k` vectors.  `k == 0` is a
+    /// no-op (there is nothing to multiply).
     fn spmm(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        if k == 0 {
+            assert!(x.is_empty() && y.is_empty(), "k == 0 needs empty X/Y");
+            return;
+        }
         assert_eq!(
             x.len(),
             k * self.ncols(),
@@ -92,13 +115,57 @@ pub trait SpMv: MatShape {
             k * self.nrows(),
             "Y must hold k column-major vectors"
         );
+        let (m, n) = (self.nrows(), self.ncols());
+        let mut xb = crate::MultiVec::zeros(n, k);
         for v in 0..k {
-            let xv = &x[v * self.ncols()..(v + 1) * self.ncols()];
-            let yv = &mut y[v * self.nrows()..(v + 1) * self.nrows()];
-            self.spmv(xv, yv);
+            xb.set_column(v, &x[v * n..(v + 1) * n]);
+        }
+        let mut yb = crate::MultiVec::zeros(m, k);
+        self.apply(
+            &crate::ExecCtx::serial(),
+            xb.view(),
+            yb.view_mut(),
+            Apply::Set,
+        );
+        for v in 0..k {
+            yb.copy_column_into(v, &mut y[v * m..(v + 1) * m]);
         }
     }
 }
+
+/// Deprecated compatibility surface over [`Operator`]: the pre-redesign
+/// `spmv`/`spmv_add`/`spmv_ctx`/`spmv_add_ctx` quartet, each a thin
+/// forwarder into [`Operator::apply`].  Blanket-implemented for every
+/// operator, so `use …::SpMv` keeps compiling for one release — with
+/// deprecation warnings pointing at the replacement.
+pub trait SpMv: Operator {
+    /// Computes `y = A·x`, overwriting `y`, on the given execution
+    /// context.
+    #[deprecated(note = "use `Operator::apply(ctx, x.into(), y.into(), Apply::Set)`")]
+    fn spmv_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.apply(ctx, x.into(), y.into(), Apply::Set);
+    }
+
+    /// Computes `y += A·x` on the given execution context.
+    #[deprecated(note = "use `Operator::apply(ctx, x.into(), y.into(), Apply::Add)`")]
+    fn spmv_add_ctx(&self, ctx: &crate::ExecCtx, x: &[f64], y: &mut [f64]) {
+        self.apply(ctx, x.into(), y.into(), Apply::Add);
+    }
+
+    /// Computes `y = A·x`, overwriting `y` (serial).
+    #[deprecated(note = "use `Operator::apply` with `ExecCtx::serial()` and `Apply::Set`")]
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.apply(&crate::ExecCtx::serial(), x.into(), y.into(), Apply::Set);
+    }
+
+    /// Computes `y += A·x` (serial).
+    #[deprecated(note = "use `Operator::apply` with `ExecCtx::serial()` and `Apply::Add`")]
+    fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        self.apply(&crate::ExecCtx::serial(), x.into(), y.into(), Apply::Add);
+    }
+}
+
+impl<T: Operator + ?Sized> SpMv for T {}
 
 /// Conversion from CSR — every format can be built from assembled CSR,
 /// which is how PETSc's `MatConvert` reaches `SELL`, `AIJPERM`, etc.
@@ -158,4 +225,24 @@ impl<const C: usize> FromCsr for crate::sell_sigma::SellSigma<C> {
 pub(crate) fn check_spmv_dims(nrows: usize, ncols: usize, x: &[f64], y: &[f64]) {
     assert_eq!(x.len(), ncols, "x length {} != ncols {}", x.len(), ncols);
     assert_eq!(y.len(), nrows, "y length {} != nrows {}", y.len(), nrows);
+}
+
+/// Checks blocked `apply` operand shapes; shared by all format
+/// implementations.
+#[inline]
+pub(crate) fn check_apply_dims(
+    nrows: usize,
+    ncols: usize,
+    x: &crate::VecView<'_>,
+    y: &crate::VecViewMut<'_>,
+) {
+    assert_eq!(
+        x.k(),
+        y.k(),
+        "x holds {} vectors but y holds {}",
+        x.k(),
+        y.k()
+    );
+    assert_eq!(x.rows(), ncols, "x rows {} != ncols {}", x.rows(), ncols);
+    assert_eq!(y.rows(), nrows, "y rows {} != nrows {}", y.rows(), nrows);
 }

@@ -3,7 +3,7 @@
 
 use std::cell::RefCell;
 
-use sellkit_core::{Csr, ExecCtx, FromCsr, MatShape, SpMv};
+use sellkit_core::{Apply, Csr, ExecCtx, FromCsr, MatShape, Operator};
 use sellkit_mpisim::Comm;
 
 use crate::partition::{split_rows, RowRange};
@@ -16,7 +16,7 @@ use crate::scatter::VecScatter;
 /// into the full PETSc solver stack without touching the MatMult protocol.
 ///
 /// ```
-/// use sellkit_core::{Csr, Sell8, SpMv};
+/// use sellkit_core::{Csr, Sell8, Operator};
 /// use sellkit_dist::{DistMat, DistVec};
 /// use sellkit_mpisim::run;
 ///
@@ -50,7 +50,7 @@ pub struct DistMat<M> {
     ghost: RefCell<Vec<f64>>,
 }
 
-impl<M: SpMv + FromCsr> DistMat<M> {
+impl<M: Operator + FromCsr> DistMat<M> {
     /// Builds from this rank's row block, whose column indices are
     /// **global**.  Collective; `tag` must be unique per matrix so scatter
     /// traffic cannot mix.
@@ -186,23 +186,27 @@ impl<M: SpMv + FromCsr> DistMat<M> {
             // while VecScatterEnd measures the wait that was *not* hidden.
             {
                 let _d = sellkit_obs::span("MatMultDiag");
-                self.diag.spmv_ctx(ctx, x_local, y_local);
+                self.diag
+                    .apply(ctx, (x_local).into(), (y_local).into(), Apply::Set);
             }
             {
                 let _se = sellkit_obs::span("VecScatterEnd");
                 self.scatter.end(comm, pending, &mut ghost);
             }
             let _o = sellkit_obs::span("MatMultOffdiag");
-            self.offdiag.spmv_add_ctx(ctx, &ghost, y_local);
+            self.offdiag
+                .apply(ctx, (&ghost[..]).into(), (y_local).into(), Apply::Add);
         } else {
             // (1) post nonblocking transfers of nonlocal x entries;
             let pending = self.scatter.begin(comm, x_local, &mut ghost);
             // (2) diagonal block × local x — overlapped with communication;
-            self.diag.spmv_ctx(ctx, x_local, y_local);
+            self.diag
+                .apply(ctx, (x_local).into(), (y_local).into(), Apply::Set);
             // (3) wait for the transfers;
             self.scatter.end(comm, pending, &mut ghost);
             // (4) off-diagonal block × ghost entries, accumulated (fused).
-            self.offdiag.spmv_add_ctx(ctx, &ghost, y_local);
+            self.offdiag
+                .apply(ctx, (&ghost[..]).into(), (y_local).into(), Apply::Add);
         }
     }
 
@@ -293,11 +297,16 @@ mod tests {
         b.to_csr()
     }
 
-    fn check_parallel_equals_sequential<M: SpMv + FromCsr>(nranks: usize, n: usize) {
+    fn check_parallel_equals_sequential<M: Operator + FromCsr>(nranks: usize, n: usize) {
         let a = banded(n, 3);
         let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.13).sin()).collect();
         let mut want = vec![0.0; n];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
 
         let a2 = a.clone();
         let out = run(nranks, move |comm| {
@@ -336,11 +345,16 @@ mod tests {
 
     /// More ranks than rows: trailing ranks own zero rows and must still
     /// participate in the scatter without panicking or corrupting `y`.
-    fn check_zero_row_ranks<M: SpMv + FromCsr>(nranks: usize, n: usize, threads: usize) {
+    fn check_zero_row_ranks<M: Operator + FromCsr>(nranks: usize, n: usize, threads: usize) {
         let a = banded(n, 2);
         let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.13).sin()).collect();
         let mut want = vec![0.0; n];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
 
         let a2 = a.clone();
         let out = run(nranks, move |comm| {
@@ -484,7 +498,12 @@ mod tests {
         let a = banded(30, 2);
         let x: Vec<f64> = (0..30).map(|g| 1.0 / (g + 1) as f64).collect();
         let mut ax = vec![0.0; 30];
-        a.spmv(&x, &mut ax);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut ax).into(),
+            Apply::Set,
+        );
         let want: f64 = ax.iter().map(|v| v * v).sum();
         let a2 = a.clone();
         let out = run(3, move |comm| {
@@ -541,7 +560,12 @@ mod tests {
         let a = banded(30, 1);
         let x: Vec<f64> = (0..30).map(|g| g as f64).collect();
         let mut want = vec![0.0; 30];
-        a.spmv(&x, &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         let a2 = a.clone();
         let out = run(3, move |comm| {
             let dm = DistMat::<Sell8>::from_global_csr(comm, &a2, 1);

@@ -2,11 +2,11 @@
 //! §7.3 experiments, where every rank owns a block of unknowns, assembles
 //! only its own Jacobian rows, and all reductions cross ranks.
 //!
-//! The single-rank [`sellkit_solvers::snes::newton`] and this function run
+//! The single-rank [`sellkit_solvers::snes::newton`](fn@sellkit_solvers::snes::newton::newton) and this function run
 //! the *same algorithm*; only the vector space changes — which is why the
 //! paper's iteration counts are identical across node counts.
 
-use sellkit_core::{Csr, FromCsr, MatShape, SpMv};
+use sellkit_core::{Csr, FromCsr, MatShape, Operator};
 use sellkit_mpisim::Comm;
 use sellkit_solvers::ksp::gmres;
 use sellkit_solvers::pc::Precond;
@@ -47,7 +47,7 @@ pub fn dist_newton<M, Prob, Pc>(
     pc_factory: impl Fn(&Csr) -> Pc,
 ) -> NewtonResult
 where
-    M: SpMv + FromCsr,
+    M: Operator + FromCsr,
     Prob: DistNonlinearProblem,
     Pc: Precond,
 {
@@ -193,7 +193,7 @@ mod tests {
     }
 
     impl Ring {
-        fn full_state(&self, comm: &Comm, x_local: &[f64]) -> Vec<f64> {
+        fn full_state(comm: &Comm, x_local: &[f64]) -> Vec<f64> {
             // Test-scale halo: gather everything (the production path in
             // workloads::dist_gray_scott uses a proper VecScatter).
             comm.allgather(x_local.to_vec()).concat()
@@ -209,7 +209,7 @@ mod tests {
             r.start..r.end
         }
         fn residual(&self, comm: &Comm, x_local: &[f64], f_local: &mut [f64]) {
-            let x = self.full_state(comm, x_local);
+            let x = Ring::full_state(comm, x_local);
             let rows = self.local_rows(comm);
             for (li, i) in rows.enumerate() {
                 let prev = x[(i + self.n - 1) % self.n];
@@ -218,7 +218,7 @@ mod tests {
             }
         }
         fn local_jacobian(&self, comm: &Comm, x_local: &[f64]) -> Csr {
-            let x = self.full_state(comm, x_local);
+            let x = Ring::full_state(comm, x_local);
             let rows = self.local_rows(comm);
             let mut b = CooBuilder::new(rows.len(), self.n);
             for (li, i) in rows.enumerate() {

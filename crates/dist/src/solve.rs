@@ -3,7 +3,7 @@
 //! distributed system once `Operator` applies the parallel MatMult and
 //! `InnerProduct` reduces across ranks.
 
-use sellkit_core::{FromCsr, SpMv};
+use sellkit_core::{FromCsr, Operator as CoreOperator};
 use sellkit_mpisim::Comm;
 use sellkit_solvers::operator::{InnerProduct, Operator};
 
@@ -17,7 +17,7 @@ pub struct DistOp<'a, M> {
     pub mat: &'a DistMat<M>,
 }
 
-impl<M: SpMv + FromCsr> Operator for DistOp<'_, M> {
+impl<M: CoreOperator + FromCsr> Operator for DistOp<'_, M> {
     fn dim(&self) -> usize {
         self.mat.row_range().len()
     }

@@ -24,8 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sellkit_check::Validate;
 use sellkit_core::{
-    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Sbaij, Sell16,
-    Sell4, Sell8, SellEsb, SellSigma8, SpMv,
+    Apply, Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Operator,
+    Sbaij, Sell16, Sell4, Sell8, SellEsb, SellSigma8, VecView, VecViewMut,
 };
 
 use crate::gen::{make_x, MatrixCase, X_CLASSES};
@@ -111,9 +111,14 @@ pub struct Repro {
     pub threads: usize,
     /// `true` → `spmv_add_ctx` from a zeroed `y`; `false` → `spmv_ctx`.
     pub add: bool,
-    /// `Some(tier)` forces `spmv_isa` (serial); `None` uses the format's
-    /// default dispatch through `spmv_ctx`.
+    /// `Some(tier)` forces `spmv_isa`/`spmm_isa` (serial); `None` uses
+    /// the format's default dispatch through [`Operator::apply`].
     pub isa: Option<Isa>,
+    /// Right-hand-side block width: `1` is classic SpMV; `k > 1` runs the
+    /// blocked SpMM path with `x` holding `k` row-interleaved vectors
+    /// (`x[col*k + v]`) and compares against the column-by-column
+    /// scalar-CSR oracle.
+    pub k: usize,
 }
 
 /// A confirmed divergence or panic.
@@ -264,7 +269,7 @@ fn oracle(a: &Csr, x: &[f64], add: bool, y: &mut [f64]) {
 }
 
 /// Boxes one concrete format built from `a`.
-pub fn build_format(kind: FormatKind, a: &Csr) -> Box<dyn SpMv> {
+pub fn build_format(kind: FormatKind, a: &Csr) -> Box<dyn Operator> {
     match kind {
         FormatKind::Csr => Box::new(a.clone()),
         FormatKind::CsrPerm => Box::new(CsrPerm::from_csr(a)),
@@ -326,7 +331,8 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
         Ok(Err(e)) => return Some(format!("validation: {e}")),
         Err(p) => return Some(format!("panic in build/validate: {}", panic_msg(&p))),
     }
-    if r.x.len() != a.ncols() {
+    let k = r.k.max(1);
+    if r.x.len() != a.ncols() * k {
         // Structural-only repro; nothing numeric to run.
         return None;
     }
@@ -335,31 +341,61 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
     } else {
         a.clone()
     };
-    let mut want = vec![0.0; a.nrows()];
-    oracle(&oracle_mat, &r.x, r.add, &mut want);
+    // Column-by-column scalar-CSR oracle: the blocked product must agree
+    // with k independent single-vector products, column for column.
+    let mut want = vec![0.0; a.nrows() * k];
+    let mut xcol = vec![0.0; a.ncols()];
+    let mut wcol = vec![0.0; a.nrows()];
+    for v in 0..k {
+        for (i, xc) in xcol.iter_mut().enumerate() {
+            *xc = r.x[i * k + v];
+        }
+        wcol.fill(0.0);
+        oracle(&oracle_mat, &xcol, r.add, &mut wcol);
+        for (i, wc) in wcol.iter().enumerate() {
+            want[i * k + v] = *wc;
+        }
+    }
 
     let run = catch_unwind(AssertUnwindSafe(|| {
         let m = build_format(r.format, &a);
-        let mut y = vec![0.0; a.nrows()];
+        let mut y = vec![0.0; a.nrows() * k];
         match r.isa {
-            Some(tier) => {
-                // Forced-tier serial paths exist on CSR + the SELL family.
-                match r.format {
-                    FormatKind::Csr => a.spmv_isa(tier, &r.x, &mut y),
-                    FormatKind::Sell4 => Sell4::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                    FormatKind::Sell8 => Sell8::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                    FormatKind::Sell16 => Sell16::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                    FormatKind::SellEsb => SellEsb::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                    _ => m.spmv(&r.x, &mut y),
-                }
-            }
+            // Forced-tier serial paths exist on CSR + the SELL family.
+            Some(tier) if k == 1 => match r.format {
+                FormatKind::Csr => a.spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell4 => Sell4::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell8 => Sell8::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell16 => Sell16::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::SellEsb => SellEsb::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                _ => m.apply(
+                    &ExecCtx::serial(),
+                    (&r.x).into(),
+                    (&mut y).into(),
+                    Apply::Set,
+                ),
+            },
+            Some(tier) => match r.format {
+                FormatKind::Csr => a.spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell4 => Sell4::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell8 => Sell8::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell16 => Sell16::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
+                _ => m.apply(
+                    &ExecCtx::serial(),
+                    VecView::blocked(&r.x, k),
+                    VecViewMut::blocked(&mut y, k),
+                    Apply::Set,
+                ),
+            },
             None => {
                 let ctx = ctxs.get(r.threads);
-                if r.add {
-                    m.spmv_add_ctx(ctx, &r.x, &mut y);
-                } else {
-                    m.spmv_ctx(ctx, &r.x, &mut y);
-                }
+                let mode = if r.add { Apply::Add } else { Apply::Set };
+                m.apply(
+                    ctx,
+                    VecView::blocked(&r.x, k),
+                    VecViewMut::blocked(&mut y, k),
+                    mode,
+                );
             }
         }
         y
@@ -400,6 +436,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                     threads: 1,
                     add: false,
                     isa: None,
+                    k: 1,
                 },
             });
             return findings;
@@ -430,6 +467,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                 threads: 1,
                 add: false,
                 isa: None,
+                k: 1,
             },
         });
     }
@@ -449,6 +487,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                 threads: 1,
                 add: false,
                 isa: Some(tier),
+                k: 1,
             };
             if let Some(d) = repro_fails(&r, cfg, ctxs) {
                 findings.push(Finding {
@@ -482,6 +521,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                     threads: 1,
                     add: false,
                     isa,
+                    k: 1,
                 };
                 if let Some(d) = repro_fails(&r, cfg, ctxs) {
                     findings.push(Finding {
@@ -503,6 +543,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                         threads,
                         add,
                         isa: None,
+                        k: 1,
                     };
                     if let Some(d) = repro_fails(&r, cfg, ctxs) {
                         findings.push(Finding {
@@ -515,6 +556,128 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                             ),
                             repro: r,
                         });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Block widths for the SpMM differential sweep: every specialized size
+/// (`SPECIALIZED_K`) plus a ragged `k = 7` that exercises the masked
+/// tail of each vector tier's column-block loop.
+pub const SPMM_KS: [usize; 5] = [1, 2, 4, 7, 8];
+
+/// Runs the blocked (SpMM) differential sweep for one matrix case: every
+/// vector hazard class × block width × {CSR SpMM tiers, ten formats} ×
+/// {forced serial tiers, threaded ctx paths} × {set, add}, each compared
+/// against the column-by-column scalar-CSR oracle.  The interleaved `X`
+/// block reuses the same NaN/Inf hazard classes as the SpMV sweep, so
+/// the §5.5 sentinel-padding fix is pinned at every block width (a
+/// padded SELL lane must contribute exactly nothing, not `0.0 × Inf`).
+pub fn run_spmm_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Assembly panics are reported (with a repro) by `run_case`; this
+    // sweep only adds numeric combinations on top of a buildable matrix.
+    let Ok(a) = catch_unwind(AssertUnwindSafe(|| case.to_csr())) else {
+        return findings;
+    };
+    let mut xrng = StdRng::seed_from_u64(seed ^ 0x5b3c_01d7_44ee_9921);
+    for class in X_CLASSES {
+        for k in SPMM_KS {
+            // One independent hazard-class column per RHS, row-interleaved
+            // into the blocked layout (`x[col*k + v]`).
+            let mut x = vec![0.0; a.ncols() * k];
+            for v in 0..k {
+                let col = make_x(class, a.ncols(), &mut xrng);
+                for i in 0..a.ncols() {
+                    x[i * k + v] = col[i];
+                }
+            }
+
+            // CSR's own SpMM tiers against the column-by-column oracle.
+            for tier in Isa::available_tiers() {
+                let r = Repro {
+                    nrows: case.nrows,
+                    ncols: case.ncols,
+                    entries: case.entries.clone(),
+                    x: x.clone(),
+                    format: FormatKind::Csr,
+                    threads: 1,
+                    add: false,
+                    isa: Some(tier),
+                    k,
+                };
+                if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                    findings.push(Finding {
+                        case_name: case.name.clone(),
+                        detail: format!("csr@{tier} k={k} x={class:?}: {d}"),
+                        repro: r,
+                    });
+                }
+            }
+
+            for kind in FORMATS {
+                if !kind.supports(&a, case.symmetric) {
+                    continue;
+                }
+                // Forced serial SpMM tiers (the SELL family exposes them;
+                // ESB and the rest run through default dispatch only).
+                let tiers: Vec<Option<Isa>> = if matches!(
+                    kind,
+                    FormatKind::Sell4 | FormatKind::Sell8 | FormatKind::Sell16
+                ) {
+                    Isa::available_tiers().into_iter().map(Some).collect()
+                } else {
+                    vec![]
+                };
+                for isa in tiers {
+                    let r = Repro {
+                        nrows: case.nrows,
+                        ncols: case.ncols,
+                        entries: case.entries.clone(),
+                        x: x.clone(),
+                        format: kind,
+                        threads: 1,
+                        add: false,
+                        isa,
+                        k,
+                    };
+                    if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                        findings.push(Finding {
+                            case_name: case.name.clone(),
+                            detail: format!("{}@{:?} k={k} x={class:?}: {d}", kind.name(), r.isa),
+                            repro: r,
+                        });
+                    }
+                }
+                // Threaded ctx paths, both modes.
+                for &threads in &cfg.threads {
+                    for add in [false, true] {
+                        let r = Repro {
+                            nrows: case.nrows,
+                            ncols: case.ncols,
+                            entries: case.entries.clone(),
+                            x: x.clone(),
+                            format: kind,
+                            threads,
+                            add,
+                            isa: None,
+                            k,
+                        };
+                        if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                            findings.push(Finding {
+                                case_name: case.name.clone(),
+                                detail: format!(
+                                    "{}@{}t {} k={k} x={class:?}: {d}",
+                                    kind.name(),
+                                    threads,
+                                    if add { "add" } else { "set" },
+                                ),
+                                repro: r,
+                            });
+                        }
                     }
                 }
             }
@@ -550,6 +713,7 @@ pub fn run_huge_shape_case() -> Vec<Finding> {
                 threads: 1,
                 add: false,
                 isa: None,
+                k: 1,
             },
         });
     };

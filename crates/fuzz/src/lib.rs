@@ -3,7 +3,9 @@
 //! Differentially tests all ten storage formats (`CsrPerm`, `Ellpack`,
 //! `EllpackR`, `Sell4/8/16`, `SellEsb`, `SellSigma8`, `Baij`, `Sbaij`)
 //! plus CSR's own SIMD tiers against a scalar-CSR oracle, across ISA
-//! levels, thread counts, and `spmv`/`spmv_add`/`spmv_ctx` entry points.
+//! levels, thread counts, both [`Apply`](sellkit_core::Apply) modes, and
+//! — through the blocked SpMM sweep — every block width in
+//! [`diff::SPMM_KS`] against a column-by-column oracle.
 //!
 //! * [`gen`] — deterministic adversarial matrix/vector generators
 //!   (shape degeneracies, ragged slice tails, duplicate/unsorted COO,
@@ -21,6 +23,8 @@ pub mod diff;
 pub mod gen;
 pub mod shrink;
 
-pub use diff::{run_case, run_huge_shape_case, Config, Ctxs, Finding, Repro, FORMATS};
+pub use diff::{
+    run_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding, Repro, FORMATS, SPMM_KS,
+};
 pub use gen::{build, make_x, MatrixCase, FAMILIES, X_CLASSES};
 pub use shrink::{emit_test_snippet, minimize};

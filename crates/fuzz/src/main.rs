@@ -8,7 +8,7 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use sellkit_fuzz::diff::{run_case, run_huge_shape_case, Config, Ctxs, Finding};
+use sellkit_fuzz::diff::{run_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding};
 use sellkit_fuzz::gen::{build, FAMILIES};
 use sellkit_fuzz::shrink::{emit_test_snippet, minimize};
 
@@ -134,6 +134,7 @@ fn main() {
     for (family, seed) in &corpus {
         let case = build(family, *seed);
         findings.extend(run_case(&case, &cfg, &ctxs, *seed));
+        findings.extend(run_spmm_case(&case, &cfg, &ctxs, *seed));
         cases += 1;
         if !findings.is_empty() {
             break;
@@ -149,6 +150,9 @@ fn main() {
                 .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let case = build(family, seed);
             findings.extend(run_case(&case, &cfg, &ctxs, seed));
+            if findings.is_empty() {
+                findings.extend(run_spmm_case(&case, &cfg, &ctxs, seed));
+            }
             cases += 1;
             if !findings.is_empty() || start.elapsed() >= budget {
                 break 'outer;
@@ -162,8 +166,8 @@ fn main() {
     if findings.is_empty() {
         println!(
             "sellkit-fuzz: OK — {cases} cases ({} corpus + huge-shape + {round} random rounds), \
-             {} families x 8 vector classes x 10 formats x {:?} threads, {elapsed:.1}s, \
-             0 divergences, 0 panics",
+             {} families x 8 vector classes x 10 formats x {:?} threads x spmm k in {{1,2,4,7,8}}, \
+             {elapsed:.1}s, 0 divergences, 0 panics",
             corpus.len(),
             FAMILIES.len(),
             cfg.threads,

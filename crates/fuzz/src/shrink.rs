@@ -180,7 +180,8 @@ pub fn emit_test_snippet(r: &Repro, detail: &str) -> String {
         _ => "Sbaij::from_csr(&a, 2)".to_string(),
     };
     s.push_str(&format!("    let m = {build};\n"));
-    if r.x.len() != r.ncols {
+    let k = r.k.max(1);
+    if r.x.len() != r.ncols * k {
         // Validation-only repro: the layout itself is the failure.
         s.push_str("    use sellkit_check::Validate;\n");
         s.push_str("    assert_eq!(m.validate(), Ok(()));\n}\n");
@@ -188,20 +189,47 @@ pub fn emit_test_snippet(r: &Repro, detail: &str) -> String {
     }
     let xs: Vec<String> = r.x.iter().map(|&v| f64_src(v)).collect();
     s.push_str(&format!("    let x = vec![{}];\n", xs.join(", ")));
-    s.push_str(&format!("    let mut y = vec![0.0; {}];\n", r.nrows));
-    s.push_str(&format!("    let mut want = vec![0.0; {}];\n", r.nrows));
-    s.push_str("    // Scalar-CSR oracle.\n");
-    s.push_str("    a.spmv_isa(Isa::Scalar, &x, &mut want);\n");
+    s.push_str(&format!("    let mut y = vec![0.0; {}];\n", r.nrows * k));
+    s.push_str(&format!("    let mut want = vec![0.0; {}];\n", r.nrows * k));
+    if k == 1 {
+        s.push_str("    // Scalar-CSR oracle.\n");
+        s.push_str("    a.spmv_isa(Isa::Scalar, &x, &mut want);\n");
+    } else {
+        s.push_str("    // Column-by-column scalar-CSR oracle over the k-block.\n");
+        s.push_str(&format!(
+            "    let (k, nc, nr) = ({k}usize, {}, {});\n",
+            r.ncols, r.nrows
+        ));
+        s.push_str("    let mut xcol = vec![0.0; nc];\n");
+        s.push_str("    let mut wcol = vec![0.0; nr];\n");
+        s.push_str("    for v in 0..k {\n");
+        s.push_str("        for i in 0..nc {\n            xcol[i] = x[i * k + v];\n        }\n");
+        s.push_str("        wcol.fill(0.0);\n");
+        s.push_str("        a.spmv_isa(Isa::Scalar, &xcol, &mut wcol);\n");
+        s.push_str("        for i in 0..nr {\n            want[i * k + v] = wcol[i];\n        }\n");
+        s.push_str("    }\n");
+    }
     match r.isa {
-        Some(tier) => {
+        Some(tier) if k == 1 => {
             s.push_str(&format!("    m.spmv_isa(Isa::{tier:?}, &x, &mut y);\n"));
         }
+        Some(tier) => {
+            s.push_str(&format!("    m.spmm_isa(Isa::{tier:?}, &x, &mut y, k);\n"));
+        }
         None => {
-            s.push_str(&format!(
-                "    let ctx = ExecCtx::new({});\n    m.{}(&ctx, &x, &mut y);\n",
-                r.threads,
-                if r.add { "spmv_add_ctx" } else { "spmv_ctx" }
-            ));
+            s.push_str(&format!("    let ctx = ExecCtx::new({});\n", r.threads));
+            if k == 1 {
+                s.push_str(&format!(
+                    "    m.apply(&ctx, (&x).into(), (&mut y).into(), Apply::{});\n",
+                    if r.add { "Add" } else { "Set" }
+                ));
+            } else {
+                s.push_str(&format!(
+                    "    m.apply(&ctx, VecView::blocked(&x, k), \
+                     VecViewMut::blocked(&mut y, k), Apply::{});\n",
+                    if r.add { "Add" } else { "Set" }
+                ));
+            }
         }
     }
     s.push_str(
@@ -257,15 +285,35 @@ mod tests {
             threads: 4,
             add: true,
             isa: None,
+            k: 1,
         };
         let s = emit_test_snippet(&r, "row 0: NaN vs inf");
         assert!(s.contains("CooBuilder::new(2, 2)"));
         assert!(s.contains("b.push(0, 0, 1.0)"));
         assert!(s.contains("f64::INFINITY"));
         assert!(s.contains("Sell8::from_csr"));
-        assert!(s.contains("spmv_add_ctx"));
+        assert!(s.contains("Apply::Add"));
         assert!(s.contains("ExecCtx::new(4)"));
         assert!(s.contains("#[test]"));
+    }
+
+    #[test]
+    fn blocked_snippet_uses_the_column_oracle() {
+        let r = Repro {
+            nrows: 2,
+            ncols: 2,
+            entries: vec![(0, 0, 1.0), (1, 1, -2.0)],
+            x: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            format: FormatKind::Sell8,
+            threads: 2,
+            add: false,
+            isa: None,
+            k: 4,
+        };
+        let s = emit_test_snippet(&r, "row 0: 1 vs 2");
+        assert!(s.contains("VecView::blocked(&x, k)"), "{s}");
+        assert!(s.contains("xcol[i] = x[i * k + v]"), "{s}");
+        assert!(s.contains("Apply::Set"), "{s}");
     }
 
     #[test]
@@ -286,6 +334,7 @@ mod tests {
             threads: 1,
             add: false,
             isa: None,
+            k: 1,
         };
         let (small, detail) = minimize(&r, &cfg, &ctxs);
         assert!(detail.contains("did not re-fire"), "{detail}");

@@ -168,7 +168,8 @@ pub fn trilinear_interpolation(fine: &Grid3D) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{MatShape, SpMv};
+    use sellkit_core::{Apply, ExecCtx};
+    use sellkit_core::{MatShape, Operator};
 
     #[test]
     fn index_round_trip() {
@@ -200,7 +201,7 @@ mod tests {
         assert_eq!(a.nnz(), 7 * 64);
         let x = vec![2.5; 64];
         let mut y = vec![1.0; 64];
-        a.spmv(&x, &mut y);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         for v in y {
             assert!(v.abs() < 1e-12);
         }

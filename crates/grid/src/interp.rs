@@ -70,7 +70,8 @@ pub fn interpolation_chain(fine: &Grid2D, levels: usize) -> Vec<Csr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{MatShape, SpMv};
+    use sellkit_core::{Apply, ExecCtx};
+    use sellkit_core::{MatShape, Operator};
 
     #[test]
     fn shapes_and_row_sums() {
@@ -91,7 +92,12 @@ mod tests {
         let p = bilinear_interpolation(&fine);
         let xc = vec![7.5; p.ncols()];
         let mut xf = vec![0.0; p.nrows()];
-        p.spmv(&xc, &mut xf);
+        p.apply(
+            &ExecCtx::serial(),
+            (&xc).into(),
+            (&mut xf).into(),
+            Apply::Set,
+        );
         for v in xf {
             assert!((v - 7.5).abs() < 1e-12);
         }
@@ -111,7 +117,12 @@ mod tests {
             })
             .collect();
         let mut xf = vec![0.0; fine.n_unknowns()];
-        p.spmv(&xc, &mut xf);
+        p.apply(
+            &ExecCtx::serial(),
+            (&xc).into(),
+            (&mut xf).into(),
+            Apply::Set,
+        );
         for i in 0..fine.n_unknowns() {
             let (x, _, _) = fine.coords(i);
             if x < fine.nx - 1 {
@@ -146,7 +157,12 @@ mod tests {
         let r = p.transpose();
         let xf = vec![1.0; 64];
         let mut xc = vec![0.0; 16];
-        r.spmv(&xf, &mut xc);
+        r.apply(
+            &ExecCtx::serial(),
+            (&xf).into(),
+            (&mut xc).into(),
+            Apply::Set,
+        );
         for v in xc {
             assert!((v - 4.0).abs() < 1e-12);
         }

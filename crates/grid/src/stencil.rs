@@ -35,7 +35,8 @@ pub fn laplacian_5pt(grid: &Grid2D, coeff: &[f64], h: f64) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{MatShape, SpMv};
+    use sellkit_core::{Apply, ExecCtx};
+    use sellkit_core::{MatShape, Operator};
 
     #[test]
     fn constant_vector_is_in_nullspace() {
@@ -44,7 +45,7 @@ mod tests {
         let a = laplacian_5pt(&g, &[1.0], 1.0);
         let x = vec![3.0; 64];
         let mut y = vec![1.0; 64];
-        a.spmv(&x, &mut y);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         for v in y {
             assert!(v.abs() < 1e-12);
         }
@@ -79,7 +80,7 @@ mod tests {
             .collect();
         let lambda = 2.0 - 2.0 * (2.0 * std::f64::consts::PI * k / n as f64).cos();
         let mut y = vec![0.0; n * n];
-        a.spmv(&x, &mut y);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         for i in 0..n * n {
             assert!((y[i] - lambda * x[i]).abs() < 1e-10, "node {i}");
         }

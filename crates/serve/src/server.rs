@@ -1,0 +1,570 @@
+//! The batching solve server: request queue, coalescing worker, tickets.
+//!
+//! One background worker owns an [`ExecCtx`] and drains a shared queue of
+//! `(matrix_id, x)` requests.  The oldest request opens a *batch window*:
+//! the worker collects same-matrix requests until the window holds
+//! [`ServeConfig::max_batch`] of them or the oldest has waited
+//! [`ServeConfig::max_wait`], then stages the columns into a row-interleaved
+//! [`MultiVec`] and runs **one** blocked [`Operator::apply`] — so the
+//! matrix is streamed from memory once for the whole batch instead of once
+//! per request (`12·nnz/k` bytes per right-hand side, §6 model).
+//!
+//! Requests against *different* matrices never share a batch: a batch is
+//! one matrix by construction, and requests behind the window head for
+//! other matrices simply stay queued until their own window opens.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sellkit_check::Validate;
+use sellkit_core::{Apply, ExecCtx, MultiVec, Operator};
+
+/// Everything that can go wrong between `submit` and `wait`.
+///
+/// The service never panics across the API boundary: worker-side panics
+/// are caught and surfaced as [`ServeError::Poisoned`] on the affected
+/// tickets, and every precondition failure is a typed variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The pending queue already holds [`ServeConfig::queue_cap`]
+    /// requests; the caller should back off and retry.
+    QueueFull,
+    /// No matrix is registered under the given id.
+    UnknownMatrix(u64),
+    /// The right-hand side length does not match the matrix column count.
+    ShapeMismatch {
+        /// Column count of the registered matrix.
+        expected: usize,
+        /// Length of the submitted right-hand side.
+        got: usize,
+    },
+    /// The worker panicked while computing this batch (or a lock was
+    /// poisoned); the request cannot be fulfilled.
+    Poisoned,
+    /// [`Server::register`] rejected the matrix: `sellkit-check` found
+    /// structural invariant violations.
+    InvalidMatrix(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is at capacity"),
+            ServeError::UnknownMatrix(id) => write!(f, "no matrix registered under id {id}"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "rhs length {got} does not match matrix ncols {expected}")
+            }
+            ServeError::Poisoned => write!(f, "worker panicked while serving this request"),
+            ServeError::InvalidMatrix(why) => write!(f, "matrix failed validation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Batching and capacity policy for a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Largest SpMM block width one batch may reach (the `k` cap).
+    pub max_batch: usize,
+    /// Longest the oldest request in a window waits for company before
+    /// the batch dispatches anyway.
+    pub max_wait: Duration,
+    /// Pending-request cap; [`Server::submit`] returns
+    /// [`ServeError::QueueFull`] beyond it.
+    pub queue_cap: usize,
+    /// Threads in the worker's [`ExecCtx`] (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 64,
+            threads: 1,
+        }
+    }
+}
+
+/// A registered matrix: the operator plus its cached shape (so `submit`
+/// can shape-check without touching the operator).
+struct Tenant {
+    op: Box<dyn Operator + Send + Sync>,
+    nrows: usize,
+    ncols: usize,
+}
+
+/// One pending request.
+struct Request {
+    matrix: u64,
+    x: Vec<f64>,
+    ticket: Arc<TicketShared>,
+    enqueued: Instant,
+    seq: u64,
+}
+
+/// Completion slot a [`Ticket`] blocks on.
+struct TicketShared {
+    slot: Mutex<Option<Result<Vec<f64>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketShared {
+    fn fulfill(&self, result: Result<Vec<f64>, ServeError>) {
+        if let Ok(mut slot) = self.slot.lock() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Handle to one submitted request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.shared.slot.lock().is_ok_and(|s| s.is_some());
+        f.debug_struct("Ticket").field("ready", &ready).finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the worker fulfills the request and returns `y = A·x`
+    /// for the submitted right-hand side.
+    pub fn wait(self) -> Result<Vec<f64>, ServeError> {
+        let mut slot = self.shared.slot.lock().map_err(|_| ServeError::Poisoned)?;
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .shared
+                .ready
+                .wait(slot)
+                .map_err(|_| ServeError::Poisoned)?;
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the result is in, consuming it.
+    pub fn try_take(&self) -> Option<Result<Vec<f64>, ServeError>> {
+        self.shared.slot.lock().ok()?.take()
+    }
+}
+
+/// Queue state guarded by one mutex; the worker and submitters
+/// rendezvous on [`Shared::arrived`].
+struct State {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+    seq: u64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    arrived: Condvar,
+    tenants: Mutex<HashMap<u64, Arc<Tenant>>>,
+}
+
+/// The batching solve service.  See the crate docs for the policy; see
+/// [`ServeError`] for the failure contract.
+///
+/// Dropping the server drains the queue: pending requests are still
+/// served (batched as usual) before the worker exits.
+pub struct Server {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the background worker with the given policy.
+    pub fn start(cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+                seq: 0,
+            }),
+            arrived: Condvar::new(),
+            tenants: Mutex::new(HashMap::new()),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("sellkit-serve".into())
+            .spawn(move || worker_loop(&worker_shared))
+            .expect("spawn serve worker");
+        Server {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Registers `matrix` under `id`, running `sellkit-check`'s full
+    /// structural validation **once** — the per-request hot path trusts
+    /// the invariants from here on.  Re-registering an id replaces the
+    /// tenant (in-flight requests finish against the old operator).
+    pub fn register<M>(&self, id: u64, matrix: M) -> Result<(), ServeError>
+    where
+        M: Operator + Validate + Send + Sync + 'static,
+    {
+        if let Err(violations) = matrix.validate() {
+            let mut why = format!("{} violation(s)", violations.len());
+            if let Some(first) = violations.first() {
+                why.push_str(&format!(", first: {first}"));
+            }
+            return Err(ServeError::InvalidMatrix(why));
+        }
+        let tenant = Arc::new(Tenant {
+            nrows: matrix.nrows(),
+            ncols: matrix.ncols(),
+            op: Box::new(matrix),
+        });
+        let mut tenants = self
+            .shared
+            .tenants
+            .lock()
+            .map_err(|_| ServeError::Poisoned)?;
+        tenants.insert(id, tenant);
+        Ok(())
+    }
+
+    /// Queues `y = A·x` against the matrix registered under `id` and
+    /// returns a [`Ticket`] for the result.  Fails fast on an unknown
+    /// id, a wrong-length `x`, or a saturated queue (backpressure).
+    pub fn submit(&self, id: u64, x: &[f64]) -> Result<Ticket, ServeError> {
+        let expected = {
+            let tenants = self
+                .shared
+                .tenants
+                .lock()
+                .map_err(|_| ServeError::Poisoned)?;
+            let tenant = tenants.get(&id).ok_or(ServeError::UnknownMatrix(id))?;
+            tenant.ncols
+        };
+        if x.len() != expected {
+            return Err(ServeError::ShapeMismatch {
+                expected,
+                got: x.len(),
+            });
+        }
+        let ticket_shared = Arc::new(TicketShared {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let depth = {
+            let mut state = self.shared.state.lock().map_err(|_| ServeError::Poisoned)?;
+            if state.queue.len() >= self.shared.cfg.queue_cap {
+                return Err(ServeError::QueueFull);
+            }
+            let seq = state.seq;
+            state.seq += 1;
+            state.queue.push_back(Request {
+                matrix: id,
+                x: x.to_vec(),
+                ticket: Arc::clone(&ticket_shared),
+                enqueued: Instant::now(),
+                seq,
+            });
+            state.queue.len()
+        };
+        sellkit_obs::gauge("serve.queue_depth", depth as f64);
+        self.shared.arrived.notify_all();
+        Ok(Ticket {
+            shared: ticket_shared,
+        })
+    }
+
+    /// Number of requests currently queued (diagnostic; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().map_or(0, |s| s.queue.len())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.arrived.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Removes up to `max` requests against `matrix` from the queue,
+/// preserving arrival order of everything else.
+fn take_batch(state: &mut State, matrix: u64, max: usize) -> Vec<Request> {
+    let mut batch = Vec::new();
+    let mut rest = VecDeque::with_capacity(state.queue.len());
+    for req in state.queue.drain(..) {
+        if req.matrix == matrix && batch.len() < max {
+            batch.push(req);
+        } else {
+            rest.push_back(req);
+        }
+    }
+    state.queue = rest;
+    batch
+}
+
+/// Static counter names for the batch-size histogram (`sellkit-obs`
+/// counters take `&'static str`).
+fn batch_bucket(k: usize) -> &'static str {
+    match k {
+        1 => "serve.batch.k1",
+        2 => "serve.batch.k2",
+        3 => "serve.batch.k3",
+        4 => "serve.batch.k4",
+        5 => "serve.batch.k5",
+        6 => "serve.batch.k6",
+        7 => "serve.batch.k7",
+        8 => "serve.batch.k8",
+        _ => "serve.batch.k_other",
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let ctx = ExecCtx::new(shared.cfg.threads);
+    loop {
+        // Phase 1: wait for a batch window to close.
+        let batch = {
+            let Ok(mut state) = shared.state.lock() else {
+                return;
+            };
+            loop {
+                if let Some(front) = state.queue.front() {
+                    let matrix = front.matrix;
+                    let deadline = front.enqueued + shared.cfg.max_wait;
+                    let available = state.queue.iter().filter(|r| r.matrix == matrix).count();
+                    let now = Instant::now();
+                    if state.shutdown || available >= shared.cfg.max_batch || now >= deadline {
+                        break take_batch(&mut state, matrix, shared.cfg.max_batch);
+                    }
+                    let Ok((guard, _)) = shared.arrived.wait_timeout(state, deadline - now) else {
+                        return;
+                    };
+                    state = guard;
+                } else if state.shutdown {
+                    return;
+                } else {
+                    let Ok(guard) = shared.arrived.wait(state) else {
+                        return;
+                    };
+                    state = guard;
+                }
+            }
+        };
+        // Phase 2: run the batch with no lock held.
+        execute_batch(shared, &ctx, batch);
+    }
+}
+
+/// Stages the batch into one interleaved block, runs one SpMM, and
+/// fulfills every ticket.  A panic inside the operator poisons only the
+/// tickets of this batch, never the worker.
+fn execute_batch(shared: &Shared, ctx: &ExecCtx, batch: Vec<Request>) {
+    let k = batch.len();
+    if k == 0 {
+        return;
+    }
+    let tenant = shared
+        .tenants
+        .lock()
+        .ok()
+        .and_then(|t| t.get(&batch[0].matrix).cloned());
+    let Some(tenant) = tenant else {
+        // submit() checks registration, but a lock poisoned in between
+        // still needs every ticket answered.
+        for req in &batch {
+            req.ticket
+                .fulfill(Err(ServeError::UnknownMatrix(req.matrix)));
+        }
+        return;
+    };
+
+    sellkit_obs::counter(batch_bucket(k), 1.0);
+    sellkit_obs::counter("serve.requests", k as f64);
+    sellkit_obs::counter("serve.matrix_bytes", tenant.op.matrix_bytes() as f64);
+
+    let mut x = MultiVec::zeros(tenant.ncols, k);
+    for (v, req) in batch.iter().enumerate() {
+        x.set_column(v, &req.x);
+    }
+    let mut y = MultiVec::zeros(tenant.nrows, k);
+    let traffic = tenant.op.spmm_traffic(k);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _span =
+            sellkit_obs::span_traffic("SpMMBatch", traffic.flops as f64, traffic.bytes as f64);
+        tenant.op.apply(ctx, x.view(), y.view_mut(), Apply::Set);
+    }));
+
+    match outcome {
+        Ok(()) => {
+            for (v, req) in batch.iter().enumerate() {
+                let mut out = vec![0.0; tenant.nrows];
+                y.copy_column_into(v, &mut out);
+                let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+                sellkit_obs::series_point("serve.latency_ms", req.seq as f64, latency_ms);
+                req.ticket.fulfill(Ok(out));
+            }
+        }
+        Err(_) => {
+            for req in &batch {
+                req.ticket.fulfill(Err(ServeError::Poisoned));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sellkit_core::CooBuilder;
+
+    fn diag(n: usize, scale: f64) -> sellkit_core::Csr {
+        let mut coo = CooBuilder::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, scale * (i + 1) as f64);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let server = Server::start(ServeConfig::default());
+        server.register(1, diag(4, 2.0)).unwrap();
+        let y = server
+            .submit(1, &[1.0, 1.0, 1.0, 1.0])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(y, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn unknown_matrix_is_typed() {
+        let server = Server::start(ServeConfig::default());
+        assert_eq!(
+            server.submit(9, &[1.0]).unwrap_err(),
+            ServeError::UnknownMatrix(9)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let server = Server::start(ServeConfig::default());
+        server.register(1, diag(4, 1.0)).unwrap();
+        assert_eq!(
+            server.submit(1, &[1.0, 2.0]).unwrap_err(),
+            ServeError::ShapeMismatch {
+                expected: 4,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn queue_full_applies_backpressure() {
+        // A long max_wait keeps the worker parked in its batch window
+        // while we overfill the queue from this thread.
+        let server = Server::start(ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(5),
+            queue_cap: 3,
+            threads: 1,
+        });
+        server.register(1, diag(2, 1.0)).unwrap();
+        let mut tickets = Vec::new();
+        let mut full = false;
+        for _ in 0..16 {
+            match server.submit(1, &[1.0, 1.0]) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull) => {
+                    full = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(full, "queue_cap=3 must eventually reject");
+        drop(server); // drains the queue
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_matrix_rejected_at_registration() {
+        // The core constructors validate eagerly, so an invalid matrix
+        // can only reach `register` through a custom Operator whose
+        // Validate impl reports violations — which is exactly the
+        // contract this test pins: register surfaces them as a typed
+        // error and never inserts the tenant.
+        struct AlwaysInvalid(sellkit_core::Csr);
+        impl sellkit_core::MatShape for AlwaysInvalid {
+            fn nrows(&self) -> usize {
+                self.0.nrows()
+            }
+            fn ncols(&self) -> usize {
+                self.0.ncols()
+            }
+            fn nnz(&self) -> usize {
+                self.0.nnz()
+            }
+        }
+        impl Operator for AlwaysInvalid {
+            fn apply(
+                &self,
+                ctx: &ExecCtx,
+                x: sellkit_core::VecView<'_>,
+                y: sellkit_core::VecViewMut<'_>,
+                mode: Apply,
+            ) {
+                self.0.apply(ctx, x, y, mode);
+            }
+        }
+        impl Validate for AlwaysInvalid {
+            fn validate(&self) -> Result<(), Vec<sellkit_check::Violation>> {
+                Err(vec![sellkit_check::Violation::ArrLen {
+                    array: "colidx",
+                    expected: 4,
+                    found: 3,
+                }])
+            }
+        }
+        let server = Server::start(ServeConfig::default());
+        match server.register(1, AlwaysInvalid(diag(2, 1.0))) {
+            Err(ServeError::InvalidMatrix(why)) => {
+                assert!(why.contains("1 violation(s)"), "got {why:?}")
+            }
+            other => panic!("expected InvalidMatrix, got {other:?}"),
+        }
+        assert_eq!(
+            server.submit(1, &[1.0, 1.0]).unwrap_err(),
+            ServeError::UnknownMatrix(1)
+        );
+    }
+
+    #[test]
+    fn drop_drains_pending_requests() {
+        let server = Server::start(ServeConfig {
+            max_wait: Duration::from_secs(5),
+            ..ServeConfig::default()
+        });
+        server.register(1, diag(3, 1.0)).unwrap();
+        let t1 = server.submit(1, &[1.0, 1.0, 1.0]).unwrap();
+        let t2 = server.submit(1, &[2.0, 2.0, 2.0]).unwrap();
+        drop(server);
+        assert_eq!(t1.wait().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t2.wait().unwrap(), vec![2.0, 4.0, 6.0]);
+    }
+}

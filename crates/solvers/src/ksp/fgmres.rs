@@ -13,7 +13,7 @@ use super::{test_convergence, KspConfig, KspResult, StopReason};
 
 /// Solves `A x = b` with restarted flexible GMRES.
 ///
-/// Unlike [`super::gmres`], the preconditioned vectors `z_j = M⁻¹ v_j`
+/// Unlike [`super::gmres`](fn@super::gmres::gmres), the preconditioned vectors `z_j = M⁻¹ v_j`
 /// are stored explicitly, so `M` may differ at every application.
 pub fn fgmres<O: Operator, P: Precond, D: InnerProduct>(
     op: &O,

@@ -1,7 +1,7 @@
 //! Krylov subspace solvers (PETSc `KSP`).
 //!
 //! All methods are left-preconditioned, format-agnostic (they see only
-//! [`Operator`]/[`InnerProduct`]/[`Precond`]), and record a residual
+//! [`Operator`]/[`InnerProduct`]/[`Precond`](crate::pc::Precond)), and record a residual
 //! history for convergence studies.
 
 pub mod bicgstab;
@@ -124,7 +124,7 @@ pub(crate) fn initial_residual<O: Operator, D: InnerProduct>(
 #[cfg(test)]
 pub(crate) mod testmat {
     //! Shared test fixtures for the KSP modules.
-    use sellkit_core::{CooBuilder, Csr};
+    use sellkit_core::{Apply, CooBuilder, Csr, ExecCtx};
 
     /// SPD 2D Laplacian (5-point, Dirichlet) on an `nx × nx` grid.
     pub fn laplace2d(nx: usize) -> Csr {
@@ -178,9 +178,9 @@ pub(crate) mod testmat {
 
     /// True-residual norm ‖b - Ax‖₂.
     pub fn true_residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
-        use sellkit_core::SpMv;
+        use sellkit_core::Operator as CoreOperator;
         let mut ax = vec![0.0; b.len()];
-        a.spmv(x, &mut ax);
+        a.apply(&ExecCtx::serial(), (x).into(), (&mut ax).into(), Apply::Set);
         for i in 0..b.len() {
             ax[i] -= b[i];
         }

@@ -2,11 +2,11 @@
 //!
 //! A Krylov method needs exactly two things: apply the linear operator,
 //! and take inner products.  Splitting those into two traits lets the same
-//! GMRES code run (a) sequentially over any [`sellkit_core::SpMv`] format
+//! GMRES code run (a) sequentially over any [`sellkit_core::Operator`] format
 //! and (b) in parallel over a distributed matrix whose inner products
 //! reduce across ranks.
 
-use sellkit_core::SpMv;
+use sellkit_core::{Apply, ExecCtx, Operator as CoreOperator};
 
 use crate::vecops;
 
@@ -40,13 +40,13 @@ impl InnerProduct for SeqDot {
 
 /// Adapter giving every sparse format an [`Operator`] implementation.
 ///
-/// (A blanket `impl<M: SpMv> Operator for M` would forbid downstream
+/// (A blanket `impl<M: CoreOperator> Operator for M` would forbid downstream
 /// crates from implementing `Operator` for their own matrix wrappers, so
 /// the adapter is explicit.)
 #[derive(Clone, Debug)]
 pub struct MatOperator<'a, M>(pub &'a M);
 
-impl<M: SpMv> Operator for MatOperator<'_, M> {
+impl<M: CoreOperator> Operator for MatOperator<'_, M> {
     fn dim(&self) -> usize {
         self.0.nrows()
     }
@@ -57,15 +57,17 @@ impl<M: SpMv> Operator for MatOperator<'_, M> {
         if sellkit_obs::enabled() {
             let t = self.0.spmv_traffic();
             let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
-            self.0.spmv(x, y);
+            self.0
+                .apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set);
         } else {
-            self.0.spmv(x, y);
+            self.0
+                .apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set);
         }
     }
 }
 
 /// Like [`MatOperator`], but every application runs on an
-/// [`ExecCtx`](sellkit_core::ExecCtx) worker pool — the hook that makes a
+/// [`ExecCtx`] worker pool — the hook that makes a
 /// whole Krylov solve thread-parallel without touching any solver code:
 /// wrap the matrix once, and every MatMult the solver issues dispatches to
 /// the pool.
@@ -79,7 +81,7 @@ pub struct CtxMatOperator<'a, M> {
     ctx: &'a sellkit_core::ExecCtx,
 }
 
-impl<'a, M: SpMv> CtxMatOperator<'a, M> {
+impl<'a, M: CoreOperator> CtxMatOperator<'a, M> {
     /// Binds a matrix to an execution context.
     pub fn new(mat: &'a M, ctx: &'a sellkit_core::ExecCtx) -> Self {
         Self { mat, ctx }
@@ -96,7 +98,7 @@ impl<'a, M: SpMv> CtxMatOperator<'a, M> {
     }
 }
 
-impl<M: SpMv> Operator for CtxMatOperator<'_, M> {
+impl<M: CoreOperator> Operator for CtxMatOperator<'_, M> {
     fn dim(&self) -> usize {
         self.mat.nrows()
     }
@@ -104,9 +106,9 @@ impl<M: SpMv> Operator for CtxMatOperator<'_, M> {
         if sellkit_obs::enabled() {
             let t = self.mat.spmv_traffic();
             let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
-            self.mat.spmv_ctx(self.ctx, x, y);
+            self.mat.apply(self.ctx, (x).into(), (y).into(), Apply::Set);
         } else {
-            self.mat.spmv_ctx(self.ctx, x, y);
+            self.mat.apply(self.ctx, (x).into(), (y).into(), Apply::Set);
         }
     }
 }

@@ -81,7 +81,8 @@ impl Precond for Ilu0 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{CooBuilder, SpMv};
+    use sellkit_core::{Apply, ExecCtx};
+    use sellkit_core::{CooBuilder, Operator as CoreOperator};
 
     fn laplace2d(nx: usize) -> Csr {
         let n = nx * nx;
@@ -116,7 +117,12 @@ mod tests {
         let mut z = vec![0.0; 3];
         ilu.apply(&b, &mut z);
         let mut az = vec![0.0; 3];
-        a.spmv(&z, &mut az);
+        a.apply(
+            &ExecCtx::serial(),
+            (&z).into(),
+            (&mut az).into(),
+            Apply::Set,
+        );
         for i in 0..3 {
             assert!((az[i] - b[i]).abs() < 1e-12);
         }
@@ -141,7 +147,7 @@ mod tests {
         let jac = super::super::jacobi::JacobiPc::from_csr(&a);
         let res = |z: &[f64]| {
             let mut az = vec![0.0; n];
-            a.spmv(z, &mut az);
+            a.apply(&ExecCtx::serial(), (z).into(), (&mut az).into(), Apply::Set);
             for i in 0..n {
                 az[i] -= r[i];
             }
@@ -175,7 +181,12 @@ mod tests {
         let mut z = vec![0.0; n];
         ilu.apply(&rhs, &mut z);
         let mut az = vec![0.0; n];
-        a.spmv(&z, &mut az);
+        a.apply(
+            &ExecCtx::serial(),
+            (&z).into(),
+            (&mut az).into(),
+            Apply::Set,
+        );
         for i in 0..n {
             assert!((az[i] - rhs[i]).abs() < 1e-10, "row {i}");
         }

@@ -16,7 +16,7 @@
 //! CSR — as in the paper, where every level's MatMult uses the chosen
 //! matrix type.
 
-use sellkit_core::{Csr, FromCsr, MatShape, SpMv};
+use sellkit_core::{Apply, Csr, ExecCtx, FromCsr, MatShape, Operator as CoreOperator};
 
 use super::spgemm::rap;
 use super::Precond;
@@ -72,13 +72,13 @@ impl Default for MultigridConfig {
 
 /// One MatMult with §6 traffic attribution when logging is enabled; the
 /// disabled path costs one relaxed atomic load.
-fn mult<M: SpMv>(a: &M, x: &[f64], y: &mut [f64]) {
+fn mult<M: CoreOperator>(a: &M, x: &[f64], y: &mut [f64]) {
     if sellkit_obs::enabled() {
         let t = a.spmv_traffic();
         let _mm = sellkit_obs::span_traffic("MatMult", t.flops as f64, t.bytes as f64);
-        a.spmv(x, y);
+        a.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set);
     } else {
-        a.spmv(x, y);
+        a.apply(&ExecCtx::serial(), (x).into(), (y).into(), Apply::Set);
     }
 }
 
@@ -100,7 +100,7 @@ struct Level<M> {
 /// iterations suffice for smoother bounds, as in PETSc's
 /// `KSPChebyshevEstEigSet`).
 fn estimate_emax(a: &Csr, inv_diag: &[f64]) -> f64 {
-    use sellkit_core::SpMv as _;
+    use sellkit_core::Operator as _;
     let n = a.nrows();
     if n == 0 {
         return 1.0;
@@ -118,7 +118,12 @@ fn estimate_emax(a: &Csr, inv_diag: &[f64]) -> f64 {
             return 1.0;
         }
         crate::vecops::scale(1.0 / norm, &mut v);
-        a.spmv(&v, &mut av);
+        a.apply(
+            &ExecCtx::serial(),
+            (&v).into(),
+            (&mut av).into(),
+            Apply::Set,
+        );
         for i in 0..n {
             av[i] *= inv_diag[i];
         }
@@ -135,7 +140,7 @@ pub struct Multigrid<M> {
     coarse_lu: Option<DenseLu>,
 }
 
-impl<M: SpMv + FromCsr> Multigrid<M> {
+impl<M: CoreOperator + FromCsr> Multigrid<M> {
     /// Builds the hierarchy.
     ///
     /// `interps[l]` prolongates level `l+1` (coarser) to level `l`; the
@@ -293,7 +298,12 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
         let r_op = lev.r.as_ref().expect("non-coarsest level has restriction");
         let nc = self.levels[l + 1].n;
         let mut res_c = vec![0.0; nc];
-        r_op.spmv(&res, &mut res_c);
+        r_op.apply(
+            &ExecCtx::serial(),
+            (&res).into(),
+            (&mut res_c).into(),
+            Apply::Set,
+        );
 
         // Coarse-grid correction.
         let mut e_c = vec![0.0; nc];
@@ -301,14 +311,19 @@ impl<M: SpMv + FromCsr> Multigrid<M> {
 
         let p_op = lev.p.as_ref().expect("non-coarsest level has prolongation");
         let mut e_f = vec![0.0; lev.n];
-        p_op.spmv(&e_c, &mut e_f);
+        p_op.apply(
+            &ExecCtx::serial(),
+            (&e_c).into(),
+            (&mut e_f).into(),
+            Apply::Set,
+        );
         vecops::axpy(1.0, &e_f, x);
 
         self.smooth(l, b, x, self.cfg.post_smooth);
     }
 }
 
-impl<M: SpMv + FromCsr> Precond for Multigrid<M> {
+impl<M: CoreOperator + FromCsr> Precond for Multigrid<M> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let _pc = sellkit_obs::span("PCApply");
         z.fill(0.0);
@@ -427,7 +442,7 @@ mod tests {
 
     fn residual_norm(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
-        a.spmv(x, &mut ax);
+        a.apply(&ExecCtx::serial(), (x).into(), (&mut ax).into(), Apply::Set);
         for i in 0..b.len() {
             ax[i] -= b[i];
         }
@@ -465,7 +480,12 @@ mod tests {
         for _ in 0..8 {
             let mut r = vec![0.0; n];
             let mut ax = vec![0.0; n];
-            a.spmv(&x, &mut ax);
+            a.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut ax).into(),
+                Apply::Set,
+            );
             for i in 0..n {
                 r[i] = b[i] - ax[i];
             }
@@ -536,7 +556,12 @@ mod tests {
             let mut x = vec![0.0; n];
             for _ in 0..6 {
                 let mut ax = vec![0.0; n];
-                a.spmv(&x, &mut ax);
+                a.apply(
+                    &ExecCtx::serial(),
+                    (&x).into(),
+                    (&mut ax).into(),
+                    Apply::Set,
+                );
                 let r: Vec<f64> = (0..n).map(|i| b[i] - ax[i]).collect();
                 let mut z = vec![0.0; n];
                 mg.apply(&r, &mut z);

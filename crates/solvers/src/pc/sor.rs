@@ -93,6 +93,7 @@ impl Precond for SorPc {
 mod tests {
     use super::*;
     use crate::vecops::norm2;
+    use sellkit_core::{Apply, ExecCtx};
 
     fn laplace1d(n: usize) -> Csr {
         let mut d = vec![0.0; n * n];
@@ -109,9 +110,9 @@ mod tests {
     }
 
     fn residual(a: &Csr, z: &[f64], r: &[f64]) -> f64 {
-        use sellkit_core::SpMv;
+        use sellkit_core::Operator as CoreOperator;
         let mut az = vec![0.0; r.len()];
-        a.spmv(z, &mut az);
+        a.apply(&ExecCtx::serial(), (z).into(), (&mut az).into(), Apply::Set);
         for i in 0..r.len() {
             az[i] -= r[i];
         }

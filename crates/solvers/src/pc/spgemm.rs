@@ -121,12 +121,12 @@ mod tests {
         let (m, k, n) = (17, 11, 13);
         let mut ad = vec![0.0; m * k];
         let mut bd = vec![0.0; k * n];
-        for v in ad.iter_mut() {
+        for v in &mut ad {
             if next() % 3 == 0 {
                 *v = (next() % 9) as f64 - 4.0;
             }
         }
-        for v in bd.iter_mut() {
+        for v in &mut bd {
             if next() % 3 == 0 {
                 *v = (next() % 9) as f64 - 4.0;
             }

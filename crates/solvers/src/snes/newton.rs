@@ -5,7 +5,7 @@
 //! "the Jacobian evaluation and its multiplication with input vectors
 //! dominate the simulation"), and solves the Newton system with GMRES.
 
-use sellkit_core::{Csr, ExecCtx, FromCsr, SpMv};
+use sellkit_core::{Csr, ExecCtx, FromCsr, Operator as CoreOperator};
 
 use crate::ksp::{gmres, KspConfig};
 use crate::operator::{CtxMatOperator, SeqDot};
@@ -155,7 +155,7 @@ pub fn newton<M, Prob, Pc>(
     pc_factory: impl Fn(&Csr) -> Pc,
 ) -> NewtonResult
 where
-    M: SpMv + FromCsr,
+    M: CoreOperator + FromCsr,
     Prob: NonlinearProblem,
     Pc: Precond,
 {
@@ -174,7 +174,7 @@ pub fn newton_ctx<M, Prob, Pc>(
     pc_factory: impl Fn(&Csr) -> Pc,
 ) -> NewtonResult
 where
-    M: SpMv + FromCsr,
+    M: CoreOperator + FromCsr,
     Prob: NonlinearProblem,
     Pc: Precond,
 {

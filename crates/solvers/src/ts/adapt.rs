@@ -6,7 +6,7 @@
 //! steps, estimate the local error from their difference (Richardson), and
 //! grow/shrink Δt with a safety-factored power law.
 
-use sellkit_core::{Csr, FromCsr, SpMv};
+use sellkit_core::{Csr, FromCsr, Operator as CoreOperator};
 
 use crate::pc::Precond;
 use crate::snes::newton::NewtonConfig;
@@ -110,7 +110,7 @@ impl AdaptiveTheta {
         pc_factory: &impl Fn(&Csr) -> Pc,
     ) -> bool
     where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {
@@ -140,7 +140,7 @@ impl AdaptiveTheta {
         pc_factory: impl Fn(&Csr) -> Pc,
     ) -> AdaptStep
     where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {
@@ -204,7 +204,7 @@ impl AdaptiveTheta {
         t_end: f64,
         pc_factory: impl Fn(&Csr) -> Pc,
     ) where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {

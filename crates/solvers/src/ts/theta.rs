@@ -13,7 +13,7 @@
 //! nonlinearly (§7: "the Jacobian matrix needs to be updated at each Newton
 //! iteration").
 
-use sellkit_core::{Csr, FromCsr, SpMv};
+use sellkit_core::{Csr, FromCsr, Operator as CoreOperator};
 
 use crate::pc::Precond;
 use crate::snes::newton::{NewtonConfig, NewtonResult, NonlinearProblem};
@@ -161,7 +161,7 @@ impl ThetaStepper {
         pc_factory: impl Fn(&Csr) -> Pc,
     ) -> NewtonResult
     where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {
@@ -179,7 +179,7 @@ impl ThetaStepper {
         pc_factory: impl Fn(&Csr) -> Pc,
     ) -> NewtonResult
     where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {
@@ -227,7 +227,7 @@ impl ThetaStepper {
         nsteps: usize,
         pc_factory: impl Fn(&Csr) -> Pc,
     ) where
-        M: SpMv + FromCsr,
+        M: CoreOperator + FromCsr,
         P: OdeProblem,
         Pc: Precond,
     {

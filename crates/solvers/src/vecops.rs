@@ -5,7 +5,7 @@
 //! format changes (they never touch the matrix).
 //!
 //! Every kernel has a `*_ctx` twin taking an
-//! [`ExecCtx`](sellkit_core::ExecCtx) that runs on the context's worker
+//! [`ExecCtx`] that runs on the context's worker
 //! pool.  Element-wise kernels (`axpy`, `scale`, …) partition the vectors
 //! into per-thread windows and are bitwise identical to the serial loop
 //! for any thread count.  Reductions (`dot_ctx`, `norm2_ctx`) use **fixed

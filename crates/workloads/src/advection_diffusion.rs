@@ -143,6 +143,7 @@ impl OdeProblem for AdvectionDiffusion {
 mod tests {
     use super::*;
     use sellkit_core::MatShape;
+    use sellkit_core::{Apply, ExecCtx};
 
     #[test]
     fn jacobian_matches_rhs_for_linear_problem() {
@@ -153,8 +154,13 @@ mod tests {
         let mut f = vec![0.0; p.dim()];
         p.rhs(0.0, &u, &mut f);
         let mut ju = vec![0.0; p.dim()];
-        use sellkit_core::SpMv;
-        j.spmv(&u, &mut ju);
+        use sellkit_core::Operator;
+        j.apply(
+            &ExecCtx::serial(),
+            (&u).into(),
+            (&mut ju).into(),
+            Apply::Set,
+        );
         for i in 0..p.dim() {
             assert!((f[i] - ju[i]).abs() < 1e-12, "row {i}");
         }

@@ -10,7 +10,7 @@
 
 use std::ops::Range;
 
-use sellkit_core::{CooBuilder, Csr, FromCsr, MatShape, SpMv};
+use sellkit_core::{CooBuilder, Csr, FromCsr, MatShape, Operator};
 use sellkit_dist::nonlinear::{dist_newton, DistNonlinearProblem};
 use sellkit_dist::{split_rows, VecScatter};
 use sellkit_mpisim::Comm;
@@ -247,7 +247,7 @@ pub fn dist_theta_step<M, Pc>(
     pc_factory: impl Fn(&Csr) -> Pc,
 ) -> NewtonResult
 where
-    M: SpMv + FromCsr,
+    M: Operator + FromCsr,
     Pc: Precond,
 {
     let _ = t; // autonomous system

@@ -169,7 +169,8 @@ pub fn diagonal(n: usize, seed: u64) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sellkit_core::{MatShape, Sell8, SpMv};
+    use sellkit_core::{Apply, ExecCtx};
+    use sellkit_core::{MatShape, Operator, Sell8};
 
     #[test]
     fn stencil_shapes() {
@@ -231,8 +232,18 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
             let mut y1 = vec![0.0; a.nrows()];
             let mut y2 = vec![0.0; a.nrows()];
-            a.spmv(&x, &mut y1);
-            Sell8::from_csr(&a).spmv(&x, &mut y2);
+            a.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut y1).into(),
+                Apply::Set,
+            );
+            Sell8::from_csr(&a).apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut y2).into(),
+                Apply::Set,
+            );
             for i in 0..a.nrows() {
                 assert!((y1[i] - y2[i]).abs() < 1e-12);
             }

@@ -52,8 +52,8 @@ fn main() {
         );
     }
     let dts: Vec<f64> = ts.history().iter().map(|s| s.dt).collect();
-    let dt_min = dts.iter().cloned().fold(f64::INFINITY, f64::min);
-    let dt_max = dts.iter().cloned().fold(0.0f64, f64::max);
+    let dt_min = dts.iter().copied().fold(f64::INFINITY, f64::min);
+    let dt_max = dts.iter().copied().fold(0.0f64, f64::max);
     println!(
         "\n{} accepted steps to t = {:.2}; dt ranged {:.4} .. {:.4}",
         ts.history().len(),

@@ -6,7 +6,7 @@
 //! cargo run --release -p sellkit --example advection_diffusion -- [grid] [steps]
 //! ```
 
-use sellkit::core::{matops, Csr, ExecCtx, MatShape, Sell8, SpMv};
+use sellkit::core::{matops, Apply, Csr, ExecCtx, MatShape, Operator, Sell8};
 use sellkit::solvers::ksp::{gmres, KspConfig};
 use sellkit::solvers::operator::{Counting, CtxMatOperator, SeqDot};
 use sellkit::solvers::pc::Ilu0;
@@ -62,7 +62,7 @@ fn main() {
     // the timing atomically, so the event's Gflop/s can't read 0 flops.
     let mut au = vec![0.0; n];
     profiler.time_flops("MatMult", 2 * a.nnz() as u64, || {
-        sell.spmv_ctx(&ctx, &u, &mut au)
+        sell.apply(&ctx, (&u).into(), (&mut au).into(), Apply::Set)
     });
     profiler.stop();
 

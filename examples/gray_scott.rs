@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use sellkit::core::{Csr, FromCsr, Sell8, SpMv};
+use sellkit::core::{Csr, FromCsr, Operator, Sell8};
 use sellkit::grid::interpolation_chain;
 use sellkit::solvers::ksp::KspConfig;
 use sellkit::solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
@@ -18,7 +18,7 @@ use sellkit::solvers::snes::NewtonConfig;
 use sellkit::solvers::ts::{ThetaConfig, ThetaStepper};
 use sellkit::workloads::{GrayScott, GrayScottParams};
 
-fn run_simulation<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, f64) {
+fn run_simulation<M: Operator + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, f64) {
     let gs = GrayScott::new(grid, GrayScottParams::default());
     let interps = interpolation_chain(gs.grid(), 3);
     // The paper's solver options (§7.2): 3-level V-cycle, Jacobi
@@ -62,7 +62,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let grid: usize = args.get(1).map_or(64, |s| s.parse().expect("grid size"));
     let steps: usize = args.get(2).map_or(5, |s| s.parse().expect("step count"));
-    let format = args.get(3).map(String::as_str).unwrap_or("both");
+    let format = args.get(3).map_or("both", String::as_str);
 
     println!(
         "Gray-Scott on a {grid}x{grid} periodic grid ({} unknowns), {steps} CN steps\n",

@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use sellkit::core::{stats::FormatStats, Isa, MatShape, Sell8, SellEsb, SpMv};
+use sellkit::core::{stats::FormatStats, Apply, ExecCtx, Isa, MatShape, Operator, Sell8, SellEsb};
 use sellkit::workloads::{generators, matrix_market};
 
 fn time_best(mut f: impl FnMut(), reps: usize) -> f64 {
@@ -56,7 +56,17 @@ fn main() {
     for isa in Isa::available_tiers() {
         let m = a.clone().with_isa(isa);
         let mut y = vec![0.0; a.nrows()];
-        let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
+        let t = time_best(
+            || {
+                m.apply(
+                    &ExecCtx::serial(),
+                    (&x).into(),
+                    (std::hint::black_box(&mut y)).into(),
+                    Apply::Set,
+                )
+            },
+            reps,
+        );
         println!(
             "{:<22} {:>12.1} {:>10.2}",
             format!("CSR {isa}"),
@@ -67,7 +77,17 @@ fn main() {
     for isa in Isa::available_tiers() {
         let m = Sell8::from_csr(&a).with_isa(isa);
         let mut y = vec![0.0; a.nrows()];
-        let t = time_best(|| m.spmv(&x, std::hint::black_box(&mut y)), reps);
+        let t = time_best(
+            || {
+                m.apply(
+                    &ExecCtx::serial(),
+                    (&x).into(),
+                    (std::hint::black_box(&mut y)).into(),
+                    Apply::Set,
+                )
+            },
+            reps,
+        );
         println!(
             "{:<22} {:>12.1} {:>10.2}",
             format!("SELL {isa}"),

@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use sellkit::core::{Csr, FromCsr, Sell8, SpMv};
+use sellkit::core::{Csr, FromCsr, Operator, Sell8};
 use sellkit::mpisim;
 use sellkit::solvers::ksp::KspConfig;
 use sellkit::solvers::pc::JacobiPc;
@@ -17,7 +17,7 @@ use sellkit::solvers::snes::NewtonConfig;
 use sellkit::workloads::dist_gray_scott::{dist_theta_step, DistGrayScott};
 use sellkit::workloads::GrayScottParams;
 
-fn run_parallel<M: SpMv + FromCsr>(ranks: usize, grid: usize, steps: usize) -> (f64, Vec<f64>) {
+fn run_parallel<M: Operator + FromCsr>(ranks: usize, grid: usize, steps: usize) -> (f64, Vec<f64>) {
     let out = mpisim::run(ranks, move |comm| {
         let p = DistGrayScott::new(comm, grid, GrayScottParams::default(), 1000);
         let mut u = p.initial_condition_local(42);

@@ -6,7 +6,8 @@
 //! ```
 
 use sellkit::core::{
-    stats::FormatStats, traffic, CooBuilder, CsrPerm, Ellpack, Isa, Sell8, SellEsb, SpMv,
+    stats::FormatStats, traffic, Apply, CooBuilder, CsrPerm, Ellpack, ExecCtx, Isa, Operator,
+    Sell8, SellEsb,
 };
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
     //    force a tier to compare (the Figure 8 experiment in miniature).
     let x = vec![1.0; n];
     let mut y = vec![0.0; n];
-    sell.spmv(&x, &mut y);
+    sell.apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     println!(
         "y[0..4] = {:?}   (detected ISA: {})",
         &y[0..4],

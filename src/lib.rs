@@ -14,6 +14,7 @@
 //! | [`workloads`] | Gray-Scott model, synthetic matrix generators, STREAM |
 //! | [`machine`] | KNL/Xeon performance model: STREAM curves, roofline, SpMV prediction |
 //! | [`obs`] | staged tracing/metrics: `-log_view` tables, JSON reports, Chrome traces |
+//! | [`serve`] | async batched solve service: request coalescing into SpMM batches |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -37,9 +38,14 @@ pub use sellkit_machine as machine;
 pub use sellkit_mpisim as mpisim;
 /// Tracing and metrics ([`sellkit_obs`]).
 pub use sellkit_obs as obs;
+/// Batched solve service ([`sellkit_serve`]).
+pub use sellkit_serve as serve;
 /// Solver stack ([`sellkit_solvers`]).
 pub use sellkit_solvers as solvers;
 /// Workloads and generators ([`sellkit_workloads`]).
 pub use sellkit_workloads as workloads;
 
-pub use sellkit_core::{Csr, CsrPerm, ExecCtx, Isa, Sell, Sell8, SellSigma8, SpMv};
+pub use sellkit_core::{
+    Apply, Csr, CsrPerm, ExecCtx, Isa, MultiVec, Operator, Sell, Sell8, SellSigma8, SpMv, VecView,
+    VecViewMut,
+};

@@ -42,7 +42,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-use sellkit::core::{CooBuilder, Csr, ExecCtx, Sell8, SellSigma8, SpMv};
+use sellkit::core::{Apply, CooBuilder, Csr, ExecCtx, Operator, Sell8, SellSigma8};
 
 fn irregular(n: usize) -> Csr {
     let mut b = CooBuilder::new(n, n);
@@ -55,14 +55,20 @@ fn irregular(n: usize) -> Csr {
 }
 
 /// Runs `reps` warm products and returns how many allocations they made.
-fn allocs_during<M: SpMv>(m: &M, ctx: &ExecCtx, x: &[f64], y: &mut [f64], reps: usize) -> usize {
+fn allocs_during<M: Operator>(
+    m: &M,
+    ctx: &ExecCtx,
+    x: &[f64],
+    y: &mut [f64],
+    reps: usize,
+) -> usize {
     // Warmup: builds the cached plan, faults in pool state.
-    m.spmv_ctx(ctx, x, y);
-    m.spmv_add_ctx(ctx, x, y);
+    m.apply(ctx, (x).into(), (y).into(), Apply::Set);
+    m.apply(ctx, (x).into(), (y).into(), Apply::Add);
     let before = ALLOCS.load(Ordering::SeqCst);
     for _ in 0..reps {
-        m.spmv_ctx(ctx, x, y);
-        m.spmv_add_ctx(ctx, x, y);
+        m.apply(ctx, (x).into(), (y).into(), Apply::Set);
+        m.apply(ctx, (x).into(), (y).into(), Apply::Add);
     }
     ALLOCS.load(Ordering::SeqCst) - before
 }

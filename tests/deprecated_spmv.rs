@@ -1,0 +1,80 @@
+//! Pins the operator-API migration path: the four legacy `spmv_*`
+//! entry points survive as `#[deprecated]` forwarders on the [`SpMv`]
+//! extension trait, compile with **warnings only** (this file is the
+//! proof — `allow(deprecated)` is scoped here and nowhere else in the
+//! workspace), and produce bitwise-identical results to the
+//! [`Operator::apply`] calls they forward to.
+
+#![allow(deprecated)]
+
+use sellkit::core::{Apply, CooBuilder, Csr, ExecCtx, MatShape, Operator, Sell8, SpMv};
+
+fn sample() -> (Csr, Vec<f64>) {
+    let n = 17;
+    let mut coo = CooBuilder::new(n, n);
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i, i - 1, -(i as f64));
+        }
+        coo.push(i, i, 3.0 + i as f64 * 0.5);
+        if i + 1 < n {
+            coo.push(i, i + 1, 0.25);
+        }
+    }
+    let x = (0..n).map(|i| (i as f64 * 0.3).sin() + 0.5).collect();
+    (coo.to_csr(), x)
+}
+
+#[test]
+fn forwarders_match_apply_bitwise() {
+    let (a, x) = sample();
+    let n = a.nrows();
+    let ctx = ExecCtx::new(2);
+
+    let mut want_set = vec![0.0; n];
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want_set).into(),
+        Apply::Set,
+    );
+    let mut want_add = want_set.clone();
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want_add).into(),
+        Apply::Add,
+    );
+
+    let mut y = vec![0.0; n];
+    a.spmv(&x, &mut y);
+    assert_eq!(y, want_set, "spmv == apply(Set, serial)");
+    a.spmv_add(&x, &mut y);
+    assert_eq!(y, want_add, "spmv_add == apply(Add, serial)");
+
+    let mut want_ctx = vec![0.0; n];
+    a.apply(&ctx, (&x).into(), (&mut want_ctx).into(), Apply::Set);
+    let mut y = vec![7.0; n];
+    a.spmv_ctx(&ctx, &x, &mut y);
+    assert_eq!(y, want_ctx, "spmv_ctx == apply(Set, ctx)");
+
+    let mut want_ctx_add = want_ctx.clone();
+    a.apply(&ctx, (&x).into(), (&mut want_ctx_add).into(), Apply::Add);
+    a.spmv_add_ctx(&ctx, &x, &mut y);
+    assert_eq!(y, want_ctx_add, "spmv_add_ctx == apply(Add, ctx)");
+}
+
+#[test]
+fn forwarders_are_format_generic() {
+    // The blanket `impl<T: Operator> SpMv for T` keeps the legacy calls
+    // available on every format, not just CSR.
+    let (a, x) = sample();
+    let sell = Sell8::from_csr(&a);
+    let mut y_csr = vec![0.0; a.nrows()];
+    let mut y_sell = vec![0.0; a.nrows()];
+    a.spmv(&x, &mut y_csr);
+    sell.spmv(&x, &mut y_sell);
+    for (c, s) in y_csr.iter().zip(&y_sell) {
+        assert!((c - s).abs() < 1e-12);
+    }
+}

@@ -1,7 +1,7 @@
 //! Distributed-memory integration: the §2.2 overlapped MatMult and
 //! distributed Krylov solves across rank counts, formats, and partitions.
 
-use sellkit::core::{Csr, Ellpack, MatShape, Sell8, SpMv};
+use sellkit::core::{Apply, Csr, Ellpack, ExecCtx, MatShape, Operator, Sell8};
 use sellkit::dist::{split_rows, DistDot, DistMat, DistOp, DistVec};
 use sellkit::mpisim::run;
 use sellkit::solvers::ksp::{gmres, KspConfig};
@@ -23,7 +23,12 @@ fn matmult_equals_sequential_for_many_rank_counts() {
     let n = a.nrows();
     let x: Vec<f64> = (0..n).map(|g| ((g % 17) as f64) * 0.1).collect();
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
 
     for ranks in [1usize, 2, 3, 5, 8] {
         let a2 = a.clone();
@@ -47,12 +52,17 @@ fn matmult_equals_sequential_for_many_rank_counts() {
 
 #[test]
 fn ellpack_blocks_work_distributed_too() {
-    // The DistMat is generic over any FromCsr+SpMv local format.
+    // The DistMat is generic over any FromCsr+Operator local format.
     let a = generators::banded(60, 2, 3);
     let n = a.nrows();
     let x: Vec<f64> = (0..n).map(|g| g as f64).collect();
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     let out = run(3, move |comm| {
         let dm = DistMat::<Ellpack>::from_global_csr(comm, &a, 1);
         let me = dm.row_range();
@@ -79,7 +89,12 @@ fn uneven_partitions_are_handled() {
     );
     let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.01).cos()).collect();
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     let out = run(7, move |comm| {
         let dm = DistMat::<Sell8>::from_global_csr(comm, &a, 1);
         let me = dm.row_range();
@@ -174,7 +189,12 @@ fn local_row_assembly_builds_the_same_distributed_matrix() {
     let n = gs.dim();
     let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.07).sin()).collect();
     let mut want = vec![0.0; n];
-    full.spmv(&x, &mut want);
+    full.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
 
     let out = run(4, move |comm| {
         let ranges = split_rows(n, comm.size());

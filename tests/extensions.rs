@@ -4,7 +4,7 @@
 //! profiler, and the convergence monitor — all driving the same SELL
 //! kernels as the headline experiments.
 
-use sellkit::core::{Csr, MatShape, Sell8};
+use sellkit::core::{Apply, Csr, ExecCtx, MatShape, Sell8};
 use sellkit::grid::{interpolation_chain, laplacian_5pt, Grid2D};
 use sellkit::solvers::ksp::monitor::{format_monitor, summarize};
 use sellkit::solvers::ksp::{fgmres, gmres, tfqmr, KspConfig};
@@ -151,9 +151,14 @@ fn tfqmr_with_asm_on_gray_scott_newton_system() {
     );
     assert!(res.converged(), "{:?}", res.reason);
     // True residual check through CSR.
-    use sellkit::core::SpMv;
+    use sellkit::core::Operator;
     let mut ax = vec![0.0; n];
-    a.spmv(&x, &mut ax);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut ax).into(),
+        Apply::Set,
+    );
     let rnorm: f64 = ax
         .iter()
         .zip(&rhs)
@@ -168,7 +173,7 @@ fn profiler_attributes_the_solve_phases() {
     let gs = GrayScott::new(24, GrayScottParams::default());
     let w = gs.initial_condition(1);
     let prof = Profiler::new();
-    use sellkit::core::SpMv;
+    use sellkit::core::Operator;
     let j = prof.time("MatAssembly", || gs.rhs_jacobian(0.0, &w));
     let sell = prof.time("MatConvert", || Sell8::from_csr(&j));
     let op = Counting::new(MatOperator(&sell));
@@ -195,7 +200,14 @@ fn profiler_attributes_the_solve_phases() {
     // time_flops pattern every explicit MatMult call site uses, so the
     // event can never report time with zero flops.
     let mut ax = vec![0.0; j.nrows()];
-    prof.time_flops("MatMult", 2 * j.nnz() as u64, || sell.spmv(&x, &mut ax));
+    prof.time_flops("MatMult", 2 * j.nnz() as u64, || {
+        sell.apply(
+            &ExecCtx::serial(),
+            (&x).into(),
+            (&mut ax).into(),
+            Apply::Set,
+        )
+    });
     let total = prof.stop();
     assert!(total > 0.0);
     let ksp = prof.event("KSPSolve").expect("recorded");

@@ -2,26 +2,36 @@
 //! misuse, and degrade gracefully (reported breakdown, not garbage) on
 //! pathological numerics.
 
-use sellkit::core::{CooBuilder, Csr, Isa, Sell8, SpMv};
+use sellkit::core::{Apply, CooBuilder, Csr, ExecCtx, Isa, Operator, Sell8};
 use sellkit::mpisim::run;
 use sellkit::solvers::ksp::{bicgstab, cg, gmres, KspConfig, StopReason};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
 use sellkit::solvers::pc::{IdentityPc, Ilu0};
 
 #[test]
-#[should_panic(expected = "x length")]
+#[should_panic(expected = "x rows")]
 fn spmv_wrong_x_length_panics() {
     let a = Csr::from_dense(2, 3, &[1.0; 6]);
     let mut y = vec![0.0; 2];
-    a.spmv(&[1.0; 2], &mut y); // x must have 3 entries
+    a.apply(
+        &ExecCtx::serial(),
+        (&[1.0; 2]).into(),
+        (&mut y).into(),
+        Apply::Set,
+    ); // x must have 3 entries
 }
 
 #[test]
-#[should_panic(expected = "y length")]
+#[should_panic(expected = "y rows")]
 fn spmv_wrong_y_length_panics() {
     let a = Csr::from_dense(2, 3, &[1.0; 6]);
     let mut y = vec![0.0; 3];
-    a.spmv(&[1.0; 3], &mut y);
+    a.apply(
+        &ExecCtx::serial(),
+        (&[1.0; 3]).into(),
+        (&mut y).into(),
+        Apply::Set,
+    );
 }
 
 #[test]

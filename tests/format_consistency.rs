@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use sellkit::core::{
-    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, Isa, MatShape, Sell, Sell8, SellEsb, SpMv,
+    Apply, Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Operator,
+    Sell, Sell8, SellEsb,
 };
 use sellkit::workloads::generators;
 
@@ -40,22 +41,22 @@ fn check_all_formats(a: &Csr) {
         Sell8::from_csr(a).spmv_isa(isa, &x, &mut y);
         assert_close(&y, &format!("SELL8 {isa}"));
     }
-    CsrPerm::from_csr(a).spmv(&x, &mut y);
+    CsrPerm::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "CsrPerm");
-    Ellpack::from_csr(a).spmv(&x, &mut y);
+    Ellpack::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "Ellpack");
-    EllpackR::from_csr(a).spmv(&x, &mut y);
+    EllpackR::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "EllpackR");
-    SellEsb::from_csr(a).spmv(&x, &mut y);
+    SellEsb::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "SellEsb");
-    Sell::<4>::from_csr(a).spmv(&x, &mut y);
+    Sell::<4>::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "Sell4");
-    Sell::<16>::from_csr(a).spmv(&x, &mut y);
+    Sell::<16>::from_csr(a).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "Sell16");
-    Sell8::from_csr_sigma(a, 8).spmv(&x, &mut y);
+    Sell8::from_csr_sigma(a, 8).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
     assert_close(&y, "Sell8 sigma=8");
     if a.nrows() == a.ncols() && a.nrows().is_multiple_of(2) {
-        Baij::from_csr(a, 2).spmv(&x, &mut y);
+        Baij::from_csr(a, 2).apply(&ExecCtx::serial(), (&x).into(), (&mut y).into(), Apply::Set);
         assert_close(&y, "Baij bs=2");
     }
 }
@@ -185,9 +186,9 @@ proptest! {
         let s = Sell8::from_csr(&a);
         let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
         let mut y1 = vec![y0; n];
-        s.spmv_add(&x, &mut y1);
+        s.apply(&ExecCtx::serial(), (&x).into(), (&mut y1).into(), Apply::Add);
         let mut ax = vec![0.0; n];
-        s.spmv(&x, &mut ax);
+        s.apply(&ExecCtx::serial(), (&x).into(), (&mut ax).into(), Apply::Set);
         for i in 0..n {
             prop_assert!((y1[i] - (y0 + ax[i])).abs() < 1e-10);
         }

@@ -2,7 +2,7 @@
 //! PETSc-style stack, verifying the paper's correctness-relevant claims:
 //! the format never changes the simulation, only its speed.
 
-use sellkit::core::{Csr, CsrPerm, FromCsr, MatShape, Sell8, SpMv};
+use sellkit::core::{Apply, Csr, CsrPerm, ExecCtx, FromCsr, MatShape, Operator, Sell8};
 use sellkit::grid::interpolation_chain;
 use sellkit::solvers::ksp::KspConfig;
 use sellkit::solvers::pc::mg::{CoarseSolve, Multigrid, MultigridConfig};
@@ -11,7 +11,7 @@ use sellkit::solvers::snes::NewtonConfig;
 use sellkit::solvers::ts::{OdeProblem, ThetaConfig, ThetaStepper};
 use sellkit::workloads::{GrayScott, GrayScottParams};
 
-fn simulate<M: SpMv + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, Vec<usize>) {
+fn simulate<M: Operator + FromCsr>(grid: usize, steps: usize) -> (Vec<f64>, Vec<usize>) {
     let gs = GrayScott::new(grid, GrayScottParams::default());
     let interps = interpolation_chain(gs.grid(), 3);
     let cfg = ThetaConfig {
@@ -107,7 +107,7 @@ fn jacobian_refresh_path_matches_rebuild() {
     let mut sell = Sell8::from_csr(&j0);
 
     let mut w1 = w0.clone();
-    for v in w1.iter_mut() {
+    for v in &mut w1 {
         *v *= 0.9;
     }
     let j1 = gs.rhs_jacobian(0.0, &w1);
@@ -117,8 +117,18 @@ fn jacobian_refresh_path_matches_rebuild() {
     let x: Vec<f64> = (0..j1.ncols()).map(|i| (i as f64 * 0.05).sin()).collect();
     let mut y1 = vec![0.0; j1.nrows()];
     let mut y2 = vec![0.0; j1.nrows()];
-    sell.spmv(&x, &mut y1);
-    rebuilt.spmv(&x, &mut y2);
+    sell.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut y1).into(),
+        Apply::Set,
+    );
+    rebuilt.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut y2).into(),
+        Apply::Set,
+    );
     assert_eq!(y1, y2);
 }
 

@@ -3,7 +3,7 @@
 //! with each other on the solution.
 
 use proptest::prelude::*;
-use sellkit::core::{CooBuilder, Csr, Sell8, SpMv};
+use sellkit::core::{Apply, CooBuilder, Csr, ExecCtx, Operator, Sell8};
 use sellkit::solvers::ksp::{bicgstab, cg, fgmres, gmres, KspConfig};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
 use sellkit::solvers::pc::{Ilu0, JacobiPc};
@@ -33,7 +33,7 @@ fn dominant(n: usize, entries: &[(usize, usize, f64)], symmetric: bool) -> Csr {
 
 fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let mut ax = vec![0.0; b.len()];
-    a.spmv(x, &mut ax);
+    a.apply(&ExecCtx::serial(), (x).into(), (&mut ax).into(), Apply::Set);
     ax.iter()
         .zip(b)
         .map(|(p, q)| (p - q) * (p - q))

@@ -12,8 +12,8 @@
 //! regardless of the kernel's accumulation order.
 
 use sellkit::core::{
-    CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Sell, Sell16, Sell4,
-    Sell8, SellEsb, SellSigma8, SpMv,
+    Apply, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Operator, Sell,
+    Sell16, Sell4, Sell8, SellEsb, SellSigma8,
 };
 
 /// A 13-row matrix (ragged tail at every C ∈ {4, 8, 16}) with one long
@@ -56,21 +56,26 @@ fn assert_bits_eq(got: &[f64], want: &[f64], label: &str) {
 fn check_padded_formats_match_csr(a: &Csr, x: &[f64], label: &str) {
     let n = a.nrows();
     let mut want = vec![0.0; n];
-    a.spmv(x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
 
-    let check = |m: &dyn SpMv, fmt: &str| {
+    let check = |m: &dyn Operator, fmt: &str| {
         let mut y = vec![f64::MIN; n];
-        m.spmv(x, &mut y);
+        m.apply(&ExecCtx::serial(), (x).into(), (&mut y).into(), Apply::Set);
         assert_bits_eq(&y, &want, &format!("{label}/{fmt}/spmv"));
         // spmv_add from y0 = 0.0 adds nothing new numerically but drives
         // the fused-add kernel paths.
         let mut ya = vec![0.0; n];
-        m.spmv_add(x, &mut ya);
+        m.apply(&ExecCtx::serial(), (x).into(), (&mut ya).into(), Apply::Add);
         assert_bits_eq(&ya, &want, &format!("{label}/{fmt}/spmv_add"));
         for threads in [2usize, 4, 7] {
             let ctx = ExecCtx::new(threads);
             let mut yc = vec![f64::MIN; n];
-            m.spmv_ctx(&ctx, x, &mut yc);
+            m.apply(&ctx, (x).into(), (&mut yc).into(), Apply::Set);
             assert_bits_eq(&yc, &want, &format!("{label}/{fmt}/spmv_ctx@{threads}"));
         }
     };
@@ -99,7 +104,12 @@ fn inf_vector_is_bitwise_csr_equal() {
     x[0] = f64::INFINITY;
     // Sanity: the oracle itself must see Inf only in row 0.
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     assert_eq!(want[0], f64::INFINITY);
     assert!(
         want[1..].iter().all(|v| v.is_finite()),
@@ -126,7 +136,12 @@ fn nan_vector_propagates_identically() {
     let mut x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
     x[0] = f64::NAN;
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     assert!(want[0].is_nan());
     assert!(want[1..].iter().all(|v| !v.is_nan()));
     check_padded_formats_match_csr(&a, &x, "nan");
@@ -194,7 +209,12 @@ fn dense_row_among_empties_with_inf() {
         assert_eq!(s.to_dense(), a.to_dense());
     }
     let mut want = vec![0.0; n];
-    a.spmv(&x, &mut want);
+    a.apply(
+        &ExecCtx::serial(),
+        (&x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     assert_eq!(want[4], f64::INFINITY);
     for (i, v) in want.iter().enumerate() {
         if i != 4 {
@@ -224,7 +244,12 @@ fn spmm_with_inf_columns_matches_repeated_spmv() {
     s.spmm(&xs, k, &mut ys);
     for v in 0..k {
         let mut want = vec![0.0; n];
-        a.spmv(&xs[v * n..(v + 1) * n], &mut want);
+        a.apply(
+            &ExecCtx::serial(),
+            (&xs[v * n..(v + 1) * n]).into(),
+            (&mut want).into(),
+            Apply::Set,
+        );
         assert_bits_eq(&ys[v * n..(v + 1) * n], &want, &format!("spmm vec {v}"));
     }
 }

@@ -1,6 +1,6 @@
 //! Parallel-vs-serial equivalence of the execution-context SpMV engine.
 //!
-//! The `SpMv` contract promises that `spmv_ctx`/`spmv_add_ctx` produce
+//! The `Operator` contract promises that `spmv_ctx`/`spmv_add_ctx` produce
 //! **bitwise-identical** output to the serial path for any thread count:
 //! the row/slice partitioning may only change *which thread* computes a
 //! row, never the summation order *within* a row or slice.  These
@@ -10,8 +10,8 @@
 
 use proptest::prelude::*;
 use sellkit::core::{
-    Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, MatShape, Sbaij, Sell, SellEsb,
-    SellSigma8, SpMv,
+    Apply, Baij, CooBuilder, CsrPerm, Ellpack, EllpackR, ExecCtx, MatShape, Operator, Sbaij, Sell,
+    SellEsb, SellSigma8,
 };
 
 /// NaN-safe bitwise equality: `assert_eq!` on floats would reject a
@@ -31,20 +31,30 @@ fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
 
 /// Asserts `spmv_ctx` and `spmv_add_ctx` at 1/2/4/7 threads reproduce
 /// the serial results bit for bit.
-fn assert_parallel_matches_serial(m: &(impl SpMv + ?Sized), x: &[f64], label: &str) {
+fn assert_parallel_matches_serial(m: &(impl Operator + ?Sized), x: &[f64], label: &str) {
     let n = m.nrows();
     let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.01 - 0.5).collect();
     let mut want = vec![0.0; n];
-    m.spmv(x, &mut want);
+    m.apply(
+        &ExecCtx::serial(),
+        (x).into(),
+        (&mut want).into(),
+        Apply::Set,
+    );
     let mut want_add = base.clone();
-    m.spmv_add(x, &mut want_add);
+    m.apply(
+        &ExecCtx::serial(),
+        (x).into(),
+        (&mut want_add).into(),
+        Apply::Add,
+    );
     for threads in [1usize, 2, 4, 7] {
         let ctx = ExecCtx::new(threads);
         let mut y = vec![0.0; n];
-        m.spmv_ctx(&ctx, x, &mut y);
+        m.apply(&ctx, (x).into(), (&mut y).into(), Apply::Set);
         assert_bits_eq(&y, &want, &format!("{label}: spmv at {threads} threads"));
         let mut ya = base.clone();
-        m.spmv_add_ctx(&ctx, x, &mut ya);
+        m.apply(&ctx, (x).into(), (&mut ya).into(), Apply::Add);
         assert_bits_eq(
             &ya,
             &want_add,
@@ -157,7 +167,7 @@ fn all_empty_rows_matrix_is_exactly_zero() {
             for threads in [1usize, 2, 4, 7] {
                 let ctx = ExecCtx::new(threads);
                 let mut y = vec![f64::MIN; n];
-                m.spmv_ctx(&ctx, &x, &mut y);
+                m.apply(&ctx, (&x).into(), (&mut y).into(), Apply::Set);
                 for (i, &yi) in y.iter().enumerate() {
                     assert!(
                         yi.to_bits() == 0.0f64.to_bits(),
@@ -167,7 +177,7 @@ fn all_empty_rows_matrix_is_exactly_zero() {
                 }
                 let base: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
                 let mut ya = base.clone();
-                m.spmv_add_ctx(&ctx, &x, &mut ya);
+                m.apply(&ctx, (&x).into(), (&mut ya).into(), Apply::Add);
                 assert_bits_eq(
                     &ya,
                     &base,

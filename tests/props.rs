@@ -3,7 +3,7 @@
 //! Market round trips, and scatter-plan coverage.
 
 use proptest::prelude::*;
-use sellkit::core::{matops, Baij, CooBuilder, Csr, Sbaij, Sell8, SpMv};
+use sellkit::core::{matops, Apply, Baij, CooBuilder, Csr, ExecCtx, Operator, Sbaij, Sell8};
 use sellkit::dist::{split_rows, DistMat, DistVec, VecScatter};
 use sellkit::mpisim::run;
 use sellkit::solvers::pc::spgemm::spgemm;
@@ -51,11 +51,11 @@ proptest! {
         let ab = spgemm(&a, &b);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
         let mut bx = vec![0.0; n];
-        b.spmv(&x, &mut bx);
+        b.apply(&ExecCtx::serial(), (&x).into(), (&mut bx).into(), Apply::Set);
         let mut abx1 = vec![0.0; n];
-        a.spmv(&bx, &mut abx1);
+        a.apply(&ExecCtx::serial(), (&bx).into(), (&mut abx1).into(), Apply::Set);
         let mut abx2 = vec![0.0; n];
-        ab.spmv(&x, &mut abx2);
+        ab.apply(&ExecCtx::serial(), (&x).into(), (&mut abx2).into(), Apply::Set);
         for i in 0..n {
             prop_assert!((abx1[i] - abx2[i]).abs() < 1e-10);
         }
@@ -86,7 +86,7 @@ proptest! {
         let mut z = vec![0.0; n];
         ilu.apply(&r, &mut z);
         let mut az = vec![0.0; n];
-        a.spmv(&z, &mut az);
+        a.apply(&ExecCtx::serial(), (&z).into(), (&mut az).into(), Apply::Set);
         let res: f64 = az.iter().zip(&r).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         let r0: f64 = (n as f64).sqrt();
         prop_assert!(res < r0, "ILU must improve on the zero guess: {res} vs {r0}");
@@ -147,7 +147,7 @@ proptest! {
         let a = random_square(n, &entries);
         let x: Vec<f64> = (0..n).map(|g| (g as f64 * 0.9).cos()).collect();
         let mut want = vec![0.0; n];
-        a.spmv(&x, &mut want);
+        a.apply(&ExecCtx::serial(), (&x).into(), (&mut want).into(), Apply::Set);
         let out = run(nranks, move |comm| {
             let dm = DistMat::<Sell8>::from_global_csr(comm, &a, 2);
             let me = dm.row_range();
@@ -240,8 +240,8 @@ proptest! {
         let x: Vec<f64> = (0..n).map(|g| 0.1 * g as f64 - 0.7).collect();
         let mut y1 = vec![0.0; n];
         let mut y2 = vec![0.0; n];
-        Baij::from_csr(&a, 2).spmv(&x, &mut y1);
-        Sbaij::from_csr(&a, 2).spmv(&x, &mut y2);
+        Baij::from_csr(&a, 2).apply(&ExecCtx::serial(), (&x).into(), (&mut y1).into(), Apply::Set);
+        Sbaij::from_csr(&a, 2).apply(&ExecCtx::serial(), (&x).into(), (&mut y2).into(), Apply::Set);
         for i in 0..n {
             prop_assert!((y1[i] - y2[i]).abs() < 1e-10, "row {i}");
         }

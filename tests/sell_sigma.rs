@@ -14,7 +14,7 @@
 //! tests in `sellkit-core` and the parallel-invariance suite.)
 
 use proptest::prelude::*;
-use sellkit::core::{CooBuilder, Csr, ExecCtx, Isa, MatShape, SellSigma8, SpMv};
+use sellkit::core::{Apply, CooBuilder, Csr, ExecCtx, Isa, MatShape, Operator, SellSigma8};
 
 /// σ values exercising the whole range: no sorting, one slice, the
 /// 4C default, and global sorting.
@@ -49,7 +49,7 @@ proptest! {
             for threads in [1usize, 2, 4, 7] {
                 let ctx = ExecCtx::new(threads);
                 let mut got = vec![0.0; n];
-                s.spmv_ctx(&ctx, &x, &mut got);
+                s.apply(&ctx, (&x).into(), (&mut got).into(), Apply::Set);
                 prop_assert_eq!(&got, &want, "sigma={} threads={}", sigma, threads);
             }
         }
@@ -68,13 +68,13 @@ proptest! {
         let mut want = base.clone();
         // The CSR scalar ADD kernel via an ISA-pinned serial context.
         let a_scalar = a.clone().with_isa(Isa::Scalar);
-        a_scalar.spmv_add(&x, &mut want);
+        a_scalar.apply(&ExecCtx::serial(), (&x).into(), (&mut want).into(), Apply::Add);
         for sigma in sigmas(n) {
             let s = SellSigma8::from_csr_sigma(&a, sigma).with_isa(Isa::Scalar);
             for threads in [1usize, 2, 4, 7] {
                 let ctx = ExecCtx::new(threads);
                 let mut got = base.clone();
-                s.spmv_add_ctx(&ctx, &x, &mut got);
+                s.apply(&ctx, (&x).into(), (&mut got).into(), Apply::Add);
                 prop_assert_eq!(&got, &want, "sigma={} threads={}", sigma, threads);
             }
         }

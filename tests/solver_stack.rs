@@ -1,7 +1,7 @@
 //! Integration of the full solver hierarchy (Figure 1) over the grid and
 //! format crates: KSP × PC × format combinations on PDE operators.
 
-use sellkit::core::{Csr, MatShape, Sell8, SpMv};
+use sellkit::core::{Apply, Csr, ExecCtx, MatShape, Operator, Sell8};
 use sellkit::grid::{bilinear_interpolation, interpolation_chain, laplacian_5pt, Grid2D};
 use sellkit::solvers::ksp::{bicgstab, cg, fgmres, gmres, tfqmr, KspConfig};
 use sellkit::solvers::operator::{MatOperator, SeqDot};
@@ -27,7 +27,7 @@ fn shifted_laplacian(n: usize) -> Csr {
 
 fn true_res(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let mut ax = vec![0.0; b.len()];
-    a.spmv(x, &mut ax);
+    a.apply(&ExecCtx::serial(), (x).into(), (&mut ax).into(), Apply::Set);
     ax.iter()
         .zip(b)
         .map(|(v, w)| (v - w) * (v - w))

@@ -4,7 +4,7 @@
 //! [`strip`] splits a file into per-line *code* and *comment* streams
 //! with string/char-literal contents dropped, so downstream passes can
 //! search for tokens without being fooled by literals.  On top of that,
-//! [`SourceFile::parse_fns`] recovers a per-function table (name,
+//! [`parse_fns`] recovers a per-function table (name,
 //! unsafety, params, const generics, body extent, doc block,
 //! `#[target_feature]` sets) and [`calls_in`] extracts free-function call
 //! paths with their turbofish — exactly enough structure for the
