@@ -319,7 +319,7 @@ fn thread_sweep() -> Vec<ScalingPoint> {
 fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
     let doc = Json::obj(vec![
         ("schema", Json::from("sellkit-bench-sweep")),
-        ("version", Json::from(2u64)),
+        ("version", Json::from(3u64)),
         (
             "matrix",
             Json::obj(vec![
@@ -333,7 +333,21 @@ fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
         ),
         (
             "host_cores",
-            Json::from(std::thread::available_parallelism().map_or(1, |c| c.get()) as u64),
+            Json::from(sellkit_machine::host_cores() as u64),
+        ),
+        (
+            "machine",
+            Json::obj(vec![
+                (
+                    "fingerprint",
+                    Json::from(sellkit_machine::host_fingerprint().as_str()),
+                ),
+                (
+                    "host_cores",
+                    Json::from(sellkit_machine::host_cores() as u64),
+                ),
+                ("gating", Json::Bool(sellkit_machine::gating_host())),
+            ]),
         ),
         (
             "formats",

@@ -39,6 +39,13 @@ use std::thread::JoinHandle;
 /// Environment variable enabling thread pinning (any value but `0`/empty).
 pub const PIN_ENV: &str = "SELLKIT_PIN";
 
+/// Regions slower than this land a `pool.region.slow` flight-recorder
+/// event.  Normal SpMV regions finish in microseconds, so anything past
+/// this threshold is an anomaly worth a postmortem breadcrumb; the
+/// threshold also keeps the (allocating) recorder entirely off the
+/// zero-alloc dispatch fast path.
+const SLOW_REGION_MS: f64 = 25.0;
+
 /// A published parallel region.  `f`'s true lifetime is the duration of
 /// the [`WorkerPool::run`] call that wrote it; see the safety argument
 /// there.
@@ -167,6 +174,7 @@ impl WorkerPool {
         // Per-dispatch overhead span: records how much wall time the
         // publish + park/unpark protocol adds around the kernels.
         let _dispatch = sellkit_obs::span("PoolDispatch");
+        let region_t0 = std::time::Instant::now();
         let shared = &*self.shared;
 
         // SAFETY: only the lifetime is transmuted (the reference and its
@@ -199,6 +207,7 @@ impl WorkerPool {
         let mut p = 0;
         while p < nparts {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(p))) {
+                sellkit_obs::flight::record("pool.panic", &[p as u64], 0.0, nparts as f64);
                 own.get_or_insert(payload);
             }
             p += lanes;
@@ -213,6 +222,15 @@ impl WorkerPool {
         // erased borrow remains; exclusive slot access as above.
         unsafe {
             *shared.region.0.get() = None;
+        }
+
+        // Flight-recorder breadcrumb for anomalous regions only: the ring
+        // must not see the million-per-run µs-scale dispatches, but a
+        // region that blows past the threshold is exactly what a
+        // postmortem wants timestamped.
+        let region_ms = region_t0.elapsed().as_secs_f64() * 1e3;
+        if region_ms > SLOW_REGION_MS {
+            sellkit_obs::flight::record("pool.region.slow", &[], nparts as f64, region_ms);
         }
 
         let mut panics = shared
@@ -279,6 +297,12 @@ fn worker_loop(index: usize, lanes: usize, shared: &Shared) {
             // remaining parts (the completion guarantee is per part).
             while p < nparts {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(p))) {
+                    sellkit_obs::flight::record(
+                        "pool.panic",
+                        &[p as u64],
+                        index as f64 + 1.0,
+                        nparts as f64,
+                    );
                     shared
                         .panics
                         .lock()

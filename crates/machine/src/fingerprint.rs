@@ -1,0 +1,78 @@
+//! Host fingerprinting for the perf-baseline gate.
+//!
+//! A checked-in bench baseline is only comparable to a fresh run on a
+//! machine with the same shape, so every `BENCH_*.json` is stamped with a
+//! short deterministic fingerprint and the gate keys its baseline files
+//! on it (`baselines/<fingerprint>.json`).  The fingerprint combines the
+//! two quantities the roofline model actually depends on:
+//!
+//! * the hardware thread count ([`host_cores`]), and
+//! * the modeled STREAM bandwidth at that count
+//!   ([`crate::host_stream_bw_gbs`]), rounded to whole GB/s.
+//!
+//! Both are deterministic for a given host, so CI runners of one machine
+//! class share a baseline while a laptop silently self-skips (no file for
+//! its fingerprint).  Runs on fewer than [`MIN_GATING_CORES`] hardware
+//! threads are additionally marked **non-gating** ([`gating_host`]): the
+//! scaling metrics the gate checks are meaningless without real
+//! parallelism, matching the sweep's own self-skip rule.
+
+/// Minimum hardware threads for a run to count as gating; below this the
+/// 4-thread scaling metrics cannot be measured honestly.
+pub const MIN_GATING_CORES: usize = 4;
+
+/// Hardware threads available to this process (`available_parallelism`,
+/// falling back to 1 where the query is unsupported).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Whether bench results from this host should gate CI: true on hosts
+/// with at least [`MIN_GATING_CORES`] hardware threads.
+pub fn gating_host() -> bool {
+    host_cores() >= MIN_GATING_CORES
+}
+
+/// Deterministic host fingerprint: `c{cores}-bw{stream_gbs}` with the
+/// modeled STREAM bandwidth rounded to whole GB/s, e.g. `c8-bw77`.
+pub fn host_fingerprint() -> String {
+    fingerprint_for(host_cores())
+}
+
+/// The fingerprint a host with `cores` hardware threads would get.
+/// Split out so the gate's tests can fabricate foreign hosts.
+pub fn fingerprint_for(cores: usize) -> String {
+    let cores = cores.max(1);
+    let bw = crate::host_stream_bw_gbs(cores);
+    format!("c{cores}-bw{}", bw.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_monotone_in_cores() {
+        assert_eq!(host_fingerprint(), host_fingerprint());
+        assert_eq!(host_fingerprint(), fingerprint_for(host_cores()));
+        // More cores never lowers the modeled bandwidth component.
+        let bw = |c: usize| {
+            fingerprint_for(c)
+                .split("bw")
+                .nth(1)
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(bw(4) <= bw(8));
+        assert!(bw(8) <= bw(16));
+        // Shape: `c{n}-bw{gbs}`.
+        assert!(fingerprint_for(4).starts_with("c4-bw"));
+    }
+
+    #[test]
+    fn gating_threshold_matches_min_cores() {
+        assert_eq!(gating_host(), host_cores() >= MIN_GATING_CORES);
+        assert_eq!(fingerprint_for(0), fingerprint_for(1));
+    }
+}

@@ -33,15 +33,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+mod hist;
 mod json;
 mod registry;
 mod report;
 
+pub use hist::HistSnapshot;
 pub use json::{parse as parse_json, Json};
-pub use registry::{Registry, Span};
+pub use registry::{Registry, Span, TraceId};
 pub use report::{
-    validate_report_json, EventReport, Report, SeriesPoint, ThreadReport, TraceSpan,
-    REPORT_SCHEMA_VERSION,
+    prometheus_from_report_json, validate_report_json, EventReport, MachineStamp, Report,
+    SeriesPoint, ThreadReport, TraceSpan, MIN_SUPPORTED_SCHEMA_VERSION, REPORT_SCHEMA_VERSION,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -135,6 +138,16 @@ pub fn series_point(name: &'static str, x: f64, y: f64) {
     }
 }
 
+/// Records a sample into a global histogram when logging is enabled.
+/// Histograms are sharded per thread and merged bucket-exactly at
+/// [`report`]/[`snapshot`] time, surfacing p50/p90/p99/p999.
+#[inline]
+pub fn hist(name: &'static str, value: f64) {
+    if enabled() {
+        global().hist(name, value);
+    }
+}
+
 /// Labels the calling thread's track in global reports and traces.
 #[inline]
 pub fn set_thread_label(label: &str) {
@@ -146,6 +159,15 @@ pub fn set_thread_label(label: &str) {
 /// Snapshots the global registry into a [`Report`].  Meaningful only when
 /// logging was enabled; otherwise the report is empty.
 pub fn report() -> Report {
+    global().report()
+}
+
+/// Live-scrape entry point: snapshots the global registry **without**
+/// stopping anything — recording threads keep appending, and the
+/// returned [`Report`] is a consistent point-in-time merge.  This is
+/// what the `obs-scrape` binary (and any embedded poller) should call;
+/// it is [`report`] under the monitoring-friendly name.
+pub fn snapshot() -> Report {
     global().report()
 }
 

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::hist::Hist;
 use crate::report::{EventReport, Report, SeriesPoint, ThreadReport, TraceSpan};
 
 /// Per-shard cap on retained trace spans; beyond it spans still accumulate
@@ -31,6 +32,30 @@ const TRACE_CAP: usize = 64 * 1024;
 pub(crate) const PATH_SEP: char = '>';
 
 static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Trace-id allocator shared by every registry: ids correlate requests
+/// across subsystems, so they must be process-unique, not per-registry.
+/// Starts at 1 so 0 can mean "no id" in wire formats.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique id following one logical request through the system
+/// (queue → batch → kernel), stitched into the Chrome trace as flow
+/// events.  Allocation is one relaxed `fetch_add`; ids are never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Allocates the next process-unique id.
+    pub fn fresh() -> TraceId {
+        TraceId(NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Accumulated totals for one event path within one shard.
 #[derive(Clone, Debug, Default)]
@@ -56,6 +81,7 @@ struct ShardData {
     /// the most recent value across shards.
     gauges: HashMap<&'static str, (u64, f64)>,
     series: HashMap<&'static str, Vec<SeriesPoint>>,
+    hists: HashMap<&'static str, Hist>,
     trace: Vec<TraceSpan>,
     dropped_spans: u64,
     /// Nanoseconds covered by *top-level* spans: the thread's busy time.
@@ -195,6 +221,9 @@ impl Registry {
             bytes,
             start: Instant::now(),
             t0_us: self.inner.epoch.elapsed().as_nanos() as f64 * 1e-3,
+            args: Vec::new(),
+            flow_in: Vec::new(),
+            flow_out: Vec::new(),
             _not_send: PhantomData,
         }
     }
@@ -255,6 +284,17 @@ impl Registry {
             .push(SeriesPoint { x, y });
     }
 
+    /// Records one sample into the named histogram (per-thread shards,
+    /// bucket-exact merge at report time — see `hist.rs`).
+    pub fn hist(&self, name: &'static str, value: f64) {
+        let shard = self.shard();
+        let mut data = shard.data.lock().expect("own shard lock");
+        data.hists
+            .entry(name)
+            .or_insert_with(Hist::new)
+            .record(value);
+    }
+
     /// Names the calling thread's track in reports and Chrome traces.
     pub fn set_thread_label(&self, label: &str) {
         let shard = self.shard();
@@ -271,16 +311,29 @@ impl Registry {
         let mut counters: HashMap<&'static str, f64> = HashMap::new();
         let mut gauges: HashMap<&'static str, (u64, f64)> = HashMap::new();
         let mut series: HashMap<&'static str, Vec<SeriesPoint>> = HashMap::new();
+        let mut hists: HashMap<&'static str, Hist> = HashMap::new();
         let mut trace = Vec::new();
         let mut threads = Vec::new();
         let mut dropped = 0u64;
         for shard in shards.iter() {
             let data = shard.data.lock().expect("merge shard lock");
-            threads.push(ThreadReport {
-                tid: shard.tid,
-                label: shard.label.lock().expect("shard label lock").clone(),
-                busy_s: data.busy_ns as f64 * 1e-9,
-            });
+            // A thread earns a report row by doing attributable work
+            // (spans, records, series, histogram samples).  Shards that
+            // only wrote counters or gauges — e.g. client threads calling
+            // `submit` — still merge those below but are pruned from the
+            // thread table, which otherwise fills with `busy_s: 0` rows.
+            let idle = data.events.is_empty()
+                && data.trace.is_empty()
+                && data.series.is_empty()
+                && data.hists.is_empty()
+                && data.busy_ns == 0;
+            if !idle {
+                threads.push(ThreadReport {
+                    tid: shard.tid,
+                    label: shard.label.lock().expect("shard label lock").clone(),
+                    busy_s: data.busy_ns as f64 * 1e-9,
+                });
+            }
             for (path, acc) in &data.events {
                 let merged = events.entry(path.clone()).or_insert_with(|| EventAcc {
                     first_seq: acc.first_seq,
@@ -303,6 +356,12 @@ impl Registry {
             }
             for (name, points) in &data.series {
                 series.entry(name).or_default().extend_from_slice(points);
+            }
+            for (name, h) in &data.hists {
+                hists
+                    .entry(name)
+                    .and_modify(|acc| acc.merge(h))
+                    .or_insert_with(|| h.clone());
             }
             trace.extend_from_slice(&data.trace);
             dropped += data.dropped_spans;
@@ -348,6 +407,10 @@ impl Registry {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
+            hists: hists
+                .into_iter()
+                .map(|(k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
             trace,
             dropped_spans: dropped,
         }
@@ -378,6 +441,9 @@ pub struct Span {
     bytes: f64,
     start: Instant,
     t0_us: f64,
+    args: Vec<(&'static str, String)>,
+    flow_in: Vec<u64>,
+    flow_out: Vec<u64>,
     _not_send: PhantomData<*const ()>,
 }
 
@@ -394,7 +460,38 @@ impl Span {
             bytes: 0.0,
             start: Instant::now(),
             t0_us: 0.0,
+            args: Vec::new(),
+            flow_in: Vec::new(),
+            flow_out: Vec::new(),
             _not_send: PhantomData,
+        }
+    }
+
+    /// Whether this span records on drop (false for the inert guard).
+    fn live(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// Attaches a key/value argument shown on the span in Chrome traces.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+        if self.live() {
+            self.args.push((key, value.into()));
+        }
+    }
+
+    /// Links `id` *into* this span: the span consumes (terminates) that
+    /// request's flow — e.g. `SpMMBatch` fans in every coalesced request.
+    pub fn flow_in(&mut self, id: TraceId) {
+        if self.live() {
+            self.flow_in.push(id.0);
+        }
+    }
+
+    /// Links `id` *out of* this span: the span originates that request's
+    /// flow — e.g. `Submit` starts the arrow a later batch terminates.
+    pub fn flow_out(&mut self, id: TraceId) {
+        if self.live() {
+            self.flow_out.push(id.0);
         }
     }
 }
@@ -435,6 +532,9 @@ impl Drop for Span {
                 tid,
                 t0_us: self.t0_us,
                 dur_us: ns as f64 * 1e-3,
+                args: std::mem::take(&mut self.args),
+                flow_in: std::mem::take(&mut self.flow_in),
+                flow_out: std::mem::take(&mut self.flow_out),
             });
         } else {
             data.dropped_spans += 1;
@@ -542,6 +642,74 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         let t2 = reg.elapsed();
         assert_eq!(t1, t2, "stop() pins the report total");
+    }
+
+    #[test]
+    fn counter_only_threads_prune_from_thread_table_but_still_merge() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("Work"); // this thread earns its row
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    reg.counter("submits", 1.0);
+                    reg.gauge("depth", 2.0);
+                });
+            }
+        });
+        let report = reg.report();
+        assert_eq!(report.threads.len(), 1, "gauge-only shards pruned");
+        assert_eq!(report.counters["submits"], 3.0, "counters still merge");
+        assert_eq!(report.gauges["depth"], 2.0, "gauges still merge");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_flows_land_on_trace_spans() {
+        let a = TraceId::fresh();
+        let b = TraceId::fresh();
+        assert_ne!(a, b);
+
+        let reg = Registry::new();
+        {
+            let mut submit = reg.span("Submit");
+            submit.flow_out(a);
+        }
+        {
+            let mut batch = reg.span("SpMMBatch");
+            batch.flow_in(a);
+            batch.flow_in(b);
+            batch.arg("k", "2");
+        }
+        let report = reg.report();
+        let submit = report.trace.iter().find(|s| s.name == "Submit").unwrap();
+        assert_eq!(submit.flow_out, vec![a.0]);
+        assert!(submit.flow_in.is_empty());
+        let batch = report.trace.iter().find(|s| s.name == "SpMMBatch").unwrap();
+        assert_eq!(batch.flow_in, vec![a.0, b.0]);
+        assert_eq!(batch.args, vec![("k", "2".to_string())]);
+    }
+
+    #[test]
+    fn hist_records_merge_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        reg.hist("latency", (t * 25 + i) as f64 * 0.5);
+                    }
+                });
+            }
+        });
+        let report = reg.report();
+        let h = report.hists.get("latency").expect("merged histogram");
+        assert_eq!(h.count, 100);
+        let p50 = h.percentile(0.5);
+        assert!((p50 - 24.75).abs() < 24.75 / 16.0, "p50 = {p50}");
+        assert_eq!(report.threads.len(), 4, "hist samples earn thread rows");
     }
 
     #[test]

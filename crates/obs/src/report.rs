@@ -14,12 +14,19 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::hist::HistSnapshot;
 use crate::json::{parse, Json};
 use crate::registry::PATH_SEP;
 
 /// Version stamped into every JSON report as `"version"`; bump on any
-/// breaking schema change.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// breaking schema change.  v2 added `hists`, `machine`, and span flow
+/// links; [`validate_report_json`] still accepts
+/// [`MIN_SUPPORTED_SCHEMA_VERSION`] documents so checked-in v1 artifacts
+/// keep validating.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate_report_json`] accepts.
+pub const MIN_SUPPORTED_SCHEMA_VERSION: u64 = 1;
 
 /// One `(x, y)` sample of a named series (e.g. iteration → residual norm).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,6 +103,29 @@ pub struct TraceSpan {
     pub t0_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
+    /// Key/value arguments attached via [`Span::arg`](crate::Span::arg).
+    pub args: Vec<(&'static str, String)>,
+    /// Trace ids whose flows *terminate* at this span (fan-in: the
+    /// requests a batch coalesced).
+    pub flow_in: Vec<u64>,
+    /// Trace ids whose flows *originate* at this span (a request's
+    /// submission point).
+    pub flow_out: Vec<u64>,
+}
+
+/// Host identity stamped into v2 reports so baselines and gates can tell
+/// which machine produced a number — and refuse to treat undersized CI
+/// hosts as canonical.
+#[derive(Clone, Debug)]
+pub struct MachineStamp {
+    /// Stable host key: core count + modeled STREAM bandwidth (built by
+    /// `sellkit_machine::host_fingerprint`; obs itself stays model-free).
+    pub fingerprint: String,
+    /// `std::thread::available_parallelism` at report time.
+    pub host_cores: u64,
+    /// Whether perf numbers from this host may gate regressions
+    /// (sub-4-core hosts cannot meaningfully exercise the pool).
+    pub gating: bool,
 }
 
 /// An immutable merged snapshot of everything a registry recorded.
@@ -113,6 +143,8 @@ pub struct Report {
     pub gauges: BTreeMap<String, f64>,
     /// Named sample series sorted by `x` (e.g. `ksp.rnorm`).
     pub series: BTreeMap<String, Vec<SeriesPoint>>,
+    /// Merged latency/size histograms (e.g. `serve.latency_ms`).
+    pub hists: BTreeMap<String, HistSnapshot>,
     /// Completed spans sorted by `(tid, t0)`, capped per thread.
     pub trace: Vec<TraceSpan>,
     /// Spans dropped from `trace` after the per-thread cap was hit.
@@ -206,18 +238,43 @@ impl Report {
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "gauge   {name} = {v}");
         }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist    {name}: count={} p50={:.3} p90={:.3} p99={:.3} p999={:.3} max={:.3}",
+                h.count,
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.percentile(0.999),
+                h.max
+            );
+        }
         if self.dropped_spans > 0 {
             let _ = writeln!(out, "({} trace spans dropped past cap)", self.dropped_spans);
         }
         out
     }
 
+    /// Serializes the report to the versioned JSON schema with no machine
+    /// stamp (`"machine": null`).  Prefer [`Report::to_json_stamped`] for
+    /// checked-in `BENCH_*.json` artifacts, which baseline gating keys on.
+    pub fn to_json(&self, roofline_bw_gbs: Option<f64>) -> String {
+        self.to_json_stamped(roofline_bw_gbs, None)
+    }
+
     /// Serializes the report to the versioned JSON schema.
     ///
     /// When `roofline_bw_gbs` (a STREAM-model bandwidth ceiling, GB/s) is
     /// given, every event with modeled bytes also carries `roof_pct` —
-    /// achieved GB/s as a percentage of that ceiling.
-    pub fn to_json(&self, roofline_bw_gbs: Option<f64>) -> String {
+    /// achieved GB/s as a percentage of that ceiling.  When `machine` is
+    /// given, the document carries the host fingerprint and gating flag
+    /// `xtask bench-gate` keys its baselines on.
+    pub fn to_json_stamped(
+        &self,
+        roofline_bw_gbs: Option<f64>,
+        machine: Option<&MachineStamp>,
+    ) -> String {
         let events: Vec<Json> = self
             .events
             .iter()
@@ -267,6 +324,19 @@ impl Report {
                 })
                 .collect(),
         );
+        let hists = Json::Obj(
+            self.hists
+                .iter()
+                .map(|(name, h)| (name.clone(), h.to_json()))
+                .collect(),
+        );
+        let machine_json = machine.map_or(Json::Null, |m| {
+            Json::obj(vec![
+                ("fingerprint", Json::from(m.fingerprint.as_str())),
+                ("host_cores", Json::from(m.host_cores)),
+                ("gating", Json::Bool(m.gating)),
+            ])
+        });
         let doc = Json::obj(vec![
             ("schema", Json::from("sellkit-obs-report")),
             ("version", Json::from(REPORT_SCHEMA_VERSION)),
@@ -275,11 +345,13 @@ impl Report {
                 "roofline_bw_gbs",
                 roofline_bw_gbs.map_or(Json::Null, Json::from),
             ),
+            ("machine", machine_json),
             ("threads", Json::Arr(threads)),
             ("events", Json::Arr(events)),
             ("counters", Json::from_map(&self.counters)),
             ("gauges", Json::from_map(&self.gauges)),
             ("series", series),
+            ("hists", hists),
             ("dropped_spans", Json::from(self.dropped_spans)),
         ]);
         doc.to_string()
@@ -287,7 +359,11 @@ impl Report {
 
     /// Serializes the span trace in Chrome trace-event format: complete
     /// (`ph: "X"`) events plus `thread_name` metadata, one track per
-    /// recording thread.  Load in `chrome://tracing` or Perfetto.
+    /// recording thread.  Spans with flow links additionally emit flow
+    /// start (`ph: "s"`) and flow end (`ph: "f"`) events sharing the
+    /// request's trace id, so Perfetto draws an arrow from each request's
+    /// submission span to the batch that served it.  Load in
+    /// `chrome://tracing` or Perfetto.
     pub fn chrome_trace(&self) -> String {
         let mut events: Vec<Json> = Vec::with_capacity(self.trace.len() + self.threads.len());
         for t in &self.threads {
@@ -303,14 +379,52 @@ impl Report {
             ]));
         }
         for s in &self.trace {
-            events.push(Json::obj(vec![
+            let mut members = vec![
                 ("name", Json::from(s.name.as_str())),
                 ("ph", Json::from("X")),
                 ("ts", Json::from(s.t0_us)),
                 ("dur", Json::from(s.dur_us)),
                 ("pid", Json::from(0u64)),
                 ("tid", Json::from(s.tid)),
-            ]));
+            ];
+            if !s.args.is_empty() {
+                members.push((
+                    "args",
+                    Json::obj(
+                        s.args
+                            .iter()
+                            .map(|(k, v)| (*k, Json::from(v.as_str())))
+                            .collect(),
+                    ),
+                ));
+            }
+            events.push(Json::obj(members));
+            // Flow events bind to the enclosing slice on their
+            // (ts, tid): starts sit at the slice opening, ends just
+            // inside the closing edge so they land within the slice.
+            for &id in &s.flow_out {
+                events.push(Json::obj(vec![
+                    ("name", Json::from("request")),
+                    ("cat", Json::from("request")),
+                    ("ph", Json::from("s")),
+                    ("id", Json::from(id)),
+                    ("ts", Json::from(s.t0_us)),
+                    ("pid", Json::from(0u64)),
+                    ("tid", Json::from(s.tid)),
+                ]));
+            }
+            for &id in &s.flow_in {
+                events.push(Json::obj(vec![
+                    ("name", Json::from("request")),
+                    ("cat", Json::from("request")),
+                    ("ph", Json::from("f")),
+                    ("bp", Json::from("e")),
+                    ("id", Json::from(id)),
+                    ("ts", Json::from(s.t0_us)),
+                    ("pid", Json::from(0u64)),
+                    ("tid", Json::from(s.tid)),
+                ]));
+            }
         }
         Json::obj(vec![("traceEvents", Json::Arr(events))]).to_string()
     }
@@ -329,18 +443,26 @@ fn root_of(path: &str) -> &str {
     path.split(PATH_SEP).next().unwrap_or(path)
 }
 
-/// Validates a JSON document against the `sellkit-obs-report` schema
-/// (version [`REPORT_SCHEMA_VERSION`]); returns the first problem found.
+/// Validates a JSON document against the `sellkit-obs-report` schema;
+/// returns the first problem found.  Accepts every version from
+/// [`MIN_SUPPORTED_SCHEMA_VERSION`] through [`REPORT_SCHEMA_VERSION`],
+/// so v1 artifacts checked in before histograms/machine stamps existed
+/// keep validating; v2-only members are required only of v2 documents.
 pub fn validate_report_json(text: &str) -> Result<(), String> {
     let doc = parse(text)?;
     if doc.get("schema").and_then(Json::as_str) != Some("sellkit-obs-report") {
         return Err("missing or wrong \"schema\" marker".into());
     }
-    match doc.get("version").and_then(Json::as_f64) {
-        Some(v) if v == REPORT_SCHEMA_VERSION as f64 => {}
+    let version = match doc.get("version").and_then(Json::as_f64) {
+        Some(v)
+            if (MIN_SUPPORTED_SCHEMA_VERSION as f64..=REPORT_SCHEMA_VERSION as f64)
+                .contains(&v) =>
+        {
+            v as u64
+        }
         Some(v) => return Err(format!("unsupported schema version {v}")),
         None => return Err("missing \"version\"".into()),
-    }
+    };
     let total = doc
         .get("total_s")
         .and_then(Json::as_f64)
@@ -384,7 +506,127 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
             _ => return Err(format!("missing \"{key}\" object")),
         }
     }
+    if version >= 2 {
+        let Some(Json::Obj(hists)) = doc.get("hists") else {
+            return Err("v2 report: missing \"hists\" object".into());
+        };
+        for (name, h) in hists {
+            for key in [
+                "count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999",
+            ] {
+                match h.get(key).and_then(Json::as_f64) {
+                    Some(v) if v >= 0.0 => {}
+                    Some(v) => return Err(format!("hist {name}: negative \"{key}\" = {v}")),
+                    None => return Err(format!("hist {name}: missing numeric \"{key}\"")),
+                }
+            }
+            if h.get("buckets").and_then(Json::as_arr).is_none() {
+                return Err(format!("hist {name}: missing \"buckets\" array"));
+            }
+        }
+        match doc.get("machine") {
+            Some(Json::Null) => {}
+            Some(m) => {
+                if m.get("fingerprint").and_then(Json::as_str).is_none()
+                    || m.get("host_cores").and_then(Json::as_f64).is_none()
+                    || !matches!(m.get("gating"), Some(Json::Bool(_)))
+                {
+                    return Err("machine stamp: missing fingerprint/host_cores/gating".into());
+                }
+            }
+            None => return Err("v2 report: missing \"machine\" member (may be null)".into()),
+        }
+    }
     Ok(())
+}
+
+/// Renders a `sellkit-obs-report` JSON document as Prometheus text
+/// exposition format: counters as `_total` counters, gauges as gauges,
+/// histograms as summaries (quantile series plus `_sum`/`_count`), and
+/// event rows as labeled `sellkit_event_*` totals.  Metric names are
+/// sanitized to the Prometheus grammar (`[a-zA-Z0-9_]`).
+pub fn prometheus_from_report_json(text: &str) -> Result<String, String> {
+    validate_report_json(text)?;
+    let doc = parse(text)?;
+    let mut out = String::new();
+
+    let metric = |name: &str| -> String {
+        let mut m = String::with_capacity(name.len() + 8);
+        m.push_str("sellkit_");
+        for c in name.chars() {
+            m.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+        }
+        m
+    };
+    let label = |value: &str| -> String {
+        value
+            .chars()
+            .map(|c| match c {
+                '"' | '\\' => '_',
+                c => c,
+            })
+            .collect()
+    };
+
+    if let Some(total) = doc.get("total_s").and_then(Json::as_f64) {
+        let _ = writeln!(out, "# TYPE sellkit_report_total_seconds gauge");
+        let _ = writeln!(out, "sellkit_report_total_seconds {total}");
+    }
+    if let Some(Json::Obj(counters)) = doc.get("counters") {
+        for (name, v) in counters {
+            if let Some(v) = v.as_f64() {
+                let m = metric(name);
+                let _ = writeln!(out, "# TYPE {m}_total counter");
+                let _ = writeln!(out, "{m}_total {v}");
+            }
+        }
+    }
+    if let Some(Json::Obj(gauges)) = doc.get("gauges") {
+        for (name, v) in gauges {
+            if let Some(v) = v.as_f64() {
+                let m = metric(name);
+                let _ = writeln!(out, "# TYPE {m} gauge");
+                let _ = writeln!(out, "{m} {v}");
+            }
+        }
+    }
+    if let Some(Json::Obj(hists)) = doc.get("hists") {
+        for (name, h) in hists {
+            let m = metric(name);
+            let _ = writeln!(out, "# TYPE {m} summary");
+            for (q, key) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99"), (0.999, "p999")] {
+                if let Some(v) = h.get(key).and_then(Json::as_f64) {
+                    let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {v}");
+                }
+            }
+            if let Some(sum) = h.get("sum").and_then(Json::as_f64) {
+                let _ = writeln!(out, "{m}_sum {sum}");
+            }
+            if let Some(count) = h.get("count").and_then(Json::as_f64) {
+                let _ = writeln!(out, "{m}_count {count}");
+            }
+        }
+    }
+    if let Some(events) = doc.get("events").and_then(Json::as_arr) {
+        let _ = writeln!(out, "# TYPE sellkit_event_seconds_total counter");
+        let _ = writeln!(out, "# TYPE sellkit_event_count_total counter");
+        for e in events {
+            let (Some(path), Some(seconds), Some(count)) = (
+                e.get("path").and_then(Json::as_str),
+                e.get("seconds").and_then(Json::as_f64),
+                e.get("count").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let p = label(path);
+            let _ = writeln!(
+                out,
+                "sellkit_event_seconds_total{{event=\"{p}\"}} {seconds}"
+            );
+            let _ = writeln!(out, "sellkit_event_count_total{{event=\"{p}\"}} {count}");
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -403,6 +645,9 @@ mod tests {
         reg.gauge("partition.imbalance", 1.03);
         reg.series_point("ksp.rnorm", 0.0, 1.0);
         reg.series_point("ksp.rnorm", 1.0, 1e-3);
+        for i in 0..50 {
+            reg.hist("serve.latency_ms", 1.0 + i as f64 * 0.1);
+        }
         reg.report()
     }
 
@@ -446,6 +691,117 @@ mod tests {
             .is_err(),
             "events must carry full numeric columns"
         );
+    }
+
+    #[test]
+    fn validator_accepts_v1_documents() {
+        // The exact shape of a pre-histogram v1 artifact: no "hists", no
+        // "machine".  Backward compatibility is part of the v2 contract.
+        validate_report_json(
+            "{\"schema\":\"sellkit-obs-report\",\"version\":1,\"total_s\":1,\
+             \"threads\":[{\"tid\":0,\"label\":\"main\",\"busy_s\":0.5}],\
+             \"events\":[],\"counters\":{},\"gauges\":{},\"series\":{}}",
+        )
+        .expect("v1 documents stay valid");
+        // ...but a v2 document without the v2 members is rejected.
+        assert!(validate_report_json(
+            "{\"schema\":\"sellkit-obs-report\",\"version\":2,\"total_s\":1,\
+             \"threads\":[],\"events\":[],\"counters\":{},\"gauges\":{},\"series\":{}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn machine_stamp_round_trips_and_validates() {
+        let report = sample_report();
+        let stamp = MachineStamp {
+            fingerprint: "c4-bw25".to_string(),
+            host_cores: 4,
+            gating: true,
+        };
+        let text = report.to_json_stamped(Some(100.0), Some(&stamp));
+        validate_report_json(&text).expect("stamped report validates");
+        let doc = parse(&text).unwrap();
+        let m = doc.get("machine").unwrap();
+        assert_eq!(m.get("fingerprint").and_then(Json::as_str), Some("c4-bw25"));
+        assert_eq!(m.get("gating"), Some(&Json::Bool(true)));
+        let h = doc
+            .get("hists")
+            .and_then(|h| h.get("serve.latency_ms"))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(50.0));
+        assert!(h.get("p99").and_then(Json::as_f64).unwrap() > 0.0);
+
+        // A corrupted stamp fails validation.
+        let bad = text.replace("\"host_cores\":4,", "");
+        assert!(validate_report_json(&bad).is_err());
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_metric_family() {
+        let report = sample_report();
+        let text = prometheus_from_report_json(&report.to_json(None)).expect("renders");
+        assert!(text.contains("sellkit_halo_bytes_total 4096"));
+        assert!(text.contains("# TYPE sellkit_partition_imbalance gauge"));
+        assert!(text.contains("sellkit_partition_imbalance 1.03"));
+        assert!(text.contains("# TYPE sellkit_serve_latency_ms summary"));
+        assert!(text.contains("sellkit_serve_latency_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("sellkit_serve_latency_ms_count 50"));
+        assert!(text.contains("sellkit_event_count_total{event=\"KSPSolve>MatMult\"} 1"));
+        assert!(
+            prometheus_from_report_json("{}").is_err(),
+            "invalid reports are rejected, not half-rendered"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_events_bound_to_slices() {
+        let reg = Registry::new();
+        let id = crate::TraceId::fresh();
+        {
+            let mut submit = reg.span("Submit");
+            submit.flow_out(id);
+        }
+        {
+            let mut batch = reg.span("SpMMBatch");
+            batch.flow_in(id);
+            batch.arg("k", "1");
+        }
+        let report = reg.report();
+        let doc = parse(&report.chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let start = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .expect("flow start");
+        let end = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .expect("flow end");
+        assert_eq!(
+            start.get("id").and_then(Json::as_f64),
+            end.get("id").and_then(Json::as_f64),
+            "one flow arrow, one id"
+        );
+        assert_eq!(end.get("bp").and_then(Json::as_str), Some("e"));
+        let batch_slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("SpMMBatch"))
+            .unwrap();
+        assert_eq!(
+            batch_slice
+                .get("args")
+                .and_then(|a| a.get("k"))
+                .and_then(Json::as_str),
+            Some("1")
+        );
+        // The flow end binds to the batch slice: same tid, ts inside it.
+        let (bt, bd) = (
+            batch_slice.get("ts").and_then(Json::as_f64).unwrap(),
+            batch_slice.get("dur").and_then(Json::as_f64).unwrap(),
+        );
+        let et = end.get("ts").and_then(Json::as_f64).unwrap();
+        assert!(et >= bt && et <= bt + bd, "flow end inside the batch slice");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use sellkit_check::Validate;
 use sellkit_core::{Apply, ExecCtx, MultiVec, Operator};
+use sellkit_obs::{flight, TraceId};
 
 /// Everything that can go wrong between `submit` and `wait`.
 ///
@@ -104,6 +105,9 @@ struct Request {
     ticket: Arc<TicketShared>,
     enqueued: Instant,
     seq: u64,
+    /// Process-unique id following this request through queue → batch →
+    /// kernel; fans into the `SpMMBatch` span as a Chrome-trace flow link.
+    trace: TraceId,
 }
 
 /// Completion slot a [`Ticket`] blocks on.
@@ -124,16 +128,26 @@ impl TicketShared {
 /// Handle to one submitted request; redeem it with [`Ticket::wait`].
 pub struct Ticket {
     shared: Arc<TicketShared>,
+    trace: TraceId,
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ready = self.shared.slot.lock().is_ok_and(|s| s.is_some());
-        f.debug_struct("Ticket").field("ready", &ready).finish()
+        f.debug_struct("Ticket")
+            .field("trace", &self.trace)
+            .field("ready", &ready)
+            .finish()
     }
 }
 
 impl Ticket {
+    /// The request's trace id: find it in the exported Chrome trace (flow
+    /// arrows into its batch) and in flight-recorder dumps.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
     /// Blocks until the worker fulfills the request and returns `y = A·x`
     /// for the submitted right-hand side.
     pub fn wait(self) -> Result<Vec<f64>, ServeError> {
@@ -259,7 +273,12 @@ impl Server {
             slot: Mutex::new(None),
             ready: Condvar::new(),
         });
+        let trace = TraceId::fresh();
         let depth = {
+            // The Submit span originates this request's flow: the batch
+            // that eventually serves it terminates the arrow.
+            let mut span = sellkit_obs::span("Submit");
+            span.flow_out(trace);
             let mut state = self.shared.state.lock().map_err(|_| ServeError::Poisoned)?;
             if state.queue.len() >= self.shared.cfg.queue_cap {
                 return Err(ServeError::QueueFull);
@@ -272,13 +291,16 @@ impl Server {
                 ticket: Arc::clone(&ticket_shared),
                 enqueued: Instant::now(),
                 seq,
+                trace,
             });
             state.queue.len()
         };
         sellkit_obs::gauge("serve.queue_depth", depth as f64);
+        flight::record("req.submit", &[trace.0], id as f64, depth as f64);
         self.shared.arrived.notify_all();
         Ok(Ticket {
             shared: ticket_shared,
+            trace,
         })
     }
 
@@ -296,6 +318,11 @@ impl Drop for Server {
         self.shared.arrived.notify_all();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
+        }
+        // CI artifact hook: with SELLKIT_FLIGHT_DUMP set, every server
+        // leaves its recent-event trail behind on shutdown, crash or not.
+        if std::env::var_os("SELLKIT_FLIGHT_DUMP").is_some() {
+            let _ = flight::dump();
         }
     }
 }
@@ -395,29 +422,57 @@ fn execute_batch(shared: &Shared, ctx: &ExecCtx, batch: Vec<Request>) {
     sellkit_obs::counter("serve.requests", k as f64);
     sellkit_obs::counter("serve.matrix_bytes", tenant.op.matrix_bytes() as f64);
 
+    // Queue-wait vs compute split: wait ends when the batch window
+    // closes (here), compute is the blocked apply below.
+    let ids: Vec<u64> = batch.iter().map(|r| r.trace.0).collect();
+    let dispatched = Instant::now();
+    for req in &batch {
+        let wait_ms = dispatched.duration_since(req.enqueued).as_secs_f64() * 1e3;
+        sellkit_obs::hist("serve.queue_wait_ms", wait_ms);
+    }
+    sellkit_obs::hist("serve.batch_k", k as f64);
+    flight::record("batch.begin", &ids, k as f64, batch[0].matrix as f64);
+
     let mut x = MultiVec::zeros(tenant.ncols, k);
     for (v, req) in batch.iter().enumerate() {
         x.set_column(v, &req.x);
     }
     let mut y = MultiVec::zeros(tenant.nrows, k);
     let traffic = tenant.op.spmm_traffic(k);
+    let t_apply = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _span =
+        let mut span =
             sellkit_obs::span_traffic("SpMMBatch", traffic.flops as f64, traffic.bytes as f64);
+        // Fan-in: every coalesced request's flow terminates at this
+        // batch span in the exported trace.
+        for req in &batch {
+            span.flow_in(req.trace);
+        }
+        span.arg("k", k.to_string());
         tenant.op.apply(ctx, x.view(), y.view_mut(), Apply::Set);
     }));
+    let compute_ms = t_apply.elapsed().as_secs_f64() * 1e3;
 
     match outcome {
         Ok(()) => {
+            sellkit_obs::hist("serve.compute_ms", compute_ms);
             for (v, req) in batch.iter().enumerate() {
                 let mut out = vec![0.0; tenant.nrows];
                 y.copy_column_into(v, &mut out);
                 let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
                 sellkit_obs::series_point("serve.latency_ms", req.seq as f64, latency_ms);
+                sellkit_obs::hist("serve.latency_ms", latency_ms);
                 req.ticket.fulfill(Ok(out));
             }
+            flight::record("batch.done", &ids, k as f64, compute_ms);
         }
         Err(_) => {
+            // The postmortem path the flight recorder exists for: name
+            // the poisoned requests and dump the ring before answering
+            // the tickets, so the artifact exists even if a waiter
+            // aborts the process on the error.
+            flight::record("batch.poisoned", &ids, k as f64, compute_ms);
+            let _ = flight::dump();
             for req in &batch {
                 req.ticket.fulfill(Err(ServeError::Poisoned));
             }

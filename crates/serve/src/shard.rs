@@ -86,6 +86,7 @@ impl Operator for ShardedOp {
         // One world per apply; the batch's k products share it, so the
         // distribution setup is amortized exactly like the matrix bytes.
         let outs: Vec<Vec<Vec<f64>>> = sellkit_mpisim::run(self.ranks, |comm| {
+            sellkit_obs::set_thread_label(&format!("mpisim-rank-{}", comm.rank()));
             let dm = DistMat::<Csr>::from_global_csr(comm, &self.a, self.tag);
             let mine_rows = row_parts[comm.rank()];
             let mine_cols = col_parts[comm.rank()];

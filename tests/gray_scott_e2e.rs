@@ -210,9 +210,21 @@ fn obs_report_attributes_the_solve_and_exports_json() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1usize);
     let bw = sellkit::machine::host_stream_bw_gbs(threads);
-    let text = rep.to_json(Some(bw));
+    let stamp = sellkit::obs::MachineStamp {
+        fingerprint: sellkit::machine::host_fingerprint(),
+        host_cores: sellkit::machine::host_cores() as u64,
+        gating: sellkit::machine::gating_host(),
+    };
+    let text = rep.to_json_stamped(Some(bw), Some(&stamp));
     sellkit::obs::validate_report_json(&text).expect("schema-valid report");
     let parsed = sellkit::obs::parse_json(&text).expect("well-formed JSON");
+
+    // The machine stamp survives the round-trip with the host fingerprint.
+    let machine = parsed.get("machine").expect("machine member present");
+    assert_eq!(
+        machine.get("fingerprint").and_then(|f| f.as_str()),
+        Some(stamp.fingerprint.as_str())
+    );
 
     // Percent-of-roofline is present and consistent with the STREAM model.
     let events = parsed.get("events").and_then(|e| e.as_arr()).unwrap();

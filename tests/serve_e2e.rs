@@ -189,9 +189,36 @@ fn serve_coalesces_amortizes_traffic_and_exports_json() {
         rep.gauges.contains_key("serve.queue_depth"),
         "queue depth gauge missing"
     );
+    let latency = rep
+        .hists
+        .get("serve.latency_ms")
+        .expect("per-request latency histogram missing");
+    assert_eq!(
+        latency.count,
+        (PHASE_A_REQS + CLIENTS * PER_CLIENT + 2) as u64,
+        "every successful request lands one latency sample"
+    );
+    assert!(latency.percentile(0.99) >= latency.percentile(0.50));
+    assert!(
+        rep.hists.contains_key("serve.queue_wait_ms"),
+        "queue-wait histogram missing"
+    );
+
+    // The serve worker and any mpisim ranks appear under their own names;
+    // idle counter-only threads are pruned from the thread table.
+    assert!(
+        rep.threads.iter().any(|t| t.label == "sellkit-serve"),
+        "serve worker thread not named: {:?}",
+        rep.threads.iter().map(|t| &t.label).collect::<Vec<_>>()
+    );
 
     let bw = sellkit::machine::host_stream_bw_gbs(threads);
-    let text = rep.to_json(Some(bw));
+    let stamp = sellkit::obs::MachineStamp {
+        fingerprint: sellkit::machine::host_fingerprint(),
+        host_cores: sellkit::machine::host_cores() as u64,
+        gating: sellkit::machine::gating_host(),
+    };
+    let text = rep.to_json_stamped(Some(bw), Some(&stamp));
     sellkit::obs::validate_report_json(&text).expect("schema-valid report");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
     std::fs::write(path, format!("{text}\n")).expect("write bench report");

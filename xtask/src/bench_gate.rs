@@ -1,0 +1,447 @@
+//! The perf-baseline gate: `cargo run -p xtask -- bench-gate`.
+//!
+//! Diffs the machine-readable bench artifacts at the workspace root
+//! (`BENCH_sweep.json` from the sweep binary, `BENCH_serve.json` from the
+//! serve e2e test) against checked-in per-host baselines under
+//! `baselines/<fingerprint>.json`, where the fingerprint is the
+//! deterministic `c{cores}-bw{gbs}` stamp `sellkit-machine` writes into
+//! every artifact.  The comparison is noise-tolerant (default ±25 %) and
+//! directional: roofline fractions and speedups must not fall, latency
+//! percentiles and dispatch overhead must not rise.
+//!
+//! The gate **self-skips** (exit 0, with a notice) rather than fail when
+//! the results cannot be meaningful:
+//!
+//! * the artifact's machine stamp says `gating: false` (sub-4-core host:
+//!   scaling numbers would only test the scheduler);
+//! * no baseline exists for this host's fingerprint (unknown machine;
+//!   `--update` records one);
+//! * an artifact carries no machine stamp at all (pre-stamp producer).
+//!
+//! It **fails** (exit 1) when a gated metric regresses past tolerance,
+//! when artifacts from two different hosts are mixed, or when no artifact
+//! is present at all.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use sellkit_obs::{parse_json, Json};
+
+/// Baseline file schema tag.
+pub const BASELINE_SCHEMA: &str = "sellkit-bench-baseline";
+/// Baseline file schema version.
+pub const BASELINE_VERSION: u64 = 1;
+/// Default relative tolerance before a directional drift counts as a
+/// regression.  Bench numbers on shared CI runners jitter by tens of
+/// percent; the gate is after step-function regressions, not 5 % noise.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Gate configuration (CLI flags resolved).
+pub struct GateConfig {
+    /// Directory holding the `BENCH_*.json` artifacts.
+    pub root: PathBuf,
+    /// Directory holding `<fingerprint>.json` baselines.
+    pub baseline_dir: PathBuf,
+    /// Relative tolerance (0.25 = ±25 %).
+    pub tolerance: f64,
+    /// Rewrite the baseline from the current artifacts instead of gating.
+    pub update: bool,
+}
+
+impl GateConfig {
+    /// The standard layout under a workspace root: artifacts at the root,
+    /// baselines in `baselines/`.
+    pub fn at_root(root: &Path) -> Self {
+        Self {
+            root: root.to_path_buf(),
+            baseline_dir: root.join("baselines"),
+            tolerance: DEFAULT_TOLERANCE,
+            update: false,
+        }
+    }
+}
+
+/// What the gate decided.  `main` maps this to an exit code and prints
+/// the human rendering from [`GateOutcome::describe`].
+#[derive(Debug)]
+pub enum GateOutcome {
+    /// Every gated metric within tolerance.
+    Passed {
+        /// Comparison lines, one per gated metric.
+        lines: Vec<String>,
+    },
+    /// `--update`: the baseline was rewritten.
+    Updated {
+        /// Where the baseline was written.
+        path: PathBuf,
+        /// Metrics recorded.
+        count: usize,
+    },
+    /// The gate does not apply on this host; not a failure.
+    Skipped {
+        /// Why the gate self-skipped.
+        reason: String,
+    },
+    /// At least one metric regressed past tolerance.
+    Failed {
+        /// Comparison lines, one per gated metric.
+        lines: Vec<String>,
+        /// The regressed metrics.
+        regressions: Vec<String>,
+    },
+}
+
+impl GateOutcome {
+    /// Human rendering, one paragraph.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        match self {
+            GateOutcome::Passed { lines } => {
+                for l in lines {
+                    let _ = writeln!(out, "{l}");
+                }
+                let _ = writeln!(out, "bench-gate: ok ({} metric(s) gated)", lines.len());
+            }
+            GateOutcome::Updated { path, count } => {
+                let _ = writeln!(
+                    out,
+                    "bench-gate: baseline updated ({count} metric(s)) -> {}",
+                    path.display()
+                );
+            }
+            GateOutcome::Skipped { reason } => {
+                let _ = writeln!(out, "bench-gate: skipped ({reason})");
+            }
+            GateOutcome::Failed { lines, regressions } => {
+                for l in lines {
+                    let _ = writeln!(out, "{l}");
+                }
+                let _ = writeln!(
+                    out,
+                    "bench-gate: FAIL — {} regression(s): {}",
+                    regressions.len(),
+                    regressions.join(", ")
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether this outcome should exit nonzero.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, GateOutcome::Failed { .. })
+    }
+}
+
+/// Which way a metric is allowed to drift.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Throughput-like: falling below baseline × (1 − tol) fails.
+    HigherIsBetter,
+    /// Latency/overhead-like: rising above baseline × (1 + tol) fails.
+    LowerIsBetter,
+}
+
+/// Direction by metric name: roofline fractions, speedups, efficiencies,
+/// and Gflop/s rates must not fall; everything else gated (latency
+/// percentiles, dispatch overhead) must not rise.
+fn direction(name: &str) -> Direction {
+    let higher = ["roof_pct", "speedup", "efficiency", "gflops"];
+    if higher.iter().any(|word| name.contains(word)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// One artifact's contribution: the machine stamp plus flat metrics.
+struct ArtifactMetrics {
+    source: &'static str,
+    fingerprint: String,
+    host_cores: u64,
+    gating: bool,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Runs the gate.  `Err` is an environment/usage problem (unreadable or
+/// unparseable artifact, mixed hosts, nothing to gate) — distinct from
+/// [`GateOutcome::Failed`], which is a genuine perf regression.
+pub fn run_gate(cfg: &GateConfig) -> Result<GateOutcome, String> {
+    let mut artifacts = Vec::new();
+    let mut notices = Vec::new();
+
+    let sweep_path = cfg.root.join("BENCH_sweep.json");
+    if sweep_path.exists() {
+        match load_sweep(&sweep_path)? {
+            Some(a) => artifacts.push(a),
+            None => notices.push("BENCH_sweep.json carries no machine stamp; not gated".into()),
+        }
+    }
+    let serve_path = cfg.root.join("BENCH_serve.json");
+    if serve_path.exists() {
+        match load_serve(&serve_path)? {
+            Some(a) => artifacts.push(a),
+            None => notices.push("BENCH_serve.json carries no machine stamp; not gated".into()),
+        }
+    }
+
+    if artifacts.is_empty() {
+        return Err(format!(
+            "no stamped bench artifacts under {} (run the sweep and serve e2e first)",
+            cfg.root.display()
+        ));
+    }
+
+    // One host per gate run: mixing artifacts recorded on different
+    // machines would diff incomparable numbers.
+    let fingerprint = artifacts[0].fingerprint.clone();
+    if let Some(other) = artifacts.iter().find(|a| a.fingerprint != fingerprint) {
+        return Err(format!(
+            "artifact host mismatch: {} is {} but {} is {}",
+            artifacts[0].source, fingerprint, other.source, other.fingerprint
+        ));
+    }
+
+    if artifacts.iter().all(|a| !a.gating) {
+        return Ok(GateOutcome::Skipped {
+            reason: format!(
+                "non-gating host {fingerprint} ({} core(s) < 4): scaling metrics are not meaningful",
+                artifacts[0].host_cores
+            ),
+        });
+    }
+
+    let current: Vec<(String, f64)> = artifacts
+        .iter()
+        .filter(|a| a.gating)
+        .flat_map(|a| a.metrics.iter().cloned())
+        .collect();
+
+    let baseline_path = cfg.baseline_dir.join(format!("{fingerprint}.json"));
+    if cfg.update {
+        write_baseline(&baseline_path, &fingerprint, &current)?;
+        return Ok(GateOutcome::Updated {
+            path: baseline_path,
+            count: current.len(),
+        });
+    }
+
+    if !baseline_path.exists() {
+        return Ok(GateOutcome::Skipped {
+            reason: format!(
+                "no baseline for host {fingerprint} ({} missing); \
+                 run `cargo run -p xtask -- bench-gate --update` on a trusted run to record one",
+                baseline_path.display()
+            ),
+        });
+    }
+    let baseline = load_baseline(&baseline_path, &fingerprint)?;
+
+    let mut lines = notices;
+    let mut regressions = Vec::new();
+    for (name, value) in &current {
+        let Some(&base) = baseline.iter().find(|(k, _)| k == name).map(|(_, v)| v) else {
+            lines.push(format!("  {name}: {value:.3} (new metric, not gated)"));
+            continue;
+        };
+        let (bound, breached, arrow) = match direction(name) {
+            Direction::HigherIsBetter => {
+                let bound = base * (1.0 - cfg.tolerance);
+                (bound, *value < bound, ">=")
+            }
+            Direction::LowerIsBetter => {
+                let bound = base * (1.0 + cfg.tolerance);
+                (bound, *value > bound, "<=")
+            }
+        };
+        let verdict = if breached { "FAIL" } else { "ok" };
+        lines.push(format!(
+            "  {name}: {value:.3} vs baseline {base:.3} (need {arrow} {bound:.3}) {verdict}"
+        ));
+        if breached {
+            regressions.push(name.clone());
+        }
+    }
+    for (name, _) in &baseline {
+        if !current.iter().any(|(k, _)| k == name) {
+            lines.push(format!("  {name}: missing from current run (not gated)"));
+        }
+    }
+
+    if regressions.is_empty() {
+        Ok(GateOutcome::Passed { lines })
+    } else {
+        Ok(GateOutcome::Failed { lines, regressions })
+    }
+}
+
+/// Pulls the machine stamp out of a document's `"machine"` member.
+/// `Ok(None)` means the member is absent or null (unstamped producer).
+fn machine_stamp(doc: &Json) -> Result<Option<(String, u64, bool)>, String> {
+    let m = match doc.get("machine") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(m) => m,
+    };
+    let fp = m
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("machine.fingerprint missing")?;
+    let cores = m
+        .get("host_cores")
+        .and_then(Json::as_f64)
+        .ok_or("machine.host_cores missing")?;
+    let gating = match m.get("gating") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("machine.gating missing".into()),
+    };
+    Ok(Some((fp.to_string(), cores as u64, gating)))
+}
+
+fn read_doc(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    parse_json(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+/// Metrics gated from `BENCH_sweep.json` (schema `sellkit-bench-sweep`
+/// v3+): per-format roofline fraction, 4-thread speedup, 4-thread
+/// dispatch overhead.
+fn load_sweep(path: &Path) -> Result<Option<ArtifactMetrics>, String> {
+    let doc = read_doc(path)?;
+    if doc.get("schema").and_then(Json::as_str) != Some("sellkit-bench-sweep") {
+        return Err(format!(
+            "{}: not a sellkit-bench-sweep document",
+            path.display()
+        ));
+    }
+    let Some((fingerprint, host_cores, gating)) = machine_stamp(&doc)? else {
+        return Ok(None);
+    };
+    let mut metrics = Vec::new();
+    if let Some(formats) = doc.get("formats").and_then(Json::as_arr) {
+        for f in formats {
+            if let (Some(name), Some(pct)) = (
+                f.get("format").and_then(Json::as_str),
+                f.get("roof_pct").and_then(Json::as_f64),
+            ) {
+                metrics.push((format!("sweep.{name}.roof_pct"), pct));
+            }
+        }
+    }
+    if let Some(scaling) = doc.get("thread_scaling").and_then(Json::as_arr) {
+        for p in scaling {
+            if p.get("threads").and_then(Json::as_f64) == Some(4.0) {
+                if let Some(s) = p.get("speedup").and_then(Json::as_f64) {
+                    metrics.push(("sweep.speedup_4t".into(), s));
+                }
+                if let Some(d) = p.get("dispatch_ns").and_then(Json::as_f64) {
+                    metrics.push(("sweep.dispatch_ns_4t".into(), d));
+                }
+            }
+        }
+    }
+    Ok(Some(ArtifactMetrics {
+        source: "BENCH_sweep.json",
+        fingerprint,
+        host_cores,
+        gating,
+        metrics,
+    }))
+}
+
+/// Metrics gated from `BENCH_serve.json` (an obs report, schema v2+):
+/// the SpMMBatch roofline fraction plus the serve latency and compute
+/// histograms' tail percentiles.
+fn load_serve(path: &Path) -> Result<Option<ArtifactMetrics>, String> {
+    let doc = read_doc(path)?;
+    if doc.get("schema").and_then(Json::as_str) != Some("sellkit-obs-report") {
+        return Err(format!(
+            "{}: not a sellkit-obs-report document",
+            path.display()
+        ));
+    }
+    let Some((fingerprint, host_cores, gating)) = machine_stamp(&doc)? else {
+        return Ok(None);
+    };
+    let mut metrics = Vec::new();
+    if let Some(events) = doc.get("events").and_then(Json::as_arr) {
+        for e in events {
+            if e.get("path").and_then(Json::as_str) == Some("SpMMBatch") {
+                if let Some(pct) = e.get("roof_pct").and_then(Json::as_f64) {
+                    metrics.push(("serve.spmm.roof_pct".into(), pct));
+                }
+            }
+        }
+    }
+    for (hist, metric) in [
+        ("serve.latency_ms", "serve.latency_p99_ms"),
+        ("serve.compute_ms", "serve.compute_p99_ms"),
+    ] {
+        if let Some(p99) = doc
+            .get("hists")
+            .and_then(|h| h.get(hist))
+            .and_then(|h| h.get("p99"))
+            .and_then(Json::as_f64)
+        {
+            metrics.push((metric.into(), p99));
+        }
+    }
+    Ok(Some(ArtifactMetrics {
+        source: "BENCH_serve.json",
+        fingerprint,
+        host_cores,
+        gating,
+        metrics,
+    }))
+}
+
+fn load_baseline(path: &Path, fingerprint: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = read_doc(path)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(BASELINE_SCHEMA) {
+        return Err(format!(
+            "{}: not a {BASELINE_SCHEMA} document",
+            path.display()
+        ));
+    }
+    let fp = doc.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+    if fp != fingerprint {
+        return Err(format!(
+            "{}: baseline fingerprint {fp} does not match artifacts ({fingerprint})",
+            path.display()
+        ));
+    }
+    let Some(Json::Obj(members)) = doc.get("metrics") else {
+        return Err(format!("{}: missing metrics object", path.display()));
+    };
+    members
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|v| (k.clone(), v))
+                .ok_or_else(|| format!("{}: metric {k} is not a number", path.display()))
+        })
+        .collect()
+}
+
+fn write_baseline(path: &Path, fingerprint: &str, metrics: &[(String, f64)]) -> Result<(), String> {
+    let doc = Json::obj(vec![
+        ("schema", Json::from(BASELINE_SCHEMA)),
+        ("version", Json::from(BASELINE_VERSION)),
+        ("fingerprint", Json::from(fingerprint)),
+        (
+            "metrics",
+            Json::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("{}: cannot create: {e}", dir.display()))?;
+    }
+    std::fs::write(path, format!("{doc}\n"))
+        .map_err(|e| format!("{}: cannot write: {e}", path.display()))
+}

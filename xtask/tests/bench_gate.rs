@@ -1,0 +1,223 @@
+//! The perf-baseline gate against fabricated artifact/baseline trees:
+//! clean pass, regression fail, unknown-host skip, non-gating skip,
+//! mixed-host error, and `--update` round-trip.  Everything runs in
+//! per-test temp directories so no real `BENCH_*.json` is touched.
+
+use std::path::{Path, PathBuf};
+
+use xtask::bench_gate::{run_gate, GateConfig, GateOutcome};
+
+/// A fresh empty directory under the target dir, unique per test.
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("bench_gate_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp root");
+    dir
+}
+
+/// A gating 8-core sweep artifact with tunable SELL-8 roofline fraction
+/// and 4-thread speedup.
+fn write_sweep(root: &Path, fingerprint: &str, gating: bool, roof_pct: f64, speedup4: f64) {
+    let doc = format!(
+        r#"{{"schema":"sellkit-bench-sweep","version":3,
+            "matrix":{{"name":"gray_scott_jacobian_256","grid":256}},
+            "roofline_bw_gbs":77.0,"host_cores":8,
+            "machine":{{"fingerprint":"{fingerprint}","host_cores":8,"gating":{gating}}},
+            "formats":[{{"format":"sell8","gflops":4.0,"gbs":30.0,"roof_pct":{roof_pct}}}],
+            "thread_scaling":[
+              {{"threads":1,"gflops":4.0,"speedup":1.0,"efficiency":1.0,"dispatch_ns":900}},
+              {{"threads":4,"gflops":9.0,"speedup":{speedup4},"efficiency":0.6,"dispatch_ns":1200}}
+            ]}}"#
+    );
+    std::fs::write(root.join("BENCH_sweep.json"), doc).expect("write sweep artifact");
+}
+
+/// A serve artifact (obs-report shape) with a tunable latency p99.
+fn write_serve(root: &Path, fingerprint: &str, gating: bool, p99_ms: f64) {
+    let doc = format!(
+        r#"{{"schema":"sellkit-obs-report","version":2,"total_s":1.0,
+            "roofline_bw_gbs":77.0,
+            "machine":{{"fingerprint":"{fingerprint}","host_cores":8,"gating":{gating}}},
+            "threads":[],
+            "events":[{{"path":"SpMMBatch","name":"SpMMBatch","count":10,"seconds":0.5,
+                        "flops":1e9,"bytes":1e10,"gflops":2.0,"gbs":20.0,"roof_pct":26.0}}],
+            "counters":{{}},"gauges":{{}},"series":{{}},
+            "hists":{{"serve.latency_ms":{{"count":100,"sum":500.0,"min":1.0,"max":20.0,
+                      "mean":5.0,"p50":4.0,"p90":8.0,"p99":{p99_ms},"p999":{p99_ms},
+                      "buckets":[[100,100]]}}}},
+            "dropped_spans":0}}"#
+    );
+    std::fs::write(root.join("BENCH_serve.json"), doc).expect("write serve artifact");
+}
+
+fn gate(root: &Path) -> GateConfig {
+    GateConfig::at_root(root)
+}
+
+/// `--update` records a baseline; an identical re-run then passes and
+/// gates every metric the artifacts expose.
+#[test]
+fn clean_run_against_own_baseline_passes() {
+    let root = temp_root("clean");
+    write_sweep(&root, "c8-bw77", true, 40.0, 2.5);
+    write_serve(&root, "c8-bw77", true, 12.0);
+
+    let mut cfg = gate(&root);
+    cfg.update = true;
+    match run_gate(&cfg).expect("update runs") {
+        GateOutcome::Updated { path, count } => {
+            assert!(path.exists(), "baseline written");
+            // sell8 roof_pct, speedup_4t, dispatch_ns_4t, serve roof_pct,
+            // latency p99 (compute hist absent from the fixture).
+            assert_eq!(count, 5, "all exposed metrics recorded");
+        }
+        _ => panic!("expected Updated"),
+    }
+
+    cfg.update = false;
+    match run_gate(&cfg).expect("gate runs") {
+        GateOutcome::Passed { lines } => {
+            assert_eq!(lines.len(), 5, "every metric compared: {lines:?}");
+            assert!(lines.iter().all(|l| l.ends_with("ok")), "{lines:?}");
+        }
+        o => panic!("expected Passed, got: {}", o.describe()),
+    }
+}
+
+/// A 50 % roofline drop and a doubled latency p99 both breach the ±25 %
+/// band and fail the gate, naming the regressed metrics.
+#[test]
+fn degraded_run_fails_and_names_regressions() {
+    let root = temp_root("degraded");
+    write_sweep(&root, "c8-bw77", true, 40.0, 2.5);
+    write_serve(&root, "c8-bw77", true, 10.0);
+    let mut cfg = gate(&root);
+    cfg.update = true;
+    run_gate(&cfg).expect("baseline recorded");
+    cfg.update = false;
+
+    write_sweep(&root, "c8-bw77", true, 20.0, 2.4); // roofline halved
+    write_serve(&root, "c8-bw77", true, 20.0); // p99 doubled
+    match run_gate(&cfg).expect("gate runs") {
+        GateOutcome::Failed { regressions, .. } => {
+            assert!(
+                regressions.contains(&"sweep.sell8.roof_pct".to_string()),
+                "{regressions:?}"
+            );
+            assert!(
+                regressions.contains(&"serve.latency_p99_ms".to_string()),
+                "{regressions:?}"
+            );
+            assert!(
+                !regressions.contains(&"sweep.speedup_4t".to_string()),
+                "4 % speedup drift is inside tolerance: {regressions:?}"
+            );
+        }
+        o => panic!("expected Failed, got: {}", o.describe()),
+    }
+}
+
+/// Directionality: a latency *improvement* far past tolerance is not a
+/// regression, and neither is a roofline gain.
+#[test]
+fn improvements_never_fail() {
+    let root = temp_root("improved");
+    write_sweep(&root, "c8-bw77", true, 40.0, 2.5);
+    write_serve(&root, "c8-bw77", true, 10.0);
+    let mut cfg = gate(&root);
+    cfg.update = true;
+    run_gate(&cfg).expect("baseline recorded");
+    cfg.update = false;
+
+    write_sweep(&root, "c8-bw77", true, 80.0, 3.9);
+    write_serve(&root, "c8-bw77", true, 1.0);
+    match run_gate(&cfg).expect("gate runs") {
+        GateOutcome::Passed { .. } => {}
+        o => panic!("expected Passed, got: {}", o.describe()),
+    }
+}
+
+/// No baseline file for this host's fingerprint: self-skip, not failure.
+#[test]
+fn unknown_host_self_skips() {
+    let root = temp_root("unknown");
+    write_sweep(&root, "c96-bw200", true, 40.0, 2.5);
+    match run_gate(&gate(&root)).expect("gate runs") {
+        GateOutcome::Skipped { reason } => {
+            assert!(reason.contains("c96-bw200"), "{reason}");
+            assert!(
+                reason.contains("--update"),
+                "skip says how to record: {reason}"
+            );
+        }
+        o => panic!("expected Skipped, got: {}", o.describe()),
+    }
+}
+
+/// Artifacts stamped `gating:false` (sub-4-core host): self-skip even
+/// when a baseline exists.
+#[test]
+fn non_gating_host_self_skips() {
+    let root = temp_root("nongating");
+    write_sweep(&root, "c1-bw19", false, 40.0, 1.0);
+    write_serve(&root, "c1-bw19", false, 10.0);
+    std::fs::create_dir_all(root.join("baselines")).unwrap();
+    std::fs::write(
+        root.join("baselines/c1-bw19.json"),
+        r#"{"schema":"sellkit-bench-baseline","version":1,"fingerprint":"c1-bw19",
+           "metrics":{"sweep.sell8.roof_pct":40.0}}"#,
+    )
+    .unwrap();
+    match run_gate(&gate(&root)).expect("gate runs") {
+        GateOutcome::Skipped { reason } => {
+            assert!(reason.contains("non-gating"), "{reason}");
+        }
+        o => panic!("expected Skipped, got: {}", o.describe()),
+    }
+}
+
+/// Mixing artifacts recorded on different hosts is a hard error (the
+/// numbers are incomparable), as is an empty artifact directory.
+#[test]
+fn mixed_hosts_and_missing_artifacts_are_errors() {
+    let root = temp_root("mixed");
+    write_sweep(&root, "c8-bw77", true, 40.0, 2.5);
+    write_serve(&root, "c96-bw200", true, 10.0);
+    let err = run_gate(&gate(&root)).expect_err("mixed hosts rejected");
+    assert!(err.contains("mismatch"), "{err}");
+
+    let empty = temp_root("empty");
+    let err = run_gate(&gate(&empty)).expect_err("nothing to gate");
+    assert!(err.contains("no stamped bench artifacts"), "{err}");
+}
+
+/// An unstamped (pre-v2) serve artifact is skipped with a notice while a
+/// stamped sweep still gates; metrics new since the baseline are listed
+/// but not gated.
+#[test]
+fn unstamped_artifacts_and_new_metrics_are_notices() {
+    let root = temp_root("unstamped");
+    write_sweep(&root, "c8-bw77", true, 40.0, 2.5);
+    let mut cfg = gate(&root);
+    cfg.update = true;
+    run_gate(&cfg).expect("baseline from sweep only");
+    cfg.update = false;
+
+    // v1-style serve artifact: no machine member at all.
+    std::fs::write(
+        root.join("BENCH_serve.json"),
+        r#"{"schema":"sellkit-obs-report","version":1,"total_s":1.0,
+           "roofline_bw_gbs":null,"threads":[],"events":[],
+           "counters":{},"gauges":{},"series":{},"dropped_spans":0}"#,
+    )
+    .unwrap();
+    match run_gate(&cfg).expect("gate runs") {
+        GateOutcome::Passed { lines } => {
+            assert!(
+                lines.iter().any(|l| l.contains("no machine stamp")),
+                "unstamped artifact noticed: {lines:?}"
+            );
+        }
+        o => panic!("expected Passed, got: {}", o.describe()),
+    }
+}
