@@ -3,8 +3,10 @@
 //! throughput for every combination, printed as a table.
 //!
 //! Also writes the machine-readable `BENCH_sweep.json` at the repo root:
-//! per-format Gflop/s, achieved GB/s (via the §6 traffic model), and
-//! percent-of-roofline against the modeled host STREAM bandwidth, plus
+//! per-format Gflop/s, achieved GB/s (via the §6 traffic model),
+//! percent-of-roofline against the modeled host STREAM bandwidth, and
+//! modeled bytes/nnz — including the PackSELL f32/bf16 legs and the
+//! `packed_roofline_fraction` metric `xtask bench-gate` tracks — plus
 //! thread-scaling efficiency.
 //!
 //! ```sh
@@ -15,7 +17,7 @@ use std::time::Instant;
 
 use sellkit_bench::measure::{gflops, time_spmv};
 use sellkit_bench::table::render;
-use sellkit_core::{Apply, Csr, ExecCtx, MatShape, Operator, Sell, SellSigma8};
+use sellkit_core::{Apply, Codec, Csr, ExecCtx, MatShape, Operator, Sell, SellSigma8};
 use sellkit_obs::Json;
 use sellkit_workloads::generators;
 use sellkit_workloads::{GrayScott, GrayScottParams};
@@ -135,6 +137,10 @@ struct FormatPoint {
     gflops: f64,
     gbs: f64,
     roof_pct: f64,
+    /// Modeled §6 bytes moved per nonzero (padding not counted).
+    bytes_per_nnz: f64,
+    /// Reduced-precision PackSELL build (f32/bf16 value bytes).
+    packed: bool,
 }
 
 /// One thread count of the scaling sweep.
@@ -180,7 +186,7 @@ fn format_sweep() -> Vec<FormatPoint> {
     let (m, n, nnz) = (a.nrows(), a.ncols(), a.nnz());
 
     let mut pts = Vec::new();
-    let mut push = |label, t: f64, traffic: sellkit_core::traffic::TrafficEstimate| {
+    let mut push = |label, t: f64, traffic: sellkit_core::traffic::TrafficEstimate, packed| {
         let gf = gflops(nnz, t);
         let gbs = traffic.bytes as f64 / t / 1e9;
         pts.push(FormatPoint {
@@ -188,6 +194,8 @@ fn format_sweep() -> Vec<FormatPoint> {
             gflops: gf,
             gbs,
             roof_pct: 100.0 * gbs / bw,
+            bytes_per_nnz: traffic.bytes as f64 / nnz as f64,
+            packed,
         });
     };
     let t = time_spmv(
@@ -196,7 +204,12 @@ fn format_sweep() -> Vec<FormatPoint> {
         &mut y,
         7,
     );
-    push("csr", t, sellkit_core::traffic::csr_traffic(m, n, nnz));
+    push(
+        "csr",
+        t,
+        sellkit_core::traffic::csr_traffic(m, n, nnz),
+        false,
+    );
     let s4 = Sell::<4>::from_csr(&a);
     let t = time_spmv(
         &|xv, yv| s4.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
@@ -204,7 +217,12 @@ fn format_sweep() -> Vec<FormatPoint> {
         &mut y,
         7,
     );
-    push("sell4", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    push(
+        "sell4",
+        t,
+        sellkit_core::traffic::sell_traffic(m, n, nnz),
+        false,
+    );
     let s8 = Sell::<8>::from_csr(&a);
     let t = time_spmv(
         &|xv, yv| s8.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
@@ -212,7 +230,12 @@ fn format_sweep() -> Vec<FormatPoint> {
         &mut y,
         7,
     );
-    push("sell8", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    push(
+        "sell8",
+        t,
+        sellkit_core::traffic::sell_traffic(m, n, nnz),
+        false,
+    );
     let s16 = Sell::<16>::from_csr(&a);
     let t = time_spmv(
         &|xv, yv| s16.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
@@ -220,7 +243,12 @@ fn format_sweep() -> Vec<FormatPoint> {
         &mut y,
         7,
     );
-    push("sell16", t, sellkit_core::traffic::sell_traffic(m, n, nnz));
+    push(
+        "sell16",
+        t,
+        sellkit_core::traffic::sell_traffic(m, n, nnz),
+        false,
+    );
     let ss8 = SellSigma8::from_csr_sigma(&a, 32);
     let t = time_spmv(
         &|xv, yv| ss8.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
@@ -228,7 +256,27 @@ fn format_sweep() -> Vec<FormatPoint> {
         &mut y,
         7,
     );
-    push("sell8_sigma32", t, ss8.spmv_traffic());
+    push("sell8_sigma32", t, ss8.spmv_traffic(), false);
+
+    // PackSELL legs (DESIGN.md §17): same matrix, f32/bf16 value bytes
+    // plus u16 column offsets in storage — f64 lanes and accumulation in
+    // the kernel, so only the memory traffic changes.
+    let p32 = Sell::<8>::from_csr_codec(&a, Codec::F32);
+    let t = time_spmv(
+        &|xv, yv| p32.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
+    push("sell8_f32", t, p32.spmv_traffic(), true);
+    let pbf = Sell::<8>::from_csr_codec(&a, Codec::Bf16);
+    let t = time_spmv(
+        &|xv, yv| pbf.apply(&ExecCtx::serial(), (xv).into(), (yv).into(), Apply::Set),
+        &x,
+        &mut y,
+        7,
+    );
+    push("sell8_bf16", t, pbf.spmv_traffic(), true);
 
     println!("format sweep: 256^2 Gray-Scott Jacobian, sequential\n");
     let rows: Vec<Vec<String>> = pts
@@ -239,12 +287,33 @@ fn format_sweep() -> Vec<FormatPoint> {
                 format!("{:.2}", p.gflops),
                 format!("{:.2}", p.gbs),
                 format!("{:.1}%", p.roof_pct),
+                format!("{:.2}", p.bytes_per_nnz),
             ]
         })
         .collect();
     println!(
         "{}",
-        render(&["format", "Gflop/s", "GB/s", "% of roofline"], &rows)
+        render(
+            &["format", "Gflop/s", "GB/s", "% of roofline", "bytes/nnz"],
+            &rows
+        )
+    );
+    let f64_bpn = pts
+        .iter()
+        .find(|p| p.label == "sell8")
+        .unwrap()
+        .bytes_per_nnz;
+    let f32_bpn = pts
+        .iter()
+        .find(|p| p.label == "sell8_f32")
+        .unwrap()
+        .bytes_per_nnz;
+    println!(
+        "Reading: packed f32 moves {:.0}% of the f64 SELL bytes per nonzero\n\
+         (6 vs 12 per entry plus shared vector traffic), so a bandwidth-bound\n\
+         SpMV speeds up by roughly the inverse ratio; refinement restores\n\
+         f64 accuracy (DESIGN.md §17.3).\n",
+        100.0 * f32_bpn / f64_bpn
     );
     pts
 }
@@ -319,7 +388,7 @@ fn thread_sweep() -> Vec<ScalingPoint> {
 fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
     let doc = Json::obj(vec![
         ("schema", Json::from("sellkit-bench-sweep")),
-        ("version", Json::from(3u64)),
+        ("version", Json::from(4u64)),
         (
             "matrix",
             Json::obj(vec![
@@ -360,9 +429,25 @@ fn write_bench_json(formats: &[FormatPoint], scaling: &[ScalingPoint]) {
                             ("gflops", Json::from(p.gflops)),
                             ("gbs", Json::from(p.gbs)),
                             ("roof_pct", Json::from(p.roof_pct)),
+                            ("bytes_per_nnz", Json::from(p.bytes_per_nnz)),
+                            ("packed", Json::Bool(p.packed)),
                         ])
                     })
                     .collect(),
+            ),
+        ),
+        // Best packed format's achieved fraction of the STREAM roofline
+        // (0..1).  Gated higher-is-better by `xtask bench-gate`: a packed
+        // kernel that stops converting its bandwidth advantage into
+        // throughput shows up here even when the f64 formats hold steady.
+        (
+            "packed_roofline_fraction",
+            Json::from(
+                formats
+                    .iter()
+                    .filter(|p| p.packed)
+                    .map(|p| p.roof_pct / 100.0)
+                    .fold(0.0, f64::max),
             ),
         ),
         (

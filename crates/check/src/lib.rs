@@ -30,7 +30,8 @@
 
 use sellkit_core::aligned::ALIGN;
 use sellkit_core::{
-    Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb, SellSigma,
+    Baij, Codec, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, MatShape, Sbaij, Sell, SellEsb,
+    SellSigma,
 };
 use std::fmt;
 
@@ -142,6 +143,13 @@ pub enum Violation {
         prev: u32,
         next: u32,
     },
+    /// A PackSELL sidecar disagrees with the master arrays: the packed
+    /// bytes at `at` don't decode to `val[at]` (`array = "pval"`), or a
+    /// narrow-form offset doesn't resolve to `colidx[at]`
+    /// (`array = "cidx16"`).  The kernels read only the sidecars, so any
+    /// such divergence silently computes with a different matrix than
+    /// `values()` reports.
+    PackedSidecarMismatch { array: &'static str, at: usize },
 }
 
 /// Payload-free discriminant of [`Violation`], for assertions.
@@ -166,6 +174,7 @@ pub enum ViolationKind {
     NotUpperTriangular,
     BitMaskMismatch,
     SigmaWindowNotSorted,
+    PackedSidecarMismatch,
 }
 
 impl Violation {
@@ -191,6 +200,7 @@ impl Violation {
             Violation::NotUpperTriangular { .. } => ViolationKind::NotUpperTriangular,
             Violation::BitMaskMismatch { .. } => ViolationKind::BitMaskMismatch,
             Violation::SigmaWindowNotSorted { .. } => ViolationKind::SigmaWindowNotSorted,
+            Violation::PackedSidecarMismatch { .. } => ViolationKind::PackedSidecarMismatch,
         }
     }
 }
@@ -327,6 +337,12 @@ impl fmt::Display for Violation {
                 write!(
                     f,
                     "σ-window {window}: row lengths increase at storage position {at}: {prev} -> {next}"
+                )
+            }
+            Violation::PackedSidecarMismatch { array, at } => {
+                write!(
+                    f,
+                    "packed sidecar {array} disagrees with the master array at index {at}"
                 )
             }
         }
@@ -993,6 +1009,115 @@ impl Validate for EllpackR {
     }
 }
 
+/// Independent decode of one packed value — deliberately *not* shared
+/// with the core kernels' decode path, so a bug there cannot hide from
+/// the verifier.
+fn decode_packed(codec: Codec, pval: &[u8], at: usize) -> f64 {
+    match codec {
+        Codec::F64 => unreachable!("F64 has no packed sidecar"),
+        Codec::F32 => f32::from_le_bytes([
+            pval[4 * at],
+            pval[4 * at + 1],
+            pval[4 * at + 2],
+            pval[4 * at + 3],
+        ]) as f64,
+        Codec::Bf16 => {
+            let hi = u16::from_le_bytes([pval[2 * at], pval[2 * at + 1]]);
+            f32::from_bits((hi as u32) << 16) as f64
+        }
+    }
+}
+
+/// Verifies the PackSELL sidecars of a packed [`Sell`] against its master
+/// arrays: length accounting, bit-exact value decode, narrow-form index
+/// resolution (`colidx[at] == cbase[s] + cidx16[at]`, sentinel ↔
+/// sentinel), and the quantization contract (`val` is a fixed point of
+/// `codec.quantize`, so kernels and accessors agree on the matrix).
+#[allow(clippy::too_many_arguments)]
+pub fn check_packed_sidecars(
+    codec: Codec,
+    ncols: usize,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    val: &[f64],
+    pval: &[u8],
+    cidx16: &[u16],
+    cbase: &[u32],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if codec == Codec::F64 {
+        // Classic layout: every sidecar must be empty.
+        for (array, len) in [
+            ("pval", pval.len()),
+            ("cidx16", cidx16.len()),
+            ("cbase", cbase.len()),
+        ] {
+            if len != 0 {
+                out.push(Violation::ArrLen {
+                    array,
+                    expected: 0,
+                    found: len,
+                });
+            }
+        }
+        return out;
+    }
+    let total = colidx.len();
+    let stride = codec.bytes_per_value();
+    if pval.len() != total * stride {
+        out.push(Violation::ArrLen {
+            array: "pval",
+            expected: total * stride,
+            found: pval.len(),
+        });
+    }
+    if cidx16.len() != total {
+        out.push(Violation::ArrLen {
+            array: "cidx16",
+            expected: total,
+            found: cidx16.len(),
+        });
+    }
+    let nslices = sliceptr.len().saturating_sub(1);
+    if cbase.len() != nslices {
+        out.push(Violation::ArrLen {
+            array: "cbase",
+            expected: nslices,
+            found: cbase.len(),
+        });
+    }
+    if !out.is_empty() {
+        return out; // sidecar geometry unreliable; element checks would index OOB
+    }
+    for (at, &v) in val.iter().enumerate().take(total) {
+        let q = codec.quantize(v);
+        if decode_packed(codec, pval, at).to_bits() != v.to_bits() || q.to_bits() != v.to_bits() {
+            out.push(Violation::PackedSidecarMismatch { array: "pval", at });
+        }
+    }
+    let sentinel = ncols as u32;
+    for s in 0..nslices {
+        let base = cbase[s];
+        if base == u32::MAX {
+            continue; // wide slice: kernels read colidx directly
+        }
+        for at in sliceptr[s]..sliceptr[s + 1].min(total) {
+            let resolved_ok = if cidx16[at] == u16::MAX {
+                colidx[at] == sentinel
+            } else {
+                colidx[at] != sentinel && base as u64 + cidx16[at] as u64 == colidx[at] as u64
+            };
+            if !resolved_ok {
+                out.push(Violation::PackedSidecarMismatch {
+                    array: "cidx16",
+                    at,
+                });
+            }
+        }
+    }
+    out
+}
+
 impl<const C: usize> Validate for Sell<C> {
     fn validate(&self) -> Result<(), Vec<Violation>> {
         let mut out = check_sell_parts(
@@ -1008,6 +1133,20 @@ impl<const C: usize> Validate for Sell<C> {
         );
         out.extend(check_alignment("colidx", self.colidx()));
         out.extend(check_alignment("val", self.values()));
+        out.extend(check_packed_sidecars(
+            self.codec(),
+            self.ncols(),
+            self.sliceptr(),
+            self.colidx(),
+            self.values(),
+            self.packed_values(),
+            self.cidx16(),
+            self.cbase(),
+        ));
+        if self.codec() != Codec::F64 {
+            out.extend(check_alignment("pval", self.packed_values()));
+            out.extend(check_alignment("cidx16", self.cidx16()));
+        }
         finish(out)
     }
 }
@@ -1075,6 +1214,16 @@ impl<const C: usize> Validate for SellSigma<C> {
         );
         out.extend(check_alignment("colidx", sell.colidx()));
         out.extend(check_alignment("val", sell.values()));
+        out.extend(check_packed_sidecars(
+            sell.codec(),
+            sell.ncols(),
+            sell.sliceptr(),
+            sell.colidx(),
+            sell.values(),
+            sell.packed_values(),
+            sell.cidx16(),
+            sell.cbase(),
+        ));
         finish(out)
     }
 }
@@ -1150,6 +1299,111 @@ mod tests {
         let s = sellkit_core::Sell8::from_csr_sigma(&a, 16);
         assert!(s.perm().is_some());
         assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn packed_sell_validates_clean() {
+        let a = irregular(41);
+        for codec in [Codec::F32, Codec::Bf16] {
+            assert_eq!(
+                sellkit_core::Sell8::from_csr_codec(&a, codec).validate(),
+                Ok(()),
+                "{codec:?}"
+            );
+            assert_eq!(
+                sellkit_core::Sell4::from_csr_sigma_codec(&a, 8, codec).validate(),
+                Ok(()),
+                "{codec:?} sigma"
+            );
+            assert_eq!(
+                SellSigma::<8>::from_csr_sigma_codec(&a, 16, codec).validate(),
+                Ok(()),
+                "{codec:?} SellSigma"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_sidecar_value_corruption_detected() {
+        let a = irregular(19);
+        let s = sellkit_core::Sell8::from_csr_codec(&a, Codec::F32);
+        // Flip one bit in one packed value byte.
+        let mut pval = s.packed_values().to_vec();
+        pval[5] ^= 0x01;
+        let out = check_packed_sidecars(
+            Codec::F32,
+            s.ncols(),
+            s.sliceptr(),
+            s.colidx(),
+            s.values(),
+            &pval,
+            s.cidx16(),
+            s.cbase(),
+        );
+        assert!(
+            out.iter()
+                .any(|v| v.kind() == ViolationKind::PackedSidecarMismatch),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn packed_sidecar_index_corruption_detected() {
+        let a = irregular(19);
+        let s = sellkit_core::Sell8::from_csr_codec(&a, Codec::Bf16);
+        assert!(s.cbase().iter().any(|&b| b != u32::MAX));
+        // Find a live narrow entry and nudge its offset.
+        let mut cidx16 = s.cidx16().to_vec();
+        let at = (0..cidx16.len())
+            .find(|&i| cidx16[i] != u16::MAX && narrow_slice_of(s.sliceptr(), s.cbase(), i))
+            .expect("a live narrow entry exists");
+        cidx16[at] ^= 1;
+        let out = check_packed_sidecars(
+            Codec::Bf16,
+            s.ncols(),
+            s.sliceptr(),
+            s.colidx(),
+            s.values(),
+            s.packed_values(),
+            &cidx16,
+            s.cbase(),
+        );
+        assert!(
+            out.iter().any(|v| matches!(
+                v,
+                Violation::PackedSidecarMismatch {
+                    array: "cidx16",
+                    ..
+                }
+            )),
+            "{out:?}"
+        );
+    }
+
+    /// Whether flat index `i` falls in a narrow-form slice.
+    fn narrow_slice_of(sliceptr: &[usize], cbase: &[u32], i: usize) -> bool {
+        (0..cbase.len()).any(|s| cbase[s] != u32::MAX && sliceptr[s] <= i && i < sliceptr[s + 1])
+    }
+
+    #[test]
+    fn packed_sidecar_length_mismatch_detected() {
+        let a = irregular(19);
+        let s = sellkit_core::Sell8::from_csr_codec(&a, Codec::F32);
+        let out = check_packed_sidecars(
+            Codec::F32,
+            s.ncols(),
+            s.sliceptr(),
+            s.colidx(),
+            s.values(),
+            &s.packed_values()[..s.packed_values().len() - 4],
+            s.cidx16(),
+            s.cbase(),
+        );
+        assert!(
+            out.iter()
+                .any(|v| matches!(v, Violation::ArrLen { array: "pval", .. })),
+            "{out:?}"
+        );
     }
 
     #[test]

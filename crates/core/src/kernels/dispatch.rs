@@ -772,6 +772,334 @@ fn sell16_dispatch_any<const ADD: bool>(
     }
 }
 
+/// Debug-asserts the packed-SELL SpMV preconditions, window-compatible:
+/// the classic SELL window invariants restated over the packed sidecars
+/// (`val` at codec stride, per-slice narrow/wide index forms) — see
+/// `sell::Sell` for the PackSELL layout.
+///
+/// `discharges: len(y) == nrows, len(sliceptr) == slices(nrows, C) + 1, monotone(sliceptr), in_bounds(sliceptr, colidx), aligned_offsets(sliceptr, C), len(cidx16) == len(colidx), len(cbase) == len(sliceptr) - 1, packed_vals(val, colidx), cols_in_bounds_or_sentinel(colidx, x), narrow_cols_in_bounds(cidx16, cbase, x)`
+fn debug_check_packed_sell<const C: usize, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &[f64],
+) {
+    // discharges: len(y) == nrows
+    debug_assert_eq!(y.len(), nrows, "y length");
+    // discharges: len(sliceptr) == slices(nrows, C) + 1
+    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
+    // discharges: monotone(sliceptr)
+    debug_assert!(
+        sliceptr.windows(2).all(|w| w[0] <= w[1]),
+        "sliceptr monotone"
+    );
+    // discharges: in_bounds(sliceptr, colidx)
+    debug_assert!(
+        sliceptr.last().copied().unwrap_or(0) <= colidx.len(),
+        "sliceptr window end in bounds of colidx"
+    );
+    // discharges: aligned_offsets(sliceptr, C)
+    debug_assert!(
+        sliceptr.iter().all(|&p| p % C == 0),
+        "slice offsets must be {C}-element aligned"
+    );
+    // discharges: len(cidx16) == len(colidx)
+    debug_assert_eq!(cidx16.len(), colidx.len(), "cidx16/colidx length");
+    // discharges: len(cbase) == len(sliceptr) - 1
+    debug_assert_eq!(cbase.len(), sliceptr.len() - 1, "one index form per slice");
+    // discharges: packed_vals(val, colidx)
+    debug_assert_eq!(
+        val.len(),
+        if CODEC == 0 { 4 } else { 2 } * colidx.len(),
+        "val must hold one codec-stride encoded value per entry"
+    );
+    // discharges: cols_in_bounds_or_sentinel(colidx, x)
+    debug_assert!(
+        cbase.iter().enumerate().all(|(s, &b)| {
+            b != u32::MAX
+                || colidx[sliceptr[s]..sliceptr[s + 1]]
+                    .iter()
+                    .all(|&c| (c as usize) <= x.len())
+        }),
+        "every wide-form colidx in bounds of x or the padding sentinel"
+    );
+    // discharges: narrow_cols_in_bounds(cidx16, cbase, x)
+    debug_assert!(
+        cbase.iter().enumerate().all(|(s, &b)| {
+            b == u32::MAX
+                || cidx16[sliceptr[s]..sliceptr[s + 1]]
+                    .iter()
+                    .all(|&o| o == u16::MAX || (b as usize + o as usize) < x.len())
+        }),
+        "every narrow-form offset the sentinel or in bounds of x"
+    );
+}
+
+/// Debug-asserts the blocked packed-SELL SpMM preconditions,
+/// window-compatible: the packed SpMV invariants with `y` holding one
+/// `k`-wide block per row and every live column addressing a full
+/// `k`-block of `x` (§5.5 at block width: the sentinel's block offset
+/// lands at `x.len()` and is skipped by the kernels).
+///
+/// `discharges: k != 0, len(y) == nrows * k, len(sliceptr) == slices(nrows, C) + 1, monotone(sliceptr), in_bounds(sliceptr, colidx), aligned_offsets(sliceptr, C), len(cidx16) == len(colidx), len(cbase) == len(sliceptr) - 1, packed_vals(val, colidx), cols_in_bounds_or_sentinel(colidx, x), narrow_cols_in_bounds(cidx16, cbase, x)`
+fn debug_check_packed_sell_spmm<const C: usize, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &[f64],
+    k: usize,
+) {
+    // discharges: k != 0
+    debug_assert!(k != 0, "at least one vector per block");
+    // discharges: len(y) == nrows * k
+    debug_assert_eq!(y.len(), nrows * k, "y must hold one k-block per row");
+    // discharges: len(sliceptr) == slices(nrows, C) + 1
+    debug_assert_eq!(sliceptr.len(), nrows.div_ceil(C) + 1, "sliceptr length");
+    // discharges: monotone(sliceptr)
+    debug_assert!(
+        sliceptr.windows(2).all(|w| w[0] <= w[1]),
+        "sliceptr monotone"
+    );
+    // discharges: in_bounds(sliceptr, colidx)
+    debug_assert!(
+        sliceptr.last().copied().unwrap_or(0) <= colidx.len(),
+        "sliceptr window end in bounds of colidx"
+    );
+    // discharges: aligned_offsets(sliceptr, C)
+    debug_assert!(
+        sliceptr.iter().all(|&p| p % C == 0),
+        "slice offsets must be {C}-element aligned"
+    );
+    // discharges: len(cidx16) == len(colidx)
+    debug_assert_eq!(cidx16.len(), colidx.len(), "cidx16/colidx length");
+    // discharges: len(cbase) == len(sliceptr) - 1
+    debug_assert_eq!(cbase.len(), sliceptr.len() - 1, "one index form per slice");
+    // discharges: packed_vals(val, colidx)
+    debug_assert_eq!(
+        val.len(),
+        if CODEC == 0 { 4 } else { 2 } * colidx.len(),
+        "val must hold one codec-stride encoded value per entry"
+    );
+    // discharges: cols_in_bounds_or_sentinel(colidx, x)
+    debug_assert!(
+        cbase.iter().enumerate().all(|(s, &b)| {
+            b != u32::MAX
+                || colidx[sliceptr[s]..sliceptr[s + 1]].iter().all(|&c| {
+                    let xb = c as usize * k;
+                    xb >= x.len() || xb + k <= x.len()
+                })
+        }),
+        "every wide-form colidx k-block in bounds of x or the sentinel"
+    );
+    // discharges: narrow_cols_in_bounds(cidx16, cbase, x)
+    debug_assert!(
+        cbase.iter().enumerate().all(|(s, &b)| {
+            b == u32::MAX
+                || cidx16[sliceptr[s]..sliceptr[s + 1]]
+                    .iter()
+                    .all(|&o| o == u16::MAX || (b as usize + o as usize + 1) * k <= x.len())
+        }),
+        "every narrow-form offset the sentinel or its k-block in bounds"
+    );
+}
+
+/// Packed SELL-C `y = A·x` (or `+=`) at the requested ISA tier: values
+/// stored at codec width (`CODEC`: 0 = f32, 1 = bf16) widen to f64 lanes
+/// inside the kernels; column indices resolve through the per-slice
+/// narrow/wide form.
+///
+/// Panics if `isa` is not available on the running CPU.
+pub fn sell_packed_spmv<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_packed_sell::<C, CODEC>(sliceptr, colidx, cidx16, cbase, val, nrows, x, y);
+    sell_packed_spmv_dispatch_any::<C, ADD, CODEC>(
+        isa, sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+    );
+}
+
+/// Packed SELL-C SpMV over a contiguous slice window, for the parallel
+/// engine: `sliceptr` is the window `&full[s0..=s1]` (offsets absolute
+/// into `colidx`/`cidx16`/`val`), `cbase` the matching `&full[s0..s1]`
+/// window, `y` the window's row block.
+pub(crate) fn sell_packed_spmv_slices<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_check_packed_sell::<C, CODEC>(sliceptr, colidx, cidx16, cbase, val, nrows, x, y);
+    sell_packed_spmv_dispatch_any::<C, ADD, CODEC>(
+        isa, sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+    );
+}
+
+fn sell_packed_spmv_dispatch_any<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => super::packed_scalar::spmv::<C, ADD, CODEC>(
+            sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked above; the packed layout invariants
+        // (codec-stride `val`, per-slice index forms, sentinel padding)
+        // are guaranteed by `Sell::from_csr_codec` and asserted by the
+        // callers' debug checks.  The kernels use unaligned loads only
+        // (no alignment precondition) and index everything absolutely
+        // through `sliceptr` with `y` local, so absolute slice windows
+        // are in-contract.
+        Isa::Avx => unsafe {
+            super::packed_avx::spmv::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2 => unsafe {
+            super::packed_avx2::spmv::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe {
+            super::packed_avx512::spmv::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => super::packed_scalar::spmv::<C, ADD, CODEC>(
+            sliceptr, colidx, cidx16, cbase, val, nrows, x, y,
+        ),
+    }
+}
+
+/// Packed SELL-C `Y = A·X` (or `+=`) over a `k`-wide row-interleaved
+/// block at the requested ISA tier (values at codec width, f64 math).
+///
+/// Panics if `isa` is not available on the running CPU.
+pub fn sell_packed_spmm<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_packed_sell_spmm::<C, CODEC>(sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k);
+    sell_packed_spmm_dispatch_any::<C, ADD, CODEC>(
+        isa, sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+    );
+}
+
+/// Packed SELL-C SpMM over a contiguous slice window, for the parallel
+/// engine: same windowing contract as [`sell_packed_spmv_slices`] with
+/// `y` the matching `&mut full_y[r0*k..r1*k]` block window.
+pub(crate) fn sell_packed_spmm_slices<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    debug_check_packed_sell_spmm::<C, CODEC>(sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k);
+    sell_packed_spmm_dispatch_any::<C, ADD, CODEC>(
+        isa, sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+    );
+}
+
+fn sell_packed_spmm_dispatch_any<const C: usize, const ADD: bool, const CODEC: u8>(
+    isa: Isa,
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    // discharges: feature(avx), feature(avx2,fma), feature(avx512f,avx512vl)
+    assert!(isa.available(), "ISA {isa} not available on this CPU");
+    match isa {
+        Isa::Scalar => super::packed_scalar::spmm::<C, ADD, CODEC>(
+            sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: features checked above; packed layout invariants
+        // guaranteed by `Sell::from_csr_codec` (sentinel padding whose
+        // block offset lands at `x.len()`) and asserted by the callers'
+        // debug checks.  Unaligned masked loads only; `val`/`colidx`/
+        // `cidx16` indexed absolutely through `sliceptr` and `y`
+        // locally, so absolute slice windows are in-contract.
+        Isa::Avx => unsafe {
+            super::packed_avx::spmm::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx2 => unsafe {
+            super::packed_avx2::spmm::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe {
+            super::packed_avx512::spmm::<C, ADD, CODEC>(
+                sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => super::packed_scalar::spmm::<C, ADD, CODEC>(
+            sliceptr, colidx, cidx16, cbase, val, nrows, x, y, k,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,7 @@
 pub mod dispatch;
 
 pub(crate) mod csr_scalar;
+pub(crate) mod packed_scalar;
 pub(crate) mod sell_scalar;
 pub(crate) mod spmm_scalar;
 
@@ -51,6 +52,12 @@ pub(crate) mod csr_avx;
 pub(crate) mod csr_avx2;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod csr_avx512;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod packed_avx;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod packed_avx2;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod packed_avx512;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod sell16_avx512;
 #[cfg(target_arch = "x86_64")]

@@ -1,0 +1,224 @@
+//! AVX (pre-FMA) SpMV/SpMM kernels over **packed** SELL storage: values
+//! decode scalar (f32 or bf16 → f64) and columns resolve scalar — first
+//! generation AVX has no gather — but the multiply-accumulate runs in
+//! 4-lane YMM registers with separate `vmulpd`/`vaddpd`, mirroring the
+//! classic `sell_avx` tier.
+//!
+//! Sentinel handling is the §5.5 contract: a padded entry (wide sentinel
+//! `x.len()`, narrow sentinel `0xFFFF`) substitutes `0.0` for its `x`
+//! operand, so padding contributes exactly `+0.0` even when `x` carries
+//! Inf/NaN.
+
+use std::arch::x86_64::*;
+
+use super::packed_scalar::decode;
+
+/// Resolves the column of entry `idx` through the narrow or wide form;
+/// the sentinel (either form) maps to `xlen`.
+#[inline(always)]
+fn col_of(colidx: &[u32], cidx16: &[u16], base: u32, idx: usize, xlen: usize) -> usize {
+    if base == u32::MAX {
+        colidx[idx] as usize
+    } else if cidx16[idx] == u16::MAX {
+        xlen
+    } else {
+        base as usize + cidx16[idx] as usize
+    }
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) over packed SELL-C storage;
+/// values decode per `CODEC` (0 = f32, 1 = bf16), accumulate in f64.
+///
+/// # Safety
+///
+/// * `requires: feature(avx)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column index is `< x.len()` or the sentinel `x.len()`.
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — in every
+///   narrow-form slice, each offset is the `0xFFFF` sentinel or satisfies
+///   `cbase[s] + cidx16[idx] < x.len()`.
+#[target_feature(enable = "avx")]
+pub unsafe fn spmv<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xlen = x.len();
+    for s in 0..nslices {
+        let off = sliceptr[s];
+        let end = sliceptr[s + 1];
+        let base = cbase[s];
+        let lanes_rows = C.min(nrows - s * C);
+        let mut rb = 0usize;
+        while rb < C {
+            let lanes = (C - rb).min(4);
+            let live_rows = lanes_rows.saturating_sub(rb).min(lanes);
+            if lanes == 4 {
+                let mut acc = _mm256_setzero_pd();
+                let mut idx = off + rb;
+                while idx < end {
+                    let av = _mm256_setr_pd(
+                        decode::<CODEC>(val, idx),
+                        decode::<CODEC>(val, idx + 1),
+                        decode::<CODEC>(val, idx + 2),
+                        decode::<CODEC>(val, idx + 3),
+                    );
+                    let mut buf = [0.0f64; 4];
+                    for r in 0..4 {
+                        let c = col_of(colidx, cidx16, base, idx + r, xlen);
+                        buf[r] = x.get(c).copied().unwrap_or(0.0);
+                    }
+                    // SAFETY: buf is a local 4-element array.
+                    let xv = unsafe { _mm256_loadu_pd(buf.as_ptr()) };
+                    acc = _mm256_add_pd(_mm256_mul_pd(av, xv), acc);
+                    idx += C;
+                }
+                let ybase = s * C + rb;
+                if live_rows == 4 {
+                    if ADD {
+                        // SAFETY: ybase + 4 <= nrows == y.len().
+                        let prev = unsafe { _mm256_loadu_pd(y.as_ptr().add(ybase)) };
+                        acc = _mm256_add_pd(acc, prev);
+                    }
+                    // SAFETY: same bound as above.
+                    unsafe { _mm256_storeu_pd(y.as_mut_ptr().add(ybase), acc) };
+                } else {
+                    let mut buf = [0.0f64; 4];
+                    // SAFETY: buf is a 4-element spill target.
+                    unsafe { _mm256_storeu_pd(buf.as_mut_ptr(), acc) };
+                    for r in 0..live_rows {
+                        if ADD {
+                            y[ybase + r] += buf[r];
+                        } else {
+                            y[ybase + r] = buf[r];
+                        }
+                    }
+                }
+            } else {
+                // Ragged lane block: fully scalar, f64 accumulation.
+                let mut buf = [0.0f64; 4];
+                let mut idx = off + rb;
+                while idx < end {
+                    for r in 0..lanes {
+                        let c = col_of(colidx, cidx16, base, idx + r, xlen);
+                        let xv = x.get(c).copied().unwrap_or(0.0);
+                        buf[r] += decode::<CODEC>(val, idx + r) * xv;
+                    }
+                    idx += C;
+                }
+                for r in 0..live_rows {
+                    if ADD {
+                        y[s * C + rb + r] += buf[r];
+                    } else {
+                        y[s * C + rb + r] = buf[r];
+                    }
+                }
+            }
+            rb += lanes;
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) over packed SELL-C storage for a
+/// `k`-wide row-interleaved block: the entry decodes once (per `CODEC`)
+/// and broadcasts against masked 4-lane chunks of the `k`-block
+/// (`vmaskmovpd` is an AVX instruction, so ragged tails need no scalar
+/// fallback).
+///
+/// # Safety
+///
+/// * `requires: feature(avx)`
+/// * `requires: k != 0`
+/// * `requires: len(y) == nrows * k` — `y` holds one `k`-block per row.
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column is the sentinel or has its full `k`-block in bounds
+///   (`(col + 1) * k <= x.len()`).
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — narrow-form
+///   offsets are the `0xFFFF` sentinel or resolve to a column with its
+///   full `k`-block in bounds.
+#[target_feature(enable = "avx")]
+pub unsafe fn spmm<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let ncols = x.len() / k;
+    for s in 0..nslices {
+        let lanes_rows = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        let base = cbase[s];
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(4);
+            let mask = _mm256_setr_epi64x(
+                -1,
+                if lanes > 1 { -1 } else { 0 },
+                if lanes > 2 { -1 } else { 0 },
+                if lanes > 3 { -1 } else { 0 },
+            );
+            let mut acc = [_mm256_setzero_pd(); C];
+            if ADD {
+                for r in 0..lanes_rows {
+                    // SAFETY: (s*C + r)*k + cb + lanes <= nrows*k == y.len()
+                    // by the length clause; masked load touches `lanes` elems.
+                    acc[r] = unsafe { _mm256_maskload_pd(yp.add((s * C + r) * k + cb), mask) };
+                }
+            }
+            for col in 0..width {
+                for r in 0..lanes_rows {
+                    let idx = off + col * C + r;
+                    let c = col_of(colidx, cidx16, base, idx, ncols);
+                    // Sentinel padding resolves to c >= ncols: skip.
+                    if c < ncols {
+                        let a = _mm256_set1_pd(decode::<CODEC>(val, idx));
+                        // SAFETY: a live column has (c+1)*k <= x.len() by
+                        // the cols clauses, and cb + lanes <= k, so the
+                        // masked load stays inside x.
+                        let xv = unsafe { _mm256_maskload_pd(xp.add(c * k + cb), mask) };
+                        acc[r] = _mm256_add_pd(_mm256_mul_pd(a, xv), acc[r]);
+                    }
+                }
+            }
+            for r in 0..lanes_rows {
+                // SAFETY: same in-bounds argument as the ADD preload.
+                unsafe { _mm256_maskstore_pd(yp.add((s * C + r) * k + cb), mask, acc[r]) };
+            }
+            cb += lanes;
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! AVX2+FMA SpMV/SpMM kernels over **packed** SELL storage: f32 or bf16
+//! values widened to four f64 lanes per load, f64 accumulation, and
+//! per-slice narrow (u16-offset) or wide (u32) column indices resolved
+//! with masked `vgatherdpd`.
+//!
+//! Same structure as the AVX-512 packed kernels at YMM width: only
+//! unaligned loads (no alignment clauses, windowed dispatch needs no
+//! peel code), sentinel lanes masked out of the gather so padding
+//! contributes exactly `+0.0` (§5.5), and every arithmetic step after
+//! the widening load is double precision.
+
+use std::arch::x86_64::*;
+
+use super::packed_scalar::decode;
+
+/// Widens 4 packed values starting at entry `idx` to f64 lanes.
+/// `CODEC`: 0 = f32 (8-byte load), 1 = bf16 (8-byte load of 4 u16,
+/// shifted into the high half of an f32).
+///
+/// # Safety
+///
+/// * `requires: feature(avx2)`
+/// * `requires: packed_vals(val, colidx)` — `val` holds one encoded value
+///   per entry at the codec stride, and entries `idx..idx + 4` exist.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn widen4<const CODEC: u8>(val: &[u8], idx: usize) -> __m256d {
+    if CODEC == 0 {
+        // SAFETY: entries idx..idx+4 exist at stride 4, so the 16-byte
+        // unaligned load is in bounds of `val`.
+        let v = unsafe { _mm_loadu_ps(val.as_ptr().add(4 * idx) as *const f32) };
+        _mm256_cvtps_pd(v)
+    } else {
+        // SAFETY: entries idx..idx+4 exist at stride 2, so the 8-byte
+        // load is in bounds of `val`.
+        let hi = unsafe { _mm_loadl_epi64(val.as_ptr().add(2 * idx) as *const __m128i) };
+        let f32bits = _mm_slli_epi32::<16>(_mm_cvtepu16_epi32(hi));
+        _mm256_cvtps_pd(_mm_castsi128_ps(f32bits))
+    }
+}
+
+/// Masked gather of 4 `x` values through u32 column indices in `ci`;
+/// lanes whose index is `>= xlen` (the sentinel) return `0.0`.
+///
+/// # Safety
+///
+/// * `requires: feature(avx2)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every index in
+///   `ci` that is `< xlen` addresses a valid element of `x`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn gather4_masked(xp: *const f64, ci: __m128i, xlen: usize) -> __m256d {
+    let live = _mm_cmpgt_epi32(_mm_set1_epi32(xlen as u32 as i32), ci);
+    let mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(live));
+    // SAFETY: masked-off lanes are not dereferenced; live lanes are
+    // < xlen by the compare above, in bounds of x per caller contract.
+    unsafe { _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), xp, ci, mask) }
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) over packed SELL-C storage;
+/// values decode per `CODEC` (0 = f32, 1 = bf16), accumulate in f64.
+///
+/// # Safety
+///
+/// * `requires: feature(avx2,fma)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column index is `< x.len()` or the sentinel `x.len()`.
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — in every
+///   narrow-form slice, each offset is the `0xFFFF` sentinel or satisfies
+///   `cbase[s] + cidx16[idx] < x.len()`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmv<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    let xlen = x.len();
+    for s in 0..nslices {
+        let off = sliceptr[s];
+        let end = sliceptr[s + 1];
+        let base = cbase[s];
+        let lanes_rows = C.min(nrows - s * C);
+        let mut rb = 0usize;
+        while rb < C {
+            let lanes = (C - rb).min(4);
+            let live_rows = lanes_rows.saturating_sub(rb).min(lanes);
+            if lanes == 4 {
+                let mut acc = _mm256_setzero_pd();
+                let mut idx = off + rb;
+                while idx < end {
+                    // SAFETY: packed_vals + in_bounds(sliceptr, colidx)
+                    // give entries idx..idx+4 (one full lane block).
+                    let av = unsafe { widen4::<CODEC>(val, idx) };
+                    let ci = if base == u32::MAX {
+                        // SAFETY: colidx entries idx..idx+4 exist.
+                        unsafe { _mm_loadu_si128(colidx.as_ptr().add(idx) as *const __m128i) }
+                    } else {
+                        let p16 = cidx16.as_ptr();
+                        // SAFETY: cidx16 entries idx..idx+4 exist
+                        // (len(cidx16) == len(colidx)).
+                        let off16 = unsafe { _mm_loadl_epi64(p16.add(idx) as *const __m128i) };
+                        let off32 = _mm_cvtepu16_epi32(off16);
+                        // Replace narrow-sentinel lanes with xlen so the
+                        // gather mask kills them; live lanes satisfy
+                        // base + off < xlen (narrow_cols_in_bounds).
+                        let wide = _mm_add_epi32(off32, _mm_set1_epi32(base as i32));
+                        let sentinel = _mm_cmpeq_epi32(off32, _mm_set1_epi32(0xFFFF));
+                        _mm_blendv_epi8(wide, _mm_set1_epi32(xlen as u32 as i32), sentinel)
+                    };
+                    // SAFETY: cols_in_bounds_or_sentinel (wide) or
+                    // narrow_cols_in_bounds (narrow, after the sentinel
+                    // substitution above) bound every live lane by xlen.
+                    let xv = unsafe { gather4_masked(xp, ci, xlen) };
+                    acc = _mm256_fmadd_pd(av, xv, acc);
+                    idx += C;
+                }
+                let ybase = s * C + rb;
+                if live_rows == 4 {
+                    if ADD {
+                        // SAFETY: ybase + 4 <= nrows == y.len().
+                        let prev = unsafe { _mm256_loadu_pd(y.as_ptr().add(ybase)) };
+                        acc = _mm256_add_pd(acc, prev);
+                    }
+                    // SAFETY: same bound as above.
+                    unsafe { _mm256_storeu_pd(y.as_mut_ptr().add(ybase), acc) };
+                } else {
+                    let mut buf = [0.0f64; 4];
+                    // SAFETY: buf is a 4-element spill target.
+                    unsafe { _mm256_storeu_pd(buf.as_mut_ptr(), acc) };
+                    for r in 0..live_rows {
+                        if ADD {
+                            y[ybase + r] += buf[r];
+                        } else {
+                            y[ybase + r] = buf[r];
+                        }
+                    }
+                }
+            } else {
+                // Ragged lane block: scalar decode, f64 accumulation.
+                let mut buf = [0.0f64; 4];
+                let mut idx = off + rb;
+                while idx < end {
+                    for r in 0..lanes {
+                        let c = if base == u32::MAX {
+                            colidx[idx + r] as usize
+                        } else if cidx16[idx + r] == u16::MAX {
+                            xlen
+                        } else {
+                            base as usize + cidx16[idx + r] as usize
+                        };
+                        let xv = x.get(c).copied().unwrap_or(0.0);
+                        buf[r] += decode::<CODEC>(val, idx + r) * xv;
+                    }
+                    idx += C;
+                }
+                for r in 0..live_rows {
+                    if ADD {
+                        y[s * C + rb + r] += buf[r];
+                    } else {
+                        y[s * C + rb + r] = buf[r];
+                    }
+                }
+            }
+            rb += lanes;
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) over packed SELL-C storage for a
+/// `k`-wide row-interleaved block: the entry decodes once (per `CODEC`)
+/// and broadcasts against masked 4-lane chunks of the `k`-block.
+///
+/// # Safety
+///
+/// * `requires: feature(avx2,fma)`
+/// * `requires: k != 0`
+/// * `requires: len(y) == nrows * k` — `y` holds one `k`-block per row.
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column is the sentinel or has its full `k`-block in bounds
+///   (`(col + 1) * k <= x.len()`).
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — narrow-form
+///   offsets are the `0xFFFF` sentinel or resolve to a column with its
+///   full `k`-block in bounds.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn spmm<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let ncols = x.len() / k;
+    for s in 0..nslices {
+        let lanes_rows = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        let base = cbase[s];
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(4);
+            let mask = _mm256_setr_epi64x(
+                -1,
+                if lanes > 1 { -1 } else { 0 },
+                if lanes > 2 { -1 } else { 0 },
+                if lanes > 3 { -1 } else { 0 },
+            );
+            let mut acc = [_mm256_setzero_pd(); C];
+            if ADD {
+                for r in 0..lanes_rows {
+                    // SAFETY: (s*C + r)*k + cb + lanes <= nrows*k == y.len()
+                    // by the length clause; masked load touches `lanes` elems.
+                    acc[r] = unsafe { _mm256_maskload_pd(yp.add((s * C + r) * k + cb), mask) };
+                }
+            }
+            for col in 0..width {
+                for r in 0..lanes_rows {
+                    let idx = off + col * C + r;
+                    let c = if base == u32::MAX {
+                        colidx[idx] as usize
+                    } else if cidx16[idx] == u16::MAX {
+                        ncols
+                    } else {
+                        base as usize + cidx16[idx] as usize
+                    };
+                    // Sentinel padding resolves to c >= ncols: skip.
+                    if c < ncols {
+                        let a = _mm256_set1_pd(decode::<CODEC>(val, idx));
+                        // SAFETY: a live column has (c+1)*k <= x.len() by
+                        // the cols clauses, and cb + lanes <= k, so the
+                        // masked load stays inside x.
+                        let xv = unsafe { _mm256_maskload_pd(xp.add(c * k + cb), mask) };
+                        acc[r] = _mm256_fmadd_pd(a, xv, acc[r]);
+                    }
+                }
+            }
+            for r in 0..lanes_rows {
+                // SAFETY: same in-bounds argument as the ADD preload.
+                unsafe { _mm256_maskstore_pd(yp.add((s * C + r) * k + cb), mask, acc[r]) };
+            }
+            cb += lanes;
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! AVX-512 SpMV/SpMM kernels over **packed** SELL storage: f32 or bf16
+//! values widened to eight f64 lanes per load, f64 accumulation, and
+//! per-slice narrow (u16-offset) or wide (u32) column indices resolved
+//! with masked gathers.
+//!
+//! The PackSELL trade: SpMV is bandwidth-bound (§6), so storing the value
+//! stream at 4 or 2 bytes/nonzero buys back most of the `12·nnz` term
+//! while the f64 accumulators keep the §5.5 semantics bit-for-bit — a
+//! padded lane still contributes exactly `+0.0` (the gather masks the
+//! sentinel), and every arithmetic step after the widening load is
+//! double precision.
+//!
+//! Full 8-lane row blocks take the vector path; ragged blocks (`C == 4`,
+//! or a 16-lane slice's layout guarantees them full) fall back to the
+//! scalar decode loop.  Only unaligned loads are issued, so the kernels
+//! carry no alignment clauses and windowed dispatch needs no peel code.
+
+use std::arch::x86_64::*;
+
+use super::packed_scalar::decode;
+
+/// Widens 8 packed values starting at entry `idx` to f64 lanes.
+/// `CODEC`: 0 = f32 (16-byte load), 1 = bf16 (8-byte load, shifted into
+/// the high half of an f32 — bf16 *is* the top 16 bits of binary32).
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: packed_vals(val, colidx)` — `val` holds one encoded value
+///   per entry at the codec stride, and entries `idx..idx + 8` exist.
+#[target_feature(enable = "avx512f,avx512vl")]
+#[inline]
+unsafe fn widen8<const CODEC: u8>(val: &[u8], idx: usize) -> __m512d {
+    if CODEC == 0 {
+        // SAFETY: entries idx..idx+8 exist at stride 4, so the 32-byte
+        // unaligned load is in bounds of `val`.
+        let v = unsafe { _mm256_loadu_ps(val.as_ptr().add(4 * idx) as *const f32) };
+        _mm512_cvtps_pd(v)
+    } else {
+        // SAFETY: entries idx..idx+8 exist at stride 2, so the 16-byte
+        // unaligned load is in bounds of `val`.
+        let hi = unsafe { _mm_loadu_si128(val.as_ptr().add(2 * idx) as *const __m128i) };
+        let f32bits = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(hi));
+        _mm512_cvtps_pd(_mm256_castsi256_ps(f32bits))
+    }
+}
+
+/// Masked gather of 8 `x` values through u32 column indices, sentinel
+/// lanes (index `>= x.len()`) returning `0.0`.
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every index in
+///   `ci` below `xlen` addresses a valid element behind `xp`.
+#[target_feature(enable = "avx512f,avx512vl")]
+#[inline]
+unsafe fn gather_masked(ci: __m256i, xp: *const f64, xlen: usize) -> __m512d {
+    // Unsigned compare: indices are u32 and the sentinel is exactly
+    // x.len() (ncols), which fits u32 by CooBuilder's dimension assert.
+    let live = _mm256_cmplt_epu32_mask(ci, _mm256_set1_epi32(xlen as u32 as i32));
+    // SAFETY: masked-off lanes are not dereferenced; live lanes are
+    // < xlen by the compare above, in bounds of x per caller contract.
+    unsafe { _mm512_mask_i32gather_pd::<8>(_mm512_setzero_pd(), live, ci, xp) }
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) over packed SELL-C storage;
+/// values decode per `CODEC` (0 = f32, 1 = bf16), accumulate in f64.
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: len(y) == nrows`
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column index is `< x.len()` or the sentinel `x.len()`.
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — in every
+///   narrow-form slice, each offset is the `0xFFFF` sentinel or satisfies
+///   `cbase[s] + cidx16[idx] < x.len()`.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmv<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    let xlen = x.len();
+    for s in 0..nslices {
+        let off = sliceptr[s];
+        let end = sliceptr[s + 1];
+        let base = cbase[s];
+        let lanes_rows = C.min(nrows - s * C);
+        let mut rb = 0usize;
+        while rb < C {
+            let lanes = (C - rb).min(8);
+            if lanes == 8 {
+                let mut acc = _mm512_setzero_pd();
+                let mut idx = off + rb;
+                while idx < end {
+                    // SAFETY: packed_vals + in_bounds(sliceptr, colidx)
+                    // give entries idx..idx+8 (one full lane block).
+                    let av = unsafe { widen8::<CODEC>(val, idx) };
+                    let ci = if base == u32::MAX {
+                        // SAFETY: colidx entries idx..idx+8 exist.
+                        unsafe { _mm256_loadu_si256(colidx.as_ptr().add(idx) as *const __m256i) }
+                    } else {
+                        let p16 = cidx16.as_ptr();
+                        // SAFETY: cidx16 entries idx..idx+8 exist
+                        // (len(cidx16) == len(colidx)).
+                        let off16 = unsafe { _mm_loadu_si128(p16.add(idx) as *const __m128i) };
+                        let off32 = _mm256_cvtepu16_epi32(off16);
+                        // The narrow sentinel 0xFFFF widens past any live
+                        // offset; adding the base keeps it >= xlen
+                        // (narrow_cols_in_bounds), so the gather masks it.
+                        let wide = _mm256_add_epi32(off32, _mm256_set1_epi32(base as i32));
+                        let sentinel = _mm256_cmpeq_epi32_mask(off32, _mm256_set1_epi32(0xFFFF));
+                        _mm256_mask_set1_epi32(wide, sentinel, xlen as u32 as i32)
+                    };
+                    // SAFETY: cols_in_bounds_or_sentinel (wide) or
+                    // narrow_cols_in_bounds (narrow, after the sentinel
+                    // substitution above) bound every live lane by xlen.
+                    let xv = unsafe { gather_masked(ci, xp, xlen) };
+                    acc = _mm512_fmadd_pd(av, xv, acc);
+                    idx += C;
+                }
+                let live_rows = lanes_rows.saturating_sub(rb).min(8);
+                let mask: __mmask8 = if live_rows >= 8 {
+                    0xff
+                } else {
+                    (1u8 << live_rows) - 1
+                };
+                let ybase = s * C + rb;
+                if ADD {
+                    // SAFETY: ybase + live_rows <= nrows == y.len().
+                    let prev = unsafe { _mm512_maskz_loadu_pd(mask, y.as_ptr().add(ybase)) };
+                    acc = _mm512_add_pd(acc, prev);
+                }
+                // SAFETY: same bound as the load above; masked store
+                // touches only the live rows.
+                unsafe { _mm512_mask_storeu_pd(y.as_mut_ptr().add(ybase), mask, acc) };
+            } else {
+                // Ragged lane block (C == 4 or a non-multiple-of-8 C):
+                // scalar decode path, still f64 accumulation.
+                let live_rows = lanes_rows.saturating_sub(rb).min(lanes);
+                let mut buf = [0.0f64; 8];
+                let mut idx = off + rb;
+                while idx < end {
+                    for r in 0..lanes {
+                        let c = if base == u32::MAX {
+                            colidx[idx + r] as usize
+                        } else if cidx16[idx + r] == u16::MAX {
+                            xlen
+                        } else {
+                            base as usize + cidx16[idx + r] as usize
+                        };
+                        let xv = x.get(c).copied().unwrap_or(0.0);
+                        buf[r] += decode::<CODEC>(val, idx + r) * xv;
+                    }
+                    idx += C;
+                }
+                for r in 0..live_rows {
+                    if ADD {
+                        y[s * C + rb + r] += buf[r];
+                    } else {
+                        y[s * C + rb + r] = buf[r];
+                    }
+                }
+            }
+            rb += lanes;
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) over packed SELL-C storage for a
+/// `k`-wide row-interleaved block: the entry decodes once (per `CODEC`)
+/// and broadcasts against the contiguous masked `k`-block of `X`, so the
+/// value stream is read at codec width while all math is f64.
+///
+/// # Safety
+///
+/// * `requires: feature(avx512f,avx512vl)`
+/// * `requires: k != 0`
+/// * `requires: len(y) == nrows * k` — `y` holds one `k`-block per row.
+/// * `requires: len(sliceptr) == slices(nrows, C) + 1`
+/// * `requires: monotone(sliceptr)` — slice offsets are nondecreasing.
+/// * `requires: in_bounds(sliceptr, colidx)` — every offset `<= colidx.len()`.
+/// * `requires: aligned_offsets(sliceptr, C)` — slice widths divide by `C`.
+/// * `requires: len(cidx16) == len(colidx)`
+/// * `requires: len(cbase) == len(sliceptr) - 1` — one index-form selector
+///   per slice (`u32::MAX` = wide u32 indices, else the narrow base).
+/// * `requires: packed_vals(val, colidx)` — `val` holds exactly one
+///   codec-stride encoded value per `colidx` entry.
+/// * `requires: cols_in_bounds_or_sentinel(colidx, x)` — every wide-form
+///   column is the sentinel or has its full `k`-block in bounds
+///   (`(col + 1) * k <= x.len()`).
+/// * `requires: narrow_cols_in_bounds(cidx16, cbase, x)` — narrow-form
+///   offsets are the `0xFFFF` sentinel or resolve to a column with its
+///   full `k`-block in bounds.
+#[target_feature(enable = "avx512f,avx512vl")]
+pub unsafe fn spmm<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len() - 1;
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let ncols = x.len() / k;
+    for s in 0..nslices {
+        let lanes_rows = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let width = (sliceptr[s + 1] - off) / C;
+        let base = cbase[s];
+        let mut cb = 0usize;
+        while cb < k {
+            let lanes = (k - cb).min(8);
+            let mask: __mmask8 = if lanes >= 8 { 0xff } else { (1u8 << lanes) - 1 };
+            let mut acc = [_mm512_setzero_pd(); C];
+            if ADD {
+                for r in 0..lanes_rows {
+                    // SAFETY: (s*C + r)*k + cb + lanes <= nrows*k == y.len()
+                    // by the length clause; masked load touches `lanes` elems.
+                    acc[r] = unsafe { _mm512_maskz_loadu_pd(mask, yp.add((s * C + r) * k + cb)) };
+                }
+            }
+            for col in 0..width {
+                for r in 0..lanes_rows {
+                    let idx = off + col * C + r;
+                    let c = if base == u32::MAX {
+                        colidx[idx] as usize
+                    } else if cidx16[idx] == u16::MAX {
+                        ncols
+                    } else {
+                        base as usize + cidx16[idx] as usize
+                    };
+                    // Sentinel padding resolves to c >= ncols: skip.
+                    if c < ncols {
+                        let a = _mm512_set1_pd(decode::<CODEC>(val, idx));
+                        // SAFETY: a live column has (c+1)*k <= x.len() by
+                        // the cols clauses, and cb + lanes <= k, so the
+                        // masked load stays inside x.
+                        let xv = unsafe { _mm512_maskz_loadu_pd(mask, xp.add(c * k + cb)) };
+                        acc[r] = _mm512_fmadd_pd(a, xv, acc[r]);
+                    }
+                }
+            }
+            for r in 0..lanes_rows {
+                // SAFETY: same in-bounds argument as the ADD preload.
+                unsafe { _mm512_mask_storeu_pd(yp.add((s * C + r) * k + cb), mask, acc[r]) };
+            }
+            cb += lanes;
+        }
+    }
+}

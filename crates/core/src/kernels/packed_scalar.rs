@@ -1,0 +1,218 @@
+//! Portable scalar SpMV/SpMM over **packed** SELL storage: reduced
+//! precision values (f32 or bf16, selected by the `CODEC` const) widened
+//! to f64 on load, with optional per-slice u16 column-offset compression.
+//!
+//! This is the reference implementation for the PackSELL layout — the
+//! oracle the vectorized packed tiers are differentially tested against —
+//! and the fallback on non-x86 targets.
+//!
+//! Packed layout (see `sell::Sell`):
+//!
+//! * `val` holds one little-endian encoded value per SELL entry, stride
+//!   `4` (f32, `CODEC == 0`) or `2` (bf16, `CODEC == 1`), in the same
+//!   slice-column-major order as the classic f64 array.
+//! * `colidx` is the classic u32 index array (sentinel `ncols` padding).
+//! * `cbase[s]` selects the index form of slice `s`: `u32::MAX` means the
+//!   *wide* form (read `colidx`); anything else is the slice's base
+//!   column for the *narrow* form, where `cidx16` holds per-entry offsets
+//!   (`col = cbase[s] + cidx16[idx]`) and `0xFFFF` is the narrow
+//!   sentinel.  Narrow slices always satisfy `base + off < x.len()` for
+//!   live entries, so both forms preserve the §5.5 sentinel contract:
+//!   a padded lane contributes exactly `+0.0` even when `x` holds
+//!   Inf/NaN.
+
+/// Decodes packed value `i` of `val` to f64.  `CODEC`: 0 = f32, 1 = bf16.
+#[inline(always)]
+pub(crate) fn decode<const CODEC: u8>(val: &[u8], i: usize) -> f64 {
+    if CODEC == 0 {
+        let b = [val[4 * i], val[4 * i + 1], val[4 * i + 2], val[4 * i + 3]];
+        f32::from_le_bytes(b) as f64
+    } else {
+        let hi = u16::from_le_bytes([val[2 * i], val[2 * i + 1]]);
+        f32::from_bits((hi as u32) << 16) as f64
+    }
+}
+
+/// Column index of entry `idx` in slice `s`, resolved through the narrow
+/// or wide form; returns `x.len()` (the sentinel) for padding.
+#[inline(always)]
+fn col_at(
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    s: usize,
+    idx: usize,
+    xlen: usize,
+) -> usize {
+    let base = cbase[s];
+    if base == u32::MAX {
+        colidx[idx] as usize
+    } else {
+        let off = cidx16[idx];
+        if off == u16::MAX {
+            xlen
+        } else {
+            base as usize + off as usize
+        }
+    }
+}
+
+/// `y = A·x` (or `y += A·x` when `ADD`) over packed SELL storage with
+/// slice height `C`; values decode per `CODEC` (0 = f32, 1 = bf16) and
+/// accumulate in f64.
+pub fn spmv<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let nslices = sliceptr.len() - 1;
+    let xlen = x.len();
+    for s in 0..nslices {
+        let mut acc = [0.0f64; C];
+        let mut idx = sliceptr[s];
+        let end = sliceptr[s + 1];
+        while idx < end {
+            for r in 0..C {
+                let c = col_at(colidx, cidx16, cbase, s, idx + r, xlen);
+                // Sentinel padding indexes one past x: substitute 0.0 so
+                // a padded lane can never pick up NaN from 0.0 × x[alias].
+                let xv = x.get(c).copied().unwrap_or(0.0);
+                acc[r] += decode::<CODEC>(val, idx + r) * xv;
+            }
+            idx += C;
+        }
+        let base = s * C;
+        let lanes = C.min(nrows - base);
+        for r in 0..lanes {
+            if ADD {
+                y[base + r] += acc[r];
+            } else {
+                y[base + r] = acc[r];
+            }
+        }
+    }
+}
+
+/// `Y = A·X` (or `Y += A·X` when `ADD`) over packed SELL storage for a
+/// `k`-wide row-interleaved block (`x[col*k + t]`, `y[row*k + t]`).
+pub fn spmm<const C: usize, const ADD: bool, const CODEC: u8>(
+    sliceptr: &[usize],
+    colidx: &[u32],
+    cidx16: &[u16],
+    cbase: &[u32],
+    val: &[u8],
+    nrows: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+) {
+    let nslices = sliceptr.len() - 1;
+    let ncols = x.len() / k;
+    for s in 0..nslices {
+        let lanes = C.min(nrows - s * C);
+        let off = sliceptr[s];
+        let end = sliceptr[s + 1];
+        for r in 0..lanes {
+            let row = s * C + r;
+            let ybase = row * k;
+            if !ADD {
+                for t in 0..k {
+                    y[ybase + t] = 0.0;
+                }
+            }
+            let mut idx = off + r;
+            while idx < end {
+                let c = col_at(colidx, cidx16, cbase, s, idx, ncols);
+                // Sentinel padding maps to c == ncols: skip outright.
+                if c < ncols {
+                    let a = decode::<CODEC>(val, idx);
+                    let xbase = c * k;
+                    for t in 0..k {
+                        y[ybase + t] += a * x[xbase + t];
+                    }
+                }
+                idx += C;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Hand-built 3x3 identity in SELL with C = 2, f32-packed, wide form:
+    // slice 0 = rows {0,1}, width 1; slice 1 = row {2} padded to 2 lanes.
+    fn identity3_packed2() -> (Vec<usize>, Vec<u32>, Vec<u16>, Vec<u32>, Vec<u8>) {
+        let sliceptr = vec![0, 2, 4];
+        let colidx = vec![0, 1, 2, 3]; // padding holds the sentinel ncols
+        let cidx16 = vec![0u16; 4]; // unused in wide form
+        let cbase = vec![u32::MAX, u32::MAX];
+        let mut val = Vec::new();
+        for v in [1.0f32, 1.0, 1.0, 0.0] {
+            val.extend_from_slice(&v.to_le_bytes());
+        }
+        (sliceptr, colidx, cidx16, cbase, val)
+    }
+
+    #[test]
+    fn identity_roundtrip_wide() {
+        let (sp, ci, c16, cb, v) = identity3_packed2();
+        let x = vec![5.0, -2.0, 7.0];
+        let mut y = vec![0.0; 3];
+        spmv::<2, false, 0>(&sp, &ci, &c16, &cb, &v, 3, &x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn identity_roundtrip_narrow() {
+        let (sp, _, _, _, v) = identity3_packed2();
+        // Narrow form: slice 0 base 0 offs {0,1}; slice 1 base 2 off {0},
+        // padded lane gets the 0xFFFF narrow sentinel.
+        let cidx16 = vec![0u16, 1, 0, u16::MAX];
+        let cbase = vec![0u32, 2];
+        let colidx = vec![0u32; 4]; // unused in narrow form
+        let x = vec![5.0, f64::NAN, 7.0];
+        let mut y = vec![0.0; 3];
+        spmv::<2, false, 0>(&sp, &colidx, &cidx16, &cbase, &v, 3, &x, &mut y);
+        assert_eq!(y[0], 5.0);
+        assert!(y[1].is_nan());
+        assert_eq!(y[2], 7.0); // padded lane did not poison row 2
+    }
+
+    #[test]
+    fn bf16_decodes_exactly() {
+        // bf16(1.5) = 0x3FC0 — exactly representable.
+        let sliceptr = vec![0, 2];
+        let colidx = vec![0, 1];
+        let cidx16 = vec![0u16; 2];
+        let cbase = vec![u32::MAX];
+        let val = {
+            let mut v = Vec::new();
+            for b in [0x3FC0u16, 0x3F80] {
+                v.extend_from_slice(&b.to_le_bytes());
+            }
+            v
+        };
+        let x = vec![2.0, 4.0];
+        let mut y = vec![0.0; 2];
+        spmv::<2, false, 1>(&sliceptr, &colidx, &cidx16, &cbase, &val, 2, &x, &mut y);
+        assert_eq!(y, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_repeated_spmv() {
+        let (sp, ci, c16, cb, v) = identity3_packed2();
+        let k = 3;
+        let x: Vec<f64> = (0..3 * k).map(|i| i as f64 - 4.0).collect();
+        let mut y = vec![1.0; 3 * k];
+        spmm::<2, true, 0>(&sp, &ci, &c16, &cb, &v, 3, &x, &mut y, k);
+        let want: Vec<f64> = (0..3 * k).map(|i| 1.0 + (i as f64 - 4.0)).collect();
+        assert_eq!(y, want);
+    }
+}

@@ -60,6 +60,7 @@
 
 pub mod aligned;
 pub mod baij;
+pub mod codec;
 pub mod coo;
 pub mod csr;
 pub mod csr_perm;
@@ -81,6 +82,7 @@ pub mod traits;
 
 pub use aligned::AVec;
 pub use baij::Baij;
+pub use codec::Codec;
 pub use coo::CooBuilder;
 pub use csr::Csr;
 pub use csr_perm::CsrPerm;

@@ -27,6 +27,7 @@
 //!   is masked (§5.5).
 
 use crate::aligned::AVec;
+use crate::codec::{self, Codec};
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
@@ -34,6 +35,12 @@ use crate::kernels::{dispatch, sell_scalar};
 use crate::multivec::{VecView, VecViewMut};
 use crate::plan::{PlanCache, SpmvPlan};
 use crate::traits::{check_apply_dims, check_spmv_dims, Apply, MatShape, Operator};
+
+/// Narrow-form sentinel in the compressed `cidx16` offsets: `0xFFFF`
+/// marks a padded lane; live offsets are therefore bounded by `0xFFFE`,
+/// which is also the largest column span a slice may have to qualify
+/// for the narrow form.
+pub(crate) const NARROW_SENTINEL: u16 = u16::MAX;
 
 /// A sliced-ELLPACK matrix with compile-time slice height `C`.
 ///
@@ -66,6 +73,25 @@ pub struct Sell<const C: usize> {
     isa: Isa,
     /// Cached threaded execution plans; invalidated on pattern/ISA change.
     plan: PlanCache,
+    /// Value-storage codec (PackSELL).  `F64` means the classic layout:
+    /// `pval`/`cidx16`/`cbase` stay empty and every kernel reads `val`.
+    codec: Codec,
+    /// Packed value bytes, one codec-stride encoding per SELL entry, same
+    /// slice-column-major order as `val`.  `val` always holds the f64
+    /// decode of these bytes (quantize-at-build), so the packed kernels
+    /// and the master array agree bit-for-bit.
+    pval: AVec<u8>,
+    /// Narrow-form column offsets (`col = cbase[s] + cidx16[idx]`), with
+    /// [`NARROW_SENTINEL`] marking padded lanes.  Entries under wide-form
+    /// slices are unused (zero).
+    cidx16: AVec<u16>,
+    /// Per-slice index-form selector: `u32::MAX` = wide (read `colidx`),
+    /// anything else = the narrow form's base column.
+    cbase: Vec<u32>,
+    /// Live nonzeros stored under the narrow (u16) index form — the rest
+    /// of `nnz` moves 4-byte wide indices.  Drives the codec-aware §6
+    /// traffic model.
+    narrow_nnz: u64,
 }
 
 /// SELL with slice height 4 (AVX/AVX2 lane count).
@@ -78,14 +104,29 @@ pub type Sell16 = Sell<16>;
 impl<const C: usize> Sell<C> {
     /// Converts a CSR matrix without any row reordering (the default, §5.4).
     pub fn from_csr(csr: &Csr) -> Self {
+        Self::from_csr_codec(csr, Codec::F64)
+    }
+
+    /// Converts without row reordering, storing values through `codec`
+    /// (PackSELL).  For `F32`/`Bf16` the master `val` array holds the
+    /// **quantized** values — `codec.quantize(v)` — so the packed bytes
+    /// decode bit-exactly to `val` and `get`/`to_csr` observe the same
+    /// matrix the kernels multiply by.
+    pub fn from_csr_codec(csr: &Csr, codec: Codec) -> Self {
         let ident: Vec<u32> = (0..csr.nrows() as u32).collect();
-        Self::build(csr, &ident, false)
+        Self::build(csr, &ident, false, codec)
     }
 
     /// Converts with SELL-C-σ row sorting: rows are sorted by descending
     /// length within windows of `sigma` rows (σ must be a positive multiple
     /// of `C`; σ = nrows gives full pJDS-style sorting).
     pub fn from_csr_sigma(csr: &Csr, sigma: usize) -> Self {
+        Self::from_csr_sigma_codec(csr, sigma, Codec::F64)
+    }
+
+    /// σ-sorted conversion with a PackSELL value codec — see
+    /// [`Sell::from_csr_codec`] for the quantization contract.
+    pub fn from_csr_sigma_codec(csr: &Csr, sigma: usize, codec: Codec) -> Self {
         assert!(
             sigma > 0 && sigma.is_multiple_of(C),
             "sigma must be a positive multiple of C"
@@ -95,11 +136,11 @@ impl<const C: usize> Sell<C> {
         for window in perm.chunks_mut(sigma) {
             window.sort_by_key(|&i| std::cmp::Reverse(csr.row_len(i as usize)));
         }
-        Self::build(csr, &perm, true)
+        Self::build(csr, &perm, true, codec)
     }
 
     /// Core conversion: storage lane `k` takes logical row `perm[k]`.
-    fn build(csr: &Csr, perm: &[u32], keep_perm: bool) -> Self {
+    fn build(csr: &Csr, perm: &[u32], keep_perm: bool, codec: Codec) -> Self {
         assert!(
             C > 0 && C.is_multiple_of(4) || C == 1 || C == 2,
             "unsupported slice height {C}"
@@ -147,7 +188,7 @@ impl<const C: usize> Sell<C> {
                     let at = base + j * C + r;
                     if j < len {
                         colidx[at] = cols[j];
-                        val[at] = vals[j];
+                        val[at] = codec.quantize(vals[j]);
                     } else {
                         colidx[at] = ncols as u32;
                         // val stays 0.0 from zeroed allocation.
@@ -155,6 +196,9 @@ impl<const C: usize> Sell<C> {
                 }
             }
         }
+
+        let (pval, cidx16, cbase, narrow_nnz) =
+            Self::pack(codec, &sliceptr, &colidx, &val, &rlen, perm, ncols);
 
         Self {
             nrows,
@@ -167,7 +211,81 @@ impl<const C: usize> Sell<C> {
             perm: keep_perm.then(|| perm.to_vec()),
             isa: Isa::detect(),
             plan: PlanCache::new(),
+            codec,
+            pval,
+            cidx16,
+            cbase,
+            narrow_nnz,
         }
+    }
+
+    /// Builds the packed sidecars for a non-`F64` codec: per-entry encoded
+    /// value bytes, plus the per-slice index compression.  A slice whose
+    /// live columns span fewer than `0xFFFF` columns stores 2-byte offsets
+    /// from the slice's minimum column (`cbase[s]`); a wider slice keeps
+    /// the classic 4-byte indices and marks `cbase[s] = u32::MAX`.  For
+    /// `F64` all sidecars stay empty and `narrow_nnz = 0`.
+    #[allow(clippy::too_many_arguments)]
+    fn pack(
+        codec: Codec,
+        sliceptr: &[usize],
+        colidx: &[u32],
+        val: &[f64],
+        rlen: &[u32],
+        perm: &[u32],
+        ncols: usize,
+    ) -> (AVec<u8>, AVec<u16>, Vec<u32>, u64) {
+        if codec == Codec::F64 {
+            return (AVec::zeroed(0), AVec::zeroed(0), Vec::new(), 0);
+        }
+        let total = colidx.len();
+        let stride = codec.bytes_per_value();
+        let mut pval: AVec<u8> = AVec::zeroed(total * stride);
+        for (i, &v) in val.iter().enumerate() {
+            codec::encode_into(codec, v, &mut pval[i * stride..(i + 1) * stride]);
+        }
+        let nslices = sliceptr.len() - 1;
+        let sentinel = ncols as u32;
+        let mut cidx16: AVec<u16> = AVec::zeroed(total);
+        let mut cbase = vec![u32::MAX; nslices];
+        let mut narrow_nnz = 0u64;
+        for s in 0..nslices {
+            let window = &colidx[sliceptr[s]..sliceptr[s + 1]];
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for &c in window.iter().filter(|&&c| c != sentinel) {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+            if lo == u32::MAX {
+                // All-padding slice: trivially narrow with base 0.
+                cbase[s] = 0;
+                for at in sliceptr[s]..sliceptr[s + 1] {
+                    cidx16[at] = NARROW_SENTINEL;
+                }
+                continue;
+            }
+            if (hi - lo) as usize >= NARROW_SENTINEL as usize {
+                continue; // span too wide — stays u32::MAX (wide form)
+            }
+            cbase[s] = lo;
+            for at in sliceptr[s]..sliceptr[s + 1] {
+                cidx16[at] = if colidx[at] == sentinel {
+                    NARROW_SENTINEL
+                } else {
+                    (colidx[at] - lo) as u16
+                };
+            }
+            // Live entries in this slice: sum of true row lengths clipped
+            // to the slice width (padding never counts).
+            let w = (sliceptr[s + 1] - sliceptr[s]) / C;
+            for r in 0..C {
+                let k = s * C + r;
+                if k < perm.len() {
+                    narrow_nnz += (rlen[perm[k] as usize] as usize).min(w) as u64;
+                }
+            }
+        }
+        (pval, cidx16, cbase, narrow_nnz)
     }
 
     /// Overrides the dispatch ISA (panics if unavailable on this CPU).
@@ -218,6 +336,36 @@ impl<const C: usize> Sell<C> {
     /// [`Sell::from_csr_sigma`].
     pub fn perm(&self) -> Option<&[u32]> {
         self.perm.as_deref()
+    }
+
+    /// The value-storage codec (PackSELL); [`Codec::F64`] for the classic
+    /// layout.
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Packed value bytes (empty for [`Codec::F64`]).
+    pub fn packed_values(&self) -> &[u8] {
+        &self.pval
+    }
+
+    /// Per-slice index-form selectors: `u32::MAX` marks a wide (u32) slice,
+    /// anything else is the narrow form's base column.  Empty for
+    /// [`Codec::F64`].
+    pub fn cbase(&self) -> &[u32] {
+        &self.cbase
+    }
+
+    /// Narrow-form 2-byte column offsets (empty for [`Codec::F64`]).
+    pub fn cidx16(&self) -> &[u16] {
+        &self.cidx16
+    }
+
+    /// Live nonzeros stored under the narrow (u16) index form; the
+    /// remaining `nnz() - narrow_nnz()` move 4-byte indices.  Zero for
+    /// [`Codec::F64`].
+    pub fn narrow_nnz(&self) -> u64 {
+        self.narrow_nnz
     }
 
     /// Total stored elements including padding.
@@ -306,9 +454,21 @@ impl<const C: usize> Sell<C> {
             let (s, r) = (k / C, k % C);
             let base = self.sliceptr[s];
             let vals = csr.row_vals(row);
+            let stride = self.codec.bytes_per_value();
             for (j, &v) in vals.iter().enumerate() {
                 debug_assert_eq!(self.colidx[base + j * C + r], csr.row_cols(row)[j]);
-                self.val[base + j * C + r] = v;
+                let at = base + j * C + r;
+                let q = self.codec.quantize(v);
+                self.val[at] = q;
+                if self.codec != Codec::F64 {
+                    // Pattern is unchanged, so cidx16/cbase survive; only
+                    // the packed bytes need refreshing.
+                    codec::encode_into(
+                        self.codec,
+                        q,
+                        &mut self.pval[at * stride..(at + 1) * stride],
+                    );
+                }
             }
         }
     }
@@ -358,7 +518,7 @@ impl<const C: usize> Sell<C> {
     pub fn spmv_tuned(&self, x: &[f64], y: &mut [f64]) {
         check_spmv_dims(self.nrows, self.ncols, x, y);
         #[cfg(target_arch = "x86_64")]
-        if C == 8 && self.perm.is_none() && Isa::Avx512.available() {
+        if C == 8 && self.perm.is_none() && self.codec == Codec::F64 && Isa::Avx512.available() {
             crate::kernels::dispatch::sell8_spmv_tuned(
                 &self.sliceptr,
                 &self.colidx,
@@ -419,15 +579,43 @@ impl<const C: usize> Sell<C> {
         let isa = plan.isa();
         let (colidx, val) = (&self.colidx[..], &self.val[..]);
         let sliceptr = &self.sliceptr[..];
+        match self.codec {
+            Codec::F64 => plan.run_on(ctx, y, &|_, part, win| {
+                let sp = &sliceptr[part.item0..=part.item1];
+                let nr = part.row1 - part.row0;
+                match C {
+                    4 => dispatch::sell4_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                    8 => dispatch::sell8_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                    16 => dispatch::sell16_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
+                    _ => sell_scalar::spmv::<C, ADD>(sp, colidx, val, nr, x, win),
+                }
+            }),
+            Codec::F32 => self.spmv_parts_packed::<ADD, 0>(ctx, &plan, isa, x, y),
+            Codec::Bf16 => self.spmv_parts_packed::<ADD, 1>(ctx, &plan, isa, x, y),
+        }
+    }
+
+    /// Packed threaded SpMV body: each part windows `sliceptr` and the
+    /// per-slice `cbase` selectors, while `colidx`/`cidx16`/`pval` stay
+    /// full-matrix (the windowed `sliceptr` carries absolute offsets).
+    fn spmv_parts_packed<const ADD: bool, const CODEC: u8>(
+        &self,
+        ctx: &ExecCtx,
+        plan: &SpmvPlan,
+        isa: Isa,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        let sliceptr = &self.sliceptr[..];
+        let (colidx, cidx16) = (&self.colidx[..], &self.cidx16[..]);
+        let (cbase, pval) = (&self.cbase[..], &self.pval[..]);
         plan.run_on(ctx, y, &|_, part, win| {
             let sp = &sliceptr[part.item0..=part.item1];
+            let cb = &cbase[part.item0..part.item1];
             let nr = part.row1 - part.row0;
-            match C {
-                4 => dispatch::sell4_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
-                8 => dispatch::sell8_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
-                16 => dispatch::sell16_spmv_slices::<ADD>(isa, sp, colidx, val, nr, x, win),
-                _ => sell_scalar::spmv::<C, ADD>(sp, colidx, val, nr, x, win),
-            }
+            dispatch::sell_packed_spmv_slices::<C, ADD, CODEC>(
+                isa, sp, colidx, cidx16, cb, pval, nr, x, win,
+            );
         });
     }
 
@@ -471,14 +659,47 @@ impl<const C: usize> Sell<C> {
         let isa = plan.isa();
         let (colidx, val) = (&self.colidx[..], &self.val[..]);
         let sliceptr = &self.sliceptr[..];
+        match self.codec {
+            Codec::F64 => plan.run_on_blocked(ctx, y, k, &|_, part, win| {
+                let sp = &sliceptr[part.item0..=part.item1];
+                let nr = part.row1 - part.row0;
+                dispatch::sell_spmm_slices::<C, ADD>(isa, sp, colidx, val, nr, x, win, k);
+            }),
+            Codec::F32 => self.spmm_parts_packed::<ADD, 0>(ctx, &plan, isa, x, y, k),
+            Codec::Bf16 => self.spmm_parts_packed::<ADD, 1>(ctx, &plan, isa, x, y, k),
+        }
+    }
+
+    /// Packed threaded SpMM body — the blocked sibling of
+    /// [`Sell::spmv_parts_packed`].
+    fn spmm_parts_packed<const ADD: bool, const CODEC: u8>(
+        &self,
+        ctx: &ExecCtx,
+        plan: &SpmvPlan,
+        isa: Isa,
+        x: &[f64],
+        y: &mut [f64],
+        k: usize,
+    ) {
+        let sliceptr = &self.sliceptr[..];
+        let (colidx, cidx16) = (&self.colidx[..], &self.cidx16[..]);
+        let (cbase, pval) = (&self.cbase[..], &self.pval[..]);
         plan.run_on_blocked(ctx, y, k, &|_, part, win| {
             let sp = &sliceptr[part.item0..=part.item1];
+            let cb = &cbase[part.item0..part.item1];
             let nr = part.row1 - part.row0;
-            dispatch::sell_spmm_slices::<C, ADD>(isa, sp, colidx, val, nr, x, win, k);
+            dispatch::sell_packed_spmm_slices::<C, ADD, CODEC>(
+                isa, sp, colidx, cidx16, cb, pval, nr, x, win, k,
+            );
         });
     }
 
     fn spmm_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64], k: usize) {
+        match self.codec {
+            Codec::F64 => {}
+            Codec::F32 => return self.spmm_raw_packed::<ADD, 0>(isa, x, y, k),
+            Codec::Bf16 => return self.spmm_raw_packed::<ADD, 1>(isa, x, y, k),
+        }
         dispatch::sell_spmm::<C, ADD>(
             isa,
             &self.sliceptr,
@@ -491,7 +712,52 @@ impl<const C: usize> Sell<C> {
         );
     }
 
+    fn spmm_raw_packed<const ADD: bool, const CODEC: u8>(
+        &self,
+        isa: Isa,
+        x: &[f64],
+        y: &mut [f64],
+        k: usize,
+    ) {
+        dispatch::sell_packed_spmm::<C, ADD, CODEC>(
+            isa,
+            &self.sliceptr,
+            &self.colidx,
+            &self.cidx16,
+            &self.cbase,
+            &self.pval,
+            self.nrows,
+            x,
+            y,
+            k,
+        );
+    }
+
+    fn spmv_raw_packed<const ADD: bool, const CODEC: u8>(
+        &self,
+        isa: Isa,
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        dispatch::sell_packed_spmv::<C, ADD, CODEC>(
+            isa,
+            &self.sliceptr,
+            &self.colidx,
+            &self.cidx16,
+            &self.cbase,
+            &self.pval,
+            self.nrows,
+            x,
+            y,
+        );
+    }
+
     fn spmv_raw<const ADD: bool>(&self, isa: Isa, x: &[f64], y: &mut [f64]) {
+        match self.codec {
+            Codec::F64 => {}
+            Codec::F32 => return self.spmv_raw_packed::<ADD, 0>(isa, x, y),
+            Codec::Bf16 => return self.spmv_raw_packed::<ADD, 1>(isa, x, y),
+        }
         match C {
             4 => dispatch::sell4_spmv::<ADD>(
                 isa,
@@ -581,7 +847,17 @@ impl<const C: usize> Operator for Sell<C> {
     }
 
     fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
-        crate::traffic::sell_traffic(self.nrows, self.ncols, self.nnz)
+        match self.codec {
+            Codec::F64 => crate::traffic::sell_traffic(self.nrows, self.ncols, self.nnz),
+            _ => crate::traffic::sell_packed_traffic(
+                self.nrows,
+                self.ncols,
+                self.nnz,
+                self.codec.bytes_per_value(),
+                self.narrow_nnz,
+                self.nslices(),
+            ),
+        }
     }
 }
 
@@ -958,6 +1234,255 @@ mod tests {
         );
         s.spmv_tuned(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    /// Quantizes every value of a CSR matrix through `codec` — the f64
+    /// oracle the packed kernels must match bit-for-bit (quantize-at-build
+    /// means both sides multiply by exactly the same numbers).
+    fn quantized_csr(a: &Csr, codec: Codec) -> Csr {
+        let mut q = a.clone();
+        for v in q.values_mut() {
+            *v = codec.quantize(*v);
+        }
+        q
+    }
+
+    #[test]
+    fn packed_spmv_matches_quantized_f64_all_isas() {
+        let a = random_csr(137, 123, 97);
+        let x: Vec<f64> = (0..123).map(|i| (i as f64 * 0.29).sin() * 3.0).collect();
+        for codec in [Codec::F32, Codec::Bf16] {
+            let q = quantized_csr(&a, codec);
+            let mut want = vec![0.0; 137];
+            q.spmv_isa(Isa::Scalar, &x, &mut want);
+            let s = Sell8::from_csr_codec(&a, codec);
+            assert_eq!(s.codec(), codec);
+            for isa in Isa::available_tiers() {
+                let mut got = vec![0.0; 137];
+                s.spmv_isa(isa, &x, &mut got);
+                for i in 0..137 {
+                    assert!(
+                        (got[i] - want[i]).abs() < 1e-12,
+                        "{codec:?} {isa} row {i}: {} vs {}",
+                        got[i],
+                        want[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_all_slice_heights_and_add() {
+        let a = random_csr(61, 61, 203);
+        let x: Vec<f64> = (0..61).map(|i| 0.1 * i as f64 - 3.0).collect();
+        for codec in [Codec::F32, Codec::Bf16] {
+            let q = quantized_csr(&a, codec);
+            let mut want = vec![1.0; 61];
+            q.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut want).into(),
+                Apply::Add,
+            );
+            let s4 = Sell4::from_csr_codec(&a, codec);
+            let s16 = Sell16::from_csr_codec(&a, codec);
+            let mut y4 = vec![1.0; 61];
+            let mut y16 = vec![1.0; 61];
+            s4.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut y4).into(),
+                Apply::Add,
+            );
+            s16.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut y16).into(),
+                Apply::Add,
+            );
+            for i in 0..61 {
+                assert!((y4[i] - want[i]).abs() < 1e-12, "{codec:?} C=4 row {i}");
+                assert!((y16[i] - want[i]).abs() < 1e-12, "{codec:?} C=16 row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_spmm_matches_repeated_spmv() {
+        let a = random_csr(52, 44, 303);
+        let k = 3;
+        let x: Vec<f64> = (0..k * 44).map(|i| (i as f64 * 0.17).cos()).collect();
+        for codec in [Codec::F32, Codec::Bf16] {
+            let s = Sell8::from_csr_codec(&a, codec);
+            for isa in Isa::available_tiers() {
+                let mut y_block = vec![0.0; k * 52];
+                s.spmm_isa(isa, &x, &mut y_block, k);
+                for v in 0..k {
+                    let xv: Vec<f64> = (0..44).map(|c| x[c * k + v]).collect();
+                    let mut y_single = vec![0.0; 52];
+                    s.spmv_isa(isa, &xv, &mut y_single);
+                    for i in 0..52 {
+                        assert!(
+                            (y_block[i * k + v] - y_single[i]).abs() < 1e-12,
+                            "{codec:?} {isa} v={v} row {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_sigma_sorted_matches() {
+        let a = random_csr(96, 96, 55);
+        let x: Vec<f64> = (0..96).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        for codec in [Codec::F32, Codec::Bf16] {
+            let q = quantized_csr(&a, codec);
+            let mut want = vec![0.0; 96];
+            q.spmv_isa(Isa::Scalar, &x, &mut want);
+            let s = Sell8::from_csr_sigma_codec(&a, 32, codec);
+            assert!(s.perm().is_some());
+            for isa in Isa::available_tiers() {
+                let mut got = vec![0.0; 96];
+                s.spmv_isa(isa, &x, &mut got);
+                for i in 0..96 {
+                    assert!((got[i] - want[i]).abs() < 1e-12, "{codec:?} {isa} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_wide_slices_fall_back_to_u32_indices() {
+        // A matrix wide enough that some slice spans ≥ 0xFFFF columns and
+        // must keep wide indices, mixed with narrow-compressible slices.
+        let n = 70_000usize;
+        let mut b = CooBuilder::new(24, n);
+        for i in 0..24 {
+            b.push(i, i * 3, 1.0 + i as f64);
+            if i < 8 {
+                b.push(i, n - 1 - i, 0.5 * i as f64); // span ≈ n ≫ 0xFFFF
+            }
+        }
+        let a = b.to_csr();
+        let s = Sell8::from_csr_codec(&a, Codec::F32);
+        assert!(
+            s.cbase().iter().any(|&b| b == u32::MAX),
+            "wide slice expected"
+        );
+        assert!(
+            s.cbase().iter().any(|&b| b != u32::MAX),
+            "narrow slice expected"
+        );
+        assert!(s.narrow_nnz() > 0 && s.narrow_nnz() < s.nnz() as u64);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 97) as f64) * 0.01).collect();
+        let q = quantized_csr(&a, Codec::F32);
+        let mut want = vec![0.0; 24];
+        q.spmv_isa(Isa::Scalar, &x, &mut want);
+        for isa in Isa::available_tiers() {
+            let mut got = vec![0.0; 24];
+            s.spmv_isa(isa, &x, &mut got);
+            for i in 0..24 {
+                assert!((got[i] - want[i]).abs() < 1e-12, "{isa} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_sentinel_padding_immune_to_nonfinite_x() {
+        // §5.5 contract survives packing: padded lanes (narrow sentinel
+        // 0xFFFF / wide sentinel ncols) never read x, so poisoning x with
+        // NaN/Inf at any live column still yields finite rows that don't
+        // touch those columns.
+        let a = Csr::from_dense(3, 3, &[2.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 4.0]);
+        for codec in [Codec::F32, Codec::Bf16] {
+            let s = Sell8::from_csr_codec(&a, codec);
+            let x = [2.0, f64::NAN, f64::INFINITY];
+            for isa in Isa::available_tiers() {
+                let mut y = vec![0.0; 3];
+                s.spmv_isa(isa, &x, &mut y);
+                assert_eq!(y[0], 4.0, "{codec:?} {isa}");
+                assert!(y[1].is_nan(), "{codec:?} {isa}");
+                assert_eq!(y[2], f64::INFINITY, "{codec:?} {isa}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_set_values_refresh_reencodes() {
+        let a = random_csr(50, 50, 419);
+        let mut s = Sell8::from_csr_codec(&a, Codec::Bf16);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= -1.5;
+        }
+        s.set_values_from_csr(&a2);
+        let q = quantized_csr(&a2, Codec::Bf16);
+        let x: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let mut want = vec![0.0; 50];
+        q.spmv_isa(Isa::Scalar, &x, &mut want);
+        for isa in Isa::available_tiers() {
+            let mut got = vec![0.0; 50];
+            s.spmv_isa(isa, &x, &mut got);
+            for i in 0..50 {
+                assert!((got[i] - want[i]).abs() < 1e-12, "{isa} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_threaded_matches_serial() {
+        let a = random_csr(512, 512, 777);
+        let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.031).sin()).collect();
+        let ctx = ExecCtx::new(4);
+        for codec in [Codec::F32, Codec::Bf16] {
+            let s = Sell8::from_csr_codec(&a, codec);
+            let mut serial = vec![0.0; 512];
+            let mut threaded = vec![0.0; 512];
+            s.apply(
+                &ExecCtx::serial(),
+                (&x).into(),
+                (&mut serial).into(),
+                Apply::Set,
+            );
+            s.apply(&ctx, (&x).into(), (&mut threaded).into(), Apply::Set);
+            assert_eq!(serial, threaded, "{codec:?} spmv");
+            // Blocked path too.
+            let k = 2;
+            let xb: Vec<f64> = (0..k * 512).map(|i| (i as f64 * 0.011).cos()).collect();
+            let xv = crate::MultiVec::from_interleaved(512, k, &xb);
+            let mut sb = crate::MultiVec::zeros(512, k);
+            let mut tb = crate::MultiVec::zeros(512, k);
+            s.apply(&ExecCtx::serial(), xv.view(), sb.view_mut(), Apply::Set);
+            s.apply(&ctx, xv.view(), tb.view_mut(), Apply::Set);
+            assert_eq!(sb.as_slice(), tb.as_slice(), "{codec:?} spmm");
+        }
+    }
+
+    #[test]
+    fn packed_traffic_is_cheaper() {
+        let a = random_csr(4096, 4096, 4242);
+        let f64_bytes = Sell8::from_csr(&a).spmv_traffic().bytes;
+        let f32_bytes = Sell8::from_csr_codec(&a, Codec::F32).spmv_traffic().bytes;
+        let bf16_bytes = Sell8::from_csr_codec(&a, Codec::Bf16).spmv_traffic().bytes;
+        assert!(f32_bytes < f64_bytes, "{f32_bytes} vs {f64_bytes}");
+        assert!(bf16_bytes < f32_bytes, "{bf16_bytes} vs {f32_bytes}");
+        // Flops are codec-independent.
+        assert_eq!(
+            Sell8::from_csr_codec(&a, Codec::F32).spmv_traffic().flops,
+            Sell8::from_csr(&a).spmv_traffic().flops
+        );
+    }
+
+    #[test]
+    fn packed_roundtrip_exposes_quantized_values() {
+        // get()/to_csr() observe the quantized matrix — the same numbers
+        // the kernels multiply by.
+        let a = Csr::from_dense(2, 2, &[0.1, 0.0, 0.0, 0.3]);
+        let s = Sell8::from_csr_codec(&a, Codec::F32);
+        assert_eq!(s.get(0, 0), Some(0.1f32 as f64));
+        assert_eq!(s.to_csr().to_dense()[3], 0.3f32 as f64);
     }
 
     #[test]

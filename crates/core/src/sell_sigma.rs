@@ -25,6 +25,7 @@
 
 use std::sync::Mutex;
 
+use crate::codec::Codec;
 use crate::csr::Csr;
 use crate::exec::ExecCtx;
 use crate::isa::Isa;
@@ -73,6 +74,13 @@ impl<const C: usize> SellSigma<C> {
     /// globally).  The sort is stable, so equal-length rows keep their
     /// relative order and conversion is deterministic.
     pub fn from_csr_sigma(csr: &Csr, sigma: usize) -> Self {
+        Self::from_csr_sigma_codec(csr, sigma, Codec::F64)
+    }
+
+    /// σ-sorted conversion storing values through a PackSELL `codec` —
+    /// the sorted inner matrix is a packed [`Sell<C>`], so reduced
+    /// precision and index compression compose with the σ permutation.
+    pub fn from_csr_sigma_codec(csr: &Csr, sigma: usize, codec: Codec) -> Self {
         assert!(sigma >= 1, "sigma must be at least 1");
         let nrows = csr.nrows();
         let mut fwd: Vec<u32> = (0..nrows as u32).collect();
@@ -81,7 +89,7 @@ impl<const C: usize> SellSigma<C> {
         }
         let perm = Permutation::new(fwd);
         let inv = perm.inverse();
-        let inner = Sell::<C>::from_csr(&permute_rows(csr, perm.as_slice()));
+        let inner = Sell::<C>::from_csr_codec(&permute_rows(csr, perm.as_slice()), codec);
         Self {
             inner,
             perm,
@@ -89,6 +97,11 @@ impl<const C: usize> SellSigma<C> {
             sigma,
             scratch: Mutex::new(vec![0.0; nrows]),
         }
+    }
+
+    /// The value-storage codec of the inner packed matrix.
+    pub fn codec(&self) -> Codec {
+        self.inner.codec()
     }
 
     /// The sorting-window size this matrix was built with.
@@ -239,11 +252,12 @@ impl<const C: usize> Operator for SellSigma<C> {
         }
     }
 
-    /// SELL traffic plus the unsort overhead: the permutation read
-    /// (4 bytes/row) and the scratch round-trip (16 bytes/row) — the
-    /// price of sorting that §5.4 avoids by not sorting.
+    /// The inner (possibly packed) SELL traffic plus the unsort overhead:
+    /// the permutation read (4 bytes/row) and the scratch round-trip
+    /// (16 bytes/row) — the price of sorting that §5.4 avoids by not
+    /// sorting.
     fn spmv_traffic(&self) -> crate::traffic::TrafficEstimate {
-        let mut t = crate::traffic::sell_traffic(self.nrows(), self.ncols(), self.nnz());
+        let mut t = self.inner.spmv_traffic();
         t.bytes += 20 * self.nrows() as u64;
         t
     }
@@ -508,6 +522,39 @@ mod tests {
             Apply::Set,
         );
         assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn packed_codec_composes_with_sigma() {
+        let a = irregular(120, 41);
+        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.23).sin()).collect();
+        for codec in [Codec::F32, Codec::Bf16] {
+            // Oracle: quantize the CSR through the codec, multiply in f64.
+            let mut q = a.clone();
+            for v in q.values_mut() {
+                *v = codec.quantize(*v);
+            }
+            let mut want = vec![0.0; 120];
+            q.spmv_isa(Isa::Scalar, &x, &mut want);
+            let s = SellSigma8::from_csr_sigma_codec(&a, 16, codec);
+            assert_eq!(s.codec(), codec);
+            // Packed traffic (plus unsort overhead) undercuts classic SELL.
+            let classic = crate::traffic::sell_traffic(120, 120, a.nnz()).bytes;
+            assert!(s.spmv_traffic().bytes < classic + 20 * 120);
+            for isa in Isa::available_tiers() {
+                let s = SellSigma8::from_csr_sigma_codec(&a, 16, codec).with_isa(isa);
+                let mut got = vec![0.0; 120];
+                s.apply(
+                    &ExecCtx::serial(),
+                    (&x).into(),
+                    (&mut got).into(),
+                    Apply::Set,
+                );
+                for i in 0..120 {
+                    assert!((got[i] - want[i]).abs() < 1e-12, "{codec:?} {isa} row {i}");
+                }
+            }
+        }
     }
 
     #[test]

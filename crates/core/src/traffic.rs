@@ -12,6 +12,10 @@
 //! * **SELL**: `12·nnz + 10·m + 8·n` bytes — the slice pointers are one
 //!   8-byte entry per 8 rows for each of the two blocks
 //!   (`2 · m/8 · 8 = 2·m`), replacing CSR's `16·m` of row pointers.
+//! * **PackSELL** (reduced-precision value codecs): `w·nnz` value bytes
+//!   with `w ∈ {4, 2}` for f32/bf16, plus 2 bytes per nonzero in slices
+//!   whose column span fits a `u16` offset (narrow form) and 4 bytes in
+//!   the rest, plus a 4-byte per-slice base — see [`sell_packed_traffic`].
 //!
 //! Padding bytes are deliberately *not* counted (§6: "extra memory overhead
 //! contributed by padded zeros are not counted in order to eliminate
@@ -67,6 +71,33 @@ pub fn csr_traffic(m: usize, n: usize, nnz: usize) -> TrafficEstimate {
 pub fn sell_traffic(m: usize, n: usize, nnz: usize) -> TrafficEstimate {
     TrafficEstimate {
         bytes: (12 * nnz + 10 * m + 8 * n) as u64,
+        flops: 2 * nnz as u64,
+    }
+}
+
+/// PackSELL minimum traffic for a reduced-precision codec.  Per live
+/// nonzero, a packed matrix moves `value_bytes` (4 for f32, 2 for bf16)
+/// plus its index: 2 bytes under the narrow per-slice form, 4 bytes wide.
+/// Each slice additionally reads its 4-byte `cbase` selector
+/// (`4·⌈m/C⌉ ≈ 4·m/C`, folded into the `10·m` row-metadata term's
+/// sliceptr accounting as an extra `4·nslices`), and the vector terms
+/// (`8·m` out, `8·n` in) plus the `2·m` sliceptr bytes match
+/// [`sell_traffic`].  Padding is not counted, per the §6 convention.
+pub fn sell_packed_traffic(
+    m: usize,
+    n: usize,
+    nnz: usize,
+    value_bytes: usize,
+    narrow_nnz: u64,
+    nslices: usize,
+) -> TrafficEstimate {
+    let wide_nnz = nnz as u64 - narrow_nnz;
+    TrafficEstimate {
+        bytes: (value_bytes * nnz) as u64
+            + 2 * narrow_nnz
+            + 4 * wide_nnz
+            + 4 * nslices as u64
+            + (10 * m + 8 * n) as u64,
         flops: 2 * nnz as u64,
     }
 }

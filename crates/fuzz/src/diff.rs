@@ -24,8 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sellkit_check::Validate;
 use sellkit_core::{
-    Apply, Baij, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape, Operator,
-    Sbaij, Sell16, Sell4, Sell8, SellEsb, SellSigma8, VecView, VecViewMut,
+    Apply, Baij, Codec, CooBuilder, Csr, CsrPerm, Ellpack, EllpackR, ExecCtx, Isa, MatShape,
+    Operator, Sbaij, Sell16, Sell4, Sell8, SellEsb, SellSigma8, VecView, VecViewMut,
 };
 
 use crate::gen::{make_x, MatrixCase, X_CLASSES};
@@ -97,6 +97,16 @@ impl FormatKind {
     pub fn block_filled(self) -> bool {
         matches!(self, FormatKind::Baij2 | FormatKind::Sbaij2)
     }
+
+    /// Whether this format can store values under `codec` — only the
+    /// SELL family (and its σ-sorted wrapper) has a packed-value path.
+    pub fn supports_codec(self, codec: Codec) -> bool {
+        codec == Codec::F64
+            || matches!(
+                self,
+                FormatKind::Sell4 | FormatKind::Sell8 | FormatKind::Sell16 | FormatKind::SellSigma8
+            )
+    }
 }
 
 /// One self-contained failing input: everything needed to rebuild and
@@ -119,6 +129,10 @@ pub struct Repro {
     /// (`x[col*k + v]`) and compares against the column-by-column
     /// scalar-CSR oracle.
     pub k: usize,
+    /// Value codec for the packed SELL formats; `Codec::F64` everywhere
+    /// else.  A reduced codec switches the oracle to the scalar-CSR
+    /// product over the **codec-quantized** matrix (see [`quantize_csr`]).
+    pub codec: Codec,
 }
 
 /// A confirmed divergence or panic.
@@ -268,25 +282,28 @@ fn oracle(a: &Csr, x: &[f64], add: bool, y: &mut [f64]) {
     }
 }
 
-/// Boxes one concrete format built from `a`.
-pub fn build_format(kind: FormatKind, a: &Csr) -> Box<dyn Operator> {
+/// Boxes one concrete format built from `a` under `codec` (only the
+/// SELL family stores reduced-precision values; every other kind
+/// requires `Codec::F64`, enforced by [`FormatKind::supports_codec`]).
+pub fn build_format(kind: FormatKind, a: &Csr, codec: Codec) -> Box<dyn Operator> {
     match kind {
         FormatKind::Csr => Box::new(a.clone()),
         FormatKind::CsrPerm => Box::new(CsrPerm::from_csr(a)),
         FormatKind::Ellpack => Box::new(Ellpack::from_csr(a)),
         FormatKind::EllpackR => Box::new(EllpackR::from_csr(a)),
-        FormatKind::Sell4 => Box::new(Sell4::from_csr(a)),
-        FormatKind::Sell8 => Box::new(Sell8::from_csr(a)),
-        FormatKind::Sell16 => Box::new(Sell16::from_csr(a)),
+        FormatKind::Sell4 => Box::new(Sell4::from_csr_codec(a, codec)),
+        FormatKind::Sell8 => Box::new(Sell8::from_csr_codec(a, codec)),
+        FormatKind::Sell16 => Box::new(Sell16::from_csr_codec(a, codec)),
         FormatKind::SellEsb => Box::new(SellEsb::from_csr(a)),
-        FormatKind::SellSigma8 => Box::new(SellSigma8::from_csr_sigma(a, 16)),
+        FormatKind::SellSigma8 => Box::new(SellSigma8::from_csr_sigma_codec(a, 16, codec)),
         FormatKind::Baij2 => Box::new(Baij::from_csr(a, 2)),
         FormatKind::Sbaij2 => Box::new(Sbaij::from_csr(a, 2)),
     }
 }
 
-/// Structural validation via sellkit-check, one kind at a time.
-fn validate_format(kind: FormatKind, a: &Csr) -> Result<(), String> {
+/// Structural validation via sellkit-check, one kind at a time (packed
+/// sidecar invariants included when `codec` is reduced).
+fn validate_format(kind: FormatKind, a: &Csr, codec: Codec) -> Result<(), String> {
     fn v<T: Validate>(t: T) -> Result<(), String> {
         t.validate().map_err(|e| format!("{e:?}"))
     }
@@ -295,14 +312,30 @@ fn validate_format(kind: FormatKind, a: &Csr) -> Result<(), String> {
         FormatKind::CsrPerm => v(CsrPerm::from_csr(a)),
         FormatKind::Ellpack => v(Ellpack::from_csr(a)),
         FormatKind::EllpackR => v(EllpackR::from_csr(a)),
-        FormatKind::Sell4 => v(Sell4::from_csr(a)),
-        FormatKind::Sell8 => v(Sell8::from_csr(a)),
-        FormatKind::Sell16 => v(Sell16::from_csr(a)),
+        FormatKind::Sell4 => v(Sell4::from_csr_codec(a, codec)),
+        FormatKind::Sell8 => v(Sell8::from_csr_codec(a, codec)),
+        FormatKind::Sell16 => v(Sell16::from_csr_codec(a, codec)),
         FormatKind::SellEsb => v(SellEsb::from_csr(a)),
-        FormatKind::SellSigma8 => v(SellSigma8::from_csr_sigma(a, 16)),
+        FormatKind::SellSigma8 => v(SellSigma8::from_csr_sigma_codec(a, 16, codec)),
         FormatKind::Baij2 => v(Baij::from_csr(a, 2)),
         FormatKind::Sbaij2 => v(Sbaij::from_csr(a, 2)),
     }
+}
+
+/// Scalar CSR over the codec-quantized values — the oracle matrix for a
+/// packed repro.  Quantize-at-build stores `codec.quantize(v)` in the
+/// master array, so packed kernels decode **bit-exactly** to this
+/// matrix: the codec's unit roundoff enters the comparison through the
+/// oracle's values, not a loosened tolerance, and the standard
+/// class-first + ULP policy stays as tight as the f64 sweep.
+pub fn quantize_csr(a: &Csr, codec: Codec) -> Csr {
+    let mut b = CooBuilder::with_capacity(a.nrows(), a.ncols(), a.nnz());
+    for i in 0..a.nrows() {
+        for (k, &c) in a.row_cols(i).iter().enumerate() {
+            b.push(i, c as usize, codec.quantize(a.row_vals(i)[k]));
+        }
+    }
+    b.to_csr()
 }
 
 /// Re-runs exactly one `Repro` combination; `Some(detail)` if it still
@@ -321,12 +354,12 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
         Ok(a) => a,
         Err(p) => return Some(format!("panic in assembly: {}", panic_msg(&p))),
     };
-    if !r.format.supports(&a, case.symmetric) {
+    if !r.format.supports(&a, case.symmetric) || !r.format.supports_codec(r.codec) {
         return None;
     }
     // Structural invariants re-check: validation findings carry an empty
     // `x`, and this is what makes them reproducible (hence minimizable).
-    match catch_unwind(AssertUnwindSafe(|| validate_format(r.format, &a))) {
+    match catch_unwind(AssertUnwindSafe(|| validate_format(r.format, &a, r.codec))) {
         Ok(Ok(())) => {}
         Ok(Err(e)) => return Some(format!("validation: {e}")),
         Err(p) => return Some(format!("panic in build/validate: {}", panic_msg(&p))),
@@ -338,6 +371,8 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
     }
     let oracle_mat = if r.format.block_filled() {
         block_closure(&a, 2)
+    } else if r.codec != Codec::F64 {
+        quantize_csr(&a, r.codec)
     } else {
         a.clone()
     };
@@ -358,15 +393,16 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
     }
 
     let run = catch_unwind(AssertUnwindSafe(|| {
-        let m = build_format(r.format, &a);
+        let m = build_format(r.format, &a, r.codec);
+        let c = r.codec;
         let mut y = vec![0.0; a.nrows() * k];
         match r.isa {
             // Forced-tier serial paths exist on CSR + the SELL family.
             Some(tier) if k == 1 => match r.format {
                 FormatKind::Csr => a.spmv_isa(tier, &r.x, &mut y),
-                FormatKind::Sell4 => Sell4::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                FormatKind::Sell8 => Sell8::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
-                FormatKind::Sell16 => Sell16::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell4 => Sell4::from_csr_codec(&a, c).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell8 => Sell8::from_csr_codec(&a, c).spmv_isa(tier, &r.x, &mut y),
+                FormatKind::Sell16 => Sell16::from_csr_codec(&a, c).spmv_isa(tier, &r.x, &mut y),
                 FormatKind::SellEsb => SellEsb::from_csr(&a).spmv_isa(tier, &r.x, &mut y),
                 _ => m.apply(
                     &ExecCtx::serial(),
@@ -377,9 +413,9 @@ pub fn repro_fails(r: &Repro, cfg: &Config, ctxs: &Ctxs) -> Option<String> {
             },
             Some(tier) => match r.format {
                 FormatKind::Csr => a.spmm_isa(tier, &r.x, &mut y, k),
-                FormatKind::Sell4 => Sell4::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
-                FormatKind::Sell8 => Sell8::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
-                FormatKind::Sell16 => Sell16::from_csr(&a).spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell4 => Sell4::from_csr_codec(&a, c).spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell8 => Sell8::from_csr_codec(&a, c).spmm_isa(tier, &r.x, &mut y, k),
+                FormatKind::Sell16 => Sell16::from_csr_codec(&a, c).spmm_isa(tier, &r.x, &mut y, k),
                 _ => m.apply(
                     &ExecCtx::serial(),
                     VecView::blocked(&r.x, k),
@@ -437,6 +473,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                     add: false,
                     isa: None,
                     k: 1,
+                    codec: Codec::F64,
                 },
             });
             return findings;
@@ -449,7 +486,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
         if !kind.supports(&a, case.symmetric) {
             continue;
         }
-        let checked = catch_unwind(AssertUnwindSafe(|| validate_format(kind, &a)));
+        let checked = catch_unwind(AssertUnwindSafe(|| validate_format(kind, &a, Codec::F64)));
         let detail = match checked {
             Ok(Ok(())) => continue,
             Ok(Err(e)) => format!("validation: {e}"),
@@ -468,6 +505,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                 add: false,
                 isa: None,
                 k: 1,
+                codec: Codec::F64,
             },
         });
     }
@@ -488,6 +526,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                 add: false,
                 isa: Some(tier),
                 k: 1,
+                codec: Codec::F64,
             };
             if let Some(d) = repro_fails(&r, cfg, ctxs) {
                 findings.push(Finding {
@@ -522,6 +561,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                     add: false,
                     isa,
                     k: 1,
+                    codec: Codec::F64,
                 };
                 if let Some(d) = repro_fails(&r, cfg, ctxs) {
                     findings.push(Finding {
@@ -544,6 +584,7 @@ pub fn run_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<
                         add,
                         isa: None,
                         k: 1,
+                        codec: Codec::F64,
                     };
                     if let Some(d) = repro_fails(&r, cfg, ctxs) {
                         findings.push(Finding {
@@ -608,6 +649,7 @@ pub fn run_spmm_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) ->
                     add: false,
                     isa: Some(tier),
                     k,
+                    codec: Codec::F64,
                 };
                 if let Some(d) = repro_fails(&r, cfg, ctxs) {
                     findings.push(Finding {
@@ -643,6 +685,7 @@ pub fn run_spmm_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) ->
                         add: false,
                         isa,
                         k,
+                        codec: Codec::F64,
                     };
                     if let Some(d) = repro_fails(&r, cfg, ctxs) {
                         findings.push(Finding {
@@ -665,6 +708,7 @@ pub fn run_spmm_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) ->
                             add,
                             isa: None,
                             k,
+                            codec: Codec::F64,
                         };
                         if let Some(d) = repro_fails(&r, cfg, ctxs) {
                             findings.push(Finding {
@@ -672,6 +716,128 @@ pub fn run_spmm_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) ->
                                 detail: format!(
                                     "{}@{}t {} k={k} x={class:?}: {d}",
                                     kind.name(),
+                                    threads,
+                                    if add { "add" } else { "set" },
+                                ),
+                                repro: r,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The reduced-precision codecs under differential test.
+pub const CODECS: [Codec; 2] = [Codec::F32, Codec::Bf16];
+
+/// The formats with a packed-value path (the SELL family + its σ-sorted
+/// wrapper) — the codec sweep's format axis.
+pub const PACKED_FORMATS: [FormatKind; 4] = [
+    FormatKind::Sell4,
+    FormatKind::Sell8,
+    FormatKind::Sell16,
+    FormatKind::SellSigma8,
+];
+
+/// Runs the reduced-precision differential sweep for one matrix case:
+/// every vector hazard class × [`CODECS`] × [`PACKED_FORMATS`], forced
+/// through every available ISA tier (SpMV plus a ragged `k = 3` SpMM on
+/// the tier-exposing Sell heights) and through the threaded ctx paths in
+/// both apply modes — all against the scalar-CSR oracle over the
+/// codec-quantized matrix (see [`quantize_csr`] for why the comparison
+/// stays at the tight f64 ULP budget instead of a loosened
+/// codec-scaled tolerance).
+pub fn run_codec_case(case: &MatrixCase, cfg: &Config, ctxs: &Ctxs, seed: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Assembly panics are reported (with a repro) by `run_case`.
+    let Ok(a) = catch_unwind(AssertUnwindSafe(|| case.to_csr())) else {
+        return findings;
+    };
+    let base_repro = |format, codec| Repro {
+        nrows: case.nrows,
+        ncols: case.ncols,
+        entries: case.entries.clone(),
+        x: vec![],
+        format,
+        threads: 1,
+        add: false,
+        isa: None,
+        k: 1,
+        codec,
+    };
+    let mut xrng = StdRng::seed_from_u64(seed ^ 0x00de_c0de_00de_c0de);
+    for codec in CODECS {
+        // Packed sidecar invariants first (pval/cidx16/cbase consistency
+        // through sellkit-check): a corrupt layout would make every
+        // numeric comparison below noise.
+        for kind in PACKED_FORMATS {
+            let checked = catch_unwind(AssertUnwindSafe(|| validate_format(kind, &a, codec)));
+            let detail = match checked {
+                Ok(Ok(())) => continue,
+                Ok(Err(e)) => format!("validation: {e}"),
+                Err(p) => format!("panic in build/validate: {}", panic_msg(&p)),
+            };
+            findings.push(Finding {
+                case_name: case.name.clone(),
+                detail: format!("{}[{}]: {detail}", kind.name(), codec.label()),
+                repro: base_repro(kind, codec),
+            });
+        }
+        for class in X_CLASSES {
+            for kind in PACKED_FORMATS {
+                // Forced serial tiers: SpMV and a ragged-k SpMM.  The
+                // σ-sorted wrapper has no forced-tier entry point and is
+                // covered by the ctx sweep below.
+                if kind != FormatKind::SellSigma8 {
+                    for tier in Isa::available_tiers() {
+                        for k in [1usize, 3] {
+                            let mut x = vec![0.0; a.ncols() * k];
+                            for v in 0..k {
+                                let col = make_x(class, a.ncols(), &mut xrng);
+                                for i in 0..a.ncols() {
+                                    x[i * k + v] = col[i];
+                                }
+                            }
+                            let r = Repro {
+                                x,
+                                isa: Some(tier),
+                                k,
+                                ..base_repro(kind, codec)
+                            };
+                            if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                                findings.push(Finding {
+                                    case_name: case.name.clone(),
+                                    detail: format!(
+                                        "{}[{}]@{tier} k={k} x={class:?}: {d}",
+                                        kind.name(),
+                                        codec.label(),
+                                    ),
+                                    repro: r,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Threaded ctx paths, both modes.
+                let x = make_x(class, a.ncols(), &mut xrng);
+                for &threads in &cfg.threads {
+                    for add in [false, true] {
+                        let r = Repro {
+                            x: x.clone(),
+                            threads,
+                            add,
+                            ..base_repro(kind, codec)
+                        };
+                        if let Some(d) = repro_fails(&r, cfg, ctxs) {
+                            findings.push(Finding {
+                                case_name: case.name.clone(),
+                                detail: format!(
+                                    "{}[{}]@{}t {} x={class:?}: {d}",
+                                    kind.name(),
+                                    codec.label(),
                                     threads,
                                     if add { "add" } else { "set" },
                                 ),
@@ -714,6 +880,7 @@ pub fn run_huge_shape_case() -> Vec<Finding> {
                 add: false,
                 isa: None,
                 k: 1,
+                codec: Codec::F64,
             },
         });
     };
@@ -815,5 +982,26 @@ mod tests {
     #[test]
     fn huge_shape_sweep_is_clean() {
         assert!(run_huge_shape_case().is_empty());
+    }
+
+    #[test]
+    fn codec_families_run_clean() {
+        // One seed per hazard family through the reduced-precision sweep:
+        // every packed format × {f32, bf16} × available tiers must agree
+        // with the quantized-CSR oracle and validate its sidecars.
+        let cfg = Config {
+            threads: vec![1, 2],
+            ..Config::default()
+        };
+        let ctxs = Ctxs::new(&cfg.threads);
+        for family in ["empty", "dense_row", "tail8", "dup_unsorted"] {
+            let case = build(family, 7);
+            let findings = run_codec_case(&case, &cfg, &ctxs, 7);
+            assert!(
+                findings.is_empty(),
+                "{family}: {:?}",
+                findings.iter().map(|f| &f.detail).collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -11,7 +11,10 @@
 //!   (shape degeneracies, ragged slice tails, duplicate/unsorted COO,
 //!   NaN/Inf/subnormal vectors);
 //! * [`diff`] — the differential engine with class-first, ULP-bounded
-//!   comparison and block-closure oracles for BAIJ/SBAIJ;
+//!   comparison and block-closure oracles for BAIJ/SBAIJ, plus the
+//!   reduced-precision codec sweep ([`diff::run_codec_case`]) that pits
+//!   the PackSELL `f32`/`bf16` kernels against the scalar-CSR oracle
+//!   over the codec-quantized matrix;
 //! * [`shrink`] — a ddmin-style minimizer that reduces any failure to a
 //!   paste-ready `#[test]` snippet.
 //!
@@ -24,7 +27,8 @@ pub mod gen;
 pub mod shrink;
 
 pub use diff::{
-    run_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding, Repro, FORMATS, SPMM_KS,
+    run_case, run_codec_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding, Repro,
+    CODECS, FORMATS, PACKED_FORMATS, SPMM_KS,
 };
 pub use gen::{build, make_x, MatrixCase, FAMILIES, X_CLASSES};
 pub use shrink::{emit_test_snippet, minimize};

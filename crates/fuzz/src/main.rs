@@ -8,7 +8,9 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use sellkit_fuzz::diff::{run_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding};
+use sellkit_fuzz::diff::{
+    run_case, run_codec_case, run_huge_shape_case, run_spmm_case, Config, Ctxs, Finding,
+};
 use sellkit_fuzz::gen::{build, FAMILIES};
 use sellkit_fuzz::shrink::{emit_test_snippet, minimize};
 
@@ -17,6 +19,10 @@ struct Args {
     seed: u64,
     corpus: Option<String>,
     artifact: String,
+    /// Run only the reduced-precision codec sweep (the CI codec leg):
+    /// every family x {f32, bf16} x packed format x ISA tier against the
+    /// quantized scalar-CSR oracle, skipping the f64 format/SpMM matrix.
+    codec_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -25,6 +31,7 @@ fn parse_args() -> Args {
         seed: 0xC0FFEE,
         corpus: None,
         artifact: "target/sellkit-fuzz-repro.rs".to_string(),
+        codec_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -37,13 +44,15 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().expect("--seed: integer"),
             "--corpus" => args.corpus = Some(val("--corpus")),
             "--artifact" => args.artifact = val("--artifact"),
+            "--codec-only" => args.codec_only = true,
             "--help" | "-h" => {
                 eprintln!(
                     "sellkit-fuzz: differential fuzzer\n\
                      --seconds N    time budget after corpus replay (default 60)\n\
                      --seed N       base seed for derived cases (default 0xC0FFEE)\n\
                      --corpus PATH  corpus file (default: crates/fuzz/corpus/seed.txt)\n\
-                     --artifact P   where to write a minimized repro on failure"
+                     --artifact P   where to write a minimized repro on failure\n\
+                     --codec-only   run only the f32/bf16 packed-codec sweep"
                 );
                 std::process::exit(0);
             }
@@ -125,16 +134,24 @@ fn main() {
     let mut cases = 0usize;
     let mut findings: Vec<Finding> = Vec::new();
 
-    // Phase 1: shape-only sweep at the edge of 32-bit column space.
-    findings.extend(run_huge_shape_case());
-    cases += 1;
+    // Phase 1: shape-only sweep at the edge of 32-bit column space
+    // (skipped by the codec-only leg — it has no packed angle).
+    if !args.codec_only {
+        findings.extend(run_huge_shape_case());
+        cases += 1;
+    }
 
     // Phase 2: replay the checked-in corpus (always runs to completion —
     // these are the known-adversarial regressions).
     for (family, seed) in &corpus {
         let case = build(family, *seed);
-        findings.extend(run_case(&case, &cfg, &ctxs, *seed));
-        findings.extend(run_spmm_case(&case, &cfg, &ctxs, *seed));
+        if !args.codec_only {
+            findings.extend(run_case(&case, &cfg, &ctxs, *seed));
+            findings.extend(run_spmm_case(&case, &cfg, &ctxs, *seed));
+        }
+        if findings.is_empty() {
+            findings.extend(run_codec_case(&case, &cfg, &ctxs, *seed));
+        }
         cases += 1;
         if !findings.is_empty() {
             break;
@@ -149,9 +166,14 @@ fn main() {
                 .seed
                 .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
             let case = build(family, seed);
-            findings.extend(run_case(&case, &cfg, &ctxs, seed));
+            if !args.codec_only {
+                findings.extend(run_case(&case, &cfg, &ctxs, seed));
+                if findings.is_empty() {
+                    findings.extend(run_spmm_case(&case, &cfg, &ctxs, seed));
+                }
+            }
             if findings.is_empty() {
-                findings.extend(run_spmm_case(&case, &cfg, &ctxs, seed));
+                findings.extend(run_codec_case(&case, &cfg, &ctxs, seed));
             }
             cases += 1;
             if !findings.is_empty() || start.elapsed() >= budget {
@@ -164,13 +186,26 @@ fn main() {
     let _ = std::panic::take_hook();
     let elapsed = start.elapsed().as_secs_f64();
     if findings.is_empty() {
+        let scope = if args.codec_only {
+            format!(
+                "codec-only leg: {} families x 8 vector classes x 4 packed formats \
+                 x codecs {{f32,bf16}} x all ISA tiers x {:?} threads",
+                FAMILIES.len(),
+                cfg.threads,
+            )
+        } else {
+            format!(
+                "{} families x 8 vector classes x 10 formats x {:?} threads \
+                 x spmm k in {{1,2,4,7,8}} x packed codecs {{f32,bf16}}",
+                FAMILIES.len(),
+                cfg.threads,
+            )
+        };
         println!(
-            "sellkit-fuzz: OK — {cases} cases ({} corpus + huge-shape + {round} random rounds), \
-             {} families x 8 vector classes x 10 formats x {:?} threads x spmm k in {{1,2,4,7,8}}, \
-             {elapsed:.1}s, 0 divergences, 0 panics",
+            "sellkit-fuzz: OK — {cases} cases ({} corpus{} + {round} random rounds), \
+             {scope}, {elapsed:.1}s, 0 divergences, 0 panics",
             corpus.len(),
-            FAMILIES.len(),
-            cfg.threads,
+            if args.codec_only { "" } else { " + huge-shape" },
         );
     } else {
         report(&findings, &cfg, &ctxs, &args.artifact);

@@ -11,6 +11,7 @@
 //! 5. minimize the thread count.
 
 use crate::diff::{repro_fails, Config, Ctxs, Repro};
+use sellkit_core::Codec;
 
 /// Greedily shrinks `r`, preserving "still fails".  Returns the smaller
 /// repro and the (possibly changed) failure detail.
@@ -166,20 +167,47 @@ pub fn emit_test_snippet(r: &Repro, detail: &str) -> String {
         s.push_str(&format!("    b.push({i}, {j}, {});\n", f64_src(v)));
     }
     s.push_str("    let a = b.to_csr();\n");
-    let build = match r.format.name() {
-        "csr" => "a.clone()".to_string(),
-        "csr_perm" => "CsrPerm::from_csr(&a)".to_string(),
-        "ellpack" => "Ellpack::from_csr(&a)".to_string(),
-        "ellpack_r" => "EllpackR::from_csr(&a)".to_string(),
-        "sell4" => "Sell4::from_csr(&a)".to_string(),
-        "sell8" => "Sell8::from_csr(&a)".to_string(),
-        "sell16" => "Sell16::from_csr(&a)".to_string(),
-        "sell_esb" => "SellEsb::from_csr(&a)".to_string(),
-        "sell_c_sigma8" => "SellSigma8::from_csr_sigma(&a, 16)".to_string(),
-        "baij_bs2" => "Baij::from_csr(&a, 2)".to_string(),
-        _ => "Sbaij::from_csr(&a, 2)".to_string(),
+    let build = if r.codec != Codec::F64 {
+        let c = format!("Codec::{:?}", r.codec);
+        match r.format.name() {
+            "sell4" => format!("Sell4::from_csr_codec(&a, {c})"),
+            "sell8" => format!("Sell8::from_csr_codec(&a, {c})"),
+            "sell16" => format!("Sell16::from_csr_codec(&a, {c})"),
+            "sell_c_sigma8" => format!("SellSigma8::from_csr_sigma_codec(&a, 16, {c})"),
+            other => unreachable!("format {other} has no packed-codec path"),
+        }
+    } else {
+        match r.format.name() {
+            "csr" => "a.clone()".to_string(),
+            "csr_perm" => "CsrPerm::from_csr(&a)".to_string(),
+            "ellpack" => "Ellpack::from_csr(&a)".to_string(),
+            "ellpack_r" => "EllpackR::from_csr(&a)".to_string(),
+            "sell4" => "Sell4::from_csr(&a)".to_string(),
+            "sell8" => "Sell8::from_csr(&a)".to_string(),
+            "sell16" => "Sell16::from_csr(&a)".to_string(),
+            "sell_esb" => "SellEsb::from_csr(&a)".to_string(),
+            "sell_c_sigma8" => "SellSigma8::from_csr_sigma(&a, 16)".to_string(),
+            "baij_bs2" => "Baij::from_csr(&a, 2)".to_string(),
+            _ => "Sbaij::from_csr(&a, 2)".to_string(),
+        }
     };
     s.push_str(&format!("    let m = {build};\n"));
+    if r.codec != Codec::F64 {
+        // The oracle runs over the codec-quantized matrix — exactly what
+        // quantize-at-build stored in the packed format's master array.
+        s.push_str(&format!(
+            "    let mut bq = CooBuilder::new({}, {});\n",
+            r.nrows, r.ncols
+        ));
+        s.push_str(&format!("    for i in 0..{} {{\n", r.nrows));
+        s.push_str("        for (e, &c) in a.row_cols(i).iter().enumerate() {\n");
+        s.push_str(&format!(
+            "            bq.push(i, c as usize, Codec::{:?}.quantize(a.row_vals(i)[e]));\n",
+            r.codec
+        ));
+        s.push_str("        }\n    }\n");
+        s.push_str("    let a = bq.to_csr();\n");
+    }
     let k = r.k.max(1);
     if r.x.len() != r.ncols * k {
         // Validation-only repro: the layout itself is the failure.
@@ -286,6 +314,7 @@ mod tests {
             add: true,
             isa: None,
             k: 1,
+            codec: Codec::F64,
         };
         let s = emit_test_snippet(&r, "row 0: NaN vs inf");
         assert!(s.contains("CooBuilder::new(2, 2)"));
@@ -309,6 +338,7 @@ mod tests {
             add: false,
             isa: None,
             k: 4,
+            codec: Codec::F64,
         };
         let s = emit_test_snippet(&r, "row 0: 1 vs 2");
         assert!(s.contains("VecView::blocked(&x, k)"), "{s}");
@@ -335,6 +365,7 @@ mod tests {
             add: false,
             isa: None,
             k: 1,
+            codec: Codec::F64,
         };
         let (small, detail) = minimize(&r, &cfg, &ctxs);
         assert!(detail.contains("did not re-fire"), "{detail}");

@@ -85,13 +85,20 @@ impl Hist {
         }
     }
 
-    /// Records one sample.  Negative and non-finite values clamp to the
-    /// zero bucket (histograms measure durations and sizes).
+    /// Records one sample.  Histograms measure durations and sizes, so
+    /// negative and −Inf samples clamp to the **zero** bucket, while NaN
+    /// and +Inf — a lost or overflowed measurement — clamp to the **top**
+    /// bucket: over-reporting a tail percentile is recoverable,
+    /// silently dragging it toward zero is how a stuck probe hides.
+    /// Moments (`sum`/`min`/`max`) use the same clamped finite value, so
+    /// snapshots never carry non-finite JSON.
     pub(crate) fn record(&mut self, value: f64) {
-        let v = if value.is_finite() {
-            value.max(0.0)
+        /// Largest representable sample: the top tick, in unit scale.
+        const TOP: f64 = u64::MAX as f64 / TICKS_PER_UNIT;
+        let v = if value.is_nan() || value == f64::INFINITY {
+            TOP
         } else {
-            0.0
+            value.clamp(0.0, TOP)
         };
         // `as` saturates, so absurdly large samples land in the top bucket.
         let ticks = (v * TICKS_PER_UNIT) as u64;
@@ -164,7 +171,16 @@ impl HistSnapshot {
                 return bucket_mid(idx as usize);
             }
         }
-        // Unreachable when counts are consistent; fall back to max.
+        // Unreachable when the snapshot is consistent (bucket counts sum
+        // to `count`, so the cumulative scan always reaches `rank`).  A
+        // snapshot that gets here was corrupted in merge or
+        // deserialization — fail loudly under test, fall back to the
+        // exact max in release rather than poison a report.
+        debug_assert!(
+            false,
+            "histogram inconsistent: bucket counts sum to {cum}, count is {}",
+            self.count
+        );
         self.max
     }
 
@@ -268,15 +284,42 @@ mod tests {
     }
 
     #[test]
-    fn hostile_inputs_clamp_to_zero_bucket() {
+    fn hostile_inputs_clamp_to_histogram_range() {
         let mut h = Hist::new();
-        h.record(-5.0);
-        h.record(f64::NAN);
-        h.record(f64::INFINITY);
+        h.record(-5.0); // negative → zero bucket
+        h.record(f64::NEG_INFINITY); // −Inf → zero bucket
+        h.record(f64::NAN); // lost measurement → top bucket
+        h.record(f64::INFINITY); // overflowed measurement → top bucket
         h.record(1e300); // saturates to the top bucket, no panic
         let s = h.snapshot();
-        assert_eq!(s.count, 4);
-        assert_eq!(s.percentile(0.25), 0.0);
+        assert_eq!(s.count, 5);
+        // The two negative samples sit in the zero bucket...
+        assert_eq!(s.percentile(0.2), 0.0);
+        assert_eq!(s.percentile(0.4), 0.0);
+        // ...and the three hostile-large ones in the TOP bucket, so tail
+        // percentiles over-report instead of collapsing to zero.
+        let top = s.percentile(1.0);
+        assert!(top > 1e15, "top-bucket midpoint, got {top}");
+        // Moments stay finite for JSON.
+        assert!(s.sum.is_finite() && s.min.is_finite() && s.max.is_finite());
+        assert_eq!(s.min, 0.0);
+    }
+
+    #[test]
+    fn percentile_on_corrupt_snapshot_falls_back_to_max() {
+        // A snapshot whose bucket counts undershoot `count` (as a corrupt
+        // merge or a hand-edited report could produce) must fail loudly
+        // under debug assertions and fall back to `max` in release.
+        let mut h = Hist::new();
+        h.record(1.0);
+        let mut s = h.snapshot();
+        s.count = 10; // counts now inconsistent with the single bucket
+        let check = std::panic::catch_unwind(move || s.percentile(0.99));
+        if cfg!(debug_assertions) {
+            assert!(check.is_err(), "debug build must assert");
+        } else {
+            assert_eq!(check.unwrap(), 1.0, "release build falls back to max");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod ksp;
 pub mod operator;
 pub mod pc;
 pub mod profile;
+pub mod refine;
 pub mod snes;
 pub mod ts;
 pub mod vecops;
@@ -46,5 +47,6 @@ pub use pc::{
     BlockJacobiPc, ChainPc, IdentityPc, Ilu0, JacobiPc, Multigrid, MultigridConfig, Precond, SorPc,
 };
 pub use profile::{EventStats, Profiler};
+pub use refine::{refine, RefineConfig, RefineResult};
 pub use snes::{newton, NewtonConfig, NewtonResult, NonlinearProblem};
 pub use ts::{OdeProblem, ThetaConfig, ThetaStepper};

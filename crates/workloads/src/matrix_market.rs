@@ -17,6 +17,22 @@ pub enum MtxError {
     Io(std::io::Error),
     /// Structural problem with the file, with a human-readable reason.
     Parse(String),
+    /// A *valid* Matrix Market field type this crate cannot represent —
+    /// `complex` matrices have no lossless embedding into the f64-valued
+    /// [`Csr`].  Typed (rather than a generic [`MtxError::Parse`]) so
+    /// callers can tell "your file is broken" from "your file is fine
+    /// but needs its real/imaginary parts split first".
+    UnsupportedField {
+        /// The field token from the header, lower-cased.
+        field: String,
+    },
+    /// A *valid* symmetry qualifier this crate does not expand —
+    /// `hermitian` implies complex values, and `skew-symmetric` would
+    /// need sign-flipped mirroring nothing downstream exercises.
+    UnsupportedSymmetry {
+        /// The symmetry token from the header, lower-cased.
+        symmetry: String,
+    },
 }
 
 impl std::fmt::Display for MtxError {
@@ -24,6 +40,16 @@ impl std::fmt::Display for MtxError {
         match self {
             MtxError::Io(e) => write!(f, "I/O error: {e}"),
             MtxError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+            MtxError::UnsupportedField { field } => write!(
+                f,
+                "Matrix Market field type `{field}` is not supported: sellkit matrices \
+                 are f64-valued; split the matrix into real/imaginary parts first"
+            ),
+            MtxError::UnsupportedSymmetry { symmetry } => write!(
+                f,
+                "Matrix Market symmetry `{symmetry}` is not supported: expand the \
+                 file to `general` (only `general` and `symmetric` are read)"
+            ),
         }
     }
 }
@@ -65,12 +91,24 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, MtxError> {
     let pattern = match h[3].to_ascii_lowercase().as_str() {
         "real" | "integer" => false,
         "pattern" => true,
-        other => return Err(parse_err(format!("unsupported field type `{other}`"))),
+        // `complex` is a well-formed header, just outside f64-land: give
+        // the caller a typed error rather than a generic parse failure.
+        field @ "complex" => {
+            return Err(MtxError::UnsupportedField {
+                field: field.to_string(),
+            })
+        }
+        other => return Err(parse_err(format!("unknown field type `{other}`"))),
     };
     let symmetric = match h[4].to_ascii_lowercase().as_str() {
         "general" => false,
         "symmetric" => true,
-        other => return Err(parse_err(format!("unsupported symmetry `{other}`"))),
+        sym @ ("hermitian" | "skew-symmetric") => {
+            return Err(MtxError::UnsupportedSymmetry {
+                symmetry: sym.to_string(),
+            })
+        }
+        other => return Err(parse_err(format!("unknown symmetry `{other}`"))),
     };
 
     // Size line (after comments).
@@ -212,6 +250,56 @@ mod tests {
         let a = read_mtx(text.as_bytes()).expect("parse");
         assert_eq!(a.get(0, 0), Some(1.0));
         assert_eq!(a.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn parses_integer_field_as_f64() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    2 2 2\n\
+                    1 1 7\n\
+                    2 2 -3\n";
+        let a = read_mtx(text.as_bytes()).expect("parse");
+        assert_eq!(a.get(0, 0), Some(7.0));
+        assert_eq!(a.get(1, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn complex_field_is_a_typed_unsupported_error() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n\
+                    2 2 1\n\
+                    1 1 1.0 0.5\n";
+        let err = read_mtx(text.as_bytes()).expect_err("complex must be rejected");
+        assert!(
+            matches!(&err, MtxError::UnsupportedField { field } if field == "complex"),
+            "want UnsupportedField, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("complex") && msg.contains("real/imaginary"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn hermitian_symmetry_is_a_typed_unsupported_error() {
+        let text = "%%MatrixMarket matrix coordinate real Hermitian\n\
+                    2 2 1\n\
+                    1 1 1.0\n";
+        let err = read_mtx(text.as_bytes()).expect_err("hermitian must be rejected");
+        assert!(
+            matches!(&err, MtxError::UnsupportedSymmetry { symmetry } if symmetry == "hermitian"),
+            "want UnsupportedSymmetry (lower-cased), got {err:?}"
+        );
+        assert!(err.to_string().contains("hermitian"), "{err}");
+        // skew-symmetric rides the same typed arm.
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 1.0\n";
+        let err = read_mtx(skew.as_bytes()).expect_err("skew-symmetric rejected");
+        assert!(
+            matches!(err, MtxError::UnsupportedSymmetry { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

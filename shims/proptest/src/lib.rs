@@ -105,6 +105,73 @@ impl Strategy for Range<f64> {
     }
 }
 
+/// Strategy yielding one constant value, mirroring
+/// `proptest::strategy::Just`.  The workhorse arm of [`prop_oneof!`]
+/// for injecting special values (NaN, ±Inf, sentinels) into an
+/// otherwise continuous domain.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over boxed strategies — the engine behind
+/// [`prop_oneof!`], mirroring `proptest::strategy::Union`.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Union drawing from `arms` with probability proportional to weight.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.next_u64() % total;
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick < total by construction")
+    }
+}
+
+/// Boxing helper so [`prop_oneof!`] arms of different concrete strategy
+/// types unify on `Box<dyn Strategy<Value = V>>`.
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Pick among strategies, mirroring `proptest::prop_oneof!`.  Arms are
+/// either `weight => strategy` or bare strategies (weight 1 each).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::boxed_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 macro_rules! tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -220,8 +287,8 @@ impl Drop for CaseReporter<'_> {
 
 /// Common imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, Union};
 
     /// Namespace mirror of `proptest::prelude::prop`.
     pub mod prop {
@@ -318,6 +385,29 @@ mod tests {
             let s = prop::collection::btree_set(0usize..40, 0..12).generate(&mut rng);
             assert!(s.len() < 12);
         }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm_and_respects_weights() {
+        let strat = prop_oneof![
+            8 => 0.0f64..1.0,
+            1 => Just(f64::NAN),
+            1 => Just(-1.0f64),
+        ];
+        let mut rng = crate::TestRng::for_case("t", 3);
+        let (mut uniform, mut nan, mut neg) = (0u32, 0u32, 0u32);
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            if v.is_nan() {
+                nan += 1;
+            } else if v < 0.0 {
+                neg += 1;
+            } else {
+                uniform += 1;
+            }
+        }
+        assert!(nan > 0 && neg > 0, "rare arms fire ({nan}, {neg})");
+        assert!(uniform > nan + neg, "weights skew toward the heavy arm");
     }
 
     proptest! {

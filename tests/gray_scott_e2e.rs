@@ -244,6 +244,92 @@ fn obs_report_attributes_the_solve_and_exports_json() {
     std::fs::write(path, format!("{text}\n")).expect("write bench report");
 }
 
+/// The PackSELL acceptance leg: on the Crank-Nicolson system matrix
+/// `A = I − dt·θ·J` of the §7 Gray-Scott stack, iterative refinement
+/// with a reduced-precision packed inner operator (f32 and even bf16,
+/// with its 8-bit significand) must converge to the **same residual
+/// tolerance** as a pure-f64 GMRES solve — the low-precision SpMV only
+/// drives the correction equation, while the f64 outer loop restores
+/// full accuracy.
+#[test]
+fn refinement_reaches_f64_residual_on_gray_scott_jacobian() {
+    use sellkit::core::{Codec, CooBuilder};
+    use sellkit::solvers::{
+        gmres, refine, IdentityPc, InnerProduct, MatOperator, Operator as SolverOperator,
+        RefineConfig, SeqDot,
+    };
+
+    let gs = GrayScott::new(32, GrayScottParams::default());
+    let w = gs.initial_condition(42);
+    let j = gs.rhs_jacobian(0.0, &w);
+
+    // The CN step's Newton system matrix: A = I − dt·θ·J (dt = 1, θ = ½).
+    let mut b = CooBuilder::new(j.nrows(), j.ncols());
+    for i in 0..j.nrows() {
+        b.push(i, i, 1.0);
+        for (e, &c) in j.row_cols(i).iter().enumerate() {
+            b.push(i, c as usize, -0.5 * j.row_vals(i)[e]);
+        }
+    }
+    let a = b.to_csr();
+
+    let rhs = w; // a physically plausible right-hand side
+    let bnorm = SeqDot.norm(&rhs);
+    let rtol = 1e-10;
+    let target = rtol * bnorm;
+    let residual = |x: &[f64]| {
+        let mut y = vec![0.0; a.nrows()];
+        MatOperator(&a).apply(x, &mut y);
+        let r: f64 = rhs.iter().zip(&y).map(|(bi, yi)| (bi - yi).powi(2)).sum();
+        r.sqrt()
+    };
+
+    // Pure-f64 reference solve.
+    let mut x_ref = vec![0.0; a.nrows()];
+    let res = gmres(
+        &MatOperator(&a),
+        &IdentityPc,
+        &SeqDot,
+        &rhs,
+        &mut x_ref,
+        &KspConfig {
+            rtol,
+            restart: 30,
+            max_it: 500,
+            ..Default::default()
+        },
+    );
+    assert!(res.converged(), "f64 GMRES baseline: {:?}", res.reason);
+    assert!(residual(&x_ref) <= target, "f64 baseline residual");
+
+    for codec in [Codec::F32, Codec::Bf16] {
+        let lo = Sell8::from_csr_codec(&a, codec);
+        let mut x = vec![0.0; a.nrows()];
+        let res = refine(
+            &MatOperator(&a),
+            &MatOperator(&lo),
+            &IdentityPc,
+            &SeqDot,
+            &rhs,
+            &mut x,
+            &RefineConfig {
+                rtol,
+                ..Default::default()
+            },
+        );
+        assert!(
+            res.converged,
+            "{codec:?} refinement stalled at {:e} after {} sweeps (history {:?})",
+            res.residual, res.outer_iterations, res.history
+        );
+        let true_res = residual(&x);
+        assert!(
+            true_res <= target,
+            "{codec:?} refinement true residual {true_res:e} > f64 target {target:e}"
+        );
+    }
+}
+
 #[test]
 fn sell_padding_negligible_on_gray_scott_jacobian() {
     // §7: "When represented in the sliced ELLPACK format, there are very

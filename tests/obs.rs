@@ -8,6 +8,20 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 use sellkit::obs::{parse_json, validate_report_json, Registry};
 
+/// Histogram samples including the hostile corners: NaN and +Inf clamp
+/// to the top bucket, negatives and −Inf to the zero bucket, and the
+/// clamping must commute with shard merging.
+fn hist_sample() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1e-3f64..1e4,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(-3.5f64),
+        1 => Just(1e300f64),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -46,11 +60,14 @@ proptest! {
     /// Histogram shard-merge correctness: samples recorded from N threads
     /// and merged at report time must give the **bucket-exact** same
     /// snapshot — count, sum, min, max, and every percentile — as the
-    /// same samples pooled into a single-threaded registry.
+    /// same samples pooled into a single-threaded registry.  Samples
+    /// deliberately include NaN/±Inf/negatives: range clamping happens
+    /// per-record, so it must be invariant under sharding, and every
+    /// reported moment and percentile must stay finite.
     #[test]
     fn hist_shard_merge_equals_pooled(
         shards in prop::collection::vec(
-            prop::collection::vec(1e-3f64..1e4, 1..40),
+            prop::collection::vec(hist_sample(), 1..40),
             1..6,
         ),
     ) {
@@ -76,11 +93,13 @@ proptest! {
         prop_assert!((m.sum - p.sum).abs() <= 1e-9 * p.sum.abs());
         prop_assert_eq!(m.min, p.min);
         prop_assert_eq!(m.max, p.max);
+        prop_assert!(m.sum.is_finite() && m.min.is_finite() && m.max.is_finite());
         for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
             prop_assert_eq!(
                 m.percentile(q), p.percentile(q),
                 "q={} diverged between merged and pooled", q
             );
+            prop_assert!(m.percentile(q).is_finite(), "q={} non-finite", q);
         }
         prop_assert_eq!(m.buckets(), p.buckets(), "bucket vectors identical");
     }

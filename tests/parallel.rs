@@ -136,11 +136,12 @@ fn more_threads_than_slices_is_handled() {
 /// every format, at every thread count.
 #[test]
 fn empty_matrix_is_a_noop() {
+    use sellkit::core::Codec;
     use sellkit_fuzz::diff::{build_format, FORMATS};
     let a = CooBuilder::new(0, 0).to_csr();
     for kind in FORMATS {
         assert!(kind.supports(&a, true));
-        let m = build_format(kind, &a);
+        let m = build_format(kind, &a, Codec::F64);
         assert_parallel_matches_serial(&*m, &[], kind.name());
     }
 }
@@ -151,6 +152,7 @@ fn empty_matrix_is_a_noop() {
 /// and block-divisible shapes (n = 12).
 #[test]
 fn all_empty_rows_matrix_is_exactly_zero() {
+    use sellkit::core::Codec;
     use sellkit_fuzz::diff::{build_format, FORMATS};
     for n in [11usize, 12] {
         let a = CooBuilder::new(n, n).to_csr();
@@ -163,7 +165,7 @@ fn all_empty_rows_matrix_is_exactly_zero() {
             if !kind.supports(&a, true) {
                 continue;
             }
-            let m = build_format(kind, &a);
+            let m = build_format(kind, &a, Codec::F64);
             for threads in [1usize, 2, 4, 7] {
                 let ctx = ExecCtx::new(threads);
                 let mut y = vec![f64::MIN; n];
@@ -204,6 +206,7 @@ proptest! {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         use sellkit_fuzz::diff::{build_format, FORMATS};
+    use sellkit::core::Codec;
         use sellkit_fuzz::gen::{build, make_x, FAMILIES, X_CLASSES};
 
         let case = build(FAMILIES[family_ix], seed);
@@ -214,7 +217,7 @@ proptest! {
             if !kind.supports(&a, case.symmetric) {
                 continue;
             }
-            let m = build_format(kind, &a);
+            let m = build_format(kind, &a, Codec::F64);
             assert_parallel_matches_serial(&*m, &x, &format!("{} {}", kind.name(), case.name));
         }
     }

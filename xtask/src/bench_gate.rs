@@ -142,11 +142,18 @@ enum Direction {
     LowerIsBetter,
 }
 
-/// Direction by metric name: roofline fractions, speedups, efficiencies,
-/// and Gflop/s rates must not fall; everything else gated (latency
-/// percentiles, dispatch overhead) must not rise.
+/// Direction by metric name: roofline fractions (both the per-format
+/// `roof_pct` percentages and the sweep's `packed_roofline_fraction`),
+/// speedups, efficiencies, and Gflop/s rates must not fall; everything
+/// else gated (latency percentiles, dispatch overhead) must not rise.
 fn direction(name: &str) -> Direction {
-    let higher = ["roof_pct", "speedup", "efficiency", "gflops"];
+    let higher = [
+        "roof_pct",
+        "speedup",
+        "efficiency",
+        "gflops",
+        "roofline_fraction",
+    ];
     if higher.iter().any(|word| name.contains(word)) {
         Direction::HigherIsBetter
     } else {
@@ -305,7 +312,8 @@ fn read_doc(path: &Path) -> Result<Json, String> {
 
 /// Metrics gated from `BENCH_sweep.json` (schema `sellkit-bench-sweep`
 /// v3+): per-format roofline fraction, 4-thread speedup, 4-thread
-/// dispatch overhead.
+/// dispatch overhead, and (v4+) the best PackSELL format's achieved
+/// roofline fraction.
 fn load_sweep(path: &Path) -> Result<Option<ArtifactMetrics>, String> {
     let doc = read_doc(path)?;
     if doc.get("schema").and_then(Json::as_str) != Some("sellkit-bench-sweep") {
@@ -327,6 +335,9 @@ fn load_sweep(path: &Path) -> Result<Option<ArtifactMetrics>, String> {
                 metrics.push((format!("sweep.{name}.roof_pct"), pct));
             }
         }
+    }
+    if let Some(f) = doc.get("packed_roofline_fraction").and_then(Json::as_f64) {
+        metrics.push(("sweep.packed_roofline_fraction".into(), f));
     }
     if let Some(scaling) = doc.get("thread_scaling").and_then(Json::as_arr) {
         for p in scaling {

@@ -23,8 +23,8 @@ const PASS: &str = "panic-freedom";
 /// Arrays whose indexing is covered by the dispatch-layer contract
 /// assertions (plus the fixed-size lane spill buffers, which are indexed
 /// by `r < lanes <= their length`).
-const CHECKED_ARRAYS: [&str; 9] = [
-    "rowptr", "sliceptr", "colidx", "val", "bits", "x", "y", "buf", "acc",
+const CHECKED_ARRAYS: [&str; 11] = [
+    "rowptr", "sliceptr", "colidx", "cidx16", "cbase", "val", "bits", "x", "y", "buf", "acc",
 ];
 
 pub fn run(tree: &[SourceFile]) -> Vec<Finding> {

@@ -15,15 +15,28 @@ fn temp_root(tag: &str) -> PathBuf {
     dir
 }
 
-/// A gating 8-core sweep artifact with tunable SELL-8 roofline fraction
-/// and 4-thread speedup.
+/// A gating 8-core sweep artifact with tunable SELL-8 roofline fraction,
+/// 4-thread speedup, and packed roofline fraction.
 fn write_sweep(root: &Path, fingerprint: &str, gating: bool, roof_pct: f64, speedup4: f64) {
+    write_sweep_packed(root, fingerprint, gating, roof_pct, speedup4, 0.40);
+}
+
+fn write_sweep_packed(
+    root: &Path,
+    fingerprint: &str,
+    gating: bool,
+    roof_pct: f64,
+    speedup4: f64,
+    packed_frac: f64,
+) {
     let doc = format!(
-        r#"{{"schema":"sellkit-bench-sweep","version":3,
+        r#"{{"schema":"sellkit-bench-sweep","version":4,
             "matrix":{{"name":"gray_scott_jacobian_256","grid":256}},
             "roofline_bw_gbs":77.0,"host_cores":8,
             "machine":{{"fingerprint":"{fingerprint}","host_cores":8,"gating":{gating}}},
-            "formats":[{{"format":"sell8","gflops":4.0,"gbs":30.0,"roof_pct":{roof_pct}}}],
+            "formats":[{{"format":"sell8","gflops":4.0,"gbs":30.0,"roof_pct":{roof_pct},
+                         "bytes_per_nnz":13.8,"packed":false}}],
+            "packed_roofline_fraction":{packed_frac},
             "thread_scaling":[
               {{"threads":1,"gflops":4.0,"speedup":1.0,"efficiency":1.0,"dispatch_ns":900}},
               {{"threads":4,"gflops":9.0,"speedup":{speedup4},"efficiency":0.6,"dispatch_ns":1200}}
@@ -67,9 +80,10 @@ fn clean_run_against_own_baseline_passes() {
     match run_gate(&cfg).expect("update runs") {
         GateOutcome::Updated { path, count } => {
             assert!(path.exists(), "baseline written");
-            // sell8 roof_pct, speedup_4t, dispatch_ns_4t, serve roof_pct,
-            // latency p99 (compute hist absent from the fixture).
-            assert_eq!(count, 5, "all exposed metrics recorded");
+            // sell8 roof_pct, packed_roofline_fraction, speedup_4t,
+            // dispatch_ns_4t, serve roof_pct, latency p99 (compute hist
+            // absent from the fixture).
+            assert_eq!(count, 6, "all exposed metrics recorded");
         }
         _ => panic!("expected Updated"),
     }
@@ -77,7 +91,7 @@ fn clean_run_against_own_baseline_passes() {
     cfg.update = false;
     match run_gate(&cfg).expect("gate runs") {
         GateOutcome::Passed { lines } => {
-            assert_eq!(lines.len(), 5, "every metric compared: {lines:?}");
+            assert_eq!(lines.len(), 6, "every metric compared: {lines:?}");
             assert!(lines.iter().all(|l| l.ends_with("ok")), "{lines:?}");
         }
         o => panic!("expected Passed, got: {}", o.describe()),
@@ -96,13 +110,18 @@ fn degraded_run_fails_and_names_regressions() {
     run_gate(&cfg).expect("baseline recorded");
     cfg.update = false;
 
-    write_sweep(&root, "c8-bw77", true, 20.0, 2.4); // roofline halved
-    write_serve(&root, "c8-bw77", true, 20.0); // p99 doubled
+    // roofline halved, packed fraction collapsed, p99 doubled
+    write_sweep_packed(&root, "c8-bw77", true, 20.0, 2.4, 0.10);
+    write_serve(&root, "c8-bw77", true, 20.0);
     match run_gate(&cfg).expect("gate runs") {
         GateOutcome::Failed { regressions, .. } => {
             assert!(
                 regressions.contains(&"sweep.sell8.roof_pct".to_string()),
                 "{regressions:?}"
+            );
+            assert!(
+                regressions.contains(&"sweep.packed_roofline_fraction".to_string()),
+                "packed fraction is gated higher-is-better: {regressions:?}"
             );
             assert!(
                 regressions.contains(&"serve.latency_p99_ms".to_string()),
